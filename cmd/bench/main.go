@@ -1,0 +1,58 @@
+// Command bench regenerates the paper's evaluation figures and tables.
+//
+// Usage:
+//
+//	bench [-exp all|table2|table3|fig10|fig11|fig12|fig13|fig14|fig15]
+//	      [-objects N] [-ticks N] [-seed S]
+//
+// Output is printed as aligned series (one per competitor) with latency,
+// throughput and average cluster size, mirroring the paper's plots. See
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table2, table3, fig10..fig15, ablation (comma-separated)")
+	objects := flag.Int("objects", bench.FullScale.Objects, "number of moving objects")
+	ticks := flag.Int("ticks", bench.FullScale.Ticks, "stream length in ticks")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	sc := bench.Scale{Objects: *objects, Ticks: *ticks}
+	w := os.Stdout
+	for _, e := range strings.Split(*exp, ",") {
+		switch strings.TrimSpace(e) {
+		case "all":
+			bench.All(w, *seed, sc)
+		case "table2":
+			bench.Table2(w, *seed, sc)
+		case "table3":
+			bench.Table3(w)
+		case "fig10":
+			bench.Fig10(w, *seed, sc)
+		case "fig11":
+			bench.Fig11(w, *seed, sc)
+		case "fig12":
+			bench.Fig12(w, *seed, sc)
+		case "fig13":
+			bench.Fig13(w, *seed, sc)
+		case "fig14":
+			bench.Fig14(w, *seed, sc)
+		case "fig15":
+			bench.Fig15(w, *seed, sc)
+		case "ablation":
+			bench.Ablation(w, *seed, sc)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Command icpe runs real-time co-movement pattern detection over a CSV
+// trajectory stream (as produced by cmd/datagen) and prints every pattern
+// as it is found.
+//
+// Usage:
+//
+//	datagen -dataset taxi | icpe -M 10 -K 12 -L 3 -G 3 -eps 1.5 -minpts 8
+//	icpe -input trace.csv -method vba -eps 2
+//	icpe -listen 127.0.0.1:7077 -duration 60s   # TCP ingestion (TRJ1 frames)
+//
+// Input format: "object,tick,x,y" per line, ticks non-decreasing; in listen
+// mode, binary TRJ1 frames from any number of publishers.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/netsrc"
+	"repro/internal/stream"
+	"repro/internal/trajio"
+)
+
+func main() {
+	input := flag.String("input", "-", "input CSV file ('-' = stdin)")
+	listen := flag.String("listen", "", "TCP listen address for network ingestion (overrides -input)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to serve in -listen mode")
+	slack := flag.Int("slack", 2, "out-of-order slack in ticks (-listen mode)")
+	m := flag.Int("M", 5, "significance: minimum group size")
+	k := flag.Int("K", 12, "duration: minimum total co-movement ticks")
+	l := flag.Int("L", 3, "consecutiveness: minimum run length")
+	g := flag.Int("G", 3, "connection: maximum gap between runs")
+	eps := flag.Float64("eps", 1.5, "DBSCAN distance threshold")
+	minPts := flag.Int("minpts", 5, "DBSCAN density threshold")
+	cellWidth := flag.Float64("lg", 0, "grid cell width (default 4*eps)")
+	method := flag.String("method", "fba", "enumeration method: ba | fba | vba")
+	cluster := flag.String("cluster", "rjc", "range join engine: rjc | srj | gdc")
+	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage")
+	quiet := flag.Bool("quiet", false, "suppress per-pattern output")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	cfg := core.Config{
+		Constraints: model.Constraints{M: *m, K: *k, L: *l, G: *g},
+		Eps:         *eps,
+		CellWidth:   *cellWidth,
+		Metric:      geo.L1,
+		MinPts:      *minPts,
+		Cluster:     core.ClusterMethod(*cluster),
+		Enum:        core.EnumMethod(*method),
+		Parallelism: *parallelism,
+		OnPattern: func(p model.Pattern) {
+			if !*quiet {
+				fmt.Fprintf(out, "pattern %s\n", p)
+			}
+		},
+	}
+	pipe, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe.Start()
+
+	if *listen != "" {
+		if err := serve(*listen, *duration, model.Tick(*slack), pipe); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := feed(r, pipe); err != nil {
+		log.Fatal(err)
+	}
+	res := pipe.Finish()
+	rep := res.Metrics.Report()
+	fmt.Fprintf(out, "done: %s\n", rep)
+	if res.BAOverflow {
+		fmt.Fprintln(out, "warning: baseline enumerator overflowed on large partitions")
+	}
+}
+
+// serve ingests records over TCP for the given duration, assembling
+// snapshots with the last-time protocol before feeding the pipeline.
+func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline) error {
+	var mu sync.Mutex
+	asm := stream.NewAssembler()
+	asm.Slack = slack
+	last := make(map[model.ObjectID]model.Tick)
+	var buf []*model.Snapshot
+	srv, err := netsrc.Serve(addr, func(r trajio.Rec) {
+		mu.Lock()
+		defer mu.Unlock()
+		lt, ok := last[r.Object]
+		if ok && r.Tick <= lt {
+			return // duplicate or stale
+		}
+		if !ok {
+			lt = model.NoLastTime
+		}
+		last[r.Object] = r.Tick
+		buf = asm.Push(model.StampedRecord{
+			Object:   r.Object,
+			Loc:      r.Loc,
+			Tick:     r.Tick,
+			LastTick: lt,
+			Ingest:   time.Now(),
+		}, buf[:0])
+		for _, s := range buf {
+			pipe.PushSnapshot(s)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s for %v\n", srv.Addr(), d)
+	time.Sleep(d)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range asm.FlushAll(nil) {
+		pipe.PushSnapshot(s)
+	}
+	return nil
+}
+
+// feed parses the CSV stream into per-tick snapshots and pushes them.
+func feed(r io.Reader, pipe *core.Pipeline) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *model.Snapshot
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		parts := strings.Split(txt, ",")
+		if len(parts) != 4 {
+			return fmt.Errorf("line %d: want object,tick,x,y", line)
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("line %d: object: %v", line, err)
+		}
+		tick, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: tick: %v", line, err)
+		}
+		x, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: x: %v", line, err)
+		}
+		y, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: y: %v", line, err)
+		}
+		t := model.Tick(tick)
+		if cur != nil && t < cur.Tick {
+			return fmt.Errorf("line %d: tick %d after %d (stream must be tick-ordered)", line, t, cur.Tick)
+		}
+		if cur == nil || t > cur.Tick {
+			if cur != nil {
+				pipe.PushSnapshot(cur)
+			}
+			cur = &model.Snapshot{Tick: t}
+		}
+		cur.Add(model.ObjectID(id), geo.Point{X: x, Y: y})
+	}
+	if cur != nil {
+		pipe.PushSnapshot(cur)
+	}
+	return sc.Err()
+}

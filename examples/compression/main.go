@@ -1,0 +1,167 @@
+// Trajectory compression via co-movement patterns (one of the paper's
+// motivating applications): when a group travels together, store one
+// shared spine (the group centroid) plus small per-member offsets instead
+// of every member's full track.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	icpe "repro"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+func main() {
+	cfg := datagen.DefaultPlanted(23)
+	cfg.NumGroups = 5
+	cfg.GroupSize = 8
+	cfg.NumNoise = 20
+	cfg.GapLen = 0
+	sim := datagen.NewPlanted(cfg)
+
+	const ticks = 300
+	snaps := datagen.Snapshots(sim, ticks)
+
+	det, err := icpe.New(icpe.Options{
+		M: 6, K: 30, L: 10, G: 3,
+		Eps: cfg.Eps, MinPts: 6,
+		Method: icpe.MethodVBA, // maximal sequences maximize reuse
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	locs := make(map[icpe.ObjectID]map[model.Tick]geo.Point)
+	totalPoints := 0
+	for _, s := range snaps {
+		for i, id := range s.Objects {
+			if locs[id] == nil {
+				locs[id] = make(map[model.Tick]geo.Point)
+			}
+			locs[id][s.Tick] = s.Locs[i]
+			totalPoints++
+		}
+		det.PushSnapshot(s)
+	}
+	res := det.Close()
+
+	// Greedily pick non-overlapping (object, tick) coverage from the
+	// largest patterns: each covered (object, tick) point is replaced by a
+	// reference to the group spine.
+	type cover struct{ spine, offsets, replaced int }
+	covered := make(map[icpe.ObjectID]map[model.Tick]bool)
+	var c cover
+	for _, p := range bySize(res.Patterns) {
+		fresh := 0
+		for _, id := range p.Objects {
+			for _, t := range p.Times {
+				if _, ok := locs[id][t]; ok && !covered[id][t] {
+					fresh++
+				}
+			}
+		}
+		// Only worthwhile when the spine+offsets cost less than the points
+		// they replace.
+		spineCost := len(p.Times)
+		offsetCost := len(p.Objects)
+		if fresh <= spineCost+offsetCost {
+			continue
+		}
+		c.spine += spineCost
+		c.offsets += offsetCost
+		for _, id := range p.Objects {
+			if covered[id] == nil {
+				covered[id] = make(map[model.Tick]bool)
+			}
+			for _, t := range p.Times {
+				if _, ok := locs[id][t]; ok && !covered[id][t] {
+					covered[id][t] = true
+					c.replaced++
+				}
+			}
+		}
+	}
+
+	kept := totalPoints - c.replaced
+	stored := kept + c.spine + c.offsets
+	fmt.Printf("raw points:        %d\n", totalPoints)
+	fmt.Printf("points replaced:   %d (by %d spine points + %d offsets)\n",
+		c.replaced, c.spine, c.offsets)
+	fmt.Printf("stored points:     %d\n", stored)
+	fmt.Printf("compression ratio: %.2fx\n", float64(totalPoints)/float64(stored))
+
+	// Reconstruction error bound: a member is within Eps of its group's
+	// cluster, so spine+static offset reconstruction errs by at most the
+	// group's spread. Measure the actual maximum.
+	maxErr := measureError(res.Patterns, locs)
+	fmt.Printf("max reconstruction error: %.2f (eps = %.1f)\n", maxErr, cfg.Eps)
+}
+
+func bySize(ps []icpe.Pattern) []icpe.Pattern {
+	out := append([]icpe.Pattern(nil), ps...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && score(out[j]) > score(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func score(p icpe.Pattern) int { return len(p.Objects) * len(p.Times) }
+
+// measureError reconstructs each covered point as spine + mean offset and
+// returns the worst deviation from the true location.
+func measureError(ps []icpe.Pattern, locs map[icpe.ObjectID]map[model.Tick]geo.Point) float64 {
+	worst := 0.0
+	for _, p := range ps {
+		// Spine = per-tick centroid; offset = member's mean deviation.
+		spine := make(map[model.Tick]geo.Point)
+		for _, t := range p.Times {
+			var cx, cy float64
+			n := 0
+			for _, id := range p.Objects {
+				if l, ok := locs[id][t]; ok {
+					cx += l.X
+					cy += l.Y
+					n++
+				}
+			}
+			if n > 0 {
+				spine[t] = geo.Point{X: cx / float64(n), Y: cy / float64(n)}
+			}
+		}
+		for _, id := range p.Objects {
+			var ox, oy float64
+			n := 0
+			for _, t := range p.Times {
+				if l, ok := locs[id][t]; ok {
+					if s, ok2 := spine[t]; ok2 {
+						ox += l.X - s.X
+						oy += l.Y - s.Y
+						n++
+					}
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			off := geo.Point{X: ox / float64(n), Y: oy / float64(n)}
+			for _, t := range p.Times {
+				l, ok := locs[id][t]
+				s, ok2 := spine[t]
+				if !ok || !ok2 {
+					continue
+				}
+				rec := geo.Point{X: s.X + off.X, Y: s.Y + off.Y}
+				if d := rec.Dist(l, geo.L2); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}

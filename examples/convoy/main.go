@@ -1,0 +1,79 @@
+// Pattern-variant comparison: the unified CP(M, K, L, G) definition
+// (Fan et al., adopted by the paper) subsumes the classic co-movement
+// variants. This example runs the same stream under convoy-, swarm- and
+// platoon-style constraint settings and compares what each detects.
+//
+//	go run ./examples/convoy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	icpe "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	// Groups with episodic co-movement: runs of ~12 ticks, gaps of ~2.
+	cfg := datagen.DefaultPlanted(31)
+	cfg.NumGroups = 4
+	cfg.GroupSize = 6
+	cfg.NumNoise = 30
+	cfg.RunLen = 12
+	cfg.GapLen = 2
+	sim := datagen.NewPlanted(cfg)
+	snaps := datagen.Snapshots(sim, 300)
+
+	variants := []struct {
+		name string
+		desc string
+		opts icpe.Options
+	}{
+		{
+			name: "convoy",
+			desc: "strict consecutiveness: K consecutive ticks, no gaps (L=K, G=1)",
+			opts: icpe.Options{M: 4, K: 10, L: 10, G: 1},
+		},
+		{
+			name: "swarm-like",
+			desc: "fully relaxed: any K ticks within generous gaps (L=1, large G)",
+			opts: icpe.Options{M: 4, K: 10, L: 1, G: 6},
+		},
+		{
+			name: "platoon-like",
+			desc: "runs of at least L with bounded gaps (L=4, G=4)",
+			opts: icpe.Options{M: 4, K: 10, L: 4, G: 4},
+		},
+	}
+
+	for _, v := range variants {
+		o := v.opts
+		o.Eps = cfg.Eps
+		o.MinPts = 4
+		o.Method = icpe.MethodVBA
+		det, err := icpe.New(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range snaps {
+			det.PushSnapshot(s.Clone())
+		}
+		res := det.Close()
+		sets := map[string]bool{}
+		longest := 0
+		for _, p := range res.Patterns {
+			sets[p.Key()] = true
+			if len(p.Times) > longest {
+				longest = len(p.Times)
+			}
+		}
+		fmt.Printf("%-13s %s\n", v.name, v.desc)
+		fmt.Printf("%-13s   patterns=%d distinct-groups=%d longest-sequence=%d\n",
+			"", len(res.Patterns), len(sets), longest)
+	}
+	fmt.Println("\nthe strict convoy fragments episodic co-movement into many short")
+	fmt.Println("within-run patterns, while the relaxed variants stitch the episodes")
+	fmt.Println("into each group's full history (compare longest-sequence) — the")
+	fmt.Println("flexibility the unified CP(M,K,L,G) definition provides.")
+}

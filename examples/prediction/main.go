@@ -1,0 +1,152 @@
+// Future-movement prediction (the paper's Figure 1 scenario): detect
+// co-movement patterns in a live stream, then predict where a newly
+// observed object is heading by matching its recent track against the
+// routes of detected pattern groups.
+//
+//	go run ./examples/prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	icpe "repro"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+func main() {
+	// Groups commute between fixed places; their co-movement patterns are
+	// the "Home -> City center -> Shopping mall" style routes of Figure 1.
+	cfg := datagen.DefaultPlanted(17)
+	cfg.NumGroups = 3
+	cfg.GroupSize = 6
+	cfg.NumNoise = 20
+	cfg.GapLen = 0
+	sim := datagen.NewPlanted(cfg)
+
+	const ticks = 240
+	snaps := datagen.Snapshots(sim, ticks)
+
+	det, err := icpe.New(icpe.Options{
+		M: 5, K: 20, L: 10, G: 3,
+		Eps: cfg.Eps, MinPts: 5,
+		Method: icpe.MethodVBA, // maximal sequences give full route extents
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Track every object's location history as the stream plays.
+	tracks := make(map[icpe.ObjectID][]trackPoint)
+	for _, s := range snaps {
+		for i, id := range s.Objects {
+			tracks[id] = append(tracks[id], trackPoint{tick: s.Tick, loc: s.Locs[i]})
+		}
+		det.PushSnapshot(s)
+	}
+	res := det.Close()
+	if len(res.Patterns) == 0 {
+		log.Fatal("no patterns found; prediction has nothing to learn from")
+	}
+
+	// Keep the largest pattern per distinct object set as a "route".
+	routes := selectRoutes(res.Patterns, tracks)
+	fmt.Printf("learned %d group routes from %d patterns\n", len(routes), len(res.Patterns))
+
+	// A new object follows the first 60%% of route 0; predict its future.
+	r0 := routes[0]
+	split := len(r0.path) * 6 / 10
+	observed := r0.path[:split]
+	fmt.Printf("new object observed along %d points of an unknown route\n", len(observed))
+
+	best, dist := matchRoute(observed, routes)
+	fmt.Printf("best matching group: {%s} (avg deviation %.2f)\n", best.key, dist)
+	future := best.path[split:]
+	if len(future) == 0 {
+		fmt.Println("matched route has no future segment")
+		return
+	}
+	fmt.Printf("predicted next location: (%.1f, %.1f), destination: (%.1f, %.1f)\n",
+		future[0].X, future[0].Y,
+		future[len(future)-1].X, future[len(future)-1].Y)
+}
+
+type trackPoint struct {
+	tick model.Tick
+	loc  geo.Point
+}
+
+// route is one group's averaged path over its pattern's time sequence.
+type route struct {
+	key  string
+	path []geo.Point
+}
+
+// selectRoutes reduces patterns to one route per object set: the centroid
+// track over the pattern's witness ticks.
+func selectRoutes(patterns []icpe.Pattern, tracks map[icpe.ObjectID][]trackPoint) []route {
+	best := map[string]icpe.Pattern{}
+	for _, p := range patterns {
+		k := p.Key()
+		if cur, ok := best[k]; !ok || len(p.Times) > len(cur.Times) {
+			best[k] = p
+		}
+	}
+	var out []route
+	for k, p := range best {
+		var path []geo.Point
+		for _, t := range p.Times {
+			c, n := geo.Point{}, 0
+			for _, id := range p.Objects {
+				if loc, ok := lookupAt(tracks[id], t); ok {
+					c.X += loc.X
+					c.Y += loc.Y
+					n++
+				}
+			}
+			if n > 0 {
+				path = append(path, geo.Point{X: c.X / float64(n), Y: c.Y / float64(n)})
+			}
+		}
+		if len(path) >= 4 {
+			out = append(out, route{key: k, path: path})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i].path) > len(out[j].path) })
+	return out
+}
+
+func lookupAt(track []trackPoint, t model.Tick) (geo.Point, bool) {
+	i := sort.Search(len(track), func(i int) bool { return track[i].tick >= t })
+	if i < len(track) && track[i].tick == t {
+		return track[i].loc, true
+	}
+	return geo.Point{}, false
+}
+
+// matchRoute finds the route whose prefix is closest to the observed track.
+func matchRoute(observed []geo.Point, routes []route) (route, float64) {
+	bestDist := math.Inf(1)
+	var best route
+	for _, r := range routes {
+		n := len(observed)
+		if len(r.path) < n {
+			n = len(r.path)
+		}
+		if n == 0 {
+			continue
+		}
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += observed[i].Dist(r.path[i], geo.L2)
+		}
+		if avg := total / float64(n); avg < bestDist {
+			bestDist = avg
+			best = r
+		}
+	}
+	return best, bestDist
+}

@@ -1,0 +1,262 @@
+// Package icpe is a from-scratch Go implementation of ICPE — the real-time
+// distributed co-movement pattern detection framework of Chen, Gao, Fang,
+// Miao, Jensen and Guo, "Real-time Distributed Co-Movement Pattern
+// Detection on Streaming Trajectories", PVLDB 12(10), 2019.
+//
+// A co-movement pattern CP(M, K, L, G) is a group of at least M objects
+// that share a density-based (DBSCAN) cluster for at least K discrete
+// timestamps, in consecutive runs of at least L, with gaps of at most G
+// between runs. The Detector consumes a stream of GPS records (or
+// pre-built snapshots), clusters every snapshot with a GR-index-based
+// range join, and enumerates patterns with bit-compressed, candidate-based
+// enumeration — all on a pipelined parallel dataflow that stands in for
+// the paper's Flink cluster.
+//
+// # Quick start
+//
+//	det, err := icpe.New(icpe.Options{
+//	    M: 5, K: 180, L: 30, G: 30,
+//	    Eps: 10, MinPts: 10,
+//	    Interval: time.Second,
+//	})
+//	...
+//	det.Push(icpe.Record{Object: 42, Loc: icpe.Point{X: x, Y: y}, Time: t})
+//	...
+//	result := det.Close()
+//	for _, p := range result.Patterns { fmt.Println(p) }
+//
+// See the examples directory for runnable end-to-end programs and
+// EXPERIMENTS.md for the benchmark suite reproducing the paper's
+// evaluation.
+package icpe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// Re-exported domain types. The internal packages define the canonical
+// versions; these aliases are the public surface.
+type (
+	// ObjectID identifies one moving object.
+	ObjectID = model.ObjectID
+	// Tick is a discretized time index.
+	Tick = model.Tick
+	// Point is a planar location.
+	Point = geo.Point
+	// Record is a raw GPS record (object, location, wall-clock time).
+	Record = model.Record
+	// Snapshot is the set of object locations at one tick.
+	Snapshot = model.Snapshot
+	// Pattern is a detected co-movement pattern: the object set and the
+	// witnessing time sequence.
+	Pattern = model.Pattern
+	// Metric selects the distance function.
+	Metric = geo.Metric
+)
+
+// Distance metrics.
+const (
+	L1   = geo.L1
+	L2   = geo.L2
+	LInf = geo.LInf
+)
+
+// Enumeration methods.
+const (
+	// MethodFBA (fixed-length bit compression) has the lowest pattern
+	// latency; the paper recommends it when throughput suffices.
+	MethodFBA = core.FBA
+	// MethodVBA (variable-length bit compression) has the highest
+	// throughput and reports maximal pattern time sequences.
+	MethodVBA = core.VBA
+	// MethodBA is the exponential baseline; useful for validation only.
+	MethodBA = core.BA
+)
+
+// Clustering engines.
+const (
+	ClusterRJC = core.RJC
+	ClusterSRJ = core.SRJ
+	ClusterGDC = core.GDC
+)
+
+// Options configures a Detector. Zero values get sensible defaults where
+// noted; M, K, L, G and Eps are mandatory.
+type Options struct {
+	// M is the minimum group size (significance), >= 2.
+	M int
+	// K is the minimum total co-movement duration in ticks.
+	K int
+	// L is the minimum length of each consecutive run.
+	L int
+	// G is the maximum gap between consecutive runs.
+	G int
+
+	// Eps is the DBSCAN distance threshold.
+	Eps float64
+	// MinPts is the DBSCAN density threshold (default 10).
+	MinPts int
+	// Metric is the distance function (default L1, as in the paper).
+	Metric Metric
+	// CellWidth is the grid cell width lg (default 4*Eps).
+	CellWidth float64
+
+	// Interval is the time-discretization width for Push (default 1s).
+	Interval time.Duration
+	// Origin anchors tick 0 (default: time of the first record).
+	Origin time.Time
+	// Slack delays snapshot release to absorb out-of-order records, in
+	// ticks (default 0).
+	Slack int
+
+	// Method selects the enumerator (default MethodFBA).
+	Method core.EnumMethod
+	// Cluster selects the range-join engine (default ClusterRJC).
+	Cluster core.ClusterMethod
+	// Parallelism is the per-stage subtask count (default 4).
+	Parallelism int
+	// Nodes simulates a cluster of this many nodes (0 = uncapped).
+	Nodes int
+	// SlotsPerNode is the per-node slot count (default 2).
+	SlotsPerNode int
+
+	// CollectPatterns stores all patterns in the final Result (default
+	// true; disable for unbounded streams and use OnPattern instead).
+	CollectPatterns *bool
+	// OnPattern receives each pattern as soon as it is detected.
+	OnPattern func(Pattern)
+}
+
+// Result summarizes a finished detection run.
+type Result struct {
+	// Patterns holds the detected patterns (when collection is enabled).
+	Patterns []Pattern
+	// Stats carries the performance measurements of the run.
+	Stats Stats
+}
+
+// Stats are the run's performance measurements.
+type Stats struct {
+	// Snapshots processed and patterns emitted.
+	Snapshots, Patterns int64
+	// MeanLatency is the average per-snapshot completion latency.
+	MeanLatency time.Duration
+	// MeanClusterLatency is the clustering share of the latency.
+	MeanClusterLatency time.Duration
+	// MeanPatternLatency is the average delay from a pattern's first
+	// witness tick to its report.
+	MeanPatternLatency time.Duration
+	// Throughput is snapshots per second.
+	Throughput float64
+	// AvgClusterSize is the mean DBSCAN cluster cardinality.
+	AvgClusterSize float64
+}
+
+// Detector is a streaming co-movement pattern detector.
+type Detector struct {
+	opts     Options
+	pipe     *core.Pipeline
+	disc     *stream.Discretizer
+	asm      *stream.Assembler
+	buf      []*model.Snapshot
+	now      func() time.Time
+	anchored bool
+}
+
+// New builds and starts a Detector.
+func New(opts Options) (*Detector, error) {
+	collect := true
+	if opts.CollectPatterns != nil {
+		collect = *opts.CollectPatterns
+	}
+	cfg := core.Config{
+		Constraints: model.Constraints{
+			M: opts.M, K: opts.K, L: opts.L, G: opts.G,
+		},
+		Eps:             opts.Eps,
+		CellWidth:       opts.CellWidth,
+		Metric:          opts.Metric,
+		MinPts:          opts.MinPts,
+		Cluster:         opts.Cluster,
+		Enum:            opts.Method,
+		Nodes:           opts.Nodes,
+		SlotsPerNode:    opts.SlotsPerNode,
+		Parallelism:     opts.Parallelism,
+		CollectPatterns: collect,
+		OnPattern:       opts.OnPattern,
+	}
+	pipe, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("icpe: %w", err)
+	}
+	d := &Detector{opts: opts, pipe: pipe, now: time.Now}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	d.anchored = !opts.Origin.IsZero()
+	d.disc = stream.NewDiscretizer(opts.Origin, interval)
+	d.asm = stream.NewAssembler()
+	d.asm.Slack = model.Tick(opts.Slack)
+	pipe.Start()
+	return d, nil
+}
+
+// Push ingests one raw GPS record. Records may arrive out of order within
+// the configured slack; duplicates within one tick are dropped.
+func (d *Detector) Push(r Record) {
+	if !d.anchored {
+		// No explicit origin: anchor tick 0 at the first record.
+		d.disc = stream.NewDiscretizer(r.Time, d.interval())
+		d.anchored = true
+	}
+	sr, ok := d.disc.Discretize(r, d.now())
+	if !ok {
+		return
+	}
+	d.buf = d.asm.Push(sr, d.buf[:0])
+	for _, s := range d.buf {
+		d.pipe.PushSnapshot(s)
+	}
+}
+
+func (d *Detector) interval() time.Duration {
+	if d.opts.Interval > 0 {
+		return d.opts.Interval
+	}
+	return time.Second
+}
+
+// PushSnapshot bypasses discretization and assembly, feeding a pre-built
+// snapshot (ticks must increase strictly).
+func (d *Detector) PushSnapshot(s *Snapshot) {
+	d.pipe.PushSnapshot(s)
+}
+
+// Close flushes pending snapshots and all enumerator state, stops the
+// pipeline, and returns the result.
+func (d *Detector) Close() Result {
+	for _, s := range d.asm.FlushAll(nil) {
+		d.pipe.PushSnapshot(s)
+	}
+	res := d.pipe.Finish()
+	rep := res.Metrics.Report()
+	return Result{
+		Patterns: res.Patterns,
+		Stats: Stats{
+			Snapshots:          rep.Snapshots,
+			Patterns:           rep.Patterns,
+			MeanLatency:        rep.LatencyMean,
+			MeanClusterLatency: res.Metrics.ClusterLatency.Mean(),
+			MeanPatternLatency: res.Metrics.PatternLatency.Mean(),
+			Throughput:         rep.ThroughputPerSec,
+			AvgClusterSize:     rep.AvgClusterSize,
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package icpe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+func TestDetectorEndToEndFromRecords(t *testing.T) {
+	// Planted workload converted to wall-clock GPS records, pushed through
+	// the full ingestion path (discretize -> assemble -> pipeline).
+	cfg := datagen.DefaultPlanted(5)
+	cfg.NumGroups = 2
+	cfg.GroupSize = 5
+	cfg.NumNoise = 15
+	sim := datagen.NewPlanted(cfg)
+	snaps := datagen.Snapshots(sim, 100)
+
+	origin := time.Date(2019, 7, 1, 8, 0, 0, 0, time.UTC)
+	det, err := New(Options{
+		M: 4, K: 6, L: 3, G: 3,
+		Eps: cfg.Eps, MinPts: 4,
+		Interval: time.Second,
+		Origin:   origin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range snaps {
+		for i, id := range s.Objects {
+			det.Push(Record{
+				Object: id,
+				Loc:    s.Locs[i],
+				Time:   origin.Add(time.Duration(s.Tick) * time.Second),
+			})
+		}
+	}
+	res := det.Close()
+	if res.Stats.Snapshots == 0 {
+		t.Fatal("no snapshots processed")
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns detected")
+	}
+	// Both planted groups must be among the detected object sets.
+	keys := map[string]bool{}
+	for _, p := range res.Patterns {
+		keys[p.Key()] = true
+	}
+	for g := 0; g < 2; g++ {
+		want := model.Pattern{Objects: sim.GroupMembers(g)}.Key()
+		if !keys[want] {
+			t.Errorf("group %d (%s) not detected", g, want)
+		}
+	}
+	if res.Stats.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Stats.Throughput)
+	}
+	if res.Stats.MeanLatency <= 0 {
+		t.Errorf("latency = %v", res.Stats.MeanLatency)
+	}
+}
+
+func TestDetectorPushSnapshotPath(t *testing.T) {
+	cfg := datagen.DefaultPlanted(9)
+	sim := datagen.NewPlanted(cfg)
+	det, err := New(Options{
+		M: 4, K: 6, L: 3, G: 3,
+		Eps: cfg.Eps, MinPts: 4,
+		Method: MethodVBA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	for _, s := range datagen.Snapshots(sim, 80) {
+		det.PushSnapshot(s)
+		streamed++
+	}
+	res := det.Close()
+	if res.Stats.Snapshots != int64(streamed) {
+		t.Errorf("snapshots = %d, want %d", res.Stats.Snapshots, streamed)
+	}
+	if res.Stats.Patterns == 0 {
+		t.Error("no patterns detected")
+	}
+}
+
+func TestDetectorOnPatternStreaming(t *testing.T) {
+	cfg := datagen.DefaultPlanted(11)
+	sim := datagen.NewPlanted(cfg)
+	noCollect := false
+	var live int
+	det, err := New(Options{
+		M: 4, K: 6, L: 3, G: 3,
+		Eps: cfg.Eps, MinPts: 4,
+		CollectPatterns: &noCollect,
+		OnPattern:       func(Pattern) { live++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range datagen.Snapshots(sim, 80) {
+		det.PushSnapshot(s)
+	}
+	res := det.Close()
+	if len(res.Patterns) != 0 {
+		t.Errorf("collection disabled but %d patterns stored", len(res.Patterns))
+	}
+	if int64(live) != res.Stats.Patterns {
+		t.Errorf("live callbacks %d != %d", live, res.Stats.Patterns)
+	}
+	if live == 0 {
+		t.Error("no live patterns")
+	}
+}
+
+func TestDetectorInvalidOptions(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := New(Options{M: 1, K: 1, L: 1, G: 1, Eps: 1}); err == nil {
+		t.Error("M=1 accepted")
+	}
+}
+
+func TestDetectorAutoOriginFromFirstRecord(t *testing.T) {
+	det, err := New(Options{
+		M: 2, K: 2, L: 1, G: 1,
+		Eps: 5, MinPts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2019, 3, 3, 12, 0, 0, 0, time.UTC)
+	for s := 0; s < 10; s++ {
+		for id := ObjectID(1); id <= 2; id++ {
+			det.Push(Record{
+				Object: id,
+				Loc:    Point{X: float64(s), Y: float64(id)},
+				Time:   base.Add(time.Duration(s) * time.Second),
+			})
+		}
+	}
+	res := det.Close()
+	if res.Stats.Snapshots == 0 {
+		t.Fatal("auto-origin path processed no snapshots")
+	}
+	if len(res.Patterns) == 0 {
+		t.Error("two co-moving objects should form a pattern")
+	}
+}

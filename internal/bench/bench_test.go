@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var tinyScale = Scale{Objects: 150, Ticks: 40}
+
+func TestMakeDatasetAllNames(t *testing.T) {
+	for _, name := range []string{"geolife", "taxi", "brinkhoff", "planted"} {
+		d := MakeDataset(name, 1, tinyScale)
+		if d.Name != name {
+			t.Errorf("name = %q", d.Name)
+		}
+		if len(d.Snapshots) != tinyScale.Ticks {
+			t.Errorf("%s: %d snapshots", name, len(d.Snapshots))
+		}
+		if d.Extent <= 0 {
+			t.Errorf("%s: extent %v", name, d.Extent)
+		}
+		if d.Locations == 0 {
+			t.Errorf("%s: no locations", name)
+		}
+	}
+}
+
+func TestMakeDatasetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset should panic")
+		}
+	}()
+	MakeDataset("nope", 1, tinyScale)
+}
+
+func TestRunOnceProducesMeasurements(t *testing.T) {
+	d := MakeDataset("taxi", 2, tinyScale)
+	p := DefaultParams()
+	p.Parallelism = 2
+	row, err := runOnce(d, d.config(p, core.RJC, core.NoEnum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Throughput <= 0 {
+		t.Errorf("throughput = %v", row.Throughput)
+	}
+	if row.LatencyMS <= 0 {
+		t.Errorf("latency = %v", row.LatencyMS)
+	}
+	if row.ClusterMS <= 0 || row.ClusterMS > row.LatencyMS+1 {
+		t.Errorf("cluster latency %v vs total %v", row.ClusterMS, row.LatencyMS)
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, 3, tinyScale)
+	if !strings.Contains(buf.String(), "geolife") {
+		t.Error("table2 missing dataset rows")
+	}
+	buf.Reset()
+	Table3(&buf)
+	out := buf.String()
+	for _, want := range []string{"lg", "eps", "M", "K", "L", "G", "Or", "N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q", want)
+		}
+	}
+}
+
+func TestPrintSeries(t *testing.T) {
+	var buf bytes.Buffer
+	PrintSeries(&buf, "demo", "x", []Series{
+		{Label: "rjc", Rows: []Row{
+			{X: "1", LatencyMS: 1.5, Throughput: 100, Failed: false},
+			{X: "2", LatencyMS: 99, Throughput: 1, Failed: true},
+		}},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "rjc") {
+		t.Error("series header missing")
+	}
+	if !strings.Contains(out, "[OVERFLOW]") {
+		t.Error("overflow marker missing")
+	}
+}

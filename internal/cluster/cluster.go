@@ -1,0 +1,39 @@
+// Package cluster wires the two steps of the paper's clustering phase
+// (Section 5): a range join over each snapshot followed by DBSCAN on the
+// neighbour pairs, producing one ClusterSnapshot per tick.
+package cluster
+
+import (
+	"repro/internal/dbscan"
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+// Clusterer clusters snapshots with a pluggable join engine (RJC by
+// default, SRJ/GDC for baseline comparisons).
+type Clusterer struct {
+	// Engine computes the range join.
+	Engine join.Engine
+	// MinPts is DBSCAN's density threshold (the point itself counts).
+	MinPts int
+}
+
+// Cluster runs join + DBSCAN over one snapshot.
+func (c *Clusterer) Cluster(s *model.Snapshot) *model.ClusterSnapshot {
+	var pairs [][2]int32
+	c.Engine.Join(s, func(i, j int32) {
+		pairs = append(pairs, [2]int32{i, j})
+	})
+	idx := dbscan.FromPairs(s.Len(), pairs, c.MinPts)
+	return dbscan.ToClusterSnapshot(s, idx)
+}
+
+// ClusterAll clusters a sequence of snapshots, returning the cluster
+// history in order. Convenience for offline tests and benches.
+func (c *Clusterer) ClusterAll(snaps []*model.Snapshot) []*model.ClusterSnapshot {
+	out := make([]*model.ClusterSnapshot, len(snaps))
+	for i, s := range snaps {
+		out[i] = c.Cluster(s)
+	}
+	return out
+}

@@ -1,0 +1,601 @@
+// Package core wires the full ICPE pipeline of the paper (Figure 3) onto
+// the flow engine:
+//
+//	source -> GridAllocate -> GridQuery -> GridSync+DBSCAN -> Enumerate -> sink
+//	        (keyed by tick)  (keyed by   (keyed by tick)     (keyed by
+//	                          grid cell)                      trajectory id)
+//
+// GridAllocate replicates each snapshot's locations into grid cells
+// (Algorithm 1), GridQuery runs the per-cell range join (Algorithm 2),
+// the DBSCAN stage collects each tick's neighbour pairs (GridSync) and
+// clusters them, and the enumeration stage applies id-based partitioning
+// with BA, FBA or VBA. Watermarks drive tick-order restoration behind the
+// parallel stages.
+//
+// The clustering stage is pluggable (RJC, SRJ, GDC) so the paper's
+// clustering comparisons (Figures 10-11) run on the same pipeline.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dbscan"
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/join"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// ClusterMethod selects the range-join engine.
+type ClusterMethod string
+
+const (
+	// RJC is the paper's GR-index range join (Lemmas 1-2).
+	RJC ClusterMethod = "rjc"
+	// SRJ is the full-replication build-then-probe baseline.
+	SRJ ClusterMethod = "srj"
+	// GDC is the eps-cell grid DBSCAN baseline.
+	GDC ClusterMethod = "gdc"
+)
+
+// EnumMethod selects the pattern enumerator.
+type EnumMethod string
+
+const (
+	// BA is the exponential baseline (Algorithm 3).
+	BA EnumMethod = "ba"
+	// FBA is fixed-length bit compression (Algorithm 4).
+	FBA EnumMethod = "fba"
+	// VBA is variable-length bit compression (Algorithm 5).
+	VBA EnumMethod = "vba"
+	// NoEnum disables pattern enumeration (clustering-only benchmarks).
+	NoEnum EnumMethod = "none"
+)
+
+// Config parameterizes one ICPE pipeline instance.
+type Config struct {
+	// Constraints is the CP(M,K,L,G) pattern definition.
+	Constraints model.Constraints
+	// Eps is the DBSCAN distance threshold.
+	Eps float64
+	// CellWidth is the grid cell width lg.
+	CellWidth float64
+	// Metric is the distance function (paper: L1).
+	Metric geo.Metric
+	// MinPts is DBSCAN's density threshold.
+	MinPts int
+	// Cluster selects the range-join engine (default RJC).
+	Cluster ClusterMethod
+	// Enum selects the pattern enumerator (default FBA).
+	Enum EnumMethod
+	// Nodes and SlotsPerNode simulate the cluster size: at most
+	// Nodes*SlotsPerNode operators execute concurrently. Nodes = 0
+	// disables the cap.
+	Nodes        int
+	SlotsPerNode int
+	// Parallelism is the subtask count per stage (default 4).
+	Parallelism int
+	// CollectPatterns stores emitted patterns in the result (tests and
+	// examples; benchmarks usually only count).
+	CollectPatterns bool
+	// OnPattern, when set, receives every pattern as it is emitted.
+	OnPattern func(model.Pattern)
+	// OnTickComplete, when set, is called once per tick after every stage
+	// has fully consumed it (admission control in benchmarks).
+	OnTickComplete func(model.Tick)
+}
+
+func (c *Config) fill() error {
+	if err := c.Constraints.Validate(); err != nil {
+		return err
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("core: eps must be positive")
+	}
+	if c.Cluster == "" {
+		c.Cluster = RJC
+	}
+	if c.Enum == "" {
+		c.Enum = FBA
+	}
+	if c.CellWidth <= 0 {
+		c.CellWidth = 4 * c.Eps
+	}
+	if c.MinPts <= 0 {
+		c.MinPts = 10
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.SlotsPerNode <= 0 {
+		c.SlotsPerNode = 2
+	}
+	return nil
+}
+
+// Metrics aggregates one run's measurements.
+type Metrics struct {
+	// ClusterLatency is per-snapshot time from ingest to cluster-snapshot
+	// completion (the clustering figures 10-11).
+	ClusterLatency metrics.Latency
+	// CompletionLatency is per-snapshot time from ingest until the
+	// enumeration stage has fully consumed the snapshot.
+	CompletionLatency metrics.Latency
+	// PatternLatency is per-pattern time from the ingest of the snapshot
+	// at the pattern's first witness tick to emission — the responsiveness
+	// number where FBA beats VBA.
+	PatternLatency metrics.Latency
+	// AvgClusterSize tracks DBSCAN cluster cardinality (figures 12-13).
+	AvgClusterSize metrics.Mean
+	// Snapshots and Patterns count stream volume.
+	Snapshots int64
+	Patterns  int64
+
+	start, end time.Time
+	mu         sync.Mutex
+}
+
+// Report summarizes the run.
+func (m *Metrics) Report() metrics.Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := metrics.Report{
+		LatencyMean:    m.CompletionLatency.Mean(),
+		LatencyP95:     m.CompletionLatency.Percentile(95),
+		AvgClusterSize: m.AvgClusterSize.Value(),
+		Snapshots:      m.Snapshots,
+		Patterns:       m.Patterns,
+	}
+	if m.end.After(m.start) && m.Snapshots > 0 {
+		r.ThroughputPerSec = float64(m.Snapshots) / m.end.Sub(m.start).Seconds()
+	}
+	return r
+}
+
+// Result is the outcome of a finished pipeline run.
+type Result struct {
+	Patterns []model.Pattern
+	Metrics  *Metrics
+	// BAOverflow reports that the exponential baseline skipped windows.
+	BAOverflow bool
+}
+
+// Pipeline is one running ICPE instance.
+type Pipeline struct {
+	cfg  Config
+	fl   *flow.Pipeline
+	mets *Metrics
+
+	mu       sync.Mutex
+	ingest   map[model.Tick]time.Time
+	queue    []model.Tick // pushed ticks not yet completion-sampled
+	patterns []model.Pattern
+	overflow bool
+}
+
+// ---------------------------------------------------------------------------
+// Inter-stage messages.
+
+// cellMsg carries one grid cell's task for one tick; the snapshot pointer
+// stands in for the serialized location payload a real cluster would ship.
+type cellMsg struct {
+	tick model.Tick
+	snap *model.Snapshot
+	task join.CellTask
+}
+
+// metaMsg announces a snapshot to the DBSCAN stage (GridSync input).
+type metaMsg struct {
+	tick model.Tick
+	snap *model.Snapshot
+}
+
+// pairsMsg carries one cell's join results back to the snapshot's subtask.
+type pairsMsg struct {
+	tick  model.Tick
+	pairs [][2]int32
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: GridAllocate.
+
+type allocateOp struct {
+	flow.BaseOperator
+	cfg *Config
+}
+
+func (a *allocateOp) Process(data any, out *flow.Collector) {
+	s := data.(*model.Snapshot)
+	lg, mode := a.cfg.CellWidth, grid.UpperHalf
+	switch a.cfg.Cluster {
+	case SRJ:
+		mode = grid.FullRegion
+	case GDC:
+		// GDC divides space by eps itself (Section 7.1): every location is
+		// replicated to its full 3x3 eps-cell neighbourhood, which is what
+		// makes its partition count explode for small eps.
+		lg, mode = a.cfg.Eps, grid.FullRegion
+	}
+	// The meta message travels to the DBSCAN stage through GridQuery
+	// (keyed by tick there) so the snapshot's object ids are available.
+	out.Emit(uint64(s.Tick), metaMsg{tick: s.Tick, snap: s})
+	for _, task := range join.AllocateSnapshot(s, lg, a.cfg.Eps, mode) {
+		out.Emit(task.Key.Hash(), cellMsg{tick: s.Tick, snap: s, task: task})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: GridQuery (per-cell range join).
+
+type gridQueryOp struct {
+	flow.BaseOperator
+	cfg *Config
+}
+
+func (g *gridQueryOp) Process(data any, out *flow.Collector) {
+	switch msg := data.(type) {
+	case metaMsg:
+		out.Emit(uint64(msg.tick), msg) // pass through to GridSync
+	case cellMsg:
+		var pairs [][2]int32
+		emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
+		if g.cfg.Cluster == RJC {
+			join.RunCellRJC(msg.snap, msg.task, g.cfg.Eps, g.cfg.Metric, emit)
+		} else {
+			join.RunCellSRJ(msg.snap, msg.task, g.cfg.Eps, g.cfg.Metric, emit)
+		}
+		if len(pairs) > 0 {
+			out.Emit(uint64(msg.tick), pairsMsg{tick: msg.tick, pairs: pairs})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: GridSync + DBSCAN + id-based partitioning.
+
+type tickBuf struct {
+	snap  *model.Snapshot
+	pairs [][2]int32
+	seen  map[uint64]struct{} // SRJ/GDC duplicate elimination
+}
+
+type dbscanOp struct {
+	cfg  *Config
+	pipe *Pipeline
+	bufs map[model.Tick]*tickBuf
+}
+
+func (d *dbscanOp) Process(data any, out *flow.Collector) {
+	switch msg := data.(type) {
+	case metaMsg:
+		d.buf(msg.tick).snap = msg.snap
+	case pairsMsg:
+		b := d.buf(msg.tick)
+		if d.cfg.Cluster == RJC {
+			b.pairs = append(b.pairs, msg.pairs...)
+			return
+		}
+		// Baselines emit duplicates across replicated cells; GridSync must
+		// de-duplicate them (the cost the paper charges to SRJ/GDC).
+		if b.seen == nil {
+			b.seen = make(map[uint64]struct{})
+		}
+		for _, p := range msg.pairs {
+			k := uint64(uint32(p[0]))<<32 | uint64(uint32(p[1]))
+			if _, ok := b.seen[k]; ok {
+				continue
+			}
+			b.seen[k] = struct{}{}
+			b.pairs = append(b.pairs, p)
+		}
+	}
+}
+
+func (d *dbscanOp) buf(t model.Tick) *tickBuf {
+	b := d.bufs[t]
+	if b == nil {
+		b = &tickBuf{}
+		d.bufs[t] = b
+	}
+	return b
+}
+
+func (d *dbscanOp) OnWatermark(wm model.Tick, out *flow.Collector) {
+	for t, b := range d.bufs {
+		if t > wm || b.snap == nil {
+			continue
+		}
+		d.finalize(t, b, out)
+		delete(d.bufs, t)
+	}
+}
+
+func (d *dbscanOp) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
+	clusters := dbscan.FromPairs(b.snap.Len(), b.pairs, d.cfg.MinPts)
+	cs := dbscan.ToClusterSnapshot(b.snap, clusters)
+	d.pipe.recordCluster(t, cs)
+	if d.cfg.Enum == NoEnum {
+		return
+	}
+	for _, p := range enum.PartitionClusters(cs, d.cfg.Constraints.M) {
+		out.Emit(uint64(p.Owner), p)
+	}
+}
+
+func (d *dbscanOp) Close(out *flow.Collector) {
+	for t, b := range d.bufs {
+		if b.snap == nil {
+			continue
+		}
+		d.finalize(t, b, out)
+		delete(d.bufs, t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: pattern enumeration (id-based partitioning).
+
+type enumOp struct {
+	cfg     *Config
+	pipe    *Pipeline
+	mk      enum.NewFunc
+	reorder *flow.ReorderBuffer
+	subs    map[model.ObjectID]enum.Enumerator
+}
+
+func (e *enumOp) Process(data any, out *flow.Collector) {
+	p := data.(enum.Partition)
+	e.reorder.Add(p.Tick, p)
+}
+
+func (e *enumOp) OnWatermark(wm model.Tick, out *flow.Collector) {
+	for _, item := range e.reorder.Release(wm) {
+		e.feed(item.(enum.Partition), out)
+	}
+}
+
+func (e *enumOp) Close(out *flow.Collector) {
+	for _, item := range e.reorder.ReleaseAll() {
+		e.feed(item.(enum.Partition), out)
+	}
+	for _, sub := range e.subs {
+		sub.Flush(func(p model.Pattern) { out.Emit(0, p) })
+	}
+	e.noteOverflow()
+}
+
+func (e *enumOp) feed(p enum.Partition, out *flow.Collector) {
+	sub := e.subs[p.Owner]
+	if sub == nil {
+		sub = e.mk(p.Owner, e.cfg.Constraints)
+		e.subs[p.Owner] = sub
+	}
+	sub.Process(p, func(pat model.Pattern) { out.Emit(0, pat) })
+}
+
+func (e *enumOp) noteOverflow() {
+	for _, sub := range e.subs {
+		if ba, ok := sub.(*enum.BA); ok && ba.Overflowed {
+			e.pipe.setOverflow()
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline assembly.
+
+// New builds an ICPE pipeline. Call Start, feed snapshots with
+// PushSnapshot, then Finish.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:    cfg,
+		mets:   &Metrics{},
+		ingest: make(map[model.Tick]time.Time),
+	}
+
+	var mk enum.NewFunc
+	switch cfg.Enum {
+	case BA:
+		mk = enum.NewBA
+	case FBA:
+		mk = enum.NewFBA
+	case VBA:
+		mk = enum.NewVBA
+	case NoEnum:
+	default:
+		return nil, fmt.Errorf("core: unknown enum method %q", cfg.Enum)
+	}
+	switch cfg.Cluster {
+	case RJC, SRJ, GDC:
+	default:
+		return nil, fmt.Errorf("core: unknown cluster method %q", cfg.Cluster)
+	}
+
+	stages := []flow.StageSpec{
+		{
+			Name:        "allocate",
+			Parallelism: cfg.Parallelism,
+			Make:        func(int) flow.Operator { return &allocateOp{cfg: &p.cfg} },
+		},
+		{
+			Name:        "gridquery",
+			Parallelism: cfg.Parallelism,
+			Make:        func(int) flow.Operator { return &gridQueryOp{cfg: &p.cfg} },
+		},
+		{
+			Name:        "dbscan",
+			Parallelism: cfg.Parallelism,
+			Make: func(int) flow.Operator {
+				return &dbscanOp{cfg: &p.cfg, pipe: p, bufs: make(map[model.Tick]*tickBuf)}
+			},
+		},
+	}
+	if cfg.Enum != NoEnum {
+		stages = append(stages, flow.StageSpec{
+			Name:        "enumerate",
+			Parallelism: cfg.Parallelism,
+			Make: func(int) flow.Operator {
+				return &enumOp{
+					cfg:     &p.cfg,
+					pipe:    p,
+					mk:      mk,
+					reorder: flow.NewReorderBuffer(),
+					subs:    make(map[model.ObjectID]enum.Enumerator),
+				}
+			},
+		})
+	}
+
+	slots := 0
+	if cfg.Nodes > 0 {
+		slots = cfg.Nodes * cfg.SlotsPerNode
+	}
+	p.fl = flow.NewPipeline(flow.Config{
+		Slots:         slots,
+		Sink:          p.onSinkRecord,
+		SinkWatermark: p.onSinkWatermark,
+	}, stages...)
+	return p, nil
+}
+
+// Start launches the pipeline.
+func (p *Pipeline) Start() {
+	p.mets.mu.Lock()
+	p.mets.start = time.Now()
+	p.mets.mu.Unlock()
+	p.fl.Start()
+}
+
+// PushSnapshot feeds one snapshot (ticks must be strictly increasing).
+func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
+	now := time.Now()
+	if s.Ingest.IsZero() {
+		s.Ingest = now
+	}
+	p.mu.Lock()
+	p.ingest[s.Tick] = s.Ingest
+	p.queue = append(p.queue, s.Tick)
+	p.mu.Unlock()
+	p.fl.Submit(uint64(s.Tick), s)
+	p.fl.SubmitWatermark(s.Tick)
+	p.mets.mu.Lock()
+	p.mets.Snapshots++
+	p.mets.mu.Unlock()
+}
+
+// Finish drains the pipeline and returns the result.
+func (p *Pipeline) Finish() Result {
+	p.fl.Drain()
+	p.mets.mu.Lock()
+	p.mets.end = time.Now()
+	p.mets.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Result{
+		Patterns:   p.patterns,
+		Metrics:    p.mets,
+		BAOverflow: p.overflow,
+	}
+}
+
+// ingestOf returns the ingest time of a tick, if known.
+func (p *Pipeline) ingestOf(t model.Tick) (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ts, ok := p.ingest[t]
+	return ts, ok
+}
+
+// recordCluster logs clustering completion for one tick.
+func (p *Pipeline) recordCluster(t model.Tick, cs *model.ClusterSnapshot) {
+	if ts, ok := p.ingestOf(t); ok {
+		p.mets.ClusterLatency.Observe(time.Since(ts))
+	}
+	if len(cs.Clusters) > 0 {
+		p.mets.AvgClusterSize.Observe(cs.AverageClusterSize())
+	}
+}
+
+// recordCompletion logs full processing of all ticks up to wm. Called from
+// multiple enumeration subtasks; the queue guarantees one sample per tick.
+// Ingest times stay available for pattern-latency lookups.
+func (p *Pipeline) recordCompletion(wm model.Tick) {
+	p.mu.Lock()
+	var done []time.Time
+	var ticks []model.Tick
+	for len(p.queue) > 0 && p.queue[0] <= wm {
+		if ts, ok := p.ingest[p.queue[0]]; ok {
+			done = append(done, ts)
+			ticks = append(ticks, p.queue[0])
+		}
+		p.queue = p.queue[1:]
+	}
+	p.mu.Unlock()
+	for _, ts := range done {
+		p.mets.CompletionLatency.Observe(time.Since(ts))
+	}
+	if p.cfg.OnTickComplete != nil {
+		for _, t := range ticks {
+			p.cfg.OnTickComplete(t)
+		}
+	}
+}
+
+// onSinkRecord receives emitted patterns (already serialized by flow).
+func (p *Pipeline) onSinkRecord(data any) {
+	pat, ok := data.(model.Pattern)
+	if !ok {
+		return
+	}
+	p.mets.mu.Lock()
+	p.mets.Patterns++
+	p.mets.mu.Unlock()
+	if len(pat.Times) > 0 {
+		if ts, ok := p.ingestOf(pat.Times[0]); ok {
+			p.mets.PatternLatency.Observe(time.Since(ts))
+		}
+	}
+	if p.cfg.OnPattern != nil {
+		p.cfg.OnPattern(pat)
+	}
+	if p.cfg.CollectPatterns {
+		p.mu.Lock()
+		p.patterns = append(p.patterns, pat)
+		p.mu.Unlock()
+	}
+}
+
+// onSinkWatermark receives the merged watermark after the last stage: all
+// subtasks have fully consumed every tick up to wm.
+func (p *Pipeline) onSinkWatermark(wm model.Tick) {
+	p.recordCompletion(wm)
+}
+
+// setOverflow flags BA overflow.
+func (p *Pipeline) setOverflow() {
+	p.mu.Lock()
+	p.overflow = true
+	p.mu.Unlock()
+}
+
+// RunSnapshots is a convenience: start, push all snapshots, finish.
+func RunSnapshots(cfg Config, snaps []*model.Snapshot) (Result, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	p.Start()
+	for _, s := range snaps {
+		p.PushSnapshot(s)
+	}
+	return p.Finish(), nil
+}

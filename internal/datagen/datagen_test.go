@@ -1,0 +1,262 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+func TestGenNetworkStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := GenNetwork(rng, 10, 12, 50)
+	if len(n.Nodes) != 120 {
+		t.Fatalf("nodes = %d", len(n.Nodes))
+	}
+	// Every node has 2..4 neighbours on a grid.
+	for i, adj := range n.Adj {
+		if len(adj) < 2 || len(adj) > 4 {
+			t.Errorf("node %d has %d edges", i, len(adj))
+		}
+	}
+	// Edges are symmetric.
+	for a, adj := range n.Adj {
+		for _, e := range adj {
+			if _, ok := n.EdgeBetween(e.To, int32(a)); !ok {
+				t.Errorf("edge %d->%d not symmetric", a, e.To)
+			}
+		}
+	}
+	if n.Extent().IsEmpty() {
+		t.Error("extent empty")
+	}
+}
+
+func TestGenNetworkTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1x5 grid should panic")
+		}
+	}()
+	GenNetwork(rand.New(rand.NewSource(1)), 1, 5, 10)
+}
+
+func TestShortestPathConnectsGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := GenNetwork(rng, 8, 8, 100)
+	for trial := 0; trial < 50; trial++ {
+		a := int32(rng.Intn(len(n.Nodes)))
+		b := int32(rng.Intn(len(n.Nodes)))
+		p := n.ShortestPath(a, b)
+		if len(p) == 0 {
+			t.Fatalf("no path %d->%d on a connected grid", a, b)
+		}
+		if p[0] != a || p[len(p)-1] != b {
+			t.Fatalf("path endpoints %v for %d->%d", p, a, b)
+		}
+		// Consecutive nodes must be adjacent.
+		for i := 1; i < len(p); i++ {
+			if _, ok := n.EdgeBetween(p[i-1], p[i]); !ok {
+				t.Fatalf("path step %d->%d not an edge", p[i-1], p[i])
+			}
+		}
+	}
+	if p := n.ShortestPath(3, 3); len(p) != 1 || p[0] != 3 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestShortestPathPrefersFastRoads(t *testing.T) {
+	// Time-optimal routing must never be slower than hop-count routing on
+	// locals only; sanity-check by cost comparison of the returned path.
+	rng := rand.New(rand.NewSource(3))
+	n := GenNetwork(rng, 12, 12, 100)
+	cost := func(p []int32) float64 {
+		total := 0.0
+		for i := 1; i < len(p); i++ {
+			e, _ := n.EdgeBetween(p[i-1], p[i])
+			total += e.Dist / e.Class.Speed()
+		}
+		return total
+	}
+	// Dijkstra optimality spot-check against brute force on a small set.
+	src, dst := int32(0), int32(len(n.Nodes)-1)
+	p := n.ShortestPath(src, dst)
+	if len(p) < 2 {
+		t.Fatal("no path across the grid")
+	}
+	direct := cost(p)
+	// Any single random walk must cost at least as much.
+	for trial := 0; trial < 10; trial++ {
+		q := randomWalk(rng, n, src, dst, 500)
+		if q != nil && cost(q) < direct-1e-9 {
+			t.Fatalf("random walk cheaper than Dijkstra: %.3f < %.3f", cost(q), direct)
+		}
+	}
+}
+
+func randomWalk(rng *rand.Rand, n *Network, src, dst int32, maxSteps int) []int32 {
+	path := []int32{src}
+	at := src
+	for i := 0; i < maxSteps; i++ {
+		adj := n.Adj[at]
+		e := adj[rng.Intn(len(adj))]
+		at = e.To
+		path = append(path, at)
+		if at == dst {
+			return path
+		}
+	}
+	return nil
+}
+
+func simulators(seed int64) []Simulator {
+	return []Simulator{
+		NewBrinkhoff(DefaultBrinkhoff(seed, 100)),
+		NewHub(DefaultGeoLife(seed, 100)),
+		NewHub(DefaultTaxi(seed, 100)),
+		NewPlanted(DefaultPlanted(seed)),
+	}
+}
+
+func TestSimulatorsBasicContract(t *testing.T) {
+	for _, sim := range simulators(7) {
+		snaps := Snapshots(sim, 50)
+		if len(snaps) != 50 {
+			t.Fatalf("%s: %d snapshots", sim.Name(), len(snaps))
+		}
+		ext := sim.Extent()
+		// Allow a margin: scattered planted members can exceed the extent.
+		margin := (ext.MaxX - ext.MinX) * 0.2
+		for i, s := range snaps {
+			if s.Tick != model.Tick(i+1) {
+				t.Errorf("%s: snapshot %d tick %d", sim.Name(), i, s.Tick)
+			}
+			if s.Len() == 0 {
+				t.Errorf("%s: empty snapshot %d", sim.Name(), i)
+			}
+			if s.Len() > sim.Objects() {
+				t.Errorf("%s: %d locations for %d objects", sim.Name(), s.Len(), sim.Objects())
+			}
+			seen := map[model.ObjectID]bool{}
+			for j, id := range s.Objects {
+				if seen[id] {
+					t.Fatalf("%s: duplicate object %d in snapshot %d", sim.Name(), id, i)
+				}
+				seen[id] = true
+				p := s.Locs[j]
+				if p.X < ext.MinX-margin || p.X > ext.MaxX+margin ||
+					p.Y < ext.MinY-margin || p.Y > ext.MaxY+margin {
+					t.Fatalf("%s: location %v far outside extent %v", sim.Name(), p, ext)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulatorsDeterministic(t *testing.T) {
+	for i := range simulators(9) {
+		a := Snapshots(simulators(9)[i], 20)
+		b := Snapshots(simulators(9)[i], 20)
+		for k := range a {
+			if a[k].Len() != b[k].Len() {
+				t.Fatalf("sim %d snapshot %d: %d vs %d locations",
+					i, k, a[k].Len(), b[k].Len())
+			}
+			for j := range a[k].Locs {
+				if a[k].Locs[j] != b[k].Locs[j] || a[k].Objects[j] != b[k].Objects[j] {
+					t.Fatalf("sim %d snapshot %d diverges at %d", i, k, j)
+				}
+			}
+		}
+	}
+}
+
+func TestObjectsMove(t *testing.T) {
+	for _, sim := range simulators(11) {
+		snaps := Snapshots(sim, 30)
+		first := map[model.ObjectID]geo.Point{}
+		for j, id := range snaps[0].Objects {
+			first[id] = snaps[0].Locs[j]
+		}
+		moved := 0
+		last := snaps[len(snaps)-1]
+		for j, id := range last.Objects {
+			if p, ok := first[id]; ok && p.Dist(last.Locs[j], geo.L2) > 1 {
+				moved++
+			}
+		}
+		if moved < last.Len()/2 {
+			t.Errorf("%s: only %d of %d objects moved", sim.Name(), moved, last.Len())
+		}
+	}
+}
+
+func TestRecordsChainLastTicks(t *testing.T) {
+	sim := NewBrinkhoff(DefaultBrinkhoff(5, 50))
+	snaps := Snapshots(sim, 40)
+	recs := Records(snaps)
+	lastSeen := map[model.ObjectID]model.Tick{}
+	for _, r := range recs {
+		want, ok := lastSeen[r.Object]
+		if !ok {
+			want = model.NoLastTime
+		}
+		if r.LastTick != want {
+			t.Fatalf("object %d at tick %d: lastTick %d, want %d",
+				r.Object, r.Tick, r.LastTick, want)
+		}
+		lastSeen[r.Object] = r.Tick
+	}
+}
+
+func TestPlantedGroupsStayWithinEps(t *testing.T) {
+	cfg := DefaultPlanted(13)
+	cfg.GapLen = 0 // continuous co-movement
+	p := NewPlanted(cfg)
+	snaps := Snapshots(p, 60)
+	for _, s := range snaps {
+		locs := map[model.ObjectID]geo.Point{}
+		for j, id := range s.Objects {
+			locs[id] = s.Locs[j]
+		}
+		for g := 0; g < cfg.NumGroups; g++ {
+			members := p.GroupMembers(g)
+			for i := 1; i < len(members); i++ {
+				a, b := locs[members[0]], locs[members[i]]
+				if a.Dist(b, geo.L1) > cfg.Eps {
+					t.Fatalf("group %d members %v apart at tick %d",
+						g, a.Dist(b, geo.L1), s.Tick)
+				}
+			}
+		}
+	}
+}
+
+func TestSubsampleObjects(t *testing.T) {
+	sim := NewPlanted(DefaultPlanted(3))
+	snaps := Snapshots(sim, 10)
+	total := sim.Objects()
+	half := SubsampleObjects(snaps, total, 0.5)
+	for i, s := range half {
+		if s.Tick != snaps[i].Tick {
+			t.Errorf("tick mismatch at %d", i)
+		}
+		for _, id := range s.Objects {
+			if int(id) > total/2 {
+				t.Fatalf("object %d kept above ratio cut %d", id, total/2)
+			}
+		}
+		if s.Len() >= snaps[i].Len() {
+			t.Errorf("snapshot %d not reduced: %d >= %d", i, s.Len(), snaps[i].Len())
+		}
+	}
+	// Ratio 1.0 keeps everything.
+	full := SubsampleObjects(snaps, total, 1.0)
+	for i := range full {
+		if full[i].Len() != snaps[i].Len() {
+			t.Errorf("ratio 1.0 altered snapshot %d", i)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// PlantedConfig parameterizes a workload with known co-movement structure:
+// groups of objects that travel together in episodes (runs of co-movement
+// separated by scatter gaps), over a background of independently wandering
+// noise objects. It drives the enumeration benchmarks (Figure 15), where
+// average cluster size and episode temporal structure must be controlled,
+// and the end-to-end recovery tests.
+type PlantedConfig struct {
+	Seed int64
+	// NumGroups groups of GroupSize objects each co-move.
+	NumGroups int
+	GroupSize int
+	// NumNoise independent objects wander the same space.
+	NumNoise int
+	// Extent is the square world size.
+	Extent float64
+	// Eps is the clustering radius the workload targets: co-moving members
+	// stay within Eps/3 of their group centroid, scattered members at
+	// least 3*Eps apart from the centroid.
+	Eps float64
+	// RunLen is the nominal length of one co-movement run (ticks); actual
+	// runs vary by +-25%.
+	RunLen int
+	// GapLen is the nominal scatter gap between runs; 0 disables gaps.
+	GapLen int
+	// Speed is the group centroid speed per tick.
+	Speed float64
+}
+
+// DefaultPlanted is a modest planted workload for tests.
+func DefaultPlanted(seed int64) PlantedConfig {
+	return PlantedConfig{
+		Seed:      seed,
+		NumGroups: 4,
+		GroupSize: 6,
+		NumNoise:  40,
+		Extent:    2000,
+		Eps:       10,
+		RunLen:    30,
+		GapLen:    4,
+		Speed:     8,
+	}
+}
+
+// plantedGroup is one co-moving group's state.
+type plantedGroup struct {
+	centroid geo.Point
+	heading  geo.Point // unit direction
+	// inRun: members hug the centroid; otherwise they scatter.
+	inRun     bool
+	remaining int // ticks left in the current phase
+	offsets   []geo.Point
+}
+
+// Planted generates the planted-pattern workload.
+type Planted struct {
+	cfg    PlantedConfig
+	rng    *rand.Rand
+	groups []plantedGroup
+	noise  []geo.Point
+	tick   model.Tick
+}
+
+// NewPlanted builds the generator.
+func NewPlanted(cfg PlantedConfig) *Planted {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Planted{cfg: cfg, rng: rng, tick: 1}
+	p.groups = make([]plantedGroup, cfg.NumGroups)
+	for g := range p.groups {
+		gr := &p.groups[g]
+		gr.centroid = geo.Point{
+			X: rng.Float64() * cfg.Extent,
+			Y: rng.Float64() * cfg.Extent,
+		}
+		gr.heading = p.randHeading()
+		gr.inRun = true
+		gr.remaining = p.phaseLen(cfg.RunLen)
+		gr.offsets = make([]geo.Point, cfg.GroupSize)
+		p.scatterOffsets(gr)
+	}
+	p.noise = make([]geo.Point, cfg.NumNoise)
+	for i := range p.noise {
+		p.noise[i] = geo.Point{
+			X: rng.Float64() * cfg.Extent,
+			Y: rng.Float64() * cfg.Extent,
+		}
+	}
+	return p
+}
+
+func (p *Planted) randHeading() geo.Point {
+	for {
+		x := p.rng.Float64()*2 - 1
+		y := p.rng.Float64()*2 - 1
+		d := geo.Point{}.Dist(geo.Point{X: x, Y: y}, geo.L2)
+		if d > 0.1 && d <= 1 {
+			return geo.Point{X: x / d, Y: y / d}
+		}
+	}
+}
+
+func (p *Planted) phaseLen(nominal int) int {
+	if nominal <= 1 {
+		return 1
+	}
+	span := nominal / 2
+	if span < 1 {
+		span = 1
+	}
+	return nominal - span/2 + p.rng.Intn(span+1)
+}
+
+// scatterOffsets assigns member offsets for the group's current phase.
+func (p *Planted) scatterOffsets(gr *plantedGroup) {
+	for i := range gr.offsets {
+		if gr.inRun {
+			// Tight: within Eps/3 of the centroid so any pair is within
+			// 2*Eps/3 < Eps under every metric.
+			r := p.cfg.Eps / 3
+			gr.offsets[i] = geo.Point{
+				X: (p.rng.Float64() - 0.5) * r,
+				Y: (p.rng.Float64() - 0.5) * r,
+			}
+		} else {
+			// Scattered: at least 3*Eps from the centroid, spread apart.
+			ang := p.randHeading()
+			d := 3*p.cfg.Eps + float64(i)*2.5*p.cfg.Eps
+			gr.offsets[i] = geo.Point{X: ang.X * d, Y: ang.Y * d}
+		}
+	}
+}
+
+// GroupMembers returns the object ids of group g (0-based). Groups own the
+// lowest ids: group g holds ids [g*GroupSize+1, (g+1)*GroupSize].
+func (p *Planted) GroupMembers(g int) []model.ObjectID {
+	out := make([]model.ObjectID, p.cfg.GroupSize)
+	for i := range out {
+		out[i] = model.ObjectID(g*p.cfg.GroupSize + i + 1)
+	}
+	return out
+}
+
+// Name implements Simulator.
+func (p *Planted) Name() string { return "planted" }
+
+// Objects implements Simulator.
+func (p *Planted) Objects() int {
+	return p.cfg.NumGroups*p.cfg.GroupSize + p.cfg.NumNoise
+}
+
+// Extent implements Simulator.
+func (p *Planted) Extent() geo.Rect {
+	return geo.Rect{MinX: 0, MinY: 0, MaxX: p.cfg.Extent, MaxY: p.cfg.Extent}
+}
+
+// Next implements Simulator.
+func (p *Planted) Next() *model.Snapshot {
+	s := &model.Snapshot{Tick: p.tick}
+	p.tick++
+	id := model.ObjectID(1)
+	for g := range p.groups {
+		gr := &p.groups[g]
+		p.advanceGroup(gr)
+		for _, off := range gr.offsets {
+			s.Add(id, geo.Point{X: gr.centroid.X + off.X, Y: gr.centroid.Y + off.Y})
+			id++
+		}
+	}
+	for i := range p.noise {
+		p.noise[i].X += (p.rng.Float64() - 0.5) * 2 * p.cfg.Speed
+		p.noise[i].Y += (p.rng.Float64() - 0.5) * 2 * p.cfg.Speed
+		p.noise[i] = p.wrap(p.noise[i])
+		s.Add(id, p.noise[i])
+		id++
+	}
+	return s
+}
+
+func (p *Planted) advanceGroup(gr *plantedGroup) {
+	gr.remaining--
+	if gr.remaining <= 0 {
+		if p.cfg.GapLen > 0 {
+			gr.inRun = !gr.inRun
+		}
+		if gr.inRun {
+			gr.remaining = p.phaseLen(p.cfg.RunLen)
+		} else {
+			gr.remaining = p.phaseLen(p.cfg.GapLen)
+		}
+		p.scatterOffsets(gr)
+	}
+	// Move the centroid; bounce at the borders.
+	gr.centroid.X += gr.heading.X * p.cfg.Speed
+	gr.centroid.Y += gr.heading.Y * p.cfg.Speed
+	if gr.centroid.X < 0 || gr.centroid.X > p.cfg.Extent ||
+		gr.centroid.Y < 0 || gr.centroid.Y > p.cfg.Extent {
+		gr.heading.X, gr.heading.Y = -gr.heading.X, -gr.heading.Y
+		gr.centroid = p.wrap(gr.centroid)
+	}
+	if p.rng.Intn(20) == 0 {
+		gr.heading = p.randHeading()
+	}
+}
+
+func (p *Planted) wrap(pt geo.Point) geo.Point {
+	if pt.X < 0 {
+		pt.X = 0
+	}
+	if pt.X > p.cfg.Extent {
+		pt.X = p.cfg.Extent
+	}
+	if pt.Y < 0 {
+		pt.Y = 0
+	}
+	if pt.Y > p.cfg.Extent {
+		pt.Y = p.cfg.Extent
+	}
+	return pt
+}
+
+// SubsampleObjects keeps only the first ratio (0..1] share of objects in
+// each snapshot — the Or knob of Figure 12.
+func SubsampleObjects(snaps []*model.Snapshot, total int, ratio float64) []*model.Snapshot {
+	keep := model.ObjectID(float64(total) * ratio)
+	if keep < 1 {
+		keep = 1
+	}
+	out := make([]*model.Snapshot, len(snaps))
+	for i, s := range snaps {
+		ns := &model.Snapshot{Tick: s.Tick, Ingest: s.Ingest}
+		for j, id := range s.Objects {
+			if id <= keep {
+				ns.Add(id, s.Locs[j])
+			}
+		}
+		out[i] = ns
+	}
+	return out
+}

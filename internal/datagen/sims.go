@@ -1,0 +1,441 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// Simulator produces one snapshot per call, advancing its internal state by
+// one tick. Implementations are deterministic for a fixed seed.
+type Simulator interface {
+	// Name labels the workload ("brinkhoff", "geolife", "taxi", "planted").
+	Name() string
+	// Objects returns the number of moving objects.
+	Objects() int
+	// Extent returns the bounding region of all generated locations.
+	Extent() geo.Rect
+	// Next returns the snapshot for the next tick.
+	Next() *model.Snapshot
+}
+
+// Snapshots runs a simulator for n ticks.
+func Snapshots(s Simulator, n int) []*model.Snapshot {
+	out := make([]*model.Snapshot, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Records converts snapshots into a stamped-record stream with correct
+// last-time chains, ordered by tick (the shape a pipeline source emits).
+func Records(snaps []*model.Snapshot) []model.StampedRecord {
+	last := make(map[model.ObjectID]model.Tick)
+	var out []model.StampedRecord
+	for _, s := range snaps {
+		for i, id := range s.Objects {
+			lt, ok := last[id]
+			if !ok {
+				lt = model.NoLastTime
+			}
+			out = append(out, model.StampedRecord{
+				Object:   id,
+				Loc:      s.Locs[i],
+				Tick:     s.Tick,
+				LastTick: lt,
+			})
+			last[id] = s.Tick
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Brinkhoff-style network-based moving objects.
+
+// BrinkhoffConfig parameterizes the network simulator.
+type BrinkhoffConfig struct {
+	Seed       int64
+	NumObjects int
+	// Rows/Cols/Spacing define the synthetic road network.
+	Rows, Cols int
+	Spacing    float64
+	// DropRate is the probability an object skips reporting one tick.
+	DropRate float64
+	// PlatoonFraction of objects travel in platoons (buses, convoys,
+	// car-following traffic): members share a route and progress, offset
+	// by at most PlatoonOffset. This reproduces the co-movement density
+	// the paper's road-network workload exhibits.
+	PlatoonFraction float64
+	// PlatoonMin/PlatoonMax bound the platoon sizes.
+	PlatoonMin, PlatoonMax int
+	// PlatoonOffset is the maximal member offset from the platoon leader.
+	PlatoonOffset float64
+	// Churn: members detach from their platoon (drift beyond clustering
+	// range) and reattach, so co-movement intervals are finite — the
+	// composition turnover real traffic exhibits. DetachRate is the
+	// per-tick probability of leaving temporarily; DetachLen the mean
+	// absence.
+	DetachRate float64
+	DetachLen  int
+	// LeaveRate is the per-tick probability that a member leaves its
+	// platoon permanently and continues as an independent traveler.
+	// Permanent turnover keeps higher-order co-movement subsets sparse,
+	// as in real traffic.
+	LeaveRate float64
+}
+
+// DefaultBrinkhoff mirrors the paper's Brinkhoff workload shape at a
+// configurable scale (1s sampling on a road network).
+func DefaultBrinkhoff(seed int64, objects int) BrinkhoffConfig {
+	return BrinkhoffConfig{
+		Seed:            seed,
+		NumObjects:      objects,
+		Rows:            24,
+		Cols:            24,
+		Spacing:         60,
+		DropRate:        0.02,
+		PlatoonFraction: 0.7,
+		PlatoonMin:      4,
+		PlatoonMax:      18,
+		PlatoonOffset:   0.25,
+		DetachRate:      1.0 / 60,
+		DetachLen:       10,
+		LeaveRate:       1.0 / 90,
+	}
+}
+
+// brinkhoffObj is one network-constrained mover.
+type brinkhoffObj struct {
+	path    []int32 // remaining node sequence, path[0] = current segment start
+	segPos  float64 // distance traveled along the current segment
+	loc     geo.Point
+	resting int // ticks to wait before the next trip
+	// leader >= 0 marks a platoon member deriving its position from the
+	// leader object plus a fixed offset.
+	leader int
+	offset geo.Point
+	// detached > 0: the member has drifted away from the platoon for this
+	// many more ticks (positioned far off the leader).
+	detached int
+}
+
+// Brinkhoff simulates network-based moving objects: each object routes
+// between random nodes via shortest paths and moves at road-class speed
+// with per-tick noise, re-routing after arrival.
+type Brinkhoff struct {
+	cfg  BrinkhoffConfig
+	rng  *rand.Rand
+	net  *Network
+	objs []brinkhoffObj
+	tick model.Tick
+}
+
+// NewBrinkhoff builds the simulator.
+func NewBrinkhoff(cfg BrinkhoffConfig) *Brinkhoff {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &Brinkhoff{
+		cfg:  cfg,
+		rng:  rng,
+		net:  GenNetwork(rng, cfg.Rows, cfg.Cols, cfg.Spacing),
+		objs: make([]brinkhoffObj, cfg.NumObjects),
+		tick: 1,
+	}
+	i := 0
+	for i < len(b.objs) {
+		start := int32(rng.Intn(len(b.net.Nodes)))
+		b.objs[i] = brinkhoffObj{
+			loc:    b.net.Nodes[start],
+			path:   b.newRoute(start),
+			leader: -1,
+		}
+		leader := i
+		i++
+		if cfg.PlatoonFraction > 0 && rng.Float64() < cfg.PlatoonFraction {
+			size := cfg.PlatoonMin
+			if cfg.PlatoonMax > cfg.PlatoonMin {
+				size += rng.Intn(cfg.PlatoonMax - cfg.PlatoonMin + 1)
+			}
+			for m := 1; m < size && i < len(b.objs); m++ {
+				off := geo.Point{
+					X: (rng.Float64() - 0.5) * 2 * cfg.PlatoonOffset,
+					Y: (rng.Float64() - 0.5) * 2 * cfg.PlatoonOffset,
+				}
+				b.objs[i] = brinkhoffObj{
+					loc:    b.objs[leader].loc,
+					leader: leader,
+					offset: off,
+				}
+				i++
+			}
+		}
+	}
+	return b
+}
+
+// newRoute picks a random reachable destination and routes to it.
+func (b *Brinkhoff) newRoute(from int32) []int32 {
+	for attempt := 0; attempt < 8; attempt++ {
+		to := int32(b.rng.Intn(len(b.net.Nodes)))
+		if to == from {
+			continue
+		}
+		if p := b.net.ShortestPath(from, to); len(p) >= 2 {
+			return p
+		}
+	}
+	return []int32{from}
+}
+
+// Name implements Simulator.
+func (b *Brinkhoff) Name() string { return "brinkhoff" }
+
+// Objects implements Simulator.
+func (b *Brinkhoff) Objects() int { return b.cfg.NumObjects }
+
+// Extent implements Simulator.
+func (b *Brinkhoff) Extent() geo.Rect { return b.net.Extent() }
+
+// Next implements Simulator.
+func (b *Brinkhoff) Next() *model.Snapshot {
+	s := &model.Snapshot{Tick: b.tick}
+	b.tick++
+	for i := range b.objs {
+		o := &b.objs[i]
+		if o.leader >= 0 {
+			l := &b.objs[o.leader]
+			if b.cfg.LeaveRate > 0 && b.rng.Float64() < b.cfg.LeaveRate {
+				// Permanent departure: continue independently from the
+				// platoon's current road segment.
+				o.leader = -1
+				o.path = b.newRoute(l.path[0])
+				o.segPos = 0
+				o.loc = l.loc
+				b.step(o)
+			} else {
+				switch {
+				case o.detached > 0:
+					o.detached--
+					// Trailing the platoon well outside clustering range.
+					drift := b.cfg.PlatoonOffset*40 + float64(o.detached)*2
+					o.loc = geo.Point{X: l.loc.X + drift, Y: l.loc.Y + drift}
+				default:
+					if b.cfg.DetachRate > 0 && b.rng.Float64() < b.cfg.DetachRate {
+						o.detached = 1 + b.rng.Intn(2*b.cfg.DetachLen)
+					}
+					o.loc = geo.Point{X: l.loc.X + o.offset.X, Y: l.loc.Y + o.offset.Y}
+				}
+			}
+		} else {
+			b.step(o)
+		}
+		if b.rng.Float64() < b.cfg.DropRate {
+			continue
+		}
+		s.Add(model.ObjectID(i+1), o.loc)
+	}
+	return s
+}
+
+// step advances one object by one tick of travel.
+func (b *Brinkhoff) step(o *brinkhoffObj) {
+	if o.resting > 0 {
+		o.resting--
+		return
+	}
+	if len(o.path) < 2 {
+		// Arrived: rest briefly, then take a new trip.
+		o.resting = b.rng.Intn(5)
+		from := o.path[0]
+		o.path = b.newRoute(from)
+		o.segPos = 0
+		return
+	}
+	edge, ok := b.net.EdgeBetween(o.path[0], o.path[1])
+	if !ok {
+		o.path = o.path[1:]
+		return
+	}
+	speed := edge.Class.Speed() * (0.8 + 0.4*b.rng.Float64())
+	o.segPos += speed
+	for o.segPos >= edge.Dist {
+		o.segPos -= edge.Dist
+		o.path = o.path[1:]
+		if len(o.path) < 2 {
+			o.loc = b.net.Nodes[o.path[0]]
+			return
+		}
+		edge, ok = b.net.EdgeBetween(o.path[0], o.path[1])
+		if !ok {
+			return
+		}
+	}
+	a := b.net.Nodes[o.path[0]]
+	c := b.net.Nodes[o.path[1]]
+	f := o.segPos / edge.Dist
+	o.loc = geo.Point{X: a.X + (c.X-a.X)*f, Y: a.Y + (c.Y-a.Y)*f}
+}
+
+// ---------------------------------------------------------------------------
+// Hub-based free-space movement (GeoLife-like and Taxi-like).
+
+// HubConfig parameterizes hub-to-hub movement in free space.
+type HubConfig struct {
+	Seed       int64
+	NumObjects int
+	// NumHubs POIs/hotspots are scattered over Extent x Extent space.
+	NumHubs int
+	Extent  float64
+	// HubRadius is the spread of positions around a hub while dwelling.
+	HubRadius float64
+	// Speeds are the movement modes (distance/tick); each trip picks one.
+	Speeds []float64
+	// DwellMax is the maximum dwell time at a hub in ticks.
+	DwellMax int
+	// DropRate is the probability an object skips reporting one tick.
+	DropRate float64
+	// name distinguishes the GeoLife-like and Taxi-like presets.
+	name string
+}
+
+// DefaultGeoLife approximates the GeoLife dataset shape: multi-modal
+// movement (walk/bike/vehicle) between many POIs with long dwells.
+// Geometry is calibrated to Table 3's percentage-based eps: at the default
+// eps = 0.06% of the extent (1.2 units here), co-dwellers at one POI
+// cluster while travelers do not.
+func DefaultGeoLife(seed int64, objects int) HubConfig {
+	return HubConfig{
+		Seed:       seed,
+		NumObjects: objects,
+		NumHubs:    40,
+		Extent:     2000,
+		HubRadius:  1.2,
+		Speeds:     []float64{14, 28, 45},
+		DwellMax:   50,
+		DropRate:   0.05,
+		name:       "geolife",
+	}
+}
+
+// DefaultTaxi approximates the proprietary Taxi dataset shape: vehicles
+// shuttling between a smaller set of hotspots, with denser hotspot
+// occupancy (larger clusters than GeoLife, as in the paper's Figures
+// 12-13).
+func DefaultTaxi(seed int64, objects int) HubConfig {
+	return HubConfig{
+		Seed:       seed,
+		NumObjects: objects,
+		NumHubs:    16,
+		Extent:     2000,
+		HubRadius:  1.6,
+		Speeds:     []float64{40, 60},
+		DwellMax:   20,
+		DropRate:   0.03,
+		name:       "taxi",
+	}
+}
+
+// hubObj is one hub-to-hub traveler.
+type hubObj struct {
+	loc    geo.Point
+	target geo.Point
+	center geo.Point // hub center while dwelling
+	speed  float64
+	dwell  int
+}
+
+// Hub simulates free-space movement between hub locations.
+type Hub struct {
+	cfg  HubConfig
+	rng  *rand.Rand
+	hubs []geo.Point
+	objs []hubObj
+	tick model.Tick
+}
+
+// NewHub builds the simulator.
+func NewHub(cfg HubConfig) *Hub {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := &Hub{cfg: cfg, rng: rng, tick: 1}
+	h.hubs = make([]geo.Point, cfg.NumHubs)
+	for i := range h.hubs {
+		h.hubs[i] = geo.Point{
+			X: rng.Float64() * cfg.Extent,
+			Y: rng.Float64() * cfg.Extent,
+		}
+	}
+	h.objs = make([]hubObj, cfg.NumObjects)
+	for i := range h.objs {
+		hub := h.hubs[rng.Intn(len(h.hubs))]
+		h.objs[i].loc = h.nearHub(hub)
+		h.retarget(&h.objs[i])
+	}
+	return h
+}
+
+// nearHub samples a position in the hub's dwell radius.
+func (h *Hub) nearHub(hub geo.Point) geo.Point {
+	return geo.Point{
+		X: hub.X + (h.rng.Float64()-0.5)*2*h.cfg.HubRadius,
+		Y: hub.Y + (h.rng.Float64()-0.5)*2*h.cfg.HubRadius,
+	}
+}
+
+// retarget starts a new trip for the object.
+func (h *Hub) retarget(o *hubObj) {
+	hub := h.hubs[h.rng.Intn(len(h.hubs))]
+	o.center = hub
+	o.target = h.nearHub(hub)
+	o.speed = h.cfg.Speeds[h.rng.Intn(len(h.cfg.Speeds))] * (0.8 + 0.4*h.rng.Float64())
+	o.dwell = 0
+}
+
+// Name implements Simulator.
+func (h *Hub) Name() string { return h.cfg.name }
+
+// Objects implements Simulator.
+func (h *Hub) Objects() int { return h.cfg.NumObjects }
+
+// Extent implements Simulator.
+func (h *Hub) Extent() geo.Rect {
+	return geo.Rect{MinX: 0, MinY: 0, MaxX: h.cfg.Extent, MaxY: h.cfg.Extent}
+}
+
+// Next implements Simulator.
+func (h *Hub) Next() *model.Snapshot {
+	s := &model.Snapshot{Tick: h.tick}
+	h.tick++
+	for i := range h.objs {
+		o := &h.objs[i]
+		h.step(o)
+		if h.rng.Float64() < h.cfg.DropRate {
+			continue
+		}
+		s.Add(model.ObjectID(i+1), o.loc)
+	}
+	return s
+}
+
+func (h *Hub) step(o *hubObj) {
+	if o.dwell > 0 {
+		o.dwell--
+		// Dwellers hover inside the hub radius (no unbounded drift).
+		o.loc = h.nearHub(o.center)
+		if o.dwell == 0 {
+			h.retarget(o)
+		}
+		return
+	}
+	dx := o.target.X - o.loc.X
+	dy := o.target.Y - o.loc.Y
+	d := geo.Point{}.Dist(geo.Point{X: dx, Y: dy}, geo.L2)
+	if d <= o.speed {
+		o.loc = o.target
+		o.dwell = 1 + h.rng.Intn(h.cfg.DwellMax)
+		return
+	}
+	o.loc.X += dx / d * o.speed
+	o.loc.Y += dy / d * o.speed
+}

@@ -1,0 +1,172 @@
+// Package dbscan implements density-based clustering over the output of a
+// range join (Section 5.3). Given all location pairs within eps, core points
+// (Definition 8) are those whose eps-neighbourhood — including the point
+// itself — has at least minPts members; clusters are the connected
+// components of core points under the pair relation (Definition 9), with
+// non-core neighbours of a core ("border" / density-reachable points)
+// attached to one adjacent core's cluster.
+//
+// Because the neighbour pairs are given, clustering is a linear number of
+// union-find operations, the O(n) bound the paper cites against the O(n^2)
+// of a centralized join.
+//
+// Border-point assignment is made deterministic — a border point joins the
+// cluster of its smallest-index adjacent core — so that distributed and
+// reference implementations produce identical cluster snapshots.
+package dbscan
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/unionfind"
+)
+
+// FromPairs clusters n locations given the eps-neighbour pairs (i < j,
+// unique). minPts counts the point itself. It returns clusters as sorted
+// index lists; noise points appear in no cluster. Clusters are sorted by
+// their first member.
+func FromPairs(n int, pairs [][2]int32, minPts int) [][]int32 {
+	deg := make([]int32, n)
+	for _, p := range pairs {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	core := make([]bool, n)
+	for i := range core {
+		core[i] = int(deg[i])+1 >= minPts
+	}
+
+	uf := unionfind.New(n)
+	// minCore[i] is the smallest-index core point adjacent to non-core i.
+	minCore := make([]int32, n)
+	for i := range minCore {
+		minCore[i] = -1
+	}
+	for _, p := range pairs {
+		a, b := p[0], p[1] // a < b
+		switch {
+		case core[a] && core[b]:
+			uf.Union(int(a), int(b))
+		case core[a]:
+			if minCore[b] == -1 || a < minCore[b] {
+				minCore[b] = a
+			}
+		case core[b]:
+			if minCore[a] == -1 || b < minCore[a] {
+				minCore[a] = b
+			}
+		}
+	}
+
+	byRoot := make(map[int][]int32)
+	for i := 0; i < n; i++ {
+		if core[i] {
+			r := uf.Find(i)
+			byRoot[r] = append(byRoot[r], int32(i))
+		} else if minCore[i] >= 0 {
+			r := uf.Find(int(minCore[i]))
+			byRoot[r] = append(byRoot[r], int32(i))
+		}
+	}
+	out := make([][]int32, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ToClusterSnapshot converts index clusters into a model.ClusterSnapshot
+// carrying object ids.
+func ToClusterSnapshot(s *model.Snapshot, clusters [][]int32) *model.ClusterSnapshot {
+	cs := &model.ClusterSnapshot{
+		Tick:       s.Tick,
+		Ingest:     s.Ingest,
+		NumObjects: s.Len(),
+	}
+	for _, c := range clusters {
+		ids := make(model.Cluster, len(c))
+		for i, idx := range c {
+			ids[i] = s.Objects[idx]
+		}
+		cs.Clusters = append(cs.Clusters, ids)
+	}
+	cs.SortClusters()
+	return cs
+}
+
+// Reference is a from-first-principles DBSCAN used as the testing oracle:
+// it computes neighbourhoods by brute force and grows clusters by BFS over
+// core points, assigning border points to their smallest-index adjacent
+// core. It must agree exactly with FromPairs fed by any correct range join.
+func Reference(s *model.Snapshot, eps float64, m geo.Metric, minPts int) [][]int32 {
+	n := s.Len()
+	neighbors := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Locs[i].Within(s.Locs[j], eps, m) {
+				neighbors[i] = append(neighbors[i], int32(j))
+				neighbors[j] = append(neighbors[j], int32(i))
+			}
+		}
+	}
+	core := make([]bool, n)
+	for i := range core {
+		core[i] = len(neighbors[i])+1 >= minPts
+	}
+	clusterOf := make([]int, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if !core[i] || clusterOf[i] != -1 {
+			continue
+		}
+		id := next
+		next++
+		queue := []int32{int32(i)}
+		clusterOf[i] = id
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range neighbors[u] {
+				if core[v] && clusterOf[v] == -1 {
+					clusterOf[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	// Border points: smallest-index adjacent core decides.
+	for i := 0; i < n; i++ {
+		if core[i] || clusterOf[i] != -1 {
+			continue
+		}
+		best := int32(-1)
+		for _, v := range neighbors[i] {
+			if core[v] && (best == -1 || v < best) {
+				best = v
+			}
+		}
+		if best >= 0 {
+			clusterOf[i] = clusterOf[best]
+		}
+	}
+	groups := make(map[int][]int32)
+	for i, c := range clusterOf {
+		if c >= 0 {
+			groups[c] = append(groups[c], int32(i))
+		}
+	}
+	out := make([][]int32, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

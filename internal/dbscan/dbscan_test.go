@@ -1,0 +1,185 @@
+package dbscan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+func snapshotOf(pts []geo.Point) *model.Snapshot {
+	s := &model.Snapshot{Tick: 1}
+	for i, p := range pts {
+		s.Add(model.ObjectID(i+1), p)
+	}
+	return s
+}
+
+func pairsOf(s *model.Snapshot, eps float64, m geo.Metric) [][2]int32 {
+	var out [][2]int32
+	join.BruteForce(s, eps, m, func(i, j int32) {
+		out = append(out, [2]int32{i, j})
+	})
+	return out
+}
+
+// Paper example (Section 3.2): at time 3 in Fig. 2, with minPts = 3, points
+// o3..o7 are core, o2 and o8 density-reachable, forming cluster {o2..o8}.
+// Reconstruct the colinear layout: o2..o8 spaced so each interior point has
+// two neighbours within eps.
+func TestPaperFig2Time3(t *testing.T) {
+	pts := []geo.Point{
+		{X: -50, Y: 0}, // o1: far away
+		{X: 0, Y: 0},   // o2
+		{X: 1, Y: 0},   // o3
+		{X: 2, Y: 0},   // o4
+		{X: 3, Y: 0},   // o5
+		{X: 4, Y: 0},   // o6
+		{X: 5, Y: 0},   // o7
+		{X: 6, Y: 0},   // o8
+	}
+	s := snapshotOf(pts)
+	eps := 1.0
+	clusters := FromPairs(s.Len(), pairsOf(s, eps, geo.L1), 3)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %v, want one", clusters)
+	}
+	want := []int32{1, 2, 3, 4, 5, 6, 7} // indices of o2..o8
+	if !reflect.DeepEqual(clusters[0], want) {
+		t.Errorf("cluster = %v, want %v", clusters[0], want)
+	}
+}
+
+func TestNoisePointsExcluded(t *testing.T) {
+	pts := []geo.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 1, Y: 0}, // tight trio
+		{X: 100, Y: 100}, // lone noise
+	}
+	s := snapshotOf(pts)
+	clusters := FromPairs(s.Len(), pairsOf(s, 1, geo.L1), 3)
+	if len(clusters) != 1 || len(clusters[0]) != 3 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+}
+
+func TestMinPtsBoundary(t *testing.T) {
+	// Two points within eps: with minPts=2 both are core (self + 1);
+	// with minPts=3 neither is.
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	s := snapshotOf(pts)
+	p := pairsOf(s, 1.5, geo.L1)
+	if got := FromPairs(2, p, 2); len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("minPts=2: %v", got)
+	}
+	if got := FromPairs(2, p, 3); len(got) != 0 {
+		t.Errorf("minPts=3: %v", got)
+	}
+}
+
+func TestBorderPointBetweenTwoClusters(t *testing.T) {
+	// Two dense blobs with one point reachable from cores in both; it must
+	// be assigned deterministically to the smallest-index adjacent core's
+	// cluster, and the result must match Reference.
+	pts := []geo.Point{
+		{X: 0, Y: 0}, {X: 0.2, Y: 0}, {X: 0.4, Y: 0}, {X: 0.6, Y: 0}, // blob A
+		{X: 3, Y: 0}, {X: 3.2, Y: 0}, {X: 3.4, Y: 0}, {X: 3.6, Y: 0}, // blob B
+		{X: 1.8, Y: 0}, // border-ish point between blobs
+	}
+	s := snapshotOf(pts)
+	eps := 1.3
+	got := FromPairs(s.Len(), pairsOf(s, eps, geo.L1), 4)
+	want := Reference(s, eps, geo.L1, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FromPairs = %v, Reference = %v", got, want)
+	}
+}
+
+func TestFromPairsMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			// Mix of clumps and scatter.
+			if rng.Intn(3) == 0 {
+				pts[i] = geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+			} else {
+				cx, cy := float64(rng.Intn(4))*10, float64(rng.Intn(4))*10
+				pts[i] = geo.Point{X: cx + rng.Float64()*2, Y: cy + rng.Float64()*2}
+			}
+		}
+		s := snapshotOf(pts)
+		eps := 0.4 + rng.Float64()*2
+		minPts := 2 + rng.Intn(8)
+		for _, m := range []geo.Metric{geo.L1, geo.L2} {
+			got := FromPairs(n, pairsOf(s, eps, m), minPts)
+			want := Reference(s, eps, m, minPts)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("n=%d eps=%.2f minPts=%d metric=%v:\n got %v\nwant %v",
+					n, eps, minPts, m, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterSizeAtLeastMinPts(t *testing.T) {
+	// Every DBSCAN cluster contains at least one core point and all its
+	// neighbours, so cluster size >= minPts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		s := snapshotOf(pts)
+		minPts := 2 + rng.Intn(6)
+		clusters := FromPairs(n, pairsOf(s, 1.5, geo.L1), minPts)
+		for _, c := range clusters {
+			if len(c) < minPts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToClusterSnapshot(t *testing.T) {
+	s := &model.Snapshot{Tick: 9}
+	s.Add(30, geo.Point{X: 0, Y: 0})
+	s.Add(10, geo.Point{X: 1, Y: 0})
+	s.Add(20, geo.Point{X: 2, Y: 0})
+	cs := ToClusterSnapshot(s, [][]int32{{0, 1, 2}})
+	if cs.Tick != 9 || cs.NumObjects != 3 {
+		t.Fatalf("snapshot meta: %+v", cs)
+	}
+	if len(cs.Clusters) != 1 {
+		t.Fatalf("clusters = %v", cs.Clusters)
+	}
+	want := model.Cluster{10, 20, 30}
+	if !reflect.DeepEqual(cs.Clusters[0], want) {
+		t.Errorf("cluster = %v, want %v (sorted by id)", cs.Clusters[0], want)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := FromPairs(0, nil, 3); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := FromPairs(5, nil, 1); len(got) != 5 {
+		// minPts=1: every point is its own core cluster.
+		t.Errorf("minPts=1 singletons: %v", got)
+	}
+}

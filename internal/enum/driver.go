@@ -1,0 +1,71 @@
+package enum
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Driver fans cluster snapshots out to per-owner enumerator subtasks, the
+// sequential equivalent of the id-based keyBy in the Flink pipeline. It is
+// used by offline tests and single-node benchmarks; the flow pipeline
+// performs the same routing across parallel subtasks.
+type Driver struct {
+	c    model.Constraints
+	mk   NewFunc
+	subs map[model.ObjectID]Enumerator
+}
+
+// NewDriver returns a driver creating one enumerator per owner via mk.
+func NewDriver(c model.Constraints, mk NewFunc) *Driver {
+	return &Driver{c: c, mk: mk, subs: make(map[model.ObjectID]Enumerator)}
+}
+
+// Process partitions one cluster snapshot (Lemma 3 applied) and routes each
+// partition to its owner's enumerator.
+func (d *Driver) Process(cs *model.ClusterSnapshot, emit Emit) {
+	for _, p := range PartitionClusters(cs, d.c.M) {
+		e := d.subs[p.Owner]
+		if e == nil {
+			e = d.mk(p.Owner, d.c)
+			d.subs[p.Owner] = e
+		}
+		e.Process(p, emit)
+	}
+}
+
+// Flush finalizes every subtask in deterministic owner order.
+func (d *Driver) Flush(emit Emit) {
+	owners := make([]model.ObjectID, 0, len(d.subs))
+	for o := range d.subs {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, o := range owners {
+		d.subs[o].Flush(emit)
+	}
+}
+
+// Overflowed reports whether any Baseline subtask skipped a window due to
+// partition-size overflow (exponential blow-up guard).
+func (d *Driver) Overflowed() bool {
+	for _, e := range d.subs {
+		if ba, ok := e.(*BA); ok && ba.Overflowed {
+			return true
+		}
+	}
+	return false
+}
+
+// Run processes a whole cluster history and returns the sorted pattern
+// list. Convenience for tests and benches.
+func (d *Driver) Run(history []*model.ClusterSnapshot) []model.Pattern {
+	var out []model.Pattern
+	emit := func(p model.Pattern) { out = append(out, p) }
+	for _, cs := range history {
+		d.Process(cs, emit)
+	}
+	d.Flush(emit)
+	SortPatterns(out)
+	return out
+}

@@ -1,0 +1,203 @@
+// Package enum implements the pattern-enumeration phase of ICPE
+// (Section 6): id-based partitioning of cluster snapshots, the exponential
+// Baseline (Algorithm 3), the fixed-length bit compression method FBA
+// (Algorithm 4), and the variable-length bit compression method VBA
+// (Algorithm 5), together with an offline oracle used for cross-validation.
+//
+// # Output semantics
+//
+// All enumerators report patterns (O, T) with |O| >= M and T a valid time
+// sequence under (K, L, G) during which every member of O shares a cluster.
+// They differ — exactly as the paper describes — in which witness T they
+// attach and when they report:
+//
+//   - BA and FBA evaluate a window of eta snapshots per start tick and
+//     report a pattern at the first tick of each of its maximal sequences,
+//     with the witness truncated to the window (low latency).
+//   - VBA reports each maximal pattern time sequence (Definition 15) once,
+//     when Lemma 7 finalizes it (higher latency, higher throughput).
+//
+// Cross-method tests therefore compare reported object sets and validate
+// every witness, and additionally check VBA's output against the oracle's
+// maximal sequences.
+package enum
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Partition is P_t(o) (Section 6.1): the trajectories sharing a cluster
+// with owner o at tick t whose ids exceed o's. The owner itself is implicit.
+type Partition struct {
+	Tick    model.Tick
+	Owner   model.ObjectID
+	Members []model.ObjectID // sorted ascending, all > Owner
+}
+
+// PartitionClusters converts one cluster snapshot into id-based partitions,
+// discarding clusters smaller than M (Lemma 3). Every member o of a
+// surviving cluster yields a partition owned by o holding the members with
+// larger ids — including the cluster's maximum id, whose partition is empty
+// but still marks the owner's cluster membership at this tick.
+func PartitionClusters(cs *model.ClusterSnapshot, m int) []Partition {
+	var out []Partition
+	for _, c := range cs.Clusters {
+		if len(c) < m {
+			continue
+		}
+		// Clusters are sorted ascending.
+		for i, owner := range c {
+			out = append(out, Partition{
+				Tick:    cs.Tick,
+				Owner:   owner,
+				Members: c[i+1:],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// Emit receives detected patterns.
+type Emit func(model.Pattern)
+
+// Enumerator is one owner-subtask's pattern enumeration state. Partitions
+// must arrive in strictly increasing tick order; ticks at which the owner
+// is unclustered are simply absent.
+type Enumerator interface {
+	// Name identifies the method ("BA", "FBA", "VBA").
+	Name() string
+	// Process ingests the owner's partition for one tick.
+	Process(p Partition, emit Emit)
+	// Flush finalizes all pending state at stream end.
+	Flush(emit Emit)
+}
+
+// NewFunc constructs a fresh enumerator for one owner subtask.
+type NewFunc func(owner model.ObjectID, c model.Constraints) Enumerator
+
+// tickSet is one tick's membership within a subtask's history.
+type tickSet struct {
+	tick    model.Tick
+	members map[model.ObjectID]struct{}
+}
+
+func newTickSet(p Partition) tickSet {
+	m := make(map[model.ObjectID]struct{}, len(p.Members))
+	for _, id := range p.Members {
+		m[id] = struct{}{}
+	}
+	return tickSet{tick: p.Tick, members: m}
+}
+
+// history is a sliding window of tickSets shared by the windowed
+// enumerators (BA, FBA).
+type history struct {
+	entries []tickSet
+}
+
+func (h *history) add(t tickSet) {
+	h.entries = append(h.entries, t)
+}
+
+// at returns the membership set for a tick, or nil when the owner was
+// unclustered then.
+func (h *history) at(tick model.Tick) map[model.ObjectID]struct{} {
+	i := sort.Search(len(h.entries), func(i int) bool {
+		return h.entries[i].tick >= tick
+	})
+	if i < len(h.entries) && h.entries[i].tick == tick {
+		return h.entries[i].members
+	}
+	return nil
+}
+
+// contains reports whether id was a co-cluster member at tick.
+func (h *history) contains(tick model.Tick, id model.ObjectID) bool {
+	m := h.at(tick)
+	if m == nil {
+		return false
+	}
+	_, ok := m[id]
+	return ok
+}
+
+// containsAll reports whether every id in set was a member at tick.
+func (h *history) containsAll(tick model.Tick, set []model.ObjectID) bool {
+	m := h.at(tick)
+	if m == nil {
+		return false
+	}
+	for _, id := range set {
+		if _, ok := m[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// dropBefore discards entries older than tick.
+func (h *history) dropBefore(tick model.Tick) {
+	i := 0
+	for i < len(h.entries) && h.entries[i].tick < tick {
+		i++
+	}
+	if i > 0 {
+		h.entries = append(h.entries[:0], h.entries[i:]...)
+	}
+}
+
+// windowed drives per-start-tick evaluation for BA and FBA: every incoming
+// partition opens a window that is evaluated once eta ticks have passed (or
+// at flush). lookback ticks before each window base are retained so the
+// evaluator can verify that the base truly starts a chain — a usable run
+// ending within G ticks before the base means an earlier window already
+// reported the pattern.
+type windowed struct {
+	eta      int
+	lookback int
+	hist     history
+	pending  []Partition // windows whose eta ticks have not all arrived
+}
+
+// advance ingests a partition and returns the windows that are now ready
+// for evaluation (all their eta ticks are in the past or present). History
+// is pruned relative to the oldest window still needing it — including the
+// ready ones the caller is about to evaluate.
+func (w *windowed) advance(p Partition) []Partition {
+	w.hist.add(newTickSet(p))
+	w.pending = append(w.pending, p)
+	var ready []Partition
+	for len(w.pending) > 0 &&
+		w.pending[0].Tick+model.Tick(w.eta)-1 <= p.Tick {
+		ready = append(ready, w.pending[0])
+		w.pending = w.pending[1:]
+	}
+	oldest := p.Tick
+	if len(w.pending) > 0 {
+		oldest = w.pending[0].Tick
+	}
+	if len(ready) > 0 && ready[0].Tick < oldest {
+		oldest = ready[0].Tick
+	}
+	w.hist.dropBefore(oldest - model.Tick(w.lookback))
+	return ready
+}
+
+// drain returns all remaining windows (stream flush).
+func (w *windowed) drain() []Partition {
+	out := w.pending
+	w.pending = nil
+	return out
+}
+
+// patternOf assembles a normalized pattern from an owner, member subset,
+// and witness ticks.
+func patternOf(owner model.ObjectID, members []model.ObjectID, ticks []model.Tick) model.Pattern {
+	objs := make([]model.ObjectID, 0, len(members)+1)
+	objs = append(objs, owner)
+	objs = append(objs, members...)
+	return model.NormalizePattern(model.Pattern{Objects: objs, Times: ticks})
+}

@@ -1,0 +1,200 @@
+package enum
+
+import (
+	"repro/internal/bitstr"
+	"repro/internal/model"
+)
+
+// FBA is the Fixed-length Bit Compression based Algorithm (Algorithm 4).
+// Each partition P_t(o) opens a window of eta ticks; members are compressed
+// into bit strings (Definition 13), candidates are filtered by (K,L,G)
+// satisfaction, and patterns are enumerated Apriori-style directly from
+// cardinality M-1 with bitwise-AND intersection.
+//
+// # Emission rule
+//
+// A window with base t reports a pattern exactly when t is the start of one
+// of the pattern's maximal chains: the bit strings carry G+L ticks of
+// lookback, and the chain containing the base position must begin there. A
+// base that merely continues a run (co-occurrence at t-1) or connects
+// backward to a usable run within G ticks belongs to a chain an earlier
+// window already reported; Lemma 4 guarantees the chain-start window sees a
+// valid witness, so this rule removes cross-window duplicates without
+// losing any pattern.
+type FBA struct {
+	owner model.ObjectID
+	c     model.Constraints
+	w     windowed
+}
+
+// fbaLookback returns the history depth needed to decide chain starts: a
+// usable run ending within G ticks of the base is always fully visible
+// (length-wise) within G+L ticks.
+func fbaLookback(c model.Constraints) int { return c.G + c.L }
+
+// NewFBA returns the FBA enumerator for one owner subtask.
+func NewFBA(owner model.ObjectID, c model.Constraints) Enumerator {
+	return &FBA{
+		owner: owner,
+		c:     c,
+		w:     windowed{eta: c.Eta(), lookback: fbaLookback(c)},
+	}
+}
+
+// Name implements Enumerator.
+func (f *FBA) Name() string { return "FBA" }
+
+// Process implements Enumerator.
+func (f *FBA) Process(p Partition, emit Emit) {
+	for _, base := range f.w.advance(p) {
+		f.evalWindow(base, emit)
+	}
+}
+
+// Flush implements Enumerator.
+func (f *FBA) Flush(emit Emit) {
+	for _, base := range f.w.drain() {
+		f.evalWindow(base, emit)
+	}
+}
+
+// chainAt returns the chain of b that starts exactly at position `at`, when
+// it exists and reaches K ones. It reports false when position `at` lies
+// inside a longer chain (backward-connected), in a gap, or in an unusable
+// run — in all of which cases no valid sequence starting at `at` exists or
+// another window owns the pattern.
+func chainAt(b *bitstr.Bits, at int, c model.Constraints) (bitstr.Chain, bool) {
+	for _, ch := range bitstr.Chains(b, c.L, c.G) {
+		if ch.End() <= at {
+			continue
+		}
+		if ch.Start() > at {
+			return bitstr.Chain{}, false
+		}
+		if ch.Start() == at {
+			return ch, ch.Count >= c.K
+		}
+		return bitstr.Chain{}, false
+	}
+	return bitstr.Chain{}, false
+}
+
+// candidateOK is the per-member filter (Algorithm 4 lines 7-8). It must be
+// monotone under adding bits so that every member of an emittable pattern
+// survives: if the pattern's bit string has a chain starting exactly at the
+// base with >= K ticks, every member's (superset) string has a chain
+// *covering* the base — possibly starting earlier, since the member may
+// have co-clustered with the owner before the full pattern formed — whose
+// at-or-after-base tick count is at least as large.
+func candidateOK(b *bitstr.Bits, at int, c model.Constraints) bool {
+	for _, ch := range bitstr.Chains(b, c.L, c.G) {
+		if ch.End() <= at {
+			continue
+		}
+		if ch.Start() > at {
+			return false
+		}
+		// The chain covering `at`: count its ticks at or after `at`.
+		count := 0
+		for _, r := range ch.Runs {
+			if r.End() <= at {
+				continue
+			}
+			s := r.Start
+			if s < at {
+				s = at
+			}
+			count += r.End() - s
+		}
+		return count >= c.K
+	}
+	return false
+}
+
+// fbaCand is one candidate trajectory with its window bit string.
+type fbaCand struct {
+	id   model.ObjectID
+	bits *bitstr.Bits
+}
+
+func (f *FBA) evalWindow(base Partition, emit Emit) {
+	need := f.c.M - 1
+	if len(base.Members) < need {
+		return
+	}
+	eta := f.c.Eta()
+	lb := fbaLookback(f.c)
+	total := lb + eta
+	// Build B[oi] for every member over [base.Tick-lb, base.Tick+eta)
+	// (Algorithm 4 lines 2-6), keeping only candidates whose own string
+	// already admits a chain starting at the base (lines 7-8, strengthened
+	// to the chain-start rule every emitted pattern must satisfy).
+	cands := make([]fbaCand, 0, len(base.Members))
+	allContinue := true
+	for _, id := range base.Members {
+		b := bitstr.New(total)
+		for j := 0; j < total; j++ {
+			if f.w.hist.contains(base.Tick+model.Tick(j-lb), id) {
+				b.Set(j)
+			}
+		}
+		if candidateOK(b, lb, f.c) {
+			cands = append(cands, fbaCand{id: id, bits: b})
+			if !b.Get(lb - 1) {
+				allContinue = false
+			}
+		}
+	}
+	if len(cands) < need {
+		return
+	}
+	if allContinue {
+		// Every candidate also co-clustered with the owner at base-1, so
+		// every pattern's run extends backwards: the whole window is a
+		// continuation and the chain-start window owns all its patterns.
+		return
+	}
+	chosen := make([]model.ObjectID, 0, len(cands))
+	f.extend(base, cands, 0, chosen, nil, emit)
+}
+
+// extend walks the candidate lattice depth-first (Algorithm 4 lines 9-17).
+// prefix is the AND of the chosen candidates' bit strings (nil when empty).
+// Pruning uses the monotone candidateOK test — a prefix's chain may start
+// before the base while a superset's starts exactly there — and emission
+// uses the exact chain-start test.
+func (f *FBA) extend(base Partition, cands []fbaCand, from int,
+	chosen []model.ObjectID, prefix *bitstr.Bits, emit Emit) {
+	lb := fbaLookback(f.c)
+	for i := from; i < len(cands); i++ {
+		var b *bitstr.Bits
+		if prefix == nil {
+			b = cands[i].bits
+		} else {
+			b = bitstr.And(prefix, cands[i].bits)
+		}
+		if !candidateOK(b, lb, f.c) {
+			continue
+		}
+		chosen = append(chosen, cands[i].id)
+		if len(chosen) >= f.c.M-1 {
+			if chain, ok := chainAt(b, lb, f.c); ok {
+				f.emitPattern(base, chosen, chain, emit)
+			}
+		}
+		f.extend(base, cands, i+1, chosen, b, emit)
+		chosen = chosen[:len(chosen)-1]
+	}
+}
+
+// emitPattern reports one pattern whose chain starts at the window base.
+func (f *FBA) emitPattern(base Partition, members []model.ObjectID,
+	chain bitstr.Chain, emit Emit) {
+	lb := fbaLookback(f.c)
+	pos := chain.Positions()
+	ticks := make([]model.Tick, len(pos))
+	for i, p := range pos {
+		ticks[i] = base.Tick + model.Tick(p-lb)
+	}
+	emit(patternOf(f.owner, members, ticks))
+}

@@ -1,0 +1,132 @@
+package enum
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/timeseq"
+)
+
+// Oracle computes, offline and by brute force, every co-movement pattern in
+// a cluster history: all object sets O with |O| >= M together with each of
+// their maximal pattern time sequences (Definition 15). It is the ground
+// truth the streaming enumerators are validated against. Cluster sizes are
+// expected to be small (test workloads); the subset enumeration is capped.
+type OracleResult struct {
+	// Patterns holds one entry per (object set, maximal sequence) pair.
+	Patterns []model.Pattern
+}
+
+// OracleMaxCluster bounds the cluster size the oracle will expand.
+const OracleMaxCluster = 16
+
+// Oracle enumerates patterns from a full cluster history.
+func Oracle(history []*model.ClusterSnapshot, c model.Constraints) OracleResult {
+	// occurrences: object-set key -> sorted tick list (built incrementally).
+	type entry struct {
+		objs  []model.ObjectID
+		ticks []model.Tick
+	}
+	occ := make(map[string]*entry)
+
+	for _, cs := range history {
+		for _, cl := range cs.Clusters {
+			if len(cl) < c.M {
+				continue
+			}
+			n := len(cl)
+			if n > OracleMaxCluster {
+				panic("enum: oracle cluster too large; shrink the test workload")
+			}
+			// Enumerate subsets of size >= M.
+			subset := make([]model.ObjectID, 0, n)
+			var walk func(from int)
+			walk = func(from int) {
+				if len(subset) >= c.M {
+					p := model.Pattern{Objects: append([]model.ObjectID(nil), subset...)}
+					k := p.Key()
+					e := occ[k]
+					if e == nil {
+						e = &entry{objs: p.Objects}
+						occ[k] = e
+					}
+					e.ticks = append(e.ticks, cs.Tick)
+				}
+				for i := from; i < n; i++ {
+					subset = append(subset, cl[i])
+					walk(i + 1)
+					subset = subset[:len(subset)-1]
+				}
+			}
+			walk(0)
+		}
+	}
+
+	var out OracleResult
+	for _, e := range occ {
+		s := timeseq.Dedup(e.ticks)
+		for _, chain := range maximalChains(s, c) {
+			out.Patterns = append(out.Patterns, model.Pattern{
+				Objects: e.objs,
+				Times:   chain,
+			})
+		}
+	}
+	SortPatterns(out.Patterns)
+	return out
+}
+
+// maximalChains decomposes a sorted tick sequence into its maximal valid
+// chains under (K, L, G): runs shorter than L are unusable, usable runs
+// chain while inter-run gaps stay within G, and a chain qualifies when its
+// total tick count reaches K. Each qualifying chain is one maximal pattern
+// time sequence.
+func maximalChains(s timeseq.Seq, c model.Constraints) []timeseq.Seq {
+	var out []timeseq.Seq
+	var chain timeseq.Seq
+	var lastEnd model.Tick
+	flush := func() {
+		if len(chain) >= c.K {
+			out = append(out, append(timeseq.Seq(nil), chain...))
+		}
+		chain = chain[:0]
+	}
+	for _, run := range timeseq.Segments(s) {
+		if run.Len() < c.L {
+			continue
+		}
+		if len(chain) > 0 && int(run.Start-lastEnd) > c.G {
+			flush()
+		}
+		for t := run.Start; t <= run.End; t++ {
+			chain = append(chain, t)
+		}
+		lastEnd = run.End
+	}
+	flush()
+	return out
+}
+
+// SortPatterns orders patterns canonically: by object-set key, then by
+// first witness tick.
+func SortPatterns(ps []model.Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		ki, kj := ps[i].Key(), ps[j].Key()
+		if ki != kj {
+			return ki < kj
+		}
+		if len(ps[i].Times) == 0 || len(ps[j].Times) == 0 {
+			return len(ps[i].Times) < len(ps[j].Times)
+		}
+		return ps[i].Times[0] < ps[j].Times[0]
+	})
+}
+
+// ObjectSets returns the distinct object-set keys of a pattern list.
+func ObjectSets(ps []model.Pattern) map[string]bool {
+	out := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		out[p.Key()] = true
+	}
+	return out
+}

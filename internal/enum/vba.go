@@ -1,0 +1,280 @@
+package enum
+
+import (
+	"sort"
+
+	"repro/internal/bitstr"
+	"repro/internal/model"
+)
+
+// VBA is the Variable-length Bit Compression based Algorithm (Algorithm 5).
+// Each trajectory assigned to the owner's subtask is tracked as one growing
+// variable-length bit string (Definition 14). When G+1 trailing zeros close
+// a string (Lemma 7) it either becomes a candidate (its prefix satisfies
+// (K,L,G)) or is dropped. New candidates are combined with the global
+// candidate list — pruned by the Lemma 8 span-overlap test — and every
+// valid chain of the combined bit strings is reported as one maximal
+// pattern time sequence (Definition 15).
+//
+// Each snapshot is thus verified exactly once, trading reporting latency
+// for throughput, as the paper describes.
+//
+// Implementation notes beyond the pseudocode:
+//
+//   - The paper merges new candidates into C after the whole batch (line
+//     21); that would miss patterns whose members finalize at the same
+//     tick. Candidates are therefore merged one by one, each enumerated
+//     against the candidates already in C.
+//   - Finalized candidates whose episodes can no longer overlap any open or
+//     future episode by at least K ticks are evicted from C; this is exact
+//     under Lemma 8 and bounds memory on unbounded streams.
+type VBA struct {
+	owner model.ObjectID
+	c     model.Constraints
+
+	open     map[model.ObjectID]*vEntry
+	cands    []vCand
+	lastTick model.Tick
+	started  bool
+}
+
+// vEntry is one open variable-length bit string.
+type vEntry struct {
+	start model.Tick
+	bits  bitstr.Bits
+}
+
+// vCand is one finalized candidate: a maximal episode of co-clustering
+// between the owner and id, spanning ticks [start, end].
+type vCand struct {
+	id    model.ObjectID
+	start model.Tick
+	end   model.Tick
+	bits  *bitstr.Bits
+}
+
+// NewVBA returns the VBA enumerator for one owner subtask.
+func NewVBA(owner model.ObjectID, c model.Constraints) Enumerator {
+	return &VBA{
+		owner: owner,
+		c:     c,
+		open:  make(map[model.ObjectID]*vEntry),
+	}
+}
+
+// Name implements Enumerator.
+func (v *VBA) Name() string { return "VBA" }
+
+// Process implements Enumerator.
+func (v *VBA) Process(p Partition, emit Emit) {
+	t := p.Tick
+	incoming := make(map[model.ObjectID]struct{}, len(p.Members))
+	for _, id := range p.Members {
+		incoming[id] = struct{}{}
+	}
+
+	// Advance every open string to tick t (zero-padding ticks at which the
+	// owner's subtask received no partition), then classify per Lemma 7.
+	var finalized []vCand
+	var ids []model.ObjectID
+	for id := range v.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := v.open[id]
+		gap := int(t - v.lastTick - 1)
+		if v.started && gap > 0 {
+			e.bits.AppendN(false, gap)
+		}
+		_, present := incoming[id]
+		e.bits.Append(present)
+		if present {
+			delete(incoming, id)
+		}
+		switch bitstr.Finalize(&e.bits, v.c.K, v.c.L, v.c.G, false) {
+		case bitstr.StatusMaximal:
+			finalized = append(finalized, v.seal(id, e))
+			delete(v.open, id)
+		case bitstr.StatusDead:
+			delete(v.open, id)
+		}
+	}
+	// Remaining incoming ids start fresh strings (Algorithm 5 lines 13-14).
+	for id := range incoming {
+		e := &vEntry{start: t}
+		e.bits.Append(true)
+		v.open[id] = e
+	}
+	v.lastTick = t
+	v.started = true
+
+	v.absorb(finalized, emit)
+	v.evict()
+}
+
+// Flush implements Enumerator: every open string is force-closed and the
+// valid ones are enumerated.
+func (v *VBA) Flush(emit Emit) {
+	var finalized []vCand
+	var ids []model.ObjectID
+	for id := range v.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := v.open[id]
+		if bitstr.Finalize(&e.bits, v.c.K, v.c.L, v.c.G, true) == bitstr.StatusMaximal {
+			finalized = append(finalized, v.seal(id, e))
+		}
+		delete(v.open, id)
+	}
+	v.absorb(finalized, emit)
+	v.cands = nil
+}
+
+// seal trims the trailing zeros off a finalized entry and packages it.
+func (v *VBA) seal(id model.ObjectID, e *vEntry) vCand {
+	b := e.bits.Clone()
+	b.Truncate(b.Len() - b.TrailingZeros())
+	return vCand{
+		id:    id,
+		start: e.start,
+		end:   e.start + model.Tick(b.Len()) - 1,
+		bits:  b,
+	}
+}
+
+// absorb enumerates each new candidate against the global list, then adds
+// it, so same-tick finalizations still combine exactly once.
+func (v *VBA) absorb(finalized []vCand, emit Emit) {
+	for _, s := range finalized {
+		v.enumerate(s, emit)
+		v.cands = append(v.cands, s)
+	}
+}
+
+// enumerate finds all patterns that include the new candidate s
+// (Algorithm 5 lines 15-20).
+func (v *VBA) enumerate(s vCand, emit Emit) {
+	// Lemma 8 filter: candidates whose span cannot overlap s by K ticks
+	// can never combine with it.
+	var pool []vCand
+	for _, c := range v.cands {
+		lo, hi := maxTick(c.start, s.start), minTick(c.end, s.end)
+		if !bitstr.SpanOverlapPrune(int64(lo), int64(hi), v.c.K) {
+			pool = append(pool, c)
+		}
+	}
+	// The pattern always includes s and the owner; X subsets of the pool
+	// with |X| >= M-2 complete it. With M == 2 the empty X qualifies and
+	// {owner, s} is reported from s's own chains.
+	need := v.c.M - 2
+	if need <= 0 {
+		v.emitChains(s, nil, s.bits, s.start, emit)
+	}
+	if len(pool) < need || len(pool) == 0 {
+		return
+	}
+	chosen := make([]vCand, 0, len(pool))
+	v.extendVBA(s, pool, 0, chosen, s.bits, s.start, emit)
+}
+
+// extendVBA walks the candidate lattice depth-first with exact prefix
+// pruning (an AND that satisfies no (K,L,G) chain admits no extension).
+// prefix is the aligned AND of s and the chosen candidates; base is the
+// tick of prefix position 0.
+func (v *VBA) extendVBA(s vCand, pool []vCand, from int, chosen []vCand,
+	prefix *bitstr.Bits, base model.Tick, emit Emit) {
+	for i := from; i < len(pool); i++ {
+		c := pool[i]
+		nb, nbase := alignAnd(prefix, base, c.bits, c.start)
+		if !bitstr.SatisfiesKLG(nb, v.c.K, v.c.L, v.c.G) {
+			continue
+		}
+		chosen = append(chosen, c)
+		if len(chosen) >= v.c.M-2 {
+			v.emitChains(s, chosen, nb, nbase, emit)
+		}
+		v.extendVBA(s, pool, i+1, chosen, nb, nbase, emit)
+		chosen = chosen[:len(chosen)-1]
+	}
+}
+
+// emitChains reports every valid chain of the combined bit string as one
+// maximal pattern time sequence.
+func (v *VBA) emitChains(s vCand, chosen []vCand, bits *bitstr.Bits,
+	base model.Tick, emit Emit) {
+	ids := make([]model.ObjectID, 0, len(chosen)+1)
+	ids = append(ids, s.id)
+	for _, c := range chosen {
+		ids = append(ids, c.id)
+	}
+	for _, chain := range bitstr.Chains(bits, v.c.L, v.c.G) {
+		if chain.Count < v.c.K {
+			continue
+		}
+		pos := chain.Positions()
+		ticks := make([]model.Tick, len(pos))
+		for i, p := range pos {
+			ticks[i] = base + model.Tick(p)
+		}
+		emit(patternOf(v.owner, ids, ticks))
+	}
+}
+
+// evict drops candidates that can no longer combine with any open or
+// future episode: an episode starting at or after tick u overlaps candidate
+// c in at most c.end-u+1 ticks, so once every open episode starts past
+// c.end-K+1 (and any future episode starts later still), c is dead weight.
+func (v *VBA) evict() {
+	minOpen := v.lastTick + 1 // future episodes start at lastTick+1 or later
+	for _, e := range v.open {
+		if e.start < minOpen {
+			minOpen = e.start
+		}
+	}
+	keep := v.cands[:0]
+	for _, c := range v.cands {
+		if int64(c.end)-int64(minOpen)+1 >= int64(v.c.K) {
+			keep = append(keep, c)
+		}
+	}
+	v.cands = keep
+}
+
+// alignAnd intersects two variable-length bit strings whose position 0
+// ticks are baseA and baseB; the result's base is the larger of the two and
+// its length the overlap (possibly 0).
+func alignAnd(a *bitstr.Bits, baseA model.Tick, b *bitstr.Bits, baseB model.Tick) (*bitstr.Bits, model.Tick) {
+	lo := maxTick(baseA, baseB)
+	hiA := baseA + model.Tick(a.Len()) - 1
+	hiB := baseB + model.Tick(b.Len()) - 1
+	hi := minTick(hiA, hiB)
+	n := int(hi - lo + 1)
+	if n < 0 {
+		n = 0
+	}
+	out := bitstr.New(n)
+	for i := 0; i < n; i++ {
+		t := lo + model.Tick(i)
+		if a.Get(int(t-baseA)) && b.Get(int(t-baseB)) {
+			out.Set(i)
+		}
+	}
+	return out, lo
+}
+
+func maxTick(a, b model.Tick) model.Tick {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTick(a, b model.Tick) model.Tick {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,422 @@
+// Package flow is the distributed stream-processing substrate standing in
+// for Apache Flink (Challenge I, Section 1): a pipelined dataflow of
+// stages, each split into parallel subtasks connected by bounded channels.
+//
+// The engine reproduces the Flink semantics the paper's algorithms rely on:
+//
+//   - keyed exchange: records are hash-routed so all records with one key
+//     (grid cell, snapshot tick, trajectory id) reach the same subtask;
+//   - pipelined transfer: bounded channels give low latency and natural
+//     backpressure, as opposed to mini-batching;
+//   - event-time watermarks: subtasks merge per-sender watermarks and
+//     deliver a monotone low-water mark to the operator, which lets keyed
+//     stateful operators restore tick order after a parallel stage;
+//   - cluster simulation: a global slot semaphore caps concurrent operator
+//     execution at nodes x slotsPerNode, modelling the paper's N-node
+//     scaling experiments (Figure 14) on a single machine.
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Operator is the user logic of one subtask. The runtime guarantees that
+// Process, OnWatermark and Close are never called concurrently for one
+// operator instance.
+type Operator interface {
+	// Process handles one data record.
+	Process(data any, out *Collector)
+	// OnWatermark is invoked when the merged (minimum across senders)
+	// watermark advances; all future records from upstream carry ticks
+	// strictly greater than wm.
+	OnWatermark(wm model.Tick, out *Collector)
+	// Close is invoked once all upstream senders have finished; the
+	// operator flushes its state.
+	Close(out *Collector)
+}
+
+// BaseOperator provides no-op OnWatermark/Close so simple operators only
+// implement Process.
+type BaseOperator struct{}
+
+// OnWatermark implements Operator.
+func (BaseOperator) OnWatermark(model.Tick, *Collector) {}
+
+// Close implements Operator.
+func (BaseOperator) Close(*Collector) {}
+
+// StageSpec describes one pipeline stage.
+type StageSpec struct {
+	// Name labels the stage in diagnostics.
+	Name string
+	// Parallelism is the number of subtasks (>= 1).
+	Parallelism int
+	// Make constructs the operator for one subtask.
+	Make func(subtask int) Operator
+	// BufSize is the per-subtask input channel capacity (default 128).
+	BufSize int
+}
+
+// event travels between subtasks.
+type event struct {
+	from int // sender subtask index (or -1 for the pipeline source)
+	data any // nil for pure watermarks
+	wm   model.Tick
+	isWM bool
+}
+
+// outEvent is a pending emission: either routed (to >= 0), broadcast
+// (to == -1), or a watermark (isWM).
+type outEvent struct {
+	to   int
+	data any
+	wm   model.Tick
+	isWM bool
+}
+
+// Collector lets an operator emit records and watermarks downstream. One
+// Collector belongs to one subtask. Emissions are buffered while the
+// operator runs inside its execution slot and flushed to the (bounded,
+// backpressuring) channels after the slot is released, so a full channel
+// can never deadlock the slot semaphore.
+type Collector struct {
+	p       *Pipeline
+	stage   int // emitting stage index
+	subtask int
+	next    []chan event // next stage's inputs (nil for the last stage)
+	buf     []outEvent
+}
+
+// Emit routes one record by key hash to the next stage (or the sink for
+// the last stage).
+func (c *Collector) Emit(key uint64, data any) {
+	if c.next == nil {
+		c.buf = append(c.buf, outEvent{to: -2, data: data})
+		return
+	}
+	c.buf = append(c.buf, outEvent{
+		to:   int(mix(key) % uint64(len(c.next))),
+		data: data,
+	})
+}
+
+// Broadcast sends one record to every subtask of the next stage.
+func (c *Collector) Broadcast(data any) {
+	if c.next == nil {
+		c.buf = append(c.buf, outEvent{to: -2, data: data})
+		return
+	}
+	c.buf = append(c.buf, outEvent{to: -1, data: data})
+}
+
+// Watermark broadcasts a watermark: a promise that this subtask will send
+// no record with tick <= wm anymore.
+func (c *Collector) Watermark(wm model.Tick) {
+	c.buf = append(c.buf, outEvent{wm: wm, isWM: true})
+}
+
+// flush delivers buffered emissions; called outside the execution slot.
+func (c *Collector) flush() {
+	for _, oe := range c.buf {
+		switch {
+		case oe.isWM:
+			if c.next == nil {
+				c.p.sinkWM(c.subtask, oe.wm)
+			} else {
+				for _, ch := range c.next {
+					ch <- event{from: c.subtask, wm: oe.wm, isWM: true}
+				}
+			}
+		case oe.to == -2:
+			c.p.sink(oe.data)
+		case oe.to == -1:
+			for _, ch := range c.next {
+				ch <- event{from: c.subtask, data: oe.data}
+			}
+		default:
+			c.next[oe.to] <- event{from: c.subtask, data: oe.data}
+		}
+	}
+	c.buf = c.buf[:0]
+}
+
+// mix is a 64-bit finalizer so sequential keys spread across subtasks.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Pipeline is a linear dataflow of stages.
+type Pipeline struct {
+	stages []StageSpec
+	inputs [][]chan event // inputs[i][s]: input of stage i subtask s
+	wgs    []*sync.WaitGroup
+
+	slots chan struct{} // nil = unbounded (no cluster simulation)
+
+	sinkMu   sync.Mutex
+	sinkFn   func(any)
+	sinkWMFn func(model.Tick)
+	sinkWMs  map[int]model.Tick
+	sinkLow  model.Tick
+
+	started bool
+}
+
+// Config bundles pipeline-level options.
+type Config struct {
+	// Slots caps concurrently executing operators (nodes x slots-per-node);
+	// 0 means unbounded.
+	Slots int
+	// Sink receives records emitted by the last stage (serialized).
+	Sink func(any)
+	// SinkWatermark receives the merged watermark of the last stage.
+	SinkWatermark func(model.Tick)
+}
+
+// NewPipeline builds a pipeline; Start must be called before Submit.
+func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
+	if len(stages) == 0 {
+		panic("flow: pipeline needs at least one stage")
+	}
+	p := &Pipeline{
+		stages:  stages,
+		sinkFn:  cfg.Sink,
+		sinkWMs: make(map[int]model.Tick),
+		sinkLow: -1 << 62,
+	}
+	p.sinkWMFn = cfg.SinkWatermark
+	if cfg.Slots > 0 {
+		p.slots = make(chan struct{}, cfg.Slots)
+	}
+	for i, st := range stages {
+		if st.Parallelism < 1 {
+			panic(fmt.Sprintf("flow: stage %q parallelism %d", st.Name, st.Parallelism))
+		}
+		buf := st.BufSize
+		if buf <= 0 {
+			buf = 128
+		}
+		chans := make([]chan event, st.Parallelism)
+		for s := range chans {
+			chans[s] = make(chan event, buf)
+		}
+		p.inputs = append(p.inputs, chans)
+		wg := &sync.WaitGroup{}
+		p.wgs = append(p.wgs, wg)
+		_ = i
+	}
+	return p
+}
+
+// Start launches all subtasks and the inter-stage close propagation.
+func (p *Pipeline) Start() {
+	if p.started {
+		panic("flow: pipeline already started")
+	}
+	p.started = true
+	for i, st := range p.stages {
+		var next []chan event
+		if i+1 < len(p.stages) {
+			next = p.inputs[i+1]
+		}
+		// senders = number of upstream subtasks (1 source for stage 0).
+		senders := 1
+		if i > 0 {
+			senders = p.stages[i-1].Parallelism
+		}
+		for s := 0; s < st.Parallelism; s++ {
+			p.wgs[i].Add(1)
+			go p.runSubtask(i, s, senders, st.Make(s), next)
+		}
+	}
+	// Close propagation: when stage i finishes, close stage i+1 inputs.
+	for i := 0; i+1 < len(p.stages); i++ {
+		go func(i int) {
+			p.wgs[i].Wait()
+			for _, ch := range p.inputs[i+1] {
+				close(ch)
+			}
+		}(i)
+	}
+}
+
+// runSubtask is the subtask main loop.
+func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []chan event) {
+	defer p.wgs[stage].Done()
+	out := &Collector{p: p, stage: stage, subtask: subtask, next: next}
+	const minWM = -1 << 62
+	wms := make([]model.Tick, senders)
+	for i := range wms {
+		wms[i] = minWM
+	}
+	merged := model.Tick(minWM)
+	in := p.inputs[stage][subtask]
+	for ev := range in {
+		p.acquire()
+		if ev.isWM {
+			if ev.from >= 0 && ev.from < senders && ev.wm > wms[ev.from] {
+				wms[ev.from] = ev.wm
+			}
+			low := wms[0]
+			for _, w := range wms[1:] {
+				if w < low {
+					low = w
+				}
+			}
+			if low > merged {
+				merged = low
+				op.OnWatermark(merged, out)
+				out.Watermark(merged)
+			}
+		} else {
+			op.Process(ev.data, out)
+		}
+		p.release()
+		out.flush()
+	}
+	p.acquire()
+	op.Close(out)
+	p.release()
+	out.flush()
+}
+
+func (p *Pipeline) acquire() {
+	if p.slots != nil {
+		p.slots <- struct{}{}
+	}
+}
+
+func (p *Pipeline) release() {
+	if p.slots != nil {
+		<-p.slots
+	}
+}
+
+// Submit feeds one record into stage 0, routed by key.
+func (p *Pipeline) Submit(key uint64, data any) {
+	chans := p.inputs[0]
+	chans[mix(key)%uint64(len(chans))] <- event{from: 0, data: data}
+}
+
+// SubmitAll feeds one record to every stage-0 subtask.
+func (p *Pipeline) SubmitAll(data any) {
+	for _, ch := range p.inputs[0] {
+		ch <- event{from: 0, data: data}
+	}
+}
+
+// SubmitWatermark broadcasts a source watermark to stage 0.
+func (p *Pipeline) SubmitWatermark(wm model.Tick) {
+	for _, ch := range p.inputs[0] {
+		ch <- event{from: 0, wm: wm, isWM: true}
+	}
+}
+
+// Drain closes the source and blocks until every stage has flushed.
+func (p *Pipeline) Drain() {
+	for _, ch := range p.inputs[0] {
+		close(ch)
+	}
+	p.wgs[len(p.stages)-1].Wait()
+}
+
+// sink delivers a record from the last stage, serialized.
+func (p *Pipeline) sink(data any) {
+	if p.sinkFn == nil {
+		return
+	}
+	p.sinkMu.Lock()
+	defer p.sinkMu.Unlock()
+	p.sinkFn(data)
+}
+
+// sinkWM merges last-stage watermarks and forwards the low-water mark.
+func (p *Pipeline) sinkWM(from int, wm model.Tick) {
+	if p.sinkWMFn == nil {
+		return
+	}
+	p.sinkMu.Lock()
+	defer p.sinkMu.Unlock()
+	if old, ok := p.sinkWMs[from]; ok && old >= wm {
+		return
+	}
+	p.sinkWMs[from] = wm
+	last := len(p.stages) - 1
+	if len(p.sinkWMs) < p.stages[last].Parallelism {
+		return
+	}
+	low := wm
+	for _, w := range p.sinkWMs {
+		if w < low {
+			low = w
+		}
+	}
+	if low > p.sinkLow {
+		p.sinkLow = low
+		p.sinkWMFn(low)
+	}
+}
+
+// ReorderBuffer restores tick order behind a parallel stage: items are
+// buffered per tick and released in ascending tick order as the merged
+// watermark advances. It is the building block keyed stateful operators
+// (the pattern enumerators) use to see snapshots in time order.
+type ReorderBuffer struct {
+	byTick map[model.Tick][]any
+}
+
+// NewReorderBuffer returns an empty buffer.
+func NewReorderBuffer() *ReorderBuffer {
+	return &ReorderBuffer{byTick: make(map[model.Tick][]any)}
+}
+
+// Add buffers one item under its tick.
+func (r *ReorderBuffer) Add(t model.Tick, item any) {
+	r.byTick[t] = append(r.byTick[t], item)
+}
+
+// Release removes and returns all items with tick <= wm, ordered by tick
+// (items within one tick keep insertion order).
+func (r *ReorderBuffer) Release(wm model.Tick) []any {
+	var ticks []model.Tick
+	for t := range r.byTick {
+		if t <= wm {
+			ticks = append(ticks, t)
+		}
+	}
+	if len(ticks) == 0 {
+		return nil
+	}
+	sortTicks(ticks)
+	var out []any
+	for _, t := range ticks {
+		out = append(out, r.byTick[t]...)
+		delete(r.byTick, t)
+	}
+	return out
+}
+
+// ReleaseAll drains the buffer in tick order (stream end).
+func (r *ReorderBuffer) ReleaseAll() []any {
+	return r.Release(1<<62 - 1)
+}
+
+// Len returns the number of buffered ticks.
+func (r *ReorderBuffer) Len() int { return len(r.byTick) }
+
+func sortTicks(ts []model.Tick) {
+	// Insertion sort: tick batches are small and nearly sorted.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

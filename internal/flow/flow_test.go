@@ -1,0 +1,345 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// passthrough forwards records unchanged, keyed by their int value.
+type passthrough struct{ BaseOperator }
+
+func (passthrough) Process(data any, out *Collector) {
+	out.Emit(uint64(data.(int)), data)
+}
+
+// adder adds a constant.
+type adder struct {
+	BaseOperator
+	n int
+}
+
+func (a adder) Process(data any, out *Collector) {
+	out.Emit(uint64(data.(int)), data.(int)+a.n)
+}
+
+func collectInts(cfg Config, stages []StageSpec, inputs []int) []int {
+	var mu sync.Mutex
+	var got []int
+	cfg.Sink = func(d any) {
+		mu.Lock()
+		got = append(got, d.(int))
+		mu.Unlock()
+	}
+	p := NewPipeline(cfg, stages...)
+	p.Start()
+	for _, v := range inputs {
+		p.Submit(uint64(v), v)
+	}
+	p.Drain()
+	return got
+}
+
+func TestSingleStagePipeline(t *testing.T) {
+	got := collectInts(Config{}, []StageSpec{
+		{Name: "id", Parallelism: 1, Make: func(int) Operator { return passthrough{} }},
+	}, []int{1, 2, 3})
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMultiStageTransform(t *testing.T) {
+	got := collectInts(Config{}, []StageSpec{
+		{Name: "add1", Parallelism: 3, Make: func(int) Operator { return adder{n: 1} }},
+		{Name: "add10", Parallelism: 2, Make: func(int) Operator { return adder{n: 10} }},
+	}, []int{0, 1, 2, 3, 4})
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	sum := 0
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 0+1+2+3+4+5*11 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestKeyedRoutingIsStable(t *testing.T) {
+	// Records with the same key must all arrive at the same subtask.
+	var mu sync.Mutex
+	seen := map[int]map[int]bool{} // key -> set of subtasks that saw it
+	mk := func(sub int) Operator {
+		return procFunc(func(data any, out *Collector) {
+			k := data.(int)
+			mu.Lock()
+			if seen[k] == nil {
+				seen[k] = map[int]bool{}
+			}
+			seen[k][sub] = true
+			mu.Unlock()
+			out.Emit(uint64(k), k)
+		})
+	}
+	p := NewPipeline(Config{}, StageSpec{Name: "s", Parallelism: 4, Make: mk})
+	p.Start()
+	for i := 0; i < 200; i++ {
+		p.Submit(uint64(i%10), i%10)
+	}
+	p.Drain()
+	for k, subs := range seen {
+		if len(subs) != 1 {
+			t.Errorf("key %d processed by %d subtasks", k, len(subs))
+		}
+	}
+}
+
+// procFunc adapts a function to Operator.
+type procFunc func(any, *Collector)
+
+func (f procFunc) Process(data any, out *Collector) { f(data, out) }
+func (procFunc) OnWatermark(model.Tick, *Collector) {}
+func (procFunc) Close(*Collector)                   {}
+
+func TestPerSenderOrderPreserved(t *testing.T) {
+	// One upstream subtask, one downstream subtask: FIFO per edge.
+	var mu sync.Mutex
+	var got []int
+	p := NewPipeline(Config{Sink: func(d any) {
+		mu.Lock()
+		got = append(got, d.(int))
+		mu.Unlock()
+	}},
+		StageSpec{Name: "a", Parallelism: 1, Make: func(int) Operator { return passthrough{} }},
+		StageSpec{Name: "b", Parallelism: 1, Make: func(int) Operator { return passthrough{} }},
+	)
+	p.Start()
+	for i := 0; i < 500; i++ {
+		p.Submit(0, i)
+	}
+	p.Drain()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("order broken at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if len(got) != 500 {
+		t.Errorf("got %d records", len(got))
+	}
+}
+
+func TestWatermarkMerging(t *testing.T) {
+	// Two parallel senders; the downstream operator must observe the
+	// MINIMUM watermark across senders, monotonically.
+	var mu sync.Mutex
+	var wms []model.Tick
+	wmRecorder := procWM(func(wm model.Tick, out *Collector) {
+		mu.Lock()
+		wms = append(wms, wm)
+		mu.Unlock()
+	})
+	p := NewPipeline(Config{},
+		StageSpec{Name: "src", Parallelism: 2, Make: func(int) Operator {
+			return wmForward{}
+		}},
+		StageSpec{Name: "sink", Parallelism: 1, Make: func(int) Operator {
+			return wmRecorder
+		}},
+	)
+	p.Start()
+	// Source watermarks reach both subtasks; each forwards. The sink sees
+	// min across the two. Submit watermarks 1..5.
+	for wm := model.Tick(1); wm <= 5; wm++ {
+		p.SubmitWatermark(wm)
+	}
+	p.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(wms) == 0 {
+		t.Fatal("no watermarks observed")
+	}
+	for i := 1; i < len(wms); i++ {
+		if wms[i] <= wms[i-1] {
+			t.Errorf("watermarks not strictly increasing: %v", wms)
+		}
+	}
+	if wms[len(wms)-1] != 5 {
+		t.Errorf("final watermark = %d, want 5", wms[len(wms)-1])
+	}
+}
+
+// wmForward forwards watermarks (the runtime does it automatically).
+type wmForward struct{ BaseOperator }
+
+func (wmForward) Process(any, *Collector) {}
+
+// procWM adapts a watermark handler.
+type procWM func(model.Tick, *Collector)
+
+func (procWM) Process(any, *Collector)                     {}
+func (f procWM) OnWatermark(wm model.Tick, out *Collector) { f(wm, out) }
+func (procWM) Close(*Collector)                            {}
+
+func TestCloseFlushPropagates(t *testing.T) {
+	// An operator that holds everything until Close; the sink must still
+	// receive all records after Drain.
+	var mu sync.Mutex
+	var got []int
+	mk := func(int) Operator { return &holder{} }
+	p := NewPipeline(Config{Sink: func(d any) {
+		mu.Lock()
+		got = append(got, d.(int))
+		mu.Unlock()
+	}}, StageSpec{Name: "hold", Parallelism: 3, Make: mk})
+	p.Start()
+	for i := 0; i < 50; i++ {
+		p.Submit(uint64(i), i)
+	}
+	p.Drain()
+	if len(got) != 50 {
+		t.Errorf("flushed %d of 50", len(got))
+	}
+}
+
+type holder struct {
+	BaseOperator
+	held []int
+}
+
+func (h *holder) Process(data any, out *Collector) {
+	h.held = append(h.held, data.(int))
+}
+
+func (h *holder) Close(out *Collector) {
+	for _, v := range h.held {
+		out.Emit(uint64(v), v)
+	}
+}
+
+func TestSlotSemaphoreLimitsConcurrency(t *testing.T) {
+	var cur, peak int64
+	mk := func(int) Operator {
+		return procFunc(func(data any, out *Collector) {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			// Busy-spin briefly to force overlap attempts.
+			for i := 0; i < 2000; i++ {
+				_ = i * i
+			}
+			atomic.AddInt64(&cur, -1)
+		})
+	}
+	p := NewPipeline(Config{Slots: 2},
+		StageSpec{Name: "work", Parallelism: 8, Make: mk})
+	p.Start()
+	for i := 0; i < 400; i++ {
+		p.Submit(uint64(i), i)
+	}
+	p.Drain()
+	if peak > 2 {
+		t.Errorf("peak concurrency %d exceeds 2 slots", peak)
+	}
+}
+
+func TestBackpressureNoDeadlockWithSlots(t *testing.T) {
+	// Tiny buffers + fan-out + slot cap: a classic deadlock shape if
+	// operators held their slot while blocked on a full channel.
+	mkFan := func(int) Operator {
+		return procFunc(func(data any, out *Collector) {
+			for i := 0; i < 8; i++ {
+				out.Emit(uint64(i), data)
+			}
+		})
+	}
+	var n int64
+	p := NewPipeline(Config{Slots: 1, Sink: func(any) { atomic.AddInt64(&n, 1) }},
+		StageSpec{Name: "fan", Parallelism: 4, Make: mkFan, BufSize: 1},
+		StageSpec{Name: "fan2", Parallelism: 4, Make: mkFan, BufSize: 1},
+	)
+	p.Start()
+	for i := 0; i < 100; i++ {
+		p.Submit(uint64(i), i)
+	}
+	p.Drain()
+	if n != 100*8*8 {
+		t.Errorf("sink received %d, want %d", n, 100*8*8)
+	}
+}
+
+func TestReorderBuffer(t *testing.T) {
+	r := NewReorderBuffer()
+	r.Add(3, "c")
+	r.Add(1, "a1")
+	r.Add(1, "a2")
+	r.Add(2, "b")
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	got := r.Release(2)
+	if len(got) != 3 || got[0] != "a1" || got[1] != "a2" || got[2] != "b" {
+		t.Errorf("Release(2) = %v", got)
+	}
+	if got := r.Release(2); got != nil {
+		t.Errorf("second Release(2) = %v", got)
+	}
+	rest := r.ReleaseAll()
+	if len(rest) != 1 || rest[0] != "c" {
+		t.Errorf("ReleaseAll = %v", rest)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPipeline(Config{}) },
+		func() {
+			NewPipeline(Config{}, StageSpec{Name: "x", Parallelism: 0})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterministicResultsAcrossParallelism(t *testing.T) {
+	// The same keyed aggregation must produce identical results with 1 and
+	// 8 subtasks (order-independent sum per key).
+	run := func(par int) map[int]int {
+		var mu sync.Mutex
+		sums := map[int]int{}
+		mk := func(int) Operator {
+			return procFunc(func(data any, out *Collector) {
+				v := data.(int)
+				mu.Lock()
+				sums[v%7] += v
+				mu.Unlock()
+			})
+		}
+		p := NewPipeline(Config{}, StageSpec{Name: "agg", Parallelism: par, Make: mk})
+		p.Start()
+		for i := 0; i < 1000; i++ {
+			p.Submit(uint64(i%7), i)
+		}
+		p.Drain()
+		return sums
+	}
+	a, b := run(1), run(8)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("key %d: %d vs %d", k, v, b[k])
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package geo provides the planar geometry primitives used throughout the
+// ICPE pipeline: points, axis-aligned rectangles, and the distance metrics
+// the paper's range queries are defined over.
+//
+// The paper (Section 3.3) measures inter-object distance with the L1 norm
+// and filters candidates through the square "range region"
+// [x-eps, x+eps] x [y-eps, y+eps]; the region is a superset of the L1 ball,
+// so index lookups use rectangles and the metric performs the final check.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a distance function on the plane.
+type Metric int
+
+const (
+	// L1 is the Manhattan distance |dx| + |dy| (the paper's default).
+	L1 Metric = iota
+	// L2 is the Euclidean distance sqrt(dx^2 + dy^2).
+	L2
+	// LInf is the Chebyshev distance max(|dx|, |dy|).
+	LInf
+)
+
+// String returns the conventional name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LInf:
+		return "LInf"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Point is a location on the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the distance from p to q under metric m.
+func (p Point) Dist(q Point, m Metric) float64 {
+	dx := math.Abs(p.X - q.X)
+	dy := math.Abs(p.Y - q.Y)
+	switch m {
+	case L1:
+		return dx + dy
+	case L2:
+		return math.Hypot(dx, dy)
+	case LInf:
+		return math.Max(dx, dy)
+	default:
+		panic("geo: unknown metric")
+	}
+}
+
+// Within reports whether q lies within distance eps of p under metric m.
+func (p Point) Within(q Point, eps float64, m Metric) bool {
+	// Cheap rejection using the bounding square shared by all three metrics.
+	if math.Abs(p.X-q.X) > eps || math.Abs(p.Y-q.Y) > eps {
+		return false
+	}
+	return p.Dist(q, m) <= eps
+}
+
+// Rect is a closed axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY].
+// The zero Rect is the empty rectangle (Min > Max).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns a rectangle that contains nothing and unions as identity.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// RectAround returns the square range region of radius eps centered at p,
+// i.e. [p.X-eps, p.X+eps] x [p.Y-eps, p.Y+eps].
+func RectAround(p Point, eps float64) Rect {
+	return Rect{MinX: p.X - eps, MinY: p.Y - eps, MaxX: p.X + eps, MaxY: p.Y + eps}
+}
+
+// UpperHalfAround returns the upper half of the range region of p per
+// Lemma 1: [p.X-eps, p.X+eps] x [p.Y, p.Y+eps]. Only grid cells intersecting
+// this half need to receive query replicas of p.
+func UpperHalfAround(p Point, eps float64) Rect {
+	return Rect{MinX: p.X - eps, MinY: p.Y, MaxX: p.X + eps, MaxY: p.Y + eps}
+}
+
+// RectOf returns the minimal rectangle containing a single point.
+func RectOf(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// IsEmpty reports whether r contains no points.
+func (r Rect) IsEmpty() bool {
+	return r.MinX > r.MaxX || r.MinY > r.MaxY
+}
+
+// Contains reports whether p lies inside r (boundaries inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Union returns the minimal rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// UnionPoint returns the minimal rectangle containing r and p.
+func (r Rect) UnionPoint(p Point) Rect {
+	return r.Union(RectOf(p))
+}
+
+// Area returns the area of r (0 for empty or degenerate rectangles).
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
+}
+
+// Margin returns half the perimeter of r (the R*-tree split heuristic).
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) + (r.MaxY - r.MinY)
+}
+
+// IntersectionArea returns the area of the overlap of r and s.
+func (r Rect) IntersectionArea(s Rect) float64 {
+	if !r.Intersects(s) {
+		return 0
+	}
+	w := math.Min(r.MaxX, s.MaxX) - math.Max(r.MinX, s.MinX)
+	h := math.Min(r.MaxY, s.MaxY) - math.Max(r.MinY, s.MinY)
+	return w * h
+}
+
+// Enlargement returns how much r's area grows to absorb s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}

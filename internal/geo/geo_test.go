@@ -1,0 +1,250 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricString(t *testing.T) {
+	cases := []struct {
+		m    Metric
+		want string
+	}{
+		{L1, "L1"}, {L2, "L2"}, {LInf, "LInf"}, {Metric(42), "Metric(42)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Metric(%d).String() = %q, want %q", int(c.m), got, c.want)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.Dist(q, L1); got != 7 {
+		t.Errorf("L1 dist = %v, want 7", got)
+	}
+	if got := p.Dist(q, L2); got != 5 {
+		t.Errorf("L2 dist = %v, want 5", got)
+	}
+	if got := p.Dist(q, LInf); got != 4 {
+		t.Errorf("LInf dist = %v, want 4", got)
+	}
+}
+
+func TestDistUnknownMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown metric")
+		}
+	}()
+	Point{}.Dist(Point{1, 1}, Metric(99))
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyNaN(ax, ay, bx, by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		for _, m := range []Metric{L1, L2, LInf} {
+			if a.Dist(b, m) != b.Dist(a, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		const slack = 1e-9
+		for _, m := range []Metric{L1, L2, LInf} {
+			if a.Dist(c, m) > a.Dist(b, m)+b.Dist(c, m)+slack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	p := Point{0, 0}
+	// (1,1) has L1 distance 2, L2 ~1.414, LInf 1.
+	q := Point{1, 1}
+	if p.Within(q, 1.9, L1) {
+		t.Error("L1: (1,1) should be outside eps=1.9")
+	}
+	if !p.Within(q, 2.0, L1) {
+		t.Error("L1: (1,1) should be within eps=2.0")
+	}
+	if !p.Within(q, 1.5, L2) {
+		t.Error("L2: (1,1) should be within eps=1.5")
+	}
+	if !p.Within(q, 1.0, LInf) {
+		t.Error("LInf: (1,1) should be within eps=1.0")
+	}
+	// Bounding-square rejection path.
+	if p.Within(Point{5, 0}, 2, L1) {
+		t.Error("(5,0) should be rejected by the bounding square")
+	}
+}
+
+func TestWithinMatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by int8, eps uint8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		e := float64(eps)
+		for _, m := range []Metric{L1, L2, LInf} {
+			if a.Within(b, e, m) != (a.Dist(b, m) <= e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Error("EmptyRect should be empty")
+	}
+	if e.Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+	if e.Margin() != 0 {
+		t.Error("empty rect margin should be 0")
+	}
+	if e.Contains(Point{0, 0}) {
+		t.Error("empty rect should contain nothing")
+	}
+	r := Rect{0, 0, 1, 1}
+	if got := e.Union(r); got != r {
+		t.Errorf("empty union r = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r union empty = %v, want %v", got, r)
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Error("empty rect should intersect nothing")
+	}
+	if !r.ContainsRect(e) {
+		t.Error("any rect contains the empty rect")
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(Point{5, 5}, 2)
+	want := Rect{3, 3, 7, 7}
+	if r != want {
+		t.Errorf("RectAround = %v, want %v", r, want)
+	}
+	u := UpperHalfAround(Point{5, 5}, 2)
+	wantU := Rect{3, 5, 7, 7}
+	if u != wantU {
+		t.Errorf("UpperHalfAround = %v, want %v", u, wantU)
+	}
+	if !r.ContainsRect(u) {
+		t.Error("upper half must be inside the full range region")
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if got := a.IntersectionArea(b); got != 4 {
+		t.Errorf("intersection area = %v, want 4", got)
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 6, 6}) {
+		t.Errorf("union = %v", u)
+	}
+	if got := a.Enlargement(b); got != 36-16 {
+		t.Errorf("enlargement = %v, want 20", got)
+	}
+	if a.Margin() != 8 {
+		t.Errorf("margin = %v, want 8", a.Margin())
+	}
+	if a.Center() != (Point{2, 2}) {
+		t.Errorf("center = %v", a.Center())
+	}
+	c := Rect{10, 10, 11, 11}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if a.IntersectionArea(c) != 0 {
+		t.Error("disjoint rects have 0 intersection area")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{0, 0, 10, 10}
+	inner := Rect{1, 1, 9, 9}
+	if !outer.ContainsRect(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsRect(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("rect should contain itself")
+	}
+}
+
+func TestUnionPointGrowsMinimally(t *testing.T) {
+	f := func(rx, ry, px, py int8) bool {
+		r := Rect{float64(rx), float64(ry), float64(rx) + 4, float64(ry) + 4}
+		p := Point{float64(px), float64(py)}
+		u := r.UnionPoint(p)
+		return u.Contains(p) && u.ContainsRect(r) &&
+			u.Area() <= r.Union(RectOf(p)).Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutativeAndMonotone(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 int8) bool {
+		a := normRect(float64(a0), float64(a1), float64(a2), float64(a3))
+		b := normRect(float64(b0), float64(b1), float64(b2), float64(b3))
+		u1, u2 := a.Union(b), b.Union(a)
+		return u1 == u2 && u1.ContainsRect(a) && u1.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func normRect(x0, y0, x1, y1 float64) Rect {
+	return Rect{
+		MinX: math.Min(x0, x1), MinY: math.Min(y0, y1),
+		MaxX: math.Max(x0, x1), MaxY: math.Max(y0, y1),
+	}
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// Ablation is an RJC variant with either optimization lemma disabled,
+// isolating each lemma's contribution to the range-join cost:
+//
+//   - Lemma1 off: query objects are replicated into the full range region
+//     instead of its upper half (double replication; mirrored duplicates
+//     must be removed).
+//   - Lemma2 off: each cell builds its R-tree completely before probing
+//     (every within-cell pair is found twice; duplicates removed).
+//
+// With both lemmas on this is exactly RJC; with both off it is SRJ.
+type Ablation struct {
+	p      Params
+	lemma1 bool
+	lemma2 bool
+	raw    int
+}
+
+// Raw returns the cumulative number of pair emissions before duplicate
+// filtering — the wasted work a disabled lemma causes.
+func (e *Ablation) Raw() int { return e.raw }
+
+// NewAblation returns an RJC variant with the chosen lemmas enabled.
+func NewAblation(p Params, lemma1, lemma2 bool) *Ablation {
+	return &Ablation{p: p, lemma1: lemma1, lemma2: lemma2}
+}
+
+// Name implements Engine.
+func (e *Ablation) Name() string {
+	return fmt.Sprintf("RJC[L1=%v,L2=%v]", e.lemma1, e.lemma2)
+}
+
+// Join implements Engine.
+func (e *Ablation) Join(s *model.Snapshot, emit PairEmit) {
+	mode := grid.UpperHalf
+	if !e.lemma1 {
+		mode = grid.FullRegion
+	}
+	tasks := AllocateSnapshot(s, e.p.CellWidth, e.p.Eps, mode)
+
+	// Either disabled lemma introduces duplicates that must be filtered —
+	// the cost the ablation measures.
+	needDedup := !e.lemma1 || !e.lemma2
+	var seen map[uint64]struct{}
+	out := func(i, j int32) {
+		e.raw++
+		emit(i, j)
+	}
+	if needDedup {
+		seen = make(map[uint64]struct{}, s.Len()*2)
+		out = func(i, j int32) {
+			e.raw++
+			k := uint64(uint32(i))<<32 | uint64(uint32(j))
+			if _, ok := seen[k]; ok {
+				return
+			}
+			seen[k] = struct{}{}
+			emit(i, j)
+		}
+	}
+	for _, task := range tasks {
+		switch {
+		case e.lemma2 && e.lemma1:
+			RunCellRJC(s, task, e.p.Eps, e.p.Metric, out)
+		case e.lemma2 && !e.lemma1:
+			// Interleaved build+probe for data objects still avoids
+			// within-cell duplicates, but the full-region replicas mirror
+			// every cross-cell pair.
+			runCellLemma2Full(s, task, e.p, out)
+		default:
+			RunCellSRJ(s, task, e.p.Eps, e.p.Metric, out)
+		}
+	}
+}
+
+// runCellLemma2Full is RunCellRJC without the Lemma 1 probe restriction:
+// query objects probe their whole range region, so cross-cell pairs are
+// reported by both endpoints' replicas.
+func runCellLemma2Full(s *model.Snapshot, task CellTask, p Params, emit PairEmit) {
+	if len(task.Data) == 0 {
+		return
+	}
+	rt := rtree.New()
+	for _, di := range task.Data {
+		pt := s.Locs[di]
+		rt.SearchWithin(pt, p.Eps, p.Metric, func(it rtree.Item) bool {
+			orderedEmit(emit, di, int32(it.ID))
+			return true
+		})
+		rt.Insert(pt, int64(di))
+	}
+	for _, qi := range task.Queries {
+		pt := s.Locs[qi]
+		rt.SearchWithin(pt, p.Eps, p.Metric, func(it rtree.Item) bool {
+			orderedEmit(emit, qi, int32(it.ID))
+			return true
+		})
+	}
+}

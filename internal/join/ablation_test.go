@@ -1,0 +1,78 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestAblationVariantsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(120)
+		s := randomSnapshot(rng, n, 25)
+		eps := 0.3 + rng.Float64()*2
+		lg := 0.5 + rng.Float64()*5
+		p := Params{Eps: eps, CellWidth: lg, Metric: geo.L1}
+		want := brutePairs(s, eps, geo.L1)
+		for _, l1 := range []bool{false, true} {
+			for _, l2 := range []bool{false, true} {
+				e := NewAblation(p, l1, l2)
+				got, _ := CollectPairs(e, s)
+				if !pairsEqual(got, want) {
+					t.Logf("%s: %d pairs, want %d", e.Name(), len(got), len(want))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationFullMatchesRJCExactly(t *testing.T) {
+	// Both lemmas on: identical pair stream (no duplicates) to RJC.
+	rng := rand.New(rand.NewSource(8))
+	s := randomSnapshot(rng, 400, 20)
+	p := Params{Eps: 1.0, CellWidth: 3, Metric: geo.L1}
+	abl, ablRaw := CollectPairs(NewAblation(p, true, true), s)
+	rjc, rjcRaw := CollectPairs(NewRJC(p), s)
+	if !pairsEqual(abl, rjc) {
+		t.Error("ablation[on,on] differs from RJC")
+	}
+	if ablRaw != rjcRaw {
+		t.Errorf("raw emissions differ: %d vs %d", ablRaw, rjcRaw)
+	}
+}
+
+func TestAblationName(t *testing.T) {
+	p := Params{Eps: 1, CellWidth: 2, Metric: geo.L1}
+	if got := NewAblation(p, true, false).Name(); got != "RJC[L1=true,L2=false]" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// Disabling either lemma must increase raw work (duplicate production is
+// internal, so measure replication instead).
+func TestAblationReplicationCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := randomSnapshot(rng, 600, 25)
+	eps, lg := 1.2, 2.0
+	up := AllocateSnapshot(s, lg, eps, 0)   // grid.UpperHalf
+	full := AllocateSnapshot(s, lg, eps, 1) // grid.FullRegion
+	count := func(ts []CellTask) int {
+		n := 0
+		for _, t := range ts {
+			n += len(t.Queries)
+		}
+		return n
+	}
+	if count(full) <= count(up) {
+		t.Errorf("full replication (%d) should exceed upper-half (%d)",
+			count(full), count(up))
+	}
+}

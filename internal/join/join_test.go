@@ -1,0 +1,253 @@
+package join
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+func snapshotOf(pts []geo.Point) *model.Snapshot {
+	s := &model.Snapshot{Tick: 1}
+	for i, p := range pts {
+		s.Add(model.ObjectID(i), p)
+	}
+	return s
+}
+
+func randomSnapshot(rng *rand.Rand, n int, extent float64) *model.Snapshot {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	return snapshotOf(pts)
+}
+
+func brutePairs(s *model.Snapshot, eps float64, m geo.Metric) [][2]int32 {
+	var out [][2]int32
+	BruteForce(s, eps, m, func(i, j int32) {
+		out = append(out, [2]int32{i, j})
+	})
+	return out
+}
+
+func engines(p Params) []Engine {
+	return []Engine{NewRJC(p), NewSRJ(p), NewGDC(p)}
+}
+
+func TestPaperFig2RangeJoin(t *testing.T) {
+	// Fig. 2 at time 1: RJ(O, eps) = {(o1,o2), (o3,o4), (o5,o6), (o6,o7)}.
+	// Reconstruct a layout with those adjacencies (ids are 0-based here).
+	pts := []geo.Point{
+		{X: 0, Y: 0},    // o1
+		{X: 0.8, Y: 0},  // o2: close to o1
+		{X: 5, Y: 0},    // o3
+		{X: 5.8, Y: 0},  // o4: close to o3
+		{X: 10, Y: 0},   // o5
+		{X: 10.8, Y: 0}, // o6: close to o5
+		{X: 11.6, Y: 0}, // o7: close to o6, not o5
+		{X: 20, Y: 20},  // o8: isolated
+	}
+	s := snapshotOf(pts)
+	want := [][2]int32{{0, 1}, {2, 3}, {4, 5}, {5, 6}}
+	p := Params{Eps: 1.0, CellWidth: 2.5, Metric: geo.L1}
+	for _, e := range engines(p) {
+		got, _ := CollectPairs(e, s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s pairs = %v, want %v", e.Name(), got, want)
+		}
+	}
+}
+
+func TestEnginesMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(150)
+		// Cluster some points to force dense regions.
+		s := randomSnapshot(rng, n, 30)
+		eps := 0.3 + rng.Float64()*2.5
+		lg := 0.5 + rng.Float64()*6
+		for _, m := range []geo.Metric{geo.L1, geo.L2, geo.LInf} {
+			want := brutePairs(s, eps, m)
+			p := Params{Eps: eps, CellWidth: lg, Metric: m}
+			for _, e := range engines(p) {
+				got, _ := CollectPairs(e, s)
+				if !pairsEqual(got, want) {
+					t.Logf("%s mismatch: n=%d eps=%.3f lg=%.3f metric=%v got=%d want=%d",
+						e.Name(), n, eps, lg, m, len(got), len(want))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pairsEqual(a, b [][2]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma 1 + Lemma 2 mean RJC emits zero duplicates; SRJ emits at least as
+// many raw results as unique ones.
+func TestRJCNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomSnapshot(rng, 500, 20) // dense: many pairs
+	p := Params{Eps: 1.2, CellWidth: 2.0, Metric: geo.L1}
+
+	pairs, raw := CollectPairs(NewRJC(p), s)
+	if raw != len(pairs) {
+		t.Errorf("RJC emitted %d raw pairs for %d unique: duplicates exist", raw, len(pairs))
+	}
+
+	gPairs, gRaw := CollectPairs(NewGDC(p), s)
+	if gRaw != len(gPairs) {
+		t.Errorf("GDC emitted %d raw pairs for %d unique", gRaw, len(gPairs))
+	}
+
+	if len(pairs) == 0 {
+		t.Fatal("test workload produced no pairs; increase density")
+	}
+}
+
+func TestSRJInternalDedup(t *testing.T) {
+	// SRJ's Join already de-duplicates its output (the cost is internal);
+	// its emitted stream must therefore also be unique.
+	rng := rand.New(rand.NewSource(12))
+	s := randomSnapshot(rng, 300, 15)
+	p := Params{Eps: 1.0, CellWidth: 2.0, Metric: geo.L1}
+	pairs, raw := CollectPairs(NewSRJ(p), s)
+	if raw != len(pairs) {
+		t.Errorf("SRJ leaked %d duplicates", raw-len(pairs))
+	}
+}
+
+func TestAllocateSnapshotDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomSnapshot(rng, 200, 50)
+	a := AllocateSnapshot(s, 3, 1, grid.UpperHalf)
+	b := AllocateSnapshot(s, 3, 1, grid.UpperHalf)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("AllocateSnapshot must be deterministic")
+	}
+	// Every data object appears in exactly one cell.
+	seen := map[int32]int{}
+	for _, c := range a {
+		for _, d := range c.Data {
+			seen[d]++
+		}
+	}
+	if len(seen) != s.Len() {
+		t.Errorf("data coverage %d of %d", len(seen), s.Len())
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("index %d assigned to %d cells", idx, n)
+		}
+	}
+}
+
+func TestUpperHalfReplicatesLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := randomSnapshot(rng, 400, 40)
+	count := func(mode grid.Mode) int {
+		total := 0
+		for _, c := range AllocateSnapshot(s, 1.5, 1.0, mode) {
+			total += len(c.Queries)
+		}
+		return total
+	}
+	up, full := count(grid.UpperHalf), count(grid.FullRegion)
+	if up >= full {
+		t.Errorf("upper-half replication (%d) should be below full (%d)", up, full)
+	}
+}
+
+func TestEmptyAndSingletonSnapshots(t *testing.T) {
+	p := Params{Eps: 1, CellWidth: 2, Metric: geo.L1}
+	for _, e := range engines(p) {
+		for _, s := range []*model.Snapshot{
+			snapshotOf(nil),
+			snapshotOf([]geo.Point{{X: 1, Y: 1}}),
+		} {
+			got, _ := CollectPairs(e, s)
+			if len(got) != 0 {
+				t.Errorf("%s on %d points emitted %v", e.Name(), s.Len(), got)
+			}
+		}
+	}
+}
+
+func TestCoincidentPoints(t *testing.T) {
+	// All points identical: every pair qualifies.
+	pts := make([]geo.Point, 12)
+	for i := range pts {
+		pts[i] = geo.Point{X: 3.3, Y: 4.4}
+	}
+	s := snapshotOf(pts)
+	p := Params{Eps: 0.5, CellWidth: 1, Metric: geo.L1}
+	want := 12 * 11 / 2
+	for _, e := range engines(p) {
+		got, _ := CollectPairs(e, s)
+		if len(got) != want {
+			t.Errorf("%s on coincident points: %d pairs, want %d", e.Name(), len(got), want)
+		}
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts := make([]geo.Point, 80)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64()*20 - 10, Y: rng.Float64()*20 - 10}
+	}
+	s := snapshotOf(pts)
+	eps := 1.3
+	p := Params{Eps: eps, CellWidth: 2.1, Metric: geo.L1}
+	want := brutePairs(s, eps, geo.L1)
+	for _, e := range engines(p) {
+		got, _ := CollectPairs(e, s)
+		if !pairsEqual(got, want) {
+			t.Errorf("%s with negative coords: %d pairs, want %d",
+				e.Name(), len(got), len(want))
+		}
+	}
+}
+
+func BenchmarkRJC(b *testing.B) { benchEngine(b, "RJC") }
+func BenchmarkSRJ(b *testing.B) { benchEngine(b, "SRJ") }
+func BenchmarkGDC(b *testing.B) { benchEngine(b, "GDC") }
+
+func benchEngine(b *testing.B, name string) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomSnapshot(rng, 5000, 100)
+	p := Params{Eps: 0.8, CellWidth: 4, Metric: geo.L1}
+	var e Engine
+	switch name {
+	case "RJC":
+		e = NewRJC(p)
+	case "SRJ":
+		e = NewSRJ(p)
+	case "GDC":
+		e = NewGDC(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		e.Join(s, func(i, j int32) { n++ })
+	}
+}

@@ -1,0 +1,154 @@
+// Package metrics provides the two performance measures of the paper's
+// evaluation (Section 7): per-snapshot latency (the time from a snapshot's
+// ingestion to the emission of its results) and throughput (snapshots
+// processed per second), plus cluster-size statistics for Figures 12-13.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latency accumulates duration samples. Safe for concurrent use.
+type Latency struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one sample.
+func (l *Latency) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the average latency (0 with no samples).
+func (l *Latency) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range l.samples {
+		total += d
+	}
+	return total / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (l *Latency) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), l.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Throughput measures completed units per second over a wall-clock span.
+type Throughput struct {
+	mu    sync.Mutex
+	count int64
+	start time.Time
+	end   time.Time
+}
+
+// Start marks the beginning of the measured span.
+func (t *Throughput) Start(now time.Time) {
+	t.mu.Lock()
+	t.start = now
+	t.mu.Unlock()
+}
+
+// Add records completed units.
+func (t *Throughput) Add(n int64, now time.Time) {
+	t.mu.Lock()
+	t.count += n
+	t.end = now
+	t.mu.Unlock()
+}
+
+// PerSecond returns units per second across the span.
+func (t *Throughput) PerSecond() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || !t.end.After(t.start) {
+		return 0
+	}
+	return float64(t.count) / t.end.Sub(t.start).Seconds()
+}
+
+// Count returns the number of completed units.
+func (t *Throughput) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Mean accumulates float samples (average cluster size, etc.).
+type Mean struct {
+	mu    sync.Mutex
+	sum   float64
+	count int64
+}
+
+// Observe records one sample.
+func (m *Mean) Observe(v float64) {
+	m.mu.Lock()
+	m.sum += v
+	m.count++
+	m.mu.Unlock()
+}
+
+// Value returns the mean (0 with no samples).
+func (m *Mean) Value() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// Report is one experiment measurement row.
+type Report struct {
+	// LatencyMean is the average per-snapshot detection latency.
+	LatencyMean time.Duration
+	// LatencyP95 is the 95th-percentile latency.
+	LatencyP95 time.Duration
+	// ThroughputPerSec is snapshots processed per second.
+	ThroughputPerSec float64
+	// AvgClusterSize is the mean DBSCAN cluster cardinality.
+	AvgClusterSize float64
+	// Snapshots is the number of snapshots measured.
+	Snapshots int64
+	// Patterns is the number of patterns reported.
+	Patterns int64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("latency=%.3fms p95=%.3fms throughput=%.1f/s avgCluster=%.1f snapshots=%d patterns=%d",
+		float64(r.LatencyMean.Microseconds())/1000,
+		float64(r.LatencyP95.Microseconds())/1000,
+		r.ThroughputPerSec, r.AvgClusterSize, r.Snapshots, r.Patterns)
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Count() != 0 || l.Mean() != 0 || l.Percentile(95) != 0 {
+		t.Error("empty latency should report zeros")
+	}
+}
+
+func TestLatencyMeanAndPercentile(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := l.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("P95 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := l.Percentile(1); got != 1*time.Millisecond {
+		t.Errorf("P1 = %v", got)
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	var l Latency
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Errorf("Count = %d", l.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	t0 := time.Now()
+	tp.Start(t0)
+	tp.Add(50, t0.Add(500*time.Millisecond))
+	tp.Add(50, t0.Add(time.Second))
+	if got := tp.PerSecond(); got < 99 || got > 101 {
+		t.Errorf("PerSecond = %v, want ~100", got)
+	}
+	if tp.Count() != 100 {
+		t.Errorf("Count = %d", tp.Count())
+	}
+	var empty Throughput
+	if empty.PerSecond() != 0 {
+		t.Error("empty throughput should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	m.Observe(2)
+	m.Observe(4)
+	if m.Value() != 3 {
+		t.Errorf("Value = %v", m.Value())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		LatencyMean:      1500 * time.Microsecond,
+		LatencyP95:       3 * time.Millisecond,
+		ThroughputPerSec: 123.4,
+		AvgClusterSize:   7.5,
+		Snapshots:        100,
+		Patterns:         42,
+	}
+	s := r.String()
+	for _, want := range []string{"1.500", "123.4", "7.5", "100", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Report %q missing %q", s, want)
+		}
+	}
+}

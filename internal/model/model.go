@@ -1,0 +1,196 @@
+// Package model defines the domain types of the ICPE pipeline: raw GPS
+// records, discretized snapshots, cluster snapshots, the CP(M,K,L,G)
+// constraint set, and detected co-movement patterns.
+//
+// Terminology follows the paper: a *snapshot* S_t holds the locations of all
+// objects that reported at discrete time t (Definition 6); a *co-movement
+// pattern* CP(M,K,L,G) is an object set O with a time sequence T satisfying
+// closeness, significance, duration, consecutiveness and connection
+// (Definition 4).
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// ObjectID identifies one moving object (one streaming trajectory).
+type ObjectID uint32
+
+// Tick is a discretized time index (Definition 1's domain T = {1, 2, ...,N}).
+type Tick int64
+
+// Record is a raw GPS record r = (l, t): a location and a wall-clock time.
+type Record struct {
+	Object ObjectID
+	Loc    geo.Point
+	Time   time.Time
+}
+
+// StampedRecord is a discretized record flowing through the pipeline. It
+// carries the "last time" marker from Section 4: the tick of the most recent
+// snapshot before Tick for which this object reported a location (or
+// NoLastTime for the object's first record). The marker lets the snapshot
+// assembler decide whether it must keep waiting for an object at a given
+// tick even when records arrive out of order.
+type StampedRecord struct {
+	Object   ObjectID
+	Loc      geo.Point
+	Tick     Tick
+	LastTick Tick
+	// Ingest is when the record entered the pipeline; latency metrics are
+	// measured from this instant to result emission.
+	Ingest time.Time
+}
+
+// NoLastTime marks a record as the first ever emitted by its object.
+const NoLastTime Tick = -1
+
+// Snapshot is the set of object locations at a single tick (Definition 6).
+type Snapshot struct {
+	Tick    Tick
+	Objects []ObjectID
+	Locs    []geo.Point
+	// Ingest is the earliest ingest time among the constituent records,
+	// carried through so end-to-end latency can be measured per snapshot.
+	Ingest time.Time
+}
+
+// Len returns the number of object locations in the snapshot.
+func (s *Snapshot) Len() int { return len(s.Objects) }
+
+// Add appends one object location to the snapshot.
+func (s *Snapshot) Add(o ObjectID, l geo.Point) {
+	s.Objects = append(s.Objects, o)
+	s.Locs = append(s.Locs, l)
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Tick: s.Tick, Ingest: s.Ingest}
+	c.Objects = append([]ObjectID(nil), s.Objects...)
+	c.Locs = append([]geo.Point(nil), s.Locs...)
+	return c
+}
+
+// Cluster is one density-based cluster within a snapshot: the ids of its
+// member objects, sorted ascending.
+type Cluster []ObjectID
+
+// ClusterSnapshot is the output of the clustering phase for one tick: all
+// clusters of size >= 2 found by DBSCAN in that snapshot.
+type ClusterSnapshot struct {
+	Tick     Tick
+	Clusters []Cluster
+	Ingest   time.Time
+	// NumObjects is the snapshot population (for average-cluster-size stats).
+	NumObjects int
+}
+
+// Constraints is the CP(M,K,L,G) parameter set of Definition 4 plus the
+// DBSCAN closeness parameters.
+type Constraints struct {
+	// M is the significance constraint: minimum number of objects |O|.
+	M int
+	// K is the duration constraint: minimum |T|.
+	K int
+	// L is the consecutiveness constraint: minimum segment length.
+	L int
+	// G is the connection constraint: maximum gap between neighboring times.
+	G int
+}
+
+// Validate reports whether the constraint set is well-formed.
+func (c Constraints) Validate() error {
+	if c.M < 2 {
+		return fmt.Errorf("model: M must be >= 2, got %d", c.M)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("model: K must be >= 1, got %d", c.K)
+	}
+	if c.L < 1 {
+		return fmt.Errorf("model: L must be >= 1, got %d", c.L)
+	}
+	if c.L > c.K {
+		return fmt.Errorf("model: L (%d) must not exceed K (%d)", c.L, c.K)
+	}
+	if c.G < 1 {
+		return fmt.Errorf("model: G must be >= 1, got %d", c.G)
+	}
+	return nil
+}
+
+// Eta returns the verification window length of Lemma 4:
+// eta = (ceil(K/L)-1)*(G-1) + K + L - 1 snapshots suffice to confirm or
+// reject any pattern whose time sequence starts at the window's first tick.
+func (c Constraints) Eta() int {
+	ceil := (c.K + c.L - 1) / c.L
+	return (ceil-1)*(c.G-1) + c.K + c.L - 1
+}
+
+func (c Constraints) String() string {
+	return fmt.Sprintf("CP(M=%d,K=%d,L=%d,G=%d)", c.M, c.K, c.L, c.G)
+}
+
+// Pattern is a detected co-movement pattern: an object set and the time
+// sequence witnessing it. Objects are sorted ascending; Times is strictly
+// increasing and satisfies the K/L/G constraints it was detected under.
+type Pattern struct {
+	Objects []ObjectID
+	Times   []Tick
+}
+
+// Key returns a canonical string key for the object set, independent of the
+// time sequence. Used for de-duplication and test comparison.
+func (p Pattern) Key() string {
+	var b strings.Builder
+	for i, o := range p.Objects {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", o)
+	}
+	return b.String()
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("{%s}@%v", p.Key(), p.Times)
+}
+
+// NormalizePattern sorts the object set ascending and returns p.
+func NormalizePattern(p Pattern) Pattern {
+	sort.Slice(p.Objects, func(i, j int) bool { return p.Objects[i] < p.Objects[j] })
+	return p
+}
+
+// SortClusters orders every cluster's members ascending and the clusters
+// themselves by their first member, giving ClusterSnapshots a canonical form.
+func (cs *ClusterSnapshot) SortClusters() {
+	for _, c := range cs.Clusters {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	sort.Slice(cs.Clusters, func(i, j int) bool {
+		a, b := cs.Clusters[i], cs.Clusters[j]
+		if len(a) == 0 || len(b) == 0 {
+			return len(a) < len(b)
+		}
+		return a[0] < b[0]
+	})
+}
+
+// AverageClusterSize returns the mean cluster cardinality, or 0 when there
+// are no clusters.
+func (cs *ClusterSnapshot) AverageClusterSize() float64 {
+	if len(cs.Clusters) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range cs.Clusters {
+		total += len(c)
+	}
+	return float64(total) / float64(len(cs.Clusters))
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestConstraintsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Constraints
+		ok   bool
+	}{
+		{"valid", Constraints{M: 2, K: 4, L: 2, G: 2}, true},
+		{"paper example", Constraints{M: 3, K: 4, L: 2, G: 2}, true},
+		{"L equals K", Constraints{M: 2, K: 4, L: 4, G: 1}, true},
+		{"M too small", Constraints{M: 1, K: 4, L: 2, G: 2}, false},
+		{"K zero", Constraints{M: 2, K: 0, L: 1, G: 2}, false},
+		{"L zero", Constraints{M: 2, K: 4, L: 0, G: 2}, false},
+		{"L exceeds K", Constraints{M: 2, K: 3, L: 4, G: 2}, false},
+		{"G zero", Constraints{M: 2, K: 4, L: 2, G: 0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestEta(t *testing.T) {
+	// Paper example (Section 6.1): K=4, L=G=2 gives eta = 6.
+	c := Constraints{M: 3, K: 4, L: 2, G: 2}
+	if got := c.Eta(); got != 6 {
+		t.Errorf("Eta() = %d, want 6", got)
+	}
+	// K=L: single segment, eta = K + L - 1.
+	c = Constraints{M: 2, K: 5, L: 5, G: 3}
+	if got := c.Eta(); got != 9 {
+		t.Errorf("Eta() = %d, want 9", got)
+	}
+	// ceil(7/3)=3 segments: (3-1)*(4-1) + 7 + 3 - 1 = 15.
+	c = Constraints{M: 2, K: 7, L: 3, G: 4}
+	if got := c.Eta(); got != 15 {
+		t.Errorf("Eta() = %d, want 15", got)
+	}
+}
+
+func TestConstraintsString(t *testing.T) {
+	c := Constraints{M: 3, K: 4, L: 2, G: 2}
+	if got := c.String(); got != "CP(M=3,K=4,L=2,G=2)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSnapshotAddCloneLen(t *testing.T) {
+	s := &Snapshot{Tick: 7}
+	s.Add(1, geo.Point{X: 1, Y: 2})
+	s.Add(2, geo.Point{X: 3, Y: 4})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	c := s.Clone()
+	c.Add(3, geo.Point{X: 5, Y: 6})
+	if s.Len() != 2 || c.Len() != 3 {
+		t.Errorf("clone must not alias: s=%d c=%d", s.Len(), c.Len())
+	}
+	if c.Tick != 7 {
+		t.Errorf("clone tick = %d", c.Tick)
+	}
+	c.Locs[0].X = 99
+	if s.Locs[0].X == 99 {
+		t.Error("clone locs alias original")
+	}
+}
+
+func TestPatternKeyAndString(t *testing.T) {
+	p := Pattern{Objects: []ObjectID{4, 5, 6}, Times: []Tick{3, 4, 6, 7}}
+	if got := p.Key(); got != "4,5,6" {
+		t.Errorf("Key() = %q", got)
+	}
+	if got := p.String(); got != "{4,5,6}@[3 4 6 7]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNormalizePattern(t *testing.T) {
+	p := NormalizePattern(Pattern{Objects: []ObjectID{6, 4, 5}})
+	if p.Key() != "4,5,6" {
+		t.Errorf("normalized key = %q", p.Key())
+	}
+}
+
+func TestSortClustersCanonical(t *testing.T) {
+	cs := &ClusterSnapshot{
+		Tick: 1,
+		Clusters: []Cluster{
+			{9, 7, 8},
+			{3, 1, 2},
+		},
+	}
+	cs.SortClusters()
+	if cs.Clusters[0][0] != 1 || cs.Clusters[0][2] != 3 {
+		t.Errorf("first cluster = %v", cs.Clusters[0])
+	}
+	if cs.Clusters[1][0] != 7 {
+		t.Errorf("second cluster = %v", cs.Clusters[1])
+	}
+}
+
+func TestAverageClusterSize(t *testing.T) {
+	cs := &ClusterSnapshot{}
+	if got := cs.AverageClusterSize(); got != 0 {
+		t.Errorf("empty avg = %v", got)
+	}
+	cs.Clusters = []Cluster{{1, 2}, {3, 4, 5, 6}}
+	if got := cs.AverageClusterSize(); got != 3 {
+		t.Errorf("avg = %v, want 3", got)
+	}
+}

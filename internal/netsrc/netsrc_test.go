@@ -1,0 +1,193 @@
+package netsrc
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/trajio"
+)
+
+func silent(string, ...any) {}
+
+func TestPublishAndReceive(t *testing.T) {
+	var mu sync.Mutex
+	var got []trajio.Rec
+	s, err := Serve("127.0.0.1:0", func(r trajio.Rec) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLogf(silent)
+	defer s.Close()
+
+	p, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []trajio.Rec{
+		{Object: 1, Tick: 1, Loc: geo.Point{X: 1, Y: 2}},
+		{Object: 2, Tick: 1, Loc: geo.Point{X: 3, Y: 4}},
+		{Object: 1, Tick: 2, Loc: geo.Point{X: 5, Y: 6}},
+	}
+	for _, r := range want {
+		if err := p.Publish(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d records", n, len(want))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultiplePublishers(t *testing.T) {
+	var count int64
+	s, err := Serve("127.0.0.1:0", func(trajio.Rec) {
+		atomic.AddInt64(&count, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLogf(silent)
+	defer s.Close()
+
+	const pubs, each = 5, 200
+	var wg sync.WaitGroup
+	for g := 0; g < pubs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < each; i++ {
+				_ = p.Publish(trajio.Rec{
+					Object: model.ObjectID(g*1000 + i),
+					Tick:   model.Tick(i),
+					Loc:    geo.Point{X: float64(g), Y: float64(i)},
+				})
+			}
+			if err := p.Close(); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt64(&count) < pubs*each {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d", count, pubs*each)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerCloseUnblocks(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", func(trajio.Rec) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLogf(silent)
+	p, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Publish(trajio.Rec{Object: 1, Tick: 1})
+	_ = p.Flush()
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	// Double close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	p.Close()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestServeNilHandler(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestGarbageConnectionIgnored(t *testing.T) {
+	var count int64
+	s, err := Serve("127.0.0.1:0", func(trajio.Rec) { atomic.AddInt64(&count, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLogf(silent)
+	defer s.Close()
+	// A connection with a bad magic must be dropped without crashing.
+	p, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Publish(trajio.Rec{Object: 7, Tick: 1})
+	_ = p.Close()
+
+	conn, err := netDial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte("GARBAGE STREAM"))
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt64(&count) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("valid record not delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// netDial is a raw TCP dial helper for malformed-stream tests.
+func netDial(addr string) (interface {
+	Write([]byte) (int, error)
+	Close() error
+}, error) {
+	return net.Dial("tcp", addr)
+}

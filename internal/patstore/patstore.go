@@ -1,0 +1,293 @@
+// Package patstore is an in-memory, indexed store for detected co-movement
+// patterns — the component downstream applications (future-movement
+// prediction, compression, fleet analytics) query. It supports lookups by
+// member object, by time overlap, by group containment, and subsumption
+// filtering to maximal patterns.
+//
+// The store is safe for one writer (the detection pipeline's sink) and
+// concurrent readers.
+package patstore
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Entry is one stored pattern with its insertion sequence number.
+type Entry struct {
+	Seq     uint64
+	Pattern model.Pattern
+}
+
+// Store indexes patterns by member object and by time interval.
+type Store struct {
+	mu      sync.RWMutex
+	entries []Entry
+	byObj   map[model.ObjectID][]int // entry indexes, ascending
+	nextSeq uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byObj: make(map[model.ObjectID][]int)}
+}
+
+// Add inserts one pattern and returns its sequence number. The pattern is
+// stored as given (callers should pass normalized patterns: objects sorted,
+// times increasing).
+func (s *Store) Add(p model.Pattern) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.nextSeq
+	s.nextSeq++
+	idx := len(s.entries)
+	s.entries = append(s.entries, Entry{Seq: seq, Pattern: p})
+	for _, o := range p.Objects {
+		s.byObj[o] = append(s.byObj[o], idx)
+	}
+	return seq
+}
+
+// Len returns the number of stored patterns.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// All returns every stored pattern in insertion order.
+func (s *Store) All() []model.Pattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Pattern, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.Pattern
+	}
+	return out
+}
+
+// ByObject returns all patterns containing the object, in insertion order.
+func (s *Store) ByObject(o model.ObjectID) []model.Pattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byObj[o]
+	out := make([]model.Pattern, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.entries[idx].Pattern
+	}
+	return out
+}
+
+// Overlapping returns all patterns whose time sequence intersects
+// [from, to], inclusive.
+func (s *Store) Overlapping(from, to model.Tick) []model.Pattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []model.Pattern
+	for _, e := range s.entries {
+		ts := e.Pattern.Times
+		if len(ts) == 0 {
+			continue
+		}
+		if ts[0] <= to && ts[len(ts)-1] >= from {
+			out = append(out, e.Pattern)
+		}
+	}
+	return out
+}
+
+// Containing returns all patterns whose object set is a superset of the
+// given group (group must be sorted ascending).
+func (s *Store) Containing(group []model.ObjectID) []model.Pattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(group) == 0 {
+		return s.allLocked()
+	}
+	// Walk the rarest member's posting list.
+	best := s.byObj[group[0]]
+	for _, o := range group[1:] {
+		if l := s.byObj[o]; len(l) < len(best) {
+			best = l
+		}
+	}
+	var out []model.Pattern
+	for _, idx := range best {
+		if containsAll(s.entries[idx].Pattern.Objects, group) {
+			out = append(out, s.entries[idx].Pattern)
+		}
+	}
+	return out
+}
+
+func (s *Store) allLocked() []model.Pattern {
+	out := make([]model.Pattern, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.Pattern
+	}
+	return out
+}
+
+// containsAll reports whether sorted slice a contains every element of
+// sorted slice b.
+func containsAll(a, b []model.ObjectID) bool {
+	i := 0
+	for _, want := range b {
+		for i < len(a) && a[i] < want {
+			i++
+		}
+		if i >= len(a) || a[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Maximal returns the patterns not subsumed by any other stored pattern: a
+// pattern is subsumed when another pattern has a superset of its objects
+// and a superset of its witness ticks. Enumerators report every valid
+// subset (as the paper defines the output); Maximal reduces the result to
+// the frontier applications usually want.
+func (s *Store) Maximal() []model.Pattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []model.Pattern
+	for i, e := range s.entries {
+		p := e.Pattern
+		subsumed := false
+		if len(p.Objects) > 0 {
+			// Candidate subsumers must contain p's first object.
+			for _, j := range s.byObj[p.Objects[0]] {
+				if i == j {
+					continue
+				}
+				o := s.entries[j].Pattern
+				if !containsAll(o.Objects, p.Objects) || !containsTicks(o.Times, p.Times) {
+					continue
+				}
+				if equalObjs(o.Objects, p.Objects) && equalTicks(o.Times, p.Times) {
+					// Exact duplicate: keep only the earliest copy.
+					if j < i {
+						subsumed = true
+						break
+					}
+					continue
+				}
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsTicks(a, b []model.Tick) bool {
+	i := 0
+	for _, want := range b {
+		for i < len(a) && a[i] < want {
+			i++
+		}
+		if i >= len(a) || a[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func equalObjs(a, b []model.ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTicks(a, b []model.Tick) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes the stored patterns.
+type Stats struct {
+	Count int
+	// SizeHist[k] counts patterns with k objects.
+	SizeHist map[int]int
+	// MeanDuration is the average witness length.
+	MeanDuration float64
+	// Span is the [min, max] tick range covered.
+	SpanFrom, SpanTo model.Tick
+}
+
+// Summarize computes aggregate statistics.
+func (s *Store) Summarize() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{SizeHist: make(map[int]int)}
+	st.Count = len(s.entries)
+	if st.Count == 0 {
+		return st
+	}
+	st.SpanFrom = 1<<62 - 1
+	total := 0
+	for _, e := range s.entries {
+		st.SizeHist[len(e.Pattern.Objects)]++
+		total += len(e.Pattern.Times)
+		ts := e.Pattern.Times
+		if len(ts) > 0 {
+			if ts[0] < st.SpanFrom {
+				st.SpanFrom = ts[0]
+			}
+			if ts[len(ts)-1] > st.SpanTo {
+				st.SpanTo = ts[len(ts)-1]
+			}
+		}
+	}
+	st.MeanDuration = float64(total) / float64(st.Count)
+	return st
+}
+
+// TopGroups returns the n largest distinct object sets by (size, duration).
+func (s *Store) TopGroups(n int) []model.Pattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best := make(map[string]model.Pattern)
+	for _, e := range s.entries {
+		k := e.Pattern.Key()
+		if cur, ok := best[k]; !ok || len(e.Pattern.Times) > len(cur.Times) {
+			best[k] = e.Pattern
+		}
+	}
+	out := make([]model.Pattern, 0, len(best))
+	for _, p := range best {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Objects) != len(out[j].Objects) {
+			return len(out[i].Objects) > len(out[j].Objects)
+		}
+		if len(out[i].Times) != len(out[j].Times) {
+			return len(out[i].Times) > len(out[j].Times)
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package patstore
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func pat(objs []model.ObjectID, ticks []model.Tick) model.Pattern {
+	return model.Pattern{Objects: objs, Times: ticks}
+}
+
+func keys(ps []model.Pattern) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestAddAndBasicQueries(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	s.Add(pat([]model.ObjectID{1, 2, 3}, []model.Tick{5, 6, 7}))
+	s.Add(pat([]model.ObjectID{2, 4}, []model.Tick{10, 11}))
+	s.Add(pat([]model.ObjectID{5, 6}, []model.Tick{1, 2}))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.ByObject(2); len(got) != 2 {
+		t.Errorf("ByObject(2) = %v", got)
+	}
+	if got := s.ByObject(9); len(got) != 0 {
+		t.Errorf("ByObject(9) = %v", got)
+	}
+	if got := s.All(); len(got) != 3 {
+		t.Errorf("All = %d", len(got))
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	s := New()
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{5, 6, 7}))
+	s.Add(pat([]model.ObjectID{3, 4}, []model.Tick{10, 12}))
+	cases := []struct {
+		from, to model.Tick
+		want     int
+	}{
+		{1, 4, 0},
+		{1, 5, 1},
+		{7, 10, 2},
+		{8, 9, 0}, // between the two spans
+		{11, 11, 1},
+		{13, 20, 0},
+	}
+	for _, c := range cases {
+		if got := s.Overlapping(c.from, c.to); len(got) != c.want {
+			t.Errorf("Overlapping(%d,%d) = %d, want %d", c.from, c.to, len(got), c.want)
+		}
+	}
+}
+
+func TestContaining(t *testing.T) {
+	s := New()
+	s.Add(pat([]model.ObjectID{1, 2, 3}, []model.Tick{1, 2}))
+	s.Add(pat([]model.ObjectID{1, 3, 5}, []model.Tick{1, 2}))
+	s.Add(pat([]model.ObjectID{2, 3}, []model.Tick{1, 2}))
+	if got := s.Containing([]model.ObjectID{1, 3}); len(got) != 2 {
+		t.Errorf("Containing(1,3) = %v", got)
+	}
+	if got := s.Containing([]model.ObjectID{3}); len(got) != 3 {
+		t.Errorf("Containing(3) = %v", got)
+	}
+	if got := s.Containing([]model.ObjectID{1, 2, 3, 4}); len(got) != 0 {
+		t.Errorf("Containing(1..4) = %v", got)
+	}
+	if got := s.Containing(nil); len(got) != 3 {
+		t.Errorf("Containing(nil) = %v", got)
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	s := New()
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{1, 2, 3}))    // subsumed by next
+	s.Add(pat([]model.ObjectID{1, 2, 3}, []model.Tick{1, 2, 3})) // maximal
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{1, 2, 3, 4})) // maximal (more ticks)
+	s.Add(pat([]model.ObjectID{7, 8}, []model.Tick{5, 6}))       // maximal (disjoint)
+	s.Add(pat([]model.ObjectID{7, 8}, []model.Tick{5, 6}))       // duplicate: dropped
+	got := keys(s.Maximal())
+	want := []string{"1,2", "1,2,3", "7,8"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Maximal = %v, want %v", got, want)
+	}
+}
+
+// Property: Maximal output contains no pair where one pattern subsumes the
+// other, and every dropped pattern is subsumed by some kept one.
+func TestMaximalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var all []model.Pattern
+		for i := 0; i < 30; i++ {
+			n := 2 + rng.Intn(4)
+			objs := make([]model.ObjectID, 0, n)
+			for o := model.ObjectID(1); o <= 6 && len(objs) < n; o++ {
+				if rng.Intn(2) == 0 {
+					objs = append(objs, o)
+				}
+			}
+			if len(objs) < 2 {
+				objs = []model.ObjectID{1, 2}
+			}
+			var ticks []model.Tick
+			for tk := model.Tick(1); tk <= 8; tk++ {
+				if rng.Intn(2) == 0 {
+					ticks = append(ticks, tk)
+				}
+			}
+			if len(ticks) == 0 {
+				ticks = []model.Tick{1}
+			}
+			p := pat(objs, ticks)
+			s.Add(p)
+			all = append(all, p)
+		}
+		max := s.Maximal()
+		sub := func(a, b model.Pattern) bool { // a subsumes b
+			return containsAll(a.Objects, b.Objects) && containsTicks(a.Times, b.Times)
+		}
+		for i := range max {
+			for j := range max {
+				if i != j && sub(max[i], max[j]) && sub(max[j], max[i]) {
+					// identical duplicates must not both survive
+					return false
+				}
+				if i != j && sub(max[i], max[j]) && !sub(max[j], max[i]) {
+					return false
+				}
+			}
+		}
+		// Every input is subsumed by (or equal to) some maximal entry.
+		for _, p := range all {
+			ok := false
+			for _, m := range max {
+				if sub(m, p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := New()
+	if st := s.Summarize(); st.Count != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{3, 4}))
+	s.Add(pat([]model.ObjectID{1, 2, 3}, []model.Tick{8, 9, 10, 11}))
+	st := s.Summarize()
+	if st.Count != 2 || st.SizeHist[2] != 1 || st.SizeHist[3] != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MeanDuration != 3 {
+		t.Errorf("mean duration = %v", st.MeanDuration)
+	}
+	if st.SpanFrom != 3 || st.SpanTo != 11 {
+		t.Errorf("span = [%d,%d]", st.SpanFrom, st.SpanTo)
+	}
+}
+
+func TestTopGroups(t *testing.T) {
+	s := New()
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{1, 2}))
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{5, 6, 7})) // longer witness, same group
+	s.Add(pat([]model.ObjectID{3, 4, 5}, []model.Tick{1, 2}))
+	top := s.TopGroups(2)
+	if len(top) != 2 {
+		t.Fatalf("TopGroups = %v", top)
+	}
+	if top[0].Key() != "3,4,5" {
+		t.Errorf("top[0] = %v, want largest group first", top[0])
+	}
+	if top[1].Key() != "1,2" || len(top[1].Times) != 3 {
+		t.Errorf("top[1] = %v, want longest witness for group 1,2", top[1])
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.Add(pat([]model.ObjectID{model.ObjectID(i%7 + 1), model.ObjectID(i%7 + 2)},
+				[]model.Tick{model.Tick(i), model.Tick(i + 1)}))
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.ByObject(3)
+				s.Overlapping(10, 20)
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 500 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,578 @@
+// Package rtree implements an in-memory R*-tree over points, the local
+// index of the paper's two-layer GR-index (Section 5.1, citing Beckmann et
+// al.'s R*-tree). Each grid cell owns one tree; data objects are inserted
+// incrementally while range queries run against the partially built tree
+// (Lemma 2), so the tree supports interleaved insert/search efficiently.
+//
+// The implementation follows the R*-tree design: subtree choice by overlap
+// enlargement at the leaf level, margin-driven axis selection for splits,
+// and forced reinsertion on first overflow per level.
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Item is a stored point with an opaque identifier.
+type Item struct {
+	P  geo.Point
+	ID int64
+}
+
+const (
+	defaultMaxEntries = 32
+	// reinsertFraction is the share of entries removed on forced reinsert.
+	reinsertFraction = 0.3
+)
+
+// Tree is an R*-tree over points. The zero value is not usable; call New.
+type Tree struct {
+	root       *node
+	maxEntries int
+	minEntries int
+	size       int
+	height     int // leaf level = 0; root is at height-1
+}
+
+type node struct {
+	rect   geo.Rect
+	leaf   bool
+	items  []Item  // leaf payload
+	kids   []*node // interior children
+	parent *node
+}
+
+// New returns an empty tree with the default fanout.
+func New() *Tree { return NewWithFanout(defaultMaxEntries) }
+
+// NewWithFanout returns an empty tree whose nodes hold at most max entries.
+// max must be at least 4.
+func NewWithFanout(max int) *Tree {
+	if max < 4 {
+		panic("rtree: fanout must be >= 4")
+	}
+	t := &Tree{maxEntries: max, minEntries: max * 2 / 5}
+	if t.minEntries < 2 {
+		t.minEntries = 2
+	}
+	t.root = &node{leaf: true, rect: geo.EmptyRect()}
+	t.height = 1
+	return t
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a leaf-only tree).
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the minimal rectangle covering all items.
+func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+
+// Insert adds one item.
+func (t *Tree) Insert(p geo.Point, id int64) {
+	t.size++
+	// reinserted tracks which levels already performed a forced reinsert
+	// during this insertion (the R*-tree does it once per level).
+	reinserted := make(map[int]bool)
+	t.insertItem(Item{P: p, ID: id}, reinserted)
+}
+
+func (t *Tree) insertItem(it Item, reinserted map[int]bool) {
+	leaf := t.chooseLeaf(t.root, geo.RectOf(it.P))
+	leaf.items = append(leaf.items, it)
+	leaf.rect = leaf.rect.UnionPoint(it.P)
+	t.adjustUpward(leaf.parent, geo.RectOf(it.P))
+	if len(leaf.items) > t.maxEntries {
+		t.overflow(leaf, 0, reinserted)
+	}
+}
+
+// chooseLeaf descends from n to the leaf best suited for r.
+func (t *Tree) chooseLeaf(n *node, r geo.Rect) *node {
+	for !n.leaf {
+		n = t.chooseChild(n, r)
+	}
+	return n
+}
+
+// chooseChild picks the child of n to descend into for rectangle r,
+// following the R*-tree criteria.
+func (t *Tree) chooseChild(n *node, r geo.Rect) *node {
+	kids := n.kids
+	if kids[0].leaf {
+		// Children are leaves: minimize overlap enlargement, ties by area
+		// enlargement, then by area.
+		best := kids[0]
+		bestOverlap := overlapEnlargement(kids, 0, r)
+		bestEnl := kids[0].rect.Enlargement(r)
+		bestArea := kids[0].rect.Area()
+		for i := 1; i < len(kids); i++ {
+			ov := overlapEnlargement(kids, i, r)
+			enl := kids[i].rect.Enlargement(r)
+			area := kids[i].rect.Area()
+			if ov < bestOverlap ||
+				(ov == bestOverlap && (enl < bestEnl ||
+					(enl == bestEnl && area < bestArea))) {
+				best, bestOverlap, bestEnl, bestArea = kids[i], ov, enl, area
+			}
+		}
+		return best
+	}
+	// Interior children: minimize area enlargement, ties by area.
+	best := kids[0]
+	bestEnl := kids[0].rect.Enlargement(r)
+	bestArea := kids[0].rect.Area()
+	for i := 1; i < len(kids); i++ {
+		enl := kids[i].rect.Enlargement(r)
+		area := kids[i].rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = kids[i], enl, area
+		}
+	}
+	return best
+}
+
+// overlapEnlargement is the increase of kids[i]'s overlap with its siblings
+// if it absorbed r.
+func overlapEnlargement(kids []*node, i int, r geo.Rect) float64 {
+	grown := kids[i].rect.Union(r)
+	var before, after float64
+	for j, k := range kids {
+		if j == i {
+			continue
+		}
+		before += kids[i].rect.IntersectionArea(k.rect)
+		after += grown.IntersectionArea(k.rect)
+	}
+	return after - before
+}
+
+// adjustUpward grows ancestor rectangles to absorb r.
+func (t *Tree) adjustUpward(n *node, r geo.Rect) {
+	for n != nil {
+		n.rect = n.rect.Union(r)
+		n = n.parent
+	}
+}
+
+// overflow handles a node that exceeds maxEntries: forced reinsert on the
+// first overflow at this level (unless root), split otherwise.
+func (t *Tree) overflow(n *node, level int, reinserted map[int]bool) {
+	if n != t.root && !reinserted[level] {
+		reinserted[level] = true
+		t.reinsert(n, level, reinserted)
+		return
+	}
+	t.split(n, level, reinserted)
+}
+
+// reinsert removes the entries farthest from n's center and re-adds them.
+func (t *Tree) reinsert(n *node, level int, reinserted map[int]bool) {
+	center := n.rect.Center()
+	count := int(float64(t.maxEntries) * reinsertFraction)
+	if count < 1 {
+		count = 1
+	}
+	if n.leaf {
+		sort.Slice(n.items, func(i, j int) bool {
+			return n.items[i].P.Dist(center, geo.L2) < n.items[j].P.Dist(center, geo.L2)
+		})
+		cut := len(n.items) - count
+		removed := append([]Item(nil), n.items[cut:]...)
+		n.items = n.items[:cut]
+		t.recomputeRect(n)
+		t.tightenUpward(n.parent)
+		for _, it := range removed {
+			t.insertItem(it, reinserted)
+		}
+		return
+	}
+	sort.Slice(n.kids, func(i, j int) bool {
+		return n.kids[i].rect.Center().Dist(center, geo.L2) <
+			n.kids[j].rect.Center().Dist(center, geo.L2)
+	})
+	cut := len(n.kids) - count
+	removed := append([]*node(nil), n.kids[cut:]...)
+	n.kids = n.kids[:cut]
+	t.recomputeRect(n)
+	t.tightenUpward(n.parent)
+	for _, k := range removed {
+		// n sits at the given level; its children live one level below.
+		t.insertSubtree(k, level-1, reinserted)
+	}
+}
+
+// insertSubtree re-attaches an orphaned subtree whose leaves sit at the
+// given level (0 = leaf nodes themselves).
+func (t *Tree) insertSubtree(sub *node, level int, reinserted map[int]bool) {
+	// Descend to the node whose children live at sub's level.
+	depth := t.height - 1 // root's level index
+	n := t.root
+	for depth > level+1 {
+		n = t.chooseChild(n, sub.rect)
+		depth--
+	}
+	sub.parent = n
+	n.kids = append(n.kids, sub)
+	t.adjustUpward(n, sub.rect)
+	if len(n.kids) > t.maxEntries {
+		t.overflow(n, level+1, reinserted)
+	}
+}
+
+// split divides an overflowing node using the R* axis/distribution choice.
+func (t *Tree) split(n *node, level int, reinserted map[int]bool) {
+	var sibling *node
+	if n.leaf {
+		left, right := splitItems(n.items, t.minEntries)
+		n.items = left
+		sibling = &node{leaf: true, items: right}
+	} else {
+		left, right := splitKids(n.kids, t.minEntries)
+		n.kids = left
+		sibling = &node{kids: right}
+		for _, k := range sibling.kids {
+			k.parent = sibling
+		}
+	}
+	t.recomputeRect(n)
+	t.recomputeRect(sibling)
+
+	if n == t.root {
+		newRoot := &node{kids: []*node{n, sibling}}
+		n.parent, sibling.parent = newRoot, newRoot
+		t.recomputeRect(newRoot)
+		t.root = newRoot
+		t.height++
+		return
+	}
+	p := n.parent
+	sibling.parent = p
+	p.kids = append(p.kids, sibling)
+	t.tightenUpward(p)
+	if len(p.kids) > t.maxEntries {
+		t.overflow(p, level+1, reinserted)
+	}
+}
+
+// rectsOf abstracts item/child rectangles for the split algorithm.
+type rected interface{ rectOf(i int) geo.Rect }
+
+type itemRects []Item
+
+func (s itemRects) rectOf(i int) geo.Rect { return geo.RectOf(s[i].P) }
+
+type kidRects []*node
+
+func (s kidRects) rectOf(i int) geo.Rect { return s[i].rect }
+
+// chooseSplitIndex implements the R* split: pick the axis minimizing the
+// total margin over all distributions, then the distribution minimizing
+// overlap (ties: minimal total area). It returns (axis, cut) where cut is
+// the size of the left group after sorting by that axis.
+func chooseSplitIndex(n int, rs rected, sortBy func(axis int), minEntries int) (int, int) {
+	bestAxis, bestCut := 0, minEntries
+	bestMargin := -1.0
+	for axis := 0; axis < 2; axis++ {
+		sortBy(axis)
+		margin := 0.0
+		type dist struct {
+			overlap, area float64
+			cut           int
+		}
+		best := dist{overlap: -1}
+		// Prefix/suffix rect accumulation.
+		prefix := make([]geo.Rect, n+1)
+		suffix := make([]geo.Rect, n+1)
+		prefix[0] = geo.EmptyRect()
+		suffix[n] = geo.EmptyRect()
+		for i := 0; i < n; i++ {
+			prefix[i+1] = prefix[i].Union(rs.rectOf(i))
+		}
+		for i := n - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1].Union(rs.rectOf(i))
+		}
+		for cut := minEntries; cut <= n-minEntries; cut++ {
+			l, r := prefix[cut], suffix[cut]
+			margin += l.Margin() + r.Margin()
+			ov := l.IntersectionArea(r)
+			area := l.Area() + r.Area()
+			if best.overlap < 0 || ov < best.overlap ||
+				(ov == best.overlap && area < best.area) {
+				best = dist{overlap: ov, area: area, cut: cut}
+			}
+		}
+		if bestMargin < 0 || margin < bestMargin {
+			bestMargin = margin
+			bestAxis = axis
+			bestCut = best.cut
+		}
+	}
+	return bestAxis, bestCut
+}
+
+func splitItems(items []Item, minEntries int) ([]Item, []Item) {
+	n := len(items)
+	sortBy := func(axis int) {
+		sort.Slice(items, func(i, j int) bool {
+			if axis == 0 {
+				return items[i].P.X < items[j].P.X
+			}
+			return items[i].P.Y < items[j].P.Y
+		})
+	}
+	axis, cut := chooseSplitIndex(n, itemRects(items), sortBy, minEntries)
+	sortBy(axis)
+	left := append([]Item(nil), items[:cut]...)
+	right := append([]Item(nil), items[cut:]...)
+	return left, right
+}
+
+func splitKids(kids []*node, minEntries int) ([]*node, []*node) {
+	n := len(kids)
+	sortBy := func(axis int) {
+		sort.Slice(kids, func(i, j int) bool {
+			if axis == 0 {
+				if kids[i].rect.MinX != kids[j].rect.MinX {
+					return kids[i].rect.MinX < kids[j].rect.MinX
+				}
+				return kids[i].rect.MaxX < kids[j].rect.MaxX
+			}
+			if kids[i].rect.MinY != kids[j].rect.MinY {
+				return kids[i].rect.MinY < kids[j].rect.MinY
+			}
+			return kids[i].rect.MaxY < kids[j].rect.MaxY
+		})
+	}
+	axis, cut := chooseSplitIndex(n, kidRects(kids), sortBy, minEntries)
+	sortBy(axis)
+	left := append([]*node(nil), kids[:cut]...)
+	right := append([]*node(nil), kids[cut:]...)
+	return left, right
+}
+
+// recomputeRect rebuilds n's bounding rectangle from its contents.
+func (t *Tree) recomputeRect(n *node) {
+	r := geo.EmptyRect()
+	if n.leaf {
+		for _, it := range n.items {
+			r = r.UnionPoint(it.P)
+		}
+	} else {
+		for _, k := range n.kids {
+			r = r.Union(k.rect)
+		}
+	}
+	n.rect = r
+}
+
+// tightenUpward recomputes rectangles from n to the root.
+func (t *Tree) tightenUpward(n *node) {
+	for n != nil {
+		t.recomputeRect(n)
+		n = n.parent
+	}
+}
+
+// Search visits every item inside r. The visit function returns false to
+// stop early. Search returns false when the visit was stopped.
+func (t *Tree) Search(r geo.Rect, visit func(Item) bool) bool {
+	return t.searchNode(t.root, r, visit)
+}
+
+func (t *Tree) searchNode(n *node, r geo.Rect, visit func(Item) bool) bool {
+	if !n.rect.Intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if r.Contains(it.P) {
+				if !visit(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, k := range n.kids {
+		if !t.searchNode(k, r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchWithin visits every item whose distance to q under metric m is at
+// most eps, filtering through the bounding square first.
+func (t *Tree) SearchWithin(q geo.Point, eps float64, m geo.Metric, visit func(Item) bool) bool {
+	return t.Search(geo.RectAround(q, eps), func(it Item) bool {
+		if q.Within(it.P, eps, m) {
+			return visit(it)
+		}
+		return true
+	})
+}
+
+// Delete removes one item equal to (p, id) and reports whether it was found.
+func (t *Tree) Delete(p geo.Point, id int64) bool {
+	leaf := t.findLeaf(t.root, p, id)
+	if leaf == nil {
+		return false
+	}
+	for i, it := range leaf.items {
+		if it.ID == id && it.P == p {
+			leaf.items = append(leaf.items[:i], leaf.items[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, p geo.Point, id int64) *node {
+	if !n.rect.Contains(p) {
+		return nil
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.ID == id && it.P == p {
+				return n
+			}
+		}
+		return nil
+	}
+	for _, k := range n.kids {
+		if found := t.findLeaf(k, p, id); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// condense removes underflowing nodes on the path to the root and reinserts
+// their orphaned entries, then shrinks the root if necessary.
+func (t *Tree) condense(n *node) {
+	var orphanItems []Item
+	var orphanSubtrees []struct {
+		n     *node
+		level int
+	}
+	level := 0
+	for n != t.root {
+		p := n.parent
+		under := false
+		if n.leaf {
+			under = len(n.items) < t.minEntries
+		} else {
+			under = len(n.kids) < t.minEntries
+		}
+		if under {
+			// Detach n from its parent and queue its contents.
+			for i, k := range p.kids {
+				if k == n {
+					p.kids = append(p.kids[:i], p.kids[i+1:]...)
+					break
+				}
+			}
+			if n.leaf {
+				orphanItems = append(orphanItems, n.items...)
+			} else {
+				for _, k := range n.kids {
+					orphanSubtrees = append(orphanSubtrees, struct {
+						n     *node
+						level int
+					}{k, level - 1})
+				}
+			}
+		} else {
+			t.recomputeRect(n)
+		}
+		n = p
+		level++
+	}
+	t.recomputeRect(t.root)
+
+	// Shrink the root while it has a single interior child.
+	for !t.root.leaf && len(t.root.kids) == 1 {
+		t.root = t.root.kids[0]
+		t.root.parent = nil
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.kids) == 0 {
+		t.root = &node{leaf: true, rect: geo.EmptyRect()}
+		t.height = 1
+	}
+
+	reinserted := make(map[int]bool)
+	for _, it := range orphanItems {
+		t.insertItem(it, reinserted)
+	}
+	for _, s := range orphanSubtrees {
+		if s.level >= t.height-1 {
+			// The tree shrank below the subtree's level; reinsert its items.
+			collectItems(s.n, func(it Item) { t.insertItem(it, reinserted) })
+			continue
+		}
+		t.insertSubtree(s.n, s.level, reinserted)
+	}
+}
+
+func collectItems(n *node, f func(Item)) {
+	if n.leaf {
+		for _, it := range n.items {
+			f(it)
+		}
+		return
+	}
+	for _, k := range n.kids {
+		collectItems(k, f)
+	}
+}
+
+// CheckInvariants verifies structural invariants; tests call it after
+// randomized workloads. It returns the first violation found.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n.leaf {
+			if depth != t.height-1 {
+				return fmt.Errorf("leaf at depth %d, height %d", depth, t.height)
+			}
+			for _, it := range n.items {
+				count++
+				if !n.rect.Contains(it.P) {
+					return fmt.Errorf("item %v outside leaf rect %v", it, n.rect)
+				}
+			}
+			return nil
+		}
+		if len(n.kids) == 0 {
+			return fmt.Errorf("interior node with no children")
+		}
+		for _, k := range n.kids {
+			if k.parent != n {
+				return fmt.Errorf("broken parent pointer")
+			}
+			if !n.rect.ContainsRect(k.rect) {
+				return fmt.Errorf("child rect %v outside parent %v", k.rect, n.rect)
+			}
+			if err := walk(k, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return nil
+}

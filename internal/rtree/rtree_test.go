@@ -1,0 +1,362 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	found := 0
+	tr.Search(geo.Rect{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100}, func(Item) bool {
+		found++
+		return true
+	})
+	if found != 0 {
+		t.Error("empty tree returned items")
+	}
+	if tr.Delete(geo.Point{}, 1) {
+		t.Error("delete from empty tree should fail")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewWithFanoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("fanout < 4 should panic")
+		}
+	}()
+	NewWithFanout(3)
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New()
+	pts := []geo.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}, {X: 10, Y: 10},
+	}
+	for i, p := range pts {
+		tr.Insert(p, int64(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []int64
+	tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}, func(it Item) bool {
+		got = append(got, it.ID)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Search = %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(geo.Point{X: float64(i % 10), Y: float64(i / 10)}, int64(i))
+	}
+	visits := 0
+	completed := tr.Search(tr.Bounds(), func(Item) bool {
+		visits++
+		return visits < 5
+	})
+	if completed {
+		t.Error("Search should report early stop")
+	}
+	if visits != 5 {
+		t.Errorf("visits = %d, want 5", visits)
+	}
+}
+
+func TestSearchWithinMetric(t *testing.T) {
+	tr := New()
+	tr.Insert(geo.Point{X: 1, Y: 1}, 1) // L1 dist 2 from origin
+	tr.Insert(geo.Point{X: 0.5, Y: 0}, 2)
+	var ids []int64
+	tr.SearchWithin(geo.Point{}, 1.5, geo.L1, func(it Item) bool {
+		ids = append(ids, it.ID)
+		return true
+	})
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("L1 within 1.5 = %v, want [2]", ids)
+	}
+	ids = nil
+	tr.SearchWithin(geo.Point{}, 1.5, geo.LInf, func(it Item) bool {
+		ids = append(ids, it.ID)
+		return true
+	})
+	if len(ids) != 2 {
+		t.Errorf("LInf within 1.5 = %v, want both", ids)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New()
+	p := geo.Point{X: 5, Y: 5}
+	for i := 0; i < 50; i++ {
+		tr.Insert(p, int64(i))
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	count := 0
+	tr.Search(geo.RectOf(p), func(Item) bool { count++; return true })
+	if count != 50 {
+		t.Errorf("found %d duplicates, want 50", count)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if !tr.Delete(p, 25) {
+		t.Error("delete duplicate failed")
+	}
+	if tr.Len() != 49 {
+		t.Errorf("Len after delete = %d", tr.Len())
+	}
+}
+
+// linearScan is the brute-force oracle.
+type linearScan struct {
+	items []Item
+}
+
+func (l *linearScan) insert(p geo.Point, id int64) {
+	l.items = append(l.items, Item{P: p, ID: id})
+}
+
+func (l *linearScan) remove(p geo.Point, id int64) {
+	for i, it := range l.items {
+		if it.ID == id && it.P == p {
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			return
+		}
+	}
+}
+
+func (l *linearScan) search(r geo.Rect) []int64 {
+	var out []int64
+	for _, it := range l.items {
+		if r.Contains(it.P) {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectSearch(tr *Tree, r geo.Rect) []int64 {
+	var out []int64
+	tr.Search(r, func(it Item) bool {
+		out = append(out, it.ID)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewWithFanout(4 + rng.Intn(28))
+		oracle := &linearScan{}
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			tr.Insert(p, int64(i))
+			oracle.insert(p, int64(i))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for q := 0; q < 20; q++ {
+			cx, cy := rng.Float64()*100, rng.Float64()*100
+			w := rng.Float64() * 30
+			r := geo.Rect{MinX: cx - w, MinY: cy - w, MaxX: cx + w, MaxY: cy + w}
+			if !sameIDs(collectSearch(tr, r), oracle.search(r)) {
+				t.Logf("mismatch on rect %v", r)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedInsertSearch(t *testing.T) {
+	// The GridQuery pattern (Lemma 2): query each point against the tree
+	// built so far, then insert it. The union of results must equal all
+	// close pairs exactly once.
+	rng := rand.New(rand.NewSource(42))
+	const n = 400
+	const eps = 3.0
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	tr := New()
+	type pair struct{ a, b int64 }
+	found := map[pair]int{}
+	for i, p := range pts {
+		tr.SearchWithin(p, eps, geo.L1, func(it Item) bool {
+			a, b := int64(i), it.ID
+			if a > b {
+				a, b = b, a
+			}
+			found[pair{a, b}]++
+			return true
+		})
+		tr.Insert(p, int64(i))
+	}
+	// Oracle: all pairs within eps.
+	want := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pts[i].Within(pts[j], eps, geo.L1) {
+				want++
+				if found[pair{int64(i), int64(j)}] != 1 {
+					t.Errorf("pair (%d,%d) found %d times, want 1",
+						i, j, found[pair{int64(i), int64(j)}])
+				}
+			}
+		}
+	}
+	if len(found) != want {
+		t.Errorf("found %d pairs, want %d", len(found), want)
+	}
+}
+
+func TestDeleteRandomized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewWithFanout(4 + rng.Intn(12))
+		oracle := &linearScan{}
+		var live []Item
+		for op := 0; op < 400; op++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				p := geo.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+				id := int64(op)
+				tr.Insert(p, id)
+				oracle.insert(p, id)
+				live = append(live, Item{P: p, ID: id})
+			} else {
+				k := rng.Intn(len(live))
+				it := live[k]
+				live = append(live[:k], live[k+1:]...)
+				if !tr.Delete(it.P, it.ID) {
+					t.Logf("delete %v failed", it)
+					return false
+				}
+				oracle.remove(it.P, it.ID)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if tr.Len() != len(oracle.items) {
+			t.Logf("size %d vs oracle %d", tr.Len(), len(oracle.items))
+			return false
+		}
+		r := geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}
+		return sameIDs(collectSearch(tr, r), oracle.search(r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(9))
+	var items []Item
+	for i := 0; i < 300; i++ {
+		p := geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		tr.Insert(p, int64(i))
+		items = append(items, Item{P: p, ID: int64(i)})
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for _, it := range items {
+		if !tr.Delete(it.P, it.ID) {
+			t.Fatalf("delete %v failed", it)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Tree remains usable.
+	tr.Insert(geo.Point{X: 1, Y: 1}, 999)
+	if got := collectSearch(tr, tr.Bounds()); len(got) != 1 || got[0] != 999 {
+		t.Errorf("reuse after drain: %v", got)
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := NewWithFanout(4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(geo.Point{X: float64(i % 37), Y: float64(i % 101)}, int64(i))
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected deep tree with fanout 4", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if got := collectSearch(tr, tr.Bounds()); len(got) != 1000 {
+		t.Errorf("full search returned %d items", len(got))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, b.N)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(pts[i], int64(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		tr.SearchWithin(q, 5, geo.L1, func(Item) bool { return true })
+	}
+}

@@ -1,0 +1,230 @@
+// Package timeseq implements the temporal side of co-movement patterns:
+// time sequences, their decomposition into consecutive segments, the
+// L-consecutive (Definition 2) and G-connected (Definition 3) predicates,
+// and validity of a sequence under the (K, L, G) constraints.
+//
+// A time sequence is a strictly increasing sequence of discrete ticks. A
+// *segment* is a maximal run of consecutive ticks. A sequence is valid under
+// (K, L, G) when |T| >= K, every segment has length >= L, and every gap
+// between neighbouring ticks is at most G.
+package timeseq
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Seq is a strictly increasing sequence of ticks.
+type Seq []model.Tick
+
+// IsStrictlyIncreasing reports whether s is strictly increasing, i.e. a
+// well-formed time sequence per Definition 1.
+func IsStrictlyIncreasing(s Seq) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Segment is one maximal consecutive run [Start, End] within a sequence.
+type Segment struct {
+	Start, End model.Tick
+}
+
+// Len returns the number of ticks in the segment.
+func (g Segment) Len() int { return int(g.End-g.Start) + 1 }
+
+// Segments decomposes s into its maximal consecutive segments, in order.
+// s must be strictly increasing.
+func Segments(s Seq) []Segment {
+	if len(s) == 0 {
+		return nil
+	}
+	var out []Segment
+	cur := Segment{Start: s[0], End: s[0]}
+	for _, t := range s[1:] {
+		if t == cur.End+1 {
+			cur.End = t
+			continue
+		}
+		out = append(out, cur)
+		cur = Segment{Start: t, End: t}
+	}
+	return append(out, cur)
+}
+
+// IsLConsecutive reports whether every segment of s has length >= L
+// (Definition 2). The empty sequence is vacuously L-consecutive.
+func IsLConsecutive(s Seq, l int) bool {
+	for _, seg := range Segments(s) {
+		if seg.Len() < l {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGConnected reports whether every gap between neighbouring ticks of s is
+// at most G (Definition 3): for all i, s[i+1]-s[i] <= G.
+func IsGConnected(s Seq, g int) bool {
+	for i := 1; i < len(s); i++ {
+		if int(s[i]-s[i-1]) > g {
+			return false
+		}
+	}
+	return true
+}
+
+// IsValid reports whether s satisfies all three (K, L, G) constraints:
+// |s| >= K, L-consecutive, and G-connected.
+func IsValid(s Seq, c model.Constraints) bool {
+	return len(s) >= c.K && IsLConsecutive(s, c.L) && IsGConnected(s, c.G)
+}
+
+// LastSegment returns the final segment of s. It panics on an empty
+// sequence.
+func LastSegment(s Seq) Segment {
+	if len(s) == 0 {
+		panic("timeseq: LastSegment of empty sequence")
+	}
+	end := s[len(s)-1]
+	start := end
+	for i := len(s) - 2; i >= 0; i-- {
+		if s[i] == start-1 {
+			start = s[i]
+		} else {
+			break
+		}
+	}
+	return Segment{Start: start, End: end}
+}
+
+// CanExtend implements the incremental extension rule of Algorithm 3 line 6:
+// a sequence s (maintained so that every *closed* segment already has length
+// >= L) may absorb tick t when either
+//
+//   - t continues the last segment (t = max(s)+1), or
+//   - the last segment is already long enough (>= L) and the gap t-max(s)
+//     is within G.
+//
+// Extending an empty sequence is always allowed.
+func CanExtend(s Seq, t model.Tick, c model.Constraints) bool {
+	if len(s) == 0 {
+		return true
+	}
+	last := s[len(s)-1]
+	if t <= last {
+		return false
+	}
+	if t == last+1 {
+		return true
+	}
+	if int(t-last) > c.G {
+		return false
+	}
+	return LastSegment(s).Len() >= c.L
+}
+
+// ShouldDiscard implements Lemmas 5 and 6: given the sequence accumulated so
+// far and a new co-occurrence at tick t, the candidate can be discarded
+// outright when the extension would violate L (short last segment and a gap,
+// Lemma 5) or G (gap exceeds G, Lemma 6). Distinct from !CanExtend only in
+// intent: a failed extension inside a window kills the candidate.
+func ShouldDiscard(s Seq, t model.Tick, c model.Constraints) bool {
+	if len(s) == 0 {
+		return false
+	}
+	last := s[len(s)-1]
+	if t <= last {
+		return false
+	}
+	if int(t-last) > c.G {
+		return true // Lemma 6
+	}
+	if t != last+1 && LastSegment(s).Len() < c.L {
+		return true // Lemma 5
+	}
+	return false
+}
+
+// IsClosedValid reports whether s, treated as finished (no future ticks can
+// be appended), is valid under c. Identical to IsValid but named for call
+// sites that finalize sequences.
+func IsClosedValid(s Seq, c model.Constraints) bool { return IsValid(s, c) }
+
+// FirstValidPrefix returns the shortest prefix of s that is valid under c,
+// and true; or nil and false when no prefix is valid. s must be strictly
+// increasing. This mirrors Algorithm 3's behaviour of emitting a pattern as
+// soon as |T| >= K with a long-enough last segment.
+func FirstValidPrefix(s Seq, c model.Constraints) (Seq, bool) {
+	for i := c.K; i <= len(s); i++ {
+		p := s[:i]
+		if IsValid(p, c) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// BestSubsequence finds a valid-or-nothing sub-sequence of the given sorted
+// tick set under c, using the run-chain characterization (see package bitstr
+// for the proof sketch): keep maximal runs of length >= L, chain runs whose
+// inter-run gap (first(next) - last(prev)) is <= G, and accept a chain whose
+// total tick count reaches K. It returns the first (earliest) valid chain
+// and true, or nil and false.
+func BestSubsequence(ticks Seq, c model.Constraints) (Seq, bool) {
+	runs := Segments(ticks)
+	var chain []Segment
+	count := 0
+	flushValid := func() (Seq, bool) {
+		if count >= c.K {
+			return expand(chain), true
+		}
+		return nil, false
+	}
+	for _, r := range runs {
+		if r.Len() < c.L {
+			continue // unusable run: its ticks cannot form an L-long segment
+		}
+		if len(chain) > 0 && int(r.Start-chain[len(chain)-1].End) > c.G {
+			if s, ok := flushValid(); ok {
+				return s, true
+			}
+			chain = chain[:0]
+			count = 0
+		}
+		chain = append(chain, r)
+		count += r.Len()
+	}
+	return flushValid()
+}
+
+// expand flattens segments back into an explicit tick sequence.
+func expand(segs []Segment) Seq {
+	var out Seq
+	for _, g := range segs {
+		for t := g.Start; t <= g.End; t++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Dedup sorts ticks ascending and removes duplicates in place, returning a
+// well-formed Seq.
+func Dedup(ticks []model.Tick) Seq {
+	if len(ticks) == 0 {
+		return nil
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	out := ticks[:1]
+	for _, t := range ticks[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return Seq(out)
+}

@@ -1,0 +1,287 @@
+package timeseq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func seq(ts ...model.Tick) Seq { return Seq(ts) }
+
+func TestIsStrictlyIncreasing(t *testing.T) {
+	if !IsStrictlyIncreasing(seq()) || !IsStrictlyIncreasing(seq(1)) {
+		t.Error("empty and singleton are increasing")
+	}
+	if !IsStrictlyIncreasing(seq(1, 2, 5)) {
+		t.Error("1,2,5 is increasing")
+	}
+	if IsStrictlyIncreasing(seq(1, 1)) || IsStrictlyIncreasing(seq(2, 1)) {
+		t.Error("non-increasing accepted")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	cases := []struct {
+		in   Seq
+		want []Segment
+	}{
+		{nil, nil},
+		{seq(1), []Segment{{1, 1}}},
+		{seq(1, 2, 3), []Segment{{1, 3}}},
+		{seq(1, 2, 4, 5, 6), []Segment{{1, 2}, {4, 6}}},
+		{seq(1, 3, 5), []Segment{{1, 1}, {3, 3}, {5, 5}}},
+	}
+	for _, c := range cases {
+		got := Segments(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Segments(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	if (Segment{3, 7}).Len() != 5 {
+		t.Error("segment [3,7] has 5 ticks")
+	}
+}
+
+// Paper example (Section 3.1): T = <1,2,4,5,6> is 2-consecutive and
+// 2-connected.
+func TestPaperExample(t *testing.T) {
+	T := seq(1, 2, 4, 5, 6)
+	if !IsLConsecutive(T, 2) {
+		t.Error("T should be 2-consecutive")
+	}
+	if !IsGConnected(T, 2) {
+		t.Error("T should be 2-connected")
+	}
+	if IsLConsecutive(T, 3) {
+		t.Error("T is not 3-consecutive (first segment has length 2)")
+	}
+	if IsGConnected(seq(1, 2, 5), 2) {
+		t.Error("gap 3 should violate G=2")
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	c := model.Constraints{M: 3, K: 4, L: 2, G: 2}
+	// Paper: T = <3,4,6,7> qualifies for {o4,o5,o6}.
+	if !IsValid(seq(3, 4, 6, 7), c) {
+		t.Error("<3,4,6,7> should be valid under K=4,L=2,G=2")
+	}
+	if IsValid(seq(3, 4, 6), c) {
+		t.Error("length 3 < K")
+	}
+	if IsValid(seq(3, 4, 6, 9), c) {
+		t.Error("gap 3 > G")
+	}
+	if IsValid(seq(1, 2, 4, 6, 7), c) {
+		t.Error("middle singleton segment violates L")
+	}
+	if !IsValid(nil, model.Constraints{K: 0, L: 1, G: 1, M: 2}) {
+		t.Error("empty is valid when K=0")
+	}
+}
+
+func TestLastSegment(t *testing.T) {
+	if got := LastSegment(seq(1, 2, 4, 5, 6)); got != (Segment{4, 6}) {
+		t.Errorf("LastSegment = %v", got)
+	}
+	if got := LastSegment(seq(3)); got != (Segment{3, 3}) {
+		t.Errorf("LastSegment = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LastSegment(empty) should panic")
+		}
+	}()
+	LastSegment(nil)
+}
+
+func TestCanExtend(t *testing.T) {
+	c := model.Constraints{M: 2, K: 4, L: 2, G: 2}
+	if !CanExtend(nil, 5, c) {
+		t.Error("empty sequence always extendable")
+	}
+	if !CanExtend(seq(1, 2), 3, c) {
+		t.Error("consecutive extension allowed")
+	}
+	if !CanExtend(seq(1, 2), 4, c) {
+		t.Error("gap 2 with last segment len 2 >= L allowed")
+	}
+	if CanExtend(seq(1), 3, c) {
+		t.Error("gap with short last segment disallowed (L)")
+	}
+	if CanExtend(seq(1, 2), 5, c) {
+		t.Error("gap 3 > G disallowed")
+	}
+	if CanExtend(seq(1, 2), 2, c) || CanExtend(seq(1, 2), 1, c) {
+		t.Error("non-increasing extension disallowed")
+	}
+}
+
+// Lemma 5 example from the paper: T=<1,2,5>, L=2, t'=7 => discard.
+func TestShouldDiscardLemma5(t *testing.T) {
+	c := model.Constraints{M: 2, K: 4, L: 2, G: 2}
+	if !ShouldDiscard(seq(1, 2, 5), 7, c) {
+		t.Error("Lemma 5: short last segment + gap should discard")
+	}
+	if ShouldDiscard(seq(1, 2, 5), 6, c) {
+		t.Error("consecutive extension never discards")
+	}
+}
+
+// Lemma 6 example from the paper: T=<1,2,3>, G=2, t'=6 => discard.
+func TestShouldDiscardLemma6(t *testing.T) {
+	c := model.Constraints{M: 2, K: 4, L: 2, G: 2}
+	if !ShouldDiscard(seq(1, 2, 3), 6, c) {
+		t.Error("Lemma 6: gap 3 > G should discard")
+	}
+	if ShouldDiscard(seq(1, 2, 3), 5, c) {
+		t.Error("gap 2 <= G with last segment >= L should not discard")
+	}
+	if ShouldDiscard(nil, 9, c) {
+		t.Error("empty sequence never discards")
+	}
+	if ShouldDiscard(seq(4), 4, c) {
+		t.Error("same tick is a no-op, not a discard")
+	}
+}
+
+func TestFirstValidPrefix(t *testing.T) {
+	c := model.Constraints{M: 2, K: 4, L: 2, G: 2}
+	p, ok := FirstValidPrefix(seq(3, 4, 6, 7, 8), c)
+	if !ok || !reflect.DeepEqual(p, seq(3, 4, 6, 7)) {
+		t.Errorf("FirstValidPrefix = %v, %v", p, ok)
+	}
+	_, ok = FirstValidPrefix(seq(1, 2, 4), c)
+	if ok {
+		t.Error("no valid prefix in a 3-tick sequence when K=4")
+	}
+	// Prefix must end on a complete segment: <1,2,4,5> valid but <1,2,4> not.
+	p, ok = FirstValidPrefix(seq(1, 2, 4, 5), c)
+	if !ok || len(p) != 4 {
+		t.Errorf("FirstValidPrefix = %v, %v", p, ok)
+	}
+}
+
+func TestBestSubsequence(t *testing.T) {
+	c := model.Constraints{M: 2, K: 4, L: 2, G: 2}
+	// Runs: [1,2] [4,6]; chainable; total 5 >= 4.
+	s, ok := BestSubsequence(seq(1, 2, 4, 5, 6), c)
+	if !ok || !reflect.DeepEqual(s, seq(1, 2, 4, 5, 6)) {
+		t.Errorf("BestSubsequence = %v, %v", s, ok)
+	}
+	// Singleton run in the middle is dropped; chain breaks on the long gap.
+	// Runs: [1,2], [4], [7,8]: usable runs 1-2 and 7-8, gap 7-2=5 > G.
+	_, ok = BestSubsequence(seq(1, 2, 4, 7, 8), c)
+	if ok {
+		t.Error("disconnected usable runs should not satisfy K=4")
+	}
+	// Dropping an unusable run can still keep the chain connected.
+	// Runs [1,2], [4], [5,6]? 4 and 5,6 are consecutive -> actually one run.
+	s, ok = BestSubsequence(seq(1, 2, 4, 5), c)
+	if !ok || len(s) != 4 {
+		t.Errorf("BestSubsequence = %v, %v", s, ok)
+	}
+}
+
+// Brute force: does any subset of ticks satisfy the constraints?
+func bruteHasValid(ticks Seq, c model.Constraints) bool {
+	n := len(ticks)
+	for mask := 1; mask < 1<<n; mask++ {
+		var sub Seq
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, ticks[i])
+			}
+		}
+		if IsValid(sub, c) {
+			return true
+		}
+	}
+	return c.K == 0
+}
+
+func TestBestSubsequenceMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(13)
+		set := map[model.Tick]bool{}
+		for i := 0; i < n; i++ {
+			set[model.Tick(rng.Intn(18))] = true
+		}
+		var ticks []model.Tick
+		for t := range set {
+			ticks = append(ticks, t)
+		}
+		s := Dedup(ticks)
+		c := model.Constraints{
+			M: 2,
+			K: 1 + rng.Intn(5),
+			L: 1 + rng.Intn(3),
+			G: 1 + rng.Intn(4),
+		}
+		if c.L > c.K {
+			c.L = c.K
+		}
+		got, ok := BestSubsequence(s, c)
+		want := bruteHasValid(s, c)
+		if ok != want {
+			t.Logf("seq=%v c=%v got=%v want=%v", s, c, ok, want)
+			return false
+		}
+		if ok && !IsValid(got, c) {
+			t.Logf("witness %v invalid under %v", got, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]model.Tick{5, 1, 3, 1, 5, 2})
+	if !reflect.DeepEqual(got, seq(1, 2, 3, 5)) {
+		t.Errorf("Dedup = %v", got)
+	}
+	if Dedup(nil) != nil {
+		t.Error("Dedup(nil) should be nil")
+	}
+}
+
+func TestCanExtendMatchesValidityInvariant(t *testing.T) {
+	// Property: starting from empty and greedily extending with CanExtend,
+	// every closed segment always has length >= L, so IsLConsecutive holds
+	// for the prefix excluding the (possibly open) last segment.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := model.Constraints{M: 2, K: 4, L: 1 + rng.Intn(3), G: 1 + rng.Intn(3)}
+		var s Seq
+		t := model.Tick(0)
+		for i := 0; i < 30; i++ {
+			t += model.Tick(1 + rng.Intn(3))
+			if CanExtend(s, t, c) {
+				s = append(s, t)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		segs := Segments(s)
+		for _, sg := range segs[:len(segs)-1] {
+			if sg.Len() < c.L {
+				return false
+			}
+		}
+		return IsGConnected(s, c.G)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path halving. It is the substrate of the neighbour-pair DBSCAN: clusters
+// are connected components over core-core edges, so clustering one snapshot
+// costs O(n * alpha(n)) — effectively the linear bound the paper cites for
+// its DBSCAN step (Section 5.3).
+package unionfind
+
+// UF is a disjoint-set forest over the integers [0, n).
+type UF struct {
+	parent []int32
+	rank   []int8
+	count  int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Len returns the number of elements in the forest.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Find returns the canonical representative of x's set, halving the path as
+// it walks.
+func (u *UF) Find(x int) int {
+	p := int32(x)
+	for u.parent[p] != p {
+		u.parent[p] = u.parent[u.parent[p]] // path halving
+		p = u.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// actually happened (false when they were already in the same set).
+func (u *UF) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Groups returns the members of every set with at least minSize elements.
+// Each group preserves ascending element order.
+func (u *UF) Groups(minSize int) [][]int {
+	byRoot := make(map[int][]int)
+	for i := 0; i < len(u.parent); i++ {
+		r := u.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var out [][]int
+	for _, g := range byRoot {
+		if len(g) >= minSize {
+			out = append(out, g)
+		}
+	}
+	return out
+}

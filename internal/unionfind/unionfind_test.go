@@ -1,0 +1,140 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(5)
+	if u.Len() != 5 || u.Count() != 5 {
+		t.Fatalf("Len=%d Count=%d", u.Len(), u.Count())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if u.Union(0, 1) {
+		t.Error("repeated union should not merge")
+	}
+	if !u.Same(0, 1) {
+		t.Error("0 and 1 should be joined")
+	}
+	if u.Same(0, 2) {
+		t.Error("0 and 2 should be separate")
+	}
+	if u.Count() != 4 {
+		t.Errorf("Count = %d, want 4", u.Count())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	u := New(6)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	u.Union(4, 5)
+	if !u.Same(0, 2) {
+		t.Error("transitivity: 0~2")
+	}
+	if u.Same(2, 4) {
+		t.Error("2 and 4 should be separate")
+	}
+	u.Union(2, 4)
+	if !u.Same(0, 5) {
+		t.Error("after linking, 0~5")
+	}
+	if u.Count() != 2 {
+		t.Errorf("Count = %d, want 2", u.Count())
+	}
+}
+
+func TestGroups(t *testing.T) {
+	u := New(7)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	u.Union(3, 4)
+	gs := u.Groups(2)
+	if len(gs) != 2 {
+		t.Fatalf("groups(2) = %d, want 2", len(gs))
+	}
+	gs3 := u.Groups(3)
+	if len(gs3) != 1 || len(gs3[0]) != 3 {
+		t.Fatalf("groups(3) = %v", gs3)
+	}
+	// Ascending order within a group.
+	for _, g := range gs {
+		for i := 1; i < len(g); i++ {
+			if g[i-1] >= g[i] {
+				t.Errorf("group %v not ascending", g)
+			}
+		}
+	}
+	all := u.Groups(1)
+	total := 0
+	for _, g := range all {
+		total += len(g)
+	}
+	if total != 7 {
+		t.Errorf("groups(1) covers %d elements, want 7", total)
+	}
+}
+
+// TestMatchesNaive compares the forest against a naive label-propagation
+// implementation over random union sequences.
+func TestMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		u := New(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for k := 0; k < 60; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			u.Union(a, b)
+			if labels[a] != labels[b] {
+				relabel(labels[a], labels[b])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		// Count must equal distinct labels.
+		distinct := map[int]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		return u.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := New(n)
+		for _, p := range pairs {
+			u.Union(p[0], p[1])
+		}
+	}
+}
