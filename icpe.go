@@ -125,6 +125,11 @@ type Options struct {
 	Nodes int
 	// SlotsPerNode is the per-node slot count (default 2).
 	SlotsPerNode int
+	// ExchangeBatch is the record batch size on the keyed exchanges between
+	// pipeline stages (default 32); negative values ship record-at-a-time.
+	// Results are identical either way — batches are sealed on every
+	// watermark — only the exchange overhead changes.
+	ExchangeBatch int
 
 	// CollectPatterns stores all patterns in the final Result (default
 	// true; disable for unbounded streams and use OnPattern instead).
@@ -188,6 +193,7 @@ func New(opts Options) (*Detector, error) {
 		Nodes:           opts.Nodes,
 		SlotsPerNode:    opts.SlotsPerNode,
 		Parallelism:     opts.Parallelism,
+		ExchangeBatch:   opts.ExchangeBatch,
 		CollectPatterns: collect,
 		OnPattern:       opts.OnPattern,
 	}

@@ -1,19 +1,17 @@
-// Package core wires the full ICPE pipeline of the paper (Figure 3) onto
-// the flow engine:
+// Package core is the thin façade over the layered ICPE implementation:
+// it translates a single Config into the paper's standard pipeline
+// (Figure 3) and carries the run's bookkeeping (latency, throughput,
+// pattern collection). The layers below it are:
 //
-//	source -> GridAllocate -> GridQuery -> GridSync+DBSCAN -> Enumerate -> sink
-//	        (keyed by tick)  (keyed by   (keyed by tick)     (keyed by
-//	                          grid cell)                      trajectory id)
+//   - internal/ops/*: one package per operator (allocate, rangejoin,
+//     clusterop, enumop) plus the shared message types in ops/msg;
+//   - internal/topology: the pipeline declared as a data-driven graph of
+//     stage specs and keyed exchanges;
+//   - internal/flow: the transport-pluggable execution runtime.
 //
-// GridAllocate replicates each snapshot's locations into grid cells
-// (Algorithm 1), GridQuery runs the per-cell range join (Algorithm 2),
-// the DBSCAN stage collects each tick's neighbour pairs (GridSync) and
-// clusters them, and the enumeration stage applies id-based partitioning
-// with BA, FBA or VBA. Watermarks drive tick-order restoration behind the
-// parallel stages.
-//
-// The clustering stage is pluggable (RJC, SRJ, GDC) so the paper's
-// clustering comparisons (Figures 10-11) run on the same pipeline.
+// The standard topology is declared in icpe_topology.go; nothing in this
+// package implements operator logic. See ARCHITECTURE.md for how to add an
+// operator, a topology, or a transport.
 package core
 
 import (
@@ -21,12 +19,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/dbscan"
-	"repro/internal/enum"
 	"repro/internal/flow"
 	"repro/internal/geo"
-	"repro/internal/grid"
-	"repro/internal/join"
 	"repro/internal/metrics"
 	"repro/internal/model"
 )
@@ -80,6 +74,13 @@ type Config struct {
 	SlotsPerNode int
 	// Parallelism is the subtask count per stage (default 4).
 	Parallelism int
+	// ExchangeBatch is the record batch size on the keyed exchanges between
+	// stages (default 32); values < 0 ship record-at-a-time. Batches are
+	// sealed on every watermark, so results are identical either way.
+	ExchangeBatch int
+	// Transport overrides the exchange fabric between subtasks (default:
+	// in-process bounded channels).
+	Transport flow.Transport
 	// CollectPatterns stores emitted patterns in the result (tests and
 	// examples; benchmarks usually only count).
 	CollectPatterns bool
@@ -115,7 +116,21 @@ func (c *Config) fill() error {
 	if c.SlotsPerNode <= 0 {
 		c.SlotsPerNode = 2
 	}
+	c.ExchangeBatch = normalizeBatch(c.ExchangeBatch)
 	return nil
+}
+
+// normalizeBatch resolves the ExchangeBatch knob: 0 means the default of
+// 32, negative means record-at-a-time.
+func normalizeBatch(b int) int {
+	switch {
+	case b == 0:
+		return 32
+	case b < 0:
+		return 1
+	default:
+		return b
+	}
 }
 
 // Metrics aggregates one run's measurements.
@@ -178,218 +193,6 @@ type Pipeline struct {
 	overflow bool
 }
 
-// ---------------------------------------------------------------------------
-// Inter-stage messages.
-
-// cellMsg carries one grid cell's task for one tick; the snapshot pointer
-// stands in for the serialized location payload a real cluster would ship.
-type cellMsg struct {
-	tick model.Tick
-	snap *model.Snapshot
-	task join.CellTask
-}
-
-// metaMsg announces a snapshot to the DBSCAN stage (GridSync input).
-type metaMsg struct {
-	tick model.Tick
-	snap *model.Snapshot
-}
-
-// pairsMsg carries one cell's join results back to the snapshot's subtask.
-type pairsMsg struct {
-	tick  model.Tick
-	pairs [][2]int32
-}
-
-// ---------------------------------------------------------------------------
-// Stage 1: GridAllocate.
-
-type allocateOp struct {
-	flow.BaseOperator
-	cfg *Config
-}
-
-func (a *allocateOp) Process(data any, out *flow.Collector) {
-	s := data.(*model.Snapshot)
-	lg, mode := a.cfg.CellWidth, grid.UpperHalf
-	switch a.cfg.Cluster {
-	case SRJ:
-		mode = grid.FullRegion
-	case GDC:
-		// GDC divides space by eps itself (Section 7.1): every location is
-		// replicated to its full 3x3 eps-cell neighbourhood, which is what
-		// makes its partition count explode for small eps.
-		lg, mode = a.cfg.Eps, grid.FullRegion
-	}
-	// The meta message travels to the DBSCAN stage through GridQuery
-	// (keyed by tick there) so the snapshot's object ids are available.
-	out.Emit(uint64(s.Tick), metaMsg{tick: s.Tick, snap: s})
-	for _, task := range join.AllocateSnapshot(s, lg, a.cfg.Eps, mode) {
-		out.Emit(task.Key.Hash(), cellMsg{tick: s.Tick, snap: s, task: task})
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 2: GridQuery (per-cell range join).
-
-type gridQueryOp struct {
-	flow.BaseOperator
-	cfg *Config
-}
-
-func (g *gridQueryOp) Process(data any, out *flow.Collector) {
-	switch msg := data.(type) {
-	case metaMsg:
-		out.Emit(uint64(msg.tick), msg) // pass through to GridSync
-	case cellMsg:
-		var pairs [][2]int32
-		emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
-		if g.cfg.Cluster == RJC {
-			join.RunCellRJC(msg.snap, msg.task, g.cfg.Eps, g.cfg.Metric, emit)
-		} else {
-			join.RunCellSRJ(msg.snap, msg.task, g.cfg.Eps, g.cfg.Metric, emit)
-		}
-		if len(pairs) > 0 {
-			out.Emit(uint64(msg.tick), pairsMsg{tick: msg.tick, pairs: pairs})
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 3: GridSync + DBSCAN + id-based partitioning.
-
-type tickBuf struct {
-	snap  *model.Snapshot
-	pairs [][2]int32
-	seen  map[uint64]struct{} // SRJ/GDC duplicate elimination
-}
-
-type dbscanOp struct {
-	cfg  *Config
-	pipe *Pipeline
-	bufs map[model.Tick]*tickBuf
-}
-
-func (d *dbscanOp) Process(data any, out *flow.Collector) {
-	switch msg := data.(type) {
-	case metaMsg:
-		d.buf(msg.tick).snap = msg.snap
-	case pairsMsg:
-		b := d.buf(msg.tick)
-		if d.cfg.Cluster == RJC {
-			b.pairs = append(b.pairs, msg.pairs...)
-			return
-		}
-		// Baselines emit duplicates across replicated cells; GridSync must
-		// de-duplicate them (the cost the paper charges to SRJ/GDC).
-		if b.seen == nil {
-			b.seen = make(map[uint64]struct{})
-		}
-		for _, p := range msg.pairs {
-			k := uint64(uint32(p[0]))<<32 | uint64(uint32(p[1]))
-			if _, ok := b.seen[k]; ok {
-				continue
-			}
-			b.seen[k] = struct{}{}
-			b.pairs = append(b.pairs, p)
-		}
-	}
-}
-
-func (d *dbscanOp) buf(t model.Tick) *tickBuf {
-	b := d.bufs[t]
-	if b == nil {
-		b = &tickBuf{}
-		d.bufs[t] = b
-	}
-	return b
-}
-
-func (d *dbscanOp) OnWatermark(wm model.Tick, out *flow.Collector) {
-	for t, b := range d.bufs {
-		if t > wm || b.snap == nil {
-			continue
-		}
-		d.finalize(t, b, out)
-		delete(d.bufs, t)
-	}
-}
-
-func (d *dbscanOp) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
-	clusters := dbscan.FromPairs(b.snap.Len(), b.pairs, d.cfg.MinPts)
-	cs := dbscan.ToClusterSnapshot(b.snap, clusters)
-	d.pipe.recordCluster(t, cs)
-	if d.cfg.Enum == NoEnum {
-		return
-	}
-	for _, p := range enum.PartitionClusters(cs, d.cfg.Constraints.M) {
-		out.Emit(uint64(p.Owner), p)
-	}
-}
-
-func (d *dbscanOp) Close(out *flow.Collector) {
-	for t, b := range d.bufs {
-		if b.snap == nil {
-			continue
-		}
-		d.finalize(t, b, out)
-		delete(d.bufs, t)
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 4: pattern enumeration (id-based partitioning).
-
-type enumOp struct {
-	cfg     *Config
-	pipe    *Pipeline
-	mk      enum.NewFunc
-	reorder *flow.ReorderBuffer
-	subs    map[model.ObjectID]enum.Enumerator
-}
-
-func (e *enumOp) Process(data any, out *flow.Collector) {
-	p := data.(enum.Partition)
-	e.reorder.Add(p.Tick, p)
-}
-
-func (e *enumOp) OnWatermark(wm model.Tick, out *flow.Collector) {
-	for _, item := range e.reorder.Release(wm) {
-		e.feed(item.(enum.Partition), out)
-	}
-}
-
-func (e *enumOp) Close(out *flow.Collector) {
-	for _, item := range e.reorder.ReleaseAll() {
-		e.feed(item.(enum.Partition), out)
-	}
-	for _, sub := range e.subs {
-		sub.Flush(func(p model.Pattern) { out.Emit(0, p) })
-	}
-	e.noteOverflow()
-}
-
-func (e *enumOp) feed(p enum.Partition, out *flow.Collector) {
-	sub := e.subs[p.Owner]
-	if sub == nil {
-		sub = e.mk(p.Owner, e.cfg.Constraints)
-		e.subs[p.Owner] = sub
-	}
-	sub.Process(p, func(pat model.Pattern) { out.Emit(0, pat) })
-}
-
-func (e *enumOp) noteOverflow() {
-	for _, sub := range e.subs {
-		if ba, ok := sub.(*enum.BA); ok && ba.Overflowed {
-			e.pipe.setOverflow()
-			return
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Pipeline assembly.
-
 // New builds an ICPE pipeline. Call Start, feed snapshots with
 // PushSnapshot, then Finish.
 func New(cfg Config) (*Pipeline, error) {
@@ -401,69 +204,18 @@ func New(cfg Config) (*Pipeline, error) {
 		mets:   &Metrics{},
 		ingest: make(map[model.Tick]time.Time),
 	}
-
-	var mk enum.NewFunc
-	switch cfg.Enum {
-	case BA:
-		mk = enum.NewBA
-	case FBA:
-		mk = enum.NewFBA
-	case VBA:
-		mk = enum.NewVBA
-	case NoEnum:
-	default:
-		return nil, fmt.Errorf("core: unknown enum method %q", cfg.Enum)
-	}
-	switch cfg.Cluster {
-	case RJC, SRJ, GDC:
-	default:
-		return nil, fmt.Errorf("core: unknown cluster method %q", cfg.Cluster)
-	}
-
-	stages := []flow.StageSpec{
-		{
-			Name:        "allocate",
-			Parallelism: cfg.Parallelism,
-			Make:        func(int) flow.Operator { return &allocateOp{cfg: &p.cfg} },
-		},
-		{
-			Name:        "gridquery",
-			Parallelism: cfg.Parallelism,
-			Make:        func(int) flow.Operator { return &gridQueryOp{cfg: &p.cfg} },
-		},
-		{
-			Name:        "dbscan",
-			Parallelism: cfg.Parallelism,
-			Make: func(int) flow.Operator {
-				return &dbscanOp{cfg: &p.cfg, pipe: p, bufs: make(map[model.Tick]*tickBuf)}
-			},
-		},
-	}
-	if cfg.Enum != NoEnum {
-		stages = append(stages, flow.StageSpec{
-			Name:        "enumerate",
-			Parallelism: cfg.Parallelism,
-			Make: func(int) flow.Operator {
-				return &enumOp{
-					cfg:     &p.cfg,
-					pipe:    p,
-					mk:      mk,
-					reorder: flow.NewReorderBuffer(),
-					subs:    make(map[model.ObjectID]enum.Enumerator),
-				}
-			},
-		})
-	}
-
-	slots := 0
-	if cfg.Nodes > 0 {
-		slots = cfg.Nodes * cfg.SlotsPerNode
-	}
-	p.fl = flow.NewPipeline(flow.Config{
-		Slots:         slots,
+	g, err := Topology(&p.cfg, Hooks{
+		OnCluster:     p.recordCluster,
+		OnOverflow:    p.setOverflow,
 		Sink:          p.onSinkRecord,
 		SinkWatermark: p.onSinkWatermark,
-	}, stages...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.fl, err = g.Build(); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 

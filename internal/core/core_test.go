@@ -10,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/join"
 	"repro/internal/model"
+	"repro/internal/topology"
 )
 
 func plantedWorkload(seed int64, ticks int) (*datagen.Planted, []*model.Snapshot, Config) {
@@ -156,6 +157,86 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 			t.Fatalf("pattern %d differs: %v vs %v", i, a[i], b[i])
 		}
 	}
+}
+
+// Batching on the keyed exchanges must not change results: batches are
+// sealed on every watermark, so event-time semantics are identical.
+func TestDeterministicAcrossExchangeBatching(t *testing.T) {
+	run := func(batch int) []model.Pattern {
+		_, snaps, cfg := plantedWorkload(99, 100)
+		cfg.Enum = FBA
+		cfg.ExchangeBatch = batch
+		cfg.CollectPatterns = true
+		res, err := RunSnapshots(cfg, snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum.SortPatterns(res.Patterns)
+		return res.Patterns
+	}
+	a := run(-1) // record-at-a-time
+	b := run(64)
+	if len(a) == 0 {
+		t.Fatal("no patterns; weak test")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("batching changed results: %d vs %d patterns", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() || !reflect.DeepEqual(a[i].Times, b[i].Times) {
+			t.Fatalf("pattern %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// The standard topology must be declared as a valid four-stage graph with
+// batched exchanges on every edge.
+func TestStandardTopologyShape(t *testing.T) {
+	_, _, cfg := plantedWorkload(11, 10)
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Topology(&cfg, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("standard topology invalid: %v", err)
+	}
+	want := []string{"allocate", "rangejoin", "cluster", "enumerate"}
+	if len(g.Stages) != len(want) {
+		t.Fatalf("%d stages, want %d", len(g.Stages), len(want))
+	}
+	for i, name := range want {
+		if g.Stages[i].Name != name {
+			t.Errorf("stage %d = %q, want %q", i, g.Stages[i].Name, name)
+		}
+	}
+	if len(g.Exchanges) != len(g.Stages)-1 {
+		t.Fatalf("%d exchanges for %d stages", len(g.Exchanges), len(g.Stages))
+	}
+	for i, ex := range g.Exchanges {
+		if ex.Batch != cfg.ExchangeBatch {
+			t.Errorf("exchange %d batch = %d, want %d", i, ex.Batch, cfg.ExchangeBatch)
+		}
+	}
+
+	cfg.Enum = NoEnum
+	g, err = Topology(&cfg, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Stages) != 3 || g.Stages[len(g.Stages)-1].Name != "cluster" {
+		t.Errorf("NoEnum topology has stages %v", stageNames(g.Stages))
+	}
+}
+
+func stageNames(ss []topology.Stage) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // All three clustering engines must produce identical patterns (they

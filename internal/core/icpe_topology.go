@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/ops/allocate"
+	"repro/internal/ops/clusterop"
+	"repro/internal/ops/enumop"
+	"repro/internal/ops/rangejoin"
+	"repro/internal/topology"
+)
+
+// Hooks are the callbacks a topology run reports through: per-tick cluster
+// snapshots, BA overflow, and the sink for patterns and watermarks.
+type Hooks struct {
+	OnCluster     func(model.Tick, *model.ClusterSnapshot)
+	OnOverflow    func()
+	Sink          func(any)
+	SinkWatermark func(model.Tick)
+}
+
+// Topology declares the standard ICPE pipeline of the paper (Figure 3) for
+// one Config, as data:
+//
+//	source -> allocate -> rangejoin -> cluster -> enumerate -> sink
+//	       (keyed by tick) (by cell)  (by tick)  (by trajectory id)
+//
+// Every edge is a batched keyed exchange (Config.ExchangeBatch). The graph
+// is plain data; callers may inspect or tweak it before Build.
+func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
+	mk, err := enumFactory(cfg.Enum)
+	if err != nil {
+		return nil, err
+	}
+
+	// Normalize here too, so a Config built without New's fill pass still
+	// gets the documented default.
+	batch := normalizeBatch(cfg.ExchangeBatch)
+
+	// Translate the clustering method into per-operator knobs.
+	lg, mode := cfg.CellWidth, grid.UpperHalf
+	kernel := rangejoin.RJC
+	switch cfg.Cluster {
+	case RJC:
+	case SRJ:
+		mode = grid.FullRegion
+		kernel = rangejoin.SRJ
+	case GDC:
+		// GDC divides space by eps itself (Section 7.1): every location is
+		// replicated to its full 3x3 eps-cell neighbourhood, which is what
+		// makes its partition count explode for small eps.
+		lg, mode = cfg.Eps, grid.FullRegion
+		kernel = rangejoin.SRJ
+	default:
+		return nil, fmt.Errorf("core: unknown cluster method %q", cfg.Cluster)
+	}
+
+	stages := []topology.Stage{
+		{
+			Name:        "allocate",
+			Parallelism: cfg.Parallelism,
+			Operator: func(int) flow.Operator {
+				return allocate.New(lg, cfg.Eps, mode)
+			},
+		},
+		{
+			Name:        "rangejoin",
+			Parallelism: cfg.Parallelism,
+			Operator: func(int) flow.Operator {
+				return rangejoin.New(cfg.Eps, cfg.Metric, kernel)
+			},
+		},
+		{
+			Name:        "cluster",
+			Parallelism: cfg.Parallelism,
+			Operator: func(int) flow.Operator {
+				return clusterop.New(clusterop.Config{
+					MinPts:    cfg.MinPts,
+					Dedupe:    cfg.Cluster != RJC,
+					GroupMin:  cfg.Constraints.M,
+					Enumerate: cfg.Enum != NoEnum,
+					OnCluster: h.OnCluster,
+				})
+			},
+		},
+	}
+	exchanges := []topology.Exchange{
+		{Batch: batch}, // allocate -> rangejoin (cell tasks)
+		{Batch: batch}, // rangejoin -> cluster (pair sets)
+	}
+	if cfg.Enum != NoEnum {
+		stages = append(stages, topology.Stage{
+			Name:        "enumerate",
+			Parallelism: cfg.Parallelism,
+			Operator: func(int) flow.Operator {
+				return enumop.New(enumop.Config{
+					Constraints: cfg.Constraints,
+					New:         mk,
+					OnOverflow:  h.OnOverflow,
+				})
+			},
+		})
+		// cluster -> enumerate (id partitions)
+		exchanges = append(exchanges, topology.Exchange{Batch: batch})
+	}
+
+	slots := 0
+	if cfg.Nodes > 0 {
+		slots = cfg.Nodes * cfg.SlotsPerNode
+	}
+	return &topology.Graph{
+		Name:          "icpe",
+		Stages:        stages,
+		Exchanges:     exchanges,
+		Slots:         slots,
+		Sink:          h.Sink,
+		SinkWatermark: h.SinkWatermark,
+		Transport:     cfg.Transport,
+	}, nil
+}
+
+// enumFactory maps an EnumMethod to its enumerator constructor (nil for
+// NoEnum).
+func enumFactory(m EnumMethod) (enum.NewFunc, error) {
+	switch m {
+	case BA:
+		return enum.NewBA, nil
+	case FBA:
+		return enum.NewFBA, nil
+	case VBA:
+		return enum.NewVBA, nil
+	case NoEnum:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: unknown enum method %q", m)
+	}
+}

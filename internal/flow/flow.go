@@ -1,19 +1,27 @@
 // Package flow is the distributed stream-processing substrate standing in
 // for Apache Flink (Challenge I, Section 1): a pipelined dataflow of
-// stages, each split into parallel subtasks connected by bounded channels.
+// stages, each split into parallel subtasks connected by a pluggable
+// Transport (bounded in-process channels by default).
 //
 // The engine reproduces the Flink semantics the paper's algorithms rely on:
 //
 //   - keyed exchange: records are hash-routed so all records with one key
 //     (grid cell, snapshot tick, trajectory id) reach the same subtask;
-//   - pipelined transfer: bounded channels give low latency and natural
-//     backpressure, as opposed to mini-batching;
+//   - pipelined transfer: bounded endpoints give low latency and natural
+//     backpressure; hot edges can additionally coalesce records into Batch
+//     carriers (sealed by size and on watermark) to amortize the per-record
+//     exchange overhead without giving up watermark semantics;
 //   - event-time watermarks: subtasks merge per-sender watermarks and
 //     deliver a monotone low-water mark to the operator, which lets keyed
 //     stateful operators restore tick order after a parallel stage;
 //   - cluster simulation: a global slot semaphore caps concurrent operator
 //     execution at nodes x slotsPerNode, modelling the paper's N-node
 //     scaling experiments (Figure 14) on a single machine.
+//
+// The package is deliberately free of operator logic: operators live under
+// internal/ops, pipelines are declared in internal/topology, and the
+// Transport interface isolates everything above it from the exchange
+// mechanism, so a future multi-process backend only replaces Endpoints.
 package flow
 
 import (
@@ -27,7 +35,8 @@ import (
 // Process, OnWatermark and Close are never called concurrently for one
 // operator instance.
 type Operator interface {
-	// Process handles one data record.
+	// Process handles one data record. Batches are unpacked by the runtime:
+	// Process always receives individual records.
 	Process(data any, out *Collector)
 	// OnWatermark is invoked when the merged (minimum across senders)
 	// watermark advances; all future records from upstream carry ticks
@@ -56,107 +65,19 @@ type StageSpec struct {
 	Parallelism int
 	// Make constructs the operator for one subtask.
 	Make func(subtask int) Operator
-	// BufSize is the per-subtask input channel capacity (default 128).
+	// BufSize is the per-subtask input endpoint capacity (default 128).
 	BufSize int
-}
-
-// event travels between subtasks.
-type event struct {
-	from int // sender subtask index (or -1 for the pipeline source)
-	data any // nil for pure watermarks
-	wm   model.Tick
-	isWM bool
-}
-
-// outEvent is a pending emission: either routed (to >= 0), broadcast
-// (to == -1), or a watermark (isWM).
-type outEvent struct {
-	to   int
-	data any
-	wm   model.Tick
-	isWM bool
-}
-
-// Collector lets an operator emit records and watermarks downstream. One
-// Collector belongs to one subtask. Emissions are buffered while the
-// operator runs inside its execution slot and flushed to the (bounded,
-// backpressuring) channels after the slot is released, so a full channel
-// can never deadlock the slot semaphore.
-type Collector struct {
-	p       *Pipeline
-	stage   int // emitting stage index
-	subtask int
-	next    []chan event // next stage's inputs (nil for the last stage)
-	buf     []outEvent
-}
-
-// Emit routes one record by key hash to the next stage (or the sink for
-// the last stage).
-func (c *Collector) Emit(key uint64, data any) {
-	if c.next == nil {
-		c.buf = append(c.buf, outEvent{to: -2, data: data})
-		return
-	}
-	c.buf = append(c.buf, outEvent{
-		to:   int(mix(key) % uint64(len(c.next))),
-		data: data,
-	})
-}
-
-// Broadcast sends one record to every subtask of the next stage.
-func (c *Collector) Broadcast(data any) {
-	if c.next == nil {
-		c.buf = append(c.buf, outEvent{to: -2, data: data})
-		return
-	}
-	c.buf = append(c.buf, outEvent{to: -1, data: data})
-}
-
-// Watermark broadcasts a watermark: a promise that this subtask will send
-// no record with tick <= wm anymore.
-func (c *Collector) Watermark(wm model.Tick) {
-	c.buf = append(c.buf, outEvent{wm: wm, isWM: true})
-}
-
-// flush delivers buffered emissions; called outside the execution slot.
-func (c *Collector) flush() {
-	for _, oe := range c.buf {
-		switch {
-		case oe.isWM:
-			if c.next == nil {
-				c.p.sinkWM(c.subtask, oe.wm)
-			} else {
-				for _, ch := range c.next {
-					ch <- event{from: c.subtask, wm: oe.wm, isWM: true}
-				}
-			}
-		case oe.to == -2:
-			c.p.sink(oe.data)
-		case oe.to == -1:
-			for _, ch := range c.next {
-				ch <- event{from: c.subtask, data: oe.data}
-			}
-		default:
-			c.next[oe.to] <- event{from: c.subtask, data: oe.data}
-		}
-	}
-	c.buf = c.buf[:0]
-}
-
-// mix is a 64-bit finalizer so sequential keys spread across subtasks.
-func mix(h uint64) uint64 {
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
+	// OutBatch enables batched keyed exchange on this stage's output edge:
+	// emitted records are coalesced into Batch carriers of up to OutBatch
+	// items, sealed when full and on every watermark. Values <= 1 ship
+	// record-at-a-time. Ignored on the last stage (sink delivery is direct).
+	OutBatch int
 }
 
 // Pipeline is a linear dataflow of stages.
 type Pipeline struct {
 	stages []StageSpec
-	inputs [][]chan event // inputs[i][s]: input of stage i subtask s
+	inputs [][]Endpoint // inputs[i][s]: input of stage i subtask s
 	wgs    []*sync.WaitGroup
 
 	slots chan struct{} // nil = unbounded (no cluster simulation)
@@ -179,6 +100,8 @@ type Config struct {
 	Sink func(any)
 	// SinkWatermark receives the merged watermark of the last stage.
 	SinkWatermark func(model.Tick)
+	// Transport supplies the exchange fabric (nil = in-process Channels).
+	Transport Transport
 }
 
 // NewPipeline builds a pipeline; Start must be called before Submit.
@@ -186,17 +109,21 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 	if len(stages) == 0 {
 		panic("flow: pipeline needs at least one stage")
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = Channels()
+	}
 	p := &Pipeline{
 		stages:  stages,
 		sinkFn:  cfg.Sink,
 		sinkWMs: make(map[int]model.Tick),
-		sinkLow: -1 << 62,
+		sinkLow: minWM,
 	}
 	p.sinkWMFn = cfg.SinkWatermark
 	if cfg.Slots > 0 {
 		p.slots = make(chan struct{}, cfg.Slots)
 	}
-	for i, st := range stages {
+	for _, st := range stages {
 		if st.Parallelism < 1 {
 			panic(fmt.Sprintf("flow: stage %q parallelism %d", st.Name, st.Parallelism))
 		}
@@ -204,14 +131,8 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 		if buf <= 0 {
 			buf = 128
 		}
-		chans := make([]chan event, st.Parallelism)
-		for s := range chans {
-			chans[s] = make(chan event, buf)
-		}
-		p.inputs = append(p.inputs, chans)
-		wg := &sync.WaitGroup{}
-		p.wgs = append(p.wgs, wg)
-		_ = i
+		p.inputs = append(p.inputs, tr.Edge(st.Name, st.Parallelism, buf))
+		p.wgs = append(p.wgs, &sync.WaitGroup{})
 	}
 	return p
 }
@@ -223,7 +144,7 @@ func (p *Pipeline) Start() {
 	}
 	p.started = true
 	for i, st := range p.stages {
-		var next []chan event
+		var next []Endpoint
 		if i+1 < len(p.stages) {
 			next = p.inputs[i+1]
 		}
@@ -241,29 +162,35 @@ func (p *Pipeline) Start() {
 	for i := 0; i+1 < len(p.stages); i++ {
 		go func(i int) {
 			p.wgs[i].Wait()
-			for _, ch := range p.inputs[i+1] {
-				close(ch)
+			for _, ep := range p.inputs[i+1] {
+				ep.Close()
 			}
 		}(i)
 	}
 }
 
+const minWM = model.Tick(-1 << 62)
+
 // runSubtask is the subtask main loop.
-func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []chan event) {
+func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []Endpoint) {
 	defer p.wgs[stage].Done()
-	out := &Collector{p: p, stage: stage, subtask: subtask, next: next}
-	const minWM = -1 << 62
+	out := newCollector(p, subtask, next, p.stages[stage].OutBatch)
 	wms := make([]model.Tick, senders)
 	for i := range wms {
 		wms[i] = minWM
 	}
-	merged := model.Tick(minWM)
+	merged := minWM
 	in := p.inputs[stage][subtask]
-	for ev := range in {
+	for {
+		ev, ok := in.Recv()
+		if !ok {
+			break
+		}
 		p.acquire()
-		if ev.isWM {
-			if ev.from >= 0 && ev.from < senders && ev.wm > wms[ev.from] {
-				wms[ev.from] = ev.wm
+		switch {
+		case ev.IsWM:
+			if ev.From >= 0 && ev.From < senders && ev.WM > wms[ev.From] {
+				wms[ev.From] = ev.WM
 			}
 			low := wms[0]
 			for _, w := range wms[1:] {
@@ -276,8 +203,14 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []c
 				op.OnWatermark(merged, out)
 				out.Watermark(merged)
 			}
-		} else {
-			op.Process(ev.data, out)
+		default:
+			if b, isBatch := ev.Data.(Batch); isBatch {
+				for _, item := range b.Items {
+					op.Process(item, out)
+				}
+			} else {
+				op.Process(ev.Data, out)
+			}
 		}
 		p.release()
 		out.flush()
@@ -285,6 +218,7 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []c
 	p.acquire()
 	op.Close(out)
 	p.release()
+	out.sealAll()
 	out.flush()
 }
 
@@ -302,28 +236,28 @@ func (p *Pipeline) release() {
 
 // Submit feeds one record into stage 0, routed by key.
 func (p *Pipeline) Submit(key uint64, data any) {
-	chans := p.inputs[0]
-	chans[mix(key)%uint64(len(chans))] <- event{from: 0, data: data}
+	eps := p.inputs[0]
+	eps[mix(key)%uint64(len(eps))].Send(Message{From: 0, Data: data})
 }
 
 // SubmitAll feeds one record to every stage-0 subtask.
 func (p *Pipeline) SubmitAll(data any) {
-	for _, ch := range p.inputs[0] {
-		ch <- event{from: 0, data: data}
+	for _, ep := range p.inputs[0] {
+		ep.Send(Message{From: 0, Data: data})
 	}
 }
 
 // SubmitWatermark broadcasts a source watermark to stage 0.
 func (p *Pipeline) SubmitWatermark(wm model.Tick) {
-	for _, ch := range p.inputs[0] {
-		ch <- event{from: 0, wm: wm, isWM: true}
+	for _, ep := range p.inputs[0] {
+		ep.Send(Message{From: 0, WM: wm, IsWM: true})
 	}
 }
 
 // Drain closes the source and blocks until every stage has flushed.
 func (p *Pipeline) Drain() {
-	for _, ch := range p.inputs[0] {
-		close(ch)
+	for _, ep := range p.inputs[0] {
+		ep.Close()
 	}
 	p.wgs[len(p.stages)-1].Wait()
 }

@@ -1,0 +1,77 @@
+package flow
+
+import "repro/internal/model"
+
+// Message is the transport-level envelope exchanged between subtasks. Data
+// holds either a single record or a Batch of records coalesced on a keyed
+// exchange; watermarks travel as dedicated messages with IsWM set.
+type Message struct {
+	// From is the sender subtask index (0 for the pipeline source).
+	From int
+	// Data is the record payload (possibly a Batch); nil for watermarks.
+	Data any
+	// WM is the watermark value when IsWM is set.
+	WM model.Tick
+	// IsWM marks a watermark message.
+	IsWM bool
+}
+
+// Batch is the carrier for records coalesced on a keyed exchange. Senders
+// seal a batch when it reaches the stage's configured size and on every
+// watermark, so batching never delays a record past a watermark that
+// covers its tick. The runtime unpacks batches transparently: operators
+// always see individual records.
+type Batch struct {
+	Items []any
+}
+
+// Endpoint is one subtask's input queue as seen by the transport: many
+// concurrent senders, a single receiver, closed exactly once after every
+// sender has finished.
+type Endpoint interface {
+	// Send enqueues one message, blocking for backpressure when the
+	// endpoint's buffer is full. Safe for concurrent use.
+	Send(Message)
+	// Recv dequeues the next message; ok is false once the endpoint is
+	// closed and drained. Single consumer.
+	Recv() (Message, bool)
+	// Close marks the end of input. Called once, by the runtime, after all
+	// senders have finished.
+	Close()
+}
+
+// Transport builds the exchange fabric between pipeline stages. The flow
+// runtime is transport-agnostic: operators, batching, watermark merging and
+// backpressure all work against the Endpoint abstraction, so a multi-process
+// backend (sockets, shared-memory rings) can slot in without touching
+// operator code.
+type Transport interface {
+	// Edge allocates the input endpoints for one stage: one Endpoint per
+	// subtask, each buffering up to buf messages.
+	Edge(stage string, parallelism, buf int) []Endpoint
+}
+
+// Channels returns the in-process transport: bounded Go channels, giving
+// pipelined transfer with natural backpressure. This is the default.
+func Channels() Transport { return channelTransport{} }
+
+type channelTransport struct{}
+
+func (channelTransport) Edge(_ string, parallelism, buf int) []Endpoint {
+	eps := make([]Endpoint, parallelism)
+	for i := range eps {
+		eps[i] = &chanEndpoint{ch: make(chan Message, buf)}
+	}
+	return eps
+}
+
+type chanEndpoint struct{ ch chan Message }
+
+func (e *chanEndpoint) Send(m Message) { e.ch <- m }
+
+func (e *chanEndpoint) Recv() (Message, bool) {
+	m, ok := <-e.ch
+	return m, ok
+}
+
+func (e *chanEndpoint) Close() { close(e.ch) }

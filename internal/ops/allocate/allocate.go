@@ -1,0 +1,43 @@
+// Package allocate implements the GridAllocate operator (Algorithm 1):
+// each incoming snapshot is replicated into grid cell tasks according to
+// the configured replication mode and emitted keyed by cell, plus one
+// msg.Meta announcement keyed by tick so downstream stages learn the
+// snapshot's object ids.
+package allocate
+
+import (
+	"repro/internal/flow"
+	"repro/internal/grid"
+	"repro/internal/join"
+	"repro/internal/model"
+	"repro/internal/ops/msg"
+)
+
+// Op is the GridAllocate operator. It is stateless; one instance per
+// subtask.
+type Op struct {
+	flow.BaseOperator
+	// CellWidth is the grid cell width lg.
+	CellWidth float64
+	// Eps is the range-join distance threshold.
+	Eps float64
+	// Mode selects Lemma 1 upper-half replication (RJC) or full-region
+	// replication (the SRJ/GDC baselines).
+	Mode grid.Mode
+}
+
+// New builds a GridAllocate operator.
+func New(cellWidth, eps float64, mode grid.Mode) *Op {
+	return &Op{CellWidth: cellWidth, Eps: eps, Mode: mode}
+}
+
+// Process splits one snapshot into cell tasks.
+func (a *Op) Process(data any, out *flow.Collector) {
+	s := data.(*model.Snapshot)
+	// The meta message travels to the clustering stage through the range
+	// join (keyed by tick there) so the snapshot's object ids are available.
+	out.Emit(uint64(s.Tick), msg.Meta{Tick: s.Tick, Snap: s})
+	for _, task := range join.AllocateSnapshot(s, a.CellWidth, a.Eps, a.Mode) {
+		out.Emit(task.Key.Hash(), msg.Cell{Tick: s.Tick, Snap: s, Task: task})
+	}
+}

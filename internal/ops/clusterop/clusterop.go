@@ -1,0 +1,120 @@
+// Package clusterop implements the GridSync + DBSCAN stage: per-tick
+// synchronization of the distributed range-join results, density-based
+// clustering, and id-based partitioning of the resulting clusters for the
+// enumeration stage. Input arrives keyed by tick; partitions leave keyed
+// by owner trajectory id.
+package clusterop
+
+import (
+	"repro/internal/dbscan"
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/model"
+	"repro/internal/ops/msg"
+)
+
+// Config parameterizes the clustering operator.
+type Config struct {
+	// MinPts is DBSCAN's density threshold.
+	MinPts int
+	// Dedupe eliminates duplicate pairs emitted across replicated cells by
+	// the full-replication baselines (the cost the paper charges to
+	// SRJ/GDC); the RJC join produces each pair exactly once.
+	Dedupe bool
+	// GroupMin is the significance constraint M: clusters smaller than
+	// GroupMin are discarded before partitioning (Lemma 3).
+	GroupMin int
+	// Enumerate gates partition emission; false runs clustering-only.
+	Enumerate bool
+	// OnCluster, when set, observes each tick's finished cluster snapshot
+	// (latency and cluster-size metrics).
+	OnCluster func(model.Tick, *model.ClusterSnapshot)
+}
+
+// tickBuf accumulates one tick's inputs until the watermark covers it.
+type tickBuf struct {
+	snap  *model.Snapshot
+	pairs [][2]int32
+	seen  map[uint64]struct{} // baseline duplicate elimination
+}
+
+// Op is the GridSync + DBSCAN operator for one subtask.
+type Op struct {
+	cfg  Config
+	bufs map[model.Tick]*tickBuf
+}
+
+// New builds a clustering operator.
+func New(cfg Config) *Op {
+	return &Op{cfg: cfg, bufs: make(map[model.Tick]*tickBuf)}
+}
+
+// Process buffers one tick input (snapshot announcement or join pairs).
+func (d *Op) Process(data any, out *flow.Collector) {
+	switch m := data.(type) {
+	case msg.Meta:
+		d.buf(m.Tick).snap = m.Snap
+	case msg.Pairs:
+		b := d.buf(m.Tick)
+		if !d.cfg.Dedupe {
+			b.pairs = append(b.pairs, m.Pairs...)
+			return
+		}
+		if b.seen == nil {
+			b.seen = make(map[uint64]struct{})
+		}
+		for _, p := range m.Pairs {
+			k := uint64(uint32(p[0]))<<32 | uint64(uint32(p[1]))
+			if _, ok := b.seen[k]; ok {
+				continue
+			}
+			b.seen[k] = struct{}{}
+			b.pairs = append(b.pairs, p)
+		}
+	}
+}
+
+func (d *Op) buf(t model.Tick) *tickBuf {
+	b := d.bufs[t]
+	if b == nil {
+		b = &tickBuf{}
+		d.bufs[t] = b
+	}
+	return b
+}
+
+// OnWatermark clusters every tick fully covered by the watermark.
+func (d *Op) OnWatermark(wm model.Tick, out *flow.Collector) {
+	for t, b := range d.bufs {
+		if t > wm || b.snap == nil {
+			continue
+		}
+		d.finalize(t, b, out)
+		delete(d.bufs, t)
+	}
+}
+
+func (d *Op) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
+	clusters := dbscan.FromPairs(b.snap.Len(), b.pairs, d.cfg.MinPts)
+	cs := dbscan.ToClusterSnapshot(b.snap, clusters)
+	if d.cfg.OnCluster != nil {
+		d.cfg.OnCluster(t, cs)
+	}
+	if !d.cfg.Enumerate {
+		return
+	}
+	for _, p := range enum.PartitionClusters(cs, d.cfg.GroupMin) {
+		out.Emit(uint64(p.Owner), p)
+	}
+}
+
+// Close flushes any ticks still buffered at stream end.
+func (d *Op) Close(out *flow.Collector) {
+	for t, b := range d.bufs {
+		if b.snap == nil {
+			continue
+		}
+		d.finalize(t, b, out)
+		delete(d.bufs, t)
+	}
+}

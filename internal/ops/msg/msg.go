@@ -1,0 +1,34 @@
+// Package msg defines the inter-stage message vocabulary of the ICPE
+// pipeline. The operator packages under internal/ops exchange these types
+// over keyed edges; keeping them in one shared package (instead of the
+// private duplicates internal/core used to hold) lets operators be
+// recombined into new topologies without redefining their wire types.
+package msg
+
+import (
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+// Cell carries one grid cell's range-join task for one tick, keyed by grid
+// cell. The snapshot pointer stands in for the serialized location payload
+// a real cluster would ship.
+type Cell struct {
+	Tick model.Tick
+	Snap *model.Snapshot
+	Task join.CellTask
+}
+
+// Meta announces a snapshot to the clustering stage (GridSync input),
+// keyed by tick.
+type Meta struct {
+	Tick model.Tick
+	Snap *model.Snapshot
+}
+
+// Pairs carries one cell's join results back to the snapshot's clustering
+// subtask, keyed by tick.
+type Pairs struct {
+	Tick  model.Tick
+	Pairs [][2]int32
+}

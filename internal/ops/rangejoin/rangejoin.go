@@ -1,0 +1,60 @@
+// Package rangejoin implements the GridQuery operator (Algorithm 2): the
+// per-cell range join. Cell tasks arrive keyed by grid cell; qualifying
+// pairs leave as msg.Pairs keyed by tick, so the clustering stage can
+// reassemble each snapshot's full pair set. msg.Meta announcements pass
+// through unchanged, re-keyed by tick.
+package rangejoin
+
+import (
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/join"
+	"repro/internal/ops/msg"
+)
+
+// Kernel selects the per-cell join algorithm.
+type Kernel int
+
+const (
+	// RJC is the paper's interleaved query-then-insert cell join
+	// (Lemmas 1-2): every pair is produced exactly once across cells.
+	RJC Kernel = iota
+	// SRJ is the build-then-probe baseline cell join; duplicates across
+	// replicated cells are eliminated downstream.
+	SRJ
+)
+
+// Op is the GridQuery operator. It is stateless; one instance per subtask.
+type Op struct {
+	flow.BaseOperator
+	// Eps is the join distance threshold.
+	Eps float64
+	// Metric is the distance function (the paper uses L1).
+	Metric geo.Metric
+	// Kernel selects the cell join algorithm.
+	Kernel Kernel
+}
+
+// New builds a GridQuery operator.
+func New(eps float64, metric geo.Metric, kernel Kernel) *Op {
+	return &Op{Eps: eps, Metric: metric, Kernel: kernel}
+}
+
+// Process joins one cell task (or forwards a snapshot announcement).
+func (g *Op) Process(data any, out *flow.Collector) {
+	switch m := data.(type) {
+	case msg.Meta:
+		out.Emit(uint64(m.Tick), m) // pass through to the clustering stage
+	case msg.Cell:
+		var pairs [][2]int32
+		emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
+		if g.Kernel == RJC {
+			join.RunCellRJC(m.Snap, m.Task, g.Eps, g.Metric, emit)
+		} else {
+			join.RunCellSRJ(m.Snap, m.Task, g.Eps, g.Metric, emit)
+		}
+		if len(pairs) > 0 {
+			out.Emit(uint64(m.Tick), msg.Pairs{Tick: m.Tick, Pairs: pairs})
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/model"
+)
+
+// emitSelf forwards ints keyed by value.
+type emitSelf struct{ flow.BaseOperator }
+
+func (emitSelf) Process(data any, out *flow.Collector) {
+	out.Emit(uint64(data.(int)), data)
+}
+
+func stage(name string, par int) Stage {
+	return Stage{
+		Name:        name,
+		Parallelism: par,
+		Operator:    func(int) flow.Operator { return emitSelf{} },
+	}
+}
+
+func TestGraphBuildAndRun(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	var wms []model.Tick
+	g := &Graph{
+		Name:   "test",
+		Stages: []Stage{stage("a", 2), stage("b", 3), stage("c", 1)},
+		Exchanges: []Exchange{
+			{Batch: 4, Buffer: 16},
+			{Batch: 4},
+		},
+		Sink: func(d any) {
+			mu.Lock()
+			got = append(got, d.(int))
+			mu.Unlock()
+		},
+		SinkWatermark: func(wm model.Tick) {
+			mu.Lock()
+			wms = append(wms, wm)
+			mu.Unlock()
+		},
+	}
+	p, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < 100; i++ {
+		p.Submit(uint64(i), i)
+	}
+	p.SubmitWatermark(50)
+	p.Drain()
+	if len(got) != 100 {
+		t.Errorf("sink received %d records, want 100", len(got))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(wms) != 1 || wms[0] != 50 {
+		t.Errorf("sink watermarks = %v, want [50]", wms)
+	}
+}
+
+func TestGraphPartialExchangesDefault(t *testing.T) {
+	// Fewer exchange specs than edges is fine: missing edges use defaults.
+	g := &Graph{
+		Stages:    []Stage{stage("a", 1), stage("b", 1), stage("c", 1)},
+		Exchanges: []Exchange{{Batch: 8}},
+	}
+	if _, err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want string // substring of the expected error
+	}{
+		{"empty", &Graph{Name: "g"}, "no stages"},
+		{"unnamed stage", &Graph{Stages: []Stage{stage("", 1)}}, "no name"},
+		{"duplicate names", &Graph{
+			Stages: []Stage{stage("x", 1), stage("x", 1)},
+		}, "duplicate stage name"},
+		{"zero parallelism", &Graph{Stages: []Stage{stage("x", 0)}}, "parallelism"},
+		{"nil operator", &Graph{
+			Stages: []Stage{{Name: "x", Parallelism: 1}},
+		}, "no operator"},
+		{"too many exchanges", &Graph{
+			Stages:    []Stage{stage("x", 1)},
+			Exchanges: []Exchange{{Batch: 2}},
+		}, "exchanges"},
+		{"negative batch", &Graph{
+			Stages:    []Stage{stage("x", 1), stage("y", 1)},
+			Exchanges: []Exchange{{Batch: -1}},
+		}, "batch"},
+		{"negative buffer", &Graph{
+			Stages:    []Stage{stage("x", 1), stage("y", 1)},
+			Exchanges: []Exchange{{Buffer: -1}},
+		}, "buffer"},
+		{"negative slots", &Graph{
+			Stages: []Stage{stage("x", 1)}, Slots: -1,
+		}, "slots"},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid graph", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, err := tc.g.Build(); err == nil {
+			t.Errorf("%s: Build accepted invalid graph", tc.name)
+		}
+	}
+}
+
+func TestGraphValidAccepted(t *testing.T) {
+	g := &Graph{Stages: []Stage{stage("only", 4)}}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
