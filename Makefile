@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench ci
+.PHONY: all build test vet fmt-check bench bench-json ci
 
 all: build test vet
 
@@ -22,5 +22,11 @@ fmt-check:
 # the batched rows should show >= 1.5x the unbatched rec/s.
 bench:
 	$(GO) test ./internal/flow -run '^$$' -bench BenchmarkExchange -benchtime=1s
+
+# bench-json writes BENCH_pipeline.json: per-stage throughput and total
+# keyed-exchange records/sec for the in-process vs multi-process TCP
+# transports on a seeded planted workload (the perf trajectory's anchor).
+bench-json:
+	$(GO) run ./cmd/bench -exp pipeline -objects 300 -ticks 200 -json BENCH_pipeline.json
 
 ci: build vet fmt-check test

@@ -2,17 +2,23 @@
 //
 // Usage:
 //
-//	bench [-exp all|table2|table3|fig10|fig11|fig12|fig13|fig14|fig15]
-//	      [-objects N] [-ticks N] [-seed S]
+//	bench [-exp all|table2|table3|fig10|fig11|fig12|fig13|fig14|fig15|pipeline]
+//	      [-objects N] [-ticks N] [-seed S] [-json FILE]
 //
 // Output is printed as aligned series (one per competitor) with latency,
 // throughput and average cluster size, mirroring the paper's plots. See
 // EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// The pipeline experiment measures per-stage throughput and keyed-exchange
+// records/sec on the in-process vs the multi-process TCP transport; with
+// -json it writes the machine-readable report (see `make bench-json`,
+// which produces BENCH_pipeline.json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,10 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table2, table3, fig10..fig15, ablation (comma-separated)")
+	exp := flag.String("exp", "all", "experiment: all, table2, table3, fig10..fig15, ablation, pipeline (comma-separated)")
 	objects := flag.Int("objects", bench.FullScale.Objects, "number of moving objects")
 	ticks := flag.Int("ticks", bench.FullScale.Ticks, "stream length in ticks")
 	seed := flag.Int64("seed", 42, "workload seed")
+	jsonPath := flag.String("json", "", "write the pipeline experiment's JSON report to this file (default stdout)")
 	flag.Parse()
 
 	sc := bench.Scale{Objects: *objects, Ticks: *ticks}
@@ -50,6 +57,21 @@ func main() {
 			bench.Fig15(w, *seed, sc)
 		case "ablation":
 			bench.Ablation(w, *seed, sc)
+		case "pipeline":
+			var out io.Writer = w
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := bench.PipelineJSON(out, *seed, sc); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)

@@ -8,6 +8,16 @@
 //	icpe -input trace.csv -method vba -eps 2
 //	icpe -listen 127.0.0.1:7077 -duration 60s   # TCP ingestion (TRJ1 frames)
 //
+// Multi-process mode runs the pipeline stages as N real OS processes over
+// the TCP transport — one coordinator (source + sink) plus N workers:
+//
+//	icpe -worker 127.0.0.1:7400 &           # start N of these
+//	icpe -transport tcp -coordinator 127.0.0.1:7400 -workers 2 -input trace.csv
+//
+// The coordinator ships its configuration to every worker, so detection
+// flags are given only on the coordinator; output is identical to a
+// single-process run.
+//
 // Input format: "object,tick,x,y" per line, ticks non-decreasing; in listen
 // mode, binary TRJ1 frames from any number of publishers.
 package main
@@ -21,7 +31,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -29,7 +38,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsrc"
 	"repro/internal/stream"
-	"repro/internal/trajio"
+	"repro/internal/transport/tcpnet"
 )
 
 func main() {
@@ -48,7 +57,26 @@ func main() {
 	cluster := flag.String("cluster", "rjc", "range join engine: rjc | srj | gdc")
 	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage")
 	quiet := flag.Bool("quiet", false, "suppress per-pattern output")
+	transport := flag.String("transport", "inproc", "exchange fabric: inproc | tcp (tcp needs -coordinator/-workers)")
+	coordinator := flag.String("coordinator", "", "coordinator listen address for -transport tcp (e.g. 127.0.0.1:7400)")
+	workers := flag.Int("workers", 2, "worker process count the coordinator waits for")
+	workerJoin := flag.String("worker", "", "run as a worker: join the coordinator at this address and serve assigned stages")
 	flag.Parse()
+
+	if *workerJoin != "" {
+		// Workers receive their whole configuration from the coordinator.
+		fmt.Fprintf(os.Stderr, "joining coordinator at %s\n", *workerJoin)
+		stats, err := core.RunWorker(*workerJoin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, name := range stats.Stages {
+			if stats.Local[i] {
+				fmt.Fprintf(os.Stderr, "stage %-10s %d records\n", name, stats.Records[i])
+			}
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *input != "-" {
@@ -77,9 +105,30 @@ func main() {
 			}
 		},
 	}
-	pipe, err := core.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	var pipe *core.Pipeline
+	var coord *tcpnet.Coordinator
+	switch *transport {
+	case "inproc":
+		var err error
+		if pipe, err = core.New(cfg); err != nil {
+			log.Fatal(err)
+		}
+	case "tcp":
+		if *coordinator == "" {
+			log.Fatal("icpe: -transport tcp needs -coordinator ADDR (and workers joining with -worker ADDR)")
+		}
+		var err error
+		if coord, err = tcpnet.NewCoordinator(*coordinator, *workers); err != nil {
+			log.Fatal(err)
+		}
+		defer coord.Close()
+		fmt.Fprintf(os.Stderr, "waiting for %d workers on %s\n", *workers, coord.Addr())
+		if pipe, err = core.NewDistributed(cfg, coord); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "workers joined; streaming\n")
+	default:
+		log.Fatalf("icpe: unknown transport %q (want inproc or tcp)", *transport)
 	}
 	pipe.Start()
 
@@ -101,33 +150,10 @@ func main() {
 // serve ingests records over TCP for the given duration, assembling
 // snapshots with the last-time protocol before feeding the pipeline.
 func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline) error {
-	var mu sync.Mutex
 	asm := stream.NewAssembler()
 	asm.Slack = slack
-	last := make(map[model.ObjectID]model.Tick)
-	var buf []*model.Snapshot
-	srv, err := netsrc.Serve(addr, func(r trajio.Rec) {
-		mu.Lock()
-		defer mu.Unlock()
-		lt, ok := last[r.Object]
-		if ok && r.Tick <= lt {
-			return // duplicate or stale
-		}
-		if !ok {
-			lt = model.NoLastTime
-		}
-		last[r.Object] = r.Tick
-		buf = asm.Push(model.StampedRecord{
-			Object:   r.Object,
-			Loc:      r.Loc,
-			Tick:     r.Tick,
-			LastTick: lt,
-			Ingest:   time.Now(),
-		}, buf[:0])
-		for _, s := range buf {
-			pipe.PushSnapshot(s)
-		}
-	})
+	handler, flush := netsrc.AssemblingHandler(asm, pipe.PushSnapshot)
+	srv, err := netsrc.Serve(addr, handler)
 	if err != nil {
 		return err
 	}
@@ -136,11 +162,7 @@ func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline) 
 	if err := srv.Close(); err != nil {
 		return err
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	for _, s := range asm.FlushAll(nil) {
-		pipe.PushSnapshot(s)
-	}
+	flush()
 	return nil
 }
 

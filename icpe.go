@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/stream"
@@ -130,6 +131,14 @@ type Options struct {
 	// Results are identical either way — batches are sealed on every
 	// watermark — only the exchange overhead changes.
 	ExchangeBatch int
+	// Transport overrides the exchange fabric between pipeline subtasks
+	// (default: in-process bounded channels). The transport must provide
+	// receivable endpoints for every stage — this Detector runs all stages
+	// in the current process. Multi-process deployments (the tcpnet
+	// transport, where stages live in other processes) are driven through
+	// cmd/icpe's coordinator/worker mode or core.NewDistributed/RunWorker
+	// instead.
+	Transport flow.Transport
 
 	// CollectPatterns stores all patterns in the final Result (default
 	// true; disable for unbounded streams and use OnPattern instead).
@@ -194,6 +203,7 @@ func New(opts Options) (*Detector, error) {
 		SlotsPerNode:    opts.SlotsPerNode,
 		Parallelism:     opts.Parallelism,
 		ExchangeBatch:   opts.ExchangeBatch,
+		Transport:       opts.Transport,
 		CollectPatterns: collect,
 		OnPattern:       opts.OnPattern,
 	}

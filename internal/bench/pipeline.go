@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/transport/tcpnet"
+)
+
+// StageThroughput is one stage's record volume over a run.
+type StageThroughput struct {
+	Name          string  `json:"name"`
+	Records       int64   `json:"records"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// TransportRun is one transport's measurement of the standard pipeline.
+type TransportRun struct {
+	Transport       string            `json:"transport"` // "inproc" | "tcp"
+	Workers         int               `json:"workers,omitempty"`
+	WallSeconds     float64           `json:"wall_seconds"`
+	SnapshotsPerSec float64           `json:"snapshots_per_sec"`
+	Patterns        int64             `json:"patterns"`
+	Stages          []StageThroughput `json:"stages"`
+	// ExchangeRecordsPerSec is the total keyed-exchange traffic (every
+	// stage-input record crossed one exchange) over the wall clock — the
+	// headline number for comparing transports.
+	ExchangeRecordsPerSec float64 `json:"exchange_records_per_sec"`
+}
+
+// PipelineReport is the machine-readable output of `bench -exp pipeline`
+// (written to BENCH_pipeline.json by `make bench-json`): the same seeded
+// workload pushed through the standard topology on the in-process and the
+// multi-process TCP transports.
+type PipelineReport struct {
+	Dataset       string         `json:"dataset"`
+	Objects       int            `json:"objects"`
+	Ticks         int            `json:"ticks"`
+	Seed          int64          `json:"seed"`
+	Parallelism   int            `json:"parallelism"`
+	ExchangeBatch int            `json:"exchange_batch"`
+	Runs          []TransportRun `json:"runs"`
+}
+
+// admit bounds in-flight snapshots exactly like runOnce, so the two
+// transports are compared at equal queueing depth.
+func admit(cfg *core.Config) chan struct{} {
+	tokens := make(chan struct{}, 32)
+	cfg.OnTickComplete = func(model.Tick) { <-tokens }
+	return tokens
+}
+
+func feedAll(pipe *core.Pipeline, d Dataset, tokens chan struct{}) {
+	for _, s := range d.Snapshots {
+		tokens <- struct{}{}
+		c := s.Clone()
+		c.Ingest = time.Time{}
+		pipe.PushSnapshot(c)
+	}
+}
+
+func stageRows(names []string, recs []int64, wall time.Duration) ([]StageThroughput, float64) {
+	rows := make([]StageThroughput, len(names))
+	var total int64
+	for i, name := range names {
+		rows[i] = StageThroughput{Name: name, Records: recs[i]}
+		if wall > 0 {
+			rows[i].RecordsPerSec = float64(recs[i]) / wall.Seconds()
+		}
+		total += recs[i]
+	}
+	perSec := 0.0
+	if wall > 0 {
+		perSec = float64(total) / wall.Seconds()
+	}
+	return rows, perSec
+}
+
+// runPipelineInproc measures the single-process channel transport.
+func runPipelineInproc(d Dataset, cfg core.Config) (TransportRun, error) {
+	tokens := admit(&cfg)
+	pipe, err := core.New(cfg)
+	if err != nil {
+		return TransportRun{}, err
+	}
+	start := time.Now()
+	pipe.Start()
+	feedAll(pipe, d, tokens)
+	res := pipe.Finish()
+	wall := time.Since(start)
+	stages, exch := stageRows(pipe.StageNames(), pipe.StageRecords(), wall)
+	rep := res.Metrics.Report()
+	return TransportRun{
+		Transport:             "inproc",
+		WallSeconds:           wall.Seconds(),
+		SnapshotsPerSec:       rep.ThroughputPerSec,
+		Patterns:              rep.Patterns,
+		Stages:                stages,
+		ExchangeRecordsPerSec: exch,
+	}, nil
+}
+
+// runPipelineTCP measures the multi-process TCP transport: a coordinator
+// plus `workers` worker nodes on loopback, every stage input crossing a
+// real socket (round-robin placement).
+func runPipelineTCP(d Dataset, cfg core.Config, workers int) (TransportRun, error) {
+	coord, err := tcpnet.NewCoordinator("127.0.0.1:0", workers)
+	if err != nil {
+		return TransportRun{}, err
+	}
+	defer coord.Close()
+
+	var (
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+		stats   []core.WorkerStats
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := core.RunWorker(coord.Addr())
+			if err != nil {
+				// Fail fast, like the transport itself: a worker lost
+				// mid-run cannot be recovered, and the coordinator side
+				// would panic (AwaitDrain) or block before any graceful
+				// error return here could be observed.
+				panic(fmt.Sprintf("bench: worker: %v", err))
+			}
+			statsMu.Lock()
+			defer statsMu.Unlock()
+			stats = append(stats, st)
+		}()
+	}
+	tokens := admit(&cfg)
+	pipe, err := core.NewDistributed(cfg, coord)
+	if err != nil {
+		return TransportRun{}, err
+	}
+	start := time.Now()
+	pipe.Start()
+	feedAll(pipe, d, tokens)
+	res := pipe.Finish()
+	wall := time.Since(start)
+	wg.Wait()
+
+	// Merge per-worker counters into one per-stage view.
+	names := pipe.StageNames()
+	recs := make([]int64, len(names))
+	for _, st := range stats {
+		if len(st.Records) != len(recs) {
+			return TransportRun{}, fmt.Errorf("bench: worker reported %d stages, want %d",
+				len(st.Records), len(recs))
+		}
+		for i, r := range st.Records {
+			recs[i] += r
+		}
+	}
+	stages, exch := stageRows(names, recs, wall)
+	rep := res.Metrics.Report()
+	return TransportRun{
+		Transport:             "tcp",
+		Workers:               workers,
+		WallSeconds:           wall.Seconds(),
+		SnapshotsPerSec:       rep.ThroughputPerSec,
+		Patterns:              rep.Patterns,
+		Stages:                stages,
+		ExchangeRecordsPerSec: exch,
+	}, nil
+}
+
+// PipelineJSON runs the pipeline benchmark on both transports and writes
+// the report as indented JSON.
+func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
+	d := MakeDataset("planted", seed, sc)
+	p := DefaultParams()
+	cfg := d.config(p, core.RJC, core.FBA)
+
+	inproc, err := runPipelineInproc(d, cfg)
+	if err != nil {
+		return err
+	}
+	tcp, err := runPipelineTCP(d, cfg, 2)
+	if err != nil {
+		return err
+	}
+	report := PipelineReport{
+		Dataset:       d.Name,
+		Objects:       d.Objects,
+		Ticks:         sc.Ticks,
+		Seed:          seed,
+		Parallelism:   p.Parallelism,
+		ExchangeBatch: core.EffectiveExchangeBatch(cfg.ExchangeBatch),
+		Runs:          []TransportRun{inproc, tcp},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -81,6 +81,14 @@ type Config struct {
 	// Transport overrides the exchange fabric between subtasks (default:
 	// in-process bounded channels).
 	Transport flow.Transport
+	// Local restricts which pipeline stages execute in this process (nil =
+	// all). Distributed runs pair it with a multi-process Transport; see
+	// NewDistributed and RunWorker.
+	Local func(stage int) bool
+	// AwaitDrain, when set, is called by Finish after the source is closed
+	// and the local stages have drained, before metrics are finalized.
+	// Distributed drivers use it to wait for remote stage completion.
+	AwaitDrain func()
 	// CollectPatterns stores emitted patterns in the result (tests and
 	// examples; benchmarks usually only count).
 	CollectPatterns bool
@@ -119,6 +127,12 @@ func (c *Config) fill() error {
 	c.ExchangeBatch = normalizeBatch(c.ExchangeBatch)
 	return nil
 }
+
+// EffectiveExchangeBatch resolves an ExchangeBatch knob value to the batch
+// size the pipeline will actually use (0 means the default, negative means
+// record-at-a-time). Exposed for instrumentation that reports the batch
+// size of a run.
+func EffectiveExchangeBatch(b int) int { return normalizeBatch(b) }
 
 // normalizeBatch resolves the ExchangeBatch knob: 0 means the default of
 // 32, negative means record-at-a-time.
@@ -247,6 +261,9 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 // Finish drains the pipeline and returns the result.
 func (p *Pipeline) Finish() Result {
 	p.fl.Drain()
+	if p.cfg.AwaitDrain != nil {
+		p.cfg.AwaitDrain()
+	}
 	p.mets.mu.Lock()
 	p.mets.end = time.Now()
 	p.mets.mu.Unlock()
@@ -331,6 +348,21 @@ func (p *Pipeline) onSinkRecord(data any) {
 func (p *Pipeline) onSinkWatermark(wm model.Tick) {
 	p.recordCompletion(wm)
 }
+
+// DeliverSink injects one sink record produced by a remote last stage.
+// Distributed drivers wire the transport's sink stream here so pattern
+// collection, callbacks and latency metrics work exactly as in-process.
+func (p *Pipeline) DeliverSink(data any) { p.onSinkRecord(data) }
+
+// DeliverSinkWatermark injects the remote last stage's merged watermark.
+func (p *Pipeline) DeliverSinkWatermark(wm model.Tick) { p.onSinkWatermark(wm) }
+
+// StageNames returns the pipeline's stage names in order.
+func (p *Pipeline) StageNames() []string { return p.fl.StageNames() }
+
+// StageRecords returns per-stage processed record counts for the stages
+// running in this process (benchmark instrumentation).
+func (p *Pipeline) StageRecords() []int64 { return p.fl.StageRecords() }
 
 // setOverflow flags BA overflow.
 func (p *Pipeline) setOverflow() {

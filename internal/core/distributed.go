@@ -1,0 +1,195 @@
+// Distributed execution of the standard ICPE topology: a coordinator
+// process drives the source and collects the sink while N worker
+// processes each run the stages the tcpnet plan assigns them. The
+// coordinator ships its Config (as a Spec blob) to every worker, so all
+// processes build the identical topology and only placement differs.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/transport/tcpnet"
+)
+
+// Spec is the wire form of Config: the scalar knobs that determine the
+// topology. Hooks, transports and collection settings are process-local
+// and deliberately absent.
+type Spec struct {
+	M             int     `json:"m"`
+	K             int     `json:"k"`
+	L             int     `json:"l"`
+	G             int     `json:"g"`
+	Eps           float64 `json:"eps"`
+	CellWidth     float64 `json:"cell_width"`
+	Metric        int     `json:"metric"`
+	MinPts        int     `json:"min_pts"`
+	Cluster       string  `json:"cluster"`
+	Enum          string  `json:"enum"`
+	Nodes         int     `json:"nodes"`
+	SlotsPerNode  int     `json:"slots_per_node"`
+	Parallelism   int     `json:"parallelism"`
+	ExchangeBatch int     `json:"exchange_batch"`
+}
+
+// EncodeSpec serializes the topology-determining part of cfg.
+func EncodeSpec(cfg Config) ([]byte, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(Spec{
+		M: cfg.Constraints.M, K: cfg.Constraints.K,
+		L: cfg.Constraints.L, G: cfg.Constraints.G,
+		Eps:           cfg.Eps,
+		CellWidth:     cfg.CellWidth,
+		Metric:        int(cfg.Metric),
+		MinPts:        cfg.MinPts,
+		Cluster:       string(cfg.Cluster),
+		Enum:          string(cfg.Enum),
+		Nodes:         cfg.Nodes,
+		SlotsPerNode:  cfg.SlotsPerNode,
+		Parallelism:   cfg.Parallelism,
+		ExchangeBatch: cfg.ExchangeBatch,
+	})
+}
+
+// DecodeSpec reconstructs the Config a worker must build its topology
+// from.
+func DecodeSpec(data []byte) (Config, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Config{}, fmt.Errorf("core: spec: %w", err)
+	}
+	cfg := Config{
+		Constraints:   model.Constraints{M: s.M, K: s.K, L: s.L, G: s.G},
+		Eps:           s.Eps,
+		CellWidth:     s.CellWidth,
+		Metric:        geo.Metric(s.Metric),
+		MinPts:        s.MinPts,
+		Cluster:       ClusterMethod(s.Cluster),
+		Enum:          EnumMethod(s.Enum),
+		Nodes:         s.Nodes,
+		SlotsPerNode:  s.SlotsPerNode,
+		Parallelism:   s.Parallelism,
+		ExchangeBatch: s.ExchangeBatch,
+	}
+	if err := cfg.fill(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// TopologyStageNames returns the stage names of cfg's standard topology,
+// in pipeline order — the coordinator needs them before building its own
+// pipeline to compute the placement plan.
+func TopologyStageNames(cfg Config) ([]string, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	g, err := Topology(&cfg, Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(g.Stages))
+	for i, st := range g.Stages {
+		names[i] = st.Name
+	}
+	return names, nil
+}
+
+// NewDistributed builds the coordinator-side pipeline: it completes the
+// worker handshake on c, wires the tcpnet transport and remote sink
+// delivery into a core.Pipeline, and arranges Finish to wait for every
+// worker. The returned pipeline is used exactly like an in-process one
+// (Start, PushSnapshot, Finish); clustering-internal metrics
+// (ClusterLatency, AvgClusterSize) are recorded on the workers and stay
+// empty here.
+func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	spec, err := EncodeSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	stages, err := TopologyStageNames(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(stages, spec); err != nil {
+		return nil, err
+	}
+	cfg.Transport = c.Transport()
+	cfg.Local = c.Local
+	cfg.AwaitDrain = func() {
+		if err := c.WaitDone(); err != nil {
+			panic(fmt.Sprintf("core: distributed drain: %v", err))
+		}
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Hooks are installed before Start spawns the control readers, so no
+	// frame can race the installation or hit a nil hook.
+	c.OnSink(p.DeliverSink)
+	c.OnSinkWatermark(p.DeliverSinkWatermark)
+	c.Start()
+	return p, nil
+}
+
+// WorkerStats summarizes one worker's share of a distributed run.
+type WorkerStats struct {
+	// Stages are the pipeline's stage names (all of them, in order).
+	Stages []string
+	// Local[i] reports whether this worker ran Stages[i].
+	Local []bool
+	// Records[i] counts records processed by Stages[i] here (zero for
+	// non-local stages).
+	Records []int64
+}
+
+// RunWorker joins the coordinator at coordAddr, builds the standard
+// topology from the shipped spec, executes the stages assigned to this
+// process and blocks until they drain. The worker owning the last stage
+// forwards sink records and watermarks to the coordinator.
+func RunWorker(coordAddr string) (WorkerStats, error) {
+	w, err := tcpnet.JoinWorker(coordAddr)
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	defer w.Close()
+	cfg, err := DecodeSpec(w.Spec())
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	g, err := Topology(&cfg, Hooks{
+		Sink:          w.Sink(),
+		SinkWatermark: w.SinkWatermark(),
+	})
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	g.Transport = w.Transport()
+	g.Local = w.LocalStage
+	pl, err := g.Build()
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	pl.Start()
+	pl.WaitLocal()
+	stats := WorkerStats{
+		Stages:  pl.StageNames(),
+		Records: pl.StageRecords(),
+	}
+	stats.Local = make([]bool, len(stats.Stages))
+	for i := range stats.Local {
+		stats.Local[i] = w.LocalStage(i)
+	}
+	if err := w.Finish(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/enum"
+	"repro/internal/model"
+	"repro/internal/trajio"
+	"repro/internal/transport/tcpnet"
+)
+
+// runDistributed executes cfg over snaps on a coordinator plus workers
+// in-process cluster (real TCP sockets on loopback, real stage placement
+// across tcpnet nodes).
+func runDistributed(t *testing.T, cfg Config, snaps []*model.Snapshot, workers int) Result {
+	t.Helper()
+	coord, err := tcpnet.NewCoordinator("127.0.0.1:0", workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := RunWorker(coord.Addr()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	pipe, err := NewDistributed(cfg, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+	for _, s := range snaps {
+		pipe.PushSnapshot(s)
+	}
+	res := pipe.Finish()
+	wg.Wait()
+	return res
+}
+
+// patternsCSV canonicalizes patterns (sorted) and serializes them, so two
+// runs can be compared byte for byte.
+func patternsCSV(t *testing.T, ps []model.Pattern) []byte {
+	t.Helper()
+	enum.SortPatterns(ps)
+	var buf bytes.Buffer
+	if err := trajio.WritePatternsCSV(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The standard topology must produce byte-identical pattern output on the
+// in-process and TCP transports, at parallelism > 1, with every edge
+// crossing a process boundary (round-robin placement over two workers).
+func TestDistributedMatchesInProcess(t *testing.T) {
+	for _, method := range []EnumMethod{FBA, VBA} {
+		_, snaps, cfg := plantedWorkload(1234, 120)
+		cfg.Enum = method
+		cfg.Parallelism = 3
+		cfg.CollectPatterns = true
+
+		inproc, err := RunSnapshots(cfg, snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, snaps2, cfg2 := plantedWorkload(1234, 120)
+		cfg2.Enum = method
+		cfg2.Parallelism = 3
+		cfg2.CollectPatterns = true
+		dist := runDistributed(t, cfg2, snaps2, 2)
+
+		want := patternsCSV(t, inproc.Patterns)
+		got := patternsCSV(t, dist.Patterns)
+		if len(inproc.Patterns) == 0 {
+			t.Fatalf("%s: no patterns; weak test", method)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: tcp output differs from inproc:\n tcp: %d patterns\n inproc: %d patterns",
+				method, len(dist.Patterns), len(inproc.Patterns))
+		}
+	}
+}
+
+// Coordinator-side bookkeeping must keep working when the last stage runs
+// remotely: snapshot counts, completion latency (via forwarded sink
+// watermarks) and pattern callbacks.
+func TestDistributedMetricsAndCallbacks(t *testing.T) {
+	_, snaps, cfg := plantedWorkload(77, 100)
+	cfg.Enum = FBA
+	cfg.CollectPatterns = true
+	count := 0 // sink delivery is serialized on the control reader
+	cfg.OnPattern = func(model.Pattern) { count++ }
+	res := runDistributed(t, cfg, snaps, 2)
+	if res.Metrics.Snapshots != 100 {
+		t.Errorf("snapshots = %d, want 100", res.Metrics.Snapshots)
+	}
+	if n := res.Metrics.CompletionLatency.Count(); n != 100 {
+		t.Errorf("completion latency samples = %d, want 100", n)
+	}
+	if res.Metrics.Patterns == 0 {
+		t.Error("no patterns; weak test")
+	}
+	if int64(count) != res.Metrics.Patterns {
+		t.Errorf("OnPattern count %d != metric %d", count, res.Metrics.Patterns)
+	}
+	if n := res.Metrics.PatternLatency.Count(); int64(n) != res.Metrics.Patterns {
+		t.Errorf("pattern latency samples = %d, want %d", n, res.Metrics.Patterns)
+	}
+}
+
+// A single worker owning every stage must also work (local edges inside a
+// tcpnet node, remote source and sink).
+func TestDistributedSingleWorker(t *testing.T) {
+	_, snaps, cfg := plantedWorkload(55, 80)
+	cfg.Enum = FBA
+	cfg.CollectPatterns = true
+	inproc, err := RunSnapshots(cfg, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snaps2, cfg2 := plantedWorkload(55, 80)
+	cfg2.Enum = FBA
+	cfg2.CollectPatterns = true
+	dist := runDistributed(t, cfg2, snaps2, 1)
+	if !bytes.Equal(patternsCSV(t, dist.Patterns), patternsCSV(t, inproc.Patterns)) {
+		t.Fatal("single-worker tcp output differs from inproc")
+	}
+	if len(inproc.Patterns) == 0 {
+		t.Fatal("no patterns; weak test")
+	}
+}
+
+// Spec round trip: a worker must reconstruct the coordinator's effective
+// configuration exactly.
+func TestSpecRoundTrip(t *testing.T) {
+	_, _, cfg := plantedWorkload(3, 10)
+	cfg.Enum = VBA
+	cfg.Cluster = SRJ
+	cfg.Parallelism = 5
+	cfg.ExchangeBatch = 7
+	cfg.Nodes = 2
+	blob, err := EncodeSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg
+	// Process-local fields are not shipped.
+	want.CollectPatterns = false
+	want.OnPattern = nil
+	want.OnTickComplete = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spec round trip changed config:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -120,6 +120,7 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 		Sink:          h.Sink,
 		SinkWatermark: h.SinkWatermark,
 		Transport:     cfg.Transport,
+		Local:         cfg.Local,
 	}, nil
 }
 

@@ -131,9 +131,14 @@ func TestFromPairsMatchesReference(t *testing.T) {
 	}
 }
 
-func TestClusterSizeAtLeastMinPts(t *testing.T) {
-	// Every DBSCAN cluster contains at least one core point and all its
-	// neighbours, so cluster size >= minPts.
+func TestClusterStructure(t *testing.T) {
+	// Every DBSCAN cluster contains at least one core point, every core
+	// point's core neighbours share its cluster, and every border member
+	// sits in the cluster of its smallest-index adjacent core. (Cluster
+	// size is NOT bounded below by minPts: a border point adjacent to
+	// cores of two clusters is deterministically assigned to one of them,
+	// which can leave the other below minPts — exactly as in classic
+	// DBSCAN with arbitrary border assignment.)
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(150)
@@ -143,9 +148,64 @@ func TestClusterSizeAtLeastMinPts(t *testing.T) {
 		}
 		s := snapshotOf(pts)
 		minPts := 2 + rng.Intn(6)
-		clusters := FromPairs(n, pairsOf(s, 1.5, geo.L1), minPts)
+		pairs := pairsOf(s, 1.5, geo.L1)
+
+		deg := make([]int, n)
+		adj := make([][]int32, n)
+		for _, p := range pairs {
+			deg[p[0]]++
+			deg[p[1]]++
+			adj[p[0]] = append(adj[p[0]], p[1])
+			adj[p[1]] = append(adj[p[1]], p[0])
+		}
+		core := make([]bool, n)
+		for i := range core {
+			core[i] = deg[i]+1 >= minPts
+		}
+
+		clusters := FromPairs(n, pairs, minPts)
+		clusterOf := make([]int, n)
+		for i := range clusterOf {
+			clusterOf[i] = -1
+		}
+		for ci, c := range clusters {
+			for _, idx := range c {
+				clusterOf[idx] = ci
+			}
+		}
 		for _, c := range clusters {
-			if len(c) < minPts {
+			hasCore := false
+			for _, idx := range c {
+				if core[idx] {
+					hasCore = true
+					break
+				}
+			}
+			if !hasCore {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if clusterOf[i] == -1 {
+				continue
+			}
+			if core[i] {
+				// Core neighbours of a core point share its cluster.
+				for _, nb := range adj[i] {
+					if core[nb] && clusterOf[nb] != clusterOf[i] {
+						return false
+					}
+				}
+				continue
+			}
+			// Border point: assigned to its smallest-index adjacent core.
+			best := int32(-1)
+			for _, nb := range adj[i] {
+				if core[nb] && (best == -1 || nb < best) {
+					best = nb
+				}
+			}
+			if best == -1 || clusterOf[int(best)] != clusterOf[i] {
 				return false
 			}
 		}

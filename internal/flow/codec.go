@@ -1,0 +1,280 @@
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Codec (de)serializes one record type for networked transports. Append
+// encodes v onto buf and returns the extended slice; Decode parses one
+// value from data (which holds exactly one encoded record) and returns it
+// with the same dynamic type that was registered.
+type Codec interface {
+	Append(buf []byte, v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Kind identifies a registered record type on the wire. Kinds must be
+// stable across all processes of one deployment; the msg package owns the
+// assignments for the ICPE vocabulary.
+type Kind uint8
+
+var codecs = struct {
+	sync.RWMutex
+	byKind map[Kind]Codec
+	kinds  map[reflect.Type]Kind
+}{byKind: map[Kind]Codec{}, kinds: map[reflect.Type]Kind{}}
+
+// RegisterCodec binds a record type (given by a prototype value, e.g.
+// msg.Meta{} or (*model.Snapshot)(nil)) to a kind id. Registration is
+// typically done in an init function of the package defining the type; a
+// duplicate kind or type panics.
+func RegisterCodec(kind Kind, prototype any, c Codec) {
+	codecs.Lock()
+	defer codecs.Unlock()
+	t := reflect.TypeOf(prototype)
+	if _, dup := codecs.byKind[kind]; dup {
+		panic(fmt.Sprintf("flow: codec kind %d registered twice", kind))
+	}
+	if _, dup := codecs.kinds[t]; dup {
+		panic(fmt.Sprintf("flow: codec for %v registered twice", t))
+	}
+	codecs.byKind[kind] = c
+	codecs.kinds[t] = kind
+}
+
+func codecFor(v any) (Kind, Codec, error) {
+	codecs.RLock()
+	defer codecs.RUnlock()
+	kind, ok := codecs.kinds[reflect.TypeOf(v)]
+	if !ok {
+		return 0, nil, fmt.Errorf("flow: no codec registered for %T", v)
+	}
+	return kind, codecs.byKind[kind], nil
+}
+
+func codecOf(kind Kind) (Codec, error) {
+	codecs.RLock()
+	defer codecs.RUnlock()
+	c, ok := codecs.byKind[kind]
+	if !ok {
+		return nil, fmt.Errorf("flow: unknown codec kind %d", kind)
+	}
+	return c, nil
+}
+
+// AppendPayload encodes one record as [kind][body] using its registered
+// codec. It is the building block of message encoding and is also used
+// directly for out-of-band records (e.g. sink forwarding).
+func AppendPayload(buf []byte, v any) ([]byte, error) {
+	kind, c, err := codecFor(v)
+	if err != nil {
+		return buf, err
+	}
+	buf = append(buf, byte(kind))
+	return c.Append(buf, v)
+}
+
+// DecodePayload decodes one record encoded by AppendPayload.
+func DecodePayload(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("flow: empty payload")
+	}
+	c, err := codecOf(Kind(data[0]))
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(data[1:])
+}
+
+// Message envelope flags.
+const (
+	flagWatermark = 1 << iota
+	flagBatch
+)
+
+// AppendMessage encodes a transport message — data record, Batch carrier,
+// or watermark envelope — onto buf:
+//
+//	[flags][From uvarint]
+//	watermark: [WM varint]
+//	batch:     [count uvarint] then per item [len uvarint][kind][body]
+//	record:    [kind][body]
+//
+// Every record type crossing a networked edge must have a registered Codec.
+func AppendMessage(buf []byte, m Message) ([]byte, error) {
+	var flags byte
+	batch, isBatch := m.Data.(Batch)
+	switch {
+	case m.IsWM:
+		flags = flagWatermark
+	case isBatch:
+		flags = flagBatch
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(m.From))
+	switch {
+	case m.IsWM:
+		return binary.AppendVarint(buf, int64(m.WM)), nil
+	case isBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(batch.Items)))
+		var scratch []byte
+		for _, item := range batch.Items {
+			var err error
+			scratch, err = AppendPayload(scratch[:0], item)
+			if err != nil {
+				return buf, err
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+			buf = append(buf, scratch...)
+		}
+		return buf, nil
+	default:
+		return AppendPayload(buf, m.Data)
+	}
+}
+
+// DecodeMessage parses one message encoded by AppendMessage.
+func DecodeMessage(data []byte) (Message, error) {
+	d := NewDec(data)
+	flags := d.Byte()
+	from := int(d.Uvarint())
+	switch {
+	case flags&flagWatermark != 0:
+		wm := d.Varint()
+		if err := d.Err(); err != nil {
+			return Message{}, err
+		}
+		return Message{From: from, WM: model.Tick(wm), IsWM: true}, nil
+	case flags&flagBatch != 0:
+		n := int(d.Uvarint())
+		if err := d.Err(); err != nil {
+			return Message{}, err
+		}
+		items := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			body := d.Bytes(int(d.Uvarint()))
+			if err := d.Err(); err != nil {
+				return Message{}, err
+			}
+			item, err := DecodePayload(body)
+			if err != nil {
+				return Message{}, err
+			}
+			items = append(items, item)
+		}
+		return Message{From: from, Data: Batch{Items: items}}, nil
+	default:
+		if err := d.Err(); err != nil {
+			return Message{}, err
+		}
+		v, err := DecodePayload(d.Rest())
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{From: from, Data: v}, nil
+	}
+}
+
+// Dec is a cursor over an encoded payload, used by Codec implementations.
+// Errors are sticky: after the first short read every accessor returns a
+// zero value and Err reports the failure.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec wraps data for sequential decoding.
+func NewDec(data []byte) *Dec { return &Dec{b: data} }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("flow: truncated payload at offset %d", d.off)
+	}
+}
+
+// Byte reads one byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Float64 reads a fixed 8-byte little-endian float.
+func (d *Dec) Float64() float64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Bytes reads the next n bytes (without copying).
+func (d *Dec) Bytes(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+// Rest returns everything not yet consumed.
+func (d *Dec) Rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	v := d.b[d.off:]
+	d.off = len(d.b)
+	return v
+}
+
+// Err reports the first decoding failure, if any.
+func (d *Dec) Err() error { return d.err }
+
+// AppendFloat64 appends a fixed 8-byte little-endian float, the inverse of
+// Dec.Float64.
+func AppendFloat64(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}

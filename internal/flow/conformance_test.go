@@ -1,0 +1,19 @@
+package flow_test
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/flow/flowtest"
+)
+
+// The default in-process channel transport must pass the same conformance
+// suite any networked transport does.
+func TestChannelsConformance(t *testing.T) {
+	flowtest.Run(t, flowtest.Harness{
+		Edge: func(t *testing.T, stage string, parallelism, buf int) (send, recv []flow.Endpoint) {
+			eps := flow.Channels().Edge(stage, parallelism, buf)
+			return eps, eps
+		},
+	})
+}

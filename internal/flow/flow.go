@@ -27,6 +27,7 @@ package flow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -79,6 +80,10 @@ type Pipeline struct {
 	stages []StageSpec
 	inputs [][]Endpoint // inputs[i][s]: input of stage i subtask s
 	wgs    []*sync.WaitGroup
+	local  []bool  // local[i]: stage i's subtasks run in this process
+	recs   []int64 // per-stage processed record counters (atomic)
+
+	closeWG sync.WaitGroup // outstanding close-propagation goroutines
 
 	slots chan struct{} // nil = unbounded (no cluster simulation)
 
@@ -102,6 +107,12 @@ type Config struct {
 	SinkWatermark func(model.Tick)
 	// Transport supplies the exchange fabric (nil = in-process Channels).
 	Transport Transport
+	// Local reports whether stage i's subtasks execute in this process
+	// (nil = every stage). Non-local stages get no goroutines; their input
+	// endpoints are expected to be remote senders supplied by the
+	// Transport, and closing them across the process boundary is the
+	// transport's job (end-of-stream propagation).
+	Local func(stage int) bool
 }
 
 // NewPipeline builds a pipeline; Start must be called before Submit.
@@ -115,9 +126,14 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 	}
 	p := &Pipeline{
 		stages:  stages,
+		recs:    make([]int64, len(stages)),
 		sinkFn:  cfg.Sink,
 		sinkWMs: make(map[int]model.Tick),
 		sinkLow: minWM,
+	}
+	p.local = make([]bool, len(stages))
+	for i := range p.local {
+		p.local[i] = cfg.Local == nil || cfg.Local(i)
 	}
 	p.sinkWMFn = cfg.SinkWatermark
 	if cfg.Slots > 0 {
@@ -144,6 +160,9 @@ func (p *Pipeline) Start() {
 	}
 	p.started = true
 	for i, st := range p.stages {
+		if !p.local[i] {
+			continue
+		}
 		var next []Endpoint
 		if i+1 < len(p.stages) {
 			next = p.inputs[i+1]
@@ -159,8 +178,15 @@ func (p *Pipeline) Start() {
 		}
 	}
 	// Close propagation: when stage i finishes, close stage i+1 inputs.
+	// Only local stages propagate — when stage i runs in another process,
+	// the transport delivers its end-of-stream and closes our endpoints.
 	for i := 0; i+1 < len(p.stages); i++ {
+		if !p.local[i] {
+			continue
+		}
+		p.closeWG.Add(1)
 		go func(i int) {
+			defer p.closeWG.Done()
 			p.wgs[i].Wait()
 			for _, ep := range p.inputs[i+1] {
 				ep.Close()
@@ -205,10 +231,12 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 			}
 		default:
 			if b, isBatch := ev.Data.(Batch); isBatch {
+				atomic.AddInt64(&p.recs[stage], int64(len(b.Items)))
 				for _, item := range b.Items {
 					op.Process(item, out)
 				}
 			} else {
+				atomic.AddInt64(&p.recs[stage], 1)
 				op.Process(ev.Data, out)
 			}
 		}
@@ -254,12 +282,48 @@ func (p *Pipeline) SubmitWatermark(wm model.Tick) {
 	}
 }
 
-// Drain closes the source and blocks until every stage has flushed.
+// Drain closes the source and blocks until every local stage has flushed.
+// When the last stage runs in another process (distributed mode), Drain
+// returns once the local share is done; the driver must additionally wait
+// for the remote completion signal (see internal/transport/tcpnet).
 func (p *Pipeline) Drain() {
 	for _, ep := range p.inputs[0] {
 		ep.Close()
 	}
-	p.wgs[len(p.stages)-1].Wait()
+	p.WaitLocal()
+}
+
+// WaitLocal blocks until every locally executing subtask has finished and
+// all local close propagation (including end-of-stream emission on
+// outbound remote edges) has run. Worker processes call this to find out
+// when their share of a distributed run is complete.
+func (p *Pipeline) WaitLocal() {
+	for i := range p.stages {
+		if p.local[i] {
+			p.wgs[i].Wait()
+		}
+	}
+	p.closeWG.Wait()
+}
+
+// StageNames returns the stage names in pipeline order.
+func (p *Pipeline) StageNames() []string {
+	names := make([]string, len(p.stages))
+	for i, st := range p.stages {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// StageRecords returns a snapshot of per-stage processed record counts
+// (records delivered to Process, batches unpacked). Non-local stages stay
+// at zero in this process.
+func (p *Pipeline) StageRecords() []int64 {
+	out := make([]int64, len(p.recs))
+	for i := range out {
+		out[i] = atomic.LoadInt64(&p.recs[i])
+	}
+	return out
 }
 
 // sink delivers a record from the last stage, serialized.

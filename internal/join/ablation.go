@@ -70,14 +70,14 @@ func (e *Ablation) Join(s *model.Snapshot, emit PairEmit) {
 	for _, task := range tasks {
 		switch {
 		case e.lemma2 && e.lemma1:
-			RunCellRJC(s, task, e.p.Eps, e.p.Metric, out)
+			RunCellRJC(task, e.p.Eps, e.p.Metric, out)
 		case e.lemma2 && !e.lemma1:
 			// Interleaved build+probe for data objects still avoids
 			// within-cell duplicates, but the full-region replicas mirror
 			// every cross-cell pair.
-			runCellLemma2Full(s, task, e.p, out)
+			runCellLemma2Full(task, e.p, out)
 		default:
-			RunCellSRJ(s, task, e.p.Eps, e.p.Metric, out)
+			RunCellSRJ(task, e.p.Eps, e.p.Metric, out)
 		}
 	}
 }
@@ -85,23 +85,21 @@ func (e *Ablation) Join(s *model.Snapshot, emit PairEmit) {
 // runCellLemma2Full is RunCellRJC without the Lemma 1 probe restriction:
 // query objects probe their whole range region, so cross-cell pairs are
 // reported by both endpoints' replicas.
-func runCellLemma2Full(s *model.Snapshot, task CellTask, p Params, emit PairEmit) {
+func runCellLemma2Full(task CellTask, p Params, emit PairEmit) {
 	if len(task.Data) == 0 {
 		return
 	}
 	rt := rtree.New()
-	for _, di := range task.Data {
-		pt := s.Locs[di]
-		rt.SearchWithin(pt, p.Eps, p.Metric, func(it rtree.Item) bool {
-			orderedEmit(emit, di, int32(it.ID))
+	for _, d := range task.Data {
+		rt.SearchWithin(d.Loc, p.Eps, p.Metric, func(it rtree.Item) bool {
+			orderedEmit(emit, d.Idx, int32(it.ID))
 			return true
 		})
-		rt.Insert(pt, int64(di))
+		rt.Insert(d.Loc, int64(d.Idx))
 	}
-	for _, qi := range task.Queries {
-		pt := s.Locs[qi]
-		rt.SearchWithin(pt, p.Eps, p.Metric, func(it rtree.Item) bool {
-			orderedEmit(emit, qi, int32(it.ID))
+	for _, q := range task.Queries {
+		rt.SearchWithin(q.Loc, p.Eps, p.Metric, func(it rtree.Item) bool {
+			orderedEmit(emit, q.Idx, int32(it.ID))
 			return true
 		})
 	}

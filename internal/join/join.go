@@ -43,13 +43,23 @@ type Params struct {
 	Metric geo.Metric
 }
 
+// CellObj is one location routed into a cell: the point itself plus its
+// position in the originating snapshot. Cell tasks carry their objects by
+// value, so a task is self-contained and can be shipped to a subtask in
+// another OS process without a back-reference into the snapshot.
+type CellObj struct {
+	Idx int32
+	Loc geo.Point
+}
+
 // CellTask is the unit of distributed work for the grid-partitioned
 // engines: one grid cell with the data and query objects routed to it.
-// Index slices refer to positions in the snapshot.
+// Idx fields refer to positions in the originating snapshot; Loc fields
+// make the task independent of it.
 type CellTask struct {
 	Key     grid.Key
-	Data    []int32
-	Queries []int32
+	Data    []CellObj
+	Queries []CellObj
 }
 
 // AllocateSnapshot partitions a snapshot into cell tasks (the GridAllocate
@@ -65,9 +75,9 @@ func AllocateSnapshot(s *model.Snapshot, lg, eps float64, mode grid.Mode) []Cell
 				cells[o.Key] = c
 			}
 			if o.Query {
-				c.Queries = append(c.Queries, o.Index)
+				c.Queries = append(c.Queries, CellObj{Idx: o.Index, Loc: o.Loc})
 			} else {
-				c.Data = append(c.Data, o.Index)
+				c.Data = append(c.Data, CellObj{Idx: o.Index, Loc: o.Loc})
 			}
 		})
 	}
@@ -112,24 +122,22 @@ func lexAbove(v, q geo.Point) bool {
 // unique across all cells: within-cell pairs are produced once by the
 // interleaved build (Lemma 2), cross-cell pairs once by the lower
 // endpoint's replica (lexAbove).
-func RunCellRJC(s *model.Snapshot, task CellTask, eps float64, m geo.Metric, emit PairEmit) {
+func RunCellRJC(task CellTask, eps float64, m geo.Metric, emit PairEmit) {
 	if len(task.Data) == 0 {
 		return // query-only cells can never produce new pairs
 	}
 	rt := rtree.New()
-	for _, di := range task.Data {
-		p := s.Locs[di]
-		rt.SearchWithin(p, eps, m, func(it rtree.Item) bool {
-			orderedEmit(emit, di, int32(it.ID))
+	for _, d := range task.Data {
+		rt.SearchWithin(d.Loc, eps, m, func(it rtree.Item) bool {
+			orderedEmit(emit, d.Idx, int32(it.ID))
 			return true
 		})
-		rt.Insert(p, int64(di))
+		rt.Insert(d.Loc, int64(d.Idx))
 	}
-	for _, qi := range task.Queries {
-		p := s.Locs[qi]
-		rt.Search(geo.UpperHalfAround(p, eps), func(it rtree.Item) bool {
-			if lexAbove(it.P, p) && p.Within(it.P, eps, m) {
-				orderedEmit(emit, qi, int32(it.ID))
+	for _, q := range task.Queries {
+		rt.Search(geo.UpperHalfAround(q.Loc, eps), func(it rtree.Item) bool {
+			if lexAbove(it.P, q.Loc) && q.Loc.Within(it.P, eps, m) {
+				orderedEmit(emit, q.Idx, int32(it.ID))
 			}
 			return true
 		})
@@ -140,26 +148,25 @@ func RunCellRJC(s *model.Snapshot, task CellTask, eps float64, m geo.Metric, emi
 // built first, then every data and query object probes it. Pairs within a
 // cell and across mirrored query replicas are produced more than once; the
 // caller must de-duplicate.
-func RunCellSRJ(s *model.Snapshot, task CellTask, eps float64, m geo.Metric, emit PairEmit) {
+func RunCellSRJ(task CellTask, eps float64, m geo.Metric, emit PairEmit) {
 	if len(task.Data) == 0 {
 		return
 	}
 	rt := rtree.New()
-	for _, di := range task.Data {
-		rt.Insert(s.Locs[di], int64(di))
+	for _, d := range task.Data {
+		rt.Insert(d.Loc, int64(d.Idx))
 	}
-	probe := func(idx int32) {
-		p := s.Locs[idx]
-		rt.SearchWithin(p, eps, m, func(it rtree.Item) bool {
-			orderedEmit(emit, idx, int32(it.ID))
+	probe := func(o CellObj) {
+		rt.SearchWithin(o.Loc, eps, m, func(it rtree.Item) bool {
+			orderedEmit(emit, o.Idx, int32(it.ID))
 			return true
 		})
 	}
-	for _, di := range task.Data {
-		probe(di)
+	for _, d := range task.Data {
+		probe(d)
 	}
-	for _, qi := range task.Queries {
-		probe(qi)
+	for _, q := range task.Queries {
+		probe(q)
 	}
 }
 
@@ -176,7 +183,7 @@ func (e *RJC) Name() string { return "RJC" }
 func (e *RJC) Join(s *model.Snapshot, emit PairEmit) {
 	tasks := AllocateSnapshot(s, e.p.CellWidth, e.p.Eps, grid.UpperHalf)
 	for _, task := range tasks {
-		RunCellRJC(s, task, e.p.Eps, e.p.Metric, emit)
+		RunCellRJC(task, e.p.Eps, e.p.Metric, emit)
 	}
 }
 
@@ -204,7 +211,7 @@ func (e *SRJ) Join(s *model.Snapshot, emit PairEmit) {
 		emit(i, j)
 	}
 	for _, task := range tasks {
-		RunCellSRJ(s, task, e.p.Eps, e.p.Metric, dedup)
+		RunCellSRJ(task, e.p.Eps, e.p.Metric, dedup)
 	}
 }
 

@@ -148,7 +148,7 @@ func TestAllocateSnapshotDeterministic(t *testing.T) {
 	seen := map[int32]int{}
 	for _, c := range a {
 		for _, d := range c.Data {
-			seen[d]++
+			seen[d.Idx]++
 		}
 	}
 	if len(seen) != s.Len() {

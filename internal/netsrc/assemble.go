@@ -1,0 +1,56 @@
+package netsrc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/stream"
+	"repro/internal/trajio"
+)
+
+// AssemblingHandler bridges network ingestion to snapshot assembly: the
+// returned Handler reconstructs each object's last-time chain (Section 4),
+// drops stale duplicates, stamps ingest time, and pushes records through
+// asm, invoking push for every snapshot that becomes complete. It is safe
+// for the server's concurrent read loops.
+//
+// The returned flush drains the assembler at end of stream (after
+// Server.Close) and must be called exactly once.
+func AssemblingHandler(asm *stream.Assembler, push func(*model.Snapshot)) (h Handler, flush func()) {
+	var (
+		mu   sync.Mutex
+		last = make(map[model.ObjectID]model.Tick)
+		buf  []*model.Snapshot
+	)
+	h = func(r trajio.Rec) {
+		mu.Lock()
+		defer mu.Unlock()
+		lt, ok := last[r.Object]
+		if ok && r.Tick <= lt {
+			return // duplicate or stale
+		}
+		if !ok {
+			lt = model.NoLastTime
+		}
+		last[r.Object] = r.Tick
+		buf = asm.Push(model.StampedRecord{
+			Object:   r.Object,
+			Loc:      r.Loc,
+			Tick:     r.Tick,
+			LastTick: lt,
+			Ingest:   time.Now(),
+		}, buf[:0])
+		for _, s := range buf {
+			push(s)
+		}
+	}
+	flush = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range asm.FlushAll(nil) {
+			push(s)
+		}
+	}
+	return h, flush
+}

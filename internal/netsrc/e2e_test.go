@@ -1,0 +1,141 @@
+package netsrc_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/enum"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/netsrc"
+	"repro/internal/stream"
+	"repro/internal/trajio"
+)
+
+// End-to-end network ingest: concurrent publishers stream TRJ1 frames to a
+// netsrc server whose handler assembles snapshots (last-time protocol) and
+// feeds the full detector pipeline. The planted groups must be recovered at
+// the far end, and no snapshot may be lost on the way.
+func TestNetworkIngestToPatterns(t *testing.T) {
+	const ticks = 120
+	gen := datagen.DefaultPlanted(4242)
+	gen.NumGroups = 3
+	gen.GroupSize = 5
+	gen.NumNoise = 20
+	sim := datagen.NewPlanted(gen)
+	snaps := datagen.Snapshots(sim, ticks)
+
+	cfg := core.Config{
+		Constraints: model.Constraints{M: 4, K: 6, L: 3, G: 3},
+		Eps:         gen.Eps,
+		CellWidth:   gen.Eps * 4,
+		Metric:      geo.L1,
+		MinPts:      4,
+		Enum:        core.FBA,
+		Parallelism: 3,
+		// Collect pattern object sets; witnesses depend on assembly order
+		// only through cluster indices, so assert on recovered groups.
+		CollectPatterns: true,
+	}
+	pipe, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+
+	// The ingest path is cmd/icpe serve()'s: netsrc.AssemblingHandler
+	// (last-time chains + snapshot assembly) feeding the pipeline; the
+	// test additionally counts records and snapshots as they pass.
+	var pushed, received atomic.Int64
+	asm := stream.NewAssembler()
+	handler, flush := netsrc.AssemblingHandler(asm, func(s *model.Snapshot) {
+		pushed.Add(1)
+		pipe.PushSnapshot(s)
+	})
+	srv, err := netsrc.Serve("127.0.0.1:0", func(r trajio.Rec) {
+		received.Add(1)
+		handler(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogf(func(string, ...any) {})
+
+	// Three publishers, each owning a disjoint object slice, advance in
+	// tick lockstep paced on server-side progress — like rate-paced sensor
+	// gateways, the next tick is not emitted until the current one has been
+	// ingested. (Without pacing, one connection's read loop can sprint
+	// through its whole buffered stream before the others start, and the
+	// assembler would rightly release snapshots without the laggards.)
+	const nPubs = 3
+	pubs := make([]*netsrc.Publisher, nPubs)
+	for i := range pubs {
+		if pubs[i], err = netsrc.Dial(srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for _, s := range snaps {
+		var wg sync.WaitGroup
+		for p := 0; p < nPubs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i, id := range s.Objects {
+					if int(id)%nPubs != p {
+						continue
+					}
+					if err := pubs[p].Publish(trajio.Rec{
+						Object: id, Tick: s.Tick, Loc: s.Locs[i],
+					}); err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+				if err := pubs[p].Flush(); err != nil {
+					t.Errorf("flush: %v", err)
+				}
+			}(p)
+		}
+		wg.Wait()
+		sent += s.Len()
+		for received.Load() < int64(sent) {
+			if time.Now().After(deadline) {
+				t.Fatalf("tick %d: received %d of %d records before deadline",
+					s.Tick, received.Load(), sent)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for _, p := range pubs {
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+
+	res := pipe.Finish()
+	if n := pushed.Load(); n != ticks {
+		t.Errorf("assembled %d snapshots, want %d", n, ticks)
+	}
+	if res.Metrics.Snapshots != int64(ticks) {
+		t.Errorf("pipeline consumed %d snapshots, want %d", res.Metrics.Snapshots, ticks)
+	}
+	found := enum.ObjectSets(res.Patterns)
+	for g := 0; g < gen.NumGroups; g++ {
+		members := sim.GroupMembers(g)
+		key := model.Pattern{Objects: members}.Key()
+		if !found[key] {
+			t.Errorf("planted group %d (%v) not detected over the network path; %d patterns",
+				g, members, len(res.Patterns))
+		}
+	}
+}

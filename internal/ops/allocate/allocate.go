@@ -36,8 +36,11 @@ func (a *Op) Process(data any, out *flow.Collector) {
 	s := data.(*model.Snapshot)
 	// The meta message travels to the clustering stage through the range
 	// join (keyed by tick there) so the snapshot's object ids are available.
-	out.Emit(uint64(s.Tick), msg.Meta{Tick: s.Tick, Snap: s})
+	// Objects are copied: downstream stages may live in other processes and
+	// must never share the source snapshot's heap.
+	objs := append([]model.ObjectID(nil), s.Objects...)
+	out.Emit(uint64(s.Tick), msg.Meta{Tick: s.Tick, Objects: objs, Ingest: s.Ingest})
 	for _, task := range join.AllocateSnapshot(s, a.CellWidth, a.Eps, a.Mode) {
-		out.Emit(task.Key.Hash(), msg.Cell{Tick: s.Tick, Snap: s, Task: task})
+		out.Emit(task.Key.Hash(), msg.Cell{Tick: s.Tick, Task: task})
 	}
 }

@@ -6,6 +6,8 @@
 package clusterop
 
 import (
+	"time"
+
 	"repro/internal/dbscan"
 	"repro/internal/enum"
 	"repro/internal/flow"
@@ -31,11 +33,15 @@ type Config struct {
 	OnCluster func(model.Tick, *model.ClusterSnapshot)
 }
 
-// tickBuf accumulates one tick's inputs until the watermark covers it.
+// tickBuf accumulates one tick's inputs until the watermark covers it. The
+// snapshot view is reassembled from the msg.Meta announcement (object ids +
+// ingest instant) — no pointer into an upstream stage's heap survives here.
 type tickBuf struct {
-	snap  *model.Snapshot
-	pairs [][2]int32
-	seen  map[uint64]struct{} // baseline duplicate elimination
+	hasMeta bool
+	objects []model.ObjectID
+	ingest  time.Time
+	pairs   [][2]int32
+	seen    map[uint64]struct{} // baseline duplicate elimination
 }
 
 // Op is the GridSync + DBSCAN operator for one subtask.
@@ -53,7 +59,10 @@ func New(cfg Config) *Op {
 func (d *Op) Process(data any, out *flow.Collector) {
 	switch m := data.(type) {
 	case msg.Meta:
-		d.buf(m.Tick).snap = m.Snap
+		b := d.buf(m.Tick)
+		b.hasMeta = true
+		b.objects = m.Objects
+		b.ingest = m.Ingest
 	case msg.Pairs:
 		b := d.buf(m.Tick)
 		if !d.cfg.Dedupe {
@@ -83,20 +92,26 @@ func (d *Op) buf(t model.Tick) *tickBuf {
 	return b
 }
 
-// OnWatermark clusters every tick fully covered by the watermark.
+// OnWatermark clusters every tick fully covered by the watermark. A covered
+// tick whose msg.Meta never arrived can never be completed — the watermark
+// promises no further input for it — so it is dropped rather than retained,
+// bounding state on lossy or reordered streams.
 func (d *Op) OnWatermark(wm model.Tick, out *flow.Collector) {
 	for t, b := range d.bufs {
-		if t > wm || b.snap == nil {
+		if t > wm {
 			continue
 		}
-		d.finalize(t, b, out)
+		if b.hasMeta {
+			d.finalize(t, b, out)
+		}
 		delete(d.bufs, t)
 	}
 }
 
 func (d *Op) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
-	clusters := dbscan.FromPairs(b.snap.Len(), b.pairs, d.cfg.MinPts)
-	cs := dbscan.ToClusterSnapshot(b.snap, clusters)
+	snap := &model.Snapshot{Tick: t, Objects: b.objects, Ingest: b.ingest}
+	clusters := dbscan.FromPairs(snap.Len(), b.pairs, d.cfg.MinPts)
+	cs := dbscan.ToClusterSnapshot(snap, clusters)
 	if d.cfg.OnCluster != nil {
 		d.cfg.OnCluster(t, cs)
 	}
@@ -108,13 +123,16 @@ func (d *Op) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
 	}
 }
 
-// Close flushes any ticks still buffered at stream end.
+// Close flushes any ticks still buffered at stream end; meta-less ticks are
+// incomplete and discarded.
 func (d *Op) Close(out *flow.Collector) {
 	for t, b := range d.bufs {
-		if b.snap == nil {
-			continue
+		if b.hasMeta {
+			d.finalize(t, b, out)
 		}
-		d.finalize(t, b, out)
 		delete(d.bufs, t)
 	}
 }
+
+// Buffered reports the number of ticks currently held back (tests).
+func (d *Op) Buffered() int { return len(d.bufs) }

@@ -1,0 +1,236 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+// Wire kind assignments for the ICPE message vocabulary. These are the
+// stable on-the-wire type tags every process of a deployment must agree
+// on; new message types take the next free id.
+const (
+	KindSnapshot  flow.Kind = 1 // *model.Snapshot (source -> allocate)
+	KindMeta      flow.Kind = 2 // Meta (allocate -> cluster, via rangejoin)
+	KindCell      flow.Kind = 3 // Cell (allocate -> rangejoin)
+	KindPairs     flow.Kind = 4 // Pairs (rangejoin -> cluster)
+	KindPartition flow.Kind = 5 // enum.Partition (cluster -> enumerate)
+	KindPattern   flow.Kind = 6 // model.Pattern (enumerate -> sink)
+)
+
+func init() {
+	flow.RegisterCodec(KindSnapshot, (*model.Snapshot)(nil), snapshotCodec{})
+	flow.RegisterCodec(KindMeta, Meta{}, metaCodec{})
+	flow.RegisterCodec(KindCell, Cell{}, cellCodec{})
+	flow.RegisterCodec(KindPairs, Pairs{}, pairsCodec{})
+	flow.RegisterCodec(KindPartition, enum.Partition{}, partitionCodec{})
+	flow.RegisterCodec(KindPattern, model.Pattern{}, patternCodec{})
+}
+
+// appendTime encodes an instant as a presence flag plus Unix nanoseconds;
+// the zero time round-trips as zero.
+func appendTime(buf []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return binary.AppendVarint(buf, t.UnixNano())
+}
+
+func decodeTime(d *flow.Dec) time.Time {
+	if d.Byte() == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, d.Varint())
+}
+
+func appendObjects(buf []byte, ids []model.ObjectID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
+func decodeObjects(d *flow.Dec) []model.ObjectID {
+	n := int(d.Uvarint())
+	if n == 0 {
+		return nil
+	}
+	ids := make([]model.ObjectID, n)
+	for i := range ids {
+		ids[i] = model.ObjectID(d.Uvarint())
+	}
+	return ids
+}
+
+// snapshotCodec frames *model.Snapshot: tick, ingest, then parallel
+// object/location arrays.
+type snapshotCodec struct{}
+
+func (snapshotCodec) Append(buf []byte, v any) ([]byte, error) {
+	s := v.(*model.Snapshot)
+	if len(s.Objects) != len(s.Locs) {
+		return buf, fmt.Errorf("msg: snapshot with %d objects, %d locations",
+			len(s.Objects), len(s.Locs))
+	}
+	buf = binary.AppendVarint(buf, int64(s.Tick))
+	buf = appendTime(buf, s.Ingest)
+	buf = appendObjects(buf, s.Objects)
+	for _, l := range s.Locs {
+		buf = flow.AppendFloat64(buf, l.X)
+		buf = flow.AppendFloat64(buf, l.Y)
+	}
+	return buf, nil
+}
+
+func (snapshotCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	s := &model.Snapshot{Tick: model.Tick(d.Varint())}
+	s.Ingest = decodeTime(d)
+	s.Objects = decodeObjects(d)
+	if len(s.Objects) > 0 {
+		s.Locs = make([]geo.Point, len(s.Objects))
+		for i := range s.Locs {
+			s.Locs[i] = geo.Point{X: d.Float64(), Y: d.Float64()}
+		}
+	}
+	return s, d.Err()
+}
+
+type metaCodec struct{}
+
+func (metaCodec) Append(buf []byte, v any) ([]byte, error) {
+	m := v.(Meta)
+	buf = binary.AppendVarint(buf, int64(m.Tick))
+	buf = appendTime(buf, m.Ingest)
+	return appendObjects(buf, m.Objects), nil
+}
+
+func (metaCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	m := Meta{Tick: model.Tick(d.Varint())}
+	m.Ingest = decodeTime(d)
+	m.Objects = decodeObjects(d)
+	return m, d.Err()
+}
+
+type cellCodec struct{}
+
+func appendCellObjs(buf []byte, objs []join.CellObj) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(objs)))
+	for _, o := range objs {
+		buf = binary.AppendVarint(buf, int64(o.Idx))
+		buf = flow.AppendFloat64(buf, o.Loc.X)
+		buf = flow.AppendFloat64(buf, o.Loc.Y)
+	}
+	return buf
+}
+
+func decodeCellObjs(d *flow.Dec) []join.CellObj {
+	n := int(d.Uvarint())
+	if n == 0 {
+		return nil
+	}
+	objs := make([]join.CellObj, n)
+	for i := range objs {
+		objs[i] = join.CellObj{
+			Idx: int32(d.Varint()),
+			Loc: geo.Point{X: d.Float64(), Y: d.Float64()},
+		}
+	}
+	return objs
+}
+
+func (cellCodec) Append(buf []byte, v any) ([]byte, error) {
+	c := v.(Cell)
+	buf = binary.AppendVarint(buf, int64(c.Tick))
+	buf = binary.AppendVarint(buf, int64(c.Task.Key.X))
+	buf = binary.AppendVarint(buf, int64(c.Task.Key.Y))
+	buf = appendCellObjs(buf, c.Task.Data)
+	return appendCellObjs(buf, c.Task.Queries), nil
+}
+
+func (cellCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	c := Cell{Tick: model.Tick(d.Varint())}
+	c.Task.Key = grid.Key{X: int32(d.Varint()), Y: int32(d.Varint())}
+	c.Task.Data = decodeCellObjs(d)
+	c.Task.Queries = decodeCellObjs(d)
+	return c, d.Err()
+}
+
+type pairsCodec struct{}
+
+func (pairsCodec) Append(buf []byte, v any) ([]byte, error) {
+	p := v.(Pairs)
+	buf = binary.AppendVarint(buf, int64(p.Tick))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Pairs)))
+	for _, pr := range p.Pairs {
+		buf = binary.AppendVarint(buf, int64(pr[0]))
+		buf = binary.AppendVarint(buf, int64(pr[1]))
+	}
+	return buf, nil
+}
+
+func (pairsCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	p := Pairs{Tick: model.Tick(d.Varint())}
+	if n := int(d.Uvarint()); n > 0 {
+		p.Pairs = make([][2]int32, n)
+		for i := range p.Pairs {
+			p.Pairs[i] = [2]int32{int32(d.Varint()), int32(d.Varint())}
+		}
+	}
+	return p, d.Err()
+}
+
+type partitionCodec struct{}
+
+func (partitionCodec) Append(buf []byte, v any) ([]byte, error) {
+	p := v.(enum.Partition)
+	buf = binary.AppendVarint(buf, int64(p.Tick))
+	buf = binary.AppendUvarint(buf, uint64(p.Owner))
+	return appendObjects(buf, p.Members), nil
+}
+
+func (partitionCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	p := enum.Partition{
+		Tick:  model.Tick(d.Varint()),
+		Owner: model.ObjectID(d.Uvarint()),
+	}
+	p.Members = decodeObjects(d)
+	return p, d.Err()
+}
+
+type patternCodec struct{}
+
+func (patternCodec) Append(buf []byte, v any) ([]byte, error) {
+	p := v.(model.Pattern)
+	buf = appendObjects(buf, p.Objects)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Times)))
+	for _, t := range p.Times {
+		buf = binary.AppendVarint(buf, int64(t))
+	}
+	return buf, nil
+}
+
+func (patternCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	p := model.Pattern{Objects: decodeObjects(d)}
+	if n := int(d.Uvarint()); n > 0 {
+		p.Times = make([]model.Tick, n)
+		for i := range p.Times {
+			p.Times[i] = model.Tick(d.Varint())
+		}
+	}
+	return p, d.Err()
+}

@@ -1,0 +1,115 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+// roundTrip encodes v through its registered codec and decodes it back.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	buf, err := flow.AppendPayload(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	got, err := flow.DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return got
+}
+
+// Every inter-stage message type must round-trip through its binary codec
+// unchanged: this is what guarantees no message smuggles a pointer into
+// another stage's heap — everything it carries is in its encoded bytes.
+func TestCodecsRoundTrip(t *testing.T) {
+	ingest := time.Unix(0, 1721999123456789000)
+	cases := []any{
+		&model.Snapshot{
+			Tick:    42,
+			Objects: []model.ObjectID{3, 9, 27},
+			Locs:    []geo.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 0}, {X: -1e9, Y: 3.14159}},
+			Ingest:  ingest,
+		},
+		&model.Snapshot{Tick: -7},
+		Meta{Tick: 42, Objects: []model.ObjectID{3, 9, 27}, Ingest: ingest},
+		Meta{Tick: 1},
+		Cell{
+			Tick: 13,
+			Task: join.CellTask{
+				Key: grid.Key{X: -4, Y: 17},
+				Data: []join.CellObj{
+					{Idx: 0, Loc: geo.Point{X: 0.5, Y: 0.5}},
+					{Idx: 7, Loc: geo.Point{X: -3.25, Y: 8}},
+				},
+				Queries: []join.CellObj{{Idx: 2, Loc: geo.Point{X: 1e-9, Y: -1e-9}}},
+			},
+		},
+		Cell{Tick: 0, Task: join.CellTask{Key: grid.Key{X: 0, Y: 0}}},
+		Pairs{Tick: 99, Pairs: [][2]int32{{0, 1}, {5, 1000000}, {-1, 2}}},
+		Pairs{Tick: 5},
+		enum.Partition{Tick: 8, Owner: 12, Members: []model.ObjectID{13, 14, 200}},
+		enum.Partition{Tick: 8, Owner: 99},
+		model.Pattern{Objects: []model.ObjectID{1, 2, 3}, Times: []model.Tick{10, 12, 14, -3}},
+		model.Pattern{},
+	}
+	for _, c := range cases {
+		got := roundTrip(t, c)
+		if !reflect.DeepEqual(got, c) {
+			t.Errorf("round trip changed value:\n got %#v\nwant %#v", got, c)
+		}
+	}
+}
+
+// Messages carrying msg records — including Batch carriers and watermark
+// envelopes — must survive the transport envelope encoding.
+func TestMessageEnvelopeRoundTrip(t *testing.T) {
+	msgs := []flow.Message{
+		{From: 3, Data: Pairs{Tick: 4, Pairs: [][2]int32{{1, 2}}}},
+		{From: 0, Data: Meta{Tick: 9, Objects: []model.ObjectID{5}}},
+		{From: 7, WM: 1234, IsWM: true},
+		{From: 1, WM: -1 << 40, IsWM: true},
+		{From: 2, Data: flow.Batch{Items: []any{
+			Pairs{Tick: 1, Pairs: [][2]int32{{0, 3}}},
+			Meta{Tick: 1, Objects: []model.ObjectID{8, 9}},
+			enum.Partition{Tick: 1, Owner: 8, Members: []model.ObjectID{9}},
+		}}},
+	}
+	for _, m := range msgs {
+		buf, err := flow.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", m, err)
+		}
+		got, err := flow.DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("envelope changed message:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+// Truncated input must fail cleanly, not panic or fabricate records.
+func TestCodecTruncation(t *testing.T) {
+	buf, err := flow.AppendMessage(nil, flow.Message{
+		From: 1,
+		Data: Pairs{Tick: 3, Pairs: [][2]int32{{1, 2}, {3, 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := flow.DecodeMessage(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d of %d decoded successfully", cut, len(buf))
+		}
+	}
+}

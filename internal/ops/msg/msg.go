@@ -3,27 +3,40 @@
 // over keyed edges; keeping them in one shared package (instead of the
 // private duplicates internal/core used to hold) lets operators be
 // recombined into new topologies without redefining their wire types.
+//
+// Every message is self-contained: no field points into a snapshot (or any
+// other structure) living on an upstream stage's heap, so records can be
+// serialized with the codecs in codec.go and shipped to subtasks in other
+// OS processes. The clustering stage reassembles the per-tick snapshot view
+// it needs from Meta and Pairs records instead of dereferencing a shared
+// pointer.
 package msg
 
 import (
+	"time"
+
 	"repro/internal/join"
 	"repro/internal/model"
 )
 
 // Cell carries one grid cell's range-join task for one tick, keyed by grid
-// cell. The snapshot pointer stands in for the serialized location payload
-// a real cluster would ship.
+// cell. The task holds its objects by value (index + location), so the
+// record is independent of the snapshot it was cut from.
 type Cell struct {
 	Tick model.Tick
-	Snap *model.Snapshot
 	Task join.CellTask
 }
 
 // Meta announces a snapshot to the clustering stage (GridSync input),
-// keyed by tick.
+// keyed by tick: the snapshot's object ids in location order plus its
+// ingest instant. Join pairs reference locations by index; Meta is what
+// maps those indices back to object ids downstream.
 type Meta struct {
-	Tick model.Tick
-	Snap *model.Snapshot
+	Tick    model.Tick
+	Objects []model.ObjectID
+	// Ingest is the snapshot's ingest instant, carried along so the
+	// clustering stage can stamp latency metrics without a backpointer.
+	Ingest time.Time
 }
 
 // Pairs carries one cell's join results back to the snapshot's clustering

@@ -49,9 +49,9 @@ func (g *Op) Process(data any, out *flow.Collector) {
 		var pairs [][2]int32
 		emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
 		if g.Kernel == RJC {
-			join.RunCellRJC(m.Snap, m.Task, g.Eps, g.Metric, emit)
+			join.RunCellRJC(m.Task, g.Eps, g.Metric, emit)
 		} else {
-			join.RunCellSRJ(m.Snap, m.Task, g.Eps, g.Metric, emit)
+			join.RunCellSRJ(m.Task, g.Eps, g.Metric, emit)
 		}
 		if len(pairs) > 0 {
 			out.Emit(uint64(m.Tick), msg.Pairs{Tick: m.Tick, Pairs: pairs})

@@ -67,6 +67,10 @@ type Graph struct {
 	SinkWatermark func(model.Tick)
 	// Transport supplies the exchange fabric (nil = in-process channels).
 	Transport flow.Transport
+	// Local restricts which stages execute in this process (nil = all);
+	// distributed deployments pair it with a multi-process Transport so
+	// each worker builds the same graph but runs only its share.
+	Local func(stage int) bool
 }
 
 // Validate checks the graph for structural errors: it must have at least
@@ -136,5 +140,6 @@ func (g *Graph) Build() (*flow.Pipeline, error) {
 		Sink:          g.Sink,
 		SinkWatermark: g.SinkWatermark,
 		Transport:     g.Transport,
+		Local:         g.Local,
 	}, specs...), nil
 }

@@ -1,0 +1,55 @@
+package tcpnet_test
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/flow/flowtest"
+	"repro/internal/transport/tcpnet"
+)
+
+// The TCP transport must satisfy the same endpoint contract as the
+// in-process channels: the suite runs each edge across two real nodes
+// (sender process-view and receiver process-view) connected over loopback
+// TCP, exercising the codec framing, demux FIFO, EOS close and socket
+// backpressure.
+func TestTCPConformance(t *testing.T) {
+	flowtest.Run(t, flowtest.Harness{
+		Edge: func(t *testing.T, stage string, parallelism, buf int) (send, recv []flow.Endpoint) {
+			plan := tcpnet.Plan{Workers: 2, Stages: []string{stage}, Owners: []int{1}}
+			recvNode, err := tcpnet.NewNode(1, plan, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			recvNode.SetLogf(func(string, ...any) {})
+			sendNode, err := tcpnet.NewNode(0, plan, "")
+			if err != nil {
+				recvNode.Close()
+				t.Fatal(err)
+			}
+			sendNode.SetLogf(func(string, ...any) {})
+			addrs := []string{sendNode.DataAddr(), recvNode.DataAddr()}
+			sendNode.SetAddrs(addrs)
+			recvNode.SetAddrs(addrs)
+			t.Cleanup(func() {
+				sendNode.Close()
+				recvNode.Close()
+			})
+			return sendNode.Transport().Edge(stage, parallelism, buf),
+				recvNode.Transport().Edge(stage, parallelism, buf)
+		},
+	})
+}
+
+func TestRoundRobinPlan(t *testing.T) {
+	p := tcpnet.RoundRobin([]string{"a", "b", "c", "d"}, 2)
+	want := []int{0, 1, 0, 1}
+	for i, o := range p.Owners {
+		if o != want[i] {
+			t.Errorf("stage %d owned by %d, want %d", i, o, want[i])
+		}
+	}
+	if !p.OwnsAny(0) || !p.OwnsAny(1) {
+		t.Error("both workers should own stages")
+	}
+}

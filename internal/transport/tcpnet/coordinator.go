@@ -1,0 +1,284 @@
+// Coordinator/worker control plane. The handshake is newline-delimited
+// JSON, after which the worker's control connection switches to binary
+// frames for sink forwarding and completion:
+//
+//	worker -> coordinator: {"type":"hello"}
+//	coordinator -> worker: {"type":"plan", "worker":i, "plan":{...}, "spec":...}
+//	worker -> coordinator: {"type":"ready", "addr":"host:port"}
+//	coordinator -> worker: {"type":"addrs", "addrs":[...]}
+//	worker -> coordinator (binary frames):
+//	    sink record    [0][len uvarint][payload (kind+body)]
+//	    sink watermark [1][wm varint]
+//	    done           [2]
+//
+// The spec blob is opaque to this package: the coordinator ships whatever
+// configuration bytes the application hands it (internal/core encodes its
+// Config there), so every worker reconstructs the identical topology.
+
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/model"
+)
+
+// Control frame types (worker -> coordinator, after the JSON handshake).
+const (
+	ctrlSink = 0
+	ctrlWM   = 1
+	ctrlDone = 2
+)
+
+type ctrlMsg struct {
+	Type   string   `json:"type"`
+	Worker int      `json:"worker,omitempty"`
+	Plan   *Plan    `json:"plan,omitempty"`
+	Spec   []byte   `json:"spec,omitempty"`
+	Addr   string   `json:"addr,omitempty"`
+	Addrs  []string `json:"addrs,omitempty"`
+}
+
+func writeJSON(conn net.Conn, m ctrlMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write(append(b, '\n'))
+	return err
+}
+
+func readJSON(br *bufio.Reader, wantType string) (ctrlMsg, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return ctrlMsg{}, err
+	}
+	var m ctrlMsg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return ctrlMsg{}, err
+	}
+	if m.Type != wantType {
+		return ctrlMsg{}, fmt.Errorf("tcpnet: control message %q, want %q", m.Type, wantType)
+	}
+	return m, nil
+}
+
+// Coordinator drives a distributed run: it admits workers, computes and
+// broadcasts the placement plan, feeds stage 0 through its Transport, and
+// receives the sink stream from the worker owning the last stage.
+type Coordinator struct {
+	lis      net.Listener
+	nWorkers int
+
+	node    *Node
+	ctrls   []net.Conn
+	ctrlRs  []*bufio.Reader // pending control readers (Run..Start window)
+	sinkFn  func(any)
+	sinkWMs func(model.Tick)
+
+	mu     sync.Mutex
+	doneCh chan error
+	closed bool
+}
+
+// NewCoordinator listens for worker control connections on addr (e.g.
+// "127.0.0.1:7400", or ":0" for an ephemeral port).
+func NewCoordinator(addr string, workers int) (*Coordinator, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("tcpnet: need at least one worker, got %d", workers)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	return &Coordinator{
+		lis:      lis,
+		nWorkers: workers,
+		doneCh:   make(chan error, workers),
+	}, nil
+}
+
+// Addr returns the control listener address workers join.
+func (c *Coordinator) Addr() string { return c.lis.Addr().String() }
+
+// OnSink installs the receiver for records forwarded from the remote last
+// stage. Set before Start (frames are not read until then, so nothing is
+// lost in between).
+func (c *Coordinator) OnSink(fn func(any)) { c.sinkFn = fn }
+
+// OnSinkWatermark installs the receiver for the remote last stage's merged
+// watermark. Set before Start.
+func (c *Coordinator) OnSinkWatermark(fn func(model.Tick)) { c.sinkWMs = fn }
+
+// Run performs the handshake: it waits for all workers to join, assigns
+// the round-robin placement for stages, ships spec to every worker,
+// collects data addresses and broadcasts them. After Run returns the
+// Transport is ready; install the sink hooks, then call Start to begin
+// consuming worker control frames.
+func (c *Coordinator) Run(stages []string, spec []byte) error {
+	plan := RoundRobin(stages, c.nWorkers)
+	if err := plan.validate(); err != nil {
+		return err
+	}
+	type joined struct {
+		conn net.Conn
+		br   *bufio.Reader
+	}
+	var workers []joined
+	// A failed handshake must not strand workers that already joined: they
+	// are blocked reading the next control message and only a closed
+	// connection releases them.
+	ok := false
+	defer func() {
+		if ok {
+			return
+		}
+		for _, w := range workers {
+			w.conn.Close()
+		}
+	}()
+	for len(workers) < c.nWorkers {
+		conn, err := c.lis.Accept()
+		if err != nil {
+			return fmt.Errorf("tcpnet: accept worker: %w", err)
+		}
+		br := bufio.NewReader(conn)
+		if _, err := readJSON(br, "hello"); err != nil {
+			conn.Close()
+			return fmt.Errorf("tcpnet: worker hello: %w", err)
+		}
+		workers = append(workers, joined{conn, br})
+	}
+	for i, w := range workers {
+		p := plan
+		if err := writeJSON(w.conn, ctrlMsg{Type: "plan", Worker: i, Plan: &p, Spec: spec}); err != nil {
+			return fmt.Errorf("tcpnet: send plan to worker %d: %w", i, err)
+		}
+	}
+	addrs := make([]string, c.nWorkers)
+	for i, w := range workers {
+		m, err := readJSON(w.br, "ready")
+		if err != nil {
+			return fmt.Errorf("tcpnet: worker %d ready: %w", i, err)
+		}
+		addrs[i] = m.Addr
+	}
+	plan.Addrs = addrs
+	for i, w := range workers {
+		if err := writeJSON(w.conn, ctrlMsg{Type: "addrs", Addrs: addrs}); err != nil {
+			return fmt.Errorf("tcpnet: send addrs to worker %d: %w", i, err)
+		}
+	}
+	node, err := NewNode(DriverID, plan, "")
+	if err != nil {
+		return err
+	}
+	node.SetAddrs(addrs)
+	c.node = node
+	for _, w := range workers {
+		c.ctrls = append(c.ctrls, w.conn)
+		c.ctrlRs = append(c.ctrlRs, w.br)
+	}
+	ok = true
+	return nil
+}
+
+// Start launches the control-frame readers. Call after Run, once the sink
+// hooks are installed — the separation is what makes hook installation
+// race-free: no reader goroutine exists before Start. Worker frames sent
+// in the meantime simply wait in socket buffers.
+func (c *Coordinator) Start() {
+	for _, br := range c.ctrlRs {
+		go c.readCtrl(br)
+	}
+	c.ctrlRs = nil
+}
+
+// readCtrl consumes one worker's post-handshake binary frames.
+func (c *Coordinator) readCtrl(br *bufio.Reader) {
+	for {
+		ft, err := br.ReadByte()
+		if err != nil {
+			c.doneCh <- fmt.Errorf("tcpnet: worker control connection: %w", err)
+			return
+		}
+		switch ft {
+		case ctrlSink:
+			body, err := readLenBytes(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: sink frame: %w", err)
+				return
+			}
+			rec, err := flow.DecodePayload(body)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: sink payload: %w", err)
+				return
+			}
+			if c.sinkFn != nil {
+				c.sinkFn(rec)
+			}
+		case ctrlWM:
+			wm, err := binary.ReadVarint(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: sink watermark: %w", err)
+				return
+			}
+			if c.sinkWMs != nil {
+				c.sinkWMs(model.Tick(wm))
+			}
+		case ctrlDone:
+			c.doneCh <- nil
+			return
+		default:
+			c.doneCh <- fmt.Errorf("tcpnet: unknown control frame %d", ft)
+			return
+		}
+	}
+}
+
+// Transport returns the coordinator's data-plane transport (sender
+// endpoints for every stage). Valid after Run.
+func (c *Coordinator) Transport() flow.Transport { return c.node.Transport() }
+
+// Local is the flow.Config.Local of a pure driver: no stage executes here.
+func (c *Coordinator) Local(int) bool { return false }
+
+// WaitDone blocks until every worker has reported completion of its local
+// stages. Because a worker's sink frames precede its done frame on the
+// same connection, all sink output has been delivered when WaitDone
+// returns.
+func (c *Coordinator) WaitDone() error {
+	var firstErr error
+	for i := 0; i < c.nWorkers; i++ {
+		if err := <-c.doneCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close tears down the control listener, worker connections and the data
+// plane.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range c.ctrls {
+		conn.Close()
+	}
+	err := c.lis.Close()
+	if c.node != nil {
+		c.node.Close()
+	}
+	return err
+}

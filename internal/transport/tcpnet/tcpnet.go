@@ -1,0 +1,511 @@
+// Package tcpnet is the multi-process backend for the flow runtime: a
+// flow.Transport whose edges are TCP sockets, plus the coordinator/worker
+// handshake that places the stages of a linear topology onto separate OS
+// processes.
+//
+// # Data plane
+//
+// Placement is stage-granular: every stage of the pipeline is owned by
+// exactly one worker process, which runs all of its subtasks. Each worker
+// opens one data listener; the process owning stage i-1 (or the driver,
+// for stage 0) opens one TCP connection *per inbound edge* to the owner of
+// stage i and multiplexes that stage's subtask streams over it. Dedicated
+// per-edge connections matter: backpressure then propagates strictly
+// upstream along the pipeline, so a stalled downstream stage can never
+// deadlock an unrelated edge sharing the socket.
+//
+// Messages cross the wire through the flow codec registry
+// (flow.AppendMessage/DecodeMessage), so every record type on a networked
+// edge must have a registered codec — which is exactly what keeps the
+// message vocabulary free of shared-heap pointers. Per-edge framing:
+//
+//	preamble: [len uvarint][stage name]
+//	data:     [0][subtask uvarint][len uvarint][encoded message]
+//	eos:      [1]                               (upstream stage finished)
+//
+// TCP gives FIFO per connection; the demultiplexer preserves it per
+// subtask queue, which is the ordering contract the flow runtime's
+// watermark merging relies on. Sends against a full downstream queue block
+// the connection (the reader stops draining), which is how backpressure
+// reaches remote senders.
+//
+// The transport is fail-fast: an I/O error on an established edge panics
+// the process rather than silently dropping records; a distributed run is
+// only correct if every edge delivers everything.
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// DriverID is the node id of a pure driver process (the coordinator): it
+// owns no stages and only feeds stage 0 and receives the sink.
+const DriverID = -1
+
+// Plan is the placement of a linear topology onto worker processes. All
+// processes of one run hold identical plans (the coordinator computes and
+// broadcasts it).
+type Plan struct {
+	// Workers is the number of worker processes.
+	Workers int `json:"workers"`
+	// Stages are the stage names in pipeline order.
+	Stages []string `json:"stages"`
+	// Owners[i] is the worker index running Stages[i]'s subtasks.
+	Owners []int `json:"owners"`
+	// Addrs[w] is worker w's data listener address ("" if w owns no
+	// stage). Filled during the handshake.
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// RoundRobin places stage i on worker i mod workers — with more than one
+// worker every edge crosses a process boundary, which is the configuration
+// the conformance and determinism tests exercise hardest.
+func RoundRobin(stages []string, workers int) Plan {
+	p := Plan{Workers: workers, Stages: stages, Owners: make([]int, len(stages))}
+	for i := range stages {
+		p.Owners[i] = i % workers
+	}
+	return p
+}
+
+func (p Plan) validate() error {
+	if p.Workers < 1 {
+		return fmt.Errorf("tcpnet: plan needs at least one worker, got %d", p.Workers)
+	}
+	if len(p.Owners) != len(p.Stages) {
+		return fmt.Errorf("tcpnet: %d owners for %d stages", len(p.Owners), len(p.Stages))
+	}
+	seen := make(map[string]struct{}, len(p.Stages))
+	for i, s := range p.Stages {
+		if _, dup := seen[s]; dup {
+			return fmt.Errorf("tcpnet: duplicate stage %q", s)
+		}
+		seen[s] = struct{}{}
+		if p.Owners[i] < 0 || p.Owners[i] >= p.Workers {
+			return fmt.Errorf("tcpnet: stage %q owned by %d of %d workers", s, p.Owners[i], p.Workers)
+		}
+	}
+	return nil
+}
+
+func (p Plan) ownerOf(stage string) (int, error) {
+	for i, s := range p.Stages {
+		if s == stage {
+			return p.Owners[i], nil
+		}
+	}
+	return 0, fmt.Errorf("tcpnet: stage %q not in plan %v", stage, p.Stages)
+}
+
+// OwnsAny reports whether worker me owns any stage (and thus needs a data
+// listener).
+func (p Plan) OwnsAny(me int) bool {
+	for _, o := range p.Owners {
+		if o == me {
+			return true
+		}
+	}
+	return false
+}
+
+// Node is one process's view of the data plane. It implements
+// flow.Transport: Edge returns receiving queue endpoints for stages this
+// process owns and remote sender endpoints for all others.
+type Node struct {
+	me   int
+	plan Plan
+	lis  net.Listener
+	logf func(string, ...any)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	recv   map[string][]*recvEndpoint
+	out    map[string]*senderGroup
+	aconns map[net.Conn]struct{} // accepted data connections
+	closed bool
+}
+
+// NewNode builds the data plane for worker me (or DriverID) under plan,
+// opening a data listener on listenAddr (default "127.0.0.1:0") when me
+// owns at least one stage. Call SetAddrs once every worker's listener
+// address is known, before the pipeline starts sending.
+func NewNode(me int, plan Plan, listenAddr string) (*Node, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		me:     me,
+		plan:   plan,
+		logf:   log.Printf,
+		recv:   make(map[string][]*recvEndpoint),
+		out:    make(map[string]*senderGroup),
+		aconns: make(map[net.Conn]struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	if plan.OwnsAny(me) {
+		if listenAddr == "" {
+			listenAddr = "127.0.0.1:0"
+		}
+		lis, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: %w", err)
+		}
+		n.lis = lis
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// DataAddr returns the bound data listener address ("" for a node owning
+// no stage).
+func (n *Node) DataAddr() string {
+	if n.lis == nil {
+		return ""
+	}
+	return n.lis.Addr().String()
+}
+
+// SetAddrs installs the data listener addresses of all workers.
+func (n *Node) SetAddrs(addrs []string) {
+	n.mu.Lock()
+	n.plan.Addrs = addrs
+	n.mu.Unlock()
+}
+
+// SetLogf overrides the error logger (tests silence it).
+func (n *Node) SetLogf(f func(string, ...any)) { n.logf = f }
+
+// Transport returns the node as a flow.Transport.
+func (n *Node) Transport() flow.Transport { return n }
+
+// LocalStage reports whether stage index i executes in this process; it is
+// the flow.Config.Local function of a distributed pipeline.
+func (n *Node) LocalStage(i int) bool {
+	return i >= 0 && i < len(n.plan.Owners) && n.plan.Owners[i] == n.me
+}
+
+// Edge implements flow.Transport.
+func (n *Node) Edge(stage string, parallelism, buf int) []flow.Endpoint {
+	owner, err := n.plan.ownerOf(stage)
+	if err != nil {
+		panic(err)
+	}
+	eps := make([]flow.Endpoint, parallelism)
+	if owner == n.me {
+		queues := make([]*recvEndpoint, parallelism)
+		for i := range queues {
+			queues[i] = &recvEndpoint{ch: make(chan flow.Message, buf)}
+			eps[i] = queues[i]
+		}
+		n.mu.Lock()
+		if _, dup := n.recv[stage]; dup {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("tcpnet: edge %q allocated twice", stage))
+		}
+		n.recv[stage] = queues
+		n.cond.Broadcast()
+		n.mu.Unlock()
+		return eps
+	}
+	g := &senderGroup{node: n, stage: stage, owner: owner, par: parallelism}
+	n.mu.Lock()
+	n.out[stage] = g
+	n.mu.Unlock()
+	for i := range eps {
+		eps[i] = &sendEndpoint{g: g, subtask: i}
+	}
+	return eps
+}
+
+// Close tears the data plane down: the listener, accepted connections and
+// any outbound edges still open.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.cond.Broadcast()
+	conns := make([]net.Conn, 0, len(n.aconns))
+	for c := range n.aconns {
+		conns = append(conns, c)
+	}
+	groups := make([]*senderGroup, 0, len(n.out))
+	for _, g := range n.out {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, g := range groups {
+		g.shutdown()
+	}
+	if n.lis != nil {
+		return n.lis.Close()
+	}
+	return nil
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.aconns[conn] = struct{}{}
+		n.mu.Unlock()
+		go n.demux(conn)
+	}
+}
+
+// recvWait blocks until the edge for stage has been allocated (the local
+// pipeline may still be under construction when a remote sender dials in).
+func (n *Node) recvWait(stage string) []*recvEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.recv[stage] == nil && !n.closed {
+		n.cond.Wait()
+	}
+	return n.recv[stage]
+}
+
+// Frame types on data connections.
+const (
+	frameData = 0
+	frameEOS  = 1
+)
+
+// demux reads one inbound edge connection and routes its messages to the
+// stage's subtask queues. Pushing into a full queue blocks, which stops
+// draining the socket and backpressures the remote sender.
+func (n *Node) demux(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.aconns, conn)
+		n.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	stage, err := readLenBytes(br)
+	if err != nil {
+		n.logf("tcpnet: %v: preamble: %v", conn.RemoteAddr(), err)
+		return
+	}
+	queues := n.recvWait(string(stage))
+	if queues == nil {
+		return // node closed before the edge existed
+	}
+	// Once the edge is established, any failure before a clean EOS is
+	// fatal (fail-fast): returning with the queues still open would leave
+	// downstream subtasks blocked in Recv forever and hang the whole
+	// distributed run, while closing them would silently truncate the
+	// stream. An EOF here means the upstream process died mid-stream.
+	fatal := func(format string, args ...any) {
+		if n.isClosed() {
+			return // teardown: the run is over, nothing to corrupt
+		}
+		panic(fmt.Sprintf("tcpnet: edge %s: %s", stage, fmt.Sprintf(format, args...)))
+	}
+	for {
+		ft, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				fatal("connection ended before EOS (upstream process died?)")
+				return
+			}
+			fatal("frame: %v", err)
+			return
+		}
+		switch ft {
+		case frameData:
+			subtask, err := binary.ReadUvarint(br)
+			if err != nil {
+				fatal("subtask: %v", err)
+				return
+			}
+			if subtask >= uint64(len(queues)) {
+				fatal("subtask %d of %d", subtask, len(queues))
+				return
+			}
+			body, err := readLenBytes(br)
+			if err != nil {
+				fatal("body: %v", err)
+				return
+			}
+			m, err := flow.DecodeMessage(body)
+			if err != nil {
+				fatal("decode: %v", err)
+				return
+			}
+			queues[subtask].ch <- m
+		case frameEOS:
+			// The upstream stage has finished entirely: end every subtask
+			// queue. Buffered messages stay receivable.
+			for _, q := range queues {
+				close(q.ch)
+			}
+			return
+		default:
+			fatal("unknown frame type %d", ft)
+			return
+		}
+	}
+}
+
+func readLenBytes(br *bufio.Reader) ([]byte, error) {
+	ln, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, ln)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// recvEndpoint is one local subtask's input queue, fed either by the demux
+// loop (remote upstream) or directly by same-process senders (when
+// adjacent stages land on one worker).
+type recvEndpoint struct{ ch chan flow.Message }
+
+func (e *recvEndpoint) Send(m flow.Message) { e.ch <- m }
+
+func (e *recvEndpoint) Recv() (flow.Message, bool) {
+	m, ok := <-e.ch
+	return m, ok
+}
+
+func (e *recvEndpoint) Close() { close(e.ch) }
+
+// senderGroup is the outbound side of one edge: all subtask endpoints
+// share one connection to the owning worker. EOS is emitted once the
+// runtime has closed every subtask endpoint of the edge.
+type senderGroup struct {
+	node  *Node
+	stage string
+	owner int
+	par   int
+
+	mu     sync.Mutex
+	conn   net.Conn
+	buf    []byte // frame assembly
+	pbuf   []byte // message encoding
+	closes int
+	down   bool
+}
+
+// dialLocked opens the edge connection and writes the preamble.
+func (g *senderGroup) dialLocked() {
+	if g.conn != nil || g.down {
+		return
+	}
+	g.node.mu.Lock()
+	addrs := g.node.plan.Addrs
+	g.node.mu.Unlock()
+	if g.owner >= len(addrs) || addrs[g.owner] == "" {
+		panic(fmt.Sprintf("tcpnet: no data address for worker %d (edge %q); handshake incomplete", g.owner, g.stage))
+	}
+	conn, err := net.Dial("tcp", addrs[g.owner])
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: dial edge %q: %v", g.stage, err))
+	}
+	g.conn = conn
+	g.buf = binary.AppendUvarint(g.buf[:0], uint64(len(g.stage)))
+	g.buf = append(g.buf, g.stage...)
+	g.writeLocked()
+}
+
+func (g *senderGroup) writeLocked() {
+	if _, err := g.conn.Write(g.buf); err != nil {
+		panic(fmt.Sprintf("tcpnet: write edge %q: %v", g.stage, err))
+	}
+}
+
+func (g *senderGroup) send(subtask int, m flow.Message) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.down {
+		panic(fmt.Sprintf("tcpnet: send on closed edge %q", g.stage))
+	}
+	g.dialLocked()
+	var err error
+	g.pbuf, err = flow.AppendMessage(g.pbuf[:0], m)
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: encode for edge %q: %v", g.stage, err))
+	}
+	g.buf = binary.AppendUvarint(g.buf[:0], frameData)
+	g.buf = binary.AppendUvarint(g.buf, uint64(subtask))
+	g.buf = binary.AppendUvarint(g.buf, uint64(len(g.pbuf)))
+	g.buf = append(g.buf, g.pbuf...)
+	g.writeLocked()
+}
+
+// closeOne records one subtask endpoint's Close; the last one emits EOS
+// and shuts the connection down.
+func (g *senderGroup) closeOne() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.down {
+		return
+	}
+	g.closes++
+	if g.closes < g.par {
+		return
+	}
+	// EOS must reach the receiver even when the edge carried no data.
+	g.dialLocked()
+	g.buf = binary.AppendUvarint(g.buf[:0], frameEOS)
+	g.writeLocked()
+	g.conn.Close()
+	g.conn = nil
+	g.down = true
+}
+
+// shutdown force-closes the connection without EOS (node teardown).
+func (g *senderGroup) shutdown() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.conn != nil {
+		g.conn.Close()
+		g.conn = nil
+	}
+	g.down = true
+}
+
+// sendEndpoint is one subtask's view of a senderGroup.
+type sendEndpoint struct {
+	g       *senderGroup
+	subtask int
+}
+
+func (e *sendEndpoint) Send(m flow.Message) { e.g.send(e.subtask, m) }
+
+func (e *sendEndpoint) Recv() (flow.Message, bool) {
+	panic("tcpnet: Recv on a sender endpoint (stage owned by another process)")
+}
+
+func (e *sendEndpoint) Close() { e.g.closeOne() }

@@ -1,0 +1,160 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/model"
+)
+
+// Worker is one stage-hosting process of a distributed run. JoinWorker
+// performs the full handshake; afterwards the worker builds its pipeline
+// with Transport/LocalStage, runs it, and calls Finish when its local
+// stages have drained.
+type Worker struct {
+	id   int
+	node *Node
+	plan Plan
+	spec []byte
+
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex // serializes control frame writes
+	wbuf []byte
+}
+
+// joinRetry bounds how long a worker keeps retrying the coordinator dial:
+// workers are typically launched alongside (or before) the coordinator, so
+// a refused connection at startup is normal, not fatal.
+const (
+	joinRetry    = 30 * time.Second
+	joinInterval = 200 * time.Millisecond
+)
+
+// JoinWorker dials the coordinator's control address (retrying for up to
+// 30s while the coordinator comes up) and completes the handshake: hello,
+// receive plan + spec, open the data listener, report readiness, receive
+// all data addresses.
+func JoinWorker(coordAddr string) (*Worker, error) {
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(joinRetry)
+	for {
+		conn, err = net.Dial("tcp", coordAddr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcpnet: join %s: %w", coordAddr, err)
+		}
+		time.Sleep(joinInterval)
+	}
+	w := &Worker{conn: conn, br: bufio.NewReader(conn)}
+	fail := func(err error) (*Worker, error) {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeJSON(conn, ctrlMsg{Type: "hello"}); err != nil {
+		return fail(fmt.Errorf("tcpnet: hello: %w", err))
+	}
+	m, err := readJSON(w.br, "plan")
+	if err != nil {
+		return fail(fmt.Errorf("tcpnet: plan: %w", err))
+	}
+	if m.Plan == nil {
+		return fail(fmt.Errorf("tcpnet: plan message without plan"))
+	}
+	w.id, w.plan, w.spec = m.Worker, *m.Plan, m.Spec
+	node, err := NewNode(w.id, w.plan, "")
+	if err != nil {
+		return fail(err)
+	}
+	w.node = node
+	if err := writeJSON(conn, ctrlMsg{Type: "ready", Addr: node.DataAddr()}); err != nil {
+		return fail(fmt.Errorf("tcpnet: ready: %w", err))
+	}
+	am, err := readJSON(w.br, "addrs")
+	if err != nil {
+		return fail(fmt.Errorf("tcpnet: addrs: %w", err))
+	}
+	node.SetAddrs(am.Addrs)
+	return w, nil
+}
+
+// ID returns this worker's index in the plan.
+func (w *Worker) ID() int { return w.id }
+
+// Spec returns the opaque configuration blob the coordinator shipped.
+func (w *Worker) Spec() []byte { return w.spec }
+
+// Plan returns the broadcast placement.
+func (w *Worker) Plan() Plan { return w.plan }
+
+// Transport returns the worker's data-plane transport.
+func (w *Worker) Transport() flow.Transport { return w.node.Transport() }
+
+// LocalStage is the flow.Config.Local function for this worker's pipeline.
+func (w *Worker) LocalStage(i int) bool { return w.node.LocalStage(i) }
+
+// writeFrame sends one binary control frame.
+func (w *Worker) writeFrame(build func(buf []byte) []byte) {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.wbuf = build(w.wbuf[:0])
+	if _, err := w.conn.Write(w.wbuf); err != nil {
+		panic(fmt.Sprintf("tcpnet: control write: %v", err))
+	}
+}
+
+// Sink returns the sink forwarder the worker owning the last stage wires
+// into its pipeline: records are codec-encoded and shipped to the
+// coordinator on the control connection.
+func (w *Worker) Sink() func(any) {
+	return func(rec any) {
+		payload, err := flow.AppendPayload(nil, rec)
+		if err != nil {
+			panic(fmt.Sprintf("tcpnet: sink encode: %v", err))
+		}
+		w.writeFrame(func(buf []byte) []byte {
+			buf = append(buf, ctrlSink)
+			buf = binary.AppendUvarint(buf, uint64(len(payload)))
+			return append(buf, payload...)
+		})
+	}
+}
+
+// SinkWatermark returns the matching watermark forwarder.
+func (w *Worker) SinkWatermark() func(model.Tick) {
+	return func(wm model.Tick) {
+		w.writeFrame(func(buf []byte) []byte {
+			buf = append(buf, ctrlWM)
+			return binary.AppendVarint(buf, int64(wm))
+		})
+	}
+}
+
+// Finish reports completion of this worker's local stages to the
+// coordinator. Call after the pipeline's WaitLocal returns (all local
+// subtasks drained, EOS emitted downstream, sink records forwarded).
+func (w *Worker) Finish() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if _, err := w.conn.Write([]byte{ctrlDone}); err != nil {
+		return fmt.Errorf("tcpnet: done: %w", err)
+	}
+	return nil
+}
+
+// Close tears down the control connection and the data plane.
+func (w *Worker) Close() error {
+	err := w.conn.Close()
+	if w.node != nil {
+		w.node.Close()
+	}
+	return err
+}
