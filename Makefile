@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench bench-json ci
+.PHONY: all build test vet fmt-check bench bench-json fuzz ci
 
 all: build test vet
 
@@ -25,8 +25,16 @@ bench:
 
 # bench-json writes BENCH_pipeline.json: per-stage throughput and total
 # keyed-exchange records/sec for the in-process vs multi-process TCP
-# transports on a seeded planted workload (the perf trajectory's anchor).
+# transports on a seeded planted workload (the perf trajectory's anchor),
+# plus checkpoint-enabled variants reporting overhead vs interval.
 bench-json:
 	$(GO) run ./cmd/bench -exp pipeline -objects 300 -ticks 200 -json BENCH_pipeline.json
+
+# fuzz runs each ops/msg codec fuzz target briefly (the committed seed
+# corpus already runs on every `make test`).
+fuzz:
+	$(GO) test ./internal/ops/msg -fuzz FuzzDecodePayload -fuzztime 30s
+	$(GO) test ./internal/ops/msg -fuzz FuzzDecodeMessage -fuzztime 30s
+	$(GO) test ./internal/ops/msg -fuzz FuzzPairsRoundTrip -fuzztime 30s
 
 ci: build vet fmt-check test

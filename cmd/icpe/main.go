@@ -18,6 +18,17 @@
 // flags are given only on the coordinator; output is identical to a
 // single-process run.
 //
+// With -checkpoint-dir the run takes aligned-barrier checkpoints of all
+// operator state every -checkpoint-interval snapshots, and pattern output
+// switches to exactly-once commits (printed once the covering checkpoint
+// is durable). After a crash — or a SIGINT/SIGTERM graceful drain, which
+// stops the source and takes a final checkpoint — the same command with
+// -resume restores state and replays the source from the last completed
+// cut:
+//
+//	icpe -transport tcp -coordinator 127.0.0.1:7400 -workers 2 \
+//	     -input trace.csv -checkpoint-dir /tmp/ckpt -resume
+//
 // Input format: "object,tick,x,y" per line, ticks non-decreasing; in listen
 // mode, binary TRJ1 frames from any number of publishers.
 package main
@@ -29,8 +40,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -61,6 +74,9 @@ func main() {
 	coordinator := flag.String("coordinator", "", "coordinator listen address for -transport tcp (e.g. 127.0.0.1:7400)")
 	workers := flag.Int("workers", 2, "worker process count the coordinator waits for")
 	workerJoin := flag.String("worker", "", "run as a worker: join the coordinator at this address and serve assigned stages")
+	ckptDir := flag.String("checkpoint-dir", "", "enable aligned-barrier checkpointing into this directory")
+	ckptInterval := flag.Int("checkpoint-interval", 32, "snapshots between checkpoints (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "restore from the latest checkpoint in -checkpoint-dir and replay the source from the cut")
 	flag.Parse()
 
 	if *workerJoin != "" {
@@ -88,6 +104,9 @@ func main() {
 		r = f
 	}
 
+	if *resume && *ckptDir == "" {
+		log.Fatal("icpe: -resume needs -checkpoint-dir")
+	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	cfg := core.Config{
@@ -99,11 +118,27 @@ func main() {
 		Cluster:     core.ClusterMethod(*cluster),
 		Enum:        core.EnumMethod(*method),
 		Parallelism: *parallelism,
-		OnPattern: func(p model.Pattern) {
-			if !*quiet {
-				fmt.Fprintf(out, "pattern %s\n", p)
+	}
+	switch {
+	case *ckptDir != "":
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointInterval = *ckptInterval
+		cfg.Resume = *resume
+		if !*quiet {
+			// With checkpointing, output commits exactly once: patterns are
+			// withheld until the covering checkpoint is durable, then
+			// flushed, so a crash-and-resume never prints a pattern twice.
+			cfg.OnCommit = func(_ uint64, pats []model.Pattern) {
+				for _, p := range pats {
+					fmt.Fprintf(out, "pattern %s\n", p)
+				}
+				out.Flush()
 			}
-		},
+		}
+	case !*quiet:
+		cfg.OnPattern = func(p model.Pattern) {
+			fmt.Fprintf(out, "pattern %s\n", p)
+		}
 	}
 	var pipe *core.Pipeline
 	var coord *tcpnet.Coordinator
@@ -132,13 +167,28 @@ func main() {
 	}
 	pipe.Start()
 
+	// Graceful drain on SIGINT/SIGTERM: the source stops, the drain flushes
+	// watermarks and operator state through the pipeline, and Finish takes
+	// a final checkpoint when enabled — an interrupted run is resumable
+	// with -resume instead of losing its accumulated candidates.
+	stopCh := make(chan os.Signal, 1)
+	signal.Notify(stopCh, os.Interrupt, syscall.SIGTERM)
+
+	skipThrough := model.Tick(-1 << 62)
+	if pos, ok := pipe.ResumePosition(); ok {
+		skipThrough = pos.LastTick
+		fmt.Fprintf(os.Stderr, "resuming from checkpoint: %d snapshots checkpointed, replaying ticks > %d\n",
+			pos.Snapshots, pos.LastTick)
+	}
+
 	if *listen != "" {
-		if err := serve(*listen, *duration, model.Tick(*slack), pipe); err != nil {
+		if err := serve(*listen, *duration, model.Tick(*slack), pipe, skipThrough, stopCh); err != nil {
 			log.Fatal(err)
 		}
-	} else if err := feed(r, pipe); err != nil {
+	} else if err := feed(r, pipe, skipThrough, stopCh); err != nil {
 		log.Fatal(err)
 	}
+	signal.Stop(stopCh)
 	res := pipe.Finish()
 	rep := res.Metrics.Report()
 	fmt.Fprintf(out, "done: %s\n", rep)
@@ -147,18 +197,29 @@ func main() {
 	}
 }
 
-// serve ingests records over TCP for the given duration, assembling
-// snapshots with the last-time protocol before feeding the pipeline.
-func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline) error {
+// serve ingests records over TCP for the given duration (or until a
+// termination signal), assembling snapshots with the last-time protocol
+// before feeding the pipeline. On resume, ticks at or below skipThrough
+// are dropped: they are part of the restored checkpoint, so a publisher
+// replaying the stream does not double-process them.
+func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline,
+	skipThrough model.Tick, stop <-chan os.Signal) error {
 	asm := stream.NewAssembler()
 	asm.Slack = slack
+	if skipThrough > -1<<62 {
+		asm.ResumeAt(skipThrough + 1)
+	}
 	handler, flush := netsrc.AssemblingHandler(asm, pipe.PushSnapshot)
 	srv, err := netsrc.Serve(addr, handler)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "listening on %s for %v\n", srv.Addr(), d)
-	time.Sleep(d)
+	select {
+	case <-time.After(d):
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "%v: draining\n", sig)
+	}
 	if err := srv.Close(); err != nil {
 		return err
 	}
@@ -166,11 +227,18 @@ func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline) 
 	return nil
 }
 
-// feed parses the CSV stream into per-tick snapshots and pushes them.
-func feed(r io.Reader, pipe *core.Pipeline) error {
+// feed parses the CSV stream into per-tick snapshots and pushes them,
+// skipping checkpointed ticks on resume and stopping early on a
+// termination signal (graceful drain).
+func feed(r io.Reader, pipe *core.Pipeline, skipThrough model.Tick, stop <-chan os.Signal) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var cur *model.Snapshot
+	push := func(s *model.Snapshot) {
+		if s.Tick > skipThrough {
+			pipe.PushSnapshot(s)
+		}
+	}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -204,14 +272,20 @@ func feed(r io.Reader, pipe *core.Pipeline) error {
 		}
 		if cur == nil || t > cur.Tick {
 			if cur != nil {
-				pipe.PushSnapshot(cur)
+				push(cur)
+				select {
+				case sig := <-stop:
+					fmt.Fprintf(os.Stderr, "%v: draining\n", sig)
+					return nil
+				default:
+				}
 			}
 			cur = &model.Snapshot{Tick: t}
 		}
 		cur.Add(model.ObjectID(id), geo.Point{X: x, Y: y})
 	}
 	if cur != nil {
-		pipe.PushSnapshot(cur)
+		push(cur)
 	}
 	return sc.Err()
 }

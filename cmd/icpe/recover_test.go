@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// buildICPE compiles the icpe binary once per test run.
+func buildICPE(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "icpe")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// workload renders a planted co-movement stream as CSV lines grouped by
+// snapshot (one inner slice per tick).
+func workload(t *testing.T, seed int64, ticks int) (bySnap [][]string, eps float64) {
+	t.Helper()
+	cfg := datagen.DefaultPlanted(seed)
+	cfg.NumGroups = 3
+	cfg.GroupSize = 5
+	cfg.NumNoise = 25
+	sim := datagen.NewPlanted(cfg)
+	for _, s := range datagen.Snapshots(sim, ticks) {
+		var lines []string
+		for i, obj := range s.Objects {
+			lines = append(lines, fmt.Sprintf("%d,%d,%s,%s",
+				obj, s.Tick,
+				strconv.FormatFloat(s.Locs[i].X, 'g', -1, 64),
+				strconv.FormatFloat(s.Locs[i].Y, 'g', -1, 64)))
+		}
+		bySnap = append(bySnap, lines)
+	}
+	return bySnap, cfg.Eps
+}
+
+func detectionArgs(eps float64) []string {
+	return []string{"-M", "4", "-K", "6", "-L", "3", "-G", "3",
+		"-eps", strconv.FormatFloat(eps, 'g', -1, 64),
+		"-minpts", "4", "-parallelism", "3"}
+}
+
+// patternLines filters and sorts the "pattern ..." lines of icpe output.
+func patternLines(out string) []string {
+	var pats []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "pattern ") {
+			pats = append(pats, line)
+		}
+	}
+	sort.Strings(pats)
+	return pats
+}
+
+// startCoordinator launches the coordinator on an ephemeral port and
+// returns its control address (parsed from stderr) plus a stdin pipe and
+// the collected stdout.
+func startCoordinator(t *testing.T, bin string, extra ...string) (cmd *exec.Cmd, addr string, stdin io.WriteCloser, stdout *strings.Builder) {
+	t.Helper()
+	args := append([]string{"-transport", "tcp", "-coordinator", "127.0.0.1:0", "-workers", "2", "-input", "-"}, extra...)
+	cmd = exec.Command(bin, args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout = &strings.Builder{}
+	cmd.Stdout = stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "workers on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("workers on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("coordinator never announced its address")
+	}
+	return cmd, addr, stdin, stdout
+}
+
+func startWorker(t *testing.T, bin, addr string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-worker", addr)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// reap waits for a process with a timeout, force-killing on expiry.
+func reap(cmd *exec.Cmd, d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		cmd.Process.Kill()
+		return <-done
+	}
+}
+
+// waitManifest polls the checkpoint directory until a completed manifest
+// appears.
+func waitManifest(t *testing.T, dir string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		matches, _ := filepath.Glob(filepath.Join(dir, "chk-*", "MANIFEST.json"))
+		if len(matches) > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no checkpoint completed before the deadline")
+}
+
+func feedSnaps(w io.Writer, bySnap [][]string) error {
+	for _, lines := range bySnap {
+		for _, l := range lines {
+			if _, err := io.WriteString(w, l+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TestKillWorkerAndResume is the end-to-end recovery acceptance test: the
+// distributed topology runs as three OS processes (coordinator + two
+// workers); after at least one completed checkpoint a worker is killed
+// with SIGKILL; the job is then resumed from the checkpoint directory with
+// fresh processes. The committed output of the crashed run plus the output
+// of the resumed run must equal an uninterrupted run's output exactly.
+func TestKillWorkerAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	bin := buildICPE(t)
+	bySnap, eps := workload(t, 1234, 120)
+
+	// Uninterrupted reference (in-process transport, same detection flags).
+	ref := exec.Command(bin, append(detectionArgs(eps), "-input", "-")...)
+	var refOut strings.Builder
+	ref.Stdout, ref.Stderr = &refOut, io.Discard
+	refIn, err := ref.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feedSnaps(refIn, bySnap); err != nil {
+		t.Fatal(err)
+	}
+	refIn.Close()
+	if err := reap(ref, 60*time.Second); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := patternLines(refOut.String())
+	if len(want) == 0 {
+		t.Fatal("reference run found no patterns; weak test")
+	}
+
+	// Crashy run: 3 OS processes, checkpointing every 8 snapshots.
+	ckptDir := t.TempDir()
+	ckptArgs := append(detectionArgs(eps), "-checkpoint-dir", ckptDir, "-checkpoint-interval", "8")
+	coord, addr, stdin, coordOut := startCoordinator(t, bin, ckptArgs...)
+	w0 := startWorker(t, bin, addr)
+	w1 := startWorker(t, bin, addr)
+	t.Cleanup(func() {
+		for _, c := range []*exec.Cmd{coord, w0, w1} {
+			if c.ProcessState == nil {
+				c.Process.Kill()
+			}
+		}
+	})
+
+	// Feed 60% of the stream, then let the pipeline settle so every commit
+	// covered by a durable checkpoint has been printed and flushed.
+	crashAt := len(bySnap) * 6 / 10
+	if err := feedSnaps(stdin, bySnap[:crashAt]); err != nil {
+		t.Fatalf("feeding coordinator: %v", err)
+	}
+	waitManifest(t, ckptDir)
+	time.Sleep(1500 * time.Millisecond) // quiesce: in-flight commits settle
+
+	// SIGKILL one worker, then close the source; the drain hits the dead
+	// process and the remaining processes fail fast.
+	if err := w1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	stdin.Close()
+	if err := reap(coord, 60*time.Second); err == nil {
+		t.Log("coordinator exited cleanly despite the killed worker (kill raced stream end)")
+	}
+	reap(w0, 30*time.Second)
+	reap(w1, 30*time.Second)
+	committed := patternLines(coordOut.String())
+
+	// Resume: fresh processes, same checkpoint directory, full stream (the
+	// checkpointed prefix is skipped from the recorded source position).
+	resumeArgs := append(ckptArgs, "-resume")
+	coord2, addr2, stdin2, resumeOut := startCoordinator(t, bin, resumeArgs...)
+	w2 := startWorker(t, bin, addr2)
+	w3 := startWorker(t, bin, addr2)
+	t.Cleanup(func() {
+		for _, c := range []*exec.Cmd{coord2, w2, w3} {
+			if c.ProcessState == nil {
+				c.Process.Kill()
+			}
+		}
+	})
+	if err := feedSnaps(stdin2, bySnap); err != nil {
+		t.Fatalf("feeding resumed coordinator: %v", err)
+	}
+	stdin2.Close()
+	if err := reap(coord2, 120*time.Second); err != nil {
+		t.Fatalf("resumed coordinator: %v", err)
+	}
+	reap(w2, 30*time.Second)
+	reap(w3, 30*time.Second)
+	resumed := patternLines(resumeOut.String())
+
+	got := append(append([]string{}, committed...), resumed...)
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("crash+resume output differs from uninterrupted run:\n"+
+			"committed(before crash)=%d resumed=%d want=%d\n got: %v\nwant: %v",
+			len(committed), len(resumed), len(want), got, want)
+	}
+	if len(committed) == 0 {
+		t.Error("no patterns committed before the crash; weak kill placement")
+	}
+	if len(resumed) == 0 {
+		t.Error("no patterns after resume; weak kill placement")
+	}
+}

@@ -145,6 +145,19 @@ type Options struct {
 	CollectPatterns *bool
 	// OnPattern receives each pattern as soon as it is detected.
 	OnPattern func(Pattern)
+
+	// CheckpointDir enables aligned-barrier checkpointing of all operator
+	// state into this directory; with CheckpointResume set, the detector
+	// restores from the latest completed checkpoint and reports the ticks
+	// to skip via Detector.ResumeTick. See ARCHITECTURE.md for the
+	// checkpoint cut, recovery sequence, and store layout.
+	CheckpointDir string
+	// CheckpointInterval is the barrier cadence in snapshots (default 32
+	// when CheckpointDir is set).
+	CheckpointInterval int
+	// CheckpointResume restores from the latest completed checkpoint in
+	// CheckpointDir before processing (fresh start when none exists).
+	CheckpointResume bool
 }
 
 // Result summarizes a finished detection run.
@@ -207,6 +220,18 @@ func New(opts Options) (*Detector, error) {
 		CollectPatterns: collect,
 		OnPattern:       opts.OnPattern,
 	}
+	if opts.CheckpointDir != "" {
+		cfg.CheckpointDir = opts.CheckpointDir
+		cfg.CheckpointInterval = opts.CheckpointInterval
+		if cfg.CheckpointInterval <= 0 {
+			cfg.CheckpointInterval = 32
+		}
+		cfg.Resume = opts.CheckpointResume
+	} else if opts.CheckpointResume {
+		// Silently starting fresh would make the caller replay its source
+		// from the beginning and duplicate all output.
+		return nil, fmt.Errorf("icpe: CheckpointResume requires CheckpointDir")
+	}
 	pipe, err := core.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("icpe: %w", err)
@@ -220,8 +245,22 @@ func New(opts Options) (*Detector, error) {
 	d.disc = stream.NewDiscretizer(opts.Origin, interval)
 	d.asm = stream.NewAssembler()
 	d.asm.Slack = model.Tick(opts.Slack)
+	if pos, ok := pipe.ResumePosition(); ok {
+		// Replayed records at or below the checkpoint cut are dropped; the
+		// restored operator state already accounts for them.
+		d.asm.ResumeAt(pos.LastTick + 1)
+	}
 	pipe.Start()
 	return d, nil
+}
+
+// ResumeTick reports the last tick covered by the checkpoint this
+// detector resumed from: sources replaying pre-built snapshots should
+// skip ticks at or below it (Push-fed raw records are dropped
+// automatically). ok is false when the run did not resume.
+func (d *Detector) ResumeTick() (Tick, bool) {
+	pos, ok := d.pipe.ResumePosition()
+	return pos.LastTick, ok
 }
 
 // Push ingests one raw GPS record. Records may arrive out of order within

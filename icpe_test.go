@@ -152,3 +152,56 @@ func TestDetectorAutoOriginFromFirstRecord(t *testing.T) {
 		t.Error("two co-moving objects should form a pattern")
 	}
 }
+
+// The public API exposes checkpoint/resume: a detector with CheckpointDir
+// leaves a completed checkpoint behind on Close, and a resuming detector
+// reports the replay cut via ResumeTick and skips replayed input.
+func TestDetectorCheckpointResume(t *testing.T) {
+	cfg := datagen.DefaultPlanted(17)
+	cfg.NumGroups = 2
+	cfg.GroupSize = 5
+	cfg.NumNoise = 15
+	sim := datagen.NewPlanted(cfg)
+	snaps := datagen.Snapshots(sim, 60)
+
+	dir := t.TempDir()
+	mk := func(resume bool) *Detector {
+		det, err := New(Options{
+			M: 4, K: 6, L: 3, G: 3,
+			Eps: cfg.Eps, MinPts: 4,
+			CheckpointDir:      dir,
+			CheckpointInterval: 10,
+			CheckpointResume:   resume,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	det := mk(false)
+	if _, ok := det.ResumeTick(); ok {
+		t.Fatal("fresh detector reported a resume tick")
+	}
+	for _, s := range snaps {
+		det.PushSnapshot(s.Clone())
+	}
+	res := det.Close()
+	if res.Stats.Patterns == 0 {
+		t.Fatal("no patterns; weak test")
+	}
+
+	// A second detector resumes at the final checkpoint (Close takes one
+	// covering the full stream).
+	det2 := mk(true)
+	cut, ok := det2.ResumeTick()
+	if !ok {
+		t.Fatal("resumed detector reported no resume tick")
+	}
+	if cut != snaps[len(snaps)-1].Tick {
+		t.Fatalf("resume tick = %d, want %d", cut, snaps[len(snaps)-1].Tick)
+	}
+	res2 := det2.Close()
+	if res2.Stats.Snapshots != 0 {
+		t.Fatalf("resumed detector re-processed %d snapshots", res2.Stats.Snapshots)
+	}
+}

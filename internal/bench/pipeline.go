@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/transport/tcpnet"
@@ -33,18 +35,39 @@ type TransportRun struct {
 	ExchangeRecordsPerSec float64 `json:"exchange_records_per_sec"`
 }
 
+// CheckpointRun measures the aligned-barrier checkpointing overhead at one
+// interval on the in-process transport: the same workload as the plain
+// runs, with barriers injected every Interval snapshots and every operator
+// state snapshot written to a local-directory store.
+type CheckpointRun struct {
+	// Interval is the checkpoint cadence in snapshots (0 rows never appear;
+	// the baseline is the plain inproc run).
+	Interval int `json:"interval"`
+	// Completed is the highest checkpoint id that became durable during
+	// the run (aborted or superseded ids may be skipped, so this is an id,
+	// not a count).
+	Completed       uint64  `json:"completed"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SnapshotsPerSec float64 `json:"snapshots_per_sec"`
+	// OverheadPct is the wall-clock overhead relative to the plain
+	// in-process run ((wall/baseline - 1) * 100).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 // PipelineReport is the machine-readable output of `bench -exp pipeline`
 // (written to BENCH_pipeline.json by `make bench-json`): the same seeded
 // workload pushed through the standard topology on the in-process and the
-// multi-process TCP transports.
+// multi-process TCP transports, plus checkpoint-enabled variants at
+// increasing intervals (overhead vs interval).
 type PipelineReport struct {
-	Dataset       string         `json:"dataset"`
-	Objects       int            `json:"objects"`
-	Ticks         int            `json:"ticks"`
-	Seed          int64          `json:"seed"`
-	Parallelism   int            `json:"parallelism"`
-	ExchangeBatch int            `json:"exchange_batch"`
-	Runs          []TransportRun `json:"runs"`
+	Dataset       string          `json:"dataset"`
+	Objects       int             `json:"objects"`
+	Ticks         int             `json:"ticks"`
+	Seed          int64           `json:"seed"`
+	Parallelism   int             `json:"parallelism"`
+	ExchangeBatch int             `json:"exchange_batch"`
+	Runs          []TransportRun  `json:"runs"`
+	Checkpoint    []CheckpointRun `json:"checkpoint,omitempty"`
 }
 
 // admit bounds in-flight snapshots exactly like runOnce, so the two
@@ -174,8 +197,49 @@ func runPipelineTCP(d Dataset, cfg core.Config, workers int) (TransportRun, erro
 	}, nil
 }
 
-// PipelineJSON runs the pipeline benchmark on both transports and writes
-// the report as indented JSON.
+// runPipelineCkpt measures one checkpoint-enabled in-process run.
+func runPipelineCkpt(d Dataset, cfg core.Config, interval int, baselineWall float64) (CheckpointRun, error) {
+	dir, err := os.MkdirTemp("", "icpe-bench-ckpt-")
+	if err != nil {
+		return CheckpointRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.CheckpointInterval = interval
+	cfg.CheckpointDir = dir
+	tokens := admit(&cfg)
+	pipe, err := core.New(cfg)
+	if err != nil {
+		return CheckpointRun{}, err
+	}
+	start := time.Now()
+	pipe.Start()
+	feedAll(pipe, d, tokens)
+	res := pipe.Finish()
+	wall := time.Since(start)
+	store, err := ckpt.NewDirStore(dir)
+	if err != nil {
+		return CheckpointRun{}, err
+	}
+	man, err := store.Latest()
+	if err != nil {
+		return CheckpointRun{}, err
+	}
+	run := CheckpointRun{
+		Interval:        interval,
+		WallSeconds:     wall.Seconds(),
+		SnapshotsPerSec: res.Metrics.Report().ThroughputPerSec,
+	}
+	if man != nil {
+		run.Completed = man.ID
+	}
+	if baselineWall > 0 {
+		run.OverheadPct = (wall.Seconds()/baselineWall - 1) * 100
+	}
+	return run, nil
+}
+
+// PipelineJSON runs the pipeline benchmark on both transports plus
+// checkpoint-enabled variants and writes the report as indented JSON.
 func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 	d := MakeDataset("planted", seed, sc)
 	p := DefaultParams()
@@ -189,6 +253,16 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 	if err != nil {
 		return err
 	}
+	// Overhead vs interval: the default cadence plus a 4x more aggressive
+	// one, both against the plain inproc wall clock.
+	var ckptRuns []CheckpointRun
+	for _, interval := range []int{32, 8} {
+		run, err := runPipelineCkpt(d, cfg, interval, inproc.WallSeconds)
+		if err != nil {
+			return err
+		}
+		ckptRuns = append(ckptRuns, run)
+	}
 	report := PipelineReport{
 		Dataset:       d.Name,
 		Objects:       d.Objects,
@@ -197,6 +271,7 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		Parallelism:   p.Parallelism,
 		ExchangeBatch: core.EffectiveExchangeBatch(cfg.ExchangeBatch),
 		Runs:          []TransportRun{inproc, tcp},
+		Checkpoint:    ckptRuns,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

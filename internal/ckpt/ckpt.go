@@ -1,0 +1,344 @@
+// Package ckpt is the checkpoint/recovery subsystem: aligned-barrier
+// checkpointing in the style the paper inherits from Flink (Chandy-Lamport
+// with pipeline-injected barriers), adapted to the flow runtime.
+//
+// # Checkpoint protocol
+//
+// The driver assigns a monotonically increasing id to each checkpoint and
+// injects a barrier message for that id at the pipeline source, between two
+// snapshots of the trajectory stream. Barriers travel the same edges as
+// records (FIFO per edge), so the set of records ahead of a barrier is
+// exactly the stream prefix the checkpoint covers. Each subtask aligns the
+// barrier across its input senders — input from senders whose barrier
+// already arrived is buffered until the rest catch up — takes a state
+// snapshot at the aligned point, acknowledges it to the Coordinator, and
+// forwards the barrier downstream. A checkpoint is therefore a consistent
+// cut: every acknowledged state reflects precisely the records derived from
+// the source prefix, no more, no less.
+//
+// The Coordinator collects one ack per subtask (the alignment and snapshot
+// mechanics live in internal/flow; operators implement Snapshotter). When
+// every subtask has acked, the state blobs and a Manifest recording the
+// replayable source position are committed to a Store; the manifest write
+// is the checkpoint's atomic commit point. On recovery the driver loads the
+// latest committed manifest, restores each subtask's state before it
+// processes any input, and re-feeds the source from the recorded position.
+//
+// # Output commit
+//
+// Completion also gates exactly-once output: the driver withholds sink
+// output emitted after the previous cut until the covering checkpoint is
+// durable (see core.Config.OnCommit), so a crash never publishes output
+// that a resumed run would derive again.
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Snapshotter is implemented by operators with keyed state that must
+// survive a crash. SnapshotState serializes the operator's complete state
+// at an aligned barrier; RestoreState reconstructs it in a freshly built
+// operator before any post-cut input is processed. An operator whose state
+// is empty should return a nil/empty blob; restore is skipped for empty
+// blobs. Stateless operators implement both as no-ops, which documents that
+// their omission from a checkpoint is deliberate rather than an oversight.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
+// SourcePosition is the replayable source offset of a checkpoint cut: the
+// barrier for the checkpoint was injected immediately after this many
+// snapshots, the last of which carried LastTick. Resume re-feeds the stream
+// starting at the first snapshot with tick > LastTick.
+type SourcePosition struct {
+	// Snapshots is the number of source snapshots fed before the cut.
+	Snapshots int64 `json:"snapshots"`
+	// LastTick is the tick of the last snapshot inside the cut.
+	LastTick model.Tick `json:"last_tick"`
+}
+
+// StageInfo describes one pipeline stage inside a manifest, so recovery can
+// verify the restored topology matches the checkpointed one.
+type StageInfo struct {
+	Name        string `json:"name"`
+	Parallelism int    `json:"parallelism"`
+}
+
+// Manifest is the commit record of one completed checkpoint. Its presence
+// in the Store marks the checkpoint complete; state blobs without a
+// manifest belong to an in-flight or aborted checkpoint and are ignored.
+type Manifest struct {
+	// ID is the checkpoint id (monotonically increasing within a job).
+	ID uint64 `json:"id"`
+	// Source is the replayable source position of the cut.
+	Source SourcePosition `json:"source"`
+	// Stages records the topology the states were taken from.
+	Stages []StageInfo `json:"stages"`
+	// Spec is the application's configuration fingerprint (opaque to this
+	// package; internal/core stores its encoded Spec). Resume validates it
+	// so checkpointed state is never restored into a job with different
+	// semantics (e.g. another enumeration method).
+	Spec []byte `json:"spec,omitempty"`
+}
+
+// Validate checks a manifest against the topology a resuming job built.
+func (m *Manifest) Validate(stages []StageInfo) error {
+	if len(m.Stages) != len(stages) {
+		return fmt.Errorf("ckpt: manifest has %d stages, topology has %d",
+			len(m.Stages), len(stages))
+	}
+	for i, st := range stages {
+		if m.Stages[i] != st {
+			return fmt.Errorf("ckpt: manifest stage %d is %+v, topology built %+v",
+				i, m.Stages[i], st)
+		}
+	}
+	return nil
+}
+
+// Store persists checkpoint state. Implementations must make Commit atomic:
+// a manifest is either fully readable afterwards or absent, never torn.
+// Put may be called concurrently for different (stage, subtask) pairs of
+// one checkpoint.
+type Store interface {
+	// Put writes one subtask's state blob for an in-flight checkpoint.
+	Put(id uint64, stage string, subtask int, state []byte) error
+	// Commit atomically publishes the manifest, completing the checkpoint,
+	// and may garbage-collect older checkpoints.
+	Commit(m Manifest) error
+	// Latest returns the most recent committed manifest, or nil when the
+	// store holds no completed checkpoint.
+	Latest() (*Manifest, error)
+	// State reads one subtask's blob from a committed checkpoint.
+	State(id uint64, stage string, subtask int) ([]byte, error)
+}
+
+// Coordinator tracks in-flight checkpoints for one job: the driver calls
+// Begin when it injects a barrier, subtask acks arrive via Ack (locally
+// from the flow runtime, or forwarded over the tcpnet control plane), and
+// when every subtask of every stage has acked, the manifest is committed
+// and OnComplete fires. A failed snapshot aborts the checkpoint: the run
+// continues and the next interval tries again, exactly like Flink's
+// tolerable checkpoint failures.
+type Coordinator struct {
+	store  Store
+	stages []StageInfo
+	expect int
+
+	// OnComplete, when set before the first Begin, observes every committed
+	// manifest (the driver uses it to release withheld sink output). Called
+	// from the goroutine delivering the final ack.
+	OnComplete func(Manifest)
+	// Spec, when set before the first Begin, is stamped into every
+	// committed manifest (see Manifest.Spec).
+	Spec []byte
+	// Logf reports aborted checkpoints (default log-free: silent).
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	inflight map[uint64]*inflight
+	lastDone uint64
+	haveDone bool
+}
+
+type inflight struct {
+	src    SourcePosition
+	seen   map[[2]int]struct{} // (stage, subtask) pairs received (dedup)
+	stored int                 // acks whose state write has completed
+	failed bool
+}
+
+// NewCoordinator builds a coordinator for one job's topology.
+func NewCoordinator(store Store, stages []StageInfo) (*Coordinator, error) {
+	if store == nil {
+		return nil, fmt.Errorf("ckpt: nil store")
+	}
+	expect := 0
+	for _, st := range stages {
+		if st.Name == "" || st.Parallelism < 1 {
+			return nil, fmt.Errorf("ckpt: bad stage %+v", st)
+		}
+		expect += st.Parallelism
+	}
+	if expect == 0 {
+		return nil, fmt.Errorf("ckpt: no stages")
+	}
+	return &Coordinator{
+		store:    store,
+		stages:   stages,
+		expect:   expect,
+		inflight: make(map[uint64]*inflight),
+	}, nil
+}
+
+// Stages returns the topology the coordinator expects acks for.
+func (c *Coordinator) Stages() []StageInfo { return c.stages }
+
+// Begin opens checkpoint id at the given source position. The driver calls
+// it immediately before injecting the barrier, so acks can never race an
+// unknown id.
+func (c *Coordinator) Begin(id uint64, src SourcePosition) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.inflight[id]; dup {
+		return fmt.Errorf("ckpt: checkpoint %d already in flight", id)
+	}
+	if c.haveDone && id <= c.lastDone {
+		return fmt.Errorf("ckpt: checkpoint id %d not after last completed %d", id, c.lastDone)
+	}
+	c.inflight[id] = &inflight{src: src, seen: make(map[[2]int]struct{}, c.expect)}
+	return nil
+}
+
+// Ack records one subtask's snapshot for checkpoint id. stage indexes the
+// coordinator's stage list; snapErr is the subtask's snapshot failure, if
+// any (which aborts the checkpoint). Acks for unknown ids (aborted, or
+// from before a driver restart) are dropped.
+func (c *Coordinator) Ack(id uint64, stage, subtask int, state []byte, snapErr error) {
+	c.mu.Lock()
+	fl := c.inflight[id]
+	if fl == nil {
+		c.mu.Unlock()
+		return
+	}
+	if stage < 0 || stage >= len(c.stages) ||
+		subtask < 0 || subtask >= c.stages[stage].Parallelism {
+		c.abortLocked(id, fl, fmt.Errorf("ack for unknown subtask %d/%d", stage, subtask))
+		c.mu.Unlock()
+		return
+	}
+	// Completion needs one ack per distinct subtask: a duplicated control
+	// frame must not let a checkpoint commit with another subtask's state
+	// missing.
+	if _, dup := fl.seen[[2]int{stage, subtask}]; dup {
+		c.mu.Unlock()
+		return
+	}
+	fl.seen[[2]int{stage, subtask}] = struct{}{}
+	name := c.stages[stage].Name
+	if snapErr != nil {
+		c.abortLocked(id, fl, fmt.Errorf("stage %s subtask %d: %w", name, subtask, snapErr))
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	// The blob write happens outside the lock: stores may hit disk.
+	if err := c.store.Put(id, name, subtask, state); err != nil {
+		c.mu.Lock()
+		c.abortLocked(id, fl, err)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	if c.inflight[id] != fl { // aborted meanwhile
+		c.mu.Unlock()
+		return
+	}
+	// Count completion only AFTER this ack's state write finished: a
+	// not-yet-written blob must never be committable, so the final ack's
+	// commit cannot race an earlier ack's in-flight Put.
+	fl.stored++
+	if fl.stored < c.expect || fl.failed {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.inflight, id)
+	if c.haveDone && id < c.lastDone {
+		// A newer checkpoint is already durable (acks are asynchronous, so
+		// completion order can invert): this one is superseded — recovery
+		// always resumes from the latest cut — and committing it would only
+		// risk shadowing newer state. Drop it.
+		newer := c.lastDone
+		c.mu.Unlock()
+		c.logf("ckpt: checkpoint %d superseded by %d, dropped", id, newer)
+		return
+	}
+	m := Manifest{ID: id, Source: fl.src, Stages: c.stages, Spec: c.Spec}
+	done := c.OnComplete
+	c.mu.Unlock()
+	if err := c.store.Commit(m); err != nil {
+		c.logf("ckpt: checkpoint %d commit: %v", id, err)
+		return
+	}
+	c.mu.Lock()
+	if !c.haveDone || id > c.lastDone {
+		c.lastDone, c.haveDone = id, true
+	}
+	c.mu.Unlock()
+	if done != nil {
+		done(m)
+	}
+}
+
+// Completed returns the highest checkpoint id committed by this
+// coordinator instance (ok is false before the first completion).
+func (c *Coordinator) Completed() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastDone, c.haveDone
+}
+
+// abortLocked drops an in-flight checkpoint; later acks for it are ignored.
+func (c *Coordinator) abortLocked(id uint64, fl *inflight, err error) {
+	fl.failed = true
+	delete(c.inflight, id)
+	c.logf("ckpt: checkpoint %d aborted: %v", id, err)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// BulkStateReader is an optional Store extension: stores whose blobs live
+// in one container per checkpoint (DirStore's framed state file) expose a
+// single-read bulk load so restoring S stages x P subtasks does not
+// re-read and re-scan the container S*P times.
+type BulkStateReader interface {
+	// States returns every subtask blob of a committed checkpoint, keyed
+	// by StateKey.
+	States(id uint64) (map[string][]byte, error)
+}
+
+// AllStates loads every subtask's state of a committed checkpoint, keyed
+// by StateKey, using the store's bulk reader when it has one.
+func AllStates(store Store, m *Manifest) (map[string][]byte, error) {
+	if bulk, ok := store.(BulkStateReader); ok {
+		return bulk.States(m.ID)
+	}
+	out := make(map[string][]byte)
+	for _, st := range m.Stages {
+		for sub := 0; sub < st.Parallelism; sub++ {
+			blob, err := store.State(m.ID, st.Name, sub)
+			if err != nil {
+				return nil, err
+			}
+			out[StateKey(st.Name, sub)] = blob
+		}
+	}
+	return out, nil
+}
+
+// RestoreFunc builds the (stage, subtask) -> state lookup a resuming
+// pipeline installs (flow.Config.Restore). All blobs are loaded up front
+// (one container read on bulk-capable stores), so an unreadable
+// checkpoint fails the resume at construction instead of silently
+// starting a subtask empty.
+func RestoreFunc(store Store, m *Manifest) (func(stage, subtask int) []byte, error) {
+	states, err := AllStates(store, m)
+	if err != nil {
+		return nil, err
+	}
+	return func(stage, subtask int) []byte {
+		if stage < 0 || stage >= len(m.Stages) {
+			return nil
+		}
+		return states[StateKey(m.Stages[stage].Name, subtask)]
+	}, nil
+}

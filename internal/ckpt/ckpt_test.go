@@ -1,0 +1,291 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testStages() []StageInfo {
+	return []StageInfo{
+		{Name: "allocate", Parallelism: 2},
+		{Name: "cluster", Parallelism: 3},
+	}
+}
+
+// ackAll delivers one successful ack per subtask for checkpoint id.
+func ackAll(c *Coordinator, id uint64) {
+	for si, st := range c.Stages() {
+		for sub := 0; sub < st.Parallelism; sub++ {
+			c.Ack(id, si, sub, []byte(fmt.Sprintf("%d/%d/%d", id, si, sub)), nil)
+		}
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := store.Latest(); err != nil || m != nil {
+		t.Fatalf("empty store Latest = %v, %v", m, err)
+	}
+	if err := store.Put(1, "cluster", 0, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted blobs are invisible.
+	if m, err := store.Latest(); err != nil || m != nil {
+		t.Fatalf("uncommitted Latest = %v, %v", m, err)
+	}
+	man := Manifest{ID: 1, Source: SourcePosition{Snapshots: 10, LastTick: 9}, Stages: testStages()}
+	if err := store.Commit(man); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Latest()
+	if err != nil || got == nil {
+		t.Fatalf("Latest after commit = %v, %v", got, err)
+	}
+	if got.ID != 1 || got.Source != man.Source || len(got.Stages) != 2 {
+		t.Fatalf("manifest round trip: %+v", got)
+	}
+	blob, err := store.State(1, "cluster", 0)
+	if err != nil || string(blob) != "state" {
+		t.Fatalf("State = %q, %v", blob, err)
+	}
+	if _, err := store.State(1, "cluster", 1); err == nil {
+		t.Fatal("missing blob read succeeded")
+	}
+}
+
+func TestDirStoreRetention(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if err := store.Put(id, "s", 0, []byte{byte(id)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Commit(Manifest{ID: id, Stages: []StageInfo{{Name: "s", Parallelism: 1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := store.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("retained %v, want [3 4]", ids)
+	}
+	m, err := store.Latest()
+	if err != nil || m == nil || m.ID != 4 {
+		t.Fatalf("Latest = %+v, %v", m, err)
+	}
+}
+
+func TestDirStoreDropsAbandonedAttempts(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint 1 commits, 2 is abandoned (blobs, no manifest), 3 commits.
+	stages := []StageInfo{{Name: "s", Parallelism: 1}}
+	if err := store.Put(1, "s", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Commit(Manifest{ID: 1, Stages: stages}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(2, "s", 0, []byte("orphan")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(3, "s", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Commit(Manifest{ID: 3, Stages: stages}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(store.Dir(), "chk-2")); !os.IsNotExist(err) {
+		t.Fatalf("abandoned chk-2 survived gc: %v", err)
+	}
+	m, err := store.Latest()
+	if err != nil || m == nil || m.ID != 3 {
+		t.Fatalf("Latest = %+v, %v", m, err)
+	}
+}
+
+func TestCoordinatorCompletes(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(store, testStages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu   sync.Mutex
+		done []Manifest
+	)
+	coord.OnComplete = func(m Manifest) {
+		mu.Lock()
+		done = append(done, m)
+		mu.Unlock()
+	}
+	if err := coord.Begin(1, SourcePosition{Snapshots: 5, LastTick: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ackAll(coord, 1)
+	if len(done) != 1 || done[0].ID != 1 || done[0].Source.Snapshots != 5 {
+		t.Fatalf("OnComplete saw %+v", done)
+	}
+	if id, ok := coord.Completed(); !ok || id != 1 {
+		t.Fatalf("Completed = %d, %v", id, ok)
+	}
+	// The committed states are readable via the manifest.
+	restore, err := RestoreFunc(store, &done[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(restore(1, 2)); got != "1/1/2" {
+		t.Fatalf("restore = %q", got)
+	}
+	// Duplicate Begin is rejected; acks for unknown ids are dropped.
+	if err := coord.Begin(1, SourcePosition{}); err == nil {
+		t.Fatal("duplicate Begin accepted")
+	}
+	coord.Ack(99, 0, 0, nil, nil) // must not panic or commit
+	if id, _ := coord.Completed(); id != 1 {
+		t.Fatalf("unknown ack changed completion to %d", id)
+	}
+}
+
+func TestCoordinatorAbortsOnSnapshotError(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(store, testStages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	coord.OnComplete = func(Manifest) { completed++ }
+	if err := coord.Begin(7, SourcePosition{}); err != nil {
+		t.Fatal(err)
+	}
+	coord.Ack(7, 0, 0, nil, errors.New("serialization failed"))
+	ackAll(coord, 7) // stragglers after the abort
+	if completed != 0 {
+		t.Fatal("aborted checkpoint completed")
+	}
+	if _, ok := coord.Completed(); ok {
+		t.Fatal("aborted checkpoint recorded as done")
+	}
+	// The next checkpoint is unaffected.
+	if err := coord.Begin(8, SourcePosition{Snapshots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ackAll(coord, 8)
+	if completed != 1 {
+		t.Fatalf("checkpoint 8 completions = %d", completed)
+	}
+	m, err := store.Latest()
+	if err != nil || m == nil || m.ID != 8 {
+		t.Fatalf("Latest = %+v, %v", m, err)
+	}
+}
+
+// A duplicated ack frame (or one for a nonexistent subtask) must not let
+// a checkpoint commit with another subtask's state missing.
+func TestDuplicateAndBogusAcks(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(store, []StageInfo{{Name: "s", Parallelism: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Begin(1, SourcePosition{}); err != nil {
+		t.Fatal(err)
+	}
+	coord.Ack(1, 0, 0, []byte("a"), nil)
+	coord.Ack(1, 0, 0, []byte("a"), nil) // duplicate: must not count twice
+	if _, ok := coord.Completed(); ok {
+		t.Fatal("checkpoint committed from duplicated acks")
+	}
+	coord.Ack(1, 0, 1, []byte("b"), nil)
+	if id, ok := coord.Completed(); !ok || id != 1 {
+		t.Fatalf("Completed = %d, %v after full acks", id, ok)
+	}
+	// Out-of-range subtask aborts the checkpoint instead of counting.
+	if err := coord.Begin(2, SourcePosition{}); err != nil {
+		t.Fatal(err)
+	}
+	coord.Ack(2, 0, 5, nil, nil)
+	coord.Ack(2, 0, 0, nil, nil)
+	coord.Ack(2, 0, 1, nil, nil)
+	if id, _ := coord.Completed(); id != 1 {
+		t.Fatalf("aborted checkpoint 2 committed (completed=%d)", id)
+	}
+}
+
+// Acks are asynchronous, so a newer checkpoint can finish before an older
+// one. The older checkpoint must then be dropped (not committed), and
+// retention must keep the highest ids — a regression test for the gc
+// deleting the newest cut when completion order inverted.
+func TestOutOfOrderCompletion(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []StageInfo{{Name: "s", Parallelism: 2}}
+	coord, err := NewCoordinator(store, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if err := coord.Begin(id, SourcePosition{Snapshots: int64(id) * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoints 1, 2, 4 complete; 3's second ack arrives last.
+	for _, id := range []uint64{1, 2, 4} {
+		coord.Ack(id, 0, 0, []byte{byte(id)}, nil)
+		coord.Ack(id, 0, 1, []byte{byte(id)}, nil)
+	}
+	coord.Ack(3, 0, 0, []byte{3}, nil)
+	coord.Ack(3, 0, 1, []byte{3}, nil) // completes after 4: superseded
+	man, err := store.Latest()
+	if err != nil || man == nil {
+		t.Fatalf("Latest = %v, %v", man, err)
+	}
+	if man.ID != 4 {
+		t.Fatalf("Latest = checkpoint %d, want 4 (newest cut must survive)", man.ID)
+	}
+	if blob, err := store.State(4, "s", 0); err != nil || len(blob) != 1 || blob[0] != 4 {
+		t.Fatalf("checkpoint 4 state = %v, %v", blob, err)
+	}
+	if id, ok := coord.Completed(); !ok || id != 4 {
+		t.Fatalf("Completed = %d, %v", id, ok)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	m := Manifest{Stages: testStages()}
+	if err := m.Validate(testStages()); err != nil {
+		t.Fatal(err)
+	}
+	other := testStages()
+	other[1].Parallelism = 4
+	if err := m.Validate(other); err == nil {
+		t.Fatal("parallelism mismatch accepted")
+	}
+	if err := m.Validate(other[:1]); err == nil {
+		t.Fatal("stage count mismatch accepted")
+	}
+}

@@ -1,0 +1,304 @@
+// Checkpoint orchestration for the driver side of a run: barrier cadence,
+// ack collection, output commit, and resume-from-checkpoint. The protocol
+// itself lives in internal/ckpt and internal/flow; this file binds it to
+// the pipeline façade — both the in-process pipeline (flow hooks call the
+// runner directly) and the distributed one (acks and sink barriers arrive
+// via the tcpnet control plane and are injected through the Deliver*
+// methods).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// ckptRunner is the per-run checkpoint state machine.
+type ckptRunner struct {
+	coord    *ckpt.Coordinator
+	store    ckpt.Store
+	interval int64
+	onCommit func(id uint64, pats []model.Pattern)
+
+	mu          sync.Mutex
+	count       int64      // snapshots pushed, including the resumed prefix
+	lastTick    model.Tick // tick of the last pushed snapshot
+	lastBarrier int64      // count at the last injected barrier
+	nextID      uint64
+	resume      *ckpt.SourcePosition
+
+	pending    []model.Pattern // emitted since the last sink cut
+	cuts       []cutBatch      // sink cuts awaiting checkpoint durability
+	maxDurable uint64
+
+	commitMu sync.Mutex     // serializes onCommit callbacks in cut order
+	ackWG    sync.WaitGroup // outstanding asynchronous ack writes
+}
+
+// cutBatch is the sink output between two consecutive sink-barrier cuts.
+type cutBatch struct {
+	id   uint64
+	pats []model.Pattern
+}
+
+// ckptStages extracts the manifest stage descriptors from a topology graph.
+func ckptStages(g *topology.Graph) []ckpt.StageInfo {
+	stages := make([]ckpt.StageInfo, len(g.Stages))
+	for i, st := range g.Stages {
+		stages[i] = ckpt.StageInfo{Name: st.Name, Parallelism: st.Parallelism}
+	}
+	return stages
+}
+
+// newCkptRunner opens the store, optionally loads the latest completed
+// checkpoint for resume, and returns the runner plus the restore manifest
+// (nil on a fresh start).
+func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Manifest, error) {
+	store := cfg.CheckpointStore
+	if store == nil {
+		var err error
+		if store, err = ckpt.NewDirStore(cfg.CheckpointDir); err != nil {
+			return nil, nil, err
+		}
+	}
+	spec, err := EncodeSpec(*cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	coord, err := ckpt.NewCoordinator(store, stages)
+	if err != nil {
+		return nil, nil, err
+	}
+	coord.Spec = spec
+	r := &ckptRunner{
+		coord:    coord,
+		store:    store,
+		interval: int64(cfg.CheckpointInterval),
+		onCommit: cfg.OnCommit,
+		nextID:   1,
+	}
+	coord.OnComplete = r.onComplete
+	var man *ckpt.Manifest
+	if cfg.Resume {
+		if man, err = resumeManifest(store, spec); err != nil {
+			return nil, nil, err
+		}
+		if man != nil {
+			if err := man.Validate(stages); err != nil {
+				return nil, nil, err
+			}
+			r.resume = &man.Source
+			r.count = man.Source.Snapshots
+			r.lastBarrier = man.Source.Snapshots
+			r.lastTick = man.Source.LastTick
+			r.nextID = man.ID + 1
+		}
+	}
+	return r, man, nil
+}
+
+// ack is the flow.Config.OnCheckpointState hook for locally executing
+// stages; the tcpnet control plane funnels remote acks into the same path.
+// The store write happens off the caller's goroutine: a subtask must not
+// stall on checkpoint disk I/O (that cost would show up as pipeline
+// latency on every barrier). finish() drains outstanding writes so a
+// graceful shutdown still leaves its final checkpoint durable.
+func (r *ckptRunner) ack(id uint64, stage, subtask int, state []byte, err error) {
+	r.ackWG.Add(1)
+	go func() {
+		defer r.ackWG.Done()
+		r.coord.Ack(id, stage, subtask, state, err)
+	}()
+}
+
+// afterPush records one pushed snapshot and decides whether the barrier
+// for a new checkpoint must be injected behind it. The caller submits the
+// barrier (the runner has no pipeline reference, keeping it testable).
+func (r *ckptRunner) afterPush(tick model.Tick) (id uint64, inject bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.lastTick = tick
+	if r.interval <= 0 || r.count-r.lastBarrier < r.interval {
+		return 0, false
+	}
+	return r.beginLocked(), true
+}
+
+// finalBarrier opens a last checkpoint covering the stream tail, injected
+// by Finish before the drain so a graceful shutdown leaves a resumable
+// cut. It is skipped when nothing was pushed since the previous barrier.
+func (r *ckptRunner) finalBarrier() (id uint64, inject bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == r.lastBarrier {
+		return 0, false
+	}
+	return r.beginLocked(), true
+}
+
+func (r *ckptRunner) beginLocked() uint64 {
+	id := r.nextID
+	r.nextID++
+	r.lastBarrier = r.count
+	if err := r.coord.Begin(id, ckpt.SourcePosition{Snapshots: r.count, LastTick: r.lastTick}); err != nil {
+		// Ids are assigned here and only here; Begin cannot collide.
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return id
+}
+
+// onPattern buffers one emitted pattern for output commit. Returns false
+// when no commit hook is installed (the caller then delivers immediately).
+func (r *ckptRunner) onPattern(p model.Pattern) bool {
+	if r.onCommit == nil {
+		return false
+	}
+	r.mu.Lock()
+	r.pending = append(r.pending, p)
+	r.mu.Unlock()
+	return true
+}
+
+// onSinkBarrier closes the current output batch at checkpoint id's sink
+// cut: every pattern emitted before the cut is in the batch, none after.
+// Without a commit hook there is nothing to withhold — tracking cuts
+// anyway would grow the slice once per checkpoint, forever.
+func (r *ckptRunner) onSinkBarrier(id uint64) {
+	if r.onCommit == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cuts = append(r.cuts, cutBatch{id: id, pats: r.pending})
+	r.pending = nil
+	r.mu.Unlock()
+	r.release()
+}
+
+// onComplete marks checkpoint id durable (manifest committed).
+func (r *ckptRunner) onComplete(m ckpt.Manifest) {
+	r.mu.Lock()
+	if m.ID > r.maxDurable {
+		r.maxDurable = m.ID
+	}
+	r.mu.Unlock()
+	r.release()
+}
+
+// release commits every cut batch covered by a durable checkpoint: batch k
+// may be published once checkpoint k' >= k is durable, because a resumed
+// run restarts at or after cut k' and can never re-derive its contents. An
+// aborted checkpoint's batch is swept up by the next durable one.
+func (r *ckptRunner) release() {
+	if r.onCommit == nil {
+		return
+	}
+	// commitMu (taken first) keeps concurrent releases in cut order.
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	r.mu.Lock()
+	var ready []cutBatch
+	for len(r.cuts) > 0 && r.cuts[0].id <= r.maxDurable {
+		ready = append(ready, r.cuts[0])
+		r.cuts = r.cuts[1:]
+	}
+	r.mu.Unlock()
+	for _, b := range ready {
+		if len(b.pats) > 0 {
+			r.onCommit(b.id, b.pats)
+		}
+	}
+}
+
+// finish drains outstanding ack writes (making the final checkpoint
+// durable before the run reports completion) and releases everything
+// still withheld at the clean end of stream: the run is over, so there is
+// no crash window left to protect against.
+func (r *ckptRunner) finish() {
+	r.ackWG.Wait()
+	if r.onCommit == nil {
+		return
+	}
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	r.mu.Lock()
+	cuts := r.cuts
+	pending := r.pending
+	r.cuts, r.pending = nil, nil
+	r.mu.Unlock()
+	for _, b := range cuts {
+		if len(b.pats) > 0 {
+			r.onCommit(b.id, b.pats)
+		}
+	}
+	if len(pending) > 0 {
+		r.onCommit(0, pending)
+	}
+}
+
+// restoreBlobs loads every subtask's state from the manifest's checkpoint
+// (one container read on bulk-capable stores), keyed for the tcpnet
+// handshake — RestoreKey and ckpt.StateKey are the same function, so the
+// writing and reading sides cannot drift. Empty blobs are omitted.
+func restoreBlobs(store ckpt.Store, m *ckpt.Manifest) (map[string][]byte, error) {
+	states, err := ckpt.AllStates(store, m)
+	if err != nil {
+		return nil, err
+	}
+	for key, blob := range states {
+		if len(blob) == 0 {
+			delete(states, key)
+		}
+	}
+	return states, nil
+}
+
+// resumeManifest loads the latest completed checkpoint and validates its
+// configuration fingerprint against the resuming run's spec — shared by
+// the in-process (newCkptRunner) and distributed (NewDistributed) resume
+// paths so the two cannot diverge. Returns nil on a fresh store.
+func resumeManifest(store ckpt.Store, spec []byte) (*ckpt.Manifest, error) {
+	man, err := store.Latest()
+	if err != nil || man == nil {
+		return nil, err
+	}
+	// Restoring state into a job with different detection semantics
+	// (another enumeration method, other constraints, ...) would be silent
+	// corruption at best and a decode failure at worst — refuse up front
+	// with the two configurations in hand.
+	if len(man.Spec) > 0 && string(man.Spec) != string(spec) {
+		return nil, fmt.Errorf(
+			"core: checkpoint %d was taken with a different configuration\n  checkpoint: %s\n  this run:   %s",
+			man.ID, man.Spec, spec)
+	}
+	return man, nil
+}
+
+// ResumePosition reports the source position a resumed pipeline restarts
+// from: the driver must skip every snapshot with tick <= LastTick (they
+// are part of the restored state). ok is false when the run did not resume
+// from a checkpoint.
+func (p *Pipeline) ResumePosition() (ckpt.SourcePosition, bool) {
+	if p.ck == nil || p.ck.resume == nil {
+		return ckpt.SourcePosition{}, false
+	}
+	return *p.ck.resume, true
+}
+
+// DeliverCheckpointAck injects a checkpoint ack forwarded from a remote
+// worker (tcpnet control plane).
+func (p *Pipeline) DeliverCheckpointAck(id uint64, stage, subtask int, state []byte, err error) {
+	if p.ck != nil {
+		p.ck.ack(id, stage, subtask, state, err)
+	}
+}
+
+// DeliverSinkBarrier injects the remote last stage's sink-barrier cut.
+func (p *Pipeline) DeliverSinkBarrier(id uint64) {
+	if p.ck != nil {
+		p.ck.onSinkBarrier(id)
+	}
+}

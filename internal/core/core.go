@@ -19,10 +19,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/flow"
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/patstore"
 )
 
 // ClusterMethod selects the range-join engine.
@@ -97,6 +99,38 @@ type Config struct {
 	// OnTickComplete, when set, is called once per tick after every stage
 	// has fully consumed it (admission control in benchmarks).
 	OnTickComplete func(model.Tick)
+
+	// CheckpointInterval enables aligned-barrier checkpointing: a barrier
+	// is injected after every CheckpointInterval-th snapshot, and each
+	// operator's keyed state is written to the checkpoint store (0 =
+	// disabled). See internal/ckpt for the protocol.
+	CheckpointInterval int
+	// CheckpointDir is the local checkpoint directory (required when
+	// CheckpointInterval > 0 unless CheckpointStore is set).
+	CheckpointDir string
+	// CheckpointStore overrides the checkpoint store backend (tests,
+	// alternative backends). Defaults to a DirStore over CheckpointDir.
+	CheckpointStore ckpt.Store
+	// Resume restores operator state from the latest completed checkpoint
+	// in the store before starting, and reports the replay position via
+	// Pipeline.ResumePosition. A store without any completed checkpoint
+	// starts fresh. Requires CheckpointInterval > 0.
+	Resume bool
+	// OnCommit, when set (requires checkpointing), receives batches of
+	// patterns with exactly-once semantics: a batch is withheld until the
+	// checkpoint covering it is durable, so a crash-and-resume never
+	// duplicates or loses a committed pattern. The id is the covering
+	// checkpoint's (0 for the final end-of-stream batch). OnPattern, by
+	// contrast, streams every pattern immediately (at-least-once across
+	// crashes).
+	OnCommit func(ckptID uint64, pats []model.Pattern)
+	// PatternStore, when set, receives every emitted pattern (the sink
+	// feeds the queryable index applications read).
+	PatternStore *patstore.Store
+	// PatternRetention bounds PatternStore on long runs: patterns whose
+	// witnesses end more than PatternRetention ticks behind the sink
+	// watermark are evicted (0 = keep everything).
+	PatternRetention model.Tick
 }
 
 func (c *Config) fill() error {
@@ -125,6 +159,17 @@ func (c *Config) fill() error {
 		c.SlotsPerNode = 2
 	}
 	c.ExchangeBatch = normalizeBatch(c.ExchangeBatch)
+	if c.CheckpointInterval > 0 && c.CheckpointDir == "" && c.CheckpointStore == nil {
+		return fmt.Errorf("core: checkpointing needs CheckpointDir or CheckpointStore")
+	}
+	if c.CheckpointInterval <= 0 {
+		if c.Resume {
+			return fmt.Errorf("core: Resume requires CheckpointInterval > 0")
+		}
+		if c.OnCommit != nil {
+			return fmt.Errorf("core: OnCommit requires CheckpointInterval > 0")
+		}
+	}
 	return nil
 }
 
@@ -199,6 +244,7 @@ type Pipeline struct {
 	cfg  Config
 	fl   *flow.Pipeline
 	mets *Metrics
+	ck   *ckptRunner // nil when checkpointing is disabled
 
 	mu       sync.Mutex
 	ingest   map[model.Tick]time.Time
@@ -227,6 +273,20 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.cfg.CheckpointInterval > 0 {
+		runner, man, err := newCkptRunner(&p.cfg, ckptStages(g))
+		if err != nil {
+			return nil, err
+		}
+		p.ck = runner
+		g.OnCheckpointState = runner.ack
+		g.SinkBarrier = runner.onSinkBarrier
+		if man != nil {
+			if g.Restore, err = ckpt.RestoreFunc(runner.store, man); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if p.fl, err = g.Build(); err != nil {
 		return nil, err
 	}
@@ -253,6 +313,13 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 	p.mu.Unlock()
 	p.fl.Submit(uint64(s.Tick), s)
 	p.fl.SubmitWatermark(s.Tick)
+	if p.ck != nil {
+		// The barrier rides behind the snapshot's watermark, so the
+		// checkpoint cut falls exactly between two ticks of the stream.
+		if id, inject := p.ck.afterPush(s.Tick); inject {
+			p.fl.SubmitBarrier(id)
+		}
+	}
 	p.mets.mu.Lock()
 	p.mets.Snapshots++
 	p.mets.mu.Unlock()
@@ -260,9 +327,19 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 
 // Finish drains the pipeline and returns the result.
 func (p *Pipeline) Finish() Result {
+	if p.ck != nil {
+		// A final checkpoint ahead of the drain leaves a resumable cut for
+		// graceful shutdowns (the barrier precedes the close on every edge).
+		if id, inject := p.ck.finalBarrier(); inject {
+			p.fl.SubmitBarrier(id)
+		}
+	}
 	p.fl.Drain()
 	if p.cfg.AwaitDrain != nil {
 		p.cfg.AwaitDrain()
+	}
+	if p.ck != nil {
+		p.ck.finish()
 	}
 	p.mets.mu.Lock()
 	p.mets.end = time.Now()
@@ -336,6 +413,12 @@ func (p *Pipeline) onSinkRecord(data any) {
 	if p.cfg.OnPattern != nil {
 		p.cfg.OnPattern(pat)
 	}
+	if p.cfg.PatternStore != nil {
+		p.cfg.PatternStore.Add(pat)
+	}
+	if p.ck != nil {
+		p.ck.onPattern(pat) // buffered for exactly-once OnCommit release
+	}
 	if p.cfg.CollectPatterns {
 		p.mu.Lock()
 		p.patterns = append(p.patterns, pat)
@@ -347,6 +430,12 @@ func (p *Pipeline) onSinkRecord(data any) {
 // subtasks have fully consumed every tick up to wm.
 func (p *Pipeline) onSinkWatermark(wm model.Tick) {
 	p.recordCompletion(wm)
+	if p.cfg.PatternStore != nil && p.cfg.PatternRetention > 0 {
+		// Watermark-driven eviction keeps the store bounded on long runs:
+		// anything ending more than the retention window behind wm can no
+		// longer be queried by freshness-bound consumers.
+		p.cfg.PatternStore.Prune(wm - p.cfg.PatternRetention)
+	}
 }
 
 // DeliverSink injects one sink record produced by a remote last stage.

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/transport/tcpnet"
@@ -106,6 +107,13 @@ func TopologyStageNames(cfg Config) ([]string, error) {
 // (Start, PushSnapshot, Finish); clustering-internal metrics
 // (ClusterLatency, AvgClusterSize) are recorded on the workers and stay
 // empty here.
+//
+// With checkpointing enabled the coordinator drives the whole protocol: it
+// injects barriers on the data plane (they ride the stage-0 edges like any
+// record), collects worker acks over the control plane, and commits
+// manifests to its local store. On resume it ships each worker its share
+// of the checkpointed operator state inside the handshake, so workers need
+// no access to the checkpoint directory.
 func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -118,7 +126,29 @@ func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Run(stages, spec); err != nil {
+	// On resume, load the latest completed checkpoint's state blobs before
+	// the handshake; the store instance is shared with the pipeline's
+	// checkpoint runner so both see the same checkpoint.
+	var restore map[string][]byte
+	if cfg.Resume {
+		if cfg.CheckpointStore == nil {
+			if cfg.CheckpointStore, err = ckpt.NewDirStore(cfg.CheckpointDir); err != nil {
+				return nil, err
+			}
+		}
+		// Validate before the handshake so a config mismatch fails the
+		// coordinator cleanly instead of stranding joined workers.
+		man, err := resumeManifest(cfg.CheckpointStore, spec)
+		if err != nil {
+			return nil, err
+		}
+		if man != nil {
+			if restore, err = restoreBlobs(cfg.CheckpointStore, man); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.Run(stages, spec, restore); err != nil {
 		return nil, err
 	}
 	cfg.Transport = c.Transport()
@@ -136,6 +166,8 @@ func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 	// frame can race the installation or hit a nil hook.
 	c.OnSink(p.DeliverSink)
 	c.OnSinkWatermark(p.DeliverSinkWatermark)
+	c.OnCheckpointAck(p.DeliverCheckpointAck)
+	c.OnSinkBarrier(p.DeliverSinkBarrier)
 	c.Start()
 	return p, nil
 }
@@ -174,6 +206,12 @@ func RunWorker(coordAddr string) (WorkerStats, error) {
 	}
 	g.Transport = w.Transport()
 	g.Local = w.LocalStage
+	// Checkpoint plumbing: snapshots taken at aligned barriers are acked to
+	// the coordinator, the sink-cut barrier is forwarded with the sink
+	// stream, and handshake-shipped state is restored before any input.
+	g.OnCheckpointState = w.CheckpointAck()
+	g.SinkBarrier = w.SinkBarrier()
+	g.Restore = w.RestoreState
 	pl, err := g.Build()
 	if err != nil {
 		return WorkerStats{}, err

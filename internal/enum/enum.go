@@ -78,9 +78,12 @@ type Enumerator interface {
 // NewFunc constructs a fresh enumerator for one owner subtask.
 type NewFunc func(owner model.ObjectID, c model.Constraints) Enumerator
 
-// tickSet is one tick's membership within a subtask's history.
+// tickSet is one tick's membership within a subtask's history. The sorted
+// id slice is retained beside the lookup map so checkpoint serialization
+// walks it directly instead of re-sorting map keys on every barrier.
 type tickSet struct {
 	tick    model.Tick
+	ids     []model.ObjectID // sorted ascending (Partition order)
 	members map[model.ObjectID]struct{}
 }
 
@@ -89,7 +92,7 @@ func newTickSet(p Partition) tickSet {
 	for _, id := range p.Members {
 		m[id] = struct{}{}
 	}
-	return tickSet{tick: p.Tick, members: m}
+	return tickSet{tick: p.Tick, ids: p.Members, members: m}
 }
 
 // history is a sliding window of tickSets shared by the windowed

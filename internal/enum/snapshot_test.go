@@ -1,0 +1,110 @@
+package enum
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/model"
+)
+
+// feedRange runs parts[from:to] through e, collecting emissions.
+func feedRange(e Enumerator, parts []Partition, from, to int, out *[]model.Pattern) {
+	for _, p := range parts[from:to] {
+		e.Process(p, func(pat model.Pattern) { *out = append(*out, pat) })
+	}
+}
+
+// Snapshotting an enumerator between two partitions and restoring the blob
+// into a freshly constructed instance must be invisible: the concatenated
+// emissions (pre-cut from the original, post-cut + flush from the restored
+// copy) equal an uninterrupted run's, at every cut point. This is exactly
+// the property crash recovery relies on — the checkpoint cut falls between
+// two ticks of the partition stream.
+func TestSnapshotRestoreMidStream(t *testing.T) {
+	methods := map[string]NewFunc{"BA": NewBA, "FBA": NewFBA, "VBA": NewVBA}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		hist := genHistory(rng, 7, 24)
+		c := genConstraints(rng)
+		perOwner := make(map[model.ObjectID][]Partition)
+		for _, cs := range hist {
+			for _, p := range PartitionClusters(cs, c.M) {
+				perOwner[p.Owner] = append(perOwner[p.Owner], p)
+			}
+		}
+		for name, mk := range methods {
+			for owner, parts := range perOwner {
+				var full []model.Pattern
+				ref := mk(owner, c)
+				feedRange(ref, parts, 0, len(parts), &full)
+				ref.Flush(func(p model.Pattern) { full = append(full, p) })
+				SortPatterns(full)
+
+				for _, cut := range []int{0, len(parts) / 3, len(parts) / 2, len(parts)} {
+					var got []model.Pattern
+					first := mk(owner, c)
+					feedRange(first, parts, 0, cut, &got)
+					blob, err := first.(ckpt.Snapshotter).SnapshotState()
+					if err != nil {
+						t.Fatalf("%s seed %d: snapshot at %d: %v", name, seed, cut, err)
+					}
+					second := mk(owner, c)
+					if len(blob) > 0 {
+						if err := second.(ckpt.Snapshotter).RestoreState(blob); err != nil {
+							t.Fatalf("%s seed %d: restore at %d: %v", name, seed, cut, err)
+						}
+					}
+					feedRange(second, parts, cut, len(parts), &got)
+					second.Flush(func(p model.Pattern) { got = append(got, p) })
+					SortPatterns(got)
+					if !patternsEqual(got, full) {
+						t.Fatalf("%s seed %d owner %d cut %d: %d patterns, want %d\n got %v\nwant %v",
+							name, seed, owner, cut, len(got), len(full), got, full)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A blob restored into the wrong enumerator type must fail loudly.
+func TestRestoreRejectsWrongMethod(t *testing.T) {
+	c := paperConstraints()
+	f := NewFBA(1, c).(*FBA)
+	f.Process(Partition{Tick: 1, Owner: 1, Members: []model.ObjectID{2, 3, 4}}, func(model.Pattern) {})
+	blob, err := f.SnapshotState()
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("snapshot = %v, %v", blob, err)
+	}
+	v := NewVBA(1, c).(*VBA)
+	if err := v.RestoreState(blob); err == nil {
+		t.Fatal("VBA accepted an FBA blob")
+	}
+	b := NewBA(1, c).(*BA)
+	if err := b.RestoreState(blob); err == nil {
+		t.Fatal("BA accepted an FBA blob")
+	}
+}
+
+// Truncated blobs must produce errors, not panics or silent corruption.
+func TestRestoreRejectsTruncatedBlob(t *testing.T) {
+	c := paperConstraints()
+	v := NewVBA(1, c).(*VBA)
+	for _, p := range []Partition{
+		{Tick: 1, Owner: 1, Members: []model.ObjectID{2, 3}},
+		{Tick: 2, Owner: 1, Members: []model.ObjectID{2, 3}},
+	} {
+		v.Process(p, func(model.Pattern) {})
+	}
+	blob, err := v.SnapshotState()
+	if err != nil || len(blob) < 4 {
+		t.Fatalf("snapshot = %d bytes, %v", len(blob), err)
+	}
+	for cut := 2; cut < len(blob); cut++ {
+		fresh := NewVBA(1, c).(*VBA)
+		if err := fresh.RestoreState(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package flow
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// countOp counts records and forwards them; its state is the count. It is
+// the minimal stateful operator for exercising the checkpoint machinery.
+type countOp struct {
+	BaseOperator
+	count uint64
+}
+
+func (c *countOp) Process(data any, out *Collector) {
+	c.count++
+	out.Emit(uint64(data.(int)), data)
+}
+
+func (c *countOp) SnapshotState() ([]byte, error) {
+	return binary.AppendUvarint(nil, c.count), nil
+}
+
+func (c *countOp) RestoreState(data []byte) error {
+	c.count, _ = binary.Uvarint(data)
+	return nil
+}
+
+// ackSink collects checkpoint acks keyed by (id, stage, subtask).
+type ackSink struct {
+	mu   sync.Mutex
+	acks map[uint64]map[[2]int][]byte
+}
+
+func newAckSink() *ackSink { return &ackSink{acks: make(map[uint64]map[[2]int][]byte)} }
+
+func (a *ackSink) on(id uint64, stage, subtask int, state []byte, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.acks[id] == nil {
+		a.acks[id] = make(map[[2]int][]byte)
+	}
+	a.acks[id][[2]int{stage, subtask}] = state
+}
+
+func (a *ackSink) forID(id uint64) map[[2]int][]byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acks[id]
+}
+
+// A barrier injected between two record groups must capture a consistent
+// cut: the summed stage-0 and stage-1 counts in the checkpoint both equal
+// the number of pre-barrier records, no matter how many post-barrier
+// records race the alignment.
+func TestBarrierConsistentCut(t *testing.T) {
+	acks := newAckSink()
+	var sunk int64
+	var sinkMu sync.Mutex
+	barrierDone := make(chan uint64, 4)
+	p := NewPipeline(Config{
+		Sink: func(any) {
+			sinkMu.Lock()
+			sunk++
+			sinkMu.Unlock()
+		},
+		OnCheckpointState: acks.on,
+		SinkBarrier:       func(id uint64) { barrierDone <- id },
+	},
+		StageSpec{Name: "a", Parallelism: 3, Make: func(int) Operator { return &countOp{} }, OutBatch: 4},
+		StageSpec{Name: "b", Parallelism: 2, Make: func(int) Operator { return &countOp{} }},
+	)
+	p.Start()
+	const pre, post = 200, 150
+	for i := 0; i < pre; i++ {
+		p.Submit(uint64(i), i)
+	}
+	p.SubmitBarrier(1)
+	for i := 0; i < post; i++ {
+		p.Submit(uint64(pre+i), pre+i)
+	}
+	p.Drain()
+
+	select {
+	case id := <-barrierDone:
+		if id != 1 {
+			t.Fatalf("sink barrier id = %d", id)
+		}
+	default:
+		t.Fatal("sink barrier never fired")
+	}
+	got := acks.forID(1)
+	if len(got) != 5 {
+		t.Fatalf("checkpoint 1 has %d acks, want 5", len(got))
+	}
+	sums := map[int]uint64{}
+	for key, state := range got {
+		n, _ := binary.Uvarint(state)
+		sums[key[0]] += n
+	}
+	if sums[0] != pre || sums[1] != pre {
+		t.Fatalf("checkpoint cut counts = %v, want %d per stage", sums, pre)
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if sunk != pre+post {
+		t.Fatalf("sink received %d records, want %d", sunk, pre+post)
+	}
+}
+
+// Restored state must reach operators before any input is processed.
+func TestRestoreBeforeInput(t *testing.T) {
+	acks := newAckSink()
+	restore := func(stage, subtask int) []byte {
+		return binary.AppendUvarint(nil, uint64(100*(stage+1)+subtask))
+	}
+	p := NewPipeline(Config{
+		OnCheckpointState: acks.on,
+		Restore:           restore,
+	},
+		StageSpec{Name: "a", Parallelism: 2, Make: func(int) Operator { return &countOp{} }},
+		StageSpec{Name: "b", Parallelism: 2, Make: func(int) Operator { return &countOp{} }},
+	)
+	p.Start()
+	const n = 10
+	for i := 0; i < n; i++ {
+		p.Submit(uint64(i), i)
+	}
+	p.SubmitBarrier(5)
+	p.Drain()
+	got := acks.forID(5)
+	if len(got) != 4 {
+		t.Fatalf("%d acks, want 4", len(got))
+	}
+	var sums [2]uint64
+	for key, state := range got {
+		c, _ := binary.Uvarint(state)
+		sums[key[0]] += c
+	}
+	// Each stage restored 100*(stage+1)+0 + 100*(stage+1)+1 and then
+	// processed n records.
+	if want := uint64(201 + n); sums[0] != want {
+		t.Fatalf("stage 0 restored+processed = %d, want %d", sums[0], want)
+	}
+	if want := uint64(401 + n); sums[1] != want {
+		t.Fatalf("stage 1 restored+processed = %d, want %d", sums[1], want)
+	}
+}
+
+// Watermarks crossing a barrier must stay ordered per sender: a watermark
+// submitted after the barrier may not advance the merged watermark at a
+// downstream subtask before the barrier completes there. The slowOp delays
+// barrier arrival from one sender so alignment actually buffers.
+func TestBarrierHoldsBackAlignedInput(t *testing.T) {
+	var mu sync.Mutex
+	var events []wmRec
+	snapshotted := false
+
+	mkObserver := func(int) Operator { return &wmObserver{mu: &mu, events: &events, snapshotted: &snapshotted} }
+	p := NewPipeline(Config{
+		OnCheckpointState: func(id uint64, stage, subtask int, state []byte, err error) {},
+	},
+		StageSpec{Name: "slow", Parallelism: 2, Make: func(s int) Operator { return &slowOp{slow: s == 0} }},
+		StageSpec{Name: "observe", Parallelism: 1, Make: mkObserver},
+	)
+	p.Start()
+	p.Submit(0, 1) // routes somewhere; irrelevant
+	p.SubmitBarrier(1)
+	p.SubmitWatermark(50) // post-barrier watermark
+	p.Drain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, e := range events {
+		if e.wm >= 50 && !e.after {
+			t.Fatalf("watermark %d observed before the aligned snapshot", e.wm)
+		}
+	}
+}
+
+// slowOp delays its barrier forwarding (via slow Process of the record
+// ahead of it) on one subtask, forcing the downstream alignment to buffer
+// the fast subtask's post-barrier watermark.
+type slowOp struct {
+	BaseOperator
+	slow bool
+}
+
+func (s *slowOp) Process(data any, out *Collector) {
+	if s.slow {
+		time.Sleep(50 * time.Millisecond)
+	}
+	out.Emit(0, data)
+}
+
+// wmRec is one watermark observation: its value and whether the observing
+// operator had already taken its barrier snapshot.
+type wmRec struct {
+	wm    model.Tick
+	after bool
+}
+
+type wmObserver struct {
+	BaseOperator
+	mu          *sync.Mutex
+	events      *[]wmRec
+	snapshotted *bool
+}
+
+func (w *wmObserver) Process(any, *Collector) {}
+
+func (w *wmObserver) OnWatermark(wm model.Tick, _ *Collector) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	*w.events = append(*w.events, wmRec{wm, *w.snapshotted})
+}
+
+func (w *wmObserver) SnapshotState() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	*w.snapshotted = true
+	return nil, nil
+}
+
+func (w *wmObserver) RestoreState([]byte) error { return nil }

@@ -96,13 +96,15 @@ func DecodePayload(data []byte) (any, error) {
 const (
 	flagWatermark = 1 << iota
 	flagBatch
+	flagBarrier
 )
 
 // AppendMessage encodes a transport message — data record, Batch carrier,
-// or watermark envelope — onto buf:
+// watermark, or checkpoint-barrier envelope — onto buf:
 //
 //	[flags][From uvarint]
 //	watermark: [WM varint]
+//	barrier:   [CP uvarint]
 //	batch:     [count uvarint] then per item [len uvarint][kind][body]
 //	record:    [kind][body]
 //
@@ -113,6 +115,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	switch {
 	case m.IsWM:
 		flags = flagWatermark
+	case m.IsBarrier:
+		flags = flagBarrier
 	case isBatch:
 		flags = flagBatch
 	}
@@ -121,6 +125,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	switch {
 	case m.IsWM:
 		return binary.AppendVarint(buf, int64(m.WM)), nil
+	case m.IsBarrier:
+		return binary.AppendUvarint(buf, m.CP), nil
 	case isBatch:
 		buf = binary.AppendUvarint(buf, uint64(len(batch.Items)))
 		var scratch []byte
@@ -151,10 +157,19 @@ func DecodeMessage(data []byte) (Message, error) {
 			return Message{}, err
 		}
 		return Message{From: from, WM: model.Tick(wm), IsWM: true}, nil
+	case flags&flagBarrier != 0:
+		cp := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return Message{}, err
+		}
+		return Message{From: from, CP: cp, IsBarrier: true}, nil
 	case flags&flagBatch != 0:
 		n := int(d.Uvarint())
 		if err := d.Err(); err != nil {
 			return Message{}, err
+		}
+		if n < 0 || n > d.Remaining() { // each item needs at least a length byte
+			return Message{}, fmt.Errorf("flow: batch count %d exceeds payload", n)
 		}
 		items := make([]any, 0, n)
 		for i := 0; i < n; i++ {
@@ -258,6 +273,24 @@ func (d *Dec) Bytes(n int) []byte {
 	v := d.b[d.off : d.off+n]
 	d.off += n
 	return v
+}
+
+// Remaining returns the number of unconsumed bytes. Decoders use it to
+// bound allocations before trusting a length prefix from the wire.
+func (d *Dec) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
+// Failf marks the decoder as failed (sticky, like a short read). Decoders
+// call it when a length prefix is inconsistent with the remaining payload,
+// so the corruption surfaces in Err instead of being silently skipped.
+func (d *Dec) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("flow: "+format+" at offset %d", append(args, d.off)...)
+	}
 }
 
 // Rest returns everything not yet consumed.

@@ -9,12 +9,14 @@ const (
 )
 
 // outEvent is a pending emission: routed (to >= 0), broadcast, sink-bound,
-// or a watermark (isWM).
+// a watermark (isWM), or a checkpoint barrier (isBarrier).
 type outEvent struct {
-	to   int
-	data any
-	wm   model.Tick
-	isWM bool
+	to        int
+	data      any
+	wm        model.Tick
+	isWM      bool
+	cp        uint64
+	isBarrier bool
 }
 
 // Collector lets an operator emit records and watermarks downstream. One
@@ -81,6 +83,16 @@ func (c *Collector) Watermark(wm model.Tick) {
 	c.buf = append(c.buf, outEvent{wm: wm, isWM: true})
 }
 
+// Barrier broadcasts a checkpoint barrier downstream (the runtime calls it
+// after the subtask's state snapshot; operators never emit barriers). Open
+// batches are sealed first so every pre-barrier record stays ahead of the
+// barrier on its edge — the FIFO property that makes the checkpoint a
+// consistent cut.
+func (c *Collector) Barrier(id uint64) {
+	c.sealAll()
+	c.buf = append(c.buf, outEvent{cp: id, isBarrier: true})
+}
+
 // seal closes destination to's open batch and queues it for delivery.
 func (c *Collector) seal(to int) {
 	c.buf = append(c.buf, outEvent{to: to, data: Batch{Items: c.pending[to]}})
@@ -101,6 +113,14 @@ func (c *Collector) sealAll() {
 func (c *Collector) flush() {
 	for _, oe := range c.buf {
 		switch {
+		case oe.isBarrier:
+			if c.next == nil {
+				c.p.sinkBarrier(c.subtask, oe.cp)
+			} else {
+				for _, ep := range c.next {
+					ep.Send(Message{From: c.subtask, CP: oe.cp, IsBarrier: true})
+				}
+			}
 		case oe.isWM:
 			if c.next == nil {
 				c.p.sinkWM(c.subtask, oe.wm)
@@ -110,7 +130,7 @@ func (c *Collector) flush() {
 				}
 			}
 		case oe.to == sinkDest:
-			c.p.sink(oe.data)
+			c.p.sink(c.subtask, oe.data)
 		case oe.to == broadcastDest:
 			for _, ep := range c.next {
 				ep.Send(Message{From: c.subtask, Data: oe.data})

@@ -87,11 +87,16 @@ type Pipeline struct {
 
 	slots chan struct{} // nil = unbounded (no cluster simulation)
 
-	sinkMu   sync.Mutex
-	sinkFn   func(any)
-	sinkWMFn func(model.Tick)
-	sinkWMs  map[int]model.Tick
-	sinkLow  model.Tick
+	sinkMu     sync.Mutex
+	sinkFn     func(any)
+	sinkWMFn   func(model.Tick)
+	sinkWMs    map[int]model.Tick
+	sinkLow    model.Tick
+	sinkAligns []*sinkAlign // in-flight barrier alignments at the sink
+
+	onCkpt    func(id uint64, stage, subtask int, state []byte, err error)
+	sinkBarFn func(id uint64)
+	restoreFn func(stage, subtask int) []byte
 
 	started bool
 }
@@ -113,6 +118,22 @@ type Config struct {
 	// Transport, and closing them across the process boundary is the
 	// transport's job (end-of-stream propagation).
 	Local func(stage int) bool
+	// OnCheckpointState receives one subtask's state snapshot when it
+	// completes barrier alignment for checkpoint id, before the barrier is
+	// forwarded downstream. state is nil for operators without a
+	// SnapshotState method; err reports a snapshot failure (the checkpoint
+	// coordinator aborts that checkpoint id). Called from subtask
+	// goroutines; implementations must be safe for concurrent use.
+	OnCheckpointState func(id uint64, stage, subtask int, state []byte, err error)
+	// SinkBarrier is invoked once per checkpoint id after every last-stage
+	// subtask has forwarded its barrier to the sink — i.e. when all sink
+	// records of the checkpoint's stream prefix have been delivered. The
+	// driver uses it as the output-commit cut for exactly-once sinks.
+	SinkBarrier func(id uint64)
+	// Restore supplies a subtask's checkpointed state, applied via the
+	// operator's RestoreState method before any input is processed (nil
+	// function or nil/empty blob = fresh start).
+	Restore func(stage, subtask int) []byte
 }
 
 // NewPipeline builds a pipeline; Start must be called before Submit.
@@ -125,11 +146,14 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 		tr = Channels()
 	}
 	p := &Pipeline{
-		stages:  stages,
-		recs:    make([]int64, len(stages)),
-		sinkFn:  cfg.Sink,
-		sinkWMs: make(map[int]model.Tick),
-		sinkLow: minWM,
+		stages:    stages,
+		recs:      make([]int64, len(stages)),
+		sinkFn:    cfg.Sink,
+		sinkWMs:   make(map[int]model.Tick),
+		sinkLow:   minWM,
+		onCkpt:    cfg.OnCheckpointState,
+		sinkBarFn: cfg.SinkBarrier,
+		restoreFn: cfg.Restore,
 	}
 	p.local = make([]bool, len(stages))
 	for i := range p.local {
@@ -197,21 +221,59 @@ func (p *Pipeline) Start() {
 
 const minWM = model.Tick(-1 << 62)
 
+// snapshotter/restorer are the structural forms of ckpt.Snapshotter,
+// type-asserted here so the runtime stays free of subsystem imports.
+type snapshotter interface {
+	SnapshotState() ([]byte, error)
+}
+
+type restorer interface {
+	RestoreState(data []byte) error
+}
+
+// alignState tracks one in-flight barrier at a subtask: which senders have
+// delivered it, and the post-barrier input from those senders that must be
+// held back until the cut is complete. Several barriers can be in flight
+// at once (the source keeps injecting on its interval while earlier
+// barriers still propagate); alignments then form a queue, ordered by
+// first arrival — which every sender agrees on, because senders emit
+// barriers in injection order and edges are FIFO. Only the head of the
+// queue can complete: all senders passing barrier k implies all passed
+// k-1 first.
+type alignState struct {
+	id      uint64
+	arrived []bool
+	n       int
+	held    []Message
+}
+
 // runSubtask is the subtask main loop.
 func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []Endpoint) {
 	defer p.wgs[stage].Done()
 	out := newCollector(p, subtask, next, p.stages[stage].OutBatch)
+	if p.restoreFn != nil {
+		if blob := p.restoreFn(stage, subtask); len(blob) > 0 {
+			r, ok := op.(restorer)
+			if !ok {
+				panic(fmt.Sprintf("flow: stage %q has checkpointed state but its operator is no Snapshotter",
+					p.stages[stage].Name))
+			}
+			if err := r.RestoreState(blob); err != nil {
+				panic(fmt.Sprintf("flow: stage %q subtask %d restore: %v",
+					p.stages[stage].Name, subtask, err))
+			}
+		}
+	}
 	wms := make([]model.Tick, senders)
 	for i := range wms {
 		wms[i] = minWM
 	}
 	merged := minWM
 	in := p.inputs[stage][subtask]
-	for {
-		ev, ok := in.Recv()
-		if !ok {
-			break
-		}
+
+	// handle processes one data or watermark message (barriers are handled
+	// by the alignment logic in the main loop).
+	handle := func(ev Message) {
 		p.acquire()
 		switch {
 		case ev.IsWM:
@@ -242,6 +304,78 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 		}
 		p.release()
 		out.flush()
+	}
+
+	// complete snapshots the operator at the aligned cut, acks, forwards
+	// the barrier, and replays the input held back during alignment.
+	complete := func(a *alignState) {
+		p.acquire()
+		var state []byte
+		var err error
+		if s, ok := op.(snapshotter); ok {
+			state, err = s.SnapshotState()
+		}
+		p.release()
+		if p.onCkpt != nil {
+			p.onCkpt(a.id, stage, subtask, state, err)
+		}
+		out.Barrier(a.id)
+		out.flush()
+		for _, h := range a.held {
+			handle(h)
+		}
+	}
+
+	var aligns []*alignState // in-flight barriers, oldest first
+	for {
+		ev, ok := in.Recv()
+		if !ok {
+			break
+		}
+		if ev.IsBarrier {
+			var a *alignState
+			for _, x := range aligns {
+				if x.id == ev.CP {
+					a = x
+					break
+				}
+			}
+			if a == nil {
+				a = &alignState{id: ev.CP, arrived: make([]bool, senders)}
+				aligns = append(aligns, a)
+			}
+			if ev.From >= 0 && ev.From < senders && !a.arrived[ev.From] {
+				a.arrived[ev.From] = true
+				a.n++
+			}
+			for len(aligns) > 0 && aligns[0].n == senders {
+				head := aligns[0]
+				aligns = aligns[1:]
+				complete(head)
+			}
+			continue
+		}
+		// Hold input from senders that already passed a pending barrier, in
+		// the deepest such alignment (per-sender FIFO: a sender's records
+		// after its k-th barrier belong behind cut k).
+		held := false
+		for i := len(aligns) - 1; i >= 0; i-- {
+			if ev.From >= 0 && ev.From < senders && aligns[i].arrived[ev.From] {
+				aligns[i].held = append(aligns[i].held, ev)
+				held = true
+				break
+			}
+		}
+		if !held {
+			handle(ev)
+		}
+	}
+	// Stream ended mid-alignment (those checkpoints can never complete);
+	// release all held input in cut order so no record is lost.
+	for _, a := range aligns {
+		for _, h := range a.held {
+			handle(h)
+		}
 	}
 	p.acquire()
 	op.Close(out)
@@ -279,6 +413,16 @@ func (p *Pipeline) SubmitAll(data any) {
 func (p *Pipeline) SubmitWatermark(wm model.Tick) {
 	for _, ep := range p.inputs[0] {
 		ep.Send(Message{From: 0, WM: wm, IsWM: true})
+	}
+}
+
+// SubmitBarrier injects the barrier for checkpoint id at the source,
+// broadcast to every stage-0 subtask. The records submitted before it form
+// the checkpoint's stream prefix; the driver must record the matching
+// replayable source position before calling (see internal/ckpt).
+func (p *Pipeline) SubmitBarrier(id uint64) {
+	for _, ep := range p.inputs[0] {
+		ep.Send(Message{From: 0, CP: id, IsBarrier: true})
 	}
 }
 
@@ -326,32 +470,75 @@ func (p *Pipeline) StageRecords() []int64 {
 	return out
 }
 
-// sink delivers a record from the last stage, serialized.
-func (p *Pipeline) sink(data any) {
-	if p.sinkFn == nil {
-		return
-	}
-	p.sinkMu.Lock()
-	defer p.sinkMu.Unlock()
-	p.sinkFn(data)
+// sinkAlign is the sink-side counterpart of alignState: the sink behaves
+// like one more (virtual) subtask fed by every last-stage subtask, so the
+// output-commit cut needs the same alignment — a subtask that already
+// passed barrier k may keep emitting while slower peers have not, and
+// those post-cut records must not leak into checkpoint k's batch. Without
+// this, a crash-and-resume would re-derive (and duplicate) them.
+type sinkAlign struct {
+	id      uint64
+	arrived []bool
+	n       int
+	held    []sinkEvent
 }
 
-// sinkWM merges last-stage watermarks and forwards the low-water mark.
+// sinkEvent is one buffered sink delivery (record or watermark).
+type sinkEvent struct {
+	from int
+	data any
+	wm   model.Tick
+	isWM bool
+}
+
+// sink delivers a record from the last stage, serialized and aligned.
+func (p *Pipeline) sink(from int, data any) {
+	p.sinkMu.Lock()
+	defer p.sinkMu.Unlock()
+	p.sinkDeliver(sinkEvent{from: from, data: data})
+}
+
+// sinkWM routes a last-stage watermark through the sink alignment.
 func (p *Pipeline) sinkWM(from int, wm model.Tick) {
+	p.sinkMu.Lock()
+	defer p.sinkMu.Unlock()
+	p.sinkDeliver(sinkEvent{from: from, wm: wm, isWM: true})
+}
+
+// sinkDeliver applies one event, or holds it while its sender is past a
+// pending sink barrier (deepest such alignment first; per-sender FIFO puts
+// the event behind that cut). Callers hold sinkMu.
+func (p *Pipeline) sinkDeliver(ev sinkEvent) {
+	for i := len(p.sinkAligns) - 1; i >= 0; i-- {
+		a := p.sinkAligns[i]
+		if ev.from >= 0 && ev.from < len(a.arrived) && a.arrived[ev.from] {
+			a.held = append(a.held, ev)
+			return
+		}
+	}
+	p.sinkApply(ev)
+}
+
+// sinkApply performs one sink delivery. Callers hold sinkMu.
+func (p *Pipeline) sinkApply(ev sinkEvent) {
+	if !ev.isWM {
+		if p.sinkFn != nil {
+			p.sinkFn(ev.data)
+		}
+		return
+	}
 	if p.sinkWMFn == nil {
 		return
 	}
-	p.sinkMu.Lock()
-	defer p.sinkMu.Unlock()
-	if old, ok := p.sinkWMs[from]; ok && old >= wm {
+	if old, ok := p.sinkWMs[ev.from]; ok && old >= ev.wm {
 		return
 	}
-	p.sinkWMs[from] = wm
+	p.sinkWMs[ev.from] = ev.wm
 	last := len(p.stages) - 1
 	if len(p.sinkWMs) < p.stages[last].Parallelism {
 		return
 	}
-	low := wm
+	low := ev.wm
 	for _, w := range p.sinkWMs {
 		if w < low {
 			low = w
@@ -360,6 +547,46 @@ func (p *Pipeline) sinkWM(from int, wm model.Tick) {
 	if low > p.sinkLow {
 		p.sinkLow = low
 		p.sinkWMFn(low)
+	}
+}
+
+// sinkBarrier aligns checkpoint barriers across the last stage's subtasks
+// at the sink. When the oldest alignment completes, every pre-cut record
+// has been delivered and no post-cut record has: the SinkBarrier hook
+// fires at the exact output-commit cut, then held deliveries replay.
+func (p *Pipeline) sinkBarrier(from int, id uint64) {
+	last := len(p.stages) - 1
+	par := p.stages[last].Parallelism
+	p.sinkMu.Lock()
+	defer p.sinkMu.Unlock()
+	var a *sinkAlign
+	for _, x := range p.sinkAligns {
+		if x.id == id {
+			a = x
+			break
+		}
+	}
+	if a == nil {
+		a = &sinkAlign{id: id, arrived: make([]bool, par)}
+		p.sinkAligns = append(p.sinkAligns, a)
+	}
+	if from >= 0 && from < par && !a.arrived[from] {
+		a.arrived[from] = true
+		a.n++
+	}
+	for len(p.sinkAligns) > 0 && p.sinkAligns[0].n == par {
+		head := p.sinkAligns[0]
+		p.sinkAligns = p.sinkAligns[1:]
+		if p.sinkBarFn != nil {
+			p.sinkBarFn(head.id)
+		}
+		// Replayed events are applied directly, never re-held: an event
+		// held under cut k precedes its sender's next barrier (later
+		// events were held one alignment deeper at arrival), so it belongs
+		// to batch k+1, whose cut has not fired yet.
+		for _, ev := range head.held {
+			p.sinkApply(ev)
+		}
 	}
 }
 
@@ -409,6 +636,20 @@ func (r *ReorderBuffer) ReleaseAll() []any {
 
 // Len returns the number of buffered ticks.
 func (r *ReorderBuffer) Len() int { return len(r.byTick) }
+
+// BufferedTicks returns the buffered ticks in ascending order (state
+// snapshots walk the buffer deterministically).
+func (r *ReorderBuffer) BufferedTicks() []model.Tick {
+	ticks := make([]model.Tick, 0, len(r.byTick))
+	for t := range r.byTick {
+		ticks = append(ticks, t)
+	}
+	sortTicks(ticks)
+	return ticks
+}
+
+// Items returns the items buffered under tick t, in insertion order.
+func (r *ReorderBuffer) Items(t model.Tick) []any { return r.byTick[t] }
 
 func sortTicks(ts []model.Tick) {
 	// Insertion sort: tick batches are small and nearly sorted.

@@ -77,6 +77,7 @@ type Harness struct {
 func Run(t *testing.T, h Harness) {
 	t.Run("DeliveryFIFO", func(t *testing.T) { testDeliveryFIFO(t, h) })
 	t.Run("Watermarks", func(t *testing.T) { testWatermarks(t, h) })
+	t.Run("Barriers", func(t *testing.T) { testBarriers(t, h) })
 	t.Run("Batches", func(t *testing.T) { testBatches(t, h) })
 	t.Run("Backpressure", func(t *testing.T) { testBackpressure(t, h) })
 	t.Run("CloseDrain", func(t *testing.T) { testCloseDrain(t, h) })
@@ -188,6 +189,77 @@ func testWatermarks(t *testing.T, h Harness) {
 		if !w.IsWM {
 			if p, _ := m.Data.(Payload); p.Seq != w.Data.(Payload).Seq {
 				t.Fatalf("message %d payload = %+v, want %+v", i, m.Data, w.Data)
+			}
+		}
+	}
+	if _, ok := recv[0].Recv(); ok {
+		t.Error("extra message after close")
+	}
+}
+
+// testBarriers: checkpoint-barrier envelopes keep From/CP and arrive in
+// order interleaved with records, watermarks, and batches — the FIFO
+// property the aligned-checkpoint protocol's consistent cut rests on. A
+// transport that reorders a record past a barrier (or drops the barrier's
+// checkpoint id) would silently corrupt every checkpoint taken over it.
+func testBarriers(t *testing.T, h Harness) {
+	send, recv := h.Edge(t, "barrier", 1, 4)
+	go func() {
+		send[0].Send(flow.Message{From: 1, Data: Payload{Sender: 1, Seq: 1}})
+		send[0].Send(flow.Message{From: 1, CP: 7, IsBarrier: true})
+		send[0].Send(flow.Message{From: 1, Data: flow.Batch{Items: []any{Payload{Sender: 1, Seq: 2}}}})
+		send[0].Send(flow.Message{From: 1, WM: 9, IsWM: true})
+		send[0].Send(flow.Message{From: 1, CP: 8, IsBarrier: true})
+		send[0].Close()
+	}()
+	type expect struct {
+		barrier bool
+		cp      uint64
+		wm      bool
+		seq     int64
+	}
+	want := []expect{
+		{seq: 1},
+		{barrier: true, cp: 7},
+		{seq: 2},
+		{wm: true},
+		{barrier: true, cp: 8},
+	}
+	for i, w := range want {
+		m, ok := recv[0].Recv()
+		if !ok {
+			t.Fatalf("stream ended at message %d", i)
+		}
+		if m.From != 1 {
+			t.Fatalf("message %d From = %d, want 1", i, m.From)
+		}
+		switch {
+		case w.barrier:
+			if !m.IsBarrier || m.CP != w.cp {
+				t.Fatalf("message %d = %+v, want barrier cp=%d", i, m, w.cp)
+			}
+		case w.wm:
+			if !m.IsWM || m.WM != 9 {
+				t.Fatalf("message %d = %+v, want watermark 9", i, m)
+			}
+		default:
+			if m.IsBarrier || m.IsWM {
+				t.Fatalf("message %d = %+v, want data seq %d", i, m, w.seq)
+			}
+			var got int64
+			switch d := m.Data.(type) {
+			case Payload:
+				got = d.Seq
+			case flow.Batch:
+				if len(d.Items) != 1 {
+					t.Fatalf("message %d batch has %d items", i, len(d.Items))
+				}
+				got = d.Items[0].(Payload).Seq
+			default:
+				t.Fatalf("message %d data %T", i, m.Data)
+			}
+			if got != w.seq {
+				t.Fatalf("message %d seq = %d, want %d", i, got, w.seq)
 			}
 		}
 	}

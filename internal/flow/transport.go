@@ -4,16 +4,25 @@ import "repro/internal/model"
 
 // Message is the transport-level envelope exchanged between subtasks. Data
 // holds either a single record or a Batch of records coalesced on a keyed
-// exchange; watermarks travel as dedicated messages with IsWM set.
+// exchange; watermarks and checkpoint barriers travel as dedicated messages
+// with IsWM or IsBarrier set.
 type Message struct {
 	// From is the sender subtask index (0 for the pipeline source).
 	From int
-	// Data is the record payload (possibly a Batch); nil for watermarks.
+	// Data is the record payload (possibly a Batch); nil for watermarks and
+	// barriers.
 	Data any
 	// WM is the watermark value when IsWM is set.
 	WM model.Tick
 	// IsWM marks a watermark message.
 	IsWM bool
+	// CP is the checkpoint id when IsBarrier is set.
+	CP uint64
+	// IsBarrier marks an aligned-checkpoint barrier message: a promise that
+	// every record of the checkpoint's stream prefix precedes it on this
+	// edge. Barriers are injected at the source (SubmitBarrier), aligned and
+	// forwarded by the runtime; operators never see them.
+	IsBarrier bool
 }
 
 // Batch is the carrier for records coalesced on a keyed exchange. Senders

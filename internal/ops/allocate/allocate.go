@@ -6,12 +6,15 @@
 package allocate
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/flow"
 	"repro/internal/grid"
 	"repro/internal/join"
 	"repro/internal/model"
 	"repro/internal/ops/msg"
 )
+
+var _ ckpt.Snapshotter = (*Op)(nil)
 
 // Op is the GridAllocate operator. It is stateless; one instance per
 // subtask.
@@ -30,6 +33,14 @@ type Op struct {
 func New(cellWidth, eps float64, mode grid.Mode) *Op {
 	return &Op{CellWidth: cellWidth, Eps: eps, Mode: mode}
 }
+
+// SnapshotState implements ckpt.Snapshotter: the operator is stateless, so
+// its checkpoint contribution is deliberately empty — documented here
+// rather than left to the runtime's nil fallback.
+func (a *Op) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements ckpt.Snapshotter (no state to restore).
+func (a *Op) RestoreState([]byte) error { return nil }
 
 // Process splits one snapshot into cell tasks.
 func (a *Op) Process(data any, out *flow.Collector) {

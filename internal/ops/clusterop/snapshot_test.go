@@ -1,0 +1,72 @@
+package clusterop
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/ops/msg"
+)
+
+// Partial tick buffers must round-trip exactly, including the rebuilt
+// duplicate-elimination set of the dedupe baselines.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, dedupe := range []bool{false, true} {
+		op := New(Config{MinPts: 2, Dedupe: dedupe, GroupMin: 2, Enumerate: true})
+		ingest := time.Unix(0, 1234567890)
+		op.Process(msg.Meta{Tick: 7, Objects: []model.ObjectID{1, 2, 3}, Ingest: ingest}, nil)
+		op.Process(msg.Pairs{Tick: 7, Pairs: [][2]int32{{0, 1}, {1, 2}}}, nil)
+		op.Process(msg.Pairs{Tick: 8, Pairs: [][2]int32{{0, 2}}}, nil) // meta still in flight
+		if dedupe {
+			// A duplicate that must stay dropped after restore.
+			op.Process(msg.Pairs{Tick: 7, Pairs: [][2]int32{{0, 1}}}, nil)
+		}
+
+		blob, err := op.SnapshotState()
+		if err != nil || len(blob) == 0 {
+			t.Fatalf("dedupe=%v: snapshot = %d bytes, %v", dedupe, len(blob), err)
+		}
+		restored := New(Config{MinPts: 2, Dedupe: dedupe, GroupMin: 2, Enumerate: true})
+		if err := restored.RestoreState(blob); err != nil {
+			t.Fatalf("dedupe=%v: restore: %v", dedupe, err)
+		}
+		if restored.Buffered() != 2 {
+			t.Fatalf("dedupe=%v: %d buffered ticks, want 2", dedupe, restored.Buffered())
+		}
+		got, orig := restored.bufs[7], op.bufs[7]
+		if !got.hasMeta || !reflect.DeepEqual(got.objects, orig.objects) ||
+			!got.ingest.Equal(orig.ingest) || !reflect.DeepEqual(got.pairs, orig.pairs) {
+			t.Fatalf("dedupe=%v: tick 7 buffer differs:\n got %+v\nwant %+v", dedupe, got, orig)
+		}
+		if dedupe {
+			// The rebuilt seen-set must keep dropping the duplicate.
+			restored.Process(msg.Pairs{Tick: 7, Pairs: [][2]int32{{0, 1}, {2, 3}}}, nil)
+			if n := len(restored.bufs[7].pairs); n != 3 {
+				t.Fatalf("restored dedupe kept %d pairs, want 3", n)
+			}
+		}
+	}
+	// Empty state snapshots to nothing.
+	op := New(Config{MinPts: 2})
+	if blob, err := op.SnapshotState(); err != nil || blob != nil {
+		t.Fatalf("empty snapshot = %v, %v", blob, err)
+	}
+}
+
+// Truncated blobs must fail, not corrupt.
+func TestRestoreRejectsTruncated(t *testing.T) {
+	op := New(Config{MinPts: 2})
+	op.Process(msg.Meta{Tick: 3, Objects: []model.ObjectID{4, 5}}, nil)
+	op.Process(msg.Pairs{Tick: 3, Pairs: [][2]int32{{0, 1}}}, nil)
+	blob, err := op.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(blob); cut++ {
+		fresh := New(Config{MinPts: 2})
+		if err := fresh.RestoreState(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

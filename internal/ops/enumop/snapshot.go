@@ -1,0 +1,101 @@
+package enumop
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/model"
+)
+
+var _ ckpt.Snapshotter = (*Op)(nil)
+
+// SnapshotState implements ckpt.Snapshotter: the reorder buffer's pending
+// partitions (tick order) followed by each owner's enumerator state. The
+// per-owner blobs are produced by the enumerators themselves (enum
+// implements ckpt.Snapshotter for BA, FBA and VBA), so the operator stays
+// agnostic of the enumeration method.
+func (e *Op) SnapshotState() ([]byte, error) {
+	if e.reorder.Len() == 0 && len(e.subs) == 0 {
+		return nil, nil
+	}
+	ticks := e.reorder.BufferedTicks()
+	buf := binary.AppendUvarint(nil, uint64(len(ticks)))
+	for _, t := range ticks {
+		items := e.reorder.Items(t)
+		buf = binary.AppendVarint(buf, int64(t))
+		buf = binary.AppendUvarint(buf, uint64(len(items)))
+		for _, item := range items {
+			buf = enum.AppendPartition(buf, item.(enum.Partition))
+		}
+	}
+	owners := make([]model.ObjectID, 0, len(e.subs))
+	for o := range e.subs {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(owners)))
+	for _, o := range owners {
+		s, ok := e.subs[o].(ckpt.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("enumop: %s enumerator is not checkpointable", e.subs[o].Name())
+		}
+		blob, err := s.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("enumop: owner %d: %w", o, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(o))
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// RestoreState implements ckpt.Snapshotter: enumerators are rebuilt with
+// the operator's own factory — construction-time configuration comes from
+// the topology, only keyed state from the checkpoint.
+func (e *Op) RestoreState(data []byte) error {
+	d := flow.NewDec(data)
+	reorder := flow.NewReorderBuffer()
+	nt := int(d.Uvarint())
+	for i := 0; i < nt && d.Err() == nil; i++ {
+		t := model.Tick(d.Varint())
+		ni := int(d.Uvarint())
+		if ni < 0 || ni > d.Remaining() {
+			d.Failf("partition count %d exceeds payload", ni)
+			break
+		}
+		for j := 0; j < ni && d.Err() == nil; j++ {
+			reorder.Add(t, enum.DecodePartition(d))
+		}
+	}
+	subs := make(map[model.ObjectID]enum.Enumerator)
+	no := int(d.Uvarint())
+	for i := 0; i < no && d.Err() == nil; i++ {
+		owner := model.ObjectID(d.Uvarint())
+		blob := d.Bytes(int(d.Uvarint()))
+		if d.Err() != nil {
+			break
+		}
+		sub := e.cfg.New(owner, e.cfg.Constraints)
+		s, ok := sub.(ckpt.Snapshotter)
+		if !ok {
+			return fmt.Errorf("enumop: %s enumerator is not checkpointable", sub.Name())
+		}
+		if len(blob) > 0 {
+			if err := s.RestoreState(blob); err != nil {
+				return fmt.Errorf("enumop: owner %d: %w", owner, err)
+			}
+		}
+		subs[owner] = sub
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	e.reorder = reorder
+	e.subs = subs
+	return nil
+}

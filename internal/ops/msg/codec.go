@@ -64,6 +64,10 @@ func decodeObjects(d *flow.Dec) []model.ObjectID {
 	if n == 0 {
 		return nil
 	}
+	if n < 0 || n > d.Remaining() { // every id takes at least one byte
+		d.Failf("msg: object count %d exceeds payload", n)
+		return nil
+	}
 	ids := make([]model.ObjectID, n)
 	for i := range ids {
 		ids[i] = model.ObjectID(d.Uvarint())
@@ -139,6 +143,11 @@ func decodeCellObjs(d *flow.Dec) []join.CellObj {
 	if n == 0 {
 		return nil
 	}
+	// Each object encodes to at least 17 bytes (idx varint + two floats).
+	if n < 0 || n > d.Remaining()/17 {
+		d.Failf("msg: cell object count %d exceeds payload", n)
+		return nil
+	}
 	objs := make([]join.CellObj, n)
 	for i := range objs {
 		objs[i] = join.CellObj{
@@ -183,7 +192,11 @@ func (pairsCodec) Append(buf []byte, v any) ([]byte, error) {
 func (pairsCodec) Decode(data []byte) (any, error) {
 	d := flow.NewDec(data)
 	p := Pairs{Tick: model.Tick(d.Varint())}
-	if n := int(d.Uvarint()); n > 0 {
+	if n := int(d.Uvarint()); n != 0 {
+		if n < 0 || n > d.Remaining()/2 { // two varints per pair
+			d.Failf("msg: pair count %d exceeds payload", n)
+			return nil, d.Err()
+		}
 		p.Pairs = make([][2]int32, n)
 		for i := range p.Pairs {
 			p.Pairs[i] = [2]int32{int32(d.Varint()), int32(d.Varint())}
@@ -226,7 +239,11 @@ func (patternCodec) Append(buf []byte, v any) ([]byte, error) {
 func (patternCodec) Decode(data []byte) (any, error) {
 	d := flow.NewDec(data)
 	p := model.Pattern{Objects: decodeObjects(d)}
-	if n := int(d.Uvarint()); n > 0 {
+	if n := int(d.Uvarint()); n != 0 {
+		if n < 0 || n > d.Remaining() { // every tick takes at least one byte
+			d.Failf("msg: tick count %d exceeds payload", n)
+			return nil, d.Err()
+		}
 		p.Times = make([]model.Tick, n)
 		for i := range p.Times {
 			p.Times[i] = model.Tick(d.Varint())

@@ -1,0 +1,168 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+// seedPayloads returns one encoded payload per wire type, so every codec
+// in the registry is exercised by the seed corpus of the decode fuzzers.
+func seedPayloads(tb testing.TB) [][]byte {
+	tb.Helper()
+	values := []any{
+		&model.Snapshot{
+			Tick:    7,
+			Ingest:  time.Unix(0, 1234567890),
+			Objects: []model.ObjectID{1, 2, 3},
+			Locs:    []geo.Point{{X: 1, Y: 2}, {X: 3.5, Y: -4}, {X: 0, Y: 9}},
+		},
+		Meta{Tick: 9, Objects: []model.ObjectID{4, 5}, Ingest: time.Unix(3, 0)},
+		Cell{
+			Tick: 3,
+			Task: join.CellTask{
+				Key:     grid.Key{X: -2, Y: 11},
+				Data:    []join.CellObj{{Idx: 0, Loc: geo.Point{X: 1, Y: 1}}},
+				Queries: []join.CellObj{{Idx: 1, Loc: geo.Point{X: 2, Y: 2}}},
+			},
+		},
+		Pairs{Tick: 5, Pairs: [][2]int32{{0, 1}, {2, 3}}},
+		enum.Partition{Tick: 8, Owner: 42, Members: []model.ObjectID{43, 44}},
+		model.Pattern{Objects: []model.ObjectID{1, 2, 3}, Times: []model.Tick{4, 5, 6, 9}},
+	}
+	var out [][]byte
+	for _, v := range values {
+		b, err := flow.AppendPayload(nil, v)
+		if err != nil {
+			tb.Fatalf("seed %T: %v", v, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecodePayload: arbitrary bytes must never panic the payload decoder
+// or make it allocate unboundedly, and anything that decodes successfully
+// must re-encode to a stable fixed point (encode(decode(b)) is idempotent).
+func FuzzDecodePayload(f *testing.F) {
+	for _, b := range seedPayloads(f) {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := flow.DecodePayload(data)
+		if err != nil {
+			return
+		}
+		b1, err := flow.AppendPayload(nil, v)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", v, err)
+		}
+		v2, err := flow.DecodePayload(b1)
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", v, err)
+		}
+		b2, err := flow.AppendPayload(nil, v2)
+		if err != nil {
+			t.Fatalf("second re-encode of %T: %v", v, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%T encoding not a fixed point:\n b1 %x\n b2 %x", v, b1, b2)
+		}
+	})
+}
+
+// FuzzDecodeMessage: the transport envelope decoder (records, batches,
+// watermarks, checkpoint barriers) must be panic-free on arbitrary bytes
+// and fixed-point stable on successful decodes.
+func FuzzDecodeMessage(f *testing.F) {
+	for i, b := range seedPayloads(f) {
+		m, err := flow.AppendMessage(nil, flow.Message{From: i, Data: mustDecode(f, b)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(m)
+	}
+	// Watermark, barrier, and batch envelopes.
+	wm, _ := flow.AppendMessage(nil, flow.Message{From: 2, WM: -5, IsWM: true})
+	f.Add(wm)
+	bar, _ := flow.AppendMessage(nil, flow.Message{From: 1, CP: 9, IsBarrier: true})
+	f.Add(bar)
+	batch, err := flow.AppendMessage(nil, flow.Message{From: 0, Data: flow.Batch{Items: []any{
+		Pairs{Tick: 1, Pairs: [][2]int32{{0, 1}}},
+		Meta{Tick: 1, Objects: []model.ObjectID{9}},
+	}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := flow.DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		b1, err := flow.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		m2, err := flow.DecodeMessage(b1)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		b2, err := flow.AppendMessage(nil, m2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("message encoding not a fixed point:\n b1 %x\n b2 %x", b1, b2)
+		}
+	})
+}
+
+func mustDecode(tb testing.TB, b []byte) any {
+	tb.Helper()
+	v, err := flow.DecodePayload(b)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v
+}
+
+// FuzzPairsRoundTrip: structured round-trip for the hottest wire type —
+// fuzzed pair sets must survive encode/decode exactly.
+func FuzzPairsRoundTrip(f *testing.F) {
+	f.Add(int64(3), []byte{0, 1, 2, 3})
+	f.Add(int64(-9), []byte{})
+	f.Fuzz(func(t *testing.T, tick int64, raw []byte) {
+		p := Pairs{Tick: model.Tick(tick)}
+		for i := 0; i+1 < len(raw); i += 2 {
+			p.Pairs = append(p.Pairs, [2]int32{int32(int8(raw[i])), int32(int8(raw[i+1]))})
+		}
+		b, err := flow.AppendPayload(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := flow.DecodePayload(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := v.(Pairs)
+		if got.Tick != p.Tick || len(got.Pairs) != len(p.Pairs) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", got, p)
+		}
+		for i := range p.Pairs {
+			if got.Pairs[i] != p.Pairs[i] {
+				t.Fatalf("pair %d: %v != %v", i, got.Pairs[i], p.Pairs[i])
+			}
+		}
+	})
+}

@@ -6,11 +6,14 @@
 package rangejoin
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/flow"
 	"repro/internal/geo"
 	"repro/internal/join"
 	"repro/internal/ops/msg"
 )
+
+var _ ckpt.Snapshotter = (*Op)(nil)
 
 // Kernel selects the per-cell join algorithm.
 type Kernel int
@@ -39,6 +42,13 @@ type Op struct {
 func New(eps float64, metric geo.Metric, kernel Kernel) *Op {
 	return &Op{Eps: eps, Metric: metric, Kernel: kernel}
 }
+
+// SnapshotState implements ckpt.Snapshotter: the operator is stateless, so
+// its checkpoint contribution is deliberately empty.
+func (g *Op) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements ckpt.Snapshotter (no state to restore).
+func (g *Op) RestoreState([]byte) error { return nil }
 
 // Process joins one cell task (or forwards a snapshot announcement).
 func (g *Op) Process(data any, out *flow.Collector) {

@@ -223,6 +223,41 @@ func equalTicks(a, b []model.Tick) bool {
 	return true
 }
 
+// Prune evicts every pattern whose witness ends before the given tick and
+// returns how many were removed. The detection pipeline calls it from the
+// sink as the watermark advances, so an unbounded stream cannot grow the
+// store without bound; sequence numbers of surviving patterns are
+// preserved. Readers holding slices returned by earlier queries are
+// unaffected (entries are copied on query).
+func (s *Store) Prune(before model.Tick) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := s.entries[:0]
+	for _, e := range s.entries {
+		ts := e.Pattern.Times
+		if len(ts) > 0 && ts[len(ts)-1] >= before {
+			keep = append(keep, e)
+		}
+	}
+	removed := len(s.entries) - len(keep)
+	if removed == 0 {
+		return 0
+	}
+	// Clear the evicted tail so pattern memory is actually released.
+	for i := len(keep); i < len(s.entries); i++ {
+		s.entries[i] = Entry{}
+	}
+	s.entries = keep
+	// Rebuild the member index over the surviving entries.
+	s.byObj = make(map[model.ObjectID][]int, len(s.byObj))
+	for i, e := range s.entries {
+		for _, o := range e.Pattern.Objects {
+			s.byObj[o] = append(s.byObj[o], i)
+		}
+	}
+	return removed
+}
+
 // Stats summarizes the stored patterns.
 type Stats struct {
 	Count int

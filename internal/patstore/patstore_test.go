@@ -230,3 +230,48 @@ func TestConcurrentReadersOneWriter(t *testing.T) {
 		t.Errorf("Len = %d", s.Len())
 	}
 }
+
+func TestPrune(t *testing.T) {
+	s := New()
+	s.Add(pat([]model.ObjectID{1, 2}, []model.Tick{1, 2, 3}))
+	s.Add(pat([]model.ObjectID{2, 3}, []model.Tick{5, 6, 7}))
+	s.Add(pat([]model.ObjectID{1, 3}, []model.Tick{9, 10}))
+
+	if n := s.Prune(1); n != 0 {
+		t.Fatalf("Prune(1) removed %d, want 0", n)
+	}
+	if n := s.Prune(4); n != 1 {
+		t.Fatalf("Prune(4) removed %d, want 1", n)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after prune, want 2", s.Len())
+	}
+	// The member index is rebuilt: object 1 now only maps to the survivor.
+	got := s.ByObject(1)
+	if len(got) != 1 || got[0].Times[0] != 9 {
+		t.Fatalf("ByObject(1) after prune = %v", got)
+	}
+	if got := s.ByObject(2); len(got) != 1 || got[0].Times[0] != 5 {
+		t.Fatalf("ByObject(2) after prune = %v", got)
+	}
+	// Containing still works against the rebuilt index.
+	if got := s.Containing([]model.ObjectID{2, 3}); len(got) != 1 {
+		t.Fatalf("Containing({2,3}) after prune = %v", got)
+	}
+	// Boundary: a pattern ending exactly at the prune tick survives.
+	if n := s.Prune(7); n != 0 {
+		t.Fatalf("Prune(7) removed %d, want 0 (inclusive boundary)", n)
+	}
+	if n := s.Prune(8); n != 1 {
+		t.Fatalf("Prune(8) removed %d, want 1", n)
+	}
+	// Everything can go; the store stays usable.
+	s.Prune(1 << 40)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after full prune", s.Len())
+	}
+	s.Add(pat([]model.ObjectID{4, 5}, []model.Tick{20, 21}))
+	if got := s.ByObject(4); len(got) != 1 {
+		t.Fatalf("store unusable after full prune: %v", got)
+	}
+}

@@ -131,6 +131,23 @@ func NewAssembler() *Assembler {
 	}
 }
 
+// ResumeAt positions the assembler at a checkpoint cut: ticks below next
+// are treated as already released, so records replayed from before the cut
+// (e.g. a publisher re-sending its stream after a crash recovery) are
+// dropped instead of being re-assembled into duplicate snapshots. Call
+// before the first Push.
+func (a *Assembler) ResumeAt(next model.Tick) {
+	if a.started {
+		panic("stream: ResumeAt after records were pushed")
+	}
+	a.started = true
+	a.released = true
+	a.nextTick = next
+	if next > 0 {
+		a.maxSeen = next - 1
+	}
+}
+
 // Push ingests one stamped record and appends any snapshots that became
 // complete, in tick order, to out. It returns the extended slice.
 func (a *Assembler) Push(r model.StampedRecord, out []*model.Snapshot) []*model.Snapshot {

@@ -71,6 +71,15 @@ type Graph struct {
 	// distributed deployments pair it with a multi-process Transport so
 	// each worker builds the same graph but runs only its share.
 	Local func(stage int) bool
+	// OnCheckpointState forwards subtask state snapshots taken at aligned
+	// checkpoint barriers (see flow.Config.OnCheckpointState); the driver
+	// routes them to the ckpt coordinator, workers to the control plane.
+	OnCheckpointState func(id uint64, stage, subtask int, state []byte, err error)
+	// SinkBarrier observes each checkpoint barrier's arrival behind the
+	// last stage (the output-commit cut).
+	SinkBarrier func(id uint64)
+	// Restore supplies checkpointed subtask state on resume.
+	Restore func(stage, subtask int) []byte
 }
 
 // Validate checks the graph for structural errors: it must have at least
@@ -136,10 +145,13 @@ func (g *Graph) Build() (*flow.Pipeline, error) {
 		specs[i+1].BufSize = ex.Buffer
 	}
 	return flow.NewPipeline(flow.Config{
-		Slots:         g.Slots,
-		Sink:          g.Sink,
-		SinkWatermark: g.SinkWatermark,
-		Transport:     g.Transport,
-		Local:         g.Local,
+		Slots:             g.Slots,
+		Sink:              g.Sink,
+		SinkWatermark:     g.SinkWatermark,
+		Transport:         g.Transport,
+		Local:             g.Local,
+		OnCheckpointState: g.OnCheckpointState,
+		SinkBarrier:       g.SinkBarrier,
+		Restore:           g.Restore,
 	}, specs...), nil
 }

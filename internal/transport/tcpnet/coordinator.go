@@ -3,17 +3,24 @@
 // frames for sink forwarding and completion:
 //
 //	worker -> coordinator: {"type":"hello"}
-//	coordinator -> worker: {"type":"plan", "worker":i, "plan":{...}, "spec":...}
+//	coordinator -> worker: {"type":"plan", "worker":i, "plan":{...}, "spec":..., "restore":{...}}
 //	worker -> coordinator: {"type":"ready", "addr":"host:port"}
 //	coordinator -> worker: {"type":"addrs", "addrs":[...]}
 //	worker -> coordinator (binary frames):
 //	    sink record    [0][len uvarint][payload (kind+body)]
 //	    sink watermark [1][wm varint]
 //	    done           [2]
+//	    checkpoint ack [3][id uvarint][stage uvarint][subtask uvarint][ok byte][len uvarint][state or error text]
+//	    sink barrier   [4][id uvarint]
 //
 // The spec blob is opaque to this package: the coordinator ships whatever
 // configuration bytes the application hands it (internal/core encodes its
-// Config there), so every worker reconstructs the identical topology.
+// Config there), so every worker reconstructs the identical topology. The
+// optional restore map ("stage/subtask" -> state blob) carries checkpointed
+// operator state for the stages a worker owns when the run resumes from a
+// checkpoint; barriers themselves travel the data plane (they are ordinary
+// flow messages), while acks and the sink-barrier cut come back over the
+// control connection, ordered with the sink stream.
 
 package tcpnet
 
@@ -23,17 +30,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/flow"
 	"repro/internal/model"
 )
 
 // Control frame types (worker -> coordinator, after the JSON handshake).
 const (
-	ctrlSink = 0
-	ctrlWM   = 1
-	ctrlDone = 2
+	ctrlSink    = 0
+	ctrlWM      = 1
+	ctrlDone    = 2
+	ctrlAck     = 3
+	ctrlBarrier = 4
 )
 
 type ctrlMsg struct {
@@ -43,6 +54,16 @@ type ctrlMsg struct {
 	Spec   []byte   `json:"spec,omitempty"`
 	Addr   string   `json:"addr,omitempty"`
 	Addrs  []string `json:"addrs,omitempty"`
+	// Restore maps "stage/subtask" to checkpointed operator state for the
+	// stages the receiving worker owns (resume-from-checkpoint only).
+	Restore map[string][]byte `json:"restore,omitempty"`
+}
+
+// RestoreKey is the restore-map key for one subtask's state blob — the
+// checkpoint store's canonical key, so coordinator-shipped maps always
+// match Worker.RestoreState lookups.
+func RestoreKey(stage string, subtask int) string {
+	return ckpt.StateKey(stage, subtask)
 }
 
 func writeJSON(conn net.Conn, m ctrlMsg) error {
@@ -81,6 +102,8 @@ type Coordinator struct {
 	ctrlRs  []*bufio.Reader // pending control readers (Run..Start window)
 	sinkFn  func(any)
 	sinkWMs func(model.Tick)
+	ackFn   func(id uint64, stage, subtask int, state []byte, err error)
+	sinkBar func(id uint64)
 
 	mu     sync.Mutex
 	doneCh chan error
@@ -116,12 +139,24 @@ func (c *Coordinator) OnSink(fn func(any)) { c.sinkFn = fn }
 // watermark. Set before Start.
 func (c *Coordinator) OnSinkWatermark(fn func(model.Tick)) { c.sinkWMs = fn }
 
+// OnCheckpointAck installs the receiver for worker subtask checkpoint acks
+// (forwarded flow.Config.OnCheckpointState calls). Set before Start.
+func (c *Coordinator) OnCheckpointAck(fn func(id uint64, stage, subtask int, state []byte, err error)) {
+	c.ackFn = fn
+}
+
+// OnSinkBarrier installs the receiver for the remote last stage's
+// sink-barrier cut; frames are ordered with the sink record stream, so all
+// pre-cut records have been delivered when it fires. Set before Start.
+func (c *Coordinator) OnSinkBarrier(fn func(id uint64)) { c.sinkBar = fn }
+
 // Run performs the handshake: it waits for all workers to join, assigns
-// the round-robin placement for stages, ships spec to every worker,
-// collects data addresses and broadcasts them. After Run returns the
-// Transport is ready; install the sink hooks, then call Start to begin
-// consuming worker control frames.
-func (c *Coordinator) Run(stages []string, spec []byte) error {
+// the round-robin placement for stages, ships spec (and, on resume, each
+// worker's share of the checkpointed state in restore, keyed by
+// RestoreKey) to every worker, collects data addresses and broadcasts
+// them. After Run returns the Transport is ready; install the sink hooks,
+// then call Start to begin consuming worker control frames.
+func (c *Coordinator) Run(stages []string, spec []byte, restore map[string][]byte) error {
 	plan := RoundRobin(stages, c.nWorkers)
 	if err := plan.validate(); err != nil {
 		return err
@@ -157,7 +192,23 @@ func (c *Coordinator) Run(stages []string, spec []byte) error {
 	}
 	for i, w := range workers {
 		p := plan
-		if err := writeJSON(w.conn, ctrlMsg{Type: "plan", Worker: i, Plan: &p, Spec: spec}); err != nil {
+		m := ctrlMsg{Type: "plan", Worker: i, Plan: &p, Spec: spec}
+		if len(restore) > 0 {
+			// Ship only the state of stages this worker owns.
+			m.Restore = make(map[string][]byte)
+			for si, stage := range plan.Stages {
+				if plan.Owners[si] != i {
+					continue
+				}
+				prefix := stage + "/"
+				for key, blob := range restore {
+					if strings.HasPrefix(key, prefix) {
+						m.Restore[key] = blob
+					}
+				}
+			}
+		}
+		if err := writeJSON(w.conn, m); err != nil {
 			return fmt.Errorf("tcpnet: send plan to worker %d: %w", i, err)
 		}
 	}
@@ -231,6 +282,50 @@ func (c *Coordinator) readCtrl(br *bufio.Reader) {
 			}
 			if c.sinkWMs != nil {
 				c.sinkWMs(model.Tick(wm))
+			}
+		case ctrlAck:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: ack id: %w", err)
+				return
+			}
+			stage, err := binary.ReadUvarint(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: ack stage: %w", err)
+				return
+			}
+			subtask, err := binary.ReadUvarint(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: ack subtask: %w", err)
+				return
+			}
+			okb, err := br.ReadByte()
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: ack flag: %w", err)
+				return
+			}
+			body, err := readLenBytes(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: ack body: %w", err)
+				return
+			}
+			if c.ackFn != nil {
+				var snapErr error
+				state := body
+				if okb == 0 {
+					snapErr = fmt.Errorf("tcpnet: remote snapshot: %s", body)
+					state = nil
+				}
+				c.ackFn(id, int(stage), int(subtask), state, snapErr)
+			}
+		case ctrlBarrier:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				c.doneCh <- fmt.Errorf("tcpnet: sink barrier: %w", err)
+				return
+			}
+			if c.sinkBar != nil {
+				c.sinkBar(id)
 			}
 		case ctrlDone:
 			c.doneCh <- nil

@@ -43,9 +43,42 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/flow"
 )
+
+// Startup dial retry policy: process launch order is not coordinated (a
+// worker may dial the coordinator before it listens; an edge may dial a
+// peer whose listener races the handshake), so a refused connection during
+// startup is normal, not fatal. Dials retry with exponential backoff
+// capped at dialRetryCap, giving up after dialRetryTotal; once a
+// connection is established, I/O failures remain fail-fast.
+const (
+	dialRetryBase  = 50 * time.Millisecond
+	dialRetryCap   = time.Second
+	dialRetryTotal = 30 * time.Second
+)
+
+// dialRetry dials addr, retrying connection failures with capped
+// exponential backoff for up to total.
+func dialRetry(addr string, total time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(total)
+	delay := dialRetryBase
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > dialRetryCap {
+			delay = dialRetryCap
+		}
+	}
+}
 
 // DriverID is the node id of a pure driver process (the coordinator): it
 // owns no stages and only feeds stage 0 and receives the sink.
@@ -429,7 +462,7 @@ func (g *senderGroup) dialLocked() {
 	if g.owner >= len(addrs) || addrs[g.owner] == "" {
 		panic(fmt.Sprintf("tcpnet: no data address for worker %d (edge %q); handshake incomplete", g.owner, g.stage))
 	}
-	conn, err := net.Dial("tcp", addrs[g.owner])
+	conn, err := dialRetry(addrs[g.owner], dialRetryTotal)
 	if err != nil {
 		panic(fmt.Sprintf("tcpnet: dial edge %q: %v", g.stage, err))
 	}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 
 	"repro/internal/flow"
 	"repro/internal/model"
@@ -17,10 +16,11 @@ import (
 // with Transport/LocalStage, runs it, and calls Finish when its local
 // stages have drained.
 type Worker struct {
-	id   int
-	node *Node
-	plan Plan
-	spec []byte
+	id      int
+	node    *Node
+	plan    Plan
+	spec    []byte
+	restore map[string][]byte
 
 	conn net.Conn
 	br   *bufio.Reader
@@ -28,31 +28,15 @@ type Worker struct {
 	wbuf []byte
 }
 
-// joinRetry bounds how long a worker keeps retrying the coordinator dial:
-// workers are typically launched alongside (or before) the coordinator, so
-// a refused connection at startup is normal, not fatal.
-const (
-	joinRetry    = 30 * time.Second
-	joinInterval = 200 * time.Millisecond
-)
-
-// JoinWorker dials the coordinator's control address (retrying for up to
-// 30s while the coordinator comes up) and completes the handshake: hello,
-// receive plan + spec, open the data listener, report readiness, receive
-// all data addresses.
+// JoinWorker dials the coordinator's control address (retrying with capped
+// exponential backoff while the coordinator comes up — see dialRetry) and
+// completes the handshake: hello, receive plan + spec (+ checkpointed
+// state on resume), open the data listener, report readiness, receive all
+// data addresses.
 func JoinWorker(coordAddr string) (*Worker, error) {
-	var conn net.Conn
-	var err error
-	deadline := time.Now().Add(joinRetry)
-	for {
-		conn, err = net.Dial("tcp", coordAddr)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("tcpnet: join %s: %w", coordAddr, err)
-		}
-		time.Sleep(joinInterval)
+	conn, err := dialRetry(coordAddr, dialRetryTotal)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: join %s: %w", coordAddr, err)
 	}
 	w := &Worker{conn: conn, br: bufio.NewReader(conn)}
 	fail := func(err error) (*Worker, error) {
@@ -69,7 +53,7 @@ func JoinWorker(coordAddr string) (*Worker, error) {
 	if m.Plan == nil {
 		return fail(fmt.Errorf("tcpnet: plan message without plan"))
 	}
-	w.id, w.plan, w.spec = m.Worker, *m.Plan, m.Spec
+	w.id, w.plan, w.spec, w.restore = m.Worker, *m.Plan, m.Spec, m.Restore
 	node, err := NewNode(w.id, w.plan, "")
 	if err != nil {
 		return fail(err)
@@ -100,6 +84,15 @@ func (w *Worker) Transport() flow.Transport { return w.node.Transport() }
 
 // LocalStage is the flow.Config.Local function for this worker's pipeline.
 func (w *Worker) LocalStage(i int) bool { return w.node.LocalStage(i) }
+
+// RestoreState returns the checkpointed state shipped for one local
+// subtask (nil when the run is not a resume, or the subtask was empty).
+func (w *Worker) RestoreState(stage int, subtask int) []byte {
+	if stage < 0 || stage >= len(w.plan.Stages) {
+		return nil
+	}
+	return w.restore[RestoreKey(w.plan.Stages[stage], subtask)]
+}
 
 // writeFrame sends one binary control frame.
 func (w *Worker) writeFrame(build func(buf []byte) []byte) {
@@ -134,6 +127,43 @@ func (w *Worker) SinkWatermark() func(model.Tick) {
 		w.writeFrame(func(buf []byte) []byte {
 			buf = append(buf, ctrlWM)
 			return binary.AppendVarint(buf, int64(wm))
+		})
+	}
+}
+
+// CheckpointAck returns the forwarder for subtask checkpoint acks (wired
+// as the worker pipeline's flow.Config.OnCheckpointState): state snapshots
+// travel to the coordinator's ckpt coordinator over the control
+// connection, serialized with sink frames.
+func (w *Worker) CheckpointAck() func(id uint64, stage, subtask int, state []byte, err error) {
+	return func(id uint64, stage, subtask int, state []byte, err error) {
+		ok := byte(1)
+		body := state
+		if err != nil {
+			ok = 0
+			body = []byte(err.Error())
+		}
+		w.writeFrame(func(buf []byte) []byte {
+			buf = append(buf, ctrlAck)
+			buf = binary.AppendUvarint(buf, id)
+			buf = binary.AppendUvarint(buf, uint64(stage))
+			buf = binary.AppendUvarint(buf, uint64(subtask))
+			buf = append(buf, ok)
+			buf = binary.AppendUvarint(buf, uint64(len(body)))
+			return append(buf, body...)
+		})
+	}
+}
+
+// SinkBarrier returns the forwarder for the sink-barrier cut (the worker
+// owning the last stage wires it as flow.Config.SinkBarrier). Ordering
+// with Sink frames on the shared connection is what makes the cut exact on
+// the coordinator side.
+func (w *Worker) SinkBarrier() func(id uint64) {
+	return func(id uint64) {
+		w.writeFrame(func(buf []byte) []byte {
+			buf = append(buf, ctrlBarrier)
+			return binary.AppendUvarint(buf, id)
 		})
 	}
 }
