@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench bench-json fuzz ci
+.PHONY: all build test test-race vet fmt-check bench bench-json fuzz ci
 
 all: build test vet
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# test-race runs the concurrency-heavy packages (the flow runtime with its
+# subtask goroutines, barrier alignment and key-group snapshot paths, and
+# the multi-process TCP transport) under the race detector.
+test-race:
+	$(GO) test -race ./internal/flow/... ./internal/transport/...
 
 vet:
 	$(GO) vet ./...

@@ -29,6 +29,15 @@
 //	icpe -transport tcp -coordinator 127.0.0.1:7400 -workers 2 \
 //	     -input trace.csv -checkpoint-dir /tmp/ckpt -resume
 //
+// Keyed state is checkpointed per key group (hash(key) % -max-parallelism),
+// so a resume may use a different -parallelism than the run that took the
+// checkpoint — scale out under load, back in when it subsides — with
+// byte-identical results. Only -max-parallelism itself must stay fixed for
+// the lifetime of a checkpointed job:
+//
+//	icpe -parallelism 2 -checkpoint-dir /tmp/ckpt -input trace.csv   # ^C mid-stream
+//	icpe -parallelism 4 -checkpoint-dir /tmp/ckpt -input trace.csv -resume
+//
 // Input format: "object,tick,x,y" per line, ticks non-decreasing; in listen
 // mode, binary TRJ1 frames from any number of publishers.
 package main
@@ -68,7 +77,8 @@ func main() {
 	cellWidth := flag.Float64("lg", 0, "grid cell width (default 4*eps)")
 	method := flag.String("method", "fba", "enumeration method: ba | fba | vba")
 	cluster := flag.String("cluster", "rjc", "range join engine: rjc | srj | gdc")
-	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage")
+	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage (may differ from the checkpointed run's on -resume)")
+	maxParallelism := flag.Int("max-parallelism", 0, "key-group count bounding -parallelism (default 128); fixed for the lifetime of a checkpointed job")
 	quiet := flag.Bool("quiet", false, "suppress per-pattern output")
 	transport := flag.String("transport", "inproc", "exchange fabric: inproc | tcp (tcp needs -coordinator/-workers)")
 	coordinator := flag.String("coordinator", "", "coordinator listen address for -transport tcp (e.g. 127.0.0.1:7400)")
@@ -110,14 +120,15 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	cfg := core.Config{
-		Constraints: model.Constraints{M: *m, K: *k, L: *l, G: *g},
-		Eps:         *eps,
-		CellWidth:   *cellWidth,
-		Metric:      geo.L1,
-		MinPts:      *minPts,
-		Cluster:     core.ClusterMethod(*cluster),
-		Enum:        core.EnumMethod(*method),
-		Parallelism: *parallelism,
+		Constraints:    model.Constraints{M: *m, K: *k, L: *l, G: *g},
+		Eps:            *eps,
+		CellWidth:      *cellWidth,
+		Metric:         geo.L1,
+		MinPts:         *minPts,
+		Cluster:        core.ClusterMethod(*cluster),
+		Enum:           core.EnumMethod(*method),
+		Parallelism:    *parallelism,
+		MaxParallelism: *maxParallelism,
 	}
 	switch {
 	case *ckptDir != "":

@@ -158,6 +158,119 @@ func feedSnaps(w io.Writer, bySnap [][]string) error {
 	return nil
 }
 
+// TestRescaleKillWorkerAndResume is the elastic-rescale acceptance test
+// over the real multi-process transport: the distributed topology runs as
+// three OS processes with checkpointing at one -parallelism; after a
+// completed checkpoint a worker is SIGKILLed; the job is then resumed from
+// the checkpoint directory at a DIFFERENT -parallelism (scale out 2->4 and
+// back in 4->2 — the coordinator reshards the key-group state across the
+// new subtask count and ships each worker its share). Committed output of
+// the crashed run plus the rescaled resumed run must equal an
+// uninterrupted run's output exactly.
+func TestRescaleKillWorkerAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	bin := buildICPE(t)
+	bySnap, eps := workload(t, 1234, 120)
+
+	// Uninterrupted reference (parallelism is a deployment knob; any value
+	// produces identical patterns).
+	ref := exec.Command(bin, append(detectionArgs(eps), "-input", "-")...)
+	var refOut strings.Builder
+	ref.Stdout, ref.Stderr = &refOut, io.Discard
+	refIn, err := ref.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feedSnaps(refIn, bySnap); err != nil {
+		t.Fatal(err)
+	}
+	refIn.Close()
+	if err := reap(ref, 60*time.Second); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := patternLines(refOut.String())
+	if len(want) == 0 {
+		t.Fatal("reference run found no patterns; weak test")
+	}
+
+	for _, scale := range [][2]int{{2, 4}, {4, 2}} {
+		from, to := scale[0], scale[1]
+		t.Run(fmt.Sprintf("par%dto%d", from, to), func(t *testing.T) {
+			// Crashy run at the old parallelism (the repeated -parallelism
+			// flag overrides detectionArgs' default: last value wins).
+			ckptDir := t.TempDir()
+			ckptArgs := append(detectionArgs(eps),
+				"-checkpoint-dir", ckptDir, "-checkpoint-interval", "8",
+				"-parallelism", strconv.Itoa(from))
+			coord, addr, stdin, coordOut := startCoordinator(t, bin, ckptArgs...)
+			w0 := startWorker(t, bin, addr)
+			w1 := startWorker(t, bin, addr)
+			t.Cleanup(func() {
+				for _, c := range []*exec.Cmd{coord, w0, w1} {
+					if c.ProcessState == nil {
+						c.Process.Kill()
+					}
+				}
+			})
+			crashAt := len(bySnap) * 6 / 10
+			if err := feedSnaps(stdin, bySnap[:crashAt]); err != nil {
+				t.Fatalf("feeding coordinator: %v", err)
+			}
+			waitManifest(t, ckptDir)
+			time.Sleep(1500 * time.Millisecond) // quiesce: in-flight commits settle
+			if err := w1.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			stdin.Close()
+			reap(coord, 60*time.Second)
+			reap(w0, 30*time.Second)
+			reap(w1, 30*time.Second)
+			committed := patternLines(coordOut.String())
+
+			// Resume the full stream at the NEW parallelism.
+			resumeArgs := append(detectionArgs(eps),
+				"-checkpoint-dir", ckptDir, "-checkpoint-interval", "8",
+				"-parallelism", strconv.Itoa(to), "-resume")
+			coord2, addr2, stdin2, resumeOut := startCoordinator(t, bin, resumeArgs...)
+			w2 := startWorker(t, bin, addr2)
+			w3 := startWorker(t, bin, addr2)
+			t.Cleanup(func() {
+				for _, c := range []*exec.Cmd{coord2, w2, w3} {
+					if c.ProcessState == nil {
+						c.Process.Kill()
+					}
+				}
+			})
+			if err := feedSnaps(stdin2, bySnap); err != nil {
+				t.Fatalf("feeding resumed coordinator: %v", err)
+			}
+			stdin2.Close()
+			if err := reap(coord2, 120*time.Second); err != nil {
+				t.Fatalf("rescaled resumed coordinator: %v", err)
+			}
+			reap(w2, 30*time.Second)
+			reap(w3, 30*time.Second)
+			resumed := patternLines(resumeOut.String())
+
+			got := append(append([]string{}, committed...), resumed...)
+			sort.Strings(got)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("rescaled crash+resume output differs from uninterrupted run:\n"+
+					"committed(before crash)=%d resumed=%d want=%d\n got: %v\nwant: %v",
+					len(committed), len(resumed), len(want), got, want)
+			}
+			if len(resumed) == 0 {
+				t.Error("no patterns after rescaled resume; weak kill placement")
+			}
+		})
+	}
+}
+
 // TestKillWorkerAndResume is the end-to-end recovery acceptance test: the
 // distributed topology runs as three OS processes (coordinator + two
 // workers); after at least one completed checkpoint a worker is killed

@@ -120,8 +120,16 @@ type Options struct {
 	Method core.EnumMethod
 	// Cluster selects the range-join engine (default ClusterRJC).
 	Cluster core.ClusterMethod
-	// Parallelism is the per-stage subtask count (default 4).
+	// Parallelism is the per-stage subtask count (default 4). A deployment
+	// knob: results are identical at any value, and a checkpointed run may
+	// resume at a different one.
 	Parallelism int
+	// MaxParallelism is the key-group count (default 128): the upper bound
+	// on Parallelism and the granularity keyed state is checkpointed at.
+	// It must stay fixed for the lifetime of a checkpointed job (it is
+	// part of the checkpoint's config fingerprint), while Parallelism may
+	// change across CheckpointResume.
+	MaxParallelism int
 	// Nodes simulates a cluster of this many nodes (0 = uncapped).
 	Nodes int
 	// SlotsPerNode is the per-node slot count (default 2).
@@ -215,6 +223,7 @@ func New(opts Options) (*Detector, error) {
 		Nodes:           opts.Nodes,
 		SlotsPerNode:    opts.SlotsPerNode,
 		Parallelism:     opts.Parallelism,
+		MaxParallelism:  opts.MaxParallelism,
 		ExchangeBatch:   opts.ExchangeBatch,
 		Transport:       opts.Transport,
 		CollectPatterns: collect,

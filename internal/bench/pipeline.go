@@ -54,11 +54,32 @@ type CheckpointRun struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// RescaleRun measures one elastic rescale-from-checkpoint: a run at
+// FromParallelism checkpoints half the stream and shuts down gracefully,
+// then a fresh pipeline resumes the same job at ToParallelism (the
+// checkpointed key-group state re-sliced across the new subtask count)
+// and finishes the stream.
+type RescaleRun struct {
+	FromParallelism int `json:"from_parallelism"`
+	ToParallelism   int `json:"to_parallelism"`
+	// RestoreSeconds is the rescale-specific cost: loading the manifest
+	// and state, resharding every key-group blob onto the new
+	// parallelism, and constructing the resumed pipeline.
+	RestoreSeconds float64 `json:"restore_seconds"`
+	// ResumeWallSeconds is the wall clock of the resumed half of the
+	// stream (processing only; restore excluded).
+	ResumeWallSeconds float64 `json:"resume_wall_seconds"`
+	// Patterns counts the patterns committed across both halves — equal
+	// for the p->2p and 2p->p rows, or the rescale is broken.
+	Patterns int `json:"patterns"`
+}
+
 // PipelineReport is the machine-readable output of `bench -exp pipeline`
 // (written to BENCH_pipeline.json by `make bench-json`): the same seeded
 // workload pushed through the standard topology on the in-process and the
 // multi-process TCP transports, plus checkpoint-enabled variants at
-// increasing intervals (overhead vs interval).
+// increasing intervals (overhead vs interval) and rescale-from-checkpoint
+// rows (restore time at p->2p and 2p->p).
 type PipelineReport struct {
 	Dataset       string          `json:"dataset"`
 	Objects       int             `json:"objects"`
@@ -68,6 +89,7 @@ type PipelineReport struct {
 	ExchangeBatch int             `json:"exchange_batch"`
 	Runs          []TransportRun  `json:"runs"`
 	Checkpoint    []CheckpointRun `json:"checkpoint,omitempty"`
+	Rescale       []RescaleRun    `json:"rescale,omitempty"`
 }
 
 // admit bounds in-flight snapshots exactly like runOnce, so the two
@@ -238,6 +260,73 @@ func runPipelineCkpt(d Dataset, cfg core.Config, interval int, baselineWall floa
 	return run, nil
 }
 
+// runPipelineRescale checkpoints half the stream at fromPar, resumes at
+// toPar from the final graceful checkpoint, and times the restore (load +
+// key-group reshard + build) separately from the resumed processing.
+func runPipelineRescale(d Dataset, cfg core.Config, fromPar, toPar int) (RescaleRun, error) {
+	dir, err := os.MkdirTemp("", "icpe-bench-rescale-")
+	if err != nil {
+		return RescaleRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	half := len(d.Snapshots) / 2
+
+	patterns := 0
+	cfg.CheckpointInterval = 16
+	cfg.CheckpointDir = dir
+	cfg.OnCommit = func(_ uint64, pats []model.Pattern) { patterns += len(pats) }
+
+	first := cfg
+	first.Parallelism = fromPar
+	tokens := admit(&first)
+	pipe, err := core.New(first)
+	if err != nil {
+		return RescaleRun{}, err
+	}
+	pipe.Start()
+	for _, s := range d.Snapshots[:half] {
+		tokens <- struct{}{}
+		c := s.Clone()
+		c.Ingest = time.Time{}
+		pipe.PushSnapshot(c)
+	}
+	pipe.Finish() // graceful: takes a final checkpoint covering the prefix
+
+	second := cfg
+	second.Parallelism = toPar
+	second.Resume = true
+	tokens = admit(&second)
+	restoreStart := time.Now()
+	resumed, err := core.New(second)
+	if err != nil {
+		return RescaleRun{}, err
+	}
+	restore := time.Since(restoreStart)
+	pos, ok := resumed.ResumePosition()
+	if !ok {
+		return RescaleRun{}, fmt.Errorf("bench: rescale %d->%d: no resume position", fromPar, toPar)
+	}
+	start := time.Now()
+	resumed.Start()
+	for _, s := range d.Snapshots {
+		if s.Tick <= pos.LastTick {
+			continue
+		}
+		tokens <- struct{}{}
+		c := s.Clone()
+		c.Ingest = time.Time{}
+		resumed.PushSnapshot(c)
+	}
+	resumed.Finish()
+	return RescaleRun{
+		FromParallelism:   fromPar,
+		ToParallelism:     toPar,
+		RestoreSeconds:    restore.Seconds(),
+		ResumeWallSeconds: time.Since(start).Seconds(),
+		Patterns:          patterns,
+	}, nil
+}
+
 // PipelineJSON runs the pipeline benchmark on both transports plus
 // checkpoint-enabled variants and writes the report as indented JSON.
 func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
@@ -263,6 +352,16 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		}
 		ckptRuns = append(ckptRuns, run)
 	}
+	// Elastic rescale: scale out to double the parallelism mid-job, and
+	// back in, both resuming from a checkpoint.
+	var rescaleRuns []RescaleRun
+	for _, pr := range [][2]int{{p.Parallelism, 2 * p.Parallelism}, {2 * p.Parallelism, p.Parallelism}} {
+		run, err := runPipelineRescale(d, cfg, pr[0], pr[1])
+		if err != nil {
+			return err
+		}
+		rescaleRuns = append(rescaleRuns, run)
+	}
 	report := PipelineReport{
 		Dataset:       d.Name,
 		Objects:       d.Objects,
@@ -272,6 +371,7 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		ExchangeBatch: core.EffectiveExchangeBatch(cfg.ExchangeBatch),
 		Runs:          []TransportRun{inproc, tcp},
 		Checkpoint:    ckptRuns,
+		Rescale:       rescaleRuns,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

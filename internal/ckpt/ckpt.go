@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/flow"
 	"repro/internal/model"
 )
 
@@ -46,9 +47,28 @@ import (
 // is empty should return a nil/empty blob; restore is skipped for empty
 // blobs. Stateless operators implement both as no-ops, which documents that
 // their omission from a checkpoint is deliberate rather than an oversight.
+//
+// A plain Snapshotter's state is subtask-scoped: it restores only into a
+// topology with the same parallelism. Operators whose state should survive
+// a rescale implement GroupSnapshotter instead.
 type Snapshotter interface {
 	SnapshotState() ([]byte, error)
 	RestoreState(data []byte) error
+}
+
+// GroupSnapshotter is the rescalable form of Snapshotter: keyed state is
+// emitted as one blob per key group — group(key) is the pipeline's
+// key→group mapping, identical to the exchange routing — and restore
+// merges any number of group blobs into a freshly built operator. Because
+// key groups are parallelism-independent, a checkpoint taken at
+// parallelism p restores at any parallelism p' ≤ MaxParallelism: each new
+// subtask receives exactly the groups in its range, re-sliced from the old
+// subtask blobs (see Reshard). Groups with no state are omitted from the
+// returned map; RestoreGroup is called once per non-empty group blob,
+// before any input is processed.
+type GroupSnapshotter interface {
+	SnapshotGroups(group func(key uint64) int) (map[int][]byte, error)
+	RestoreGroup(data []byte) error
 }
 
 // SourcePosition is the replayable source offset of a checkpoint cut: the
@@ -63,10 +83,16 @@ type SourcePosition struct {
 }
 
 // StageInfo describes one pipeline stage inside a manifest, so recovery can
-// verify the restored topology matches the checkpointed one.
+// verify the restored topology is compatible with the checkpointed one.
 type StageInfo struct {
 	Name        string `json:"name"`
 	Parallelism int    `json:"parallelism"`
+	// Ranges[s] is the half-open key-group range [start, end) whose state
+	// subtask s's blob covers (filled from the job's MaxParallelism when
+	// the manifest is committed). Reshard cross-checks every decoded group
+	// frame against it, so a blob that disagrees with its manifest fails
+	// the resume instead of restoring keys into the wrong buckets.
+	Ranges [][2]int `json:"ranges,omitempty"`
 }
 
 // Manifest is the commit record of one completed checkpoint. Its presence
@@ -77,25 +103,55 @@ type Manifest struct {
 	ID uint64 `json:"id"`
 	// Source is the replayable source position of the cut.
 	Source SourcePosition `json:"source"`
+	// MaxParallelism is the key-group count the state blobs are bucketed
+	// by. A resuming job must use the same value (the key→group mapping is
+	// the state's address space), but may use any per-stage parallelism up
+	// to it. 0 marks a legacy manifest whose blobs are subtask-scoped.
+	MaxParallelism int `json:"max_parallelism,omitempty"`
 	// Stages records the topology the states were taken from.
 	Stages []StageInfo `json:"stages"`
 	// Spec is the application's configuration fingerprint (opaque to this
-	// package; internal/core stores its encoded Spec). Resume validates it
-	// so checkpointed state is never restored into a job with different
-	// semantics (e.g. another enumeration method).
+	// package; internal/core stores its encoded fingerprint). Resume
+	// validates it so checkpointed state is never restored into a job with
+	// different semantics (e.g. another enumeration method). Deployment
+	// knobs like parallelism are deliberately absent from it.
 	Spec []byte `json:"spec,omitempty"`
 }
 
-// Validate checks a manifest against the topology a resuming job built.
-func (m *Manifest) Validate(stages []StageInfo) error {
+// Validate checks a manifest against the topology a resuming job built:
+// same stages in the same order, same max parallelism (the state's
+// address space), and every new parallelism within it. The per-stage
+// parallelism itself may differ — that is the rescale path; Reshard
+// re-slices the blobs. Legacy manifests (MaxParallelism 0) require the
+// exact parallelism that took them.
+func (m *Manifest) Validate(stages []StageInfo, maxParallelism int) error {
 	if len(m.Stages) != len(stages) {
 		return fmt.Errorf("ckpt: manifest has %d stages, topology has %d",
 			len(m.Stages), len(stages))
 	}
+	if m.MaxParallelism != 0 && m.MaxParallelism != maxParallelism {
+		return fmt.Errorf("ckpt: manifest max parallelism %d, topology uses %d (the key→group mapping would change)",
+			m.MaxParallelism, maxParallelism)
+	}
 	for i, st := range stages {
-		if m.Stages[i] != st {
-			return fmt.Errorf("ckpt: manifest stage %d is %+v, topology built %+v",
-				i, m.Stages[i], st)
+		old := m.Stages[i]
+		if old.Name != st.Name {
+			return fmt.Errorf("ckpt: manifest stage %d is %q, topology built %q",
+				i, old.Name, st.Name)
+		}
+		if st.Parallelism < 1 {
+			return fmt.Errorf("ckpt: stage %q parallelism %d", st.Name, st.Parallelism)
+		}
+		if m.MaxParallelism == 0 {
+			if old.Parallelism != st.Parallelism {
+				return fmt.Errorf("ckpt: legacy manifest stage %q has parallelism %d, topology built %d (rescale needs key-group state)",
+					st.Name, old.Parallelism, st.Parallelism)
+			}
+			continue
+		}
+		if st.Parallelism > m.MaxParallelism {
+			return fmt.Errorf("ckpt: stage %q parallelism %d exceeds checkpoint max parallelism %d",
+				st.Name, st.Parallelism, m.MaxParallelism)
 		}
 	}
 	return nil
@@ -137,6 +193,11 @@ type Coordinator struct {
 	// Spec, when set before the first Begin, is stamped into every
 	// committed manifest (see Manifest.Spec).
 	Spec []byte
+	// MaxParallelism, when set before the first Begin, is stamped into
+	// every committed manifest along with the per-blob key-group ranges it
+	// implies (see Manifest.MaxParallelism). 0 writes legacy subtask-scoped
+	// manifests.
+	MaxParallelism int
 	// Logf reports aborted checkpoints (default log-free: silent).
 	Logf func(format string, args ...any)
 
@@ -258,7 +319,11 @@ func (c *Coordinator) Ack(id uint64, stage, subtask int, state []byte, snapErr e
 		c.logf("ckpt: checkpoint %d superseded by %d, dropped", id, newer)
 		return
 	}
-	m := Manifest{ID: id, Source: fl.src, Stages: c.stages, Spec: c.Spec}
+	m := Manifest{
+		ID: id, Source: fl.src, Spec: c.Spec,
+		MaxParallelism: c.MaxParallelism,
+		Stages:         manifestStages(c.stages, c.MaxParallelism),
+	}
 	done := c.OnComplete
 	c.mu.Unlock()
 	if err := c.store.Commit(m); err != nil {
@@ -325,20 +390,111 @@ func AllStates(store Store, m *Manifest) (map[string][]byte, error) {
 	return out, nil
 }
 
+// manifestStages annotates stage descriptors with the key-group range each
+// subtask blob covers (nil ranges for legacy subtask-scoped manifests).
+func manifestStages(stages []StageInfo, maxParallelism int) []StageInfo {
+	if maxParallelism <= 0 {
+		return stages
+	}
+	out := make([]StageInfo, len(stages))
+	for i, st := range stages {
+		st.Ranges = make([][2]int, st.Parallelism)
+		for s := 0; s < st.Parallelism; s++ {
+			start, end := flow.KeyGroupRange(maxParallelism, st.Parallelism, s)
+			st.Ranges[s] = [2]int{start, end}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Reshard re-slices a checkpoint's subtask state blobs onto a new
+// per-stage parallelism. target lists the resuming topology's stages
+// (same names and order as the manifest; validate with Manifest.Validate
+// first). Stages whose parallelism is unchanged pass their blobs through
+// untouched; a changed parallelism requires every non-empty blob of that
+// stage to be key-group framed — the per-group frames from all old
+// subtasks are re-bucketed so the blob for new subtask s holds exactly
+// the groups in KeyGroupRange(max, newParallelism, s). The result is
+// keyed by StateKey over the NEW subtask indices; empty blobs are
+// omitted.
+func Reshard(states map[string][]byte, m *Manifest, target []StageInfo) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(states))
+	for i, old := range m.Stages {
+		nt := target[i]
+		if nt.Parallelism == old.Parallelism {
+			for s := 0; s < old.Parallelism; s++ {
+				if blob := states[StateKey(old.Name, s)]; len(blob) > 0 {
+					out[StateKey(old.Name, s)] = blob
+				}
+			}
+			continue
+		}
+		if m.MaxParallelism <= 0 {
+			return nil, fmt.Errorf("ckpt: stage %q cannot rescale %d -> %d: legacy subtask-scoped checkpoint",
+				old.Name, old.Parallelism, nt.Parallelism)
+		}
+		perSub := make(map[int]map[int][]byte) // new subtask -> group -> blob
+		for s := 0; s < old.Parallelism; s++ {
+			blob := states[StateKey(old.Name, s)]
+			if len(blob) == 0 {
+				continue
+			}
+			groups, err := flow.DecodeGroupStates(blob)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: stage %q subtask %d cannot rescale %d -> %d: %w",
+					old.Name, s, old.Parallelism, nt.Parallelism, err)
+			}
+			for _, g := range groups {
+				if g.Group < 0 || g.Group >= m.MaxParallelism {
+					return nil, fmt.Errorf("ckpt: stage %q subtask %d: key group %d outside [0, %d)",
+						old.Name, s, g.Group, m.MaxParallelism)
+				}
+				// The manifest records the range each blob covers; a frame
+				// outside it means the blob and the manifest disagree
+				// (corruption, or a drifted range assignment) — refuse
+				// rather than restore keys into the wrong buckets.
+				if s < len(old.Ranges) {
+					if r := old.Ranges[s]; g.Group < r[0] || g.Group >= r[1] {
+						return nil, fmt.Errorf("ckpt: stage %q subtask %d: key group %d outside its manifest range [%d, %d)",
+							old.Name, s, g.Group, r[0], r[1])
+					}
+				}
+				ns := flow.SubtaskForGroup(g.Group, m.MaxParallelism, nt.Parallelism)
+				if perSub[ns] == nil {
+					perSub[ns] = make(map[int][]byte)
+				}
+				perSub[ns][g.Group] = g.Data
+			}
+		}
+		for ns, groups := range perSub {
+			if blob := flow.EncodeGroupStates(groups); len(blob) > 0 {
+				out[StateKey(old.Name, ns)] = blob
+			}
+		}
+	}
+	return out, nil
+}
+
 // RestoreFunc builds the (stage, subtask) -> state lookup a resuming
-// pipeline installs (flow.Config.Restore). All blobs are loaded up front
-// (one container read on bulk-capable stores), so an unreadable
-// checkpoint fails the resume at construction instead of silently
-// starting a subtask empty.
-func RestoreFunc(store Store, m *Manifest) (func(stage, subtask int) []byte, error) {
+// pipeline installs (flow.Config.Restore), re-sliced onto the resuming
+// topology's per-stage parallelism in target (which may differ from the
+// manifest's — the elastic-rescale path). All blobs are loaded up front
+// (one container read on bulk-capable stores), so an unreadable or
+// un-reshardable checkpoint fails the resume at construction instead of
+// silently starting a subtask empty.
+func RestoreFunc(store Store, m *Manifest, target []StageInfo) (func(stage, subtask int) []byte, error) {
 	states, err := AllStates(store, m)
 	if err != nil {
 		return nil, err
 	}
+	if states, err = Reshard(states, m, target); err != nil {
+		return nil, err
+	}
 	return func(stage, subtask int) []byte {
-		if stage < 0 || stage >= len(m.Stages) {
+		if stage < 0 || stage >= len(target) {
 			return nil
 		}
-		return states[StateKey(m.Stages[stage].Name, subtask)]
+		return states[StateKey(target[stage].Name, subtask)]
 	}, nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"repro/internal/flow"
 )
 
 func testStages() []StageInfo {
@@ -146,7 +148,7 @@ func TestCoordinatorCompletes(t *testing.T) {
 		t.Fatalf("Completed = %d, %v", id, ok)
 	}
 	// The committed states are readable via the manifest.
-	restore, err := RestoreFunc(store, &done[0])
+	restore, err := RestoreFunc(store, &done[0], done[0].Stages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,16 +278,198 @@ func TestOutOfOrderCompletion(t *testing.T) {
 }
 
 func TestManifestValidate(t *testing.T) {
+	// Legacy manifest (no max parallelism): exact parallelism required.
 	m := Manifest{Stages: testStages()}
-	if err := m.Validate(testStages()); err != nil {
+	if err := m.Validate(testStages(), 0); err != nil {
 		t.Fatal(err)
 	}
 	other := testStages()
 	other[1].Parallelism = 4
-	if err := m.Validate(other); err == nil {
-		t.Fatal("parallelism mismatch accepted")
+	if err := m.Validate(other, 0); err == nil {
+		t.Fatal("legacy parallelism mismatch accepted")
 	}
-	if err := m.Validate(other[:1]); err == nil {
+	if err := m.Validate(other[:1], 0); err == nil {
 		t.Fatal("stage count mismatch accepted")
+	}
+
+	// Key-group manifest: parallelism may change within max parallelism.
+	km := Manifest{MaxParallelism: 8, Stages: testStages()}
+	if err := km.Validate(other, 8); err != nil {
+		t.Fatalf("rescale within max parallelism rejected: %v", err)
+	}
+	if err := km.Validate(testStages(), 16); err == nil {
+		t.Fatal("max parallelism mismatch accepted")
+	}
+	big := testStages()
+	big[0].Parallelism = 9
+	if err := km.Validate(big, 8); err == nil {
+		t.Fatal("parallelism beyond max parallelism accepted")
+	}
+	renamed := testStages()
+	renamed[0].Name = "other"
+	if err := km.Validate(renamed, 8); err == nil {
+		t.Fatal("renamed stage accepted")
+	}
+}
+
+// A manifest committed by a coordinator with MaxParallelism set records
+// the key-group ranges each subtask blob covers: contiguous, disjoint,
+// covering [0, max).
+func TestManifestRecordsKeyGroupRanges(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(store, testStages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.MaxParallelism = 8
+	if err := coord.Begin(1, SourcePosition{}); err != nil {
+		t.Fatal(err)
+	}
+	ackAll(coord, 1)
+	man, err := store.Latest()
+	if err != nil || man == nil {
+		t.Fatalf("Latest = %v, %v", man, err)
+	}
+	if man.MaxParallelism != 8 {
+		t.Fatalf("manifest max parallelism = %d, want 8", man.MaxParallelism)
+	}
+	for _, st := range man.Stages {
+		if len(st.Ranges) != st.Parallelism {
+			t.Fatalf("stage %s has %d ranges for %d subtasks", st.Name, len(st.Ranges), st.Parallelism)
+		}
+		next := 0
+		for s, r := range st.Ranges {
+			if r[0] != next || r[1] < r[0] {
+				t.Fatalf("stage %s subtask %d range %v not contiguous from %d", st.Name, s, r, next)
+			}
+			next = r[1]
+		}
+		if next != 8 {
+			t.Fatalf("stage %s ranges cover [0, %d), want [0, 8)", st.Name, next)
+		}
+	}
+}
+
+// Reshard re-slices key-group framed blobs across a parallelism change;
+// every group must land on exactly the new subtask owning its range, and
+// subtask-scoped (raw) state must refuse to rescale.
+func TestReshard(t *testing.T) {
+	const max = 16
+	old := []StageInfo{{Name: "s", Parallelism: 2}}
+	m := &Manifest{ID: 1, MaxParallelism: max, Stages: manifestStages(old, max)}
+
+	// One blob per old subtask, one frame per owned group.
+	states := map[string][]byte{}
+	for sub := 0; sub < 2; sub++ {
+		groups := map[int][]byte{}
+		start, end := flow.KeyGroupRange(max, 2, sub)
+		for g := start; g < end; g++ {
+			groups[g] = []byte{byte(g)}
+		}
+		states[StateKey("s", sub)] = flow.EncodeGroupStates(groups)
+	}
+	for _, newPar := range []int{1, 3, 4, 5, 16} {
+		target := []StageInfo{{Name: "s", Parallelism: newPar}}
+		out, err := Reshard(states, m, target)
+		if err != nil {
+			t.Fatalf("reshard 2 -> %d: %v", newPar, err)
+		}
+		seen := map[int]bool{}
+		for sub := 0; sub < newPar; sub++ {
+			blob := out[StateKey("s", sub)]
+			if len(blob) == 0 {
+				continue
+			}
+			groups, err := flow.DecodeGroupStates(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range groups {
+				if flow.SubtaskForGroup(g.Group, max, newPar) != sub {
+					t.Fatalf("group %d landed on subtask %d at parallelism %d", g.Group, sub, newPar)
+				}
+				if seen[g.Group] {
+					t.Fatalf("group %d duplicated at parallelism %d", g.Group, newPar)
+				}
+				if len(g.Data) != 1 || g.Data[0] != byte(g.Group) {
+					t.Fatalf("group %d data corrupted: %v", g.Group, g.Data)
+				}
+				seen[g.Group] = true
+			}
+		}
+		if len(seen) != max {
+			t.Fatalf("reshard 2 -> %d kept %d of %d groups", newPar, len(seen), max)
+		}
+	}
+
+	// Unchanged parallelism passes blobs through untouched.
+	same, err := Reshard(states, m, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range states {
+		if string(same[k]) != string(v) {
+			t.Fatalf("pass-through changed blob %s", k)
+		}
+	}
+
+	// Raw subtask-scoped state cannot rescale.
+	raw := map[string][]byte{StateKey("s", 0): flow.EncodeRawState([]byte("opaque"))}
+	if _, err := Reshard(raw, m, []StageInfo{{Name: "s", Parallelism: 4}}); err == nil {
+		t.Fatal("raw state reshard accepted")
+	}
+
+	// A blob whose frames fall outside the range the manifest records for
+	// it is corrupt and must fail the reshard.
+	stray := map[string][]byte{
+		// Subtask 1's range at parallelism 2 is [8, 16); group 0 is not in it.
+		StateKey("s", 1): flow.EncodeGroupStates(map[int][]byte{0: {0xAA}}),
+	}
+	if _, err := Reshard(stray, m, []StageInfo{{Name: "s", Parallelism: 4}}); err == nil {
+		t.Fatal("blob outside its manifest range accepted")
+	}
+}
+
+// An orphaned chk directory — a crash between the STATE.bin write and the
+// manifest rename — must be garbage-collected by a later commit instead of
+// leaking forever.
+func TestDirStoreSweepsOrphansOnCommit(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []StageInfo{{Name: "s", Parallelism: 1}}
+	// Fabricate the crash artifact AFTER the store is open, so the
+	// open-time sweep cannot have removed it: chk-3 has state but no
+	// manifest and its id will fall below the retention horizon.
+	orphan := filepath.Join(dir, "chk-3")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "STATE.bin"), []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(4); id <= 5; id++ {
+		if err := store.Put(id, "s", 0, []byte{byte(id)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Commit(Manifest{ID: id, Stages: stages}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned chk-3 survived commit gc: %v", err)
+	}
+	// The retained, committed checkpoints are untouched.
+	ids, err := store.list()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 4 || ids[1] != 5 {
+		t.Fatalf("retained %v, want [4 5]", ids)
 	}
 }

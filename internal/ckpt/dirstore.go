@@ -39,9 +39,10 @@ type DirStore struct {
 	// a Commit (minimum 1).
 	Retain int
 
-	mu        sync.Mutex
-	staging   map[uint64]map[string][]byte // in-flight blobs by id, then key
-	completed []uint64                     // committed ids, ascending (gc bookkeeping)
+	mu         sync.Mutex
+	staging    map[uint64]map[string][]byte // in-flight blobs by id, then key
+	completed  []uint64                     // committed ids, ascending (gc bookkeeping)
+	committing map[uint64]struct{}          // ids with a Commit in progress
 }
 
 // NewDirStore creates (if needed) and opens a checkpoint directory. Stale
@@ -55,7 +56,11 @@ func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
-	s := &DirStore{dir: dir, Retain: 2, staging: make(map[uint64]map[string][]byte)}
+	s := &DirStore{
+		dir: dir, Retain: 2,
+		staging:    make(map[uint64]map[string][]byte),
+		committing: make(map[uint64]struct{}),
+	}
 	ids, err := s.list()
 	if err != nil {
 		return nil, err
@@ -115,7 +120,17 @@ func (s *DirStore) Commit(m Manifest) error {
 			delete(s.staging, id)
 		}
 	}
+	// Mark the commit in progress: concurrent commits can push the
+	// retention horizon past this id while its directory is still
+	// manifest-less, and the orphan sweep must not mistake it for a crash
+	// artifact mid-write.
+	s.committing[m.ID] = struct{}{}
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.committing, m.ID)
+		s.mu.Unlock()
+	}()
 
 	dir := s.ckptDir(m.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -137,28 +152,43 @@ func (s *DirStore) Commit(m Manifest) error {
 		frame = binary.AppendUvarint(frame, uint64(len(staged[k])))
 		frame = append(frame, staged[k]...)
 	}
+	// A failed attempt removes its directory again: a chk dir holding state
+	// without a manifest is indistinguishable from a crash artifact and
+	// would otherwise sit there until the orphan sweep catches it.
 	if err := os.WriteFile(filepath.Join(dir, stateName), frame, 0o644); err != nil {
+		os.RemoveAll(dir)
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	blob, err := json.Marshal(m)
 	if err != nil {
+		os.RemoveAll(dir)
 		return fmt.Errorf("ckpt: manifest: %w", err)
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		os.RemoveAll(dir)
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.RemoveAll(dir)
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	s.gc(m.ID)
 	return nil
 }
 
-// gc records the new completion and removes checkpoints beyond the
-// retention horizon, from in-memory bookkeeping (the directory was swept
-// once at open). Removal failures are ignored: garbage collection must
-// never fail a commit.
+// gc records the new completion, removes checkpoints beyond the retention
+// horizon (from in-memory bookkeeping), and sweeps orphaned directories: a
+// crash between the STATE.bin write and the manifest rename leaves a chk
+// dir that will never gain a manifest. A manifest-less directory with an
+// id below the oldest retained completed checkpoint is such an orphan,
+// UNLESS a concurrent Commit for that id is still mid-write (possible
+// when out-of-order completions push the horizon past it) — the
+// committing set excludes those. Without the sweep, orphans leak until
+// the store is next reopened (and forever on a long-lived process). The
+// sweep costs one ReadDir per commit, dwarfed by the state write itself.
+// Removal failures are ignored: garbage collection must never fail a
+// commit.
 func (s *DirStore) gc(latest uint64) {
 	retain := s.Retain
 	if retain < 1 {
@@ -174,10 +204,26 @@ func (s *DirStore) gc(latest uint64) {
 		drop = append(drop, s.completed[:len(s.completed)-retain]...)
 		s.completed = append(s.completed[:0], s.completed[len(s.completed)-retain:]...)
 	}
+	horizon := s.completed[0] // oldest retained completed id
 	s.mu.Unlock()
 	for _, id := range drop {
 		os.RemoveAll(s.ckptDir(id))
 	}
+	if ids, err := s.list(); err == nil {
+		for _, id := range ids {
+			if id >= horizon || s.isCommitting(id) || s.hasManifest(id) {
+				continue
+			}
+			os.RemoveAll(s.ckptDir(id))
+		}
+	}
+}
+
+func (s *DirStore) isCommitting(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, busy := s.committing[id]
+	return busy
 }
 
 // list returns the checkpoint ids present in the directory, ascending.

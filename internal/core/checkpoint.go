@@ -53,6 +53,17 @@ func ckptStages(g *topology.Graph) []ckpt.StageInfo {
 	return stages
 }
 
+// topologyStages builds the stage descriptors of cfg's standard topology
+// without building the pipeline (the distributed resume path needs them
+// before the handshake).
+func topologyStages(cfg Config) ([]ckpt.StageInfo, error) {
+	g, err := Topology(&cfg, Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	return ckptStages(g), nil
+}
+
 // newCkptRunner opens the store, optionally loads the latest completed
 // checkpoint for resume, and returns the runner plus the restore manifest
 // (nil on a fresh start).
@@ -64,7 +75,10 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 			return nil, nil, err
 		}
 	}
-	spec, err := EncodeSpec(*cfg)
+	// Manifests are stamped with the semantic fingerprint, not the full
+	// spec: a resume may change deployment knobs (parallelism above all)
+	// without invalidating the checkpoint.
+	fp, err := Fingerprint(*cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -72,7 +86,8 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 	if err != nil {
 		return nil, nil, err
 	}
-	coord.Spec = spec
+	coord.Spec = fp
+	coord.MaxParallelism = cfg.MaxParallelism
 	r := &ckptRunner{
 		coord:    coord,
 		store:    store,
@@ -83,11 +98,11 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 	coord.OnComplete = r.onComplete
 	var man *ckpt.Manifest
 	if cfg.Resume {
-		if man, err = resumeManifest(store, spec); err != nil {
+		if man, err = resumeManifest(store, fp); err != nil {
 			return nil, nil, err
 		}
 		if man != nil {
-			if err := man.Validate(stages); err != nil {
+			if err := man.Validate(stages, cfg.MaxParallelism); err != nil {
 				return nil, nil, err
 			}
 			r.resume = &man.Source
@@ -240,39 +255,40 @@ func (r *ckptRunner) finish() {
 }
 
 // restoreBlobs loads every subtask's state from the manifest's checkpoint
-// (one container read on bulk-capable stores), keyed for the tcpnet
-// handshake — RestoreKey and ckpt.StateKey are the same function, so the
-// writing and reading sides cannot drift. Empty blobs are omitted.
-func restoreBlobs(store ckpt.Store, m *ckpt.Manifest) (map[string][]byte, error) {
+// (one container read on bulk-capable stores) and re-slices it onto the
+// resuming topology's per-stage parallelism in target, keyed for the
+// tcpnet handshake over the NEW subtask indices — RestoreKey and
+// ckpt.StateKey are the same function, so the writing and reading sides
+// cannot drift. Empty blobs are omitted (Reshard already drops them).
+func restoreBlobs(store ckpt.Store, m *ckpt.Manifest, target []ckpt.StageInfo) (map[string][]byte, error) {
 	states, err := ckpt.AllStates(store, m)
 	if err != nil {
 		return nil, err
 	}
-	for key, blob := range states {
-		if len(blob) == 0 {
-			delete(states, key)
-		}
-	}
-	return states, nil
+	return ckpt.Reshard(states, m, target)
 }
 
 // resumeManifest loads the latest completed checkpoint and validates its
-// configuration fingerprint against the resuming run's spec — shared by
-// the in-process (newCkptRunner) and distributed (NewDistributed) resume
-// paths so the two cannot diverge. Returns nil on a fresh store.
-func resumeManifest(store ckpt.Store, spec []byte) (*ckpt.Manifest, error) {
+// configuration fingerprint against the resuming run's — shared by the
+// in-process (newCkptRunner) and distributed (NewDistributed) resume
+// paths so the two cannot diverge. The fingerprint covers detection
+// semantics and MaxParallelism but NOT Parallelism: resuming at a
+// different subtask count is the supported rescale path. Returns nil on a
+// fresh store.
+func resumeManifest(store ckpt.Store, fp []byte) (*ckpt.Manifest, error) {
 	man, err := store.Latest()
 	if err != nil || man == nil {
 		return nil, err
 	}
 	// Restoring state into a job with different detection semantics
-	// (another enumeration method, other constraints, ...) would be silent
-	// corruption at best and a decode failure at worst — refuse up front
-	// with the two configurations in hand.
-	if len(man.Spec) > 0 && string(man.Spec) != string(spec) {
+	// (another enumeration method, other constraints, a different
+	// key→group mapping, ...) would be silent corruption at best and a
+	// decode failure at worst — refuse up front with the two
+	// configurations in hand.
+	if len(man.Spec) > 0 && string(man.Spec) != string(fp) {
 		return nil, fmt.Errorf(
 			"core: checkpoint %d was taken with a different configuration\n  checkpoint: %s\n  this run:   %s",
-			man.ID, man.Spec, spec)
+			man.ID, man.Spec, fp)
 	}
 	return man, nil
 }

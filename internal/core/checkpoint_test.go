@@ -145,6 +145,143 @@ func TestCheckpointCrashResumeMatchesUninterrupted(t *testing.T) {
 	}
 }
 
+// Elastic rescale-from-checkpoint: a run checkpointed at one parallelism
+// and crashed mid-stream resumes at a DIFFERENT parallelism — scale out
+// 2->4 and back in 4->2 — with the key-group state re-sliced across the
+// new subtask count. The combined committed output must match an
+// uninterrupted run byte for byte.
+func TestRescaleCrashResumeMatchesUninterrupted(t *testing.T) {
+	const (
+		interval  = 10
+		crashAt   = 47 // pushes before the simulated crash
+		ckptAtCut = 4  // last checkpoint that can complete: 40 snapshots
+	)
+	for _, scale := range [][2]int{{2, 4}, {4, 2}} {
+		from, to := scale[0], scale[1]
+		// Reference: uninterrupted, committed output only (parallelism is a
+		// deployment knob — any value yields identical patterns).
+		_, snaps, cfg := plantedWorkload(1234, 120)
+		cfg.Enum = FBA
+		cfg.CheckpointInterval = interval
+		cfg.CheckpointDir = t.TempDir()
+		var ref commitLog
+		cfg.OnCommit = ref.hook()
+		if _, err := RunSnapshots(cfg, snaps); err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.patterns()) == 0 {
+			t.Fatalf("%d->%d: reference run found no patterns; weak test", from, to)
+		}
+
+		// Crashy run at the old parallelism.
+		dir := t.TempDir()
+		_, snaps2, cfg2 := plantedWorkload(1234, 120)
+		cfg2.Enum = FBA
+		cfg2.Parallelism = from
+		cfg2.CheckpointInterval = interval
+		cfg2.CheckpointDir = dir
+		var crashed commitLog
+		cfg2.OnCommit = crashed.hook()
+		crashy, err := New(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashy.Start()
+		for _, s := range snaps2[:crashAt] {
+			crashy.PushSnapshot(s)
+		}
+		man := waitCheckpoint(t, crashy, ckptAtCut)
+		if man.MaxParallelism == 0 {
+			t.Fatalf("%d->%d: manifest not key-group scoped: %+v", from, to, man)
+		}
+		// Crash: abandon the pipeline (no drain, no end-of-stream flush).
+
+		// Resume the same stream at the NEW parallelism.
+		_, snaps3, cfg3 := plantedWorkload(1234, 120)
+		cfg3.Enum = FBA
+		cfg3.Parallelism = to
+		cfg3.CheckpointInterval = interval
+		cfg3.CheckpointDir = dir
+		cfg3.Resume = true
+		var resumed commitLog
+		cfg3.OnCommit = resumed.hook()
+		rp, err := New(cfg3)
+		if err != nil {
+			t.Fatalf("%d->%d: resume at new parallelism: %v", from, to, err)
+		}
+		pos, ok := rp.ResumePosition()
+		if !ok || pos.Snapshots != interval*ckptAtCut {
+			t.Fatalf("%d->%d: resume position %+v, %v", from, to, pos, ok)
+		}
+		rp.Start()
+		for _, s := range snaps3 {
+			if s.Tick > pos.LastTick {
+				rp.PushSnapshot(s)
+			}
+		}
+		rp.Finish()
+
+		got := append(crashed.patterns(), resumed.patterns()...)
+		if !bytes.Equal(patternsCSV(t, got), patternsCSV(t, ref.patterns())) {
+			t.Fatalf("%d->%d: rescaled crash+resume output differs: %d patterns, want %d",
+				from, to, len(got), len(ref.patterns()))
+		}
+		if len(crashed.patterns()) == 0 || len(resumed.patterns()) == 0 {
+			t.Logf("%d->%d: warning: one side empty (crashed=%d resumed=%d)",
+				from, to, len(crashed.patterns()), len(resumed.patterns()))
+		}
+	}
+}
+
+// Rescale over the tcpnet transport: the coordinator loads the
+// checkpoint, reshards every key-group blob onto the new subtask count,
+// and ships each worker exactly its share in the handshake. The first
+// half of the stream runs (and checkpoints) on real TCP workers at one
+// parallelism; the second half resumes at another. A graceful stop's
+// enumerator flush emits prefix-scoped patterns an uninterrupted run
+// never sees, so the oracle is a same-parallelism stop-and-resume — the
+// flush semantics cancel out, and any difference is the rescale's fault.
+// (The strict byte-identical-to-uninterrupted tcpnet check lives in
+// cmd/icpe's SIGKILL-based TestRescaleKillWorkerAndResume, where no drain
+// ever runs.)
+func TestDistributedRescaleResume(t *testing.T) {
+	run := func(fromPar, toPar int) []model.Pattern {
+		dir := t.TempDir()
+		_, snaps, cfg := plantedWorkload(1234, 120)
+		half := len(snaps) / 2
+		cfg.Enum = FBA
+		cfg.Parallelism = fromPar
+		cfg.CheckpointInterval = 10
+		cfg.CheckpointDir = dir
+		var log commitLog
+		cfg.OnCommit = log.hook()
+		runDistributed(t, cfg, snaps[:half], 2)
+
+		// The final graceful checkpoint covers exactly the prefix, so the
+		// resumed run replays the ticks beyond it.
+		_, snaps2, cfg2 := plantedWorkload(1234, 120)
+		cfg2.Enum = FBA
+		cfg2.Parallelism = toPar
+		cfg2.CheckpointInterval = 10
+		cfg2.CheckpointDir = dir
+		cfg2.Resume = true
+		cfg2.OnCommit = log.hook()
+		runDistributed(t, cfg2, snaps2[half:], 2)
+		return log.patterns()
+	}
+	base := run(3, 3) // same-parallelism stop-and-resume oracle
+	if len(base) == 0 {
+		t.Fatal("no patterns; weak test")
+	}
+	for _, scale := range [][2]int{{2, 4}, {4, 2}} {
+		got := run(scale[0], scale[1])
+		if !bytes.Equal(patternsCSV(t, got), patternsCSV(t, base)) {
+			t.Fatalf("%d->%d: distributed rescale output differs from same-parallelism resume: %d patterns, want %d",
+				scale[0], scale[1], len(got), len(base))
+		}
+	}
+}
+
 // Distributed checkpointing: acks travel the tcpnet control plane from
 // real worker nodes, the sink-barrier cut arrives interleaved with the
 // forwarded sink stream, and committed output matches the in-process run.
@@ -282,6 +419,20 @@ func TestCheckpointConfigValidation(t *testing.T) {
 	cfg.OnCommit = func(uint64, []model.Pattern) {}
 	if _, err := New(cfg); err == nil {
 		t.Error("OnCommit without checkpointing accepted")
+	}
+	// A checkpointed job wider than the default max parallelism must pin
+	// MaxParallelism explicitly — a derived default would follow
+	// Parallelism into the fingerprint and break the rescale it bounds.
+	_, _, cfg = plantedWorkload(1, 10)
+	cfg.Parallelism = 200
+	cfg.CheckpointInterval = 4
+	cfg.CheckpointDir = t.TempDir()
+	if _, err := New(cfg); err == nil {
+		t.Error("checkpointed parallelism 200 without explicit MaxParallelism accepted")
+	}
+	cfg.MaxParallelism = 256
+	if _, err := New(cfg); err != nil {
+		t.Errorf("explicit MaxParallelism 256 rejected: %v", err)
 	}
 }
 

@@ -74,8 +74,18 @@ type Config struct {
 	// disables the cap.
 	Nodes        int
 	SlotsPerNode int
-	// Parallelism is the subtask count per stage (default 4).
+	// Parallelism is the subtask count per stage (default 4). It is a pure
+	// deployment knob: results are identical at any parallelism, and a
+	// checkpointed run may resume at a different one (elastic rescale).
 	Parallelism int
+	// MaxParallelism is the key-group count (default 128): keyed exchanges
+	// route by hash(key) % MaxParallelism and operator state is
+	// checkpointed per key group, so Parallelism can change across a
+	// resume as long as it stays ≤ MaxParallelism. Unlike Parallelism it
+	// is part of the job's identity — the key→group mapping is the address
+	// space of all keyed state — and must match the checkpoint's on
+	// resume (it is validated via the config fingerprint).
+	MaxParallelism int
 	// ExchangeBatch is the record batch size on the keyed exchanges between
 	// stages (default 32); values < 0 ship record-at-a-time. Batches are
 	// sealed on every watermark, so results are identical either way.
@@ -154,6 +164,28 @@ func (c *Config) fill() error {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = 4
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = flow.DefaultMaxParallelism
+		if c.Parallelism > c.MaxParallelism {
+			// Raise the default so Parallelism > 128 keeps working out of
+			// the box — but only for uncheckpointed runs. A checkpointed
+			// job must pin MaxParallelism explicitly: the derived value
+			// would follow Parallelism into the manifest fingerprint, and
+			// a later resume at a narrower Parallelism would re-derive a
+			// different one and be rejected — silently breaking exactly
+			// the rescale this knob exists for.
+			if c.CheckpointInterval > 0 {
+				return fmt.Errorf(
+					"core: parallelism %d exceeds the default max parallelism %d; checkpointed jobs this wide must set MaxParallelism explicitly (it is fixed for the job's lifetime and bounds every future rescale)",
+					c.Parallelism, flow.DefaultMaxParallelism)
+			}
+			c.MaxParallelism = c.Parallelism
+		}
+	}
+	if c.Parallelism > c.MaxParallelism {
+		return fmt.Errorf("core: parallelism %d exceeds max parallelism %d",
+			c.Parallelism, c.MaxParallelism)
 	}
 	if c.SlotsPerNode <= 0 {
 		c.SlotsPerNode = 2
@@ -282,7 +314,9 @@ func New(cfg Config) (*Pipeline, error) {
 		g.OnCheckpointState = runner.ack
 		g.SinkBarrier = runner.onSinkBarrier
 		if man != nil {
-			if g.Restore, err = ckpt.RestoreFunc(runner.store, man); err != nil {
+			// RestoreFunc re-slices the blobs onto this run's per-stage
+			// parallelism, which may differ from the checkpoint's.
+			if g.Restore, err = ckpt.RestoreFunc(runner.store, man, ckptStages(g)); err != nil {
 				return nil, err
 			}
 		}

@@ -19,20 +19,21 @@ import (
 // topology. Hooks, transports and collection settings are process-local
 // and deliberately absent.
 type Spec struct {
-	M             int     `json:"m"`
-	K             int     `json:"k"`
-	L             int     `json:"l"`
-	G             int     `json:"g"`
-	Eps           float64 `json:"eps"`
-	CellWidth     float64 `json:"cell_width"`
-	Metric        int     `json:"metric"`
-	MinPts        int     `json:"min_pts"`
-	Cluster       string  `json:"cluster"`
-	Enum          string  `json:"enum"`
-	Nodes         int     `json:"nodes"`
-	SlotsPerNode  int     `json:"slots_per_node"`
-	Parallelism   int     `json:"parallelism"`
-	ExchangeBatch int     `json:"exchange_batch"`
+	M              int     `json:"m"`
+	K              int     `json:"k"`
+	L              int     `json:"l"`
+	G              int     `json:"g"`
+	Eps            float64 `json:"eps"`
+	CellWidth      float64 `json:"cell_width"`
+	Metric         int     `json:"metric"`
+	MinPts         int     `json:"min_pts"`
+	Cluster        string  `json:"cluster"`
+	Enum           string  `json:"enum"`
+	Nodes          int     `json:"nodes"`
+	SlotsPerNode   int     `json:"slots_per_node"`
+	Parallelism    int     `json:"parallelism"`
+	MaxParallelism int     `json:"max_parallelism"`
+	ExchangeBatch  int     `json:"exchange_batch"`
 }
 
 // EncodeSpec serializes the topology-determining part of cfg.
@@ -43,16 +44,59 @@ func EncodeSpec(cfg Config) ([]byte, error) {
 	return json.Marshal(Spec{
 		M: cfg.Constraints.M, K: cfg.Constraints.K,
 		L: cfg.Constraints.L, G: cfg.Constraints.G,
-		Eps:           cfg.Eps,
-		CellWidth:     cfg.CellWidth,
-		Metric:        int(cfg.Metric),
-		MinPts:        cfg.MinPts,
-		Cluster:       string(cfg.Cluster),
-		Enum:          string(cfg.Enum),
-		Nodes:         cfg.Nodes,
-		SlotsPerNode:  cfg.SlotsPerNode,
-		Parallelism:   cfg.Parallelism,
-		ExchangeBatch: cfg.ExchangeBatch,
+		Eps:            cfg.Eps,
+		CellWidth:      cfg.CellWidth,
+		Metric:         int(cfg.Metric),
+		MinPts:         cfg.MinPts,
+		Cluster:        string(cfg.Cluster),
+		Enum:           string(cfg.Enum),
+		Nodes:          cfg.Nodes,
+		SlotsPerNode:   cfg.SlotsPerNode,
+		Parallelism:    cfg.Parallelism,
+		MaxParallelism: cfg.MaxParallelism,
+		ExchangeBatch:  cfg.ExchangeBatch,
+	})
+}
+
+// fingerprintSpec is the semantic identity of a detection job: the fields
+// that determine WHAT is computed, not how the computation is deployed.
+// It is what checkpoint manifests are stamped with, so a resume accepts
+// any deployment of the same job. Parallelism, exchange batching and slot
+// simulation are deployment knobs — changing them cannot change results —
+// and are deliberately absent. MaxParallelism IS part of the identity:
+// it fixes the key→group mapping every checkpointed state blob is
+// bucketed by, so restoring under a different one would scatter keys
+// into the wrong buckets.
+type fingerprintSpec struct {
+	M              int     `json:"m"`
+	K              int     `json:"k"`
+	L              int     `json:"l"`
+	G              int     `json:"g"`
+	Eps            float64 `json:"eps"`
+	CellWidth      float64 `json:"cell_width"`
+	Metric         int     `json:"metric"`
+	MinPts         int     `json:"min_pts"`
+	Cluster        string  `json:"cluster"`
+	Enum           string  `json:"enum"`
+	MaxParallelism int     `json:"max_parallelism"`
+}
+
+// Fingerprint serializes the semantic identity of cfg (the checkpoint
+// compatibility key — see fingerprintSpec).
+func Fingerprint(cfg Config) ([]byte, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(fingerprintSpec{
+		M: cfg.Constraints.M, K: cfg.Constraints.K,
+		L: cfg.Constraints.L, G: cfg.Constraints.G,
+		Eps:            cfg.Eps,
+		CellWidth:      cfg.CellWidth,
+		Metric:         int(cfg.Metric),
+		MinPts:         cfg.MinPts,
+		Cluster:        string(cfg.Cluster),
+		Enum:           string(cfg.Enum),
+		MaxParallelism: cfg.MaxParallelism,
 	})
 }
 
@@ -64,17 +108,18 @@ func DecodeSpec(data []byte) (Config, error) {
 		return Config{}, fmt.Errorf("core: spec: %w", err)
 	}
 	cfg := Config{
-		Constraints:   model.Constraints{M: s.M, K: s.K, L: s.L, G: s.G},
-		Eps:           s.Eps,
-		CellWidth:     s.CellWidth,
-		Metric:        geo.Metric(s.Metric),
-		MinPts:        s.MinPts,
-		Cluster:       ClusterMethod(s.Cluster),
-		Enum:          EnumMethod(s.Enum),
-		Nodes:         s.Nodes,
-		SlotsPerNode:  s.SlotsPerNode,
-		Parallelism:   s.Parallelism,
-		ExchangeBatch: s.ExchangeBatch,
+		Constraints:    model.Constraints{M: s.M, K: s.K, L: s.L, G: s.G},
+		Eps:            s.Eps,
+		CellWidth:      s.CellWidth,
+		Metric:         geo.Metric(s.Metric),
+		MinPts:         s.MinPts,
+		Cluster:        ClusterMethod(s.Cluster),
+		Enum:           EnumMethod(s.Enum),
+		Nodes:          s.Nodes,
+		SlotsPerNode:   s.SlotsPerNode,
+		Parallelism:    s.Parallelism,
+		MaxParallelism: s.MaxParallelism,
+		ExchangeBatch:  s.ExchangeBatch,
 	}
 	if err := cfg.fill(); err != nil {
 		return Config{}, err
@@ -128,7 +173,11 @@ func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 	}
 	// On resume, load the latest completed checkpoint's state blobs before
 	// the handshake; the store instance is shared with the pipeline's
-	// checkpoint runner so both see the same checkpoint.
+	// checkpoint runner so both see the same checkpoint. The blobs are
+	// re-sliced onto THIS run's per-stage parallelism (which may differ
+	// from the checkpoint's — elastic rescale) before they are shipped, so
+	// each worker receives exactly the key groups its new subtasks' ranges
+	// need, keyed by the new subtask indices.
 	var restore map[string][]byte
 	if cfg.Resume {
 		if cfg.CheckpointStore == nil {
@@ -136,14 +185,25 @@ func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 				return nil, err
 			}
 		}
+		fp, err := Fingerprint(cfg)
+		if err != nil {
+			return nil, err
+		}
 		// Validate before the handshake so a config mismatch fails the
 		// coordinator cleanly instead of stranding joined workers.
-		man, err := resumeManifest(cfg.CheckpointStore, spec)
+		man, err := resumeManifest(cfg.CheckpointStore, fp)
 		if err != nil {
 			return nil, err
 		}
 		if man != nil {
-			if restore, err = restoreBlobs(cfg.CheckpointStore, man); err != nil {
+			target, err := topologyStages(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := man.Validate(target, cfg.MaxParallelism); err != nil {
+				return nil, err
+			}
+			if restore, err = restoreBlobs(cfg.CheckpointStore, man, target); err != nil {
 				return nil, err
 			}
 		}

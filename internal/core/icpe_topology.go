@@ -113,14 +113,15 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 		slots = cfg.Nodes * cfg.SlotsPerNode
 	}
 	return &topology.Graph{
-		Name:          "icpe",
-		Stages:        stages,
-		Exchanges:     exchanges,
-		Slots:         slots,
-		Sink:          h.Sink,
-		SinkWatermark: h.SinkWatermark,
-		Transport:     cfg.Transport,
-		Local:         cfg.Local,
+		Name:           "icpe",
+		Stages:         stages,
+		Exchanges:      exchanges,
+		MaxParallelism: cfg.MaxParallelism,
+		Slots:          slots,
+		Sink:           h.Sink,
+		SinkWatermark:  h.SinkWatermark,
+		Transport:      cfg.Transport,
+		Local:          cfg.Local,
 	}, nil
 }
 

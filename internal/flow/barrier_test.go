@@ -99,7 +99,7 @@ func TestBarrierConsistentCut(t *testing.T) {
 	}
 	sums := map[int]uint64{}
 	for key, state := range got {
-		n, _ := binary.Uvarint(state)
+		n, _ := binary.Uvarint(state[1:]) // strip the StateRaw format tag
 		sums[key[0]] += n
 	}
 	if sums[0] != pre || sums[1] != pre {
@@ -116,7 +116,7 @@ func TestBarrierConsistentCut(t *testing.T) {
 func TestRestoreBeforeInput(t *testing.T) {
 	acks := newAckSink()
 	restore := func(stage, subtask int) []byte {
-		return binary.AppendUvarint(nil, uint64(100*(stage+1)+subtask))
+		return EncodeRawState(binary.AppendUvarint(nil, uint64(100*(stage+1)+subtask)))
 	}
 	p := NewPipeline(Config{
 		OnCheckpointState: acks.on,
@@ -138,7 +138,7 @@ func TestRestoreBeforeInput(t *testing.T) {
 	}
 	var sums [2]uint64
 	for key, state := range got {
-		c, _ := binary.Uvarint(state)
+		c, _ := binary.Uvarint(state[1:]) // strip the StateRaw format tag
 		sums[key[0]] += c
 	}
 	// Each stage restored 100*(stage+1)+0 + 100*(stage+1)+1 and then

@@ -8,10 +8,11 @@ import (
 	"repro/internal/model"
 )
 
-// keyFor returns a key that routes to the given subtask among n.
+// keyFor returns a key that routes to the given subtask among n (via the
+// key-group routing a default-configured pipeline uses).
 func keyFor(sub, n int) uint64 {
 	for k := uint64(0); ; k++ {
-		if int(mix(k)%uint64(n)) == sub {
+		if SubtaskForGroup(KeyGroup(k, DefaultMaxParallelism), DefaultMaxParallelism, n) == sub {
 			return k
 		}
 	}
@@ -228,11 +229,12 @@ func TestBatchedExchangeDeliversAll(t *testing.T) {
 
 // benchmarkExchange pushes b.N records through a fan-out keyed exchange
 // (the allocate -> rangejoin shape: one input record becomes several keyed
-// records) with the given output batch size.
-func benchmarkExchange(b *testing.B, batch int) {
+// records) with the given output batch size and key-group count (0 =
+// default max parallelism).
+func benchmarkExchange(b *testing.B, batch, maxPar int) {
 	const fan = 8
 	var n int64
-	p := NewPipeline(Config{},
+	p := NewPipeline(Config{MaxParallelism: maxPar},
 		StageSpec{Name: "fan", Parallelism: 1, OutBatch: batch, Make: func(int) Operator {
 			return procFunc(func(data any, out *Collector) {
 				v := data.(int)
@@ -261,10 +263,40 @@ func benchmarkExchange(b *testing.B, batch int) {
 
 // BenchmarkExchange compares record-at-a-time against batched keyed
 // exchange on the same fan-out pipeline (the ISSUE acceptance asks for
-// batched >= 1.5x unbatched throughput).
+// batched >= 1.5x unbatched throughput). The maxpar variants route through
+// larger key-group spaces: rec/s should be flat across them, showing the
+// key-group indirection costs nothing measurable end to end.
 func BenchmarkExchange(b *testing.B) {
-	b.Run("unbatched", func(b *testing.B) { benchmarkExchange(b, 1) })
-	b.Run("batch8", func(b *testing.B) { benchmarkExchange(b, 8) })
-	b.Run("batch32", func(b *testing.B) { benchmarkExchange(b, 32) })
-	b.Run("batch128", func(b *testing.B) { benchmarkExchange(b, 128) })
+	b.Run("unbatched", func(b *testing.B) { benchmarkExchange(b, 1, 0) })
+	b.Run("batch8", func(b *testing.B) { benchmarkExchange(b, 8, 0) })
+	b.Run("batch32", func(b *testing.B) { benchmarkExchange(b, 32, 0) })
+	b.Run("batch128", func(b *testing.B) { benchmarkExchange(b, 128, 0) })
+	b.Run("batch32-maxpar1024", func(b *testing.B) { benchmarkExchange(b, 32, 1024) })
+	b.Run("batch32-maxpar4096", func(b *testing.B) { benchmarkExchange(b, 32, 4096) })
+}
+
+// routedTo keeps the routing benchmarks from being optimized away.
+var routedTo int
+
+// BenchmarkRouting isolates the per-record routing decision of the keyed
+// exchange: the pre-key-group direct hash (mix(key) % parallelism) against
+// key-group routing (mix(key) % maxParallelism, then group*par/max). The
+// delta — one modulo, one multiply and one divide — is the entire hot-path
+// cost the rescale capability adds to every exchanged record.
+func BenchmarkRouting(b *testing.B) {
+	const par = 4
+	b.Run("direct-hash", func(b *testing.B) {
+		s := 0
+		for i := 0; i < b.N; i++ {
+			s += int(mix(uint64(i)) % par)
+		}
+		routedTo = s
+	})
+	b.Run("keygroup", func(b *testing.B) {
+		s := 0
+		for i := 0; i < b.N; i++ {
+			s += SubtaskForGroup(KeyGroup(uint64(i), DefaultMaxParallelism), DefaultMaxParallelism, par)
+		}
+		routedTo = s
+	})
 }

@@ -47,14 +47,17 @@ func newCollector(p *Pipeline, subtask int, next []Endpoint, batchSize int) *Col
 	return c
 }
 
-// Emit routes one record by key hash to the next stage (or the sink for
-// the last stage).
+// Emit routes one record to the next stage (or the sink for the last
+// stage) by its key group: keyGroup = hash(key) % MaxParallelism, then the
+// subtask owning that group's range at the next stage's parallelism. The
+// key→group mapping is independent of parallelism, so the state bucket a
+// record lands in is stable across rescales.
 func (c *Collector) Emit(key uint64, data any) {
 	if c.next == nil {
 		c.buf = append(c.buf, outEvent{to: sinkDest, data: data})
 		return
 	}
-	to := int(mix(key) % uint64(len(c.next)))
+	to := c.p.route(key, len(c.next))
 	if c.pending != nil {
 		c.pending[to] = append(c.pending[to], data)
 		if len(c.pending[to]) >= c.batchSize {

@@ -5,8 +5,11 @@
 //
 // The engine reproduces the Flink semantics the paper's algorithms rely on:
 //
-//   - keyed exchange: records are hash-routed so all records with one key
-//     (grid cell, snapshot tick, trajectory id) reach the same subtask;
+//   - keyed exchange: records are routed by stable key groups — keyGroup =
+//     hash(key) % MaxParallelism, each subtask owning a contiguous group
+//     range — so all records with one key (grid cell, snapshot tick,
+//     trajectory id) reach the same subtask, and the key→group mapping is
+//     independent of parallelism (see keygroup.go: the rescale invariant);
 //   - pipelined transfer: bounded endpoints give low latency and natural
 //     backpressure; hot edges can additionally coalesce records into Batch
 //     carriers (sealed by size and on watermark) to amortize the per-record
@@ -78,6 +81,7 @@ type StageSpec struct {
 // Pipeline is a linear dataflow of stages.
 type Pipeline struct {
 	stages []StageSpec
+	maxPar int          // key-group count; routing is hash(key) % maxPar
 	inputs [][]Endpoint // inputs[i][s]: input of stage i subtask s
 	wgs    []*sync.WaitGroup
 	local  []bool  // local[i]: stage i's subtasks run in this process
@@ -106,6 +110,14 @@ type Config struct {
 	// Slots caps concurrently executing operators (nodes x slots-per-node);
 	// 0 means unbounded.
 	Slots int
+	// MaxParallelism is the key-group count: every keyed exchange routes by
+	// keyGroup = hash(key) % MaxParallelism, and each subtask owns the
+	// contiguous group range KeyGroupRange(max, parallelism, subtask). It
+	// bounds every stage's parallelism and fixes the key→group mapping, so
+	// two runs with equal MaxParallelism bucket state identically regardless
+	// of parallelism (the rescale-from-checkpoint invariant). 0 uses
+	// DefaultMaxParallelism. All processes of one job must agree on it.
+	MaxParallelism int
 	// Sink receives records emitted by the last stage (serialized).
 	Sink func(any)
 	// SinkWatermark receives the merged watermark of the last stage.
@@ -145,8 +157,13 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 	if tr == nil {
 		tr = Channels()
 	}
+	maxPar := cfg.MaxParallelism
+	if maxPar <= 0 {
+		maxPar = DefaultMaxParallelism
+	}
 	p := &Pipeline{
 		stages:    stages,
+		maxPar:    maxPar,
 		recs:      make([]int64, len(stages)),
 		sinkFn:    cfg.Sink,
 		sinkWMs:   make(map[int]model.Tick),
@@ -166,6 +183,10 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 	for _, st := range stages {
 		if st.Parallelism < 1 {
 			panic(fmt.Sprintf("flow: stage %q parallelism %d", st.Name, st.Parallelism))
+		}
+		if st.Parallelism > maxPar {
+			panic(fmt.Sprintf("flow: stage %q parallelism %d exceeds max parallelism %d",
+				st.Name, st.Parallelism, maxPar))
 		}
 		buf := st.BufSize
 		if buf <= 0 {
@@ -231,6 +252,85 @@ type restorer interface {
 	RestoreState(data []byte) error
 }
 
+// groupSnapshotter/groupRestorer are the structural forms of
+// ckpt.GroupSnapshotter: keyed operators emit their state bucketed by key
+// group (group(key) is the pipeline's key→group mapping) and restore by
+// merging any number of group buckets — the contract that makes their
+// checkpoints re-shardable across a parallelism change.
+type groupSnapshotter interface {
+	SnapshotGroups(group func(key uint64) int) (map[int][]byte, error)
+}
+
+type groupRestorer interface {
+	RestoreGroup(data []byte) error
+}
+
+// keyGroupOf is the pipeline's key→group mapping, handed to group
+// snapshotters so their buckets match the exchange routing exactly.
+func (p *Pipeline) keyGroupOf(key uint64) int { return KeyGroup(key, p.maxPar) }
+
+// route maps a routing key to the owning subtask among n: the key's group,
+// then the group's owner at parallelism n.
+func (p *Pipeline) route(key uint64, n int) int {
+	return SubtaskForGroup(KeyGroup(key, p.maxPar), p.maxPar, n)
+}
+
+// snapshotOp serializes one operator's state at an aligned barrier into a
+// self-describing blob: group-framed for key-group snapshotters, raw for
+// plain ones, nil for stateless operators and empty state.
+func (p *Pipeline) snapshotOp(op Operator) ([]byte, error) {
+	switch s := op.(type) {
+	case groupSnapshotter:
+		groups, err := s.SnapshotGroups(p.keyGroupOf)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeGroupStates(groups), nil
+	case snapshotter:
+		raw, err := s.SnapshotState()
+		if err != nil {
+			return nil, err
+		}
+		return EncodeRawState(raw), nil
+	default:
+		return nil, nil
+	}
+}
+
+// restoreOp applies one checkpointed blob to a freshly built operator,
+// dispatching on the blob's format tag. A group-framed blob may hold any
+// set of key groups (restore after a rescale merges groups from several
+// old subtasks); each is applied via RestoreGroup.
+func (p *Pipeline) restoreOp(stage, subtask int, op Operator, blob []byte) {
+	name := p.stages[stage].Name
+	switch blob[0] {
+	case StateGroups:
+		gr, ok := op.(groupRestorer)
+		if !ok {
+			panic(fmt.Sprintf("flow: stage %q has key-group state but its operator is no GroupSnapshotter", name))
+		}
+		groups, err := DecodeGroupStates(blob)
+		if err != nil {
+			panic(fmt.Sprintf("flow: stage %q subtask %d restore: %v", name, subtask, err))
+		}
+		for _, g := range groups {
+			if err := gr.RestoreGroup(g.Data); err != nil {
+				panic(fmt.Sprintf("flow: stage %q subtask %d restore group %d: %v", name, subtask, g.Group, err))
+			}
+		}
+	case StateRaw:
+		r, ok := op.(restorer)
+		if !ok {
+			panic(fmt.Sprintf("flow: stage %q has checkpointed state but its operator is no Snapshotter", name))
+		}
+		if err := r.RestoreState(blob[1:]); err != nil {
+			panic(fmt.Sprintf("flow: stage %q subtask %d restore: %v", name, subtask, err))
+		}
+	default:
+		panic(fmt.Sprintf("flow: stage %q subtask %d: unknown state format %d", name, subtask, blob[0]))
+	}
+}
+
 // alignState tracks one in-flight barrier at a subtask: which senders have
 // delivered it, and the post-barrier input from those senders that must be
 // held back until the cut is complete. Several barriers can be in flight
@@ -253,15 +353,7 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 	out := newCollector(p, subtask, next, p.stages[stage].OutBatch)
 	if p.restoreFn != nil {
 		if blob := p.restoreFn(stage, subtask); len(blob) > 0 {
-			r, ok := op.(restorer)
-			if !ok {
-				panic(fmt.Sprintf("flow: stage %q has checkpointed state but its operator is no Snapshotter",
-					p.stages[stage].Name))
-			}
-			if err := r.RestoreState(blob); err != nil {
-				panic(fmt.Sprintf("flow: stage %q subtask %d restore: %v",
-					p.stages[stage].Name, subtask, err))
-			}
+			p.restoreOp(stage, subtask, op, blob)
 		}
 	}
 	wms := make([]model.Tick, senders)
@@ -310,11 +402,7 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 	// the barrier, and replays the input held back during alignment.
 	complete := func(a *alignState) {
 		p.acquire()
-		var state []byte
-		var err error
-		if s, ok := op.(snapshotter); ok {
-			state, err = s.SnapshotState()
-		}
+		state, err := p.snapshotOp(op)
 		p.release()
 		if p.onCkpt != nil {
 			p.onCkpt(a.id, stage, subtask, state, err)
@@ -396,10 +484,10 @@ func (p *Pipeline) release() {
 	}
 }
 
-// Submit feeds one record into stage 0, routed by key.
+// Submit feeds one record into stage 0, routed by key group.
 func (p *Pipeline) Submit(key uint64, data any) {
 	eps := p.inputs[0]
-	eps[mix(key)%uint64(len(eps))].Send(Message{From: 0, Data: data})
+	eps[p.route(key, len(eps))].Send(Message{From: 0, Data: data})
 }
 
 // SubmitAll feeds one record to every stage-0 subtask.

@@ -1,0 +1,95 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// Key-group range assignment must partition [0, max) exactly: for every
+// (max, parallelism) combination, ranges are contiguous, disjoint, cover
+// the whole group space, agree with SubtaskForGroup, and their sizes
+// differ by at most one across subtasks.
+func TestKeyGroupRangeProperties(t *testing.T) {
+	for _, max := range []int{1, 2, 3, 7, 8, 128, 1024} {
+		for par := 1; par <= max; par++ {
+			if max > 64 && par > 2 && par < max-2 && par%17 != 0 {
+				continue // sample the large spaces instead of sweeping all
+			}
+			next := 0
+			minSize, maxSize := max+1, -1
+			for sub := 0; sub < par; sub++ {
+				start, end := KeyGroupRange(max, par, sub)
+				if start != next {
+					t.Fatalf("max=%d par=%d: subtask %d starts at %d, want %d (not contiguous)",
+						max, par, sub, start, next)
+				}
+				if end < start {
+					t.Fatalf("max=%d par=%d: subtask %d has inverted range [%d, %d)", max, par, sub, start, end)
+				}
+				for g := start; g < end; g++ {
+					if got := SubtaskForGroup(g, max, par); got != sub {
+						t.Fatalf("max=%d par=%d: group %d in subtask %d's range but SubtaskForGroup = %d",
+							max, par, g, sub, got)
+					}
+				}
+				size := end - start
+				if size < minSize {
+					minSize = size
+				}
+				if size > maxSize {
+					maxSize = size
+				}
+				next = end
+			}
+			if next != max {
+				t.Fatalf("max=%d par=%d: ranges cover [0, %d), want [0, %d)", max, par, next, max)
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("max=%d par=%d: range sizes span [%d, %d]; groups per subtask must differ by <= 1",
+					max, par, minSize, maxSize)
+			}
+		}
+	}
+}
+
+// KeyGroup must stay inside [0, max) and be independent of parallelism by
+// construction; spot-check the bounds over a wide key sweep.
+func TestKeyGroupBounds(t *testing.T) {
+	for _, max := range []int{1, 2, 128, 1000} {
+		for k := uint64(0); k < 10_000; k += 7 {
+			if g := KeyGroup(k, max); g < 0 || g >= max {
+				t.Fatalf("KeyGroup(%d, %d) = %d outside [0, %d)", k, max, g, max)
+			}
+		}
+	}
+}
+
+// The hash-to-group distribution over the object ids a datagen workload
+// assigns (the keys the enumerate stage routes and buckets its state by)
+// must stay within 10% of uniform — a skewed mapping would turn the
+// rescale machinery into a load-imbalance machine.
+func TestKeyGroupDistributionOverDatagenIDs(t *testing.T) {
+	const max = DefaultMaxParallelism
+	cfg := datagen.DefaultPlanted(42)
+	cfg.NumGroups = 16
+	cfg.GroupSize = 8
+	cfg.NumNoise = 1<<17 - cfg.NumGroups*cfg.GroupSize
+	sim := datagen.NewPlanted(cfg)
+	snap := sim.Next()
+	if len(snap.Objects) != 1<<17 {
+		t.Fatalf("workload has %d objects, want %d", len(snap.Objects), 1<<17)
+	}
+	counts := make([]int, max)
+	for _, id := range snap.Objects {
+		counts[KeyGroup(uint64(id), max)]++
+	}
+	mean := float64(len(snap.Objects)) / max
+	for g, n := range counts {
+		dev := (float64(n) - mean) / mean
+		if dev > 0.10 || dev < -0.10 {
+			t.Errorf("group %d holds %d ids, %.1f%% off the uniform %.0f",
+				g, n, dev*100, mean)
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"repro/internal/model"
 )
 
-var _ ckpt.Snapshotter = (*Op)(nil)
+var _ ckpt.GroupSnapshotter = (*Op)(nil)
 
 // In the standard topology the aligned barrier travels behind the source
 // watermark of the last pre-cut tick, so every buffered tick has been
@@ -19,18 +19,32 @@ var _ ckpt.Snapshotter = (*Op)(nil)
 // interleaves barriers and watermarks differently) round-trips its partial
 // tick buffers exactly.
 
-// SnapshotState implements ckpt.Snapshotter: the per-tick input buffers,
-// in ascending tick order. The duplicate-elimination set is not stored; it
-// is rebuilt from the kept pairs on restore.
-func (d *Op) SnapshotState() ([]byte, error) {
+// SnapshotGroups implements ckpt.GroupSnapshotter: the per-tick input
+// buffers, bucketed by the key group of their routing key (the tick — the
+// key rangejoin emits with, so a buffer lands in the same bucket its
+// records route to) and in ascending tick order within each bucket. The
+// duplicate-elimination set is not stored; it is rebuilt from the kept
+// pairs on restore.
+func (d *Op) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
 	if len(d.bufs) == 0 {
 		return nil, nil
 	}
-	ticks := make([]model.Tick, 0, len(d.bufs))
+	byGroup := make(map[int][]model.Tick)
 	for t := range d.bufs {
-		ticks = append(ticks, t)
+		g := group(uint64(t))
+		byGroup[g] = append(byGroup[g], t)
 	}
-	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	out := make(map[int][]byte, len(byGroup))
+	for g, ticks := range byGroup {
+		sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+		out[g] = d.encodeTicks(ticks)
+	}
+	return out, nil
+}
+
+// encodeTicks serializes the buffers of the given ticks (one key group's
+// share of the operator state).
+func (d *Op) encodeTicks(ticks []model.Tick) []byte {
 	buf := binary.AppendUvarint(nil, uint64(len(ticks)))
 	for _, t := range ticks {
 		b := d.bufs[t]
@@ -56,11 +70,14 @@ func (d *Op) SnapshotState() ([]byte, error) {
 			buf = binary.AppendVarint(buf, int64(p[1]))
 		}
 	}
-	return buf, nil
+	return buf
 }
 
-// RestoreState implements ckpt.Snapshotter.
-func (d *Op) RestoreState(data []byte) error {
+// RestoreGroup implements ckpt.GroupSnapshotter: one key group's tick
+// buffers are merged into the operator. Groups are disjoint by
+// construction, so merging never collides; after a rescale a subtask
+// restores every group blob covering its new range.
+func (d *Op) RestoreGroup(data []byte) error {
 	dec := flow.NewDec(data)
 	bufs := make(map[model.Tick]*tickBuf)
 	n := int(dec.Uvarint())
@@ -100,6 +117,8 @@ func (d *Op) RestoreState(data []byte) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	d.bufs = bufs
+	for t, b := range bufs {
+		d.bufs[t] = b
+	}
 	return nil
 }

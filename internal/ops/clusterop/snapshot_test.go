@@ -5,12 +5,30 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/model"
 	"repro/internal/ops/msg"
 )
 
-// Partial tick buffers must round-trip exactly, including the rebuilt
-// duplicate-elimination set of the dedupe baselines.
+// testGroup is the key→group mapping the tests snapshot under — the same
+// function a pipeline with MaxParallelism 8 would hand the operator.
+func testGroup(k uint64) int { return flow.KeyGroup(k, 8) }
+
+// restoreAll merges every group blob into op (what the runtime does when
+// one subtask's range covers all of them).
+func restoreAll(t *testing.T, op *Op, groups map[int][]byte) {
+	t.Helper()
+	for g, blob := range groups {
+		if err := op.RestoreGroup(blob); err != nil {
+			t.Fatalf("restore group %d: %v", g, err)
+		}
+	}
+}
+
+// Partial tick buffers must round-trip exactly through the key-group
+// snapshot, including the rebuilt duplicate-elimination set of the dedupe
+// baselines. Each buffered tick must land in the key group its records
+// route by.
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	for _, dedupe := range []bool{false, true} {
 		op := New(Config{MinPts: 2, Dedupe: dedupe, GroupMin: 2, Enumerate: true})
@@ -23,14 +41,18 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 			op.Process(msg.Pairs{Tick: 7, Pairs: [][2]int32{{0, 1}}}, nil)
 		}
 
-		blob, err := op.SnapshotState()
-		if err != nil || len(blob) == 0 {
-			t.Fatalf("dedupe=%v: snapshot = %d bytes, %v", dedupe, len(blob), err)
+		groups, err := op.SnapshotGroups(testGroup)
+		if err != nil || len(groups) == 0 {
+			t.Fatalf("dedupe=%v: snapshot = %d groups, %v", dedupe, len(groups), err)
+		}
+		for g := range groups {
+			if g != testGroup(7) && g != testGroup(8) {
+				t.Fatalf("dedupe=%v: state in group %d, ticks route to %d and %d",
+					dedupe, g, testGroup(7), testGroup(8))
+			}
 		}
 		restored := New(Config{MinPts: 2, Dedupe: dedupe, GroupMin: 2, Enumerate: true})
-		if err := restored.RestoreState(blob); err != nil {
-			t.Fatalf("dedupe=%v: restore: %v", dedupe, err)
-		}
+		restoreAll(t, restored, groups)
 		if restored.Buffered() != 2 {
 			t.Fatalf("dedupe=%v: %d buffered ticks, want 2", dedupe, restored.Buffered())
 		}
@@ -49,8 +71,41 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 	// Empty state snapshots to nothing.
 	op := New(Config{MinPts: 2})
-	if blob, err := op.SnapshotState(); err != nil || blob != nil {
-		t.Fatalf("empty snapshot = %v, %v", blob, err)
+	if groups, err := op.SnapshotGroups(testGroup); err != nil || groups != nil {
+		t.Fatalf("empty snapshot = %v, %v", groups, err)
+	}
+}
+
+// Restoring a subset of the groups — what each subtask does after a
+// rescale — must yield exactly that subset's ticks.
+func TestRestoreSubsetOfGroups(t *testing.T) {
+	op := New(Config{MinPts: 2})
+	for tick := model.Tick(1); tick <= 16; tick++ {
+		op.Process(msg.Meta{Tick: tick, Objects: []model.ObjectID{1, 2}}, nil)
+	}
+	groups, err := op.SnapshotGroups(testGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, blob := range groups {
+		fresh := New(Config{MinPts: 2})
+		if err := fresh.RestoreGroup(blob); err != nil {
+			t.Fatal(err)
+		}
+		for tick := range fresh.bufs {
+			if testGroup(uint64(tick)) != g {
+				t.Fatalf("tick %d restored from group %d, routes to %d", tick, g, testGroup(uint64(tick)))
+			}
+		}
+		want := 0
+		for tick := model.Tick(1); tick <= 16; tick++ {
+			if testGroup(uint64(tick)) == g {
+				want++
+			}
+		}
+		if fresh.Buffered() != want {
+			t.Fatalf("group %d restored %d ticks, want %d", g, fresh.Buffered(), want)
+		}
 	}
 }
 
@@ -59,13 +114,14 @@ func TestRestoreRejectsTruncated(t *testing.T) {
 	op := New(Config{MinPts: 2})
 	op.Process(msg.Meta{Tick: 3, Objects: []model.ObjectID{4, 5}}, nil)
 	op.Process(msg.Pairs{Tick: 3, Pairs: [][2]int32{{0, 1}}}, nil)
-	blob, err := op.SnapshotState()
-	if err != nil {
-		t.Fatal(err)
+	groups, err := op.SnapshotGroups(testGroup)
+	if err != nil || len(groups) != 1 {
+		t.Fatalf("snapshot = %d groups, %v", len(groups), err)
 	}
+	blob := groups[testGroup(3)]
 	for cut := 1; cut < len(blob); cut++ {
 		fresh := New(Config{MinPts: 2})
-		if err := fresh.RestoreState(blob[:cut]); err == nil {
+		if err := fresh.RestoreGroup(blob[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}

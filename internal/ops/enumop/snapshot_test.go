@@ -85,17 +85,73 @@ func TestOpSnapshotRestoreEmissions(t *testing.T) {
 	}
 }
 
+// testGroup is the key→group mapping the direct-snapshot tests use (a
+// pipeline with MaxParallelism 8 would hand the operator the same one).
+func testGroup(k uint64) int { return flow.KeyGroup(k, 8) }
+
 // The operator's blob must reject restore through a mismatched factory.
 func TestOpRestoreChecksEnumerator(t *testing.T) {
 	op := New(testConfig())
 	op.Process(part(5, 1, 2, 3), nil)
 	op.OnWatermark(5, nil)
-	blob, err := op.SnapshotState()
-	if err != nil || len(blob) == 0 {
-		t.Fatalf("snapshot = %d bytes, %v", len(blob), err)
+	groups, err := op.SnapshotGroups(testGroup)
+	if err != nil || len(groups) == 0 {
+		t.Fatalf("snapshot = %d groups, %v", len(groups), err)
 	}
 	other := New(Config{Constraints: testConfig().Constraints, New: enum.NewVBA})
-	if err := other.RestoreState(blob); err == nil {
-		t.Fatal("VBA operator accepted FBA state")
+	for _, blob := range groups {
+		if err := other.RestoreGroup(blob); err == nil {
+			t.Fatal("VBA operator accepted FBA state")
+		}
+	}
+}
+
+// State must be bucketed by the owner id's key group — the key partitions
+// route by — and restoring every group must reassemble the full owner and
+// reorder-buffer state.
+func TestOpSnapshotGroupsByOwner(t *testing.T) {
+	op := New(testConfig())
+	// Owners 1..6: some fed (live enumerators), some only pending in the
+	// reorder buffer (tick 9 not yet watermark-covered).
+	for _, o := range []model.ObjectID{1, 2, 3} {
+		op.Process(part(5, o, 1, 2, 3), nil)
+	}
+	op.OnWatermark(5, nil)
+	for _, o := range []model.ObjectID{4, 5, 6} {
+		op.Process(part(9, o, 4, 5, 6), nil)
+	}
+	groups, err := op.SnapshotGroups(testGroup)
+	if err != nil || len(groups) == 0 {
+		t.Fatalf("snapshot = %d groups, %v", len(groups), err)
+	}
+	// Each group blob restored alone must contain only owners of that group.
+	for g, blob := range groups {
+		fresh := New(testConfig())
+		if err := fresh.RestoreGroup(blob); err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+		for o := range fresh.subs {
+			if testGroup(uint64(o)) != g {
+				t.Fatalf("owner %d restored from group %d, routes to %d", o, g, testGroup(uint64(o)))
+			}
+		}
+		for _, item := range fresh.reorder.Items(9) {
+			if o := item.(enum.Partition).Owner; testGroup(uint64(o)) != g {
+				t.Fatalf("pending owner %d in group %d, routes to %d", o, g, testGroup(uint64(o)))
+			}
+		}
+	}
+	// The union restores the complete state.
+	merged := New(testConfig())
+	for _, blob := range groups {
+		if err := merged.RestoreGroup(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(merged.subs) != 3 {
+		t.Fatalf("merged restore has %d enumerators, want 3", len(merged.subs))
+	}
+	if n := len(merged.reorder.Items(9)); n != 3 {
+		t.Fatalf("merged restore has %d pending partitions, want 3", n)
 	}
 }

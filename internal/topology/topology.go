@@ -57,6 +57,13 @@ type Graph struct {
 	// may be nil or shorter than len(Stages)-1; missing entries use
 	// defaults (unbatched, default buffer).
 	Exchanges []Exchange
+	// MaxParallelism is the graph's key-group count (0 = flow default):
+	// every keyed exchange routes by hash(key) % MaxParallelism and keyed
+	// state is checkpointed per key group, so stage parallelism can change
+	// between a checkpoint and its resume while MaxParallelism cannot —
+	// it is part of the job's identity, not its deployment. Every stage's
+	// Parallelism must be ≤ MaxParallelism.
+	MaxParallelism int
 	// Slots caps concurrently executing operators across the whole graph
 	// (nodes x slots-per-node); 0 = unbounded.
 	Slots int
@@ -84,11 +91,19 @@ type Graph struct {
 
 // Validate checks the graph for structural errors: it must have at least
 // one stage, stage names must be non-empty and unique, every stage needs a
-// positive parallelism and an operator factory, and exchange specs must be
-// well-formed and attached to an existing edge.
+// positive parallelism no greater than the graph's max parallelism and an
+// operator factory, and exchange specs must be well-formed and attached to
+// an existing edge.
 func (g *Graph) Validate() error {
 	if len(g.Stages) == 0 {
 		return fmt.Errorf("topology %q: no stages", g.Name)
+	}
+	if g.MaxParallelism < 0 {
+		return fmt.Errorf("topology %q: negative max parallelism %d", g.Name, g.MaxParallelism)
+	}
+	maxPar := g.MaxParallelism
+	if maxPar == 0 {
+		maxPar = flow.DefaultMaxParallelism
 	}
 	seen := make(map[string]struct{}, len(g.Stages))
 	for i, st := range g.Stages {
@@ -101,6 +116,10 @@ func (g *Graph) Validate() error {
 		seen[st.Name] = struct{}{}
 		if st.Parallelism < 1 {
 			return fmt.Errorf("topology %q: stage %q parallelism %d", g.Name, st.Name, st.Parallelism)
+		}
+		if st.Parallelism > maxPar {
+			return fmt.Errorf("topology %q: stage %q parallelism %d exceeds max parallelism %d",
+				g.Name, st.Name, st.Parallelism, maxPar)
 		}
 		if st.Operator == nil {
 			return fmt.Errorf("topology %q: stage %q has no operator", g.Name, st.Name)
@@ -145,6 +164,7 @@ func (g *Graph) Build() (*flow.Pipeline, error) {
 		specs[i+1].BufSize = ex.Buffer
 	}
 	return flow.NewPipeline(flow.Config{
+		MaxParallelism:    g.MaxParallelism,
 		Slots:             g.Slots,
 		Sink:              g.Sink,
 		SinkWatermark:     g.SinkWatermark,

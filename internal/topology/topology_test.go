@@ -107,6 +107,15 @@ func TestGraphValidation(t *testing.T) {
 		{"negative slots", &Graph{
 			Stages: []Stage{stage("x", 1)}, Slots: -1,
 		}, "slots"},
+		{"negative max parallelism", &Graph{
+			Stages: []Stage{stage("x", 1)}, MaxParallelism: -1,
+		}, "max parallelism"},
+		{"parallelism beyond max", &Graph{
+			Stages: []Stage{stage("x", 5)}, MaxParallelism: 4,
+		}, "max parallelism"},
+		{"parallelism beyond default max", &Graph{
+			Stages: []Stage{stage("x", flow.DefaultMaxParallelism+1)},
+		}, "max parallelism"},
 	}
 	for _, tc := range cases {
 		err := tc.g.Validate()
@@ -127,5 +136,10 @@ func TestGraphValidAccepted(t *testing.T) {
 	g := &Graph{Stages: []Stage{stage("only", 4)}}
 	if err := g.Validate(); err != nil {
 		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// Parallelism equal to an explicit max parallelism is fine.
+	g = &Graph{Stages: []Stage{stage("only", 6)}, MaxParallelism: 6}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("parallelism == max parallelism rejected: %v", err)
 	}
 }

@@ -18,9 +18,13 @@
 // Config there), so every worker reconstructs the identical topology. The
 // optional restore map ("stage/subtask" -> state blob) carries checkpointed
 // operator state for the stages a worker owns when the run resumes from a
-// checkpoint; barriers themselves travel the data plane (they are ordinary
-// flow messages), while acks and the sink-barrier cut come back over the
-// control connection, ordered with the sink stream.
+// checkpoint. Its subtask indices are those of the RESUMING topology, not
+// the checkpointed one: on a rescale the application re-slices the blobs by
+// key group before the handshake (ckpt.Reshard), so each worker receives
+// exactly the blobs covering its new subtasks' key-group ranges and nothing
+// else. Barriers themselves travel the data plane (they are ordinary flow
+// messages), while acks and the sink-barrier cut come back over the control
+// connection, ordered with the sink stream.
 
 package tcpnet
 
