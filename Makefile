@@ -7,14 +7,18 @@ all: build test vet
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-source) execution order every
+# run, so accidental inter-test state dependencies surface in CI instead
+# of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # test-race runs the concurrency-heavy packages (the flow runtime with its
-# subtask goroutines, barrier alignment and key-group snapshot paths, and
-# the multi-process TCP transport) under the race detector.
+# subtask goroutines, barrier alignment and key-group snapshot paths, the
+# multi-process TCP transport, and the partitioned ingestion front fed by
+# concurrent publishers) under the race detector.
 test-race:
-	$(GO) test -race ./internal/flow/... ./internal/transport/...
+	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/...
 
 vet:
 	$(GO) vet ./...
@@ -42,5 +46,6 @@ fuzz:
 	$(GO) test ./internal/ops/msg -fuzz FuzzDecodePayload -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzDecodeMessage -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzPairsRoundTrip -fuzztime 30s
+	$(GO) test ./internal/ops/msg -fuzz FuzzRecRoundTrip -fuzztime 30s
 
 ci: build vet fmt-check test

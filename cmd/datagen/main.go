@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/model"
 	"repro/internal/netsrc"
 	"repro/internal/trajio"
 )
@@ -30,9 +31,17 @@ func main() {
 	seed := flag.Int64("seed", 7, "generator seed")
 	publish := flag.String("publish", "", "publish to an icpe -listen address instead of stdout")
 	rate := flag.Float64("rate", 0, "snapshots per second when publishing (0 = as fast as possible)")
+	idOffset := flag.Uint("id-offset", 0, "add this offset to every object id (give concurrent publishers disjoint fleets)")
 	flag.Parse()
 
 	d := bench.MakeDataset(*name, *seed, bench.Scale{Objects: *objects, Ticks: *ticks})
+	if *idOffset > 0 {
+		for _, s := range d.Snapshots {
+			for i := range s.Objects {
+				s.Objects[i] += model.ObjectID(*idOffset)
+			}
+		}
+	}
 	fmt.Fprintf(os.Stderr, "dataset=%s objects=%d ticks=%d locations=%d extent=%.1f\n",
 		d.Name, d.Objects, len(d.Snapshots), d.Locations, d.Extent)
 

@@ -8,6 +8,15 @@
 //	icpe -input trace.csv -method vba -eps 2
 //	icpe -listen 127.0.0.1:7077 -duration 60s   # TCP ingestion (TRJ1 frames)
 //
+// With -source-partitions N, ingestion runs as N parallel source
+// partitions inside the dataflow (each owning a disjoint shard of object
+// ids, with per-partition coverage watermarks) and a keyed assembly stage
+// replaces the driver-side assembler. Any number of publishers can feed
+// one job in -listen mode; checkpoints then record per-partition replay
+// offsets, so a resume replays each shard from its own cut:
+//
+//	icpe -listen 127.0.0.1:7077 -source-partitions 4 -checkpoint-dir /tmp/ckpt
+//
 // Multi-process mode runs the pipeline stages as N real OS processes over
 // the TCP transport — one coordinator (source + sink) plus N workers:
 //
@@ -52,6 +61,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -78,6 +89,7 @@ func main() {
 	method := flag.String("method", "fba", "enumeration method: ba | fba | vba")
 	cluster := flag.String("cluster", "rjc", "range join engine: rjc | srj | gdc")
 	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage (may differ from the checkpointed run's on -resume)")
+	sourceParts := flag.Int("source-partitions", 0, "run ingestion as this many source partitions inside the dataflow (0 = classic driver-side assembly); fixed for the lifetime of a checkpointed job")
 	maxParallelism := flag.Int("max-parallelism", 0, "key-group count bounding -parallelism (default 128); fixed for the lifetime of a checkpointed job")
 	quiet := flag.Bool("quiet", false, "suppress per-pattern output")
 	transport := flag.String("transport", "inproc", "exchange fabric: inproc | tcp (tcp needs -coordinator/-workers)")
@@ -85,7 +97,7 @@ func main() {
 	workers := flag.Int("workers", 2, "worker process count the coordinator waits for")
 	workerJoin := flag.String("worker", "", "run as a worker: join the coordinator at this address and serve assigned stages")
 	ckptDir := flag.String("checkpoint-dir", "", "enable aligned-barrier checkpointing into this directory")
-	ckptInterval := flag.Int("checkpoint-interval", 32, "snapshots between checkpoints (with -checkpoint-dir)")
+	ckptInterval := flag.Int("checkpoint-interval", 32, "snapshots (with -source-partitions: ticks) between checkpoints (with -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "restore from the latest checkpoint in -checkpoint-dir and replay the source from the cut")
 	flag.Parse()
 
@@ -120,15 +132,21 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	cfg := core.Config{
-		Constraints:    model.Constraints{M: *m, K: *k, L: *l, G: *g},
-		Eps:            *eps,
-		CellWidth:      *cellWidth,
-		Metric:         geo.L1,
-		MinPts:         *minPts,
-		Cluster:        core.ClusterMethod(*cluster),
-		Enum:           core.EnumMethod(*method),
-		Parallelism:    *parallelism,
-		MaxParallelism: *maxParallelism,
+		Constraints:      model.Constraints{M: *m, K: *k, L: *l, G: *g},
+		Eps:              *eps,
+		CellWidth:        *cellWidth,
+		Metric:           geo.L1,
+		MinPts:           *minPts,
+		Cluster:          core.ClusterMethod(*cluster),
+		Enum:             core.EnumMethod(*method),
+		Parallelism:      *parallelism,
+		MaxParallelism:   *maxParallelism,
+		SourcePartitions: *sourceParts,
+	}
+	if *sourceParts > 0 {
+		// In partitioned mode the out-of-order slack lives in the source
+		// partitions (the host-side assembler is gone).
+		cfg.SourceSlack = model.Tick(*slack)
 	}
 	switch {
 	case *ckptDir != "":
@@ -186,18 +204,43 @@ func main() {
 	signal.Notify(stopCh, os.Interrupt, syscall.SIGTERM)
 
 	skipThrough := model.Tick(-1 << 62)
+	var partSkip []int64 // per-source-partition record counts to skip on resume
 	if pos, ok := pipe.ResumePosition(); ok {
 		skipThrough = pos.LastTick
-		fmt.Fprintf(os.Stderr, "resuming from checkpoint: %d snapshots checkpointed, replaying ticks > %d\n",
-			pos.Snapshots, pos.LastTick)
+		if len(pos.Partitions) > 0 {
+			partSkip = make([]int64, len(pos.Partitions))
+			for i, pp := range pos.Partitions {
+				partSkip[i] = pp.Records
+			}
+			fmt.Fprintf(os.Stderr, "resuming from checkpoint: %d records checkpointed, per-partition offsets %v\n",
+				pos.Snapshots, partSkip)
+		} else {
+			fmt.Fprintf(os.Stderr, "resuming from checkpoint: %d snapshots checkpointed, replaying ticks > %d\n",
+				pos.Snapshots, pos.LastTick)
+		}
 	}
 
-	if *listen != "" {
+	switch {
+	case *listen != "" && *sourceParts > 0:
+		// Partitioned ingestion: records go straight into the dataflow's
+		// source partitions; after a resume, publishers replay their streams
+		// and the restored partition state drops the checkpointed prefix.
+		lag := model.Tick(*slack) + stream.DefaultSilenceTimeout
+		if err := serveRecords(*listen, *duration, lag, pipe, stopCh); err != nil {
+			log.Fatal(err)
+		}
+	case *listen != "":
 		if err := serve(*listen, *duration, model.Tick(*slack), pipe, skipThrough, stopCh); err != nil {
 			log.Fatal(err)
 		}
-	} else if err := feed(r, pipe, skipThrough, stopCh); err != nil {
-		log.Fatal(err)
+	case *sourceParts > 0:
+		if err := feedRecords(r, pipe, partSkip, stopCh); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if err := feed(r, pipe, skipThrough, stopCh); err != nil {
+			log.Fatal(err)
+		}
 	}
 	signal.Stop(stopCh)
 	res := pipe.Finish()
@@ -238,6 +281,134 @@ func serve(addr string, d time.Duration, slack model.Tick, pipe *core.Pipeline,
 	return nil
 }
 
+// serveRecords ingests records over TCP into the partitioned source layer:
+// the stateless RecordHandler forwards every record to PushRecord, and all
+// dedup/ordering/coverage logic runs inside the dataflow's source stage.
+// A background ticker emits source watermarks lagging the highest received
+// tick by slack + silence — beyond the window where coverage semantics
+// would wait anyway — so a source partition whose shard is empty or silent
+// cannot stall snapshot release for the rest of the stream.
+func serveRecords(addr string, d time.Duration, lag model.Tick, pipe *core.Pipeline, stop <-chan os.Signal) error {
+	var maxTick atomic.Int64
+	maxTick.Store(-1 << 62)
+	srv, err := netsrc.Serve(addr, netsrc.RecordHandler(func(obj model.ObjectID, loc geo.Point, tick model.Tick) {
+		for {
+			cur := maxTick.Load()
+			if int64(tick) <= cur || maxTick.CompareAndSwap(cur, int64(tick)) {
+				break
+			}
+		}
+		pipe.PushRecord(obj, loc, tick)
+	}))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s for %v (partitioned source)\n", srv.Addr(), d)
+	done := make(chan struct{})
+	var tickerWG sync.WaitGroup
+	tickerWG.Add(1)
+	go func() {
+		defer tickerWG.Done()
+		t := time.NewTicker(500 * time.Millisecond)
+		defer t.Stop()
+		last := model.Tick(-1 << 62)
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if wm := model.Tick(maxTick.Load()) - lag; wm > last {
+					last = wm
+					pipe.PushSourceWatermark(wm)
+				}
+			}
+		}
+	}()
+	select {
+	case <-time.After(d):
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "%v: draining\n", sig)
+	}
+	err = srv.Close()
+	close(done)
+	tickerWG.Wait()
+	return err
+}
+
+// feedRecords parses the CSV stream and pushes individual records into the
+// partitioned source layer. On resume, skip holds the per-partition record
+// counts already covered by the checkpoint: the CSV replay is
+// deterministic, so skipping exactly that many records of each shard
+// resumes every partition at its own offset.
+func feedRecords(r io.Reader, pipe *core.Pipeline, skip []int64, stop <-chan os.Signal) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	lastTick := model.Tick(-1 << 62)
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		obj, tick, loc, err := parseRecord(txt)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if tick < lastTick {
+			return fmt.Errorf("line %d: tick %d after %d (stream must be tick-ordered)", line, tick, lastTick)
+		}
+		if tick > lastTick {
+			if lastTick > -1<<62 {
+				// Tick-ordered stream: everything <= lastTick has been fed,
+				// so the source watermark keeps release live even for
+				// partitions whose shard saw nothing this tick.
+				pipe.PushSourceWatermark(lastTick)
+			}
+			lastTick = tick
+			select {
+			case sig := <-stop:
+				fmt.Fprintf(os.Stderr, "%v: draining\n", sig)
+				return nil
+			default:
+			}
+		}
+		if skip != nil {
+			if part := pipe.SourcePartitionOf(obj); skip[part] > 0 {
+				skip[part]--
+				continue
+			}
+		}
+		pipe.PushRecord(obj, loc, tick)
+	}
+	return sc.Err()
+}
+
+// parseRecord parses one "object,tick,x,y" CSV line.
+func parseRecord(txt string) (model.ObjectID, model.Tick, geo.Point, error) {
+	parts := strings.Split(txt, ",")
+	if len(parts) != 4 {
+		return 0, 0, geo.Point{}, fmt.Errorf("want object,tick,x,y")
+	}
+	id, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return 0, 0, geo.Point{}, fmt.Errorf("object: %v", err)
+	}
+	tick, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, geo.Point{}, fmt.Errorf("tick: %v", err)
+	}
+	x, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return 0, 0, geo.Point{}, fmt.Errorf("x: %v", err)
+	}
+	y, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return 0, 0, geo.Point{}, fmt.Errorf("y: %v", err)
+	}
+	return model.ObjectID(id), model.Tick(tick), geo.Point{X: x, Y: y}, nil
+}
+
 // feed parses the CSV stream into per-tick snapshots and pushes them,
 // skipping checkpointed ticks on resume and stopping early on a
 // termination signal (graceful drain).
@@ -257,27 +428,10 @@ func feed(r io.Reader, pipe *core.Pipeline, skipThrough model.Tick, stop <-chan 
 		if txt == "" || strings.HasPrefix(txt, "#") {
 			continue
 		}
-		parts := strings.Split(txt, ",")
-		if len(parts) != 4 {
-			return fmt.Errorf("line %d: want object,tick,x,y", line)
-		}
-		id, err := strconv.ParseUint(parts[0], 10, 32)
+		id, t, loc, err := parseRecord(txt)
 		if err != nil {
-			return fmt.Errorf("line %d: object: %v", line, err)
+			return fmt.Errorf("line %d: %w", line, err)
 		}
-		tick, err := strconv.ParseInt(parts[1], 10, 64)
-		if err != nil {
-			return fmt.Errorf("line %d: tick: %v", line, err)
-		}
-		x, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil {
-			return fmt.Errorf("line %d: x: %v", line, err)
-		}
-		y, err := strconv.ParseFloat(parts[3], 64)
-		if err != nil {
-			return fmt.Errorf("line %d: y: %v", line, err)
-		}
-		t := model.Tick(tick)
 		if cur != nil && t < cur.Tick {
 			return fmt.Errorf("line %d: tick %d after %d (stream must be tick-ordered)", line, t, cur.Tick)
 		}
@@ -293,7 +447,7 @@ func feed(r io.Reader, pipe *core.Pipeline, skipThrough model.Tick, stop <-chan 
 			}
 			cur = &model.Snapshot{Tick: t}
 		}
-		cur.Add(model.ObjectID(id), geo.Point{X: x, Y: y})
+		cur.Add(id, loc)
 	}
 	if cur != nil {
 		push(cur)

@@ -130,6 +130,15 @@ type Options struct {
 	// part of the checkpoint's config fingerprint), while Parallelism may
 	// change across CheckpointResume.
 	MaxParallelism int
+	// SourcePartitions moves ingestion into the dataflow: Push-fed records
+	// are routed by object id to this many parallel source partitions
+	// (each with its own last-time tracker and coverage watermark) and
+	// snapshots are assembled by a keyed stage instead of on the caller's
+	// goroutine. 0 keeps the classic host-side assembly. Like
+	// MaxParallelism it is part of a checkpointed job's identity and must
+	// stay fixed across CheckpointResume; PushSnapshot is unavailable in
+	// this mode.
+	SourcePartitions int
 	// Nodes simulates a cluster of this many nodes (0 = uncapped).
 	Nodes int
 	// SlotsPerNode is the per-node slot count (default 2).
@@ -160,8 +169,9 @@ type Options struct {
 	// to skip via Detector.ResumeTick. See ARCHITECTURE.md for the
 	// checkpoint cut, recovery sequence, and store layout.
 	CheckpointDir string
-	// CheckpointInterval is the barrier cadence in snapshots (default 32
-	// when CheckpointDir is set).
+	// CheckpointInterval is the barrier cadence in snapshots — with
+	// SourcePartitions > 0, in stream ticks, which is the same cadence
+	// (default 32 when CheckpointDir is set).
 	CheckpointInterval int
 	// CheckpointResume restores from the latest completed checkpoint in
 	// CheckpointDir before processing (fresh start when none exists).
@@ -214,20 +224,27 @@ func New(opts Options) (*Detector, error) {
 		Constraints: model.Constraints{
 			M: opts.M, K: opts.K, L: opts.L, G: opts.G,
 		},
-		Eps:             opts.Eps,
-		CellWidth:       opts.CellWidth,
-		Metric:          opts.Metric,
-		MinPts:          opts.MinPts,
-		Cluster:         opts.Cluster,
-		Enum:            opts.Method,
-		Nodes:           opts.Nodes,
-		SlotsPerNode:    opts.SlotsPerNode,
-		Parallelism:     opts.Parallelism,
-		MaxParallelism:  opts.MaxParallelism,
-		ExchangeBatch:   opts.ExchangeBatch,
-		Transport:       opts.Transport,
-		CollectPatterns: collect,
-		OnPattern:       opts.OnPattern,
+		Eps:              opts.Eps,
+		CellWidth:        opts.CellWidth,
+		Metric:           opts.Metric,
+		MinPts:           opts.MinPts,
+		Cluster:          opts.Cluster,
+		Enum:             opts.Method,
+		Nodes:            opts.Nodes,
+		SlotsPerNode:     opts.SlotsPerNode,
+		Parallelism:      opts.Parallelism,
+		MaxParallelism:   opts.MaxParallelism,
+		SourcePartitions: opts.SourcePartitions,
+		ExchangeBatch:    opts.ExchangeBatch,
+		Transport:        opts.Transport,
+		CollectPatterns:  collect,
+		OnPattern:        opts.OnPattern,
+	}
+	if opts.SourcePartitions > 0 {
+		// In partitioned mode the out-of-order slack lives in the source
+		// partitions; in classic mode it tunes only the host-side assembler
+		// and must stay out of the config (and checkpoint fingerprint).
+		cfg.SourceSlack = model.Tick(opts.Slack)
 	}
 	if opts.CheckpointDir != "" {
 		cfg.CheckpointDir = opts.CheckpointDir
@@ -252,12 +269,17 @@ func New(opts Options) (*Detector, error) {
 	}
 	d.anchored = !opts.Origin.IsZero()
 	d.disc = stream.NewDiscretizer(opts.Origin, interval)
-	d.asm = stream.NewAssembler()
-	d.asm.Slack = model.Tick(opts.Slack)
-	if pos, ok := pipe.ResumePosition(); ok {
-		// Replayed records at or below the checkpoint cut are dropped; the
-		// restored operator state already accounts for them.
-		d.asm.ResumeAt(pos.LastTick + 1)
+	if opts.SourcePartitions <= 0 {
+		// Classic mode: snapshots are assembled on the caller's goroutine.
+		// (With a partitioned source, assembly happens inside the dataflow
+		// and the restored source-partition state handles replay dedup.)
+		d.asm = stream.NewAssembler()
+		d.asm.Slack = model.Tick(opts.Slack)
+		if pos, ok := pipe.ResumePosition(); ok {
+			// Replayed records at or below the checkpoint cut are dropped;
+			// the restored operator state already accounts for them.
+			d.asm.ResumeAt(pos.LastTick + 1)
+		}
 	}
 	pipe.Start()
 	return d, nil
@@ -280,6 +302,13 @@ func (d *Detector) Push(r Record) {
 		d.disc = stream.NewDiscretizer(r.Time, d.interval())
 		d.anchored = true
 	}
+	if d.asm == nil {
+		// Partitioned source: time discretization happens here (a pure
+		// function of the origin and interval); last-time tracking, dedup
+		// and assembly run inside the dataflow's source partitions.
+		d.pipe.PushRecord(r.Object, r.Loc, d.disc.Tick(r.Time))
+		return
+	}
 	sr, ok := d.disc.Discretize(r, d.now())
 	if !ok {
 		return
@@ -298,7 +327,8 @@ func (d *Detector) interval() time.Duration {
 }
 
 // PushSnapshot bypasses discretization and assembly, feeding a pre-built
-// snapshot (ticks must increase strictly).
+// snapshot (ticks must increase strictly). Unavailable (panics) with
+// SourcePartitions > 0 — records are the unit of partitioned ingestion.
 func (d *Detector) PushSnapshot(s *Snapshot) {
 	d.pipe.PushSnapshot(s)
 }
@@ -306,8 +336,10 @@ func (d *Detector) PushSnapshot(s *Snapshot) {
 // Close flushes pending snapshots and all enumerator state, stops the
 // pipeline, and returns the result.
 func (d *Detector) Close() Result {
-	for _, s := range d.asm.FlushAll(nil) {
-		d.pipe.PushSnapshot(s)
+	if d.asm != nil {
+		for _, s := range d.asm.FlushAll(nil) {
+			d.pipe.PushSnapshot(s)
+		}
 	}
 	res := d.pipe.Finish()
 	rep := res.Metrics.Report()

@@ -63,6 +63,65 @@ func TestDetectorEndToEndFromRecords(t *testing.T) {
 	}
 }
 
+// The detector's partitioned-source mode must find the same patterns as
+// its classic host-side assembly from the same Push-fed record stream.
+func TestDetectorPartitionedSourceMatchesClassic(t *testing.T) {
+	cfg := datagen.DefaultPlanted(5)
+	cfg.NumGroups = 2
+	cfg.GroupSize = 5
+	cfg.NumNoise = 15
+	sim := datagen.NewPlanted(cfg)
+	snaps := datagen.Snapshots(sim, 100)
+	origin := time.Date(2019, 7, 1, 8, 0, 0, 0, time.UTC)
+
+	run := func(parts int) []Pattern {
+		det, err := New(Options{
+			M: 4, K: 6, L: 3, G: 3,
+			Eps: cfg.Eps, MinPts: 4,
+			Interval:         time.Second,
+			Origin:           origin,
+			SourcePartitions: parts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range snaps {
+			for i, id := range s.Objects {
+				det.Push(Record{
+					Object: id,
+					Loc:    s.Locs[i],
+					Time:   origin.Add(time.Duration(s.Tick) * time.Second),
+				})
+			}
+		}
+		res := det.Close()
+		if parts > 0 && res.Stats.Snapshots != 100 {
+			t.Errorf("parts=%d: %d snapshots, want 100", parts, res.Stats.Snapshots)
+		}
+		return res.Patterns
+	}
+
+	want := map[string]bool{}
+	for _, p := range run(0) {
+		want[p.Key()] = true
+	}
+	if len(want) == 0 {
+		t.Fatal("classic mode found no patterns; weak test")
+	}
+	got := map[string]bool{}
+	for _, p := range run(3) {
+		got[p.Key()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partitioned mode found %d distinct patterns, classic %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("pattern %s missing in partitioned mode", k)
+		}
+	}
+}
+
 func TestDetectorPushSnapshotPath(t *testing.T) {
 	cfg := datagen.DefaultPlanted(9)
 	sim := datagen.NewPlanted(cfg)

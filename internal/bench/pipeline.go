@@ -74,6 +74,19 @@ type RescaleRun struct {
 	Patterns int `json:"patterns"`
 }
 
+// IngestRun measures the partitioned source layer at one partition count:
+// the dataset flattened into individual records and pushed through
+// PushRecord into source -> assemble -> the standard pipeline, in-process.
+// The 1-partition row is the scaling baseline; Patterns must be equal on
+// every row (and to the snapshot-fed runs) or the source layer is broken.
+type IngestRun struct {
+	SourcePartitions int     `json:"source_partitions"`
+	Records          int64   `json:"records"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	RecordsPerSec    float64 `json:"records_per_sec"`
+	Patterns         int64   `json:"patterns"`
+}
+
 // PipelineReport is the machine-readable output of `bench -exp pipeline`
 // (written to BENCH_pipeline.json by `make bench-json`): the same seeded
 // workload pushed through the standard topology on the in-process and the
@@ -90,6 +103,7 @@ type PipelineReport struct {
 	Runs          []TransportRun  `json:"runs"`
 	Checkpoint    []CheckpointRun `json:"checkpoint,omitempty"`
 	Rescale       []RescaleRun    `json:"rescale,omitempty"`
+	Ingest        []IngestRun     `json:"ingest,omitempty"`
 }
 
 // admit bounds in-flight snapshots exactly like runOnce, so the two
@@ -327,6 +341,57 @@ func runPipelineRescale(d Dataset, cfg core.Config, fromPar, toPar int) (Rescale
 	}, nil
 }
 
+// runPipelineIngest measures the ingest path at one source-partition
+// count: every record of the dataset pushed individually through the
+// partitioned source layer.
+func runPipelineIngest(d Dataset, cfg core.Config, parts int) (IngestRun, error) {
+	cfg.SourcePartitions = parts
+	var patterns int64
+	cfg.OnPattern = func(model.Pattern) { patterns++ }
+	tokens := admit(&cfg)
+	pipe, err := core.New(cfg)
+	if err != nil {
+		return IngestRun{}, err
+	}
+	// Concurrent feeders emulate parallel publishers: each owns a stripe of
+	// a tick's records (so per-object tick order holds) and the tick
+	// barrier bounds the skew, exactly like rate-paced sensor gateways.
+	feeders := 4
+	var records int64
+	start := time.Now()
+	pipe.Start()
+	for _, s := range d.Snapshots {
+		tokens <- struct{}{}
+		var wg sync.WaitGroup
+		for f := 0; f < feeders; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				for i := f; i < len(s.Objects); i += feeders {
+					pipe.PushRecord(s.Objects[i], s.Locs[i], s.Tick)
+				}
+			}(f)
+		}
+		wg.Wait()
+		records += int64(len(s.Objects))
+		// Tick barrier passed: promise the tick is complete so release
+		// stays live even for partitions with no objects this tick.
+		pipe.PushSourceWatermark(s.Tick)
+	}
+	pipe.Finish()
+	wall := time.Since(start)
+	run := IngestRun{
+		SourcePartitions: parts,
+		Records:          records,
+		WallSeconds:      wall.Seconds(),
+		Patterns:         patterns,
+	}
+	if wall > 0 {
+		run.RecordsPerSec = float64(records) / wall.Seconds()
+	}
+	return run, nil
+}
+
 // PipelineJSON runs the pipeline benchmark on both transports plus
 // checkpoint-enabled variants and writes the report as indented JSON.
 func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
@@ -362,6 +427,15 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		}
 		rescaleRuns = append(rescaleRuns, run)
 	}
+	// Ingest-path scaling: the partitioned source layer at 1/2/4 partitions.
+	var ingestRuns []IngestRun
+	for _, parts := range []int{1, 2, 4} {
+		run, err := runPipelineIngest(d, cfg, parts)
+		if err != nil {
+			return err
+		}
+		ingestRuns = append(ingestRuns, run)
+	}
 	report := PipelineReport{
 		Dataset:       d.Name,
 		Objects:       d.Objects,
@@ -372,6 +446,7 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		Runs:          []TransportRun{inproc, tcp},
 		Checkpoint:    ckptRuns,
 		Rescale:       rescaleRuns,
+		Ingest:        ingestRuns,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

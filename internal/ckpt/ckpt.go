@@ -75,10 +75,35 @@ type GroupSnapshotter interface {
 // barrier for the checkpoint was injected immediately after this many
 // snapshots, the last of which carried LastTick. Resume re-feeds the stream
 // starting at the first snapshot with tick > LastTick.
+//
+// Jobs with a partitioned source layer instead record one PartitionPosition
+// per source partition: the cut falls at a different offset in every shard
+// (partitions consume at independent rates), so resume replays each shard
+// from its own offset. Snapshots then counts source records and LastTick is
+// the highest tick fed to any partition.
 type SourcePosition struct {
-	// Snapshots is the number of source snapshots fed before the cut.
+	// Snapshots is the number of source units (snapshots, or records with a
+	// partitioned source) fed before the cut.
 	Snapshots int64 `json:"snapshots"`
-	// LastTick is the tick of the last snapshot inside the cut.
+	// LastTick is the tick of the last snapshot inside the cut (partitioned
+	// source: the highest record tick fed before the cut).
+	LastTick model.Tick `json:"last_tick"`
+	// Partitions, when the job runs a partitioned source layer, is each
+	// source partition's replay offset at the cut, indexed by partition.
+	Partitions []PartitionPosition `json:"partitions,omitempty"`
+}
+
+// PartitionPosition is one source partition's replay offset: how many of
+// the shard's records were fed before the cut, and the highest tick among
+// them. A driver replaying a deterministic stream skips the first Records
+// records of each shard; non-deterministic feeds (multiple network
+// publishers) replay everything and rely on the restored source-partition
+// state to drop records the checkpoint already absorbed.
+type PartitionPosition struct {
+	// Records is the number of the shard's records fed before the cut.
+	Records int64 `json:"records"`
+	// LastTick is the highest tick fed to this partition before the cut
+	// (model.NoLastTime for a partition that never received a record).
 	LastTick model.Tick `json:"last_tick"`
 }
 

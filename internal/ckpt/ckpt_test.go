@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestDirStoreRoundTrip(t *testing.T) {
 	if err != nil || got == nil {
 		t.Fatalf("Latest after commit = %v, %v", got, err)
 	}
-	if got.ID != 1 || got.Source != man.Source || len(got.Stages) != 2 {
+	if got.ID != 1 || !reflect.DeepEqual(got.Source, man.Source) || len(got.Stages) != 2 {
 		t.Fatalf("manifest round trip: %+v", got)
 	}
 	blob, err := store.State(1, "cluster", 0)

@@ -24,11 +24,20 @@ type ckptRunner struct {
 	onCommit func(id uint64, pats []model.Pattern)
 
 	mu          sync.Mutex
-	count       int64      // snapshots pushed, including the resumed prefix
-	lastTick    model.Tick // tick of the last pushed snapshot
+	count       int64      // source units pushed, including the resumed prefix
+	lastTick    model.Tick // tick of the last pushed snapshot / highest record tick
 	lastBarrier int64      // count at the last injected barrier
 	nextID      uint64
 	resume      *ckpt.SourcePosition
+
+	// Partitioned-source mode: per-partition replay offsets mirrored into
+	// every checkpoint's source position (nil in snapshot mode), plus the
+	// tick-based barrier cadence — the interval keeps its "snapshots
+	// between checkpoints" meaning by counting ticks, not records.
+	partRecs        []int64
+	partTicks       []model.Tick
+	nextBarrierTick model.Tick
+	haveCadence     bool
 
 	pending    []model.Pattern // emitted since the last sink cut
 	cuts       []cutBatch      // sink cuts awaiting checkpoint durability
@@ -95,6 +104,14 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 		onCommit: cfg.OnCommit,
 		nextID:   1,
 	}
+	if cfg.SourcePartitions > 0 {
+		r.partRecs = make([]int64, cfg.SourcePartitions)
+		r.partTicks = make([]model.Tick, cfg.SourcePartitions)
+		for i := range r.partTicks {
+			r.partTicks[i] = model.NoLastTime
+		}
+		r.lastTick = model.NoLastTime // max over record ticks, none yet
+	}
 	coord.OnComplete = r.onComplete
 	var man *ckpt.Manifest
 	if cfg.Resume {
@@ -105,11 +122,28 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 			if err := man.Validate(stages, cfg.MaxParallelism); err != nil {
 				return nil, nil, err
 			}
+			if cfg.SourcePartitions > 0 {
+				// The fingerprint pins the partition count, so a mismatch
+				// here means a corrupted manifest, not a config change.
+				if len(man.Source.Partitions) != cfg.SourcePartitions {
+					return nil, nil, fmt.Errorf(
+						"core: checkpoint %d records %d source partitions, this run has %d",
+						man.ID, len(man.Source.Partitions), cfg.SourcePartitions)
+				}
+				for i, pp := range man.Source.Partitions {
+					r.partRecs[i] = pp.Records
+					r.partTicks[i] = pp.LastTick
+				}
+			}
 			r.resume = &man.Source
 			r.count = man.Source.Snapshots
 			r.lastBarrier = man.Source.Snapshots
 			r.lastTick = man.Source.LastTick
 			r.nextID = man.ID + 1
+			if cfg.SourcePartitions > 0 {
+				r.nextBarrierTick = man.Source.LastTick + 1 + model.Tick(cfg.CheckpointInterval)
+				r.haveCadence = true
+			}
 		}
 	}
 	return r, man, nil
@@ -143,6 +177,42 @@ func (r *ckptRunner) afterPush(tick model.Tick) (id uint64, inject bool) {
 	return r.beginLocked(), true
 }
 
+// beforePushRecord records one source record routed to partition part and
+// decides whether the barrier for a new checkpoint must be injected ahead
+// of it (partitioned-source mode). The cadence is tick-based — a barrier
+// fires before the first record whose tick has advanced CheckpointInterval
+// ticks past the previous cut — so the interval keeps the same meaning as
+// in snapshot mode and cuts fall on tick boundaries of an ordered stream.
+// The caller holds the pipeline's source mutex and submits the barrier
+// before the record, so the counted prefix is exactly the record set ahead
+// of the barrier on every source edge.
+func (r *ckptRunner) beforePushRecord(part int, tick model.Tick) (id uint64, inject bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.interval > 0 {
+		switch {
+		case !r.haveCadence:
+			r.nextBarrierTick = tick + model.Tick(r.interval)
+			r.haveCadence = true
+		case tick >= r.nextBarrierTick && r.count > r.lastBarrier:
+			id = r.beginLocked() // position excludes the record behind the barrier
+			r.nextBarrierTick = tick + model.Tick(r.interval)
+			inject = true
+		}
+	}
+	r.count++
+	if tick > r.lastTick {
+		r.lastTick = tick
+	}
+	if part >= 0 && part < len(r.partRecs) {
+		r.partRecs[part]++
+		if tick > r.partTicks[part] {
+			r.partTicks[part] = tick
+		}
+	}
+	return id, inject
+}
+
 // finalBarrier opens a last checkpoint covering the stream tail, injected
 // by Finish before the drain so a graceful shutdown leaves a resumable
 // cut. It is skipped when nothing was pushed since the previous barrier.
@@ -159,7 +229,17 @@ func (r *ckptRunner) beginLocked() uint64 {
 	id := r.nextID
 	r.nextID++
 	r.lastBarrier = r.count
-	if err := r.coord.Begin(id, ckpt.SourcePosition{Snapshots: r.count, LastTick: r.lastTick}); err != nil {
+	pos := ckpt.SourcePosition{Snapshots: r.count, LastTick: r.lastTick}
+	if r.partRecs != nil {
+		pos.Partitions = make([]ckpt.PartitionPosition, len(r.partRecs))
+		for i := range r.partRecs {
+			pos.Partitions[i] = ckpt.PartitionPosition{
+				Records:  r.partRecs[i],
+				LastTick: r.partTicks[i],
+			}
+		}
+	}
+	if err := r.coord.Begin(id, pos); err != nil {
 		// Ids are assigned here and only here; Begin cannot collide.
 		panic(fmt.Sprintf("core: %v", err))
 	}

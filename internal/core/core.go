@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,7 +25,9 @@ import (
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/ops/msg"
 	"repro/internal/patstore"
+	"repro/internal/stream"
 )
 
 // ClusterMethod selects the range-join engine.
@@ -86,6 +89,24 @@ type Config struct {
 	// space of all keyed state — and must match the checkpoint's on
 	// resume (it is validated via the config fingerprint).
 	MaxParallelism int
+	// SourcePartitions moves ingestion into the dataflow: the topology gains
+	// a partitioned source stage (this many subtasks, each owning a disjoint
+	// shard of object ids routed by key group) and a keyed snapshot-assembly
+	// stage, and the pipeline is fed individual records via PushRecord
+	// instead of driver-assembled snapshots. 0 (the default) keeps the
+	// classic PushSnapshot path. Unlike Parallelism, the partition count
+	// shards the external stream and the per-partition replay offsets, so it
+	// is part of a checkpointed job's identity (fingerprinted) and must stay
+	// fixed across a resume; every other stage still rescales freely.
+	SourcePartitions int
+	// SourceSlack delays a source partition's coverage watermark by this
+	// many ticks, absorbing late first records of unknown objects (see
+	// stream.Assembler.Slack). Only used with SourcePartitions > 0.
+	SourceSlack model.Tick
+	// SourceSilence is how many ticks an object may stay silent before its
+	// partition stops waiting for it (default stream.DefaultSilenceTimeout).
+	// Only used with SourcePartitions > 0.
+	SourceSilence model.Tick
 	// ExchangeBatch is the record batch size on the keyed exchanges between
 	// stages (default 32); values < 0 ship record-at-a-time. Batches are
 	// sealed on every watermark, so results are identical either way.
@@ -111,9 +132,11 @@ type Config struct {
 	OnTickComplete func(model.Tick)
 
 	// CheckpointInterval enables aligned-barrier checkpointing: a barrier
-	// is injected after every CheckpointInterval-th snapshot, and each
-	// operator's keyed state is written to the checkpoint store (0 =
-	// disabled). See internal/ckpt for the protocol.
+	// is injected after every CheckpointInterval-th snapshot (with
+	// SourcePartitions > 0: once the record stream's tick has advanced by
+	// that many ticks — the same cadence, measured at the record-feed
+	// front), and each operator's keyed state is written to the checkpoint
+	// store (0 = disabled). See internal/ckpt for the protocol.
 	CheckpointInterval int
 	// CheckpointDir is the local checkpoint directory (required when
 	// CheckpointInterval > 0 unless CheckpointStore is set).
@@ -189,6 +212,19 @@ func (c *Config) fill() error {
 	}
 	if c.SlotsPerNode <= 0 {
 		c.SlotsPerNode = 2
+	}
+	if c.SourcePartitions < 0 {
+		return fmt.Errorf("core: negative source partitions %d", c.SourcePartitions)
+	}
+	if c.SourcePartitions > c.MaxParallelism {
+		return fmt.Errorf("core: source partitions %d exceed max parallelism %d",
+			c.SourcePartitions, c.MaxParallelism)
+	}
+	if c.SourceSlack < 0 || c.SourceSilence < 0 {
+		return fmt.Errorf("core: negative source slack/silence")
+	}
+	if c.SourcePartitions > 0 && c.SourceSilence == 0 {
+		c.SourceSilence = stream.DefaultSilenceTimeout
 	}
 	c.ExchangeBatch = normalizeBatch(c.ExchangeBatch)
 	if c.CheckpointInterval > 0 && c.CheckpointDir == "" && c.CheckpointStore == nil {
@@ -278,6 +314,12 @@ type Pipeline struct {
 	mets *Metrics
 	ck   *ckptRunner // nil when checkpointing is disabled
 
+	// srcMu serializes PushRecord callers (network front-ends feed from
+	// several read loops) and keeps barrier injection atomic with respect
+	// to record submission: the records counted before a barrier are
+	// exactly the records ahead of it on every source edge.
+	srcMu sync.Mutex
+
 	mu       sync.Mutex
 	ingest   map[model.Tick]time.Time
 	queue    []model.Tick // pushed ticks not yet completion-sampled
@@ -299,6 +341,7 @@ func New(cfg Config) (*Pipeline, error) {
 	g, err := Topology(&p.cfg, Hooks{
 		OnCluster:     p.recordCluster,
 		OnOverflow:    p.setOverflow,
+		OnSnapshot:    p.onAssembled,
 		Sink:          p.onSinkRecord,
 		SinkWatermark: p.onSinkWatermark,
 	})
@@ -337,6 +380,9 @@ func (p *Pipeline) Start() {
 
 // PushSnapshot feeds one snapshot (ticks must be strictly increasing).
 func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
+	if p.cfg.SourcePartitions > 0 {
+		panic("core: PushSnapshot on a partitioned-source pipeline (feed records with PushRecord)")
+	}
 	now := time.Now()
 	if s.Ingest.IsZero() {
 		s.Ingest = now
@@ -354,6 +400,91 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 			p.fl.SubmitBarrier(id)
 		}
 	}
+	p.mets.mu.Lock()
+	p.mets.Snapshots++
+	p.mets.mu.Unlock()
+}
+
+// PushRecord feeds one discretized trajectory record into the partitioned
+// source layer (requires Config.SourcePartitions > 0): the record is routed
+// by its object id to the owning source partition, which tracks last-time
+// markers, assembles shard coverage, and advances its watermark. Records of
+// one object must be pushed in increasing tick order; duplicates and stale
+// ticks are dropped inside the source partition — which is also what makes
+// replaying a stream after a resume idempotent. Safe for concurrent use
+// (network front-ends feed from several connection read loops).
+func (p *Pipeline) PushRecord(obj model.ObjectID, loc geo.Point, tick model.Tick) {
+	if p.cfg.SourcePartitions <= 0 {
+		panic("core: PushRecord needs Config.SourcePartitions > 0 (use PushSnapshot)")
+	}
+	rec := msg.Rec{
+		Object: obj,
+		Loc:    loc,
+		Tick:   tick,
+		Ingest: time.Now(),
+	}
+	if p.ck == nil {
+		// No barriers to order against: the endpoint send is itself safe
+		// for concurrent producers, so concurrent feeders proceed without
+		// serialization (each object's records must still come from one
+		// goroutine to preserve its tick order).
+		p.fl.Submit(uint64(obj), rec)
+		return
+	}
+	// With checkpointing, the mutex makes the counted record prefix exactly
+	// the set ahead of the barrier on every source edge; the barrier goes
+	// out first so the cut falls on a tick boundary of an ordered stream.
+	p.srcMu.Lock()
+	part := stream.PartitionFor(obj, p.cfg.MaxParallelism, p.cfg.SourcePartitions)
+	if id, inject := p.ck.beforePushRecord(part, tick); inject {
+		p.fl.SubmitBarrier(id)
+	}
+	p.fl.Submit(uint64(obj), rec)
+	p.srcMu.Unlock()
+}
+
+// PushSourceWatermark promises that no further PushRecord will carry a
+// tick <= wm (partitioned-source mode). Source partitions force-release
+// their pending coverage up to wm and forward the watermark, which keeps
+// snapshot release live even for partitions whose shard is empty or
+// silent — drivers replaying a tick-ordered stream call it at every tick
+// boundary. Records pushed later with tick <= wm are dropped.
+func (p *Pipeline) PushSourceWatermark(wm model.Tick) {
+	if p.cfg.SourcePartitions <= 0 {
+		panic("core: PushSourceWatermark needs Config.SourcePartitions > 0")
+	}
+	if p.ck == nil {
+		p.fl.SubmitWatermark(wm)
+		return
+	}
+	p.srcMu.Lock()
+	p.fl.SubmitWatermark(wm)
+	p.srcMu.Unlock()
+}
+
+// SourcePartitionOf returns the source partition a record of obj routes to
+// (requires SourcePartitions > 0). Drivers replaying a deterministic
+// stream after a resume pair it with ResumePosition's per-partition record
+// counts to skip each shard's already-checkpointed prefix.
+func (p *Pipeline) SourcePartitionOf(obj model.ObjectID) int {
+	return stream.PartitionFor(obj, p.cfg.MaxParallelism, p.cfg.SourcePartitions)
+}
+
+// onAssembled observes every snapshot materialized by the assemble stage
+// (partitioned-source mode): the ingest bookkeeping PushSnapshot does on
+// the driver side. Called from assemble subtasks concurrently; the queue
+// stays tick-sorted so completion sampling pops in watermark order.
+func (p *Pipeline) onAssembled(s *model.Snapshot) {
+	if s.Ingest.IsZero() {
+		s.Ingest = time.Now()
+	}
+	p.mu.Lock()
+	p.ingest[s.Tick] = s.Ingest
+	i := sort.Search(len(p.queue), func(i int) bool { return p.queue[i] >= s.Tick })
+	p.queue = append(p.queue, 0)
+	copy(p.queue[i+1:], p.queue[i:])
+	p.queue[i] = s.Tick
+	p.mu.Unlock()
 	p.mets.mu.Lock()
 	p.mets.Snapshots++
 	p.mets.mu.Unlock()

@@ -19,21 +19,24 @@ import (
 // topology. Hooks, transports and collection settings are process-local
 // and deliberately absent.
 type Spec struct {
-	M              int     `json:"m"`
-	K              int     `json:"k"`
-	L              int     `json:"l"`
-	G              int     `json:"g"`
-	Eps            float64 `json:"eps"`
-	CellWidth      float64 `json:"cell_width"`
-	Metric         int     `json:"metric"`
-	MinPts         int     `json:"min_pts"`
-	Cluster        string  `json:"cluster"`
-	Enum           string  `json:"enum"`
-	Nodes          int     `json:"nodes"`
-	SlotsPerNode   int     `json:"slots_per_node"`
-	Parallelism    int     `json:"parallelism"`
-	MaxParallelism int     `json:"max_parallelism"`
-	ExchangeBatch  int     `json:"exchange_batch"`
+	M                int     `json:"m"`
+	K                int     `json:"k"`
+	L                int     `json:"l"`
+	G                int     `json:"g"`
+	Eps              float64 `json:"eps"`
+	CellWidth        float64 `json:"cell_width"`
+	Metric           int     `json:"metric"`
+	MinPts           int     `json:"min_pts"`
+	Cluster          string  `json:"cluster"`
+	Enum             string  `json:"enum"`
+	Nodes            int     `json:"nodes"`
+	SlotsPerNode     int     `json:"slots_per_node"`
+	Parallelism      int     `json:"parallelism"`
+	MaxParallelism   int     `json:"max_parallelism"`
+	ExchangeBatch    int     `json:"exchange_batch"`
+	SourcePartitions int     `json:"source_partitions,omitempty"`
+	SourceSlack      int64   `json:"source_slack,omitempty"`
+	SourceSilence    int64   `json:"source_silence,omitempty"`
 }
 
 // EncodeSpec serializes the topology-determining part of cfg.
@@ -44,17 +47,20 @@ func EncodeSpec(cfg Config) ([]byte, error) {
 	return json.Marshal(Spec{
 		M: cfg.Constraints.M, K: cfg.Constraints.K,
 		L: cfg.Constraints.L, G: cfg.Constraints.G,
-		Eps:            cfg.Eps,
-		CellWidth:      cfg.CellWidth,
-		Metric:         int(cfg.Metric),
-		MinPts:         cfg.MinPts,
-		Cluster:        string(cfg.Cluster),
-		Enum:           string(cfg.Enum),
-		Nodes:          cfg.Nodes,
-		SlotsPerNode:   cfg.SlotsPerNode,
-		Parallelism:    cfg.Parallelism,
-		MaxParallelism: cfg.MaxParallelism,
-		ExchangeBatch:  cfg.ExchangeBatch,
+		Eps:              cfg.Eps,
+		CellWidth:        cfg.CellWidth,
+		Metric:           int(cfg.Metric),
+		MinPts:           cfg.MinPts,
+		Cluster:          string(cfg.Cluster),
+		Enum:             string(cfg.Enum),
+		Nodes:            cfg.Nodes,
+		SlotsPerNode:     cfg.SlotsPerNode,
+		Parallelism:      cfg.Parallelism,
+		MaxParallelism:   cfg.MaxParallelism,
+		ExchangeBatch:    cfg.ExchangeBatch,
+		SourcePartitions: cfg.SourcePartitions,
+		SourceSlack:      int64(cfg.SourceSlack),
+		SourceSilence:    int64(cfg.SourceSilence),
 	})
 }
 
@@ -79,6 +85,13 @@ type fingerprintSpec struct {
 	Cluster        string  `json:"cluster"`
 	Enum           string  `json:"enum"`
 	MaxParallelism int     `json:"max_parallelism"`
+	// SourcePartitions shards the external stream (and the per-partition
+	// replay offsets), so it is identity, not deployment: the shard a
+	// record's replay offset lives in must not move across a resume. Slack
+	// and silence change which snapshots get assembled — semantics, too.
+	SourcePartitions int   `json:"source_partitions,omitempty"`
+	SourceSlack      int64 `json:"source_slack,omitempty"`
+	SourceSilence    int64 `json:"source_silence,omitempty"`
 }
 
 // Fingerprint serializes the semantic identity of cfg (the checkpoint
@@ -90,13 +103,16 @@ func Fingerprint(cfg Config) ([]byte, error) {
 	return json.Marshal(fingerprintSpec{
 		M: cfg.Constraints.M, K: cfg.Constraints.K,
 		L: cfg.Constraints.L, G: cfg.Constraints.G,
-		Eps:            cfg.Eps,
-		CellWidth:      cfg.CellWidth,
-		Metric:         int(cfg.Metric),
-		MinPts:         cfg.MinPts,
-		Cluster:        string(cfg.Cluster),
-		Enum:           string(cfg.Enum),
-		MaxParallelism: cfg.MaxParallelism,
+		Eps:              cfg.Eps,
+		CellWidth:        cfg.CellWidth,
+		Metric:           int(cfg.Metric),
+		MinPts:           cfg.MinPts,
+		Cluster:          string(cfg.Cluster),
+		Enum:             string(cfg.Enum),
+		MaxParallelism:   cfg.MaxParallelism,
+		SourcePartitions: cfg.SourcePartitions,
+		SourceSlack:      int64(cfg.SourceSlack),
+		SourceSilence:    int64(cfg.SourceSilence),
 	})
 }
 
@@ -108,18 +124,21 @@ func DecodeSpec(data []byte) (Config, error) {
 		return Config{}, fmt.Errorf("core: spec: %w", err)
 	}
 	cfg := Config{
-		Constraints:    model.Constraints{M: s.M, K: s.K, L: s.L, G: s.G},
-		Eps:            s.Eps,
-		CellWidth:      s.CellWidth,
-		Metric:         geo.Metric(s.Metric),
-		MinPts:         s.MinPts,
-		Cluster:        ClusterMethod(s.Cluster),
-		Enum:           EnumMethod(s.Enum),
-		Nodes:          s.Nodes,
-		SlotsPerNode:   s.SlotsPerNode,
-		Parallelism:    s.Parallelism,
-		MaxParallelism: s.MaxParallelism,
-		ExchangeBatch:  s.ExchangeBatch,
+		Constraints:      model.Constraints{M: s.M, K: s.K, L: s.L, G: s.G},
+		Eps:              s.Eps,
+		CellWidth:        s.CellWidth,
+		Metric:           geo.Metric(s.Metric),
+		MinPts:           s.MinPts,
+		Cluster:          ClusterMethod(s.Cluster),
+		Enum:             EnumMethod(s.Enum),
+		Nodes:            s.Nodes,
+		SlotsPerNode:     s.SlotsPerNode,
+		Parallelism:      s.Parallelism,
+		MaxParallelism:   s.MaxParallelism,
+		ExchangeBatch:    s.ExchangeBatch,
+		SourcePartitions: s.SourcePartitions,
+		SourceSlack:      model.Tick(s.SourceSlack),
+		SourceSilence:    model.Tick(s.SourceSilence),
 	}
 	if err := cfg.fill(); err != nil {
 		return Config{}, err

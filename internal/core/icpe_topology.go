@@ -11,14 +11,20 @@ import (
 	"repro/internal/ops/clusterop"
 	"repro/internal/ops/enumop"
 	"repro/internal/ops/rangejoin"
+	"repro/internal/ops/sourceop"
+	"repro/internal/stream"
 	"repro/internal/topology"
 )
 
 // Hooks are the callbacks a topology run reports through: per-tick cluster
-// snapshots, BA overflow, and the sink for patterns and watermarks.
+// snapshots, BA overflow, assembled snapshots (partitioned-source mode),
+// and the sink for patterns and watermarks.
 type Hooks struct {
-	OnCluster     func(model.Tick, *model.ClusterSnapshot)
-	OnOverflow    func()
+	OnCluster  func(model.Tick, *model.ClusterSnapshot)
+	OnOverflow func()
+	// OnSnapshot observes every snapshot the assemble stage materializes
+	// (SourcePartitions > 0 only; nil on worker processes).
+	OnSnapshot    func(*model.Snapshot)
 	Sink          func(any)
 	SinkWatermark func(model.Tick)
 }
@@ -28,6 +34,16 @@ type Hooks struct {
 //
 //	source -> allocate -> rangejoin -> cluster -> enumerate -> sink
 //	       (keyed by tick) (by cell)  (by tick)  (by trajectory id)
+//
+// With SourcePartitions > 0 ingestion itself becomes part of the dataflow —
+// two extra stages run ahead of allocate:
+//
+//	driver -> source -> assemble -> allocate -> ...
+//	  (keyed by object id) (by tick)
+//
+// where each source subtask owns one shard of object ids and the assemble
+// stage releases complete snapshots as the merged per-partition coverage
+// watermark advances (see internal/ops/sourceop).
 //
 // Every edge is a batched keyed exchange (Config.ExchangeBatch). The graph
 // is plain data; callers may inspect or tweak it before Build.
@@ -59,7 +75,39 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 		return nil, fmt.Errorf("core: unknown cluster method %q", cfg.Cluster)
 	}
 
-	stages := []topology.Stage{
+	var stages []topology.Stage
+	var exchanges []topology.Exchange
+	if cfg.SourcePartitions > 0 {
+		// Normalize here too (like batch), so a Config built without New's
+		// fill pass gets the documented silence default.
+		silence := cfg.SourceSilence
+		if silence <= 0 {
+			silence = stream.DefaultSilenceTimeout
+		}
+		slack := cfg.SourceSlack
+		stages = append(stages,
+			topology.Stage{
+				Name:        "source",
+				Parallelism: cfg.SourcePartitions,
+				Operator: func(int) flow.Operator {
+					return sourceop.NewPartition(slack, silence)
+				},
+			},
+			topology.Stage{
+				Name:        "assemble",
+				Parallelism: cfg.Parallelism,
+				Operator: func(int) flow.Operator {
+					return sourceop.NewAssemble(h.OnSnapshot)
+				},
+			},
+		)
+		exchanges = append(exchanges,
+			topology.Exchange{Batch: batch}, // source -> assemble (records by tick)
+			topology.Exchange{Batch: batch}, // assemble -> allocate (snapshots by tick)
+		)
+	}
+
+	stages = append(stages, []topology.Stage{
 		{
 			Name:        "allocate",
 			Parallelism: cfg.Parallelism,
@@ -87,11 +135,11 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 				})
 			},
 		},
-	}
-	exchanges := []topology.Exchange{
-		{Batch: batch}, // allocate -> rangejoin (cell tasks)
-		{Batch: batch}, // rangejoin -> cluster (pair sets)
-	}
+	}...)
+	exchanges = append(exchanges,
+		topology.Exchange{Batch: batch}, // allocate -> rangejoin (cell tasks)
+		topology.Exchange{Batch: batch}, // rangejoin -> cluster (pair sets)
+	)
 	if cfg.Enum != NoEnum {
 		stages = append(stages, topology.Stage{
 			Name:        "enumerate",

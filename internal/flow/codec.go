@@ -99,6 +99,13 @@ const (
 	flagBarrier
 )
 
+// encScratch pools the per-item encode buffer of batched messages, shared
+// across all edges and senders (AppendMessage is called concurrently).
+var encScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1<<10)
+	return &b
+}}
+
 // AppendMessage encodes a transport message — data record, Batch carrier,
 // watermark, or checkpoint-barrier envelope — onto buf:
 //
@@ -129,16 +136,25 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		return binary.AppendUvarint(buf, m.CP), nil
 	case isBatch:
 		buf = binary.AppendUvarint(buf, uint64(len(batch.Items)))
-		var scratch []byte
+		// The per-item scratch comes from a pool: encoding dominates the
+		// data plane's hot path (tcpnet reuses its frame buffers per edge,
+		// so this was the last per-message allocation), and the pooled
+		// buffer keeps its grown capacity across messages.
+		sp := encScratch.Get().(*[]byte)
+		scratch := (*sp)[:0]
 		for _, item := range batch.Items {
 			var err error
 			scratch, err = AppendPayload(scratch[:0], item)
 			if err != nil {
+				*sp = scratch
+				encScratch.Put(sp)
 				return buf, err
 			}
 			buf = binary.AppendUvarint(buf, uint64(len(scratch)))
 			buf = append(buf, scratch...)
 		}
+		*sp = scratch
+		encScratch.Put(sp)
 		return buf, nil
 	default:
 		return AppendPayload(buf, m.Data)

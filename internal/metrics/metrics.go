@@ -12,48 +12,77 @@ import (
 	"time"
 )
 
-// Latency accumulates duration samples. Safe for concurrent use.
+// LatencyReservoir is the fixed sample capacity of Latency: on unbounded
+// streams the count and mean stay exact while quantiles come from a
+// uniform reservoir of this many samples (Vitter's algorithm R), so memory
+// is constant no matter how long the run.
+const LatencyReservoir = 4096
+
+// Latency accumulates duration samples with bounded memory: an exact
+// count and sum, plus a fixed-size uniform reservoir for percentile
+// estimates. Below LatencyReservoir samples the reservoir holds every
+// observation and percentiles are exact. Safe for concurrent use.
 type Latency struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	res   []time.Duration
+	rng   uint64 // xorshift64 state; deterministic per instance
 }
 
 // Observe records one sample.
 func (l *Latency) Observe(d time.Duration) {
 	l.mu.Lock()
-	l.samples = append(l.samples, d)
+	l.count++
+	l.sum += d
+	if len(l.res) < LatencyReservoir {
+		l.res = append(l.res, d)
+	} else if j := l.next() % uint64(l.count); j < LatencyReservoir {
+		// Algorithm R: sample i (1-based) replaces a random slot with
+		// probability K/i, keeping every prefix uniformly represented.
+		l.res[j] = d
+	}
 	l.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// next advances the xorshift64 state (seeded on first use; deterministic,
+// and contention-free because callers hold l.mu).
+func (l *Latency) next() uint64 {
+	if l.rng == 0 {
+		l.rng = 0x9e3779b97f4a7c15
+	}
+	l.rng ^= l.rng << 13
+	l.rng ^= l.rng >> 7
+	l.rng ^= l.rng << 17
+	return l.rng
+}
+
+// Count returns the number of samples observed (exact).
 func (l *Latency) Count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.samples)
+	return int(l.count)
 }
 
-// Mean returns the average latency (0 with no samples).
+// Mean returns the average latency (exact; 0 with no samples).
 func (l *Latency) Mean() time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	if l.count == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, d := range l.samples {
-		total += d
-	}
-	return total / time.Duration(len(l.samples))
+	return l.sum / time.Duration(l.count)
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100), estimated from
+// the reservoir once the stream exceeds its capacity.
 func (l *Latency) Percentile(p float64) time.Duration {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	s := append([]time.Duration(nil), l.res...)
+	l.mu.Unlock()
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]time.Duration(nil), l.samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if idx < 0 {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -48,6 +49,53 @@ func TestLatencyConcurrent(t *testing.T) {
 	wg.Wait()
 	if l.Count() != 8000 {
 		t.Errorf("Count = %d", l.Count())
+	}
+}
+
+// On a long stream the reservoir must stay bounded while count and mean
+// remain exact and percentiles track the true distribution.
+func TestLatencyReservoirBounded(t *testing.T) {
+	var l Latency
+	const n = 200_000
+	for i := 1; i <= n; i++ {
+		l.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if l.Count() != n {
+		t.Errorf("Count = %d, want %d", l.Count(), n)
+	}
+	if len(l.res) != LatencyReservoir {
+		t.Errorf("reservoir holds %d samples, want %d", len(l.res), LatencyReservoir)
+	}
+	wantMean := time.Duration(n+1) * time.Microsecond / 2
+	if got := l.Mean(); got != wantMean {
+		t.Errorf("Mean = %v, want %v (must stay exact)", got, wantMean)
+	}
+	// The stream is a uniform ramp 1..n µs, so Pp ≈ p% of n µs. A uniform
+	// 4096-sample reservoir estimates quantiles within a few percent.
+	for _, p := range []float64{50, 95, 99} {
+		got := float64(l.Percentile(p)) / float64(time.Microsecond)
+		want := p / 100 * n
+		if diff := math.Abs(got-want) / n; diff > 0.05 {
+			t.Errorf("P%.0f = %.0fµs, want ~%.0fµs (off by %.1f%% of range)",
+				p, got, want, diff*100)
+		}
+	}
+}
+
+// Reservoir replacement must be deterministic per instance (seeded
+// xorshift, no global rand), so repeated runs agree.
+func TestLatencyReservoirDeterministic(t *testing.T) {
+	var a, b Latency
+	for i := 0; i < 50_000; i++ {
+		d := time.Duration(i%977) * time.Millisecond
+		a.Observe(d)
+		b.Observe(d)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("P%.0f differs across identical instances: %v vs %v",
+				p, a.Percentile(p), b.Percentile(p))
+		}
 	}
 }
 

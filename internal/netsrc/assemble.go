@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/stream"
 	"repro/internal/trajio"
@@ -53,4 +54,16 @@ func AssemblingHandler(asm *stream.Assembler, push func(*model.Snapshot)) (h Han
 		}
 	}
 	return h, flush
+}
+
+// RecordHandler bridges network ingestion to a partitioned source layer
+// (core.Config.SourcePartitions > 0): every record is forwarded raw to
+// push — typically core.Pipeline.PushRecord — and the last-time tracking,
+// deduplication and coverage assembly all happen inside the dataflow's
+// source partitions. The handler is stateless, so any number of publisher
+// connections feed one job concurrently, and after a crash recovery each
+// publisher simply replays its stream: the restored partition state drops
+// what the checkpoint already absorbed.
+func RecordHandler(push func(model.ObjectID, geo.Point, model.Tick)) Handler {
+	return func(r trajio.Rec) { push(r.Object, r.Loc, r.Tick) }
 }

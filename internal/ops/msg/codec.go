@@ -23,6 +23,7 @@ const (
 	KindPairs     flow.Kind = 4 // Pairs (rangejoin -> cluster)
 	KindPartition flow.Kind = 5 // enum.Partition (cluster -> enumerate)
 	KindPattern   flow.Kind = 6 // model.Pattern (enumerate -> sink)
+	KindRec       flow.Kind = 7 // Rec (driver -> source -> assemble)
 )
 
 func init() {
@@ -32,6 +33,7 @@ func init() {
 	flow.RegisterCodec(KindPairs, Pairs{}, pairsCodec{})
 	flow.RegisterCodec(KindPartition, enum.Partition{}, partitionCodec{})
 	flow.RegisterCodec(KindPattern, model.Pattern{}, patternCodec{})
+	flow.RegisterCodec(KindRec, Rec{}, recCodec{})
 }
 
 // appendTime encodes an instant as a presence flag plus Unix nanoseconds;
@@ -222,6 +224,30 @@ func (partitionCodec) Decode(data []byte) (any, error) {
 	}
 	p.Members = decodeObjects(d)
 	return p, d.Err()
+}
+
+// recCodec frames one discretized trajectory record: object, tick, ingest
+// instant, then the fixed-width location.
+type recCodec struct{}
+
+func (recCodec) Append(buf []byte, v any) ([]byte, error) {
+	r := v.(Rec)
+	buf = binary.AppendUvarint(buf, uint64(r.Object))
+	buf = binary.AppendVarint(buf, int64(r.Tick))
+	buf = appendTime(buf, r.Ingest)
+	buf = flow.AppendFloat64(buf, r.Loc.X)
+	return flow.AppendFloat64(buf, r.Loc.Y), nil
+}
+
+func (recCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	r := Rec{
+		Object: model.ObjectID(d.Uvarint()),
+		Tick:   model.Tick(d.Varint()),
+	}
+	r.Ingest = decodeTime(d)
+	r.Loc = geo.Point{X: d.Float64(), Y: d.Float64()}
+	return r, d.Err()
 }
 
 type patternCodec struct{}

@@ -60,6 +60,8 @@ func TestCodecsRoundTrip(t *testing.T) {
 		enum.Partition{Tick: 8, Owner: 99},
 		model.Pattern{Objects: []model.ObjectID{1, 2, 3}, Times: []model.Tick{10, 12, 14, -3}},
 		model.Pattern{},
+		Rec{Object: 7, Loc: geo.Point{X: 2.5, Y: -0.125}, Tick: 31, Ingest: ingest},
+		Rec{Object: 0, Tick: 0},
 	}
 	for _, c := range cases {
 		got := roundTrip(t, c)

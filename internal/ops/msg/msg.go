@@ -15,9 +15,25 @@ package msg
 import (
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/join"
 	"repro/internal/model"
 )
+
+// Rec is one discretized trajectory record on the ingestion edges of a
+// partitioned-source topology. The driver (or a network front-end) submits
+// it keyed by object id, which routes it to the source partition owning
+// that object's key group; the partition tracks last-time markers and
+// coverage internally (stream.Partition) and re-emits released records
+// keyed by tick toward the snapshot assembly stage, so the record itself
+// carries no last-time field.
+type Rec struct {
+	Object model.ObjectID
+	Loc    geo.Point
+	Tick   model.Tick
+	// Ingest is when the record entered the pipeline (zero when unknown).
+	Ingest time.Time
+}
 
 // Cell carries one grid cell's range-join task for one tick, keyed by grid
 // cell. The task holds its objects by value (index + location), so the

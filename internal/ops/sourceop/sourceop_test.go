@@ -1,0 +1,209 @@
+package sourceop
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/ops/msg"
+	"repro/internal/stream"
+)
+
+// runIngest pushes records through a source(parts) -> assemble(2) pipeline
+// and returns the snapshots the assemble stage emitted, sorted by tick.
+func runIngest(t *testing.T, parts int, recs []msg.Rec) []*model.Snapshot {
+	t.Helper()
+	var (
+		mu   sync.Mutex
+		outs []*model.Snapshot
+	)
+	p := flow.NewPipeline(flow.Config{
+		Sink: func(v any) {
+			s, ok := v.(*model.Snapshot)
+			if !ok {
+				t.Errorf("sink got %T", v)
+				return
+			}
+			mu.Lock()
+			outs = append(outs, s)
+			mu.Unlock()
+		},
+	},
+		flow.StageSpec{Name: "source", Parallelism: parts, OutBatch: 8,
+			Make: func(int) flow.Operator { return NewPartition(0, 0) }},
+		flow.StageSpec{Name: "assemble", Parallelism: 2, OutBatch: 8,
+			Make: func(int) flow.Operator { return NewAssemble(nil) }},
+	)
+	p.Start()
+	for _, r := range recs {
+		p.Submit(uint64(r.Object), r)
+	}
+	p.Drain()
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Tick < outs[j].Tick })
+	return outs
+}
+
+// The two-stage ingestion front must reassemble exactly the snapshots the
+// records were cut from, sorted by object id, at any partition count.
+func TestSourceAssembleRoundTrip(t *testing.T) {
+	const objects, ticks = 9, 12
+	var recs []msg.Rec
+	want := make([]*model.Snapshot, ticks)
+	for tk := 0; tk < ticks; tk++ {
+		s := &model.Snapshot{Tick: model.Tick(tk)}
+		for o := 0; o < objects; o++ {
+			id := model.ObjectID(o * 3)
+			loc := geo.Point{X: float64(o), Y: float64(tk)}
+			s.Add(id, loc)
+			recs = append(recs, msg.Rec{Object: id, Loc: loc, Tick: model.Tick(tk)})
+		}
+		want[tk] = s
+	}
+	// Shuffle the objects within every tick block, mimicking unsynchronized
+	// feeds; per-object tick order (the PushRecord contract) is preserved.
+	r := rand.New(rand.NewSource(1))
+	for base := 0; base < len(recs); base += objects {
+		r.Shuffle(objects, func(i, j int) {
+			recs[base+i], recs[base+j] = recs[base+j], recs[base+i]
+		})
+	}
+
+	for _, parts := range []int{1, 3} {
+		got := runIngest(t, parts, recs)
+		if len(got) != ticks {
+			t.Fatalf("parts=%d: %d snapshots, want %d", parts, len(got), ticks)
+		}
+		for i, s := range got {
+			if s.Tick != want[i].Tick ||
+				!reflect.DeepEqual(s.Objects, want[i].Objects) ||
+				!reflect.DeepEqual(s.Locs, want[i].Locs) {
+				t.Errorf("parts=%d: snapshot %d differs:\n  got  %+v\n  want %+v",
+					parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A source partition with an empty shard must not stall snapshot release:
+// driver source watermarks force every partition's coverage watermark
+// forward, so the assemble stage's merged minimum advances and snapshots
+// stream out while the pipeline is still running (no Close flush involved).
+func TestEmptyShardDoesNotStallRelease(t *testing.T) {
+	const parts = 2
+	// Only objects owned by one partition: the other shard stays empty for
+	// the whole run.
+	var objs []model.ObjectID
+	for o := 0; len(objs) < 5; o++ {
+		id := model.ObjectID(o)
+		if stream.PartitionFor(id, flow.DefaultMaxParallelism, parts) == 0 {
+			objs = append(objs, id)
+		}
+	}
+	var (
+		mu   sync.Mutex
+		outs []model.Tick
+	)
+	p := flow.NewPipeline(flow.Config{
+		Sink: func(v any) {
+			s := v.(*model.Snapshot)
+			mu.Lock()
+			outs = append(outs, s.Tick)
+			mu.Unlock()
+		},
+	},
+		flow.StageSpec{Name: "source", Parallelism: parts,
+			Make: func(int) flow.Operator { return NewPartition(0, 0) }},
+		flow.StageSpec{Name: "assemble", Parallelism: 2,
+			Make: func(int) flow.Operator { return NewAssemble(nil) }},
+	)
+	p.Start()
+	for tk := model.Tick(0); tk < 6; tk++ {
+		for _, id := range objs {
+			p.Submit(uint64(id), msg.Rec{Object: id, Loc: geo.Point{X: float64(id), Y: float64(tk)}, Tick: tk})
+		}
+		p.SubmitWatermark(tk) // driver promise: tick tk complete
+	}
+	// Snapshots for ticks <= 5 must stream out without closing the source.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(outs)
+		mu.Unlock()
+		if n >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d snapshots released while the stream is open (empty shard stalled the merge)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, tk := range outs[:6] {
+		if tk != model.Tick(i) {
+			t.Errorf("snapshot %d has tick %d, want %d", i, tk, i)
+		}
+	}
+}
+
+// Assemble's key-group state must round-trip through SnapshotGroups /
+// RestoreGroup, merging across any split of the groups.
+func TestAssembleGroupStateRoundTrip(t *testing.T) {
+	a := NewAssemble(nil)
+	ingest := time.Unix(0, 12345)
+	for tk := 0; tk < 6; tk++ {
+		for o := 0; o < 4; o++ {
+			a.Process(msg.Rec{
+				Object: model.ObjectID(o),
+				Loc:    geo.Point{X: float64(o), Y: float64(tk)},
+				Tick:   model.Tick(tk),
+				Ingest: ingest,
+			}, nil)
+		}
+	}
+	group := func(k uint64) int { return flow.KeyGroup(k, flow.DefaultMaxParallelism) }
+	blobs, err := a.SnapshotGroups(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) == 0 {
+		t.Fatal("no group state for a non-empty buffer")
+	}
+
+	b := NewAssemble(nil)
+	for _, blob := range blobs {
+		if err := b.RestoreGroup(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(mapKeys(a.open), mapKeys(b.open)) {
+		t.Fatalf("restored ticks %v, want %v", mapKeys(b.open), mapKeys(a.open))
+	}
+	for tk, s := range a.open {
+		r := b.open[tk]
+		if !reflect.DeepEqual(s.Objects, r.Objects) || !reflect.DeepEqual(s.Locs, r.Locs) || !s.Ingest.Equal(r.Ingest) {
+			t.Errorf("tick %d differs after restore", tk)
+		}
+	}
+
+	// Empty operator snapshots to nothing.
+	if blobs, err := NewAssemble(nil).SnapshotGroups(group); err != nil || blobs != nil {
+		t.Errorf("empty assemble snapshot = %v, %v", blobs, err)
+	}
+}
+
+func mapKeys(m map[model.Tick]*model.Snapshot) []model.Tick {
+	out := make([]model.Tick, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,279 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// scenarioRec is one raw record of a generated ingestion scenario.
+type scenarioRec struct {
+	obj  model.ObjectID
+	tick model.Tick
+	loc  geo.Point
+}
+
+// genScenario builds per-object record sequences with the adversarial
+// shapes the assembler must absorb: objects starting late (their first
+// record appears ticks after the stream began — within slack), objects
+// skipping ticks, objects going silent for good mid-stream, and duplicate
+// ticks (to be dropped deterministically).
+func genScenario(r *rand.Rand, objects, ticks int) map[model.ObjectID][]scenarioRec {
+	out := make(map[model.ObjectID][]scenarioRec, objects)
+	for o := 0; o < objects; o++ {
+		id := model.ObjectID(1 + o*7) // spread ids across key groups
+		start := model.Tick(r.Intn(3))
+		stop := model.Tick(ticks)
+		if r.Intn(4) == 0 { // silent object: departs mid-stream
+			stop = start + model.Tick(2+r.Intn(ticks/2))
+		}
+		var recs []scenarioRec
+		for t := start; t < stop; t++ {
+			if r.Intn(8) == 0 {
+				continue // skipped tick
+			}
+			loc := geo.Point{X: float64(id) + float64(t)*0.25, Y: float64(t)}
+			recs = append(recs, scenarioRec{obj: id, tick: t, loc: loc})
+			if r.Intn(16) == 0 { // duplicate tick: must be dropped
+				recs = append(recs, scenarioRec{obj: id, tick: t, loc: geo.Point{X: -1, Y: -1}})
+			}
+		}
+		if len(recs) > 0 {
+			out[id] = recs
+		}
+	}
+	return out
+}
+
+// interleave merges the per-object sequences into one feed order with
+// bounded skew: at every step a random object advances, as long as its
+// next record's tick is within slack of the laggiest unfed record. This is
+// the out-of-orderness watermarking bounds — within it, release content
+// must be interleaving-invariant.
+func interleave(r *rand.Rand, seqs map[model.ObjectID][]scenarioRec, slack model.Tick) []scenarioRec {
+	ids := make([]model.ObjectID, 0, len(seqs))
+	next := make(map[model.ObjectID]int, len(seqs))
+	for id := range seqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []scenarioRec
+	for {
+		minNext := model.Tick(1 << 62)
+		live := ids[:0:0]
+		for _, id := range ids {
+			if next[id] < len(seqs[id]) {
+				live = append(live, id)
+				if t := seqs[id][next[id]].tick; t < minNext {
+					minNext = t
+				}
+			}
+		}
+		if len(live) == 0 {
+			return out
+		}
+		// Candidates whose next record stays within the skew bound.
+		var cands []model.ObjectID
+		for _, id := range live {
+			if seqs[id][next[id]].tick <= minNext+slack {
+				cands = append(cands, id)
+			}
+		}
+		id := cands[r.Intn(len(cands))]
+		out = append(out, seqs[id][next[id]])
+		next[id]++
+	}
+}
+
+// contentOf canonicalizes released snapshots: tick -> "obj@x,y;..." with
+// empty snapshots skipped (the partitioned path does not materialize
+// all-silent ticks; they carry no detection content).
+func contentOf(snaps []*model.Snapshot) map[model.Tick]string {
+	out := make(map[model.Tick]string)
+	for _, s := range snaps {
+		if s.Len() == 0 {
+			continue
+		}
+		rows := make([]string, s.Len())
+		for i, id := range s.Objects {
+			rows[i] = fmt.Sprintf("%d@%g,%g", id, s.Locs[i].X, s.Locs[i].Y)
+		}
+		sort.Strings(rows)
+		if prev, dup := out[s.Tick]; dup {
+			out[s.Tick] = prev + "|" + strings.Join(rows, ";")
+		} else {
+			out[s.Tick] = strings.Join(rows, ";")
+		}
+	}
+	return out
+}
+
+// mergeParts unions per-partition partial snapshots per tick.
+func mergeParts(parts [][]*model.Snapshot) map[model.Tick]string {
+	byTick := make(map[model.Tick][]string)
+	for _, snaps := range parts {
+		for _, s := range snaps {
+			for i, id := range s.Objects {
+				byTick[s.Tick] = append(byTick[s.Tick],
+					fmt.Sprintf("%d@%g,%g", id, s.Locs[i].X, s.Locs[i].Y))
+			}
+		}
+	}
+	out := make(map[model.Tick]string, len(byTick))
+	for t, rows := range byTick {
+		sort.Strings(rows)
+		out[t] = strings.Join(rows, ";")
+	}
+	return out
+}
+
+// feedPartition pushes a feed through one partition front and returns all
+// released partials (including the end-of-stream flush).
+func feedPartition(p *Partition, feed []scenarioRec) []*model.Snapshot {
+	var out []*model.Snapshot
+	for _, r := range feed {
+		for _, s := range p.Push(r.obj, r.loc, r.tick, time.Time{}) {
+			out = append(out, s)
+		}
+	}
+	return append(out, p.Flush()...)
+}
+
+// Any interleaving of per-partition feeds — late first records within
+// slack, silent objects past the silence timeout, duplicate ticks — must
+// release the same snapshots as a single merged feed: the partitioned
+// source union equals the global assembler, record for record.
+func TestPartitionedFeedsMatchMergedFeed(t *testing.T) {
+	const (
+		slack   = model.Tick(3)
+		silence = model.Tick(10)
+		maxPar  = flow.DefaultMaxParallelism
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		seqs := genScenario(r, 12, 48)
+
+		// Reference: one merged front fed in canonical bounded-skew order.
+		ref := NewPartition(slack, silence)
+		refContent := contentOf(feedPartition(ref, interleave(r, seqs, slack)))
+
+		// A different interleaving of the same merged feed must release the
+		// same content (interleaving invariance of the last-time protocol).
+		alt := NewPartition(slack, silence)
+		altContent := contentOf(feedPartition(alt, interleave(r, seqs, slack)))
+		if len(altContent) != len(refContent) {
+			t.Fatalf("seed %d: interleaving changed released tick count: %d vs %d",
+				seed, len(altContent), len(refContent))
+		}
+		for tick, want := range refContent {
+			if altContent[tick] != want {
+				t.Fatalf("seed %d: tick %d content differs across interleavings:\n  %s\n  %s",
+					seed, tick, altContent[tick], want)
+			}
+		}
+
+		// Partitioned: shard the objects like the source stage does, feed
+		// each partition front its own bounded-skew interleaving, union.
+		for _, nParts := range []int{2, 4} {
+			shards := make([]map[model.ObjectID][]scenarioRec, nParts)
+			for i := range shards {
+				shards[i] = make(map[model.ObjectID][]scenarioRec)
+			}
+			for id, recs := range seqs {
+				shards[PartitionFor(id, maxPar, nParts)][id] = recs
+			}
+			parts := make([][]*model.Snapshot, nParts)
+			for i, shard := range shards {
+				p := NewPartition(slack, silence)
+				parts[i] = feedPartition(p, interleave(r, shard, slack))
+			}
+			got := mergeParts(parts)
+			if len(got) != len(refContent) {
+				t.Fatalf("seed %d parts %d: released %d ticks, merged feed released %d",
+					seed, nParts, len(got), len(refContent))
+			}
+			for tick, want := range refContent {
+				if got[tick] != want {
+					t.Fatalf("seed %d parts %d: tick %d differs:\n  got  %s\n  want %s",
+						seed, nParts, tick, got[tick], want)
+				}
+			}
+		}
+	}
+}
+
+// A partition front checkpointed mid-stream and restored into a fresh
+// instance must release exactly what the uninterrupted front releases for
+// the remaining feed — and replaying the consumed prefix into the restored
+// front must be a no-op (the recovery idempotence PushRecord relies on).
+func TestPartitionStateRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		seqs := genScenario(r, 10, 40)
+		feed := interleave(r, seqs, 3)
+		cut := len(feed) / 2
+
+		whole := NewPartition(3, 10)
+		wholeContent := contentOf(feedPartition(whole, feed))
+
+		first := NewPartition(3, 10)
+		var pre []*model.Snapshot
+		for _, rec := range feed[:cut] {
+			pre = append(pre, first.Push(rec.obj, rec.loc, rec.tick, time.Time{})...)
+		}
+		blob := first.EncodeState()
+
+		restored := NewPartition(3, 10)
+		if err := restored.RestoreState(blob); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		// Replay the whole stream: the consumed prefix must be dropped.
+		var post []*model.Snapshot
+		for _, rec := range feed {
+			post = append(post, restored.Push(rec.obj, rec.loc, rec.tick, time.Time{})...)
+		}
+		post = append(post, restored.Flush()...)
+
+		got := contentOf(append(pre, post...))
+		if len(got) != len(wholeContent) {
+			t.Fatalf("seed %d: restored run released %d ticks, want %d",
+				seed, len(got), len(wholeContent))
+		}
+		for tick, want := range wholeContent {
+			if got[tick] != want {
+				t.Fatalf("seed %d: tick %d differs after restore:\n  got  %s\n  want %s",
+					seed, tick, got[tick], want)
+			}
+		}
+	}
+}
+
+// PartitionFor must agree with the exchange's key-group routing and cover
+// every partition index.
+func TestPartitionForMatchesKeyGroups(t *testing.T) {
+	const maxPar = flow.DefaultMaxParallelism
+	for _, parts := range []int{1, 2, 3, 4, 7} {
+		seen := make(map[int]bool)
+		for o := 0; o < 4096; o++ {
+			p := PartitionFor(model.ObjectID(o), maxPar, parts)
+			if p < 0 || p >= parts {
+				t.Fatalf("object %d routed to partition %d of %d", o, p, parts)
+			}
+			want := flow.SubtaskForGroup(flow.KeyGroup(uint64(o), maxPar), maxPar, parts)
+			if p != want {
+				t.Fatalf("object %d: PartitionFor %d, key-group routing %d", o, p, want)
+			}
+			seen[p] = true
+		}
+		if len(seen) != parts {
+			t.Errorf("parts=%d: only %d partitions received objects", parts, len(seen))
+		}
+	}
+}

@@ -258,6 +258,37 @@ func (a *Assembler) take(t model.Tick) *model.Snapshot {
 	return snap
 }
 
+// ReleaseThrough force-releases every tick <= wm, appending the non-empty
+// snapshots to out in tick order. The caller promises that no further
+// record with tick <= wm will be pushed (a source watermark), so waiting
+// for coverage below wm is pointless: whatever arrived is whatever there
+// is. Records pushed later with tick <= wm are dropped, like any record
+// below the release frontier.
+func (a *Assembler) ReleaseThrough(wm model.Tick, out []*model.Snapshot) []*model.Snapshot {
+	if !a.started {
+		// Nothing ever arrived: just advance the frontier past wm.
+		a.started = true
+		a.released = true
+		a.nextTick = wm + 1
+		if wm > a.maxSeen {
+			a.maxSeen = wm
+		}
+		return out
+	}
+	for a.nextTick <= wm {
+		snap := a.take(a.nextTick)
+		if snap.Len() > 0 {
+			out = append(out, snap)
+		}
+		a.nextTick++
+		a.released = true
+	}
+	if wm > a.maxSeen {
+		a.maxSeen = wm
+	}
+	return out
+}
+
 // FlushAll releases every pending snapshot regardless of outstanding waits
 // (end of stream).
 func (a *Assembler) FlushAll(out []*model.Snapshot) []*model.Snapshot {
