@@ -16,9 +16,11 @@ test:
 # test-race runs the concurrency-heavy packages (the flow runtime with its
 # subtask goroutines, barrier alignment and key-group snapshot paths, the
 # multi-process TCP transport, and the partitioned ingestion front fed by
-# concurrent publishers) under the race detector.
+# concurrent publishers) under the race detector, plus the delta-maintenance
+# packages (stateful rangejoin/clusterop and the structures behind them)
+# whose equivalence tests drive full concurrent pipelines.
 test-race:
-	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/...
+	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/...
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +38,10 @@ bench:
 # bench-json writes BENCH_pipeline.json: per-stage throughput and total
 # keyed-exchange records/sec for the in-process vs multi-process TCP
 # transports on a seeded planted workload (the perf trajectory's anchor),
-# plus checkpoint-enabled variants reporting overhead vs interval.
+# plus checkpoint-enabled variants reporting overhead vs interval, plus an
+# incremental section comparing from-scratch vs delta-maintenance
+# snapshots/sec (wall-clock and combined rangejoin+cluster stage time) at
+# 10%/50%/100% churn.
 bench-json:
 	$(GO) run ./cmd/bench -exp pipeline -objects 300 -ticks 200 -json BENCH_pipeline.json
 
@@ -47,5 +52,7 @@ fuzz:
 	$(GO) test ./internal/ops/msg -fuzz FuzzDecodeMessage -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzPairsRoundTrip -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzRecRoundTrip -fuzztime 30s
+	$(GO) test ./internal/ops/msg -fuzz FuzzCellDeltaRoundTrip -fuzztime 30s
+	$(GO) test ./internal/ops/msg -fuzz FuzzPairDeltaRoundTrip -fuzztime 30s
 
 ci: build vet fmt-check test

@@ -25,16 +25,23 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "brinkhoff", "geolife | taxi | brinkhoff | planted")
+	name := flag.String("dataset", "brinkhoff", "geolife | taxi | brinkhoff | planted | churn")
 	objects := flag.Int("objects", 1000, "number of moving objects")
 	ticks := flag.Int("ticks", 500, "stream length in ticks")
 	seed := flag.Int64("seed", 7, "generator seed")
+	churnFraction := flag.Float64("churn-fraction", 0.1, "churn dataset: fraction of objects that move per tick")
+	churnStep := flag.Float64("churn-step", 1.2, "churn dataset: random-walk step magnitude per moving object")
 	publish := flag.String("publish", "", "publish to an icpe -listen address instead of stdout")
 	rate := flag.Float64("rate", 0, "snapshots per second when publishing (0 = as fast as possible)")
 	idOffset := flag.Uint("id-offset", 0, "add this offset to every object id (give concurrent publishers disjoint fleets)")
 	flag.Parse()
 
-	d := bench.MakeDataset(*name, *seed, bench.Scale{Objects: *objects, Ticks: *ticks})
+	var d bench.Dataset
+	if *name == "churn" {
+		d = bench.MakeChurnDataset(*seed, bench.Scale{Objects: *objects, Ticks: *ticks}, *churnFraction, *churnStep)
+	} else {
+		d = bench.MakeDataset(*name, *seed, bench.Scale{Objects: *objects, Ticks: *ticks})
+	}
 	if *idOffset > 0 {
 		for _, s := range d.Snapshots {
 			for i := range s.Objects {

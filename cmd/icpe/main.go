@@ -90,6 +90,7 @@ func main() {
 	cluster := flag.String("cluster", "rjc", "range join engine: rjc | srj | gdc")
 	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage (may differ from the checkpointed run's on -resume)")
 	sourceParts := flag.Int("source-partitions", 0, "run ingestion as this many source partitions inside the dataflow (0 = classic driver-side assembly); fixed for the lifetime of a checkpointed job")
+	incremental := flag.Bool("incremental", false, "maintain cell indexes and clusters incrementally across ticks (identical results, work proportional to churn; needs -cluster rjc and the classic source); fixed for the lifetime of a checkpointed job")
 	maxParallelism := flag.Int("max-parallelism", 0, "key-group count bounding -parallelism (default 128); fixed for the lifetime of a checkpointed job")
 	quiet := flag.Bool("quiet", false, "suppress per-pattern output")
 	transport := flag.String("transport", "inproc", "exchange fabric: inproc | tcp (tcp needs -coordinator/-workers)")
@@ -142,6 +143,7 @@ func main() {
 		Parallelism:      *parallelism,
 		MaxParallelism:   *maxParallelism,
 		SourcePartitions: *sourceParts,
+		Incremental:      *incremental,
 	}
 	if *sourceParts > 0 {
 		// In partitioned mode the out-of-order slack lives in the source

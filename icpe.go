@@ -139,6 +139,14 @@ type Options struct {
 	// stay fixed across CheckpointResume; PushSnapshot is unavailable in
 	// this mode.
 	SourcePartitions int
+	// Incremental switches the pipeline to cross-tick delta maintenance:
+	// allocate diffs each snapshot against the previous positions, the
+	// range join keeps persistent per-cell indexes, and clustering is
+	// maintained incrementally — identical results, with per-tick work
+	// proportional to how many objects moved rather than to the full
+	// population. Requires ClusterRJC and SourcePartitions == 0. Like
+	// MaxParallelism it is part of a checkpointed job's identity.
+	Incremental bool
 	// Nodes simulates a cluster of this many nodes (0 = uncapped).
 	Nodes int
 	// SlotsPerNode is the per-node slot count (default 2).
@@ -235,6 +243,7 @@ func New(opts Options) (*Detector, error) {
 		Parallelism:      opts.Parallelism,
 		MaxParallelism:   opts.MaxParallelism,
 		SourcePartitions: opts.SourcePartitions,
+		Incremental:      opts.Incremental,
 		ExchangeBatch:    opts.ExchangeBatch,
 		Transport:        opts.Transport,
 		CollectPatterns:  collect,

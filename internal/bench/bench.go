@@ -107,10 +107,18 @@ func MakeDataset(name string, seed int64, sc Scale) Dataset {
 		cfg.RunLen = 40
 		cfg.GapLen = 3
 		sim = datagen.NewPlanted(cfg)
+	case "churn":
+		// Default churn shape: 10% of objects move per tick by ~eps.
+		sim = datagen.NewChurn(datagen.DefaultChurn(seed, sc.Objects, 0.1, 1.2))
 	default:
 		panic("bench: unknown dataset " + name)
 	}
-	snaps := datagen.Snapshots(sim, sc.Ticks)
+	return fromSim(name, sim, sc.Ticks)
+}
+
+// fromSim materializes a simulator into a Dataset.
+func fromSim(name string, sim datagen.Simulator, ticks int) Dataset {
+	snaps := datagen.Snapshots(sim, ticks)
 	ext := sim.Extent()
 	span := ext.MaxX - ext.MinX
 	if dy := ext.MaxY - ext.MinY; dy > span {
@@ -127,6 +135,15 @@ func MakeDataset(name string, seed int64, sc Scale) Dataset {
 		Objects:   sim.Objects(),
 		Locations: locs,
 	}
+}
+
+// MakeChurnDataset generates the fixed-churn workload with explicit
+// move-fraction and step-size knobs (datagen.Churn): the control dataset
+// for the incremental execution mode, whose cost scales with how much of
+// the population moves per tick.
+func MakeChurnDataset(seed int64, sc Scale, moveFraction, stepSize float64) Dataset {
+	sim := datagen.NewChurn(datagen.DefaultChurn(seed, sc.Objects, moveFraction, stepSize))
+	return fromSim("churn", sim, sc.Ticks)
 }
 
 // config assembles a core.Config for a dataset and parameter set.

@@ -6,12 +6,14 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/model"
 )
 
 var tinyScale = Scale{Objects: 150, Ticks: 40}
 
 func TestMakeDatasetAllNames(t *testing.T) {
-	for _, name := range []string{"geolife", "taxi", "brinkhoff", "planted"} {
+	for _, name := range []string{"geolife", "taxi", "brinkhoff", "planted", "churn"} {
 		d := MakeDataset(name, 1, tinyScale)
 		if d.Name != name {
 			t.Errorf("name = %q", d.Name)
@@ -86,5 +88,25 @@ func TestPrintSeries(t *testing.T) {
 	}
 	if !strings.Contains(out, "[OVERFLOW]") {
 		t.Error("overflow marker missing")
+	}
+}
+
+// The churn dataset helper must honor its knobs (used by cmd/bench's
+// incremental section and cmd/datagen).
+func TestChurnDatasetKnobs(t *testing.T) {
+	d := MakeChurnDataset(3, Scale{Objects: 50, Ticks: 20}, 0, 0)
+	if d.Name != "churn" || len(d.Snapshots) != 20 {
+		t.Fatalf("dataset %q with %d snapshots", d.Name, len(d.Snapshots))
+	}
+	// MoveFraction 0: every object that reports twice reports the same
+	// location.
+	locs := make(map[model.ObjectID]geo.Point)
+	for _, s := range d.Snapshots {
+		for i, id := range s.Objects {
+			if prev, ok := locs[id]; ok && prev != s.Locs[i] {
+				t.Fatalf("object %d moved under MoveFraction 0", id)
+			}
+			locs[id] = s.Locs[i]
+		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -87,6 +89,37 @@ type IngestRun struct {
 	Patterns         int64   `json:"patterns"`
 }
 
+// IncrementalRun compares the from-scratch and incremental (delta
+// maintenance) execution modes on one fixed-churn workload, clustering
+// only (NoEnum) so the measured work is exactly the allocate + rangejoin +
+// cluster stages both modes share. Snapshots/sec is end-to-end over those
+// stages; the Stage numbers divide the ticks by the operator time the
+// rangejoin + cluster stages actually accrued (flow.Pipeline.StageBusy),
+// which is where delta maintenance replaces per-tick recomputation —
+// end-to-end rates dilute that with source/allocate/exchange costs the two
+// modes share. Speedups are incremental over from-scratch.
+type IncrementalRun struct {
+	// MoveFraction of the objects moves each tick (0.1 / 0.5 / 1.0).
+	MoveFraction float64 `json:"move_fraction"`
+	// ScratchSnapshotsPerSec is the from-scratch (classic) mode rate.
+	ScratchSnapshotsPerSec float64 `json:"from_scratch_snapshots_per_sec"`
+	// IncrementalSnapshotsPerSec is the delta-maintenance mode rate.
+	IncrementalSnapshotsPerSec float64 `json:"incremental_snapshots_per_sec"`
+	Speedup                    float64 `json:"speedup"`
+	// ScratchStageSnapshotsPerSec is ticks per second of combined
+	// rangejoin + cluster operator time, from scratch.
+	ScratchStageSnapshotsPerSec float64 `json:"from_scratch_stage_snapshots_per_sec"`
+	// IncrementalStageSnapshotsPerSec is the same rate under delta
+	// maintenance.
+	IncrementalStageSnapshotsPerSec float64 `json:"incremental_stage_snapshots_per_sec"`
+	// StageSpeedup is the combined rangejoin + cluster stage throughput
+	// ratio, incremental over from-scratch.
+	StageSpeedup float64 `json:"stage_speedup"`
+	// AvgClusterSize sanity-checks that the workload clusters at all (both
+	// modes; they are verified equal elsewhere, the bench just reports it).
+	AvgClusterSize float64 `json:"avg_cluster_size"`
+}
+
 // PipelineReport is the machine-readable output of `bench -exp pipeline`
 // (written to BENCH_pipeline.json by `make bench-json`): the same seeded
 // workload pushed through the standard topology on the in-process and the
@@ -94,16 +127,17 @@ type IngestRun struct {
 // increasing intervals (overhead vs interval) and rescale-from-checkpoint
 // rows (restore time at p->2p and 2p->p).
 type PipelineReport struct {
-	Dataset       string          `json:"dataset"`
-	Objects       int             `json:"objects"`
-	Ticks         int             `json:"ticks"`
-	Seed          int64           `json:"seed"`
-	Parallelism   int             `json:"parallelism"`
-	ExchangeBatch int             `json:"exchange_batch"`
-	Runs          []TransportRun  `json:"runs"`
-	Checkpoint    []CheckpointRun `json:"checkpoint,omitempty"`
-	Rescale       []RescaleRun    `json:"rescale,omitempty"`
-	Ingest        []IngestRun     `json:"ingest,omitempty"`
+	Dataset       string           `json:"dataset"`
+	Objects       int              `json:"objects"`
+	Ticks         int              `json:"ticks"`
+	Seed          int64            `json:"seed"`
+	Parallelism   int              `json:"parallelism"`
+	ExchangeBatch int              `json:"exchange_batch"`
+	Runs          []TransportRun   `json:"runs"`
+	Checkpoint    []CheckpointRun  `json:"checkpoint,omitempty"`
+	Rescale       []RescaleRun     `json:"rescale,omitempty"`
+	Ingest        []IngestRun      `json:"ingest,omitempty"`
+	Incremental   []IncrementalRun `json:"incremental,omitempty"`
 }
 
 // admit bounds in-flight snapshots exactly like runOnce, so the two
@@ -392,6 +426,92 @@ func runPipelineIngest(d Dataset, cfg core.Config, parts int) (IngestRun, error)
 	return run, nil
 }
 
+// runPipelineIncremental measures one churn level in both execution
+// modes: the same fixed-churn dataset streamed through the clustering
+// pipeline (NoEnum) from scratch and with delta maintenance.
+func runPipelineIncremental(seed int64, sc Scale, p Params, moveFraction float64) (IncrementalRun, error) {
+	// Step size = the workload's eps (0.06% of the extent-2000 world), so
+	// moves actually make and break pairs.
+	d := MakeChurnDataset(seed, sc, moveFraction, 2000*p.EpsPct/100/4)
+	base := d.config(p, core.RJC, core.NoEnum)
+
+	// measureOnce returns end-to-end snapshots/sec, ticks per second of
+	// combined rangejoin+cluster operator time, and the avg cluster size.
+	measureOnce := func(cfg core.Config) (float64, float64, float64, error) {
+		// Start from a collected heap: back-to-back runs in one process
+		// otherwise charge the previous run's garbage (GC assists) to
+		// whichever mode happens to run next.
+		runtime.GC()
+		tokens := admit(&cfg)
+		pipe, err := core.New(cfg)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		pipe.Start()
+		feedAll(pipe, d, tokens)
+		res := pipe.Finish()
+		var joinCluster time.Duration
+		busy := pipe.StageBusy()
+		for i, name := range pipe.StageNames() {
+			if name == "rangejoin" || name == "cluster" {
+				joinCluster += busy[i]
+			}
+		}
+		rep := res.Metrics.Report()
+		stageRate := 0.0
+		if joinCluster > 0 {
+			stageRate = float64(sc.Ticks) / joinCluster.Seconds()
+		}
+		return rep.ThroughputPerSec, stageRate, rep.AvgClusterSize, nil
+	}
+	// measure takes the median of three runs per mode: single sub-second
+	// stage timings jitter enough (scheduler, GC pauses) to distort a
+	// ratio of two of them.
+	measure := func(cfg core.Config) (float64, float64, float64, error) {
+		const samples = 3
+		var rates, stageRates [samples]float64
+		var avg float64
+		for i := 0; i < samples; i++ {
+			r, s, a, err := measureOnce(cfg)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			rates[i], stageRates[i], avg = r, s, a
+		}
+		median := func(v [samples]float64) float64 {
+			s := v[:]
+			sort.Float64s(s)
+			return s[samples/2]
+		}
+		return median(rates), median(stageRates), avg, nil
+	}
+	scratch, scratchStage, avg, err := measure(base)
+	if err != nil {
+		return IncrementalRun{}, err
+	}
+	inc := base
+	inc.Incremental = true
+	delta, deltaStage, _, err := measure(inc)
+	if err != nil {
+		return IncrementalRun{}, err
+	}
+	run := IncrementalRun{
+		MoveFraction:                    moveFraction,
+		ScratchSnapshotsPerSec:          scratch,
+		IncrementalSnapshotsPerSec:      delta,
+		ScratchStageSnapshotsPerSec:     scratchStage,
+		IncrementalStageSnapshotsPerSec: deltaStage,
+		AvgClusterSize:                  avg,
+	}
+	if scratch > 0 {
+		run.Speedup = delta / scratch
+	}
+	if scratchStage > 0 {
+		run.StageSpeedup = deltaStage / scratchStage
+	}
+	return run, nil
+}
+
 // PipelineJSON runs the pipeline benchmark on both transports plus
 // checkpoint-enabled variants and writes the report as indented JSON.
 func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
@@ -436,6 +556,16 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		}
 		ingestRuns = append(ingestRuns, run)
 	}
+	// Incremental vs from-scratch at three churn levels on the fixed-churn
+	// workload (clustering stages only).
+	var incRuns []IncrementalRun
+	for _, frac := range []float64{0.1, 0.5, 1.0} {
+		run, err := runPipelineIncremental(seed, sc, p, frac)
+		if err != nil {
+			return err
+		}
+		incRuns = append(incRuns, run)
+	}
 	report := PipelineReport{
 		Dataset:       d.Name,
 		Objects:       d.Objects,
@@ -447,6 +577,7 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		Checkpoint:    ckptRuns,
 		Rescale:       rescaleRuns,
 		Ingest:        ingestRuns,
+		Incremental:   incRuns,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -37,6 +37,7 @@ type Spec struct {
 	SourcePartitions int     `json:"source_partitions,omitempty"`
 	SourceSlack      int64   `json:"source_slack,omitempty"`
 	SourceSilence    int64   `json:"source_silence,omitempty"`
+	Incremental      bool    `json:"incremental,omitempty"`
 }
 
 // EncodeSpec serializes the topology-determining part of cfg.
@@ -61,6 +62,7 @@ func EncodeSpec(cfg Config) ([]byte, error) {
 		SourcePartitions: cfg.SourcePartitions,
 		SourceSlack:      int64(cfg.SourceSlack),
 		SourceSilence:    int64(cfg.SourceSilence),
+		Incremental:      cfg.Incremental,
 	})
 }
 
@@ -92,6 +94,10 @@ type fingerprintSpec struct {
 	SourcePartitions int   `json:"source_partitions,omitempty"`
 	SourceSlack      int64 `json:"source_slack,omitempty"`
 	SourceSilence    int64 `json:"source_silence,omitempty"`
+	// Incremental changes the stateful operators' checkpoint blob formats
+	// (and which operators hold state at all), so the two modes' state is
+	// mutually unrestorable — identity, not deployment.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // Fingerprint serializes the semantic identity of cfg (the checkpoint
@@ -113,6 +119,7 @@ func Fingerprint(cfg Config) ([]byte, error) {
 		SourcePartitions: cfg.SourcePartitions,
 		SourceSlack:      int64(cfg.SourceSlack),
 		SourceSilence:    int64(cfg.SourceSilence),
+		Incremental:      cfg.Incremental,
 	})
 }
 
@@ -139,6 +146,7 @@ func DecodeSpec(data []byte) (Config, error) {
 		SourcePartitions: s.SourcePartitions,
 		SourceSlack:      model.Tick(s.SourceSlack),
 		SourceSilence:    model.Tick(s.SourceSilence),
+		Incremental:      s.Incremental,
 	}
 	if err := cfg.fill(); err != nil {
 		return Config{}, err

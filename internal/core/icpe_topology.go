@@ -112,14 +112,18 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 			Name:        "allocate",
 			Parallelism: cfg.Parallelism,
 			Operator: func(int) flow.Operator {
-				return allocate.New(lg, cfg.Eps, mode)
+				op := allocate.New(lg, cfg.Eps, mode)
+				op.Incremental = cfg.Incremental
+				return op
 			},
 		},
 		{
 			Name:        "rangejoin",
 			Parallelism: cfg.Parallelism,
 			Operator: func(int) flow.Operator {
-				return rangejoin.New(cfg.Eps, cfg.Metric, kernel)
+				op := rangejoin.New(cfg.Eps, cfg.Metric, kernel)
+				op.Incremental = cfg.Incremental
+				return op
 			},
 		},
 		{
@@ -127,11 +131,12 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 			Parallelism: cfg.Parallelism,
 			Operator: func(int) flow.Operator {
 				return clusterop.New(clusterop.Config{
-					MinPts:    cfg.MinPts,
-					Dedupe:    cfg.Cluster != RJC,
-					GroupMin:  cfg.Constraints.M,
-					Enumerate: cfg.Enum != NoEnum,
-					OnCluster: h.OnCluster,
+					MinPts:      cfg.MinPts,
+					Dedupe:      cfg.Cluster != RJC,
+					GroupMin:    cfg.Constraints.M,
+					Enumerate:   cfg.Enum != NoEnum,
+					Incremental: cfg.Incremental,
+					OnCluster:   h.OnCluster,
 				})
 			},
 		},

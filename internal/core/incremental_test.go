@@ -1,0 +1,422 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// churnWorkload builds a fixed-churn workload (datagen.Churn) and a config
+// tuned so its hub dwellers cluster: the randomized oracle workloads for
+// the incremental execution mode.
+func churnWorkload(seed int64, ticks int, moveFraction, dropRate float64) ([]*model.Snapshot, Config) {
+	cc := datagen.DefaultChurn(seed, 120, moveFraction, 3)
+	cc.DropRate = dropRate
+	// Many small hubs, not the default density: pattern enumeration is
+	// exponential in cluster size, and this oracle test enumerates.
+	cc.NumHubs = 24
+	sim := datagen.NewChurn(cc)
+	snaps := datagen.Snapshots(sim, ticks)
+	cfg := Config{
+		Constraints: model.Constraints{M: 3, K: 6, L: 3, G: 3},
+		Eps:         6,
+		CellWidth:   24,
+		Metric:      geo.L1,
+		MinPts:      3,
+		Parallelism: 3,
+		Enum:        FBA,
+	}
+	return snaps, cfg
+}
+
+// Incremental mode is gated to the configurations its delta accounting is
+// proved for.
+func TestIncrementalConfigValidation(t *testing.T) {
+	_, _, cfg := plantedWorkload(1, 10)
+	cfg.Incremental = true
+	cfg.Cluster = SRJ
+	if _, err := New(cfg); err == nil {
+		t.Error("incremental with SRJ accepted")
+	}
+	cfg.Cluster = GDC
+	if _, err := New(cfg); err == nil {
+		t.Error("incremental with GDC accepted")
+	}
+	_, _, cfg = plantedWorkload(1, 10)
+	cfg.Incremental = true
+	cfg.SourcePartitions = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("incremental with partitioned source accepted")
+	}
+	_, _, cfg = plantedWorkload(1, 10)
+	cfg.Incremental = true
+	if _, err := New(cfg); err != nil {
+		t.Errorf("incremental with defaults rejected: %v", err)
+	}
+}
+
+// The incremental path must produce byte-identical sorted patterns to the
+// from-scratch path on the planted workload, for each enumerator and
+// across parallelism (the delta stream routes by constant key; results may
+// not depend on how many subtasks sit idle).
+func TestIncrementalMatchesClassicPlanted(t *testing.T) {
+	for _, method := range []EnumMethod{FBA, VBA} {
+		for _, par := range []int{1, 4} {
+			_, snaps, cfg := plantedWorkload(21, 120)
+			cfg.Enum = method
+			cfg.Parallelism = par
+			cfg.CollectPatterns = true
+			classic, err := RunSnapshots(cfg, snaps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(classic.Patterns) == 0 {
+				t.Fatalf("%s/par=%d: no patterns; weak test", method, par)
+			}
+
+			_, snaps2, cfg2 := plantedWorkload(21, 120)
+			cfg2.Enum = method
+			cfg2.Parallelism = par
+			cfg2.CollectPatterns = true
+			cfg2.Incremental = true
+			inc, err := RunSnapshots(cfg2, snaps2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(patternsCSV(t, inc.Patterns), patternsCSV(t, classic.Patterns)) {
+				t.Fatalf("%s/par=%d: incremental output differs: %d patterns, want %d",
+					method, par, len(inc.Patterns), len(classic.Patterns))
+			}
+		}
+	}
+}
+
+// Randomized churn equivalence: objects enter and leave the stream, move
+// fractions sweep the zero-churn extreme (consecutive snapshots repeat
+// byte for byte — every delta is empty), a realistic low churn, and the
+// full-churn extreme (everything moves every tick — the delta stream
+// carries the whole world).
+func TestIncrementalMatchesClassicChurn(t *testing.T) {
+	cases := []struct {
+		name               string
+		moveFraction, drop float64
+	}{
+		{"zero-churn", 0, 0},      // duplicate ticks: identical snapshots
+		{"low-churn", 0.1, 0.05},  // plus membership enter/leave
+		{"full-churn", 1.0, 0.02}, // everything moves
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 3; seed++ {
+			snaps, cfg := churnWorkload(seed, 90, tc.moveFraction, tc.drop)
+			cfg.CollectPatterns = true
+			classic, err := RunSnapshots(cfg, snaps)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			snaps2, cfg2 := churnWorkload(seed, 90, tc.moveFraction, tc.drop)
+			cfg2.CollectPatterns = true
+			cfg2.Incremental = true
+			inc, err := RunSnapshots(cfg2, snaps2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(patternsCSV(t, inc.Patterns), patternsCSV(t, classic.Patterns)) {
+				t.Fatalf("%s/seed=%d: incremental output differs: %d patterns, want %d",
+					tc.name, seed, len(inc.Patterns), len(classic.Patterns))
+			}
+			if tc.name == "zero-churn" {
+				continue // static world produces no *new* patterns after warmup
+			}
+			if len(classic.Patterns) == 0 {
+				t.Fatalf("%s/seed=%d: no patterns; weak test", tc.name, seed)
+			}
+		}
+	}
+}
+
+// Clustering metrics must flow in incremental mode too (the bench harness
+// reads them for the incremental/from-scratch comparison).
+func TestIncrementalMetrics(t *testing.T) {
+	_, snaps, cfg := plantedWorkload(77, 80)
+	cfg.Enum = NoEnum
+	cfg.Incremental = true
+	res, err := RunSnapshots(cfg, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Snapshots != 80 {
+		t.Errorf("snapshots = %d, want 80", res.Metrics.Snapshots)
+	}
+	if res.Metrics.ClusterLatency.Count() != 80 {
+		t.Errorf("cluster latency samples = %d, want 80", res.Metrics.ClusterLatency.Count())
+	}
+	if res.Metrics.AvgClusterSize.Value() <= 0 {
+		t.Error("no cluster size samples")
+	}
+}
+
+// Incremental over real TCP workers: the delta wire types cross process
+// boundaries and the result matches the classic in-process run byte for
+// byte.
+func TestIncrementalDistributedMatchesInProcess(t *testing.T) {
+	_, snaps, cfg := plantedWorkload(1234, 120)
+	cfg.Enum = FBA
+	cfg.CollectPatterns = true
+	classic, err := RunSnapshots(cfg, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classic.Patterns) == 0 {
+		t.Fatal("no patterns; weak test")
+	}
+
+	_, snaps2, cfg2 := plantedWorkload(1234, 120)
+	cfg2.Enum = FBA
+	cfg2.CollectPatterns = true
+	cfg2.Incremental = true
+	dist := runDistributed(t, cfg2, snaps2, 2)
+	if !bytes.Equal(patternsCSV(t, dist.Patterns), patternsCSV(t, classic.Patterns)) {
+		t.Fatalf("distributed incremental output differs: %d patterns, want %d",
+			len(dist.Patterns), len(classic.Patterns))
+	}
+}
+
+// A churn workload over TCP workers in incremental mode (randomized
+// membership churn crossing the wire).
+func TestIncrementalDistributedChurn(t *testing.T) {
+	snaps, cfg := churnWorkload(7, 80, 0.1, 0.05)
+	cfg.CollectPatterns = true
+	classic, err := RunSnapshots(cfg, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classic.Patterns) == 0 {
+		t.Fatal("no patterns; weak test")
+	}
+	snaps2, cfg2 := churnWorkload(7, 80, 0.1, 0.05)
+	cfg2.CollectPatterns = true
+	cfg2.Incremental = true
+	dist := runDistributed(t, cfg2, snaps2, 2)
+	if !bytes.Equal(patternsCSV(t, dist.Patterns), patternsCSV(t, classic.Patterns)) {
+		t.Fatalf("distributed incremental churn output differs: %d patterns, want %d",
+			len(dist.Patterns), len(classic.Patterns))
+	}
+}
+
+// Kill-and-resume mid-delta-stream: a checkpointed incremental run is
+// abandoned without drain (like a SIGKILL) after the persistent cell
+// indexes, previous-position map, and cluster structure are all live, then
+// resumed from the checkpoint. Combined committed output must match an
+// uninterrupted incremental run byte for byte.
+func TestIncrementalCheckpointCrashResume(t *testing.T) {
+	const (
+		interval  = 10
+		crashAt   = 47 // pushes before the simulated crash
+		ckptAtCut = 4  // last checkpoint that can complete: 40 snapshots
+	)
+	// Reference: uninterrupted incremental run, committed output only.
+	_, snaps, cfg := plantedWorkload(1234, 120)
+	cfg.Enum = FBA
+	cfg.Incremental = true
+	cfg.CheckpointInterval = interval
+	cfg.CheckpointDir = t.TempDir()
+	var ref commitLog
+	cfg.OnCommit = ref.hook()
+	if _, err := RunSnapshots(cfg, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.patterns()) == 0 {
+		t.Fatal("reference run found no patterns; weak test")
+	}
+
+	// Crashy run: same workload, fresh checkpoint dir.
+	dir := t.TempDir()
+	_, snaps2, cfg2 := plantedWorkload(1234, 120)
+	cfg2.Enum = FBA
+	cfg2.Incremental = true
+	cfg2.CheckpointInterval = interval
+	cfg2.CheckpointDir = dir
+	var crashed commitLog
+	cfg2.OnCommit = crashed.hook()
+	crashy, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashy.Start()
+	for _, s := range snaps2[:crashAt] {
+		crashy.PushSnapshot(s)
+	}
+	man := waitCheckpoint(t, crashy, ckptAtCut)
+	if man.Source.Snapshots != interval*ckptAtCut {
+		t.Fatalf("checkpoint %d covers %d snapshots, want %d",
+			man.ID, man.Source.Snapshots, interval*ckptAtCut)
+	}
+	// The cut fell mid-delta-stream: every stateful operator must have
+	// written real state (previous positions, cell indexes, cluster
+	// structure) — the resume below restores it, it does not recompute.
+	store, err := ckpt.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"allocate", "rangejoin", "cluster"} {
+		nonEmpty := false
+		for _, st := range man.Stages {
+			if st.Name != stage {
+				continue
+			}
+			for sub := 0; sub < st.Parallelism; sub++ {
+				blob, err := store.State(man.ID, st.Name, sub)
+				if err != nil {
+					t.Fatalf("state %s/%d: %v", st.Name, sub, err)
+				}
+				if len(blob) > 0 {
+					nonEmpty = true
+				}
+			}
+		}
+		if !nonEmpty {
+			t.Fatalf("stage %s checkpointed no state in incremental mode", stage)
+		}
+	}
+	// Crash: abandon the pipeline mid-stream.
+
+	// Resume from the same directory, still incremental.
+	_, snaps3, cfg3 := plantedWorkload(1234, 120)
+	cfg3.Enum = FBA
+	cfg3.Incremental = true
+	cfg3.CheckpointInterval = interval
+	cfg3.CheckpointDir = dir
+	cfg3.Resume = true
+	var resumed commitLog
+	cfg3.OnCommit = resumed.hook()
+	rp, err := New(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := rp.ResumePosition()
+	if !ok || pos.Snapshots != interval*ckptAtCut {
+		t.Fatalf("resume position %+v, %v", pos, ok)
+	}
+	rp.Start()
+	for _, s := range snaps3 {
+		if s.Tick > pos.LastTick {
+			rp.PushSnapshot(s)
+		}
+	}
+	rp.Finish()
+
+	got := append(crashed.patterns(), resumed.patterns()...)
+	if !bytes.Equal(patternsCSV(t, got), patternsCSV(t, ref.patterns())) {
+		t.Fatalf("incremental crash+resume output differs: %d patterns, want %d",
+			len(got), len(ref.patterns()))
+	}
+}
+
+// Elastic rescale in incremental mode: checkpoint at parallelism 2, crash,
+// resume at 4. The persistent cell indexes (bucketed by cell-key hash) are
+// re-sliced onto the new subtask count; the constant-key allocate and
+// cluster states land on whichever subtask owns group 0.
+func TestIncrementalRescaleResume(t *testing.T) {
+	const (
+		interval  = 10
+		crashAt   = 47
+		ckptAtCut = 4
+	)
+	// Reference: uninterrupted incremental run.
+	_, snaps, cfg := plantedWorkload(1234, 120)
+	cfg.Enum = FBA
+	cfg.Incremental = true
+	cfg.CheckpointInterval = interval
+	cfg.CheckpointDir = t.TempDir()
+	var ref commitLog
+	cfg.OnCommit = ref.hook()
+	if _, err := RunSnapshots(cfg, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.patterns()) == 0 {
+		t.Fatal("reference run found no patterns; weak test")
+	}
+
+	dir := t.TempDir()
+	_, snaps2, cfg2 := plantedWorkload(1234, 120)
+	cfg2.Enum = FBA
+	cfg2.Incremental = true
+	cfg2.Parallelism = 2
+	cfg2.CheckpointInterval = interval
+	cfg2.CheckpointDir = dir
+	var crashed commitLog
+	cfg2.OnCommit = crashed.hook()
+	crashy, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashy.Start()
+	for _, s := range snaps2[:crashAt] {
+		crashy.PushSnapshot(s)
+	}
+	waitCheckpoint(t, crashy, ckptAtCut)
+	// Crash: abandon the pipeline.
+
+	_, snaps3, cfg3 := plantedWorkload(1234, 120)
+	cfg3.Enum = FBA
+	cfg3.Incremental = true
+	cfg3.Parallelism = 4
+	cfg3.CheckpointInterval = interval
+	cfg3.CheckpointDir = dir
+	cfg3.Resume = true
+	var resumed commitLog
+	cfg3.OnCommit = resumed.hook()
+	rp, err := New(cfg3)
+	if err != nil {
+		t.Fatalf("resume at new parallelism: %v", err)
+	}
+	pos, ok := rp.ResumePosition()
+	if !ok || pos.Snapshots != interval*ckptAtCut {
+		t.Fatalf("resume position %+v, %v", pos, ok)
+	}
+	rp.Start()
+	for _, s := range snaps3 {
+		if s.Tick > pos.LastTick {
+			rp.PushSnapshot(s)
+		}
+	}
+	rp.Finish()
+
+	got := append(crashed.patterns(), resumed.patterns()...)
+	if !bytes.Equal(patternsCSV(t, got), patternsCSV(t, ref.patterns())) {
+		t.Fatalf("incremental 2->4 rescale output differs: %d patterns, want %d",
+			len(got), len(ref.patterns()))
+	}
+	if len(crashed.patterns()) == 0 || len(resumed.patterns()) == 0 {
+		t.Logf("warning: one side empty (crashed=%d resumed=%d)",
+			len(crashed.patterns()), len(resumed.patterns()))
+	}
+}
+
+// Resuming a classic checkpoint in incremental mode (or vice versa) must
+// fail up front: the operators' state encodings are mode-specific, so the
+// mode is part of the job's fingerprint.
+func TestIncrementalResumeRejectsModeSwitch(t *testing.T) {
+	dir := t.TempDir()
+	_, snaps, cfg := plantedWorkload(9, 40)
+	cfg.Enum = FBA
+	cfg.CheckpointInterval = 10
+	cfg.CheckpointDir = dir
+	if _, err := RunSnapshots(cfg, snaps); err != nil {
+		t.Fatal(err)
+	}
+	_, _, cfg2 := plantedWorkload(9, 40)
+	cfg2.Enum = FBA
+	cfg2.Incremental = true
+	cfg2.CheckpointInterval = 10
+	cfg2.CheckpointDir = dir
+	cfg2.Resume = true
+	if _, err := New(cfg2); err == nil {
+		t.Fatal("incremental resume of a classic checkpoint accepted")
+	}
+}

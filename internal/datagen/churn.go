@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// ChurnConfig parameterizes a workload whose per-tick change rate is an
+// explicit knob: each tick exactly MoveFraction of the objects take a
+// random-walk step of magnitude StepSize while the rest hold position, and
+// DropRate of the population skips reporting (so objects vanish from and
+// re-enter the stream). It is the control workload for the incremental
+// execution mode, whose per-tick cost is proportional to churn: at
+// MoveFraction 0 every snapshot repeats the previous positions, at 1 the
+// whole population moves every tick.
+type ChurnConfig struct {
+	Seed       int64
+	NumObjects int
+	// Extent is the square world size.
+	Extent float64
+	// NumHubs hotspots cluster the initial placement so the workload has
+	// the co-location density real trajectories exhibit (pairs within eps
+	// exist and persist); 0 scatters objects uniformly.
+	NumHubs int
+	// HubRadius is the placement spread around a hub.
+	HubRadius float64
+	// MoveFraction in [0,1] is the share of objects that move each tick.
+	// The moving set is re-drawn per tick, so over time every object
+	// wanders.
+	MoveFraction float64
+	// StepSize is the random-walk step magnitude per moving object.
+	StepSize float64
+	// DropRate is the probability an object skips reporting one tick
+	// (membership churn: it leaves the stream and re-enters later).
+	DropRate float64
+}
+
+// DefaultChurn is a hub-clustered churn workload: objects dwell around
+// hotspots and a tunable fraction drifts each tick.
+func DefaultChurn(seed int64, objects int, moveFraction, stepSize float64) ChurnConfig {
+	// Hub count scales with the population so density per hub — and with
+	// it the clustering workload — is the same at every benchmark scale.
+	hubs := objects / 60
+	if hubs < 2 {
+		hubs = 2
+	}
+	return ChurnConfig{
+		Seed:         seed,
+		NumObjects:   objects,
+		Extent:       2000,
+		NumHubs:      hubs,
+		HubRadius:    2,
+		MoveFraction: moveFraction,
+		StepSize:     stepSize,
+		// A dropped object re-derives its whole neighbourhood on
+		// re-entry, so membership churn is far more expensive than
+		// movement churn; keep it a trickle so MoveFraction stays the
+		// dominant knob.
+		DropRate: 0.005,
+	}
+}
+
+// Churn simulates the fixed-churn random-walk workload.
+type Churn struct {
+	cfg  ChurnConfig
+	rng  *rand.Rand
+	locs []geo.Point
+	perm []int // scratch for the per-tick mover draw
+	tick model.Tick
+}
+
+// NewChurn builds the simulator.
+func NewChurn(cfg ChurnConfig) *Churn {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Churn{cfg: cfg, rng: rng, tick: 1}
+	c.locs = make([]geo.Point, cfg.NumObjects)
+	c.perm = make([]int, cfg.NumObjects)
+	hubs := make([]geo.Point, cfg.NumHubs)
+	for i := range hubs {
+		hubs[i] = geo.Point{
+			X: rng.Float64() * cfg.Extent,
+			Y: rng.Float64() * cfg.Extent,
+		}
+	}
+	for i := range c.locs {
+		if len(hubs) > 0 {
+			h := hubs[rng.Intn(len(hubs))]
+			c.locs[i] = geo.Point{
+				X: h.X + (rng.Float64()-0.5)*2*cfg.HubRadius,
+				Y: h.Y + (rng.Float64()-0.5)*2*cfg.HubRadius,
+			}
+		} else {
+			c.locs[i] = geo.Point{
+				X: rng.Float64() * cfg.Extent,
+				Y: rng.Float64() * cfg.Extent,
+			}
+		}
+		c.perm[i] = i
+	}
+	return c
+}
+
+// Name implements Simulator.
+func (c *Churn) Name() string { return "churn" }
+
+// Objects implements Simulator.
+func (c *Churn) Objects() int { return c.cfg.NumObjects }
+
+// Extent implements Simulator.
+func (c *Churn) Extent() geo.Rect {
+	return geo.Rect{MinX: 0, MinY: 0, MaxX: c.cfg.Extent, MaxY: c.cfg.Extent}
+}
+
+// Next implements Simulator.
+func (c *Churn) Next() *model.Snapshot {
+	s := &model.Snapshot{Tick: c.tick}
+	c.tick++
+	// Draw exactly round(MoveFraction * n) movers via a partial shuffle.
+	movers := int(c.cfg.MoveFraction*float64(len(c.locs)) + 0.5)
+	if movers > len(c.locs) {
+		movers = len(c.locs)
+	}
+	for i := 0; i < movers; i++ {
+		j := i + c.rng.Intn(len(c.perm)-i)
+		c.perm[i], c.perm[j] = c.perm[j], c.perm[i]
+		o := c.perm[i]
+		c.locs[o].X += (c.rng.Float64() - 0.5) * 2 * c.cfg.StepSize
+		c.locs[o].Y += (c.rng.Float64() - 0.5) * 2 * c.cfg.StepSize
+		c.locs[o] = c.clamp(c.locs[o])
+	}
+	for i, loc := range c.locs {
+		if c.cfg.DropRate > 0 && c.rng.Float64() < c.cfg.DropRate {
+			continue
+		}
+		s.Add(model.ObjectID(i+1), loc)
+	}
+	return s
+}
+
+func (c *Churn) clamp(pt geo.Point) geo.Point {
+	if pt.X < 0 {
+		pt.X = 0
+	}
+	if pt.X > c.cfg.Extent {
+		pt.X = c.cfg.Extent
+	}
+	if pt.Y < 0 {
+		pt.Y = 0
+	}
+	if pt.Y > c.cfg.Extent {
+		pt.Y = c.cfg.Extent
+	}
+	return pt
+}

@@ -28,22 +28,51 @@ import (
 // index lists; noise points appear in no cluster. Clusters are sorted by
 // their first member.
 func FromPairs(n int, pairs [][2]int32, minPts int) [][]int32 {
-	deg := make([]int32, n)
+	var c Clusterer
+	return c.FromPairs(n, pairs, minPts)
+}
+
+// Clusterer runs FromPairs while reusing its working buffers (degree
+// counters, core flags, border assignment) across calls, so a per-tick
+// caller like clusterop stops paying three O(n) allocations per snapshot.
+// The zero value is ready to use. Not safe for concurrent use.
+type Clusterer struct {
+	deg     []int32
+	core    []bool
+	minCore []int32
+}
+
+func (c *Clusterer) reset(n int) {
+	if cap(c.deg) < n {
+		c.deg = make([]int32, n)
+		c.core = make([]bool, n)
+		c.minCore = make([]int32, n)
+	}
+	c.deg = c.deg[:n]
+	c.core = c.core[:n]
+	c.minCore = c.minCore[:n]
+	for i := 0; i < n; i++ {
+		c.deg[i] = 0
+		c.core[i] = false
+		c.minCore[i] = -1
+	}
+}
+
+// FromPairs is the buffer-reusing form of the package-level FromPairs;
+// the returned clusters are freshly allocated and safe to retain.
+func (c *Clusterer) FromPairs(n int, pairs [][2]int32, minPts int) [][]int32 {
+	c.reset(n)
+	deg, core, minCore := c.deg, c.core, c.minCore
 	for _, p := range pairs {
 		deg[p[0]]++
 		deg[p[1]]++
 	}
-	core := make([]bool, n)
 	for i := range core {
 		core[i] = int(deg[i])+1 >= minPts
 	}
 
 	uf := unionfind.New(n)
 	// minCore[i] is the smallest-index core point adjacent to non-core i.
-	minCore := make([]int32, n)
-	for i := range minCore {
-		minCore[i] = -1
-	}
 	for _, p := range pairs {
 		a, b := p[0], p[1] // a < b
 		switch {

@@ -1,0 +1,884 @@
+// Incremental DBSCAN maintenance: the cluster structure of a snapshot is
+// carried across ticks and updated by eps-neighbour pair deltas instead of
+// being recomputed from the full pair set. The approach follows the
+// evolving-group literature (see PAPERS.md): degree counters drive
+// core-status transitions, connected components of the core graph are
+// maintained under edge insertions by label merging and under deletions by
+// a bounded rebuild — only the components actually touched by a deletion
+// or demotion are dissolved and re-grown, never the whole graph.
+package dbscan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/model"
+)
+
+// Incremental maintains DBSCAN cluster structure over object ids under
+// pair insertions and deletions. It is equivalent, tick for tick, to
+// running FromPairs on the full pair set of the tick (pinned by
+// TestIncrementalMatchesFromPairs): core status is deg+1 >= minPts,
+// clusters are connected components of cores, and border points are
+// resolved at output time exactly like FromPairs.
+//
+// Identity is the object id, not the snapshot index — indices shift
+// between ticks, ids do not. Internally ids are interned to dense slots
+// so the per-edge hot paths (degree checks, label reads, visited stamps)
+// are slice indexing instead of map lookups; the only map accesses left
+// are one interning lookup per delta endpoint and the label->members
+// directory. Not safe for concurrent use.
+type Incremental struct {
+	minPts int
+
+	// Interning: each live object id owns one dense slot; slots of
+	// objects that lost every edge and carry no label are recycled.
+	slotOf map[model.ObjectID]int32
+	idOf   []model.ObjectID
+	freed  []int32
+
+	// Per-slot state. adj holds the current eps-neighbour relation, both
+	// directions, as unordered slot slices — degrees are small (a point's
+	// eps-ball), so linear scans beat per-neighbour structures. label is
+	// 0 for unlabeled; real labels start at 1 and come from a monotonic
+	// counter so a rebuilt component never collides with a surviving one.
+	// members is the label inverse, as unordered slot lists.
+	adj     [][]int32
+	label   []uint64
+	members map[uint64][]int32
+	next    uint64
+
+	// Epoch-stamped per-slot scratch: a slot is "set" in the current pass
+	// iff its stamp equals the pass epoch, so resetting costs nothing.
+	// ocStamp/ocVal memo the pre-edit core status (one epoch per Apply),
+	// demStamp flags this tick's demotions, visit serves each BFS (one
+	// epoch per traversal; on wraparound the arrays are cleared).
+	ocStamp    []uint32
+	ocVal      []bool
+	demStamp   []uint32
+	visit      []uint32
+	applyEpoch uint32
+	visitEpoch uint32
+
+	// Per-Apply scratch slices/maps, reused across ticks.
+	addsS, delsS [][2]int32
+	touched      []int32
+	promoted     []int32
+	seeds        []int32
+	queue        []int32
+	blob         []int32
+	neighLabels  []uint64
+	witness      map[uint64][]int32
+
+	// Clusters scratch: outSlot assigns each label its output position
+	// for the current call, lists holds the reusable member-list backing,
+	// marked flags the object indexes already claimed by a component.
+	outSlot map[uint64]int
+	lists   [][]int32
+	out     [][]int32
+	marked  []uint64
+}
+
+// NewIncremental returns an empty maintenance structure.
+func NewIncremental(minPts int) *Incremental {
+	return &Incremental{
+		minPts:  minPts,
+		slotOf:  make(map[model.ObjectID]int32),
+		members: make(map[uint64][]int32),
+		next:    1,
+		witness: make(map[uint64][]int32),
+		outSlot: make(map[uint64]int),
+	}
+}
+
+// Empty reports whether the structure is indistinguishable from a fresh
+// one (nothing to checkpoint).
+func (inc *Incremental) Empty() bool {
+	return inc.next == 1 && len(inc.slotOf) == 0
+}
+
+// slotFor interns id, allocating (or recycling) a slot on first sight.
+func (inc *Incremental) slotFor(id model.ObjectID) int32 {
+	if s, ok := inc.slotOf[id]; ok {
+		return s
+	}
+	var s int32
+	if n := len(inc.freed); n > 0 {
+		s = inc.freed[n-1]
+		inc.freed = inc.freed[:n-1]
+		inc.idOf[s] = id
+		inc.adj[s] = inc.adj[s][:0]
+		inc.label[s] = 0
+	} else {
+		s = int32(len(inc.idOf))
+		inc.idOf = append(inc.idOf, id)
+		inc.adj = append(inc.adj, nil)
+		inc.label = append(inc.label, 0)
+		inc.ocStamp = append(inc.ocStamp, 0)
+		inc.ocVal = append(inc.ocVal, false)
+		inc.demStamp = append(inc.demStamp, 0)
+		inc.visit = append(inc.visit, 0)
+	}
+	inc.slotOf[id] = s
+	return s
+}
+
+func (inc *Incremental) coreSlot(s int32) bool {
+	return len(inc.adj[s])+1 >= inc.minPts
+}
+
+// core reports the core status of an object by id; an id with no slot has
+// degree zero.
+func (inc *Incremental) core(id model.ObjectID) bool {
+	if s, ok := inc.slotOf[id]; ok {
+		return inc.coreSlot(s)
+	}
+	return 1 >= inc.minPts
+}
+
+// bumpApply starts a new Apply epoch; on uint32 wraparound the stamp
+// arrays are cleared so stale stamps can never collide.
+func (inc *Incremental) bumpApply() uint32 {
+	inc.applyEpoch++
+	if inc.applyEpoch == 0 {
+		clear(inc.ocStamp)
+		clear(inc.demStamp)
+		inc.applyEpoch = 1
+	}
+	return inc.applyEpoch
+}
+
+// bumpVisit starts a new BFS epoch, with the same wraparound guard.
+func (inc *Incremental) bumpVisit() uint32 {
+	inc.visitEpoch++
+	if inc.visitEpoch == 0 {
+		clear(inc.visit)
+		inc.visitEpoch = 1
+	}
+	return inc.visitEpoch
+}
+
+// Apply advances the structure by one tick's net pair deltas: dels are
+// pairs no longer within eps (or whose endpoints left the stream), adds
+// are newly within-eps pairs. Pairs must have distinct endpoints and the
+// same pair must not appear in both lists. Deleting an absent pair or
+// inserting a present one panics — that indicates a desynchronized delta
+// stream, which must fail loudly rather than drift.
+//
+// Cost is proportional to the delta neighbourhoods, not to component
+// size: deletions and demotions run an early-terminating connectivity
+// check over their "witness" vertices and only dissolve a component when
+// the witnesses actually disconnected (an object vanishing from a dense
+// cluster is a neighbourhood scan, not a component rebuild), and
+// promotions attach locally to adjacent components by label merging
+// instead of re-growing them.
+func (inc *Incremental) Apply(adds, dels [][2]model.ObjectID) {
+	// Intern every endpoint once; everything below runs on slots.
+	delsS := inc.delsS[:0]
+	for _, p := range dels {
+		delsS = append(delsS, [2]int32{inc.slotFor(p[0]), inc.slotFor(p[1])})
+	}
+	addsS := inc.addsS[:0]
+	for _, p := range adds {
+		addsS = append(addsS, [2]int32{inc.slotFor(p[0]), inc.slotFor(p[1])})
+	}
+	inc.delsS, inc.addsS = delsS, addsS
+
+	// Pre-edit core status of every touched vertex decides promotions and
+	// demotions afterwards.
+	ep := inc.bumpApply()
+	touched := inc.touched[:0]
+	touch := func(s int32) {
+		if inc.ocStamp[s] != ep {
+			inc.ocStamp[s] = ep
+			inc.ocVal[s] = inc.coreSlot(s)
+			touched = append(touched, s)
+		}
+	}
+	for _, p := range delsS {
+		touch(p[0])
+		touch(p[1])
+	}
+	for _, p := range addsS {
+		touch(p[0])
+		touch(p[1])
+	}
+	inc.touched = touched
+	wasCore := func(s int32) bool {
+		if inc.ocStamp[s] == ep {
+			return inc.ocVal[s]
+		}
+		return inc.coreSlot(s) // untouched: degree unchanged
+	}
+
+	for _, p := range delsS {
+		if err := inc.removeEdge(p[0], p[1]); err != nil {
+			panic(err)
+		}
+	}
+	for _, p := range addsS {
+		if err := inc.addEdge(p[0], p[1]); err != nil {
+			panic(err)
+		}
+	}
+
+	// Demotions leave their component immediately; promotions are labeled
+	// after the split checks below.
+	nDemoted := 0
+	promoted := inc.promoted[:0]
+	for _, s := range touched {
+		was, now := inc.ocVal[s], inc.coreSlot(s)
+		switch {
+		case was && !now:
+			inc.demStamp[s] = ep
+			nDemoted++
+			if l := inc.label[s]; l != 0 {
+				inc.label[s] = 0
+				inc.dropMember(l, s)
+			}
+		case !was && now:
+			promoted = append(promoted, s)
+		}
+	}
+	inc.promoted = promoted
+	isDemoted := func(s int32) bool { return inc.demStamp[s] == ep }
+
+	// Witnesses: per component, the vertices that must remain mutually
+	// connected for the component to have survived intact — the still-core
+	// endpoints of deleted core-core edges, and the still-core former
+	// neighbours of each demoted vertex (any old path broken by this
+	// tick's edits passes through one of these). A single BFS per
+	// component, terminating as soon as every witness is seen, decides
+	// split vs no-split; only genuinely split components are dissolved.
+	clear(inc.witness)
+	witness := inc.witness
+	mark := func(x int32) {
+		if l := inc.label[x]; l != 0 {
+			s := witness[l]
+			for _, w := range s {
+				if w == x {
+					return
+				}
+			}
+			witness[l] = append(s, x)
+		}
+	}
+	for _, p := range delsS {
+		if !wasCore(p[0]) || !wasCore(p[1]) {
+			continue
+		}
+		c0, c1 := inc.coreSlot(p[0]), inc.coreSlot(p[1])
+		if c0 && c1 && inc.bridged(p[0], p[1]) {
+			// Still two-hop connected through a surviving core vertex:
+			// this deletion cannot separate its endpoints, and a genuine
+			// split elsewhere in the component necessarily breaks some
+			// unbridged core-core edge (or passes through a demotion),
+			// whose witnesses detect it. Dense neighbourhoods are full of
+			// triangles, so this skips nearly every split check.
+			continue
+		}
+		if c0 {
+			mark(p[0])
+		}
+		if c1 {
+			mark(p[1])
+		}
+	}
+	if nDemoted > 0 {
+		// A demoted vertex's old neighbourhood is its current one plus the
+		// edges deleted this tick, minus the ones added this tick.
+		// Demotions are rare, so scanning the delta lists per demoted
+		// vertex beats building incidence maps.
+		for _, v := range touched {
+			if !isDemoted(v) {
+				continue
+			}
+			isAdded := func(x int32) bool {
+				for _, p := range addsS {
+					if (p[0] == v && p[1] == x) || (p[1] == v && p[0] == x) {
+						return true
+					}
+				}
+				return false
+			}
+			for _, x := range inc.adj[v] {
+				if !isAdded(x) && wasCore(x) && inc.coreSlot(x) {
+					mark(x)
+				}
+			}
+			for _, p := range delsS {
+				x := int32(-1)
+				if p[0] == v {
+					x = p[1]
+				} else if p[1] == v {
+					x = p[0]
+				}
+				if x >= 0 && wasCore(x) && inc.coreSlot(x) {
+					mark(x)
+				}
+			}
+		}
+	}
+
+	seeds := inc.seeds[:0]
+	if len(witness) > 0 {
+		labels := inc.neighLabels[:0]
+		for l := range witness {
+			labels = append(labels, l)
+		}
+		slices.Sort(labels)
+		inc.neighLabels = labels[:0]
+		for _, l := range labels {
+			if len(witness[l]) <= 1 || inc.connected(witness[l]) {
+				continue
+			}
+			// Split: dissolve and re-grow this component — and only it.
+			for _, m := range inc.members[l] {
+				inc.label[m] = 0
+				if inc.coreSlot(m) {
+					seeds = append(seeds, m)
+				}
+			}
+			delete(inc.members, l)
+		}
+	}
+	inc.seeds = seeds[:0]
+
+	// Re-grow dissolved components: BFS over the current core-core
+	// adjacency from each seed, in ascending id order so label assignment
+	// is deterministic. Labels at or above freshFloor were created by this
+	// call; a seed already carrying one sits in an already re-grown
+	// component. A clean surviving component reached through a new edge is
+	// absorbed wholesale — its internal connectivity is intact, so the
+	// traversal reaches all of it.
+	freshFloor := inc.next
+	sort.Slice(seeds, func(i, j int) bool { return inc.idOf[seeds[i]] < inc.idOf[seeds[j]] })
+	queue := inc.queue[:0]
+	for _, s := range seeds {
+		if !inc.coreSlot(s) {
+			continue
+		}
+		if l := inc.label[s]; l != 0 && l >= freshFloor {
+			continue // already re-grown from an earlier seed
+		}
+		fresh := inc.next
+		inc.next++
+		mem := inc.members[fresh]
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if l := inc.label[v]; l != 0 {
+				if l == fresh {
+					continue
+				}
+				// Absorb from a surviving component being merged.
+				inc.dropMember(l, v)
+			}
+			inc.label[v] = fresh
+			mem = append(mem, v)
+			for _, w := range inc.adj[v] {
+				if inc.coreSlot(w) && inc.label[w] != fresh {
+					queue = append(queue, w)
+				}
+			}
+		}
+		inc.members[fresh] = mem
+	}
+	inc.queue = queue[:0]
+
+	// Attach the remaining unlabeled cores — newly promoted vertices (and,
+	// when minPts <= 1, vertices born core) not already reached by a
+	// re-grow. Each connected blob of unlabeled cores joins the largest
+	// adjacent component (a degree-sized scan), merging any further
+	// adjacent components into it; an isolated blob starts a fresh label.
+	cands := promoted
+	for _, p := range addsS {
+		// Only unlabeled cores need attachment; pre-filter so the sort
+		// below scales with promotions, not with the add volume. The loop
+		// re-checks (labels evolve as blobs attach), so over-inclusion is
+		// harmless and promoted entries need no filtering.
+		if inc.label[p[0]] == 0 && inc.coreSlot(p[0]) {
+			cands = append(cands, p[0])
+		}
+		if inc.label[p[1]] == 0 && inc.coreSlot(p[1]) {
+			cands = append(cands, p[1])
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return inc.idOf[cands[i]] < inc.idOf[cands[j]] })
+	for _, u := range cands {
+		if !inc.coreSlot(u) || inc.label[u] != 0 {
+			continue
+		}
+		blob := append(inc.blob[:0], u)
+		ve := inc.bumpVisit()
+		inc.visit[u] = ve
+		neighLabels := inc.neighLabels[:0]
+		for i := 0; i < len(blob); i++ {
+			for _, w := range inc.adj[blob[i]] {
+				if !inc.coreSlot(w) {
+					continue
+				}
+				if l := inc.label[w]; l != 0 {
+					dup := false
+					for _, nl := range neighLabels {
+						if nl == l {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						neighLabels = append(neighLabels, l)
+					}
+					continue
+				}
+				if inc.visit[w] == ve {
+					continue
+				}
+				inc.visit[w] = ve
+				blob = append(blob, w)
+			}
+		}
+		var target uint64
+		if len(neighLabels) == 0 {
+			target = inc.next
+			inc.next++
+		} else {
+			target = neighLabels[0]
+			for _, l := range neighLabels[1:] {
+				if len(inc.members[l]) > len(inc.members[target]) ||
+					(len(inc.members[l]) == len(inc.members[target]) && l < target) {
+					target = l
+				}
+			}
+			for _, l := range neighLabels {
+				if l != target {
+					inc.mergeLabel(l, target)
+				}
+			}
+		}
+		mem := inc.members[target]
+		for _, v := range blob {
+			inc.label[v] = target
+			mem = append(mem, v)
+		}
+		inc.members[target] = mem
+		inc.blob = blob[:0]
+		inc.neighLabels = neighLabels[:0]
+	}
+
+	// Added core-core edges may bridge two surviving components: merge the
+	// smaller into the larger.
+	for _, p := range addsS {
+		if !inc.coreSlot(p[0]) || !inc.coreSlot(p[1]) {
+			continue
+		}
+		la, lb := inc.label[p[0]], inc.label[p[1]]
+		if la == lb {
+			continue
+		}
+		if len(inc.members[la]) >= len(inc.members[lb]) {
+			inc.mergeLabel(lb, la)
+		} else {
+			inc.mergeLabel(la, lb)
+		}
+	}
+
+	// Recycle the slots of touched vertices that ended the tick with no
+	// edges and no label — nothing references them anymore.
+	for _, s := range touched {
+		if len(inc.adj[s]) == 0 && inc.label[s] == 0 {
+			delete(inc.slotOf, inc.idOf[s])
+			inc.freed = append(inc.freed, s)
+		}
+	}
+}
+
+// dropMember removes slot s from label l's member list (swap-delete) and
+// deletes the label when it empties.
+func (inc *Incremental) dropMember(l uint64, s int32) {
+	mem := inc.members[l]
+	for i, m := range mem {
+		if m == s {
+			mem[i] = mem[len(mem)-1]
+			if len(mem) == 1 {
+				delete(inc.members, l)
+			} else {
+				inc.members[l] = mem[:len(mem)-1]
+			}
+			return
+		}
+	}
+}
+
+// bridged reports whether a and b share a common neighbour that is core —
+// a two-hop path in the current core-core graph. Degrees are eps-ball
+// sized, so the nested scan is a handful of comparisons, and in a dense
+// neighbourhood the first core neighbour usually decides.
+func (inc *Incremental) bridged(a, b int32) bool {
+	na, nb := inc.adj[a], inc.adj[b]
+	if len(nb) < len(na) {
+		na, nb = nb, na
+	}
+	for _, w := range na {
+		if !inc.coreSlot(w) {
+			continue
+		}
+		for _, x := range nb {
+			if x == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// connected reports whether every vertex of set (distinct slots) lies in
+// one component of the current core-core graph. The BFS stops as soon as
+// the last witness is seen, so the no-split common case costs a
+// neighbourhood scan rather than a component traversal.
+func (inc *Incremental) connected(set []int32) bool {
+	start := set[0]
+	need := len(set) - 1
+	ve := inc.bumpVisit()
+	inc.visit[start] = ve
+	queue := append(inc.queue[:0], start)
+	for len(queue) > 0 && need > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range inc.adj[v] {
+			if inc.visit[w] == ve || !inc.coreSlot(w) {
+				continue
+			}
+			inc.visit[w] = ve
+			for _, s := range set {
+				if s == w {
+					need--
+					break
+				}
+			}
+			if need == 0 {
+				inc.queue = queue[:0]
+				return true
+			}
+			queue = append(queue, w)
+		}
+	}
+	inc.queue = queue[:0]
+	return need == 0
+}
+
+// mergeLabel relabels every member of from into into.
+func (inc *Incremental) mergeLabel(from, into uint64) {
+	mi := inc.members[into]
+	for _, v := range inc.members[from] {
+		inc.label[v] = into
+		mi = append(mi, v)
+	}
+	inc.members[into] = mi
+	delete(inc.members, from)
+}
+
+func (inc *Incremental) addEdge(a, b int32) error {
+	if a == b {
+		return fmt.Errorf("dbscan: incremental self-pair %d", inc.idOf[a])
+	}
+	na := inc.adj[a]
+	for _, w := range na {
+		if w == b {
+			return fmt.Errorf("dbscan: incremental duplicate insert of pair (%d,%d)", inc.idOf[a], inc.idOf[b])
+		}
+	}
+	inc.adj[a] = append(na, b)
+	inc.adj[b] = append(inc.adj[b], a)
+	return nil
+}
+
+// dropNeighbor removes b from a's neighbour list (swap-delete; order is
+// not meaningful) and reports whether it was present.
+func (inc *Incremental) dropNeighbor(a, b int32) bool {
+	na := inc.adj[a]
+	for i, w := range na {
+		if w == b {
+			na[i] = na[len(na)-1]
+			inc.adj[a] = na[:len(na)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (inc *Incremental) removeEdge(a, b int32) error {
+	if !inc.dropNeighbor(a, b) {
+		return fmt.Errorf("dbscan: incremental delete of unknown pair (%d,%d)", inc.idOf[a], inc.idOf[b])
+	}
+	inc.dropNeighbor(b, a)
+	return nil
+}
+
+// Clusters materializes the tick's cluster snapshot for the given object
+// list (the snapshot's objects in index order), as index lists exactly
+// like FromPairs: clusters sorted by first member, members ascending,
+// border points attached to their smallest-index adjacent core. Objects
+// must be unique within one tick. The returned slices are backed by
+// scratch reused on the next call — callers that retain the result past
+// that must copy it.
+func (inc *Incremental) Clusters(objects []model.ObjectID) [][]int32 {
+	// Member-driven pass over an ascending object list (every snapshot
+	// path keeps it that way): each component's member list maps into
+	// object indexes by binary search — a handful of cache-friendly
+	// compares instead of one scattered map lookup per object — and a
+	// bitset of claimed indexes leaves only the rare border points to
+	// resolve through the slot table. Falls back to the indexed variant
+	// on a non-ascending list.
+	for i := 1; i < len(objects); i++ {
+		if objects[i] <= objects[i-1] {
+			return inc.clustersIndexed(objects)
+		}
+	}
+	nw := (len(objects) + 63) / 64
+	if cap(inc.marked) < nw {
+		inc.marked = make([]uint64, nw)
+	} else {
+		inc.marked = inc.marked[:nw]
+		clear(inc.marked)
+	}
+	marked := inc.marked
+	clear(inc.outSlot)
+	n := 0 // output slots handed out this call
+	grab := func() int {
+		s := n
+		n++
+		for len(inc.lists) <= s {
+			inc.lists = append(inc.lists, nil)
+		}
+		inc.lists[s] = inc.lists[s][:0]
+		return s
+	}
+	for l, mem := range inc.members {
+		s := grab()
+		lst := inc.lists[s]
+		for _, m := range mem {
+			// A member can be absent from the tick's object list only when
+			// minPts <= 1 keeps a departed vertex core; skip it.
+			if i, ok := slices.BinarySearch(objects, inc.idOf[m]); ok {
+				lst = append(lst, int32(i))
+				marked[i>>6] |= 1 << (i & 63)
+			}
+		}
+		if len(lst) == 0 {
+			n--
+			continue
+		}
+		inc.lists[s] = lst
+		inc.outSlot[l] = s
+	}
+	for i, id := range objects {
+		if marked[i>>6]&(1<<(i&63)) != 0 {
+			continue
+		}
+		s, known := inc.slotOf[id]
+		if !known {
+			if inc.minPts <= 1 {
+				// Unknown to the structure: degree zero, so a singleton
+				// cluster exactly like FromPairs when everything is core.
+				o := grab()
+				inc.lists[o] = append(inc.lists[o], int32(i))
+			}
+			continue
+		}
+		if inc.minPts <= 1 && inc.coreSlot(s) {
+			// Unlabeled isolated core (only when minPts <= 1): a
+			// singleton cluster, exactly like FromPairs. With minPts > 1
+			// every core is labeled, so the check is skipped.
+			o := grab()
+			inc.lists[o] = append(inc.lists[o], int32(i))
+			continue
+		}
+		ns := inc.adj[s]
+		if len(ns) == 0 {
+			continue
+		}
+		// Border point: smallest-id adjacent core decides. Labeled
+		// neighbours are exactly the core ones (cores are always labeled
+		// when minPts > 1; with minPts <= 1 there are no border points),
+		// and the label comes along for free.
+		var bestL uint64
+		var bestID model.ObjectID
+		found := false
+		for _, w := range ns {
+			if l := inc.label[w]; l != 0 {
+				if wid := inc.idOf[w]; !found || wid < bestID {
+					found = true
+					bestID = wid
+					bestL = l
+				}
+			}
+		}
+		if found {
+			o := inc.outSlot[bestL]
+			inc.lists[o] = append(inc.lists[o], int32(i))
+		}
+	}
+	out := inc.out[:0]
+	if out == nil {
+		// Match FromPairs: an empty result is an empty slice, not nil.
+		out = make([][]int32, 0, n)
+	}
+	for s := 0; s < n; s++ {
+		slices.Sort(inc.lists[s])
+		out = append(out, inc.lists[s])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	inc.out = out
+	return out
+}
+
+// clustersIndexed is the Clusters fallback for non-ascending object lists:
+// border points resolve by smallest index through an explicit map, and the
+// output is sorted at the end.
+func (inc *Incremental) clustersIndexed(objects []model.ObjectID) [][]int32 {
+	idx := make(map[model.ObjectID]int32, len(objects))
+	for j, jd := range objects {
+		idx[jd] = int32(j)
+	}
+	byLabel := make(map[uint64][]int32)
+	var singles [][]int32
+	for i, id := range objects {
+		s, known := inc.slotOf[id]
+		if known {
+			if l := inc.label[s]; l != 0 {
+				byLabel[l] = append(byLabel[l], int32(i))
+				continue
+			}
+		}
+		if inc.minPts <= 1 && inc.core(id) {
+			singles = append(singles, []int32{int32(i)})
+			continue
+		}
+		if !known {
+			continue
+		}
+		var bestL uint64
+		best := int32(-1)
+		for _, w := range inc.adj[s] {
+			if l := inc.label[w]; l != 0 {
+				if j, ok := idx[inc.idOf[w]]; ok && (best == -1 || j < best) {
+					best = j
+					bestL = l
+				}
+			}
+		}
+		if best >= 0 {
+			byLabel[bestL] = append(byLabel[bestL], int32(i))
+		}
+	}
+	out := make([][]int32, 0, len(byLabel)+len(singles))
+	for _, m := range byLabel {
+		// Members were appended in ascending index order (one pass over
+		// objects), so each list is already sorted.
+		out = append(out, m)
+	}
+	out = append(out, singles...)
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Pairs returns the current pair set (a < b, sorted) — for tests and
+// snapshot encoding.
+func (inc *Incremental) Pairs() [][2]model.ObjectID {
+	var out [][2]model.ObjectID
+	for a, s := range inc.slotOf {
+		for _, w := range inc.adj[s] {
+			if b := inc.idOf[w]; a < b {
+				out = append(out, [2]model.ObjectID{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Encode serializes the structure deterministically (checkpoint state):
+// label counter, sorted pair list, then components sorted by label with
+// sorted members. Slots are an in-memory artifact and never leave the
+// process — the wire format speaks object ids.
+func (inc *Incremental) Encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, inc.next)
+	pairs := inc.Pairs()
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(p[0]))
+		buf = binary.AppendUvarint(buf, uint64(p[1]))
+	}
+	labels := make([]uint64, 0, len(inc.members))
+	for l := range inc.members {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	for _, l := range labels {
+		mem := make([]model.ObjectID, 0, len(inc.members[l]))
+		for _, m := range inc.members[l] {
+			mem = append(mem, inc.idOf[m])
+		}
+		sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
+		buf = binary.AppendUvarint(buf, l)
+		buf = binary.AppendUvarint(buf, uint64(len(mem)))
+		for _, m := range mem {
+			buf = binary.AppendUvarint(buf, uint64(m))
+		}
+	}
+	return buf
+}
+
+// DecodeIncremental reconstructs an Encode'd structure.
+func DecodeIncremental(data []byte, minPts int) (*Incremental, error) {
+	inc := NewIncremental(minPts)
+	d := flow.NewDec(data)
+	inc.next = d.Uvarint()
+	np := int(d.Uvarint())
+	if np < 0 || np > d.Remaining() {
+		d.Failf("dbscan: pair count %d exceeds payload", np)
+	}
+	for i := 0; i < np && d.Err() == nil; i++ {
+		a := model.ObjectID(d.Uvarint())
+		b := model.ObjectID(d.Uvarint())
+		if d.Err() == nil {
+			if err := inc.addEdge(inc.slotFor(a), inc.slotFor(b)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nl := int(d.Uvarint())
+	if nl < 0 || nl > d.Remaining() {
+		d.Failf("dbscan: label count %d exceeds payload", nl)
+	}
+	for i := 0; i < nl && d.Err() == nil; i++ {
+		l := d.Uvarint()
+		nm := int(d.Uvarint())
+		if nm < 0 || nm > d.Remaining() {
+			d.Failf("dbscan: member count %d exceeds payload", nm)
+			break
+		}
+		mem := make([]int32, 0, nm)
+		for j := 0; j < nm && d.Err() == nil; j++ {
+			s := inc.slotFor(model.ObjectID(d.Uvarint()))
+			mem = append(mem, s)
+			inc.label[s] = l
+		}
+		inc.members[l] = mem
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}

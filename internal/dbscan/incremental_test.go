@@ -1,0 +1,227 @@
+package dbscan
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+)
+
+type pairSet map[[2]model.ObjectID]struct{}
+
+func norm(a, b model.ObjectID) [2]model.ObjectID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]model.ObjectID{a, b}
+}
+
+// diff computes the delta from prev to cur.
+func diffPairs(prev, cur pairSet) (adds, dels [][2]model.ObjectID) {
+	for p := range cur {
+		if _, ok := prev[p]; !ok {
+			adds = append(adds, p)
+		}
+	}
+	for p := range prev {
+		if _, ok := cur[p]; !ok {
+			dels = append(dels, p)
+		}
+	}
+	return
+}
+
+// oracle runs FromPairs over the full pair set for the given objects.
+func oracle(objects []model.ObjectID, cur pairSet, minPts int) [][]int32 {
+	idx := make(map[model.ObjectID]int32, len(objects))
+	for i, id := range objects {
+		idx[id] = int32(i)
+	}
+	var pairs [][2]int32
+	for p := range cur {
+		a, b := idx[p[0]], idx[p[1]]
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, [2]int32{a, b})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return FromPairs(len(objects), pairs, minPts)
+}
+
+// TestIncrementalMatchesFromPairs drives Incremental with random pair-set
+// evolutions — including objects entering/leaving, zero-churn ticks
+// (empty deltas), and full rewrites — and pins its Clusters output to the
+// FromPairs oracle at every tick, across several minPts values including
+// the minPts<=1 singleton regime.
+func TestIncrementalMatchesFromPairs(t *testing.T) {
+	for _, minPts := range []int{1, 2, 3, 5} {
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed*100 + int64(minPts)))
+			const numIDs = 40
+			inc := NewIncremental(minPts)
+			prev := pairSet{}
+			present := make(map[model.ObjectID]bool) // ids currently in the "snapshot"
+			for t2 := 0; t2 < 60; t2++ {
+				// Evolve membership: each id enters/leaves with some probability.
+				for id := model.ObjectID(0); id < numIDs; id++ {
+					switch {
+					case !present[id] && rng.Float64() < 0.2:
+						present[id] = true
+					case present[id] && rng.Float64() < 0.1:
+						delete(present, id)
+					}
+				}
+				var objects []model.ObjectID
+				for id := model.ObjectID(0); id < numIDs; id++ {
+					if present[id] {
+						objects = append(objects, id)
+					}
+				}
+				// Build this tick's pair set over the present ids. A
+				// zero-churn tick keeps the previous set (restricted to
+				// surviving ids); otherwise pairs toggle randomly.
+				cur := pairSet{}
+				churn := rng.Float64() // 0..1; near 0 keeps most pairs
+				if t2%17 == 5 {
+					churn = 0 // exact zero-churn tick
+				}
+				for i := 0; i < len(objects); i++ {
+					for j := i + 1; j < len(objects); j++ {
+						p := norm(objects[i], objects[j])
+						_, had := prev[p]
+						keepOrFlip := rng.Float64()
+						if had && keepOrFlip > churn*0.5 {
+							cur[p] = struct{}{}
+						} else if !had && keepOrFlip < 0.15 && churn > 0 {
+							cur[p] = struct{}{}
+						} else if had && churn == 0 {
+							cur[p] = struct{}{}
+						}
+					}
+				}
+				adds, dels := diffPairs(prev, cur)
+				inc.Apply(adds, dels)
+				got := inc.Clusters(objects)
+				want := oracle(objects, cur, minPts)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("minPts=%d seed=%d tick=%d:\n got  %v\n want %v\n objects %v\n pairs %v",
+						minPts, seed, t2, got, want, objects, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestIncrementalDuplicateTick pins that an empty delta (a duplicate
+// snapshot) leaves the structure and its output unchanged.
+func TestIncrementalDuplicateTick(t *testing.T) {
+	inc := NewIncremental(3)
+	objects := []model.ObjectID{1, 2, 3, 4, 5}
+	adds := [][2]model.ObjectID{{1, 2}, {2, 3}, {1, 3}, {4, 5}}
+	inc.Apply(adds, nil)
+	first := inc.Clusters(objects)
+	inc.Apply(nil, nil)
+	second := inc.Clusters(objects)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("duplicate tick changed clusters: %v vs %v", first, second)
+	}
+}
+
+// TestIncrementalSplit pins the bounded-rebuild path: deleting a bridge
+// edge splits one component into two.
+func TestIncrementalSplit(t *testing.T) {
+	inc := NewIncremental(2) // every endpoint of an edge is core
+	objects := []model.ObjectID{0, 1, 2, 3}
+	inc.Apply([][2]model.ObjectID{{0, 1}, {1, 2}, {2, 3}}, nil)
+	if got := inc.Clusters(objects); len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("expected one 4-cluster, got %v", got)
+	}
+	inc.Apply(nil, [][2]model.ObjectID{{1, 2}})
+	got := inc.Clusters(objects)
+	want := [][]int32{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("split: got %v want %v", got, want)
+	}
+}
+
+// TestIncrementalEncodeRoundTrip pins that Encode/Decode reproduces both
+// behaviour and the exact byte encoding (determinism), mid-history.
+func TestIncrementalEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc := NewIncremental(3)
+	prev := pairSet{}
+	for tick := 0; tick < 25; tick++ {
+		cur := pairSet{}
+		for a := model.ObjectID(0); a < 20; a++ {
+			for b := a + 1; b < 20; b++ {
+				if rng.Float64() < 0.1 {
+					cur[norm(a, b)] = struct{}{}
+				}
+			}
+		}
+		adds, dels := diffPairs(prev, cur)
+		inc.Apply(adds, dels)
+		prev = cur
+	}
+	blob := inc.Encode(nil)
+	back, err := DecodeIncremental(blob, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, back.Encode(nil)) {
+		t.Fatal("decode/encode is not a fixed point")
+	}
+	var objects []model.ObjectID
+	for id := model.ObjectID(0); id < 20; id++ {
+		objects = append(objects, id)
+	}
+	if !reflect.DeepEqual(inc.Clusters(objects), back.Clusters(objects)) {
+		t.Fatal("restored structure clusters differently")
+	}
+	// Both must evolve identically from here.
+	adds, dels := diffPairs(prev, pairSet{norm(0, 1): {}, norm(1, 2): {}, norm(0, 2): {}})
+	inc.Apply(adds, dels)
+	back.Apply(adds, dels)
+	if !reflect.DeepEqual(inc.Clusters(objects), back.Clusters(objects)) {
+		t.Fatal("restored structure diverges after further deltas")
+	}
+}
+
+// BenchmarkFromPairs measures the clustering hot path, comparing the
+// allocating package-level entry point with the buffer-reusing Clusterer.
+func BenchmarkFromPairs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	var pairs [][2]int32
+	for i := 0; i < n; i++ {
+		for k := 0; k < 8; k++ {
+			j := int32(rng.Intn(n))
+			if int32(i) < j {
+				pairs = append(pairs, [2]int32{int32(i), j})
+			}
+		}
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			FromPairs(n, pairs, 5)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		var c Clusterer
+		for i := 0; i < b.N; i++ {
+			c.FromPairs(n, pairs, 5)
+		}
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 )
@@ -86,6 +87,7 @@ type Pipeline struct {
 	wgs    []*sync.WaitGroup
 	local  []bool  // local[i]: stage i's subtasks run in this process
 	recs   []int64 // per-stage processed record counters (atomic)
+	busy   []int64 // per-stage operator time in nanoseconds (atomic)
 
 	closeWG sync.WaitGroup // outstanding close-propagation goroutines
 
@@ -165,6 +167,7 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 		stages:    stages,
 		maxPar:    maxPar,
 		recs:      make([]int64, len(stages)),
+		busy:      make([]int64, len(stages)),
 		sinkFn:    cfg.Sink,
 		sinkWMs:   make(map[int]model.Tick),
 		sinkLow:   minWM,
@@ -367,6 +370,7 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 	// by the alignment logic in the main loop).
 	handle := func(ev Message) {
 		p.acquire()
+		t0 := time.Now()
 		switch {
 		case ev.IsWM:
 			if ev.From >= 0 && ev.From < senders && ev.WM > wms[ev.From] {
@@ -394,6 +398,7 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 				op.Process(ev.Data, out)
 			}
 		}
+		atomic.AddInt64(&p.busy[stage], int64(time.Since(t0)))
 		p.release()
 		out.flush()
 	}
@@ -554,6 +559,20 @@ func (p *Pipeline) StageRecords() []int64 {
 	out := make([]int64, len(p.recs))
 	for i := range out {
 		out[i] = atomic.LoadInt64(&p.recs[i])
+	}
+	return out
+}
+
+// StageBusy returns per-stage cumulative operator time: the wall time
+// subtasks spent inside Process/OnWatermark, summed across the stage's
+// subtasks (a stage with p busy subtasks accrues p seconds per second).
+// Queue waits and downstream flushes are excluded, so the numbers compare
+// how much work each stage did, not how long it sat. Non-local stages stay
+// at zero in this process.
+func (p *Pipeline) StageBusy() []time.Duration {
+	out := make([]time.Duration, len(p.busy))
+	for i := range out {
+		out[i] = time.Duration(atomic.LoadInt64(&p.busy[i]))
 	}
 	return out
 }

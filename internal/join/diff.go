@@ -1,0 +1,117 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// CellDelta is the object delta of one grid cell between consecutive
+// ticks: objects leaving the cell (by id) and objects entering it (with
+// location), separated into the cell's data and query roles. An object
+// that moved but stayed in the cell appears in both the del and add
+// lists, under its old and new location respectively.
+type CellDelta struct {
+	Key      grid.Key
+	DataDel  []model.ObjectID
+	QueryDel []model.ObjectID
+	DataAdd  []IDLoc
+	QueryAdd []IDLoc
+}
+
+// Empty reports whether the delta carries no change.
+func (d *CellDelta) Empty() bool {
+	return len(d.DataDel) == 0 && len(d.QueryDel) == 0 &&
+		len(d.DataAdd) == 0 && len(d.QueryAdd) == 0
+}
+
+// DiffSnapshot computes the per-cell deltas that advance the grid
+// allocation from prev (object id -> location at the previous tick) to
+// the given snapshot, and updates prev in place to the snapshot's
+// positions. An object with an unchanged location contributes nothing;
+// moved objects re-run Algorithm 1 for both locations (dels from the old
+// allocation, adds from the new), entering objects only the new, vanished
+// objects only the old. Deltas are returned in ascending key order with
+// sorted object lists, so the emission is deterministic.
+func DiffSnapshot(prev map[model.ObjectID]geo.Point, s *model.Snapshot, lg, eps float64, mode grid.Mode) []CellDelta {
+	cells := make(map[grid.Key]*CellDelta)
+	get := func(k grid.Key) *CellDelta {
+		c := cells[k]
+		if c == nil {
+			c = &CellDelta{Key: k}
+			cells[k] = c
+		}
+		return c
+	}
+	del := func(id model.ObjectID, loc geo.Point) {
+		grid.Allocate(0, loc, lg, eps, mode, func(o grid.Object) {
+			c := get(o.Key)
+			if o.Query {
+				c.QueryDel = append(c.QueryDel, id)
+			} else {
+				c.DataDel = append(c.DataDel, id)
+			}
+		})
+	}
+	add := func(id model.ObjectID, loc geo.Point) {
+		grid.Allocate(0, loc, lg, eps, mode, func(o grid.Object) {
+			c := get(o.Key)
+			if o.Query {
+				c.QueryAdd = append(c.QueryAdd, IDLoc{ID: id, Loc: loc})
+			} else {
+				c.DataAdd = append(c.DataAdd, IDLoc{ID: id, Loc: loc})
+			}
+		})
+	}
+
+	seen := make(map[model.ObjectID]struct{}, len(s.Objects))
+	for i, id := range s.Objects {
+		loc := s.Locs[i]
+		seen[id] = struct{}{}
+		old, had := prev[id]
+		if had && old == loc {
+			continue
+		}
+		if had {
+			del(id, old)
+		}
+		add(id, loc)
+		prev[id] = loc
+	}
+	var gone []model.ObjectID
+	for id := range prev {
+		if _, ok := seen[id]; !ok {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		del(id, prev[id])
+		delete(prev, id)
+	}
+
+	out := make([]CellDelta, 0, len(cells))
+	for _, c := range cells {
+		sortIDs(c.DataDel)
+		sortIDs(c.QueryDel)
+		sortIDLocs(c.DataAdd)
+		sortIDLocs(c.QueryAdd)
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.X != out[j].Key.X {
+			return out[i].Key.X < out[j].Key.X
+		}
+		return out[i].Key.Y < out[j].Key.Y
+	})
+	return out
+}
+
+func sortIDs(ids []model.ObjectID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortIDLocs(os []IDLoc) {
+	sort.Slice(os, func(i, j int) bool { return os[i].ID < os[j].ID })
+}

@@ -1,0 +1,240 @@
+// Incremental per-cell join state: instead of rebuilding an R-tree per
+// cell per tick, each grid cell keeps a persistent index of its data and
+// query objects and turns enter/leave/move deltas into owned-pair deltas.
+//
+// A cell C owns a qualifying pair {a, b} exactly when RunCellRJC would
+// emit it while processing C: either both endpoints are data objects of C
+// (the interleaved build of Lemma 2 produces the pair once, in the shared
+// home cell), or one endpoint is a data object of C and the other a query
+// replica in C with the data endpoint lexicographically above the query
+// endpoint (Lemma 1: the lex-lower endpoint's upper-half replication
+// reaches the lex-higher endpoint's home cell, and only that probe
+// reports the pair). Ownership partitions the global pair set per tick,
+// so summing owned-pair deltas over all cells reproduces the transition
+// of the full join result. Deltas are identified by object id, not
+// snapshot index — indices shift between ticks, ids do not.
+package join
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// IDLoc is one object routed into a cell, carried by id (stable across
+// ticks) instead of snapshot index.
+type IDLoc struct {
+	ID  model.ObjectID
+	Loc geo.Point
+}
+
+// Entry is one indexed object plus its role in the cell: a data object
+// (the cell is its home) or a query replica. An object never holds both
+// roles in the same cell — grid allocation assigns exactly one — so both
+// roles share one index and one bucket scan covers a point's candidates
+// of either kind.
+type Entry struct {
+	ID    model.ObjectID
+	Loc   geo.Point
+	Query bool
+}
+
+type locRole struct {
+	loc   geo.Point
+	query bool
+}
+
+// CellIndex is a cell-local point index bucketed at eps resolution: every
+// within-eps neighbour of a point lies in the 3x3 bucket block around it
+// (any metric ball of radius eps fits in the Chebyshev ball), so lookups
+// scan at most nine buckets. Insert and delete are O(bucket).
+type CellIndex struct {
+	eps     float64
+	buckets map[grid.Key][]Entry
+	locs    map[model.ObjectID]locRole
+}
+
+// NewCellIndex returns an empty index with bucket width eps.
+func NewCellIndex(eps float64) *CellIndex {
+	return &CellIndex{
+		eps:     eps,
+		buckets: make(map[grid.Key][]Entry),
+		locs:    make(map[model.ObjectID]locRole),
+	}
+}
+
+// Len returns the number of indexed objects (both roles).
+func (x *CellIndex) Len() int { return len(x.locs) }
+
+// Insert adds one object under the given role. Inserting an id that is
+// already present panics: it means the delta stream desynchronized from
+// the index.
+func (x *CellIndex) Insert(id model.ObjectID, loc geo.Point, query bool) {
+	if _, dup := x.locs[id]; dup {
+		panic("join: cell index duplicate insert")
+	}
+	x.locs[id] = locRole{loc: loc, query: query}
+	k := grid.KeyOf(loc, x.eps)
+	x.buckets[k] = append(x.buckets[k], Entry{ID: id, Loc: loc, Query: query})
+}
+
+// Delete removes one object and returns its location and role. Deleting
+// an absent id panics, for the same reason Insert does.
+func (x *CellIndex) Delete(id model.ObjectID) (geo.Point, bool) {
+	lr, ok := x.locs[id]
+	if !ok {
+		panic("join: cell index delete of absent id")
+	}
+	delete(x.locs, id)
+	k := grid.KeyOf(lr.loc, x.eps)
+	b := x.buckets[k]
+	for i := range b {
+		if b[i].ID == id {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(x.buckets, k)
+	} else {
+		x.buckets[k] = b
+	}
+	return lr.loc, lr.query
+}
+
+// ForNear calls fn for every indexed object whose location can be within
+// eps of p (the 3x3 bucket block); fn must apply the exact metric test.
+func (x *CellIndex) ForNear(p geo.Point, fn func(Entry)) {
+	for _, b := range x.NearBuckets(p) {
+		for _, o := range b {
+			fn(o)
+		}
+	}
+}
+
+// NearBuckets returns the 3x3 bucket block around p — every indexed object
+// within eps of p lies in one of the returned slices (callers apply the
+// exact metric test). The slice headers are returned by value; no
+// allocation, and hot callers iterate without per-object closure calls.
+func (x *CellIndex) NearBuckets(p geo.Point) [9][]Entry {
+	c := grid.KeyOf(p, x.eps)
+	var out [9][]Entry
+	i := 0
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			out[i] = x.buckets[grid.Key{X: c.X + dx, Y: c.Y + dy}]
+			i++
+		}
+	}
+	return out
+}
+
+// Entries returns the indexed objects of one role sorted by id (snapshot
+// encoding).
+func (x *CellIndex) Entries(query bool) []IDLoc {
+	var out []IDLoc
+	for id, lr := range x.locs {
+		if lr.query == query {
+			out = append(out, IDLoc{ID: id, Loc: lr.loc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PairDeltaEmit receives one owned-pair transition: add reports whether
+// the pair entered (true) or left (false) the cell's owned set. Endpoints
+// are normalized a < b by the caller of the emit.
+type PairDeltaEmit func(add bool, a, b model.ObjectID)
+
+// IncCell is the persistent state of one grid cell under incremental
+// maintenance: its data objects and query replicas in one flagged index.
+type IncCell struct {
+	Idx *CellIndex
+}
+
+// NewIncCell returns an empty cell with an index bucketed at eps.
+func NewIncCell(eps float64) *IncCell {
+	return &IncCell{Idx: NewCellIndex(eps)}
+}
+
+// Empty reports whether the cell holds no objects (and can be dropped).
+func (c *IncCell) Empty() bool { return c.Idx.Len() == 0 }
+
+// Apply advances the cell by one tick's object deltas and emits the
+// resulting owned-pair deltas. All removals are processed before all
+// insertions: each removed object reports owned pairs against the state
+// that still holds its not-yet-removed peers (so a pair losing both
+// endpoints is reported once), and each inserted object reports owned
+// pairs against the state holding its already-inserted peers (so a pair
+// gaining both endpoints is reported once). An object that moved within
+// the cell appears in both the del and add lists; if the pair survives
+// the move, the emitted -/+ cancel in the consumer's per-tick netting.
+func (c *IncCell) Apply(
+	dataDel, queryDel []model.ObjectID,
+	dataAdd, queryAdd []IDLoc,
+	eps float64, m geo.Metric, emit PairDeltaEmit,
+) {
+	for _, id := range dataDel {
+		loc, query := c.Idx.Delete(id)
+		if query {
+			panic("join: data delete of a query replica, delta stream desynchronized")
+		}
+		c.owned(Entry{ID: id, Loc: loc}, eps, m, false, emit)
+	}
+	for _, id := range queryDel {
+		loc, query := c.Idx.Delete(id)
+		if !query {
+			panic("join: query delete of a data object, delta stream desynchronized")
+		}
+		c.owned(Entry{ID: id, Loc: loc, Query: true}, eps, m, false, emit)
+	}
+	for _, o := range dataAdd {
+		c.owned(Entry{ID: o.ID, Loc: o.Loc}, eps, m, true, emit)
+		c.Idx.Insert(o.ID, o.Loc, false)
+	}
+	for _, o := range queryAdd {
+		c.owned(Entry{ID: o.ID, Loc: o.Loc, Query: true}, eps, m, true, emit)
+		c.Idx.Insert(o.ID, o.Loc, true)
+	}
+}
+
+// owned emits the owned pairs involving e under the current index state.
+// For a data object: all within-eps data peers, plus within-eps query
+// replicas it is lexicographically above. For a query replica: within-eps
+// data objects lexicographically above it.
+func (c *IncCell) owned(e Entry, eps float64, m geo.Metric, add bool, emit PairDeltaEmit) {
+	if e.Query {
+		for _, b := range c.Idx.NearBuckets(e.Loc) {
+			for _, o := range b {
+				if o.Query || o.ID == e.ID || !e.Loc.Within(o.Loc, eps, m) {
+					continue
+				}
+				if lexAbove(o.Loc, e.Loc) {
+					emitNorm(emit, add, e.ID, o.ID)
+				}
+			}
+		}
+		return
+	}
+	for _, b := range c.Idx.NearBuckets(e.Loc) {
+		for _, o := range b {
+			if o.ID == e.ID || !e.Loc.Within(o.Loc, eps, m) {
+				continue
+			}
+			if !o.Query || lexAbove(e.Loc, o.Loc) {
+				emitNorm(emit, add, e.ID, o.ID)
+			}
+		}
+	}
+}
+
+func emitNorm(emit PairDeltaEmit, add bool, a, b model.ObjectID) {
+	if a > b {
+		a, b = b, a
+	}
+	emit(add, a, b)
+}

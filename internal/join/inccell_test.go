@@ -1,0 +1,239 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// incWorld drives the full incremental join machinery over object-level
+// snapshots: DiffSnapshot feeds per-cell IncCell states, owned-pair
+// deltas are netted per tick, and the resulting pair set is maintained.
+type incWorld struct {
+	prev  map[model.ObjectID]geo.Point
+	cells map[grid.Key]*IncCell
+	pairs map[[2]model.ObjectID]struct{}
+	lg    float64
+	eps   float64
+	m     geo.Metric
+}
+
+func newIncWorld(lg, eps float64, m geo.Metric) *incWorld {
+	return &incWorld{
+		prev:  make(map[model.ObjectID]geo.Point),
+		cells: make(map[grid.Key]*IncCell),
+		pairs: make(map[[2]model.ObjectID]struct{}),
+		lg:    lg,
+		eps:   eps,
+		m:     m,
+	}
+}
+
+func (w *incWorld) tick(t testing.TB, s *model.Snapshot) {
+	t.Helper()
+	net := make(map[[2]model.ObjectID]int)
+	emit := func(add bool, a, b model.ObjectID) {
+		p := [2]model.ObjectID{a, b}
+		if add {
+			net[p]++
+		} else {
+			net[p]--
+		}
+	}
+	for _, d := range DiffSnapshot(w.prev, s, w.lg, w.eps, grid.UpperHalf) {
+		c := w.cells[d.Key]
+		if c == nil {
+			c = NewIncCell(w.eps)
+			w.cells[d.Key] = c
+		}
+		c.Apply(d.DataDel, d.QueryDel, d.DataAdd, d.QueryAdd, w.eps, w.m, emit)
+		if c.Empty() {
+			delete(w.cells, d.Key)
+		}
+	}
+	for p, n := range net {
+		switch n {
+		case 0: // ownership moved between cells, or a move kept the pair
+		case 1:
+			if _, dup := w.pairs[p]; dup {
+				t.Fatalf("pair %v added but already present", p)
+			}
+			w.pairs[p] = struct{}{}
+		case -1:
+			if _, ok := w.pairs[p]; !ok {
+				t.Fatalf("pair %v deleted but absent", p)
+			}
+			delete(w.pairs, p)
+		default:
+			t.Fatalf("pair %v netted to %d", p, n)
+		}
+	}
+}
+
+// expected computes the brute-force pair set of a snapshot, by object id.
+func expected(s *model.Snapshot, eps float64, m geo.Metric) map[[2]model.ObjectID]struct{} {
+	out := make(map[[2]model.ObjectID]struct{})
+	BruteForce(s, eps, m, func(i, j int32) {
+		a, b := s.Objects[i], s.Objects[j]
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]model.ObjectID{a, b}] = struct{}{}
+	})
+	return out
+}
+
+// TestIncCellMatchesBruteForce evolves random workloads — objects moving
+// by variable churn, entering and leaving, with duplicate (zero-delta)
+// ticks — and pins the netted incremental pair set to the brute-force
+// join at every tick.
+func TestIncCellMatchesBruteForce(t *testing.T) {
+	const (
+		eps    = 10.0
+		lg     = 4 * eps
+		extent = 300.0
+	)
+	for _, metric := range []geo.Metric{geo.L1, geo.L2} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			w := newIncWorld(lg, eps, metric)
+			locs := make(map[model.ObjectID]geo.Point)
+			const numIDs = 60
+			for tick := 0; tick < 40; tick++ {
+				churn := rng.Float64()
+				switch tick % 10 {
+				case 3:
+					churn = 0 // duplicate tick: nobody moves
+				case 7:
+					churn = 1 // full churn: everybody moves
+				}
+				for id := model.ObjectID(0); id < numIDs; id++ {
+					_, here := locs[id]
+					switch {
+					case !here && rng.Float64() < 0.25:
+						locs[id] = geo.Point{
+							X: rng.Float64() * extent,
+							Y: rng.Float64() * extent,
+						}
+					case here && rng.Float64() < 0.08:
+						delete(locs, id)
+					case here && rng.Float64() < churn:
+						p := locs[id]
+						locs[id] = geo.Point{
+							X: p.X + (rng.Float64()-0.5)*2*eps,
+							Y: p.Y + (rng.Float64()-0.5)*2*eps,
+						}
+					}
+				}
+				s := &model.Snapshot{Tick: model.Tick(tick)}
+				for id := model.ObjectID(0); id < numIDs; id++ {
+					if p, ok := locs[id]; ok {
+						s.Add(id, p)
+					}
+				}
+				w.tick(t, s)
+				want := expected(s, eps, metric)
+				if len(w.pairs) != len(want) {
+					t.Fatalf("metric=%v seed=%d tick=%d: %d pairs, want %d",
+						metric, seed, tick, len(w.pairs), len(want))
+				}
+				for p := range want {
+					if _, ok := w.pairs[p]; !ok {
+						t.Fatalf("metric=%v seed=%d tick=%d: missing pair %v", metric, seed, tick, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncCellBoundaryTies pins the lexAbove tie-break: objects sharing a
+// y band or exact locations on cell boundaries must still produce each
+// pair exactly once across cells.
+func TestIncCellBoundaryTies(t *testing.T) {
+	const (
+		eps = 5.0
+		lg  = 10.0
+	)
+	w := newIncWorld(lg, eps, geo.L1)
+	// Same y, straddling a vertical cell boundary; plus an exact-boundary
+	// point and a coincident pair.
+	s := &model.Snapshot{Tick: 1}
+	s.Add(1, geo.Point{X: 9, Y: 3})
+	s.Add(2, geo.Point{X: 11, Y: 3})  // same band, next cell
+	s.Add(3, geo.Point{X: 10, Y: 3})  // exactly on the boundary
+	s.Add(4, geo.Point{X: 9, Y: 3})   // coincident with object 1
+	s.Add(5, geo.Point{X: 9, Y: 7.5}) // within eps of 1/3/4 vertically
+	w.tick(t, s)
+	want := expected(s, eps, geo.L1)
+	if len(w.pairs) != len(want) {
+		t.Fatalf("got %d pairs %v, want %d", len(w.pairs), w.pairs, len(want))
+	}
+	// Everybody leaves: pair set must drain to empty.
+	w.tick(t, &model.Snapshot{Tick: 2})
+	if len(w.pairs) != 0 {
+		t.Fatalf("pairs left after all objects vanished: %v", w.pairs)
+	}
+	if len(w.cells) != 0 {
+		t.Fatalf("cells left after all objects vanished: %d", len(w.cells))
+	}
+}
+
+// BenchmarkCellJoin compares the from-scratch per-cell join against the
+// incremental path at low churn, and reports allocations.
+func BenchmarkCellJoin(b *testing.B) {
+	const (
+		eps = 10.0
+		lg  = 4 * eps
+		n   = 500
+	)
+	rng := rand.New(rand.NewSource(1))
+	s := &model.Snapshot{Tick: 1}
+	for i := 0; i < n; i++ {
+		s.Add(model.ObjectID(i), geo.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400})
+	}
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		tasks := AllocateSnapshot(s, lg, eps, grid.UpperHalf)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, task := range tasks {
+				RunCellRJC(task, eps, geo.L1, func(i, j int32) {})
+			}
+		}
+	})
+	b.Run("incremental-10pct", func(b *testing.B) {
+		b.ReportAllocs()
+		w := newIncWorld(lg, eps, geo.L1)
+		w.tick(b, s)
+		cur := s
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next := &model.Snapshot{Tick: cur.Tick + 1}
+			for j := 0; j < n; j++ {
+				p := cur.Locs[j]
+				if j%10 == i%10 {
+					p.X += (rng.Float64() - 0.5) * eps
+					p.Y += (rng.Float64() - 0.5) * eps
+				}
+				next.Add(cur.Objects[j], p)
+			}
+			emit := func(add bool, a, b model.ObjectID) {}
+			for _, d := range DiffSnapshot(w.prev, next, lg, eps, grid.UpperHalf) {
+				c := w.cells[d.Key]
+				if c == nil {
+					c = NewIncCell(eps)
+					w.cells[d.Key] = c
+				}
+				c.Apply(d.DataDel, d.QueryDel, d.DataAdd, d.QueryAdd, eps, geo.L1, emit)
+				if c.Empty() {
+					delete(w.cells, d.Key)
+				}
+			}
+			cur = next
+		}
+	})
+}

@@ -3,21 +3,36 @@
 // the configured replication mode and emitted keyed by cell, plus one
 // msg.Meta announcement keyed by tick so downstream stages learn the
 // snapshot's object ids.
+//
+// In incremental mode the operator instead diffs each snapshot against
+// the previous tick's positions and emits per-cell msg.CellDelta tasks
+// (enter/leave/move), so downstream stages only touch the cells where
+// something changed. The previous positions are key-group state (all
+// snapshots route to the key-0 group), checkpointed and restored like
+// any other operator state.
 package allocate
 
 import (
+	"encoding/binary"
+	"sort"
+
 	"repro/internal/ckpt"
 	"repro/internal/flow"
+	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/join"
 	"repro/internal/model"
 	"repro/internal/ops/msg"
 )
 
-var _ ckpt.Snapshotter = (*Op)(nil)
+var (
+	_ ckpt.Snapshotter      = (*Op)(nil)
+	_ ckpt.GroupSnapshotter = (*Op)(nil)
+)
 
-// Op is the GridAllocate operator. It is stateless; one instance per
-// subtask.
+// Op is the GridAllocate operator; one instance per subtask. In classic
+// mode it is stateless; in incremental mode the single subtask owning
+// key group 0 holds the previous tick's positions.
 type Op struct {
 	flow.BaseOperator
 	// CellWidth is the grid cell width lg.
@@ -27,6 +42,14 @@ type Op struct {
 	// Mode selects Lemma 1 upper-half replication (RJC) or full-region
 	// replication (the SRJ/GDC baselines).
 	Mode grid.Mode
+	// Incremental switches the operator to delta emission. The topology
+	// must then route every snapshot by the same constant key, so one
+	// subtask sees the whole stream in tick order.
+	Incremental bool
+
+	// prev maps object id to its location at the previously processed
+	// tick; allocated on first use.
+	prev map[model.ObjectID]geo.Point
 }
 
 // New builds a GridAllocate operator.
@@ -34,15 +57,55 @@ func New(cellWidth, eps float64, mode grid.Mode) *Op {
 	return &Op{CellWidth: cellWidth, Eps: eps, Mode: mode}
 }
 
-// SnapshotState implements ckpt.Snapshotter: the operator is stateless, so
-// its checkpoint contribution is deliberately empty — documented here
-// rather than left to the runtime's nil fallback.
+// SnapshotState implements ckpt.Snapshotter for classic mode, where the
+// operator is stateless. (Incremental state goes through SnapshotGroups,
+// which takes dispatch precedence.)
 func (a *Op) SnapshotState() ([]byte, error) { return nil, nil }
 
-// RestoreState implements ckpt.Snapshotter (no state to restore).
+// RestoreState implements ckpt.Snapshotter (no classic-mode state).
 func (a *Op) RestoreState([]byte) error { return nil }
 
-// Process splits one snapshot into cell tasks.
+// SnapshotGroups implements ckpt.GroupSnapshotter: the previous-tick
+// positions, bucketed under the key-0 group the snapshots route by.
+func (a *Op) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
+	if len(a.prev) == 0 {
+		return nil, nil
+	}
+	ids := make([]model.ObjectID, 0, len(a.prev))
+	for id := range a.prev {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		loc := a.prev[id]
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = flow.AppendFloat64(buf, loc.X)
+		buf = flow.AppendFloat64(buf, loc.Y)
+	}
+	return map[int][]byte{group(0): buf}, nil
+}
+
+// RestoreGroup implements ckpt.GroupSnapshotter.
+func (a *Op) RestoreGroup(data []byte) error {
+	d := flow.NewDec(data)
+	n := int(d.Uvarint())
+	if n < 0 || n > d.Remaining()/17 { // id varint + two floats per entry
+		d.Failf("allocate: position count %d exceeds payload", n)
+		return d.Err()
+	}
+	if a.prev == nil {
+		a.prev = make(map[model.ObjectID]geo.Point, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id := model.ObjectID(d.Uvarint())
+		a.prev[id] = geo.Point{X: d.Float64(), Y: d.Float64()}
+	}
+	return d.Err()
+}
+
+// Process splits one snapshot into cell tasks (classic) or cell deltas
+// (incremental).
 func (a *Op) Process(data any, out *flow.Collector) {
 	s := data.(*model.Snapshot)
 	// The meta message travels to the clustering stage through the range
@@ -50,8 +113,22 @@ func (a *Op) Process(data any, out *flow.Collector) {
 	// Objects are copied: downstream stages may live in other processes and
 	// must never share the source snapshot's heap.
 	objs := append([]model.ObjectID(nil), s.Objects...)
-	out.Emit(uint64(s.Tick), msg.Meta{Tick: s.Tick, Objects: objs, Ingest: s.Ingest})
-	for _, task := range join.AllocateSnapshot(s, a.CellWidth, a.Eps, a.Mode) {
-		out.Emit(task.Key.Hash(), msg.Cell{Tick: s.Tick, Task: task})
+	meta := msg.Meta{Tick: s.Tick, Objects: objs, Ingest: s.Ingest}
+	if !a.Incremental {
+		out.Emit(uint64(s.Tick), meta)
+		for _, task := range join.AllocateSnapshot(s, a.CellWidth, a.Eps, a.Mode) {
+			out.Emit(task.Key.Hash(), msg.Cell{Tick: s.Tick, Task: task})
+		}
+		return
+	}
+	// Incremental: meta rides the constant key so it reaches the single
+	// stateful clustering subtask; deltas stay keyed by cell so the range
+	// join keeps its full parallelism.
+	out.Emit(0, meta)
+	if a.prev == nil {
+		a.prev = make(map[model.ObjectID]geo.Point, s.Len())
+	}
+	for _, delta := range join.DiffSnapshot(a.prev, s, a.CellWidth, a.Eps, a.Mode) {
+		out.Emit(delta.Key.Hash(), msg.CellDelta{Tick: s.Tick, Delta: delta})
 	}
 }

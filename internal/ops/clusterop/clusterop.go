@@ -6,6 +6,10 @@
 package clusterop
 
 import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
 	"time"
 
 	"repro/internal/dbscan"
@@ -28,6 +32,10 @@ type Config struct {
 	GroupMin int
 	// Enumerate gates partition emission; false runs clustering-only.
 	Enumerate bool
+	// Incremental consumes msg.PairDelta input and maintains the cluster
+	// structure across ticks instead of rerunning DBSCAN per snapshot.
+	// Requires all input routed to one subtask (constant key).
+	Incremental bool
 	// OnCluster, when set, observes each tick's finished cluster snapshot
 	// (latency and cluster-size metrics).
 	OnCluster func(model.Tick, *model.ClusterSnapshot)
@@ -42,17 +50,34 @@ type tickBuf struct {
 	ingest  time.Time
 	pairs   [][2]int32
 	seen    map[uint64]struct{} // baseline duplicate elimination
+	// incAdds/incDels collect the tick's pair transitions in incremental
+	// mode as packed pairs (a<<32 | b), netted at flush by sorting both
+	// sides and cancelling equal runs — cheaper than a per-transition map.
+	// A pair whose cell ownership moved appears once on each side and nets
+	// to zero; any per-pair net outside {-1, 0, +1} means the delta stream
+	// desynchronized.
+	incAdds, incDels []uint64
 }
 
 // Op is the GridSync + DBSCAN operator for one subtask.
 type Op struct {
 	cfg  Config
 	bufs map[model.Tick]*tickBuf
+	// cl reuses the from-scratch clustering work buffers across ticks.
+	cl dbscan.Clusterer
+	// inc is the cross-tick cluster structure (incremental mode only).
+	inc *dbscan.Incremental
+	// addBuf/delBuf are applyNet's scratch, reused across ticks.
+	addBuf, delBuf [][2]model.ObjectID
 }
 
 // New builds a clustering operator.
 func New(cfg Config) *Op {
-	return &Op{cfg: cfg, bufs: make(map[model.Tick]*tickBuf)}
+	o := &Op{cfg: cfg, bufs: make(map[model.Tick]*tickBuf)}
+	if cfg.Incremental {
+		o.inc = dbscan.NewIncremental(cfg.MinPts)
+	}
+	return o
 }
 
 // Process buffers one tick input (snapshot announcement or join pairs).
@@ -80,6 +105,14 @@ func (d *Op) Process(data any, out *flow.Collector) {
 			b.seen[k] = struct{}{}
 			b.pairs = append(b.pairs, p)
 		}
+	case msg.PairDelta:
+		b := d.buf(m.Tick)
+		for _, p := range m.Add {
+			b.incAdds = append(b.incAdds, uint64(p[0])<<32|uint64(p[1]))
+		}
+		for _, p := range m.Del {
+			b.incDels = append(b.incDels, uint64(p[0])<<32|uint64(p[1]))
+		}
 	}
 }
 
@@ -95,8 +128,15 @@ func (d *Op) buf(t model.Tick) *tickBuf {
 // OnWatermark clusters every tick fully covered by the watermark. A covered
 // tick whose msg.Meta never arrived can never be completed — the watermark
 // promises no further input for it — so it is dropped rather than retained,
-// bounding state on lossy or reordered streams.
+// bounding state on lossy or reordered streams. In incremental mode covered
+// ticks are processed in ascending order (the deltas of tick t assume the
+// structure is at tick t-1), and a meta-less tick still applies its deltas —
+// only the output is skipped — so the cross-tick state never desynchronizes.
 func (d *Op) OnWatermark(wm model.Tick, out *flow.Collector) {
+	if d.cfg.Incremental {
+		d.flushIncremental(wm, out)
+		return
+	}
 	for t, b := range d.bufs {
 		if t > wm {
 			continue
@@ -108,9 +148,74 @@ func (d *Op) OnWatermark(wm model.Tick, out *flow.Collector) {
 	}
 }
 
+func (d *Op) flushIncremental(wm model.Tick, out *flow.Collector) {
+	var ticks []model.Tick
+	for t := range d.bufs {
+		if t <= wm {
+			ticks = append(ticks, t)
+		}
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	for _, t := range ticks {
+		b := d.bufs[t]
+		d.applyNet(t, b)
+		if b.hasMeta {
+			snap := &model.Snapshot{Tick: t, Objects: b.objects, Ingest: b.ingest}
+			d.emit(t, snap, d.inc.Clusters(b.objects), out)
+		}
+		delete(d.bufs, t)
+	}
+}
+
+// applyNet advances the incremental structure by one tick's netted pair
+// transitions: both transition lists are sorted and equal runs cancel
+// against each other (a merge over two sorted slices — no per-pair map).
+func (d *Op) applyNet(t model.Tick, b *tickBuf) {
+	if len(b.incAdds) == 0 && len(b.incDels) == 0 {
+		return
+	}
+	A, D := b.incAdds, b.incDels
+	slices.Sort(A)
+	slices.Sort(D)
+	adds, dels := d.addBuf[:0], d.delBuf[:0]
+	i, j := 0, 0
+	for i < len(A) || j < len(D) {
+		var p uint64
+		if j >= len(D) || (i < len(A) && A[i] < D[j]) {
+			p = A[i]
+		} else {
+			p = D[j]
+		}
+		n := 0
+		for i < len(A) && A[i] == p {
+			n++
+			i++
+		}
+		for j < len(D) && D[j] == p {
+			n--
+			j++
+		}
+		pair := [2]model.ObjectID{model.ObjectID(p >> 32), model.ObjectID(uint32(p))}
+		switch n {
+		case 0: // ownership moved between cells, or a move kept the pair
+		case 1:
+			adds = append(adds, pair)
+		case -1:
+			dels = append(dels, pair)
+		default:
+			panic(fmt.Sprintf("clusterop: tick %d pair %v netted to %d, delta stream desynchronized", t, pair, n))
+		}
+	}
+	d.addBuf, d.delBuf = adds[:0], dels[:0]
+	d.inc.Apply(adds, dels)
+}
+
 func (d *Op) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
 	snap := &model.Snapshot{Tick: t, Objects: b.objects, Ingest: b.ingest}
-	clusters := dbscan.FromPairs(snap.Len(), b.pairs, d.cfg.MinPts)
+	d.emit(t, snap, d.cl.FromPairs(snap.Len(), b.pairs, d.cfg.MinPts), out)
+}
+
+func (d *Op) emit(t model.Tick, snap *model.Snapshot, clusters [][]int32, out *flow.Collector) {
 	cs := dbscan.ToClusterSnapshot(snap, clusters)
 	if d.cfg.OnCluster != nil {
 		d.cfg.OnCluster(t, cs)
@@ -124,8 +229,13 @@ func (d *Op) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
 }
 
 // Close flushes any ticks still buffered at stream end; meta-less ticks are
-// incomplete and discarded.
+// incomplete and discarded (classic) or advance the structure silently
+// (incremental).
 func (d *Op) Close(out *flow.Collector) {
+	if d.cfg.Incremental {
+		d.flushIncremental(model.Tick(math.MaxInt64), out)
+		return
+	}
 	for t, b := range d.bufs {
 		if b.hasMeta {
 			d.finalize(t, b, out)

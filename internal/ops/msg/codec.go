@@ -24,6 +24,8 @@ const (
 	KindPartition flow.Kind = 5 // enum.Partition (cluster -> enumerate)
 	KindPattern   flow.Kind = 6 // model.Pattern (enumerate -> sink)
 	KindRec       flow.Kind = 7 // Rec (driver -> source -> assemble)
+	KindCellDelta flow.Kind = 8 // CellDelta (allocate -> rangejoin, incremental mode)
+	KindPairDelta flow.Kind = 9 // PairDelta (rangejoin -> cluster, incremental mode)
 )
 
 func init() {
@@ -34,6 +36,8 @@ func init() {
 	flow.RegisterCodec(KindPartition, enum.Partition{}, partitionCodec{})
 	flow.RegisterCodec(KindPattern, model.Pattern{}, patternCodec{})
 	flow.RegisterCodec(KindRec, Rec{}, recCodec{})
+	flow.RegisterCodec(KindCellDelta, CellDelta{}, cellDeltaCodec{})
+	flow.RegisterCodec(KindPairDelta, PairDelta{}, pairDeltaCodec{})
 }
 
 // appendTime encodes an instant as a presence flag plus Unix nanoseconds;
@@ -204,6 +208,108 @@ func (pairsCodec) Decode(data []byte) (any, error) {
 			p.Pairs[i] = [2]int32{int32(d.Varint()), int32(d.Varint())}
 		}
 	}
+	return p, d.Err()
+}
+
+// cellDeltaCodec frames CellDelta: tick, cell key, the two id-only delete
+// lists, then the two id+location add lists.
+type cellDeltaCodec struct{}
+
+func appendIDLocs(buf []byte, os []join.IDLoc) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(os)))
+	for _, o := range os {
+		buf = binary.AppendUvarint(buf, uint64(o.ID))
+		buf = flow.AppendFloat64(buf, o.Loc.X)
+		buf = flow.AppendFloat64(buf, o.Loc.Y)
+	}
+	return buf
+}
+
+func decodeIDLocs(d *flow.Dec) []join.IDLoc {
+	n := int(d.Uvarint())
+	if n == 0 {
+		return nil
+	}
+	// Each entry encodes to at least 17 bytes (id varint + two floats).
+	if n < 0 || n > d.Remaining()/17 {
+		d.Failf("msg: id-loc count %d exceeds payload", n)
+		return nil
+	}
+	os := make([]join.IDLoc, n)
+	for i := range os {
+		os[i] = join.IDLoc{
+			ID:  model.ObjectID(d.Uvarint()),
+			Loc: geo.Point{X: d.Float64(), Y: d.Float64()},
+		}
+	}
+	return os
+}
+
+func (cellDeltaCodec) Append(buf []byte, v any) ([]byte, error) {
+	c := v.(CellDelta)
+	buf = binary.AppendVarint(buf, int64(c.Tick))
+	buf = binary.AppendVarint(buf, int64(c.Delta.Key.X))
+	buf = binary.AppendVarint(buf, int64(c.Delta.Key.Y))
+	buf = appendObjects(buf, c.Delta.DataDel)
+	buf = appendObjects(buf, c.Delta.QueryDel)
+	buf = appendIDLocs(buf, c.Delta.DataAdd)
+	return appendIDLocs(buf, c.Delta.QueryAdd), nil
+}
+
+func (cellDeltaCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	c := CellDelta{Tick: model.Tick(d.Varint())}
+	c.Delta.Key = grid.Key{X: int32(d.Varint()), Y: int32(d.Varint())}
+	c.Delta.DataDel = decodeObjects(d)
+	c.Delta.QueryDel = decodeObjects(d)
+	c.Delta.DataAdd = decodeIDLocs(d)
+	c.Delta.QueryAdd = decodeIDLocs(d)
+	return c, d.Err()
+}
+
+// pairDeltaCodec frames PairDelta: tick, then the add and del pair lists.
+type pairDeltaCodec struct{}
+
+func appendIDPairs(buf []byte, ps [][2]model.ObjectID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ps)))
+	for _, p := range ps {
+		buf = binary.AppendUvarint(buf, uint64(p[0]))
+		buf = binary.AppendUvarint(buf, uint64(p[1]))
+	}
+	return buf
+}
+
+func decodeIDPairs(d *flow.Dec) [][2]model.ObjectID {
+	n := int(d.Uvarint())
+	if n == 0 {
+		return nil
+	}
+	if n < 0 || n > d.Remaining()/2 { // two varints per pair
+		d.Failf("msg: pair delta count %d exceeds payload", n)
+		return nil
+	}
+	ps := make([][2]model.ObjectID, n)
+	for i := range ps {
+		ps[i] = [2]model.ObjectID{
+			model.ObjectID(d.Uvarint()),
+			model.ObjectID(d.Uvarint()),
+		}
+	}
+	return ps
+}
+
+func (pairDeltaCodec) Append(buf []byte, v any) ([]byte, error) {
+	p := v.(PairDelta)
+	buf = binary.AppendVarint(buf, int64(p.Tick))
+	buf = appendIDPairs(buf, p.Add)
+	return appendIDPairs(buf, p.Del), nil
+}
+
+func (pairDeltaCodec) Decode(data []byte) (any, error) {
+	d := flow.NewDec(data)
+	p := PairDelta{Tick: model.Tick(d.Varint())}
+	p.Add = decodeIDPairs(d)
+	p.Del = decodeIDPairs(d)
 	return p, d.Err()
 }
 

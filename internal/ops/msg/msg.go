@@ -61,3 +61,26 @@ type Pairs struct {
 	Tick  model.Tick
 	Pairs [][2]int32
 }
+
+// CellDelta carries one grid cell's object delta for one tick in
+// incremental mode, keyed by grid cell: objects leaving the cell since
+// the previous tick (by id) and objects entering it (with location),
+// split by data/query role. A move within the cell appears in both
+// lists. Replaces Cell on the allocate -> rangejoin edge.
+type CellDelta struct {
+	Tick  model.Tick
+	Delta join.CellDelta
+}
+
+// PairDelta carries one cell's owned-pair transitions for one tick in
+// incremental mode: pairs of object ids (a < b) entering (Add) and
+// leaving (Del) the cell's owned slice of the join result. The
+// clustering stage nets Add/Del counts per pair per tick — a pair whose
+// ownership moved between cells cancels out. Replaces Pairs on the
+// rangejoin -> cluster edge; routed by constant key so the single
+// stateful clustering subtask sees every delta.
+type PairDelta struct {
+	Tick model.Tick
+	Add  [][2]model.ObjectID
+	Del  [][2]model.ObjectID
+}

@@ -3,17 +3,32 @@
 // pairs leave as msg.Pairs keyed by tick, so the clustering stage can
 // reassemble each snapshot's full pair set. msg.Meta announcements pass
 // through unchanged, re-keyed by tick.
+//
+// In incremental mode the operator is stateful: each grid cell keeps a
+// persistent join.IncCell (data + query indexes) that msg.CellDelta
+// tasks update in place, emitting only the owned-pair transitions as
+// msg.PairDelta. Cell states are key-group state bucketed by the cell
+// key's hash — exactly the key the deltas route by — so checkpointing
+// and rescale redistribute them correctly.
 package rangejoin
 
 import (
+	"encoding/binary"
+	"slices"
+
 	"repro/internal/ckpt"
 	"repro/internal/flow"
 	"repro/internal/geo"
+	"repro/internal/grid"
 	"repro/internal/join"
+	"repro/internal/model"
 	"repro/internal/ops/msg"
 )
 
-var _ ckpt.Snapshotter = (*Op)(nil)
+var (
+	_ ckpt.Snapshotter      = (*Op)(nil)
+	_ ckpt.GroupSnapshotter = (*Op)(nil)
+)
 
 // Kernel selects the per-cell join algorithm.
 type Kernel int
@@ -27,7 +42,8 @@ const (
 	SRJ
 )
 
-// Op is the GridQuery operator. It is stateless; one instance per subtask.
+// Op is the GridQuery operator; one instance per subtask. Classic mode
+// is stateless; incremental mode holds the persistent cell indexes.
 type Op struct {
 	flow.BaseOperator
 	// Eps is the join distance threshold.
@@ -36,6 +52,20 @@ type Op struct {
 	Metric geo.Metric
 	// Kernel selects the cell join algorithm.
 	Kernel Kernel
+	// Incremental switches the operator to delta maintenance (requires
+	// the RJC kernel: ownership accounting relies on Lemma 1/2 claims).
+	Incremental bool
+
+	// cells holds this subtask's persistent per-cell state (incremental
+	// mode); empty cells are dropped.
+	cells map[grid.Key]*join.IncCell
+	// scratch buffers are reused across Process calls so the steady
+	// state emits without per-cell slice growth. Pair transitions are
+	// collected packed (hi<<32|lo) so sorting and netting run on plain
+	// uint64s.
+	scratch [][2]int32
+	addBuf  []uint64
+	delBuf  []uint64
 }
 
 // New builds a GridQuery operator.
@@ -43,28 +73,189 @@ func New(eps float64, metric geo.Metric, kernel Kernel) *Op {
 	return &Op{Eps: eps, Metric: metric, Kernel: kernel}
 }
 
-// SnapshotState implements ckpt.Snapshotter: the operator is stateless, so
-// its checkpoint contribution is deliberately empty.
+// SnapshotState implements ckpt.Snapshotter for classic mode (stateless).
 func (g *Op) SnapshotState() ([]byte, error) { return nil, nil }
 
-// RestoreState implements ckpt.Snapshotter (no state to restore).
+// RestoreState implements ckpt.Snapshotter (no classic-mode state).
 func (g *Op) RestoreState([]byte) error { return nil }
 
-// Process joins one cell task (or forwards a snapshot announcement).
+// SnapshotGroups implements ckpt.GroupSnapshotter: every cell state is
+// bucketed under the group of the key hash its deltas route by, cells
+// encoded in ascending key order for deterministic bytes.
+func (g *Op) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
+	if len(g.cells) == 0 {
+		return nil, nil
+	}
+	keys := make([]grid.Key, 0, len(g.cells))
+	for k := range g.cells {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b grid.Key) int {
+		if a.X != b.X {
+			return int(a.X) - int(b.X)
+		}
+		return int(a.Y) - int(b.Y)
+	})
+	out := make(map[int][]byte)
+	for _, k := range keys {
+		c := g.cells[k]
+		buf := out[group(k.Hash())]
+		buf = binary.AppendVarint(buf, int64(k.X))
+		buf = binary.AppendVarint(buf, int64(k.Y))
+		buf = appendEntries(buf, c.Idx.Entries(false))
+		buf = appendEntries(buf, c.Idx.Entries(true))
+		out[group(k.Hash())] = buf
+	}
+	return out, nil
+}
+
+func appendEntries(buf []byte, os []join.IDLoc) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(os)))
+	for _, o := range os {
+		buf = binary.AppendUvarint(buf, uint64(o.ID))
+		buf = flow.AppendFloat64(buf, o.Loc.X)
+		buf = flow.AppendFloat64(buf, o.Loc.Y)
+	}
+	return buf
+}
+
+// RestoreGroup implements ckpt.GroupSnapshotter: one group blob holds a
+// sequence of cell frames; restore may be called once per group.
+func (g *Op) RestoreGroup(data []byte) error {
+	d := flow.NewDec(data)
+	if g.cells == nil {
+		g.cells = make(map[grid.Key]*join.IncCell)
+	}
+	for d.Remaining() > 0 && d.Err() == nil {
+		k := grid.Key{X: int32(d.Varint()), Y: int32(d.Varint())}
+		c := join.NewIncCell(g.Eps)
+		if err := restoreEntries(d, c.Idx, false); err != nil {
+			return err
+		}
+		if err := restoreEntries(d, c.Idx, true); err != nil {
+			return err
+		}
+		if d.Err() == nil {
+			g.cells[k] = c
+		}
+	}
+	return d.Err()
+}
+
+func restoreEntries(d *flow.Dec, x *join.CellIndex, query bool) error {
+	n := int(d.Uvarint())
+	if n < 0 || n > d.Remaining()/17 { // id varint + two floats per entry
+		d.Failf("rangejoin: cell entry count %d exceeds payload", n)
+		return d.Err()
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id := model.ObjectID(d.Uvarint())
+		loc := geo.Point{X: d.Float64(), Y: d.Float64()}
+		if d.Err() == nil {
+			x.Insert(id, loc, query)
+		}
+	}
+	return d.Err()
+}
+
+// Process joins one cell task or applies one cell delta (or forwards a
+// snapshot announcement).
 func (g *Op) Process(data any, out *flow.Collector) {
 	switch m := data.(type) {
 	case msg.Meta:
-		out.Emit(uint64(m.Tick), m) // pass through to the clustering stage
+		if g.Incremental {
+			// Constant key: the single stateful clustering subtask.
+			out.Emit(0, m)
+		} else {
+			out.Emit(uint64(m.Tick), m) // pass through to the clustering stage
+		}
 	case msg.Cell:
-		var pairs [][2]int32
+		pairs := g.scratch[:0]
 		emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
 		if g.Kernel == RJC {
 			join.RunCellRJC(m.Task, g.Eps, g.Metric, emit)
 		} else {
 			join.RunCellSRJ(m.Task, g.Eps, g.Metric, emit)
 		}
+		g.scratch = pairs[:0]
 		if len(pairs) > 0 {
-			out.Emit(uint64(m.Tick), msg.Pairs{Tick: m.Tick, Pairs: pairs})
+			// The emitted slice leaves this operator's ownership; copy out
+			// of the scratch buffer.
+			owned := make([][2]int32, len(pairs))
+			copy(owned, pairs)
+			out.Emit(uint64(m.Tick), msg.Pairs{Tick: m.Tick, Pairs: owned})
+		}
+	case msg.CellDelta:
+		c := g.cells[m.Delta.Key]
+		if c == nil {
+			c = join.NewIncCell(g.Eps)
+			if g.cells == nil {
+				g.cells = make(map[grid.Key]*join.IncCell)
+			}
+			g.cells[m.Delta.Key] = c
+		}
+		adds, dels := g.addBuf[:0], g.delBuf[:0]
+		c.Apply(m.Delta.DataDel, m.Delta.QueryDel, m.Delta.DataAdd, m.Delta.QueryAdd,
+			g.Eps, g.Metric, func(add bool, a, b model.ObjectID) {
+				p := uint64(a)<<32 | uint64(b)
+				if add {
+					adds = append(adds, p)
+				} else {
+					dels = append(dels, p)
+				}
+			})
+		if c.Empty() {
+			delete(g.cells, m.Delta.Key)
+		}
+		g.addBuf, g.delBuf = adds[:0], dels[:0]
+		if len(adds) > 0 || len(dels) > 0 {
+			slices.Sort(adds)
+			slices.Sort(dels)
+			adds, dels = netPairs(adds, dels)
+		}
+		if len(adds) > 0 || len(dels) > 0 {
+			d := msg.PairDelta{Tick: m.Tick}
+			d.Add = unpackPairs(adds)
+			d.Del = unpackPairs(dels)
+			out.Emit(0, d)
 		}
 	}
+}
+
+// netPairs drops pairs present in both sorted lists: an object moving
+// within its cell re-derives every surviving neighbour pair as del+add,
+// which is a no-op downstream. Each pair appears at most once per list
+// (the cell owns a pair exactly once per tick), so a single two-pointer
+// pass over the sorted lists suffices. Filters in place.
+func netPairs(adds, dels []uint64) ([]uint64, []uint64) {
+	i, j := 0, 0
+	na, nd := adds[:0], dels[:0]
+	for i < len(adds) && j < len(dels) {
+		switch a, d := adds[i], dels[j]; {
+		case a == d:
+			i++
+			j++
+		case a < d:
+			na = append(na, a)
+			i++
+		default:
+			nd = append(nd, d)
+			j++
+		}
+	}
+	na = append(na, adds[i:]...)
+	nd = append(nd, dels[j:]...)
+	return na, nd
+}
+
+// unpackPairs expands packed hi<<32|lo pairs into the wire representation.
+func unpackPairs(ps []uint64) [][2]model.ObjectID {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([][2]model.ObjectID, len(ps))
+	for i, p := range ps {
+		out[i] = [2]model.ObjectID{model.ObjectID(p >> 32), model.ObjectID(uint32(p))}
+	}
+	return out
 }

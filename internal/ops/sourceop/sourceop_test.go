@@ -146,9 +146,13 @@ func TestEmptyShardDoesNotStallRelease(t *testing.T) {
 	p.Drain()
 	mu.Lock()
 	defer mu.Unlock()
-	for i, tk := range outs[:6] {
+	// The assemble stage runs two subtasks, so arrival order at the sink is
+	// only guaranteed per subtask — assert the released set, not the order.
+	rel := append([]model.Tick(nil), outs[:6]...)
+	sort.Slice(rel, func(i, j int) bool { return rel[i] < rel[j] })
+	for i, tk := range rel {
 		if tk != model.Tick(i) {
-			t.Errorf("snapshot %d has tick %d, want %d", i, tk, i)
+			t.Errorf("released tick %d, want %d (released set %v)", tk, i, rel)
 		}
 	}
 }
