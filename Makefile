@@ -20,7 +20,7 @@ test:
 # packages (stateful rangejoin/clusterop and the structures behind them)
 # whose equivalence tests drive full concurrent pipelines.
 test-race:
-	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/...
+	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/... ./internal/ckpt/...
 
 vet:
 	$(GO) vet ./...
@@ -45,8 +45,10 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bench -exp pipeline -objects 300 -ticks 200 -json BENCH_pipeline.json
 
-# fuzz runs each ops/msg codec fuzz target briefly (the committed seed
-# corpus already runs on every `make test`).
+# fuzz runs each codec fuzz target briefly (the committed seed corpus
+# already runs on every `make test`): the ops/msg wire codecs, the
+# key-group state codecs the checkpoint files are built from (full and
+# incremental framing), and the paged store's page-directory codec.
 fuzz:
 	$(GO) test ./internal/ops/msg -fuzz FuzzDecodePayload -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzDecodeMessage -fuzztime 30s
@@ -54,5 +56,8 @@ fuzz:
 	$(GO) test ./internal/ops/msg -fuzz FuzzRecRoundTrip -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzCellDeltaRoundTrip -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzPairDeltaRoundTrip -fuzztime 30s
+	$(GO) test ./internal/flow -fuzz FuzzDecodeGroupStates -fuzztime 30s
+	$(GO) test ./internal/flow -fuzz FuzzDecodeGroupDeltas -fuzztime 30s
+	$(GO) test ./internal/ckpt -fuzz FuzzDecodePageDir -fuzztime 30s
 
 ci: build vet fmt-check test

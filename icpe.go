@@ -184,6 +184,23 @@ type Options struct {
 	// CheckpointResume restores from the latest completed checkpoint in
 	// CheckpointDir before processing (fresh start when none exists).
 	CheckpointResume bool
+	// CheckpointAsync takes snapshot encoding and the store upload off
+	// the processing path: subtasks capture cheap references at the
+	// barrier and a background goroutine encodes and persists them.
+	CheckpointAsync bool
+	// CheckpointDelta cuts incremental checkpoints — after the first full
+	// cut, each checkpoint persists only the key groups touched since the
+	// previous completed one, chained to its base. Restore is unchanged
+	// (the store replays the chain transparently).
+	CheckpointDelta bool
+	// CheckpointCompact is the delta-chain length that triggers background
+	// compaction into a new full base (0 uses the store default; requires
+	// CheckpointDelta).
+	CheckpointCompact int
+	// CheckpointPaged stores each checkpoint's state in a single paged
+	// blob file instead of one flat file, exercising the page-allocator
+	// layout (fixed-size pages + free list).
+	CheckpointPaged bool
 }
 
 // Result summarizes a finished detection run.
@@ -262,10 +279,16 @@ func New(opts Options) (*Detector, error) {
 			cfg.CheckpointInterval = 32
 		}
 		cfg.Resume = opts.CheckpointResume
+		cfg.CheckpointAsync = opts.CheckpointAsync
+		cfg.CheckpointDelta = opts.CheckpointDelta
+		cfg.CheckpointCompact = opts.CheckpointCompact
+		cfg.CheckpointPaged = opts.CheckpointPaged
 	} else if opts.CheckpointResume {
 		// Silently starting fresh would make the caller replay its source
 		// from the beginning and duplicate all output.
 		return nil, fmt.Errorf("icpe: CheckpointResume requires CheckpointDir")
+	} else if opts.CheckpointAsync || opts.CheckpointDelta || opts.CheckpointPaged || opts.CheckpointCompact != 0 {
+		return nil, fmt.Errorf("icpe: checkpoint tuning options require CheckpointDir")
 	}
 	pipe, err := core.New(cfg)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/ckpt"
@@ -40,20 +41,51 @@ type TransportRun struct {
 // CheckpointRun measures the aligned-barrier checkpointing overhead at one
 // interval on the in-process transport: the same workload as the plain
 // runs, with barriers injected every Interval snapshots and every operator
-// state snapshot written to a local-directory store.
+// state snapshot written to a local-directory store. Sync full-state rows
+// are the oracle; async/delta rows measure the incremental path against
+// them.
 type CheckpointRun struct {
 	// Interval is the checkpoint cadence in snapshots (0 rows never appear;
 	// the baseline is the plain inproc run).
 	Interval int `json:"interval"`
+	// Async marks rows where snapshot encoding + store upload ride a
+	// background goroutine; Delta marks incremental cuts (only key groups
+	// dirtied since the previous checkpoint are persisted).
+	Async bool `json:"async,omitempty"`
+	Delta bool `json:"delta,omitempty"`
 	// Completed is the highest checkpoint id that became durable during
 	// the run (aborted or superseded ids may be skipped, so this is an id,
 	// not a count).
 	Completed       uint64  `json:"completed"`
 	WallSeconds     float64 `json:"wall_seconds"`
 	SnapshotsPerSec float64 `json:"snapshots_per_sec"`
-	// OverheadPct is the wall-clock overhead relative to the plain
-	// in-process run ((wall/baseline - 1) * 100).
+	// OverheadPct is the wall-clock overhead relative to a paired,
+	// interleaved plain in-process baseline ((wall/baseline - 1) * 100),
+	// minimum-wall sample on both sides.
 	OverheadPct float64 `json:"overhead_pct"`
+	// Patterns counts the exactly-once committed patterns. Equal across
+	// every row at every interval and mode, or checkpointing altered
+	// results.
+	Patterns int64 `json:"patterns"`
+	// Hot-path vs background split (cumulative milliseconds over the run):
+	// Capture is the barrier-handler stall, Encode is blob assembly,
+	// Upload is store persistence.
+	CaptureMs float64 `json:"capture_ms"`
+	EncodeMs  float64 `json:"encode_ms"`
+	UploadMs  float64 `json:"upload_ms"`
+	// StateBytes is the total checkpoint bytes persisted over the run;
+	// BytesPerCut divides it by the completed cuts.
+	StateBytes  int64   `json:"state_bytes"`
+	BytesPerCut float64 `json:"bytes_per_cut"`
+	// DeltaCuts/FullCuts count completed checkpoints by kind; ChainLen is
+	// the delta-chain length of the last completed checkpoint.
+	DeltaCuts int64 `json:"delta_cuts,omitempty"`
+	FullCuts  int64 `json:"full_cuts"`
+	ChainLen  int   `json:"chain_len,omitempty"`
+	// BytesVsFullPct is this row's StateBytes relative to the sync
+	// full-state row at the same interval (100 = no saving) — the
+	// delta-vs-base size ratio.
+	BytesVsFullPct float64 `json:"bytes_vs_full_pct,omitempty"`
 }
 
 // RescaleRun measures one elastic rescale-from-checkpoint: a run at
@@ -174,8 +206,30 @@ func stageRows(names []string, recs []int64, wall time.Duration) ([]StageThrough
 	return rows, perSec
 }
 
-// runPipelineInproc measures the single-process channel transport.
+// runPipelineInproc measures the single-process channel transport: the
+// minimum-wall sample of five, under the same drained-writeback protocol
+// as the checkpoint runs. Scheduling and I/O noise on a shared box is
+// strictly additive, so the minimum is the consistent estimator of the
+// deterministic cost — and this wall is the denominator of every
+// checkpoint overhead percentage, where a single unlucky sample skews
+// the whole section (negative overheads were observed with a one-shot
+// baseline).
 func runPipelineInproc(d Dataset, cfg core.Config) (TransportRun, error) {
+	const samples = 5
+	runs := make([]TransportRun, 0, samples)
+	for i := 0; i < samples; i++ {
+		syscall.Sync()
+		run, err := runPipelineInprocOnce(d, cfg)
+		if err != nil {
+			return TransportRun{}, err
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].WallSeconds < runs[j].WallSeconds })
+	return runs[0], nil
+}
+
+func runPipelineInprocOnce(d Dataset, cfg core.Config) (TransportRun, error) {
 	tokens := admit(&cfg)
 	pipe, err := core.New(cfg)
 	if err != nil {
@@ -267,15 +321,67 @@ func runPipelineTCP(d Dataset, cfg core.Config, workers int) (TransportRun, erro
 	}, nil
 }
 
-// runPipelineCkpt measures one checkpoint-enabled in-process run.
-func runPipelineCkpt(d Dataset, cfg core.Config, interval int, baselineWall float64) (CheckpointRun, error) {
+// runPipelineCkpt measures one checkpoint-enabled in-process run
+// (interval and async/delta mode come in on cfg) against a PAIRED
+// baseline: samples alternate baseline / checkpointed, each from drained
+// writeback, and the overhead is min-vs-min. Interleaving is what makes
+// the percentage trustworthy on a shared box — load drifts over the
+// minutes a bench invocation takes, so a baseline measured once up front
+// skews every later comparison (negative overheads were observed); the
+// minimum is the right per-side estimator because scheduling and I/O
+// noise is strictly additive. The reported row is the minimum-wall
+// checkpointed sample's.
+func runPipelineCkpt(d Dataset, cfg core.Config, interval int) (CheckpointRun, error) {
+	const samples = 5
+	base := cfg
+	base.CheckpointDir = ""
+	base.CheckpointInterval = 0
+	base.CheckpointAsync = false
+	base.CheckpointDelta = false
+	base.CheckpointCompact = 0
+	base.CheckpointPaged = false
+	cfg.CheckpointInterval = interval
+	baseWall := 0.0
+	runs := make([]CheckpointRun, 0, samples)
+	for i := 0; i < samples; i++ {
+		syscall.Sync()
+		bl, err := runPipelineInprocOnce(d, base)
+		if err != nil {
+			return CheckpointRun{}, err
+		}
+		if baseWall == 0 || bl.WallSeconds < baseWall {
+			baseWall = bl.WallSeconds
+		}
+		syscall.Sync()
+		run, err := runPipelineCkptOnce(d, cfg, interval)
+		if err != nil {
+			return CheckpointRun{}, err
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].WallSeconds < runs[j].WallSeconds })
+	for _, r := range runs {
+		if r.Patterns != runs[0].Patterns {
+			return CheckpointRun{}, fmt.Errorf("bench: ckpt interval %d: committed patterns differ across samples (%d vs %d)",
+				interval, r.Patterns, runs[0].Patterns)
+		}
+	}
+	run := runs[0]
+	if baseWall > 0 {
+		run.OverheadPct = (run.WallSeconds/baseWall - 1) * 100
+	}
+	return run, nil
+}
+
+func runPipelineCkptOnce(d Dataset, cfg core.Config, interval int) (CheckpointRun, error) {
 	dir, err := os.MkdirTemp("", "icpe-bench-ckpt-")
 	if err != nil {
 		return CheckpointRun{}, err
 	}
 	defer os.RemoveAll(dir)
-	cfg.CheckpointInterval = interval
 	cfg.CheckpointDir = dir
+	var patterns int64
+	cfg.OnCommit = func(_ uint64, pats []model.Pattern) { patterns += int64(len(pats)) }
 	tokens := admit(&cfg)
 	pipe, err := core.New(cfg)
 	if err != nil {
@@ -286,6 +392,7 @@ func runPipelineCkpt(d Dataset, cfg core.Config, interval int, baselineWall floa
 	feedAll(pipe, d, tokens)
 	res := pipe.Finish()
 	wall := time.Since(start)
+	ck := pipe.CheckpointStats()
 	store, err := ckpt.NewDirStore(dir)
 	if err != nil {
 		return CheckpointRun{}, err
@@ -296,14 +403,24 @@ func runPipelineCkpt(d Dataset, cfg core.Config, interval int, baselineWall floa
 	}
 	run := CheckpointRun{
 		Interval:        interval,
+		Async:           cfg.CheckpointAsync,
+		Delta:           cfg.CheckpointDelta,
 		WallSeconds:     wall.Seconds(),
 		SnapshotsPerSec: res.Metrics.Report().ThroughputPerSec,
+		Patterns:        patterns,
+		CaptureMs:       float64(ck.Capture) / float64(time.Millisecond),
+		EncodeMs:        float64(ck.Encode) / float64(time.Millisecond),
+		UploadMs:        float64(ck.Upload) / float64(time.Millisecond),
+		StateBytes:      ck.Bytes,
+		DeltaCuts:       ck.DeltaCuts,
+		FullCuts:        ck.FullCuts,
+		ChainLen:        ck.ChainLen,
+	}
+	if cuts := ck.DeltaCuts + ck.FullCuts; cuts > 0 {
+		run.BytesPerCut = float64(ck.Bytes) / float64(cuts)
 	}
 	if man != nil {
 		run.Completed = man.ID
-	}
-	if baselineWall > 0 {
-		run.OverheadPct = (wall.Seconds()/baselineWall - 1) * 100
 	}
 	return run, nil
 }
@@ -528,14 +645,31 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		return err
 	}
 	// Overhead vs interval: the default cadence plus a 4x more aggressive
-	// one, both against the plain inproc wall clock.
+	// one, both against the plain inproc wall clock. Each interval runs
+	// the sync full-state oracle and the async+delta incremental path; the
+	// committed pattern counts must match and the delta rows report their
+	// size relative to the full-state oracle.
 	var ckptRuns []CheckpointRun
 	for _, interval := range []int{32, 8} {
-		run, err := runPipelineCkpt(d, cfg, interval, inproc.WallSeconds)
+		full, err := runPipelineCkpt(d, cfg, interval)
 		if err != nil {
 			return err
 		}
-		ckptRuns = append(ckptRuns, run)
+		acfg := cfg
+		acfg.CheckpointAsync = true
+		acfg.CheckpointDelta = true
+		incr, err := runPipelineCkpt(d, acfg, interval)
+		if err != nil {
+			return err
+		}
+		if incr.Patterns != full.Patterns {
+			return fmt.Errorf("bench: ckpt interval %d: async+delta committed %d patterns, sync committed %d",
+				interval, incr.Patterns, full.Patterns)
+		}
+		if full.StateBytes > 0 {
+			incr.BytesVsFullPct = float64(incr.StateBytes) / float64(full.StateBytes) * 100
+		}
+		ckptRuns = append(ckptRuns, full, incr)
 	}
 	// Elastic rescale: scale out to double the parallelism mid-job, and
 	// back in, both resuming from a checkpoint.

@@ -30,13 +30,31 @@
 // output emitted after the previous cut until the covering checkpoint is
 // durable (see core.Config.OnCommit), so a crash never publishes output
 // that a resumed run would derive again.
+//
+// # Asynchronous and incremental checkpoints
+//
+// Two optional refinements take snapshot work off the hot path. With async
+// snapshots (flow.Config.AsyncSnapshots) the barrier handler only captures
+// operator state; blob assembly and the coordinator ack run on a background
+// goroutine, and the commit simply lands when the last deferred ack does.
+// With delta checkpoints the driver injects barriers carrying a completed
+// base id, operators implementing DeltaSnapshotter persist only the key
+// groups dirtied since that base, and the manifest records the resulting
+// delta chain (base first). Restore replays the chain in order: full blobs
+// replace a subtask's state wholesale, delta blobs overwrite their dirty
+// groups and delete tombstoned ones. Chains never span a process restart —
+// the first checkpoint of a resumed job is always full — so every element
+// of one chain shares the topology, and rescaling only ever re-shards
+// merged full state.
 package ckpt
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/flow"
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
@@ -69,6 +87,93 @@ type Snapshotter interface {
 type GroupSnapshotter interface {
 	SnapshotGroups(group func(key uint64) int) (map[int][]byte, error)
 	RestoreGroup(data []byte) error
+}
+
+// DeltaSnapshotter is the incremental form of GroupSnapshotter: operators
+// that track which routing keys they dirtied (see DirtyTracker) can cut
+// checkpoints holding only the key groups changed since a completed base
+// checkpoint. CaptureGroups runs synchronously at the aligned barrier for
+// checkpoint id. With delta unset it returns the operator's full state,
+// exactly like SnapshotGroups, with nil dropped. With delta set it returns
+// a replacement frame for every key group holding changes not covered by
+// checkpoint base — re-encoding all live state of a dirty group, not just
+// the changed part, since delta frames replace their group wholesale on
+// replay — and lists dirty groups left with no live state in dropped
+// (tombstones). The returned frames must not alias mutable operator state:
+// with async snapshots, encoding happens after the operator resumes.
+//
+// Restore is unchanged: the coordinator merges the delta chain into full
+// per-group state before RestoreGroup runs, so operators never see deltas
+// on the way back in.
+type DeltaSnapshotter interface {
+	GroupSnapshotter
+	CaptureGroups(group func(key uint64) int, id, base uint64, delta bool) (frames map[int][]byte, dropped []int, err error)
+}
+
+// DirtyTracker implements the bookkeeping behind DeltaSnapshotter: the
+// operator calls Touch for every state change (creation, modification,
+// deletion) under the change's routing key, and Capture at each cut to
+// learn which key groups need re-encoding. Stamps are capture ids: a key
+// touched after capture X carries stamp X, and a delta cut against base B
+// includes every group holding a stamp >= B — such a change postdates
+// capture B's cut and is therefore absent from the restore baseline.
+//
+// Touches are folded from per-key stamps into per-group stamps at each
+// capture (when the key→group mapping is available), so steady-state
+// memory is one stamp per touched key group plus the keys touched since
+// the last cut. Before the first capture the tracker stays disarmed and
+// Touch is a no-op: a job's first checkpoint is always full, and with
+// checkpointing disabled the tracker then costs nothing.
+type DirtyTracker struct {
+	keys    map[uint64]uint64 // routing key -> stamp, touches since the last capture
+	groups  map[int]uint64    // key group -> stamp, folded at captures
+	lastCap uint64            // highest capture id taken
+	armed   bool
+}
+
+// NewDirtyTracker returns a disarmed tracker (armed by the first Capture).
+func NewDirtyTracker() *DirtyTracker {
+	return &DirtyTracker{keys: make(map[uint64]uint64), groups: make(map[int]uint64)}
+}
+
+// Touch records a state change under the given routing key. Call it for
+// deletions too: a group whose last key disappeared must be tombstoned at
+// the next delta cut.
+func (t *DirtyTracker) Touch(key uint64) {
+	if !t.armed {
+		return
+	}
+	t.keys[key] = t.lastCap
+}
+
+// Capture opens the cut for checkpoint id: pending touches are folded into
+// per-group stamps and the tracker arms for the touches that follow. For a
+// delta cut it returns the key groups dirtied since checkpoint base — the
+// caller re-encodes every live unit of each returned group and tombstones
+// the ones left empty. For a full cut (delta unset) it returns nil.
+// Capture relies on the driver's guarantee that the bases of successive
+// delta cuts never decrease (they are completed checkpoint ids).
+func (t *DirtyTracker) Capture(group func(key uint64) int, id, base uint64, delta bool) map[int]bool {
+	for k, s := range t.keys {
+		if g := group(k); s > t.groups[g] {
+			t.groups[g] = s
+		}
+	}
+	clear(t.keys)
+	t.armed = true
+	if id > t.lastCap {
+		t.lastCap = id
+	}
+	if !delta {
+		return nil
+	}
+	dirty := make(map[int]bool)
+	for g, s := range t.groups {
+		if s >= base {
+			dirty[g] = true
+		}
+	}
+	return dirty
 }
 
 // SourcePosition is the replayable source offset of a checkpoint cut: the
@@ -141,6 +246,19 @@ type Manifest struct {
 	// different semantics (e.g. another enumeration method). Deployment
 	// knobs like parallelism are deliberately absent from it.
 	Spec []byte `json:"spec,omitempty"`
+	// Delta marks an incremental checkpoint: its blobs hold only the key
+	// groups dirtied since checkpoint Parent, and restoring it means
+	// replaying Chain in order.
+	Delta bool `json:"delta,omitempty"`
+	// Parent is the completed base checkpoint a delta checkpoint was cut
+	// against (0 for a full checkpoint).
+	Parent uint64 `json:"parent,omitempty"`
+	// Chain is the replay chain of a delta checkpoint: every checkpoint id
+	// from the full base through this one, oldest first. It is filled by
+	// the store at commit (the store owns chain bookkeeping, because its
+	// background compaction later folds chains into new bases and rewrites
+	// the manifests it shortens). Empty for a full checkpoint.
+	Chain []uint64 `json:"chain,omitempty"`
 }
 
 // Validate checks a manifest against the topology a resuming job built:
@@ -199,6 +317,16 @@ type Store interface {
 	State(id uint64, stage string, subtask int) ([]byte, error)
 }
 
+// BaseRetainer is an optional Store extension for delta checkpoints: the
+// coordinator pins an in-flight delta's base so retention cannot collect
+// it (or any element of its chain) while the delta still needs it — a
+// base that completed several commits ago would otherwise age out before
+// the delta referencing it becomes durable. Retain/Release calls nest.
+type BaseRetainer interface {
+	RetainBase(id uint64)
+	ReleaseBase(id uint64)
+}
+
 // Coordinator tracks in-flight checkpoints for one job: the driver calls
 // Begin when it injects a barrier, subtask acks arrive via Ack (locally
 // from the flow runtime, or forwarded over the tcpnet control plane), and
@@ -223,6 +351,9 @@ type Coordinator struct {
 	// implies (see Manifest.MaxParallelism). 0 writes legacy subtask-scoped
 	// manifests.
 	MaxParallelism int
+	// Stats, when non-nil, accrues checkpoint observability counters
+	// (state upload time, full/delta cut mix).
+	Stats *metrics.CheckpointStats
 	// Logf reports aborted checkpoints (default log-free: silent).
 	Logf func(format string, args ...any)
 
@@ -234,6 +365,8 @@ type Coordinator struct {
 
 type inflight struct {
 	src    SourcePosition
+	base   uint64              // completed base checkpoint id (delta only)
+	delta  bool                // incremental cut
 	seen   map[[2]int]struct{} // (stage, subtask) pairs received (dedup)
 	stored int                 // acks whose state write has completed
 	failed bool
@@ -267,8 +400,12 @@ func (c *Coordinator) Stages() []StageInfo { return c.stages }
 
 // Begin opens checkpoint id at the given source position. The driver calls
 // it immediately before injecting the barrier, so acks can never race an
-// unknown id.
-func (c *Coordinator) Begin(id uint64, src SourcePosition) error {
+// unknown id. For an incremental checkpoint (delta set) base must be a
+// checkpoint this coordinator instance committed; Begin pins it against
+// store retention until the delta commits or aborts. Bases of successive
+// deltas never decrease (they are completed ids), which is what lets
+// operators prune their dirtiness bookkeeping.
+func (c *Coordinator) Begin(id uint64, src SourcePosition, base uint64, delta bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.inflight[id]; dup {
@@ -277,8 +414,26 @@ func (c *Coordinator) Begin(id uint64, src SourcePosition) error {
 	if c.haveDone && id <= c.lastDone {
 		return fmt.Errorf("ckpt: checkpoint id %d not after last completed %d", id, c.lastDone)
 	}
-	c.inflight[id] = &inflight{src: src, seen: make(map[[2]int]struct{}, c.expect)}
+	if delta && (!c.haveDone || base > c.lastDone) {
+		return fmt.Errorf("ckpt: delta checkpoint %d against uncommitted base %d", id, base)
+	}
+	if delta {
+		if br, ok := c.store.(BaseRetainer); ok {
+			br.RetainBase(base)
+		}
+	}
+	c.inflight[id] = &inflight{src: src, base: base, delta: delta, seen: make(map[[2]int]struct{}, c.expect)}
 	return nil
+}
+
+// releaseBase undoes Begin's retention pin once the delta's fate is known.
+func (c *Coordinator) releaseBase(fl *inflight) {
+	if !fl.delta {
+		return
+	}
+	if br, ok := c.store.(BaseRetainer); ok {
+		br.ReleaseBase(fl.base)
+	}
 }
 
 // Ack records one subtask's snapshot for checkpoint id. stage indexes the
@@ -314,7 +469,10 @@ func (c *Coordinator) Ack(id uint64, stage, subtask int, state []byte, snapErr e
 	}
 	c.mu.Unlock()
 	// The blob write happens outside the lock: stores may hit disk.
-	if err := c.store.Put(id, name, subtask, state); err != nil {
+	t0 := time.Now()
+	err := c.store.Put(id, name, subtask, state)
+	c.Stats.AddUpload(time.Since(t0))
+	if err != nil {
 		c.mu.Lock()
 		c.abortLocked(id, fl, err)
 		c.mu.Unlock()
@@ -340,6 +498,7 @@ func (c *Coordinator) Ack(id uint64, stage, subtask int, state []byte, snapErr e
 		// always resumes from the latest cut — and committing it would only
 		// risk shadowing newer state. Drop it.
 		newer := c.lastDone
+		c.releaseBase(fl)
 		c.mu.Unlock()
 		c.logf("ckpt: checkpoint %d superseded by %d, dropped", id, newer)
 		return
@@ -348,13 +507,24 @@ func (c *Coordinator) Ack(id uint64, stage, subtask int, state []byte, snapErr e
 		ID: id, Source: fl.src, Spec: c.Spec,
 		MaxParallelism: c.MaxParallelism,
 		Stages:         manifestStages(c.stages, c.MaxParallelism),
+		Delta:          fl.delta,
+	}
+	if fl.delta {
+		m.Parent = fl.base
 	}
 	done := c.OnComplete
 	c.mu.Unlock()
-	if err := c.store.Commit(m); err != nil {
+	t1 := time.Now()
+	err = c.store.Commit(m)
+	c.Stats.AddUpload(time.Since(t1))
+	c.mu.Lock()
+	c.releaseBase(fl)
+	c.mu.Unlock()
+	if err != nil {
 		c.logf("ckpt: checkpoint %d commit: %v", id, err)
 		return
 	}
+	c.Stats.CountCut(fl.delta)
 	c.mu.Lock()
 	if !c.haveDone || id > c.lastDone {
 		c.lastDone, c.haveDone = id, true
@@ -377,6 +547,7 @@ func (c *Coordinator) Completed() (uint64, bool) {
 func (c *Coordinator) abortLocked(id uint64, fl *inflight, err error) {
 	fl.failed = true
 	delete(c.inflight, id)
+	c.releaseBase(fl)
 	c.logf("ckpt: checkpoint %d aborted: %v", id, err)
 }
 
@@ -396,21 +567,138 @@ type BulkStateReader interface {
 	States(id uint64) (map[string][]byte, error)
 }
 
-// AllStates loads every subtask's state of a committed checkpoint, keyed
+// readStates loads every subtask blob of one committed checkpoint, keyed
 // by StateKey, using the store's bulk reader when it has one.
-func AllStates(store Store, m *Manifest) (map[string][]byte, error) {
+func readStates(store Store, id uint64, stages []StageInfo) (map[string][]byte, error) {
 	if bulk, ok := store.(BulkStateReader); ok {
-		return bulk.States(m.ID)
+		return bulk.States(id)
 	}
 	out := make(map[string][]byte)
-	for _, st := range m.Stages {
+	for _, st := range stages {
 		for sub := 0; sub < st.Parallelism; sub++ {
-			blob, err := store.State(m.ID, st.Name, sub)
+			blob, err := store.State(id, st.Name, sub)
 			if err != nil {
 				return nil, err
 			}
 			out[StateKey(st.Name, sub)] = blob
 		}
+	}
+	return out, nil
+}
+
+// AllStates loads every subtask's full state of a committed checkpoint,
+// keyed by StateKey. For a delta checkpoint it replays the manifest's
+// chain oldest-first, merging each element into the accumulated state:
+// full blobs (StateGroups/StateRaw) replace a subtask's state wholesale —
+// a tag-only blob replaces it with explicitly empty state — and delta
+// blobs overwrite their dirty groups and delete tombstoned ones. The
+// result holds only full-format blobs, so Reshard and restore never see
+// deltas. Every element of one chain shares the manifest's topology
+// (chains never span restarts).
+func AllStates(store Store, m *Manifest) (map[string][]byte, error) {
+	if !m.Delta {
+		states, err := readStates(store, m.ID, m.Stages)
+		if err != nil {
+			return nil, err
+		}
+		for key, blob := range states {
+			if len(blob) == 1 { // explicit-empty marker (compacted chains)
+				delete(states, key)
+			}
+		}
+		return states, nil
+	}
+	if len(m.Chain) == 0 {
+		return nil, fmt.Errorf("ckpt: checkpoint %d is incremental but its manifest records no delta chain (store without chain support?)", m.ID)
+	}
+	if m.Chain[len(m.Chain)-1] != m.ID {
+		return nil, fmt.Errorf("ckpt: checkpoint %d delta chain %v does not end at itself", m.ID, m.Chain)
+	}
+	states, err := mergeChainStates(func(cid uint64) (map[string][]byte, error) {
+		return readStates(store, cid, m.Stages)
+	}, m.Chain)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: checkpoint %d: %w", m.ID, err)
+	}
+	for key, blob := range states {
+		if len(blob) == 1 { // explicit-empty marker: no state to restore
+			delete(states, key)
+		}
+	}
+	return states, nil
+}
+
+// mergeChainStates replays a delta chain oldest-first, merging every
+// element into accumulated per-subtask state, and returns full-format
+// blobs keyed by StateKey. A key that appeared somewhere in the chain but
+// whose merged state is empty comes back as a tag-only explicit-empty
+// blob rather than being omitted: DirStore compaction persists those
+// markers so that replaying a chain whose tail was already compacted (the
+// crash window between compaction's state write and its manifest rewrite)
+// replaces stale accumulated state with emptiness instead of keeping it.
+// Callers restoring state filter the one-byte markers out.
+func mergeChainStates(read func(id uint64) (map[string][]byte, error), chain []uint64) (map[string][]byte, error) {
+	groupsBy := make(map[string]map[int][]byte) // StateKey -> group -> frame
+	raws := make(map[string][]byte)             // StateKey -> raw payload (may be empty)
+	for _, cid := range chain {
+		states, err := read(cid)
+		if err != nil {
+			return nil, fmt.Errorf("chain element %d: %w", cid, err)
+		}
+		for key, blob := range states {
+			if len(blob) == 0 {
+				continue // absent in this cut: unchanged since the previous element
+			}
+			switch blob[0] {
+			case flow.StateGroups:
+				gs, err := flow.DecodeGroupStates(blob)
+				if err != nil {
+					return nil, fmt.Errorf("chain element %d state %s: %w", cid, key, err)
+				}
+				g := make(map[int][]byte, len(gs))
+				for _, f := range gs {
+					g[f.Group] = f.Data
+				}
+				groupsBy[key] = g
+				delete(raws, key)
+			case flow.StateRaw:
+				raws[key] = blob[1:]
+				delete(groupsBy, key)
+			case flow.StateGroupDeltas:
+				frames, dropped, err := flow.DecodeGroupDeltas(blob)
+				if err != nil {
+					return nil, fmt.Errorf("chain element %d state %s: %w", cid, key, err)
+				}
+				g := groupsBy[key]
+				if g == nil {
+					g = make(map[int][]byte)
+					groupsBy[key] = g
+				}
+				for _, d := range dropped {
+					delete(g, d)
+				}
+				for _, f := range frames {
+					g[f.Group] = f.Data
+				}
+			default:
+				return nil, fmt.Errorf("chain element %d state %s: unknown state format %d", cid, key, blob[0])
+			}
+		}
+	}
+	out := make(map[string][]byte, len(groupsBy)+len(raws))
+	for key, g := range groupsBy {
+		blob := flow.EncodeGroupStates(g)
+		if len(blob) == 0 {
+			blob = []byte{flow.StateGroups} // explicit-empty marker
+		}
+		out[key] = blob
+	}
+	for key, raw := range raws {
+		blob := flow.EncodeRawState(raw)
+		if len(blob) == 0 {
+			blob = []byte{flow.StateRaw} // explicit-empty marker
+		}
+		out[key] = blob
 	}
 	return out, nil
 }

@@ -1,0 +1,361 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// PageFile is the paged persistent blob layout behind DirStore's Paged
+// mode: one file of fixed-size pages holding named blobs, written
+// incrementally as subtask acks arrive instead of buffering every blob in
+// memory until commit.
+//
+// Layout:
+//
+//	page 0              superblock: magic "PGF1", page size, page count,
+//	                    free-list head, directory blob ref (written last,
+//	                    at Finalize)
+//	page 1..n           [next page uint64 LE][used uint32 LE][payload]
+//
+// A blob is a chain of pages linked by their next pointers (0 terminates;
+// page 0 is the superblock, so 0 is never a valid link). Overwriting a
+// blob returns its old pages to a free list from which later allocations
+// draw before growing the file. The directory — blob name to (first page,
+// total length) — is itself serialized as a blob at Finalize, and the
+// superblock referencing it is written last: a file whose superblock
+// never landed fails Open's magic check, exactly like a torn STATE.bin
+// is covered by the missing-manifest rule.
+type PageFile struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	pages    uint64 // allocated pages, including the superblock
+	free     []uint64
+	dir      map[string]pageRef
+	writable bool
+}
+
+type pageRef struct {
+	first  uint64 // first page of the chain (0 = empty blob)
+	length uint64 // total payload bytes
+}
+
+const (
+	// DefaultPageSize is the page size CreatePageFile uses when given 0.
+	DefaultPageSize = 4096
+
+	pageMagic      = "PGF1"
+	pageHeaderSize = 12 // next page (uint64) + used payload bytes (uint32)
+	superblockSize = 4 + 4 + 8 + 8 + 8 + 8
+)
+
+// CreatePageFile creates (truncating) a page file for writing. Page 0 is
+// reserved immediately but stays zeroed until Finalize, so an abandoned
+// file is never mistaken for a complete one.
+func CreatePageFile(path string, pageSize int) (*PageFile, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize <= pageHeaderSize || pageSize < superblockSize {
+		return nil, fmt.Errorf("ckpt: page size %d too small", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	p := &PageFile{f: f, pageSize: pageSize, pages: 1, dir: make(map[string]pageRef), writable: true}
+	if _, err := f.WriteAt(make([]byte, pageSize), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return p, nil
+}
+
+// OpenPageFile opens a finalized page file for reading. The returned
+// error preserves os.IsNotExist when the file is absent.
+func OpenPageFile(path string) (*PageFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	super := make([]byte, superblockSize)
+	if _, err := f.ReadAt(super, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: page file %s: superblock: %w", path, err)
+	}
+	if string(super[:4]) != pageMagic {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: page file %s: bad magic (not finalized?)", path)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(super[4:]))
+	pages := binary.LittleEndian.Uint64(super[8:])
+	dirFirst := binary.LittleEndian.Uint64(super[24:])
+	dirLen := binary.LittleEndian.Uint64(super[32:])
+	if pageSize <= pageHeaderSize || pages < 1 {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: page file %s: corrupt superblock", path)
+	}
+	p := &PageFile{f: f, pageSize: pageSize, pages: pages}
+	dirBlob, err := p.readBlob(dirFirst, dirLen)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: page file %s: directory: %w", path, err)
+	}
+	if p.dir, err = decodePageDir(dirBlob); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: page file %s: directory: %w", path, err)
+	}
+	return p, nil
+}
+
+// Put writes (or overwrites) one named blob.
+func (p *PageFile) Put(key string, blob []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.writable {
+		return fmt.Errorf("ckpt: page file is not writable")
+	}
+	if old, ok := p.dir[key]; ok {
+		if err := p.freeChain(old.first); err != nil {
+			return err
+		}
+	}
+	first, err := p.writeBlob(blob)
+	if err != nil {
+		return err
+	}
+	p.dir[key] = pageRef{first: first, length: uint64(len(blob))}
+	return nil
+}
+
+// Get reads one named blob (nil for a zero-length blob).
+func (p *PageFile) Get(key string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ref, ok := p.dir[key]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: page file has no blob %q", key)
+	}
+	return p.readBlob(ref.first, ref.length)
+}
+
+// Keys returns the directory's blob names, sorted.
+func (p *PageFile) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.dir))
+	for k := range p.dir {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Finalize writes the directory blob, links the free pages into the
+// on-disk free list, writes the superblock (last), and syncs. The file
+// becomes read-only.
+func (p *PageFile) Finalize() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.writable {
+		return fmt.Errorf("ckpt: page file already finalized")
+	}
+	dirBlob := encodePageDir(p.dir)
+	dirFirst, err := p.writeBlob(dirBlob)
+	if err != nil {
+		return err
+	}
+	var freeHead uint64
+	for i, idx := range p.free {
+		next := uint64(0)
+		if i+1 < len(p.free) {
+			next = p.free[i+1]
+		}
+		if err := p.writePage(idx, next, nil); err != nil {
+			return err
+		}
+	}
+	if len(p.free) > 0 {
+		freeHead = p.free[0]
+	}
+	super := make([]byte, p.pageSize)
+	copy(super, pageMagic)
+	binary.LittleEndian.PutUint32(super[4:], uint32(p.pageSize))
+	binary.LittleEndian.PutUint64(super[8:], p.pages)
+	binary.LittleEndian.PutUint64(super[16:], freeHead)
+	binary.LittleEndian.PutUint64(super[24:], dirFirst)
+	binary.LittleEndian.PutUint64(super[32:], uint64(len(dirBlob)))
+	if _, err := p.f.WriteAt(super, 0); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	p.writable = false
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// Close releases the file handle (without finalizing).
+func (p *PageFile) Close() error { return p.f.Close() }
+
+func (p *PageFile) alloc() uint64 {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		return idx
+	}
+	idx := p.pages
+	p.pages++
+	return idx
+}
+
+// writeBlob stores a blob as a freshly allocated page chain and returns
+// its first page (0 for an empty blob).
+func (p *PageFile) writeBlob(blob []byte) (uint64, error) {
+	if len(blob) == 0 {
+		return 0, nil
+	}
+	payload := p.pageSize - pageHeaderSize
+	n := (len(blob) + payload - 1) / payload
+	idxs := make([]uint64, n)
+	for i := range idxs {
+		idxs[i] = p.alloc()
+	}
+	for i, idx := range idxs {
+		start := i * payload
+		end := start + payload
+		if end > len(blob) {
+			end = len(blob)
+		}
+		next := uint64(0)
+		if i+1 < n {
+			next = idxs[i+1]
+		}
+		if err := p.writePage(idx, next, blob[start:end]); err != nil {
+			return 0, err
+		}
+	}
+	return idxs[0], nil
+}
+
+func (p *PageFile) writePage(idx, next uint64, payload []byte) error {
+	buf := make([]byte, p.pageSize)
+	binary.LittleEndian.PutUint64(buf, next)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(payload)))
+	copy(buf[pageHeaderSize:], payload)
+	if _, err := p.f.WriteAt(buf, int64(idx)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+func (p *PageFile) readPage(idx uint64) (next uint64, payload []byte, err error) {
+	if idx == 0 || idx >= p.pages {
+		return 0, nil, fmt.Errorf("page %d outside [1, %d)", idx, p.pages)
+	}
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, int64(idx)*int64(p.pageSize)); err != nil {
+		return 0, nil, err
+	}
+	next = binary.LittleEndian.Uint64(buf)
+	used := binary.LittleEndian.Uint32(buf[8:])
+	if int(used) > p.pageSize-pageHeaderSize {
+		return 0, nil, fmt.Errorf("page %d used %d exceeds payload capacity", idx, used)
+	}
+	return next, buf[pageHeaderSize : pageHeaderSize+used], nil
+}
+
+func (p *PageFile) readBlob(first, length uint64) ([]byte, error) {
+	if first == 0 {
+		if length != 0 {
+			return nil, fmt.Errorf("empty chain but directory records %d bytes", length)
+		}
+		return nil, nil
+	}
+	var out []byte
+	steps := uint64(0)
+	for idx := first; idx != 0; {
+		if steps++; steps > p.pages {
+			return nil, fmt.Errorf("page chain from %d cycles", first)
+		}
+		next, payload, err := p.readPage(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload...)
+		idx = next
+	}
+	if uint64(len(out)) != length {
+		return nil, fmt.Errorf("chain from %d holds %d bytes, directory records %d", first, len(out), length)
+	}
+	return out, nil
+}
+
+// freeChain returns a blob's pages to the free list.
+func (p *PageFile) freeChain(first uint64) error {
+	steps := uint64(0)
+	for idx := first; idx != 0; {
+		if steps++; steps > p.pages {
+			return fmt.Errorf("ckpt: page chain from %d cycles", first)
+		}
+		next, _, err := p.readPage(idx)
+		if err != nil {
+			return fmt.Errorf("ckpt: %w", err)
+		}
+		p.free = append(p.free, idx)
+		idx = next
+	}
+	return nil
+}
+
+// encodePageDir serializes the directory:
+//
+//	[entries uvarint]([key len uvarint][key][first page uvarint][length uvarint])*
+func encodePageDir(dir map[string]pageRef) []byte {
+	keys := make([]string, 0, len(dir))
+	for k := range dir {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, dir[k].first)
+		buf = binary.AppendUvarint(buf, dir[k].length)
+	}
+	return buf
+}
+
+// decodePageDir parses an encodePageDir blob.
+func decodePageDir(blob []byte) (map[string]pageRef, error) {
+	d := flow.NewDec(blob)
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) { // every entry costs >= 3 bytes
+		d.Failf("page directory: %d entries exceed %d remaining bytes", n, d.Remaining())
+	}
+	dir := make(map[string]pageRef, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		kl := d.Uvarint()
+		if kl > uint64(d.Remaining()) {
+			d.Failf("page directory: key length %d exceeds %d remaining bytes", kl, d.Remaining())
+			break
+		}
+		key := string(d.Bytes(int(kl)))
+		first := d.Uvarint()
+		length := d.Uvarint()
+		dir[key] = pageRef{first: first, length: length}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("page directory: %d trailing bytes", d.Remaining())
+	}
+	return dir, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Async + delta checkpointing must be invisible in committed output: a
+// randomized-churn incremental run with background snapshot encoding,
+// delta-chained cuts and aggressive chain compaction, killed mid-stream
+// and resumed — at the same AND at a changed parallelism — commits exactly
+// the bytes the synchronous full-state oracle commits. An async-only
+// variant pins the capture contract in isolation.
+func TestAsyncDeltaCrashResumeMatchesSyncOracle(t *testing.T) {
+	const (
+		interval = 5
+		crashAt  = 47 // pushes before the simulated crash
+		lastCut  = 9  // last checkpoint that can complete: 45 snapshots
+		ticks    = 120
+		seed     = 7
+	)
+	// Oracle: uninterrupted run under synchronous full-state
+	// checkpointing (the default path), committed output only.
+	snaps, cfg := churnWorkload(seed, ticks, 0.1, 0.05)
+	cfg.Incremental = true
+	cfg.CheckpointInterval = interval
+	cfg.CheckpointDir = t.TempDir()
+	var ref commitLog
+	cfg.OnCommit = ref.hook()
+	if _, err := RunSnapshots(cfg, snaps); err != nil {
+		t.Fatal(err)
+	}
+	want := patternsCSV(t, ref.patterns())
+	if len(ref.patterns()) == 0 {
+		t.Fatal("oracle run committed no patterns; weak test")
+	}
+
+	cases := []struct {
+		name  string
+		delta bool
+		toPar int
+	}{
+		{"async_delta_same_parallelism", true, 3},
+		{"async_delta_rescale_3to5", true, 5},
+		{"async_only_same_parallelism", false, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Crashy run: async capture, and (per case) delta chains with
+			// compaction every 3 elements so folds happen mid-run.
+			dir := t.TempDir()
+			snaps2, cfg2 := churnWorkload(seed, ticks, 0.1, 0.05)
+			cfg2.Incremental = true
+			cfg2.CheckpointInterval = interval
+			cfg2.CheckpointDir = dir
+			cfg2.CheckpointAsync = true
+			cfg2.CheckpointDelta = tc.delta
+			if tc.delta {
+				cfg2.CheckpointCompact = 3
+			}
+			var crashed commitLog
+			cfg2.OnCommit = crashed.hook()
+			crashy, err := New(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashy.Start()
+			// Pace the stream so each cut completes before the next barrier:
+			// a delta cut needs a completed base, and an unpaced in-process
+			// push floods all barriers in before the first commit lands
+			// (later commits then supersede earlier in-flight cuts).
+			for i, s := range snaps2[:crashAt] {
+				crashy.PushSnapshot(s)
+				if n := i + 1; n%interval == 0 {
+					waitCheckpoint(t, crashy, uint64(n/interval))
+				}
+			}
+			man := waitCheckpoint(t, crashy, lastCut)
+			if man.Source.Snapshots != interval*lastCut {
+				t.Fatalf("checkpoint %d covers %d snapshots, want %d",
+					man.ID, man.Source.Snapshots, interval*lastCut)
+			}
+			ck := crashy.CheckpointStats()
+			if tc.delta && ck.DeltaCuts == 0 {
+				t.Fatalf("no incremental cuts committed (%d full); delta path never ran", ck.FullCuts)
+			}
+			t.Logf("crashy run: %d full + %d delta cuts, chain len %d, %d state bytes",
+				ck.FullCuts, ck.DeltaCuts, ck.ChainLen, ck.Bytes)
+			// Crash: abandon the pipeline mid-stream — no drain, no
+			// end-of-stream flush, like a SIGKILL. A background compaction
+			// may still be racing; the resumed store below must cope.
+
+			// Resume from the same directory at the case's parallelism,
+			// same async/delta deployment.
+			snaps3, cfg3 := churnWorkload(seed, ticks, 0.1, 0.05)
+			cfg3.Incremental = true
+			cfg3.Parallelism = tc.toPar
+			cfg3.CheckpointInterval = interval
+			cfg3.CheckpointDir = dir
+			cfg3.CheckpointAsync = true
+			cfg3.CheckpointDelta = tc.delta
+			if tc.delta {
+				cfg3.CheckpointCompact = 3
+			}
+			cfg3.Resume = true
+			var resumed commitLog
+			cfg3.OnCommit = resumed.hook()
+			rp, err := New(cfg3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos, ok := rp.ResumePosition()
+			if !ok || pos.Snapshots < interval*lastCut {
+				t.Fatalf("resume position %+v, %v", pos, ok)
+			}
+			rp.Start()
+			for _, s := range snaps3 {
+				if s.Tick > pos.LastTick {
+					rp.PushSnapshot(s)
+				}
+			}
+			rp.Finish()
+
+			got := append(crashed.patterns(), resumed.patterns()...)
+			if !bytes.Equal(patternsCSV(t, got), want) {
+				t.Fatalf("crash+resume output differs from sync oracle: %d patterns, want %d",
+					len(got), len(ref.patterns()))
+			}
+		})
+	}
+}
+
+// Delta mode never chains across a restart: the first cut of a resumed
+// process is always full (its bases live only in this process's commit
+// history), so a crashed chain can never be extended by a process that
+// did not build it.
+func TestDeltaChainNeverSpansRestart(t *testing.T) {
+	const interval = 5
+	snaps, cfg := churnWorkload(7, 60, 0.1, 0.05)
+	cfg.Incremental = true
+	cfg.CheckpointInterval = interval
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointAsync = true
+	cfg.CheckpointDelta = true
+	if _, err := RunSnapshots(cfg, snaps[:50]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process, same directory: its first completed cut must be
+	// full even though delta mode is on and completed checkpoints exist.
+	cfg2 := cfg
+	cfg2.Resume = true
+	p, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := p.ResumePosition()
+	p.Start()
+	for _, s := range snaps {
+		if s.Tick > pos.LastTick {
+			p.PushSnapshot(s)
+		}
+	}
+	p.Finish()
+	ck := p.CheckpointStats()
+	if ck.FullCuts == 0 {
+		t.Fatalf("resumed process committed no full cut (delta=%d): chain spanned the restart", ck.DeltaCuts)
+	}
+}

@@ -12,16 +12,19 @@ import (
 	"sync"
 
 	"repro/internal/ckpt"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/topology"
 )
 
 // ckptRunner is the per-run checkpoint state machine.
 type ckptRunner struct {
-	coord    *ckpt.Coordinator
-	store    ckpt.Store
-	interval int64
-	onCommit func(id uint64, pats []model.Pattern)
+	coord     *ckpt.Coordinator
+	store     ckpt.Store
+	interval  int64
+	deltaMode bool // cut incremental checkpoints whenever a base exists
+	stats     *metrics.CheckpointStats
+	onCommit  func(id uint64, pats []model.Pattern)
 
 	mu          sync.Mutex
 	count       int64      // source units pushed, including the resumed prefix
@@ -53,6 +56,24 @@ type cutBatch struct {
 	pats []model.Pattern
 }
 
+// ckptBarrier is one barrier-injection decision: which checkpoint to cut,
+// and whether it is incremental against base. The runner decides, the
+// pipeline injects (the runner has no pipeline reference).
+type ckptBarrier struct {
+	id    uint64
+	base  uint64
+	delta bool
+}
+
+// injectBarrier submits the barrier a runner decision asked for.
+func (p *Pipeline) injectBarrier(b ckptBarrier) {
+	if b.delta {
+		p.fl.SubmitBarrierDelta(b.id, b.base)
+	} else {
+		p.fl.SubmitBarrier(b.id)
+	}
+}
+
 // ckptStages extracts the manifest stage descriptors from a topology graph.
 func ckptStages(g *topology.Graph) []ckpt.StageInfo {
 	stages := make([]ckpt.StageInfo, len(g.Stages))
@@ -77,12 +98,22 @@ func topologyStages(cfg Config) ([]ckpt.StageInfo, error) {
 // checkpoint for resume, and returns the runner plus the restore manifest
 // (nil on a fresh start).
 func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Manifest, error) {
+	stats := &metrics.CheckpointStats{}
 	store := cfg.CheckpointStore
 	if store == nil {
-		var err error
-		if store, err = ckpt.NewDirStore(cfg.CheckpointDir); err != nil {
+		ds, err := ckpt.NewDirStore(cfg.CheckpointDir)
+		if err != nil {
 			return nil, nil, err
 		}
+		ds.Paged = cfg.CheckpointPaged
+		ds.Stats = stats
+		if cfg.CheckpointDelta {
+			ds.CompactThreshold = cfg.CheckpointCompact
+			if ds.CompactThreshold <= 0 {
+				ds.CompactThreshold = ckpt.DefaultCompactThreshold
+			}
+		}
+		store = ds
 	}
 	// Manifests are stamped with the semantic fingerprint, not the full
 	// spec: a resume may change deployment knobs (parallelism above all)
@@ -97,12 +128,15 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 	}
 	coord.Spec = fp
 	coord.MaxParallelism = cfg.MaxParallelism
+	coord.Stats = stats
 	r := &ckptRunner{
-		coord:    coord,
-		store:    store,
-		interval: int64(cfg.CheckpointInterval),
-		onCommit: cfg.OnCommit,
-		nextID:   1,
+		coord:     coord,
+		store:     store,
+		interval:  int64(cfg.CheckpointInterval),
+		deltaMode: cfg.CheckpointDelta,
+		stats:     stats,
+		onCommit:  cfg.OnCommit,
+		nextID:    1,
 	}
 	if cfg.SourcePartitions > 0 {
 		r.partRecs = make([]int64, cfg.SourcePartitions)
@@ -166,13 +200,13 @@ func (r *ckptRunner) ack(id uint64, stage, subtask int, state []byte, err error)
 // afterPush records one pushed snapshot and decides whether the barrier
 // for a new checkpoint must be injected behind it. The caller submits the
 // barrier (the runner has no pipeline reference, keeping it testable).
-func (r *ckptRunner) afterPush(tick model.Tick) (id uint64, inject bool) {
+func (r *ckptRunner) afterPush(tick model.Tick) (b ckptBarrier, inject bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.count++
 	r.lastTick = tick
 	if r.interval <= 0 || r.count-r.lastBarrier < r.interval {
-		return 0, false
+		return ckptBarrier{}, false
 	}
 	return r.beginLocked(), true
 }
@@ -186,7 +220,7 @@ func (r *ckptRunner) afterPush(tick model.Tick) (id uint64, inject bool) {
 // The caller holds the pipeline's source mutex and submits the barrier
 // before the record, so the counted prefix is exactly the record set ahead
 // of the barrier on every source edge.
-func (r *ckptRunner) beforePushRecord(part int, tick model.Tick) (id uint64, inject bool) {
+func (r *ckptRunner) beforePushRecord(part int, tick model.Tick) (b ckptBarrier, inject bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.interval > 0 {
@@ -195,7 +229,7 @@ func (r *ckptRunner) beforePushRecord(part int, tick model.Tick) (id uint64, inj
 			r.nextBarrierTick = tick + model.Tick(r.interval)
 			r.haveCadence = true
 		case tick >= r.nextBarrierTick && r.count > r.lastBarrier:
-			id = r.beginLocked() // position excludes the record behind the barrier
+			b = r.beginLocked() // position excludes the record behind the barrier
 			r.nextBarrierTick = tick + model.Tick(r.interval)
 			inject = true
 		}
@@ -210,22 +244,22 @@ func (r *ckptRunner) beforePushRecord(part int, tick model.Tick) (id uint64, inj
 			r.partTicks[part] = tick
 		}
 	}
-	return id, inject
+	return b, inject
 }
 
 // finalBarrier opens a last checkpoint covering the stream tail, injected
 // by Finish before the drain so a graceful shutdown leaves a resumable
 // cut. It is skipped when nothing was pushed since the previous barrier.
-func (r *ckptRunner) finalBarrier() (id uint64, inject bool) {
+func (r *ckptRunner) finalBarrier() (b ckptBarrier, inject bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.count == r.lastBarrier {
-		return 0, false
+		return ckptBarrier{}, false
 	}
 	return r.beginLocked(), true
 }
 
-func (r *ckptRunner) beginLocked() uint64 {
+func (r *ckptRunner) beginLocked() ckptBarrier {
 	id := r.nextID
 	r.nextID++
 	r.lastBarrier = r.count
@@ -239,11 +273,22 @@ func (r *ckptRunner) beginLocked() uint64 {
 			}
 		}
 	}
-	if err := r.coord.Begin(id, pos); err != nil {
+	b := ckptBarrier{id: id}
+	if r.deltaMode {
+		// Incremental against the newest checkpoint committed by THIS
+		// process incarnation: a base from before a restart would predate
+		// the operators' dirtiness tracking (delta chains never span
+		// restarts), so the first cut after start/resume is always full.
+		// Completed ids are monotone, hence so are successive bases.
+		if done, ok := r.coord.Completed(); ok {
+			b.base, b.delta = done, true
+		}
+	}
+	if err := r.coord.Begin(id, pos, b.base, b.delta); err != nil {
 		// Ids are assigned here and only here; Begin cannot collide.
 		panic(fmt.Sprintf("core: %v", err))
 	}
-	return id
+	return b
 }
 
 // onPattern buffers one emitted pattern for output commit. Returns false

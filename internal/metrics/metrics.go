@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -157,6 +158,108 @@ func (m *Mean) Value() float64 {
 		return 0
 	}
 	return m.sum / float64(m.count)
+}
+
+// CheckpointStats aggregates checkpoint-path observability counters: how
+// long operators stall inside the barrier handler (capture) versus how
+// much work rides the background path (encode + store upload), how many
+// bytes each cut persists, the incremental-vs-full cut mix, and the length
+// of the current delta chain. One instance is shared by the flow runtime
+// (capture/encode) and the checkpoint coordinator (upload, cut kind,
+// chain). All methods are atomic and nil-receiver safe, so call sites need
+// no wiring guards.
+type CheckpointStats struct {
+	captureNs int64
+	encodeNs  int64
+	uploadNs  int64
+	bytes     int64
+	deltaCuts int64
+	fullCuts  int64
+	chainLen  int64
+}
+
+// AddCapture records time spent capturing operator state inside the
+// barrier handler (the hot-path stall).
+func (s *CheckpointStats) AddCapture(d time.Duration) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.captureNs, int64(d))
+}
+
+// AddEncode records time spent assembling one subtask's state blob and the
+// blob's size in bytes (background work in async mode).
+func (s *CheckpointStats) AddEncode(d time.Duration, bytes int) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.encodeNs, int64(d))
+	atomic.AddInt64(&s.bytes, int64(bytes))
+}
+
+// AddUpload records time spent persisting state to the checkpoint store.
+func (s *CheckpointStats) AddUpload(d time.Duration) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.uploadNs, int64(d))
+}
+
+// CountCut records one completed checkpoint, incremental or full.
+func (s *CheckpointStats) CountCut(delta bool) {
+	if s == nil {
+		return
+	}
+	if delta {
+		atomic.AddInt64(&s.deltaCuts, 1)
+	} else {
+		atomic.AddInt64(&s.fullCuts, 1)
+	}
+}
+
+// SetChainLen records the delta-chain length of the latest completed
+// checkpoint (1 for a full checkpoint).
+func (s *CheckpointStats) SetChainLen(n int) {
+	if s == nil {
+		return
+	}
+	atomic.StoreInt64(&s.chainLen, int64(n))
+}
+
+// CheckpointSnapshot is a point-in-time copy of CheckpointStats.
+type CheckpointSnapshot struct {
+	// Capture is cumulative hot-path stall: operator state capture inside
+	// the barrier handler, summed over subtask cuts.
+	Capture time.Duration
+	// Encode is cumulative blob assembly time (off the hot path in async
+	// mode).
+	Encode time.Duration
+	// Upload is cumulative store persistence time.
+	Upload time.Duration
+	// Bytes is the total state bytes written across all cuts.
+	Bytes int64
+	// DeltaCuts and FullCuts count completed checkpoints by kind.
+	DeltaCuts, FullCuts int64
+	// ChainLen is the delta-chain length of the latest completed
+	// checkpoint.
+	ChainLen int
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual
+// fields are read atomically).
+func (s *CheckpointStats) Snapshot() CheckpointSnapshot {
+	if s == nil {
+		return CheckpointSnapshot{}
+	}
+	return CheckpointSnapshot{
+		Capture:   time.Duration(atomic.LoadInt64(&s.captureNs)),
+		Encode:    time.Duration(atomic.LoadInt64(&s.encodeNs)),
+		Upload:    time.Duration(atomic.LoadInt64(&s.uploadNs)),
+		Bytes:     atomic.LoadInt64(&s.bytes),
+		DeltaCuts: atomic.LoadInt64(&s.deltaCuts),
+		FullCuts:  atomic.LoadInt64(&s.fullCuts),
+		ChainLen:  int(atomic.LoadInt64(&s.chainLen)),
+	}
 }
 
 // Report is one experiment measurement row.

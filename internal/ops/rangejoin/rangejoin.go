@@ -27,7 +27,7 @@ import (
 
 var (
 	_ ckpt.Snapshotter      = (*Op)(nil)
-	_ ckpt.GroupSnapshotter = (*Op)(nil)
+	_ ckpt.DeltaSnapshotter = (*Op)(nil)
 )
 
 // Kernel selects the per-cell join algorithm.
@@ -59,6 +59,9 @@ type Op struct {
 	// cells holds this subtask's persistent per-cell state (incremental
 	// mode); empty cells are dropped.
 	cells map[grid.Key]*join.IncCell
+	// dirty tracks touched cell-key hashes (the routing key) for
+	// incremental checkpoints.
+	dirty *ckpt.DirtyTracker
 	// scratch buffers are reused across Process calls so the steady
 	// state emits without per-cell slice growth. Pair transitions are
 	// collected packed (hi<<32|lo) so sorting and netting run on plain
@@ -70,7 +73,7 @@ type Op struct {
 
 // New builds a GridQuery operator.
 func New(eps float64, metric geo.Metric, kernel Kernel) *Op {
-	return &Op{Eps: eps, Metric: metric, Kernel: kernel}
+	return &Op{Eps: eps, Metric: metric, Kernel: kernel, dirty: ckpt.NewDirtyTracker()}
 }
 
 // SnapshotState implements ckpt.Snapshotter for classic mode (stateless).
@@ -86,6 +89,37 @@ func (g *Op) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
 	if len(g.cells) == 0 {
 		return nil, nil
 	}
+	return g.encodeCells(group, func(int) bool { return true }), nil
+}
+
+// CaptureGroups implements ckpt.DeltaSnapshotter: a full cut delegates to
+// SnapshotGroups; a delta cut re-encodes only the key groups holding a
+// cell touched by a msg.CellDelta since the base, tombstoning dirty
+// groups whose cells have all emptied. This is the operator the paper's
+// incremental pipeline keeps its bulk state in — cell indexes dominate
+// checkpoint bytes — so skipping clean groups is what shrinks a cut.
+func (g *Op) CaptureGroups(group func(uint64) int, id, base uint64, delta bool) (map[int][]byte, []int, error) {
+	dirty := g.dirty.Capture(group, id, base, delta)
+	if !delta {
+		frames, err := g.SnapshotGroups(group)
+		return frames, nil, err
+	}
+	if len(dirty) == 0 {
+		return nil, nil, nil
+	}
+	frames := g.encodeCells(group, func(grp int) bool { return dirty[grp] })
+	var dropped []int
+	for grp := range dirty {
+		if _, ok := frames[grp]; !ok {
+			dropped = append(dropped, grp)
+		}
+	}
+	return frames, dropped, nil
+}
+
+// encodeCells serializes the cell states of every key group want admits,
+// cells in ascending key order for deterministic bytes.
+func (g *Op) encodeCells(group func(uint64) int, want func(int) bool) map[int][]byte {
 	keys := make([]grid.Key, 0, len(g.cells))
 	for k := range g.cells {
 		keys = append(keys, k)
@@ -98,15 +132,19 @@ func (g *Op) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
 	})
 	out := make(map[int][]byte)
 	for _, k := range keys {
+		grp := group(k.Hash())
+		if !want(grp) {
+			continue
+		}
 		c := g.cells[k]
-		buf := out[group(k.Hash())]
+		buf := out[grp]
 		buf = binary.AppendVarint(buf, int64(k.X))
 		buf = binary.AppendVarint(buf, int64(k.Y))
 		buf = appendEntries(buf, c.Idx.Entries(false))
 		buf = appendEntries(buf, c.Idx.Entries(true))
-		out[group(k.Hash())] = buf
+		out[grp] = buf
 	}
-	return out, nil
+	return out
 }
 
 func appendEntries(buf []byte, os []join.IDLoc) []byte {
@@ -186,6 +224,9 @@ func (g *Op) Process(data any, out *flow.Collector) {
 			out.Emit(uint64(m.Tick), msg.Pairs{Tick: m.Tick, Pairs: owned})
 		}
 	case msg.CellDelta:
+		// Every delta mutates its cell's state — including emptying it,
+		// which must tombstone the group at the next incremental cut.
+		g.dirty.Touch(m.Delta.Key.Hash())
 		c := g.cells[m.Delta.Key]
 		if c == nil {
 			c = join.NewIncCell(g.Eps)

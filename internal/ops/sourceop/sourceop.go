@@ -37,7 +37,7 @@ import (
 
 var (
 	_ ckpt.Snapshotter      = (*Partition)(nil)
-	_ ckpt.GroupSnapshotter = (*Assemble)(nil)
+	_ ckpt.DeltaSnapshotter = (*Assemble)(nil)
 )
 
 // Partition is the source-partition operator: one subtask per source
@@ -125,16 +125,24 @@ type Assemble struct {
 	OnSnapshot func(*model.Snapshot)
 
 	open map[model.Tick]*model.Snapshot
+	// dirty tracks touched ticks (the routing key) for incremental
+	// checkpoints.
+	dirty *ckpt.DirtyTracker
 }
 
 // NewAssemble builds an empty assembly operator.
 func NewAssemble(onSnapshot func(*model.Snapshot)) *Assemble {
-	return &Assemble{OnSnapshot: onSnapshot, open: make(map[model.Tick]*model.Snapshot)}
+	return &Assemble{
+		OnSnapshot: onSnapshot,
+		open:       make(map[model.Tick]*model.Snapshot),
+		dirty:      ckpt.NewDirtyTracker(),
+	}
 }
 
 // Process buffers one tick-stamped record under its tick.
 func (a *Assemble) Process(data any, out *flow.Collector) {
 	r := data.(msg.Rec)
+	a.dirty.Touch(uint64(r.Tick))
 	s := a.open[r.Tick]
 	if s == nil {
 		s = &model.Snapshot{Tick: r.Tick}
@@ -166,6 +174,7 @@ func (a *Assemble) release(wm model.Tick, out *flow.Collector) {
 	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
 	for _, t := range ticks {
 		s := a.open[t]
+		a.dirty.Touch(uint64(t)) // released: tombstone the group at a delta cut
 		delete(a.open, t)
 		stream.SortSnapshot(s)
 		if a.OnSnapshot != nil {
@@ -190,27 +199,62 @@ func (a *Assemble) SnapshotGroups(group func(uint64) int) (map[int][]byte, error
 	}
 	out := make(map[int][]byte, len(byGroup))
 	for g, ticks := range byGroup {
-		sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
-		buf := binary.AppendUvarint(nil, uint64(len(ticks)))
-		for _, t := range ticks {
-			s := a.open[t]
-			buf = binary.AppendVarint(buf, int64(t))
-			if s.Ingest.IsZero() {
-				buf = append(buf, 0)
-			} else {
-				buf = append(buf, 1)
-				buf = binary.AppendVarint(buf, s.Ingest.UnixNano())
-			}
-			buf = binary.AppendUvarint(buf, uint64(len(s.Objects)))
-			for i, id := range s.Objects {
-				buf = binary.AppendUvarint(buf, uint64(id))
-				buf = flow.AppendFloat64(buf, s.Locs[i].X)
-				buf = flow.AppendFloat64(buf, s.Locs[i].Y)
-			}
-		}
-		out[g] = buf
+		out[g] = a.encodeTicks(ticks)
 	}
 	return out, nil
+}
+
+// CaptureGroups implements ckpt.DeltaSnapshotter: a full cut delegates to
+// SnapshotGroups; a delta cut re-encodes only the key groups whose tick
+// buffers were touched since the base (a record buffered, or a snapshot
+// released), tombstoning dirty groups with no open tick left.
+func (a *Assemble) CaptureGroups(group func(uint64) int, id, base uint64, delta bool) (map[int][]byte, []int, error) {
+	dirty := a.dirty.Capture(group, id, base, delta)
+	if !delta {
+		frames, err := a.SnapshotGroups(group)
+		return frames, nil, err
+	}
+	byGroup := make(map[int][]model.Tick)
+	for t := range a.open {
+		if g := group(uint64(t)); dirty[g] {
+			byGroup[g] = append(byGroup[g], t)
+		}
+	}
+	frames := make(map[int][]byte, len(byGroup))
+	var dropped []int
+	for g := range dirty {
+		ticks := byGroup[g]
+		if len(ticks) == 0 {
+			dropped = append(dropped, g)
+			continue
+		}
+		frames[g] = a.encodeTicks(ticks)
+	}
+	return frames, dropped, nil
+}
+
+// encodeTicks serializes the open buffers of the given ticks (one key
+// group's share of the operator state), sorting them ascending.
+func (a *Assemble) encodeTicks(ticks []model.Tick) []byte {
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	buf := binary.AppendUvarint(nil, uint64(len(ticks)))
+	for _, t := range ticks {
+		s := a.open[t]
+		buf = binary.AppendVarint(buf, int64(t))
+		if s.Ingest.IsZero() {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			buf = binary.AppendVarint(buf, s.Ingest.UnixNano())
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.Objects)))
+		for i, id := range s.Objects {
+			buf = binary.AppendUvarint(buf, uint64(id))
+			buf = flow.AppendFloat64(buf, s.Locs[i].X)
+			buf = flow.AppendFloat64(buf, s.Locs[i].Y)
+		}
+	}
+	return buf
 }
 
 // RestoreGroup implements ckpt.GroupSnapshotter: one key group's tick

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/flow"
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
@@ -87,6 +88,13 @@ type Graph struct {
 	SinkBarrier func(id uint64)
 	// Restore supplies checkpointed subtask state on resume.
 	Restore func(stage, subtask int) []byte
+	// AsyncSnapshots defers checkpoint blob assembly and the
+	// OnCheckpointState ack to background goroutines (see
+	// flow.Config.AsyncSnapshots).
+	AsyncSnapshots bool
+	// CkptStats, when non-nil, accrues checkpoint capture/encode counters
+	// (see flow.Config.Stats).
+	CkptStats *metrics.CheckpointStats
 }
 
 // Validate checks the graph for structural errors: it must have at least
@@ -173,5 +181,7 @@ func (g *Graph) Build() (*flow.Pipeline, error) {
 		OnCheckpointState: g.OnCheckpointState,
 		SinkBarrier:       g.SinkBarrier,
 		Restore:           g.Restore,
+		AsyncSnapshots:    g.AsyncSnapshots,
+		Stats:             g.CkptStats,
 	}, specs...), nil
 }
