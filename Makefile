@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-json fuzz ci
+.PHONY: all build test test-race vet fmt-check bench bench-json fuzz obs-check ci
 
 all: build test vet
 
@@ -20,7 +20,7 @@ test:
 # packages (stateful rangejoin/clusterop and the structures behind them)
 # whose equivalence tests drive full concurrent pipelines.
 test-race:
-	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/... ./internal/ckpt/...
+	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/... ./internal/ckpt/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
@@ -60,4 +60,11 @@ fuzz:
 	$(GO) test ./internal/flow -fuzz FuzzDecodeGroupDeltas -fuzztime 30s
 	$(GO) test ./internal/ckpt -fuzz FuzzDecodePageDir -fuzztime 30s
 
-ci: build vet fmt-check test
+# obs-check boots the observability-instrumented pipeline, scrapes its
+# /metrics endpoint over real HTTP, strict-parses the Prometheus text
+# exposition, and fails on a parse error, a missing required family, or
+# counters that did not move.
+obs-check:
+	$(GO) run ./cmd/obscheck
+
+ci: build vet fmt-check test obs-check

@@ -70,6 +70,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/netsrc"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/stream"
 	"repro/internal/transport/tcpnet"
 )
@@ -104,12 +106,41 @@ func main() {
 	ckptDelta := flag.Bool("checkpoint-delta", false, "incremental checkpoints: persist only key groups dirtied since the previous cut")
 	ckptCompact := flag.Int("checkpoint-compact", 0, "delta-chain length that triggers background compaction into a full base (0 = store default; with -checkpoint-delta)")
 	ckptPaged := flag.Bool("checkpoint-paged", false, "store checkpoint state in a paged blob file (fixed-size pages + free list)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /healthz, /readyz and pprof on this address (e.g. 127.0.0.1:9090); in tcp mode the coordinator's scrape aggregates every worker")
+	eventLogPath := flag.String("event-log", "", "append structured JSON event records (checkpoints, restores, rescales, worker membership) to this file")
 	flag.Parse()
 
 	if *workerJoin != "" {
 		// Workers receive their whole configuration from the coordinator.
+		// They always instrument their stages and ship metric snapshots to
+		// the coordinator over the control plane (so one scrape of the
+		// coordinator shows the whole job); -metrics-addr additionally
+		// serves the worker's own /metrics and pprof endpoints.
 		fmt.Fprintf(os.Stderr, "joining coordinator at %s\n", *workerJoin)
-		stats, err := core.RunWorker(*workerJoin)
+		wopts := core.WorkerOptions{Metrics: obs.NewRegistry()}
+		var wsrv *obs.Server
+		if *metricsAddr != "" {
+			srv, err := obs.NewServer(*metricsAddr, wopts.Metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "metrics on %s\n", srv.Addr())
+			srv.SetReady(true)
+			wsrv = srv
+		}
+		if *eventLogPath != "" {
+			lg, err := events.Open(*eventLogPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			wopts.Events = lg
+			defer lg.Close()
+		}
+		stats, err := core.RunWorkerOpts(*workerJoin, wopts)
+		if wsrv != nil {
+			wsrv.SetReady(false)
+			wsrv.Close()
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -182,6 +213,27 @@ func main() {
 			fmt.Fprintf(out, "pattern %s\n", p)
 		}
 	}
+	// Observability: a metrics registry served over HTTP (with pprof) and a
+	// structured event log. Both are pure deployment knobs — never shipped
+	// to workers, never part of the checkpoint fingerprint.
+	var obsSrv *obs.Server
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		var err error
+		if obsSrv, err = obs.NewServer(*metricsAddr, reg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on %s\n", obsSrv.Addr())
+		cfg.Obs = reg
+	}
+	var evLog *events.Log
+	if *eventLogPath != "" {
+		var err error
+		if evLog, err = events.Open(*eventLogPath); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Events = evLog
+	}
 	var pipe *core.Pipeline
 	var coord *tcpnet.Coordinator
 	switch *transport {
@@ -194,11 +246,21 @@ func main() {
 		if *coordinator == "" {
 			log.Fatal("icpe: -transport tcp needs -coordinator ADDR (and workers joining with -worker ADDR)")
 		}
+		if cfg.Obs != nil {
+			// Distinguish the coordinator's own series from the aggregated
+			// worker snapshots in the merged scrape.
+			cfg.Obs.SetConstLabels(obs.L("worker", "driver"))
+		}
 		var err error
 		if coord, err = tcpnet.NewCoordinator(*coordinator, *workers); err != nil {
 			log.Fatal(err)
 		}
 		defer coord.Close()
+		// Membership events must be wired before NewDistributed accepts the
+		// worker handshakes. Emit is nil-safe when no event log is open.
+		coord.OnWorkerEvent(func(event string, worker int, addr string) {
+			evLog.Emit("worker."+event, events.F("worker", worker), events.F("addr", addr))
+		})
 		fmt.Fprintf(os.Stderr, "waiting for %d workers on %s\n", *workers, coord.Addr())
 		if pipe, err = core.NewDistributed(cfg, coord); err != nil {
 			log.Fatal(err)
@@ -208,6 +270,9 @@ func main() {
 		log.Fatalf("icpe: unknown transport %q (want inproc or tcp)", *transport)
 	}
 	pipe.Start()
+	if obsSrv != nil {
+		obsSrv.SetReady(true)
+	}
 
 	// Graceful drain on SIGINT/SIGTERM: the source stops, the drain flushes
 	// watermarks and operator state through the pipeline, and Finish takes
@@ -261,6 +326,19 @@ func main() {
 	fmt.Fprintf(out, "done: %s\n", rep)
 	if res.BAOverflow {
 		fmt.Fprintln(out, "warning: baseline enumerator overflowed on large partitions")
+	}
+	// Graceful observability shutdown, after the drain (and its final
+	// checkpoint) completed: the event log has all terminal records and the
+	// metrics port is released before exit, so a -resume run can bind the
+	// same -metrics-addr immediately.
+	if obsSrv != nil {
+		obsSrv.SetReady(false)
+		if err := obsSrv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server close: %v\n", err)
+		}
+	}
+	if err := evLog.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "event log close: %v\n", err)
 	}
 }
 

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/promlint"
+)
+
+// freePort reserves an ephemeral port and releases it, so the test can
+// hand the coordinator a FIXED -metrics-addr and later assert a resumed
+// run can bind the very same address (no port leak across the drain).
+func freePort(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}
+
+// startCoordinatorObs is startCoordinator plus observability flags: it
+// waits for both the control address and the "metrics on" announcement.
+func startCoordinatorObs(t *testing.T, bin, metricsAddr string, extra ...string) (cmd *exec.Cmd, addr string, stdin io.WriteCloser, stdout *strings.Builder) {
+	t.Helper()
+	args := append([]string{"-transport", "tcp", "-coordinator", "127.0.0.1:0", "-workers", "2",
+		"-input", "-", "-metrics-addr", metricsAddr}, extra...)
+	cmd = exec.Command(bin, args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout = &strings.Builder{}
+	cmd.Stdout = stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "workers on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("workers on "):]):
+				default:
+				}
+			}
+			if i := strings.Index(line, "metrics on "); i >= 0 {
+				select {
+				case metricsCh <- strings.TrimSpace(line[i+len("metrics on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case got := <-metricsCh:
+		if got != metricsAddr {
+			cmd.Process.Kill()
+			t.Fatalf("coordinator bound metrics on %s, want %s", got, metricsAddr)
+		}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("coordinator never announced its metrics address")
+	}
+	select {
+	case addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("coordinator never announced its control address")
+	}
+	return cmd, addr, stdin, stdout
+}
+
+// scrape fetches and strict-parses the coordinator's /metrics.
+func scrape(t *testing.T, addr string) ([]promlint.Family, error) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	fams, err := promlint.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("live exposition does not parse: %v", err)
+	}
+	return fams, nil
+}
+
+// TestMetricsAcrossProcessesAndResume is the observability e2e over real
+// OS processes: a coordinator plus two workers run a checkpointed job
+// with -metrics-addr; a mid-run scrape of the COORDINATOR must show
+// per-worker stage throughput and edge statistics (shipped over the
+// control plane) next to the driver's watermark views; after a graceful
+// drain, a -resume coordinator binds the SAME metrics address — pinning
+// that the drain released the port.
+func TestMetricsAcrossProcessesAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	bin := buildICPE(t)
+	bySnap, eps := workload(t, 4321, 120)
+	metricsAddr := freePort(t)
+	ckptDir := t.TempDir()
+	ckptArgs := append(detectionArgs(eps), "-checkpoint-dir", ckptDir, "-checkpoint-interval", "8")
+
+	coord, addr, stdin, _ := startCoordinatorObs(t, bin, metricsAddr, ckptArgs...)
+	w0 := startWorker(t, bin, addr)
+	w1 := startWorker(t, bin, addr)
+	t.Cleanup(func() {
+		for _, c := range []*exec.Cmd{coord, w0, w1} {
+			if c.ProcessState == nil {
+				c.Process.Kill()
+			}
+		}
+	})
+
+	if err := feedSnaps(stdin, bySnap[:len(bySnap)*6/10]); err != nil {
+		t.Fatalf("feeding coordinator: %v", err)
+	}
+
+	// Workers ship metric snapshots every second; poll the coordinator's
+	// endpoint until both workers' series appear in one scrape.
+	deadline := time.Now().Add(30 * time.Second)
+	var fams []promlint.Family
+	for {
+		var err error
+		fams, err = scrape(t, metricsAddr)
+		if err == nil {
+			ok := true
+			for _, w := range []string{"0", "1"} {
+				recs := promlint.SamplesWith(promlint.Find(fams, "icpe_stage_records_total"), map[string]string{"worker": w})
+				total := 0.0
+				for _, s := range recs {
+					total += s.Value
+				}
+				if total == 0 {
+					ok = false
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mid-run scrape never showed both workers' stage records (last err: %v)", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, w := range []string{"0", "1"} {
+		lbl := map[string]string{"worker": w}
+		if len(promlint.SamplesWith(promlint.Find(fams, "icpe_edge_queue_depth"), lbl)) == 0 {
+			t.Errorf("worker %s: no edge queue depth in coordinator scrape", w)
+		}
+	}
+	if len(promlint.SamplesWith(promlint.Find(fams, "icpe_watermark_lag_ticks"), map[string]string{"worker": "driver"})) != 1 {
+		t.Error("no driver watermark lag in coordinator scrape")
+	}
+
+	// Graceful end of stream; the coordinator closes the metrics server
+	// after Finish.
+	stdin.Close()
+	if err := reap(coord, 60*time.Second); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	reap(w0, 30*time.Second)
+	reap(w1, 30*time.Second)
+
+	// Resume on the SAME metrics address: if the drain leaked the port,
+	// startCoordinatorObs fails with "address already in use".
+	coord2, addr2, stdin2, _ := startCoordinatorObs(t, bin, metricsAddr, append(ckptArgs, "-resume")...)
+	w2 := startWorker(t, bin, addr2)
+	w3 := startWorker(t, bin, addr2)
+	t.Cleanup(func() {
+		for _, c := range []*exec.Cmd{coord2, w2, w3} {
+			if c.ProcessState == nil {
+				c.Process.Kill()
+			}
+		}
+	})
+	if err := feedSnaps(stdin2, bySnap); err != nil {
+		t.Fatalf("feeding resumed coordinator: %v", err)
+	}
+	stdin2.Close()
+	if err := reap(coord2, 120*time.Second); err != nil {
+		t.Fatalf("resumed coordinator: %v", err)
+	}
+	reap(w2, 30*time.Second)
+	reap(w3, 30*time.Second)
+}

@@ -32,12 +32,15 @@ package icpe
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/stream"
 )
 
@@ -201,6 +204,17 @@ type Options struct {
 	// blob file instead of one flat file, exercising the page-allocator
 	// layout (fixed-size pages + free list).
 	CheckpointPaged bool
+
+	// MetricsAddr, when non-empty, serves Prometheus text-format metrics
+	// (/metrics), health endpoints (/healthz, /readyz) and pprof for this
+	// detector on the given address (use "127.0.0.1:0" for an ephemeral
+	// port and read it back with Detector.MetricsAddr). A pure deployment
+	// knob: it affects neither results nor checkpoint identity.
+	MetricsAddr string
+	// EventLog, when set, receives the structured event log — one JSON
+	// object per line (checkpoint cuts/completions, restores, rescales,
+	// compactions). The writer is not closed by Detector.Close.
+	EventLog io.Writer
 }
 
 // Result summarizes a finished detection run.
@@ -237,6 +251,7 @@ type Detector struct {
 	buf      []*model.Snapshot
 	now      func() time.Time
 	anchored bool
+	obsSrv   *obs.Server
 }
 
 // New builds and starts a Detector.
@@ -290,11 +305,25 @@ func New(opts Options) (*Detector, error) {
 	} else if opts.CheckpointAsync || opts.CheckpointDelta || opts.CheckpointPaged || opts.CheckpointCompact != 0 {
 		return nil, fmt.Errorf("icpe: checkpoint tuning options require CheckpointDir")
 	}
+	var obsSrv *obs.Server
+	if opts.MetricsAddr != "" {
+		cfg.Obs = obs.NewRegistry()
+		var err error
+		if obsSrv, err = obs.NewServer(opts.MetricsAddr, cfg.Obs); err != nil {
+			return nil, fmt.Errorf("icpe: %w", err)
+		}
+	}
+	if opts.EventLog != nil {
+		cfg.Events = events.New(opts.EventLog)
+	}
 	pipe, err := core.New(cfg)
 	if err != nil {
+		if obsSrv != nil {
+			obsSrv.Close()
+		}
 		return nil, fmt.Errorf("icpe: %w", err)
 	}
-	d := &Detector{opts: opts, pipe: pipe, now: time.Now}
+	d := &Detector{opts: opts, pipe: pipe, now: time.Now, obsSrv: obsSrv}
 	interval := opts.Interval
 	if interval <= 0 {
 		interval = time.Second
@@ -314,7 +343,19 @@ func New(opts Options) (*Detector, error) {
 		}
 	}
 	pipe.Start()
+	if d.obsSrv != nil {
+		d.obsSrv.SetReady(true)
+	}
 	return d, nil
+}
+
+// MetricsAddr reports the bound address of the metrics server, or "" when
+// Options.MetricsAddr was empty. Useful with an ephemeral ":0" port.
+func (d *Detector) MetricsAddr() string {
+	if d.obsSrv == nil {
+		return ""
+	}
+	return d.obsSrv.Addr()
 }
 
 // ResumeTick reports the last tick covered by the checkpoint this
@@ -374,6 +415,13 @@ func (d *Detector) Close() Result {
 		}
 	}
 	res := d.pipe.Finish()
+	if d.obsSrv != nil {
+		// Shut the endpoint down after the drain so a final scrape during
+		// Close still sees the pipeline's terminal counters.
+		d.obsSrv.SetReady(false)
+		d.obsSrv.Close()
+		d.obsSrv = nil
+	}
 	rep := res.Metrics.Report()
 	return Result{
 		Patterns: res.Patterns,

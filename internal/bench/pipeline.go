@@ -14,6 +14,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport/tcpnet"
 )
 
@@ -152,6 +153,22 @@ type IncrementalRun struct {
 	AvgClusterSize float64 `json:"avg_cluster_size"`
 }
 
+// ObservabilityRun measures the cost of the metrics layer on the
+// in-process pipeline at one instrumentation level: "off" (no registry),
+// "on" (full driver-side instrumentation, nobody scraping), and
+// "on_scraped_1hz" (instrumented plus a concurrent goroutine rendering
+// the full text exposition once a second — a live Prometheus scrape).
+// The budget is 3%: instrumentation lives on gather hooks, so the
+// per-record hot path pays nothing and overhead must stay in the noise.
+type ObservabilityRun struct {
+	Mode            string  `json:"mode"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SnapshotsPerSec float64 `json:"snapshots_per_sec"`
+	// OverheadPct is wall-clock overhead vs the interleaved "off" baseline
+	// (minimum-wall sample on both sides, like the checkpoint rows).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
 // PipelineReport is the machine-readable output of `bench -exp pipeline`
 // (written to BENCH_pipeline.json by `make bench-json`): the same seeded
 // workload pushed through the standard topology on the in-process and the
@@ -159,17 +176,18 @@ type IncrementalRun struct {
 // increasing intervals (overhead vs interval) and rescale-from-checkpoint
 // rows (restore time at p->2p and 2p->p).
 type PipelineReport struct {
-	Dataset       string           `json:"dataset"`
-	Objects       int              `json:"objects"`
-	Ticks         int              `json:"ticks"`
-	Seed          int64            `json:"seed"`
-	Parallelism   int              `json:"parallelism"`
-	ExchangeBatch int              `json:"exchange_batch"`
-	Runs          []TransportRun   `json:"runs"`
-	Checkpoint    []CheckpointRun  `json:"checkpoint,omitempty"`
-	Rescale       []RescaleRun     `json:"rescale,omitempty"`
-	Ingest        []IngestRun      `json:"ingest,omitempty"`
-	Incremental   []IncrementalRun `json:"incremental,omitempty"`
+	Dataset       string             `json:"dataset"`
+	Objects       int                `json:"objects"`
+	Ticks         int                `json:"ticks"`
+	Seed          int64              `json:"seed"`
+	Parallelism   int                `json:"parallelism"`
+	ExchangeBatch int                `json:"exchange_batch"`
+	Runs          []TransportRun     `json:"runs"`
+	Checkpoint    []CheckpointRun    `json:"checkpoint,omitempty"`
+	Rescale       []RescaleRun       `json:"rescale,omitempty"`
+	Ingest        []IngestRun        `json:"ingest,omitempty"`
+	Incremental   []IncrementalRun   `json:"incremental,omitempty"`
+	Observability []ObservabilityRun `json:"observability,omitempty"`
 }
 
 // admit bounds in-flight snapshots exactly like runOnce, so the two
@@ -423,6 +441,77 @@ func runPipelineCkptOnce(d Dataset, cfg core.Config, interval int) (CheckpointRu
 		run.Completed = man.ID
 	}
 	return run, nil
+}
+
+// runPipelineObs measures the observability overhead: the three
+// instrumentation modes sampled interleaved (off / on / on+scrape per
+// round, minimum wall per mode over the rounds), so load drift on a
+// shared box cannot masquerade as instrumentation cost.
+func runPipelineObs(d Dataset, cfg core.Config) ([]ObservabilityRun, error) {
+	const samples = 5
+	modes := []string{"off", "on", "on_scraped_1hz"}
+	best := make(map[string]TransportRun, len(modes))
+	for i := 0; i < samples; i++ {
+		for _, mode := range modes {
+			syscall.Sync()
+			run, err := runPipelineObsOnce(d, cfg, mode)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := best[mode]; !ok || run.WallSeconds < b.WallSeconds {
+				best[mode] = run
+			}
+		}
+	}
+	base := best["off"].WallSeconds
+	out := make([]ObservabilityRun, 0, len(modes))
+	for _, mode := range modes {
+		r := best[mode]
+		or := ObservabilityRun{
+			Mode:            mode,
+			WallSeconds:     r.WallSeconds,
+			SnapshotsPerSec: r.SnapshotsPerSec,
+		}
+		if mode != "off" && base > 0 {
+			or.OverheadPct = (r.WallSeconds/base - 1) * 100
+		}
+		out = append(out, or)
+	}
+	return out, nil
+}
+
+func runPipelineObsOnce(d Dataset, cfg core.Config, mode string) (TransportRun, error) {
+	if mode != "off" {
+		// A fresh registry per run: gather hooks capture the pipeline they
+		// instrument, so reusing one would keep dead pipelines reachable.
+		cfg.Obs = obs.NewRegistry()
+	}
+	var stop chan struct{}
+	var wg sync.WaitGroup
+	if mode == "on_scraped_1hz" {
+		stop = make(chan struct{})
+		reg := cfg.Obs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				_ = reg.WritePrometheus(io.Discard)
+				select {
+				case <-t.C:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	run, err := runPipelineInprocOnce(d, cfg)
+	if stop != nil {
+		close(stop)
+		wg.Wait()
+	}
+	return run, err
 }
 
 // runPipelineRescale checkpoints half the stream at fromPar, resumes at
@@ -690,6 +779,11 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		}
 		ingestRuns = append(ingestRuns, run)
 	}
+	// Observability overhead: metrics off vs on vs on+1Hz scrape.
+	obsRuns, err := runPipelineObs(d, cfg)
+	if err != nil {
+		return err
+	}
 	// Incremental vs from-scratch at three churn levels on the fixed-churn
 	// workload (clustering stages only).
 	var incRuns []IncrementalRun
@@ -712,6 +806,7 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		Rescale:       rescaleRuns,
 		Ingest:        ingestRuns,
 		Incremental:   incRuns,
+		Observability: obsRuns,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -69,6 +69,13 @@ type DirStore struct {
 	CompactThreshold int
 	// Stats, when non-nil, accrues chain-length observability counters.
 	Stats *metrics.CheckpointStats
+	// OnCompact, when non-nil, is notified after each background chain
+	// compaction finishes: the folded checkpoint id, the chain length it
+	// folded, and the error (nil on success). Called from the compaction
+	// goroutine; implementations must be safe for concurrent use. The
+	// observability layer feeds the structured event log from it without
+	// this package importing it.
+	OnCompact func(id uint64, chainLen int, err error)
 
 	mu         sync.Mutex
 	staging    map[uint64]map[string][]byte // in-flight blobs by id, then key
@@ -460,7 +467,10 @@ func (s *DirStore) maybeCompact(id uint64) {
 		defer s.compactWG.Done()
 		// Compaction failure is tolerable by design: the chain stays
 		// replayable as-is, so errors are dropped like gc's.
-		_ = s.compact(id, chain)
+		err := s.compact(id, chain)
+		if s.OnCompact != nil {
+			s.OnCompact(id, len(chain), err)
+		}
 		s.mu.Lock()
 		s.compacting = false
 		if s.pins[id] > 1 {

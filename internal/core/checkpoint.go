@@ -14,6 +14,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs/events"
 	"repro/internal/topology"
 )
 
@@ -24,6 +25,7 @@ type ckptRunner struct {
 	interval  int64
 	deltaMode bool // cut incremental checkpoints whenever a base exists
 	stats     *metrics.CheckpointStats
+	events    *events.Log // structured event log (nil discards)
 	onCommit  func(id uint64, pats []model.Pattern)
 
 	mu          sync.Mutex
@@ -135,8 +137,19 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 		interval:  int64(cfg.CheckpointInterval),
 		deltaMode: cfg.CheckpointDelta,
 		stats:     stats,
+		events:    cfg.Events,
 		onCommit:  cfg.OnCommit,
 		nextID:    1,
+	}
+	if ds, ok := store.(*ckpt.DirStore); ok && ds.OnCompact == nil {
+		ds.OnCompact = func(id uint64, chainLen int, err error) {
+			if err != nil {
+				cfg.Events.Emit("compaction", events.F("id", id),
+					events.F("chain", chainLen), events.F("error", err.Error()))
+				return
+			}
+			cfg.Events.Emit("compaction", events.F("id", id), events.F("chain", chainLen))
+		}
 	}
 	if cfg.SourcePartitions > 0 {
 		r.partRecs = make([]int64, cfg.SourcePartitions)
@@ -178,9 +191,30 @@ func newCkptRunner(cfg *Config, stages []ckpt.StageInfo) (*ckptRunner, *ckpt.Man
 				r.nextBarrierTick = man.Source.LastTick + 1 + model.Tick(cfg.CheckpointInterval)
 				r.haveCadence = true
 			}
+			cfg.Events.Emit("restore", events.F("id", man.ID),
+				events.F("last_tick", int64(man.Source.LastTick)),
+				events.F("snapshots", man.Source.Snapshots),
+				events.F("delta", man.Delta))
+			emitRescale(cfg.Events, man, stages)
 		}
 	}
 	return r, man, nil
+}
+
+// emitRescale logs a rescale event when a resume changes any stage's
+// parallelism relative to the checkpointed topology (the supported elastic
+// path — state is re-sliced by key group).
+func emitRescale(log *events.Log, man *ckpt.Manifest, stages []ckpt.StageInfo) {
+	old := make(map[string]int, len(man.Stages))
+	for _, st := range man.Stages {
+		old[st.Name] = st.Parallelism
+	}
+	for _, st := range stages {
+		if prev, ok := old[st.Name]; ok && prev != st.Parallelism {
+			log.Emit("rescale", events.F("stage", st.Name),
+				events.F("from", prev), events.F("to", st.Parallelism))
+		}
+	}
 }
 
 // ack is the flow.Config.OnCheckpointState hook for locally executing
@@ -288,6 +322,9 @@ func (r *ckptRunner) beginLocked() ckptBarrier {
 		// Ids are assigned here and only here; Begin cannot collide.
 		panic(fmt.Sprintf("core: %v", err))
 	}
+	r.events.Emit("checkpoint.begin", events.F("id", id),
+		events.F("delta", b.delta), events.F("base", b.base),
+		events.F("snapshots", r.count), events.F("last_tick", int64(r.lastTick)))
 	return b
 }
 
@@ -325,6 +362,8 @@ func (r *ckptRunner) onComplete(m ckpt.Manifest) {
 		r.maxDurable = m.ID
 	}
 	r.mu.Unlock()
+	r.events.Emit("checkpoint.complete", events.F("id", m.ID),
+		events.F("delta", m.Delta), events.F("chain", len(m.Chain)))
 	r.release()
 }
 

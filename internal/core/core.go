@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -25,6 +26,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/ops/msg"
 	"repro/internal/patstore"
 	"repro/internal/stream"
@@ -204,6 +207,18 @@ type Config struct {
 	// witnesses end more than PatternRetention ticks behind the sink
 	// watermark are evicted (0 = keep everything).
 	PatternRetention model.Tick
+
+	// Obs, when set, receives the run's exported metrics: per-stage
+	// throughput and busy time, per-edge queue depth and backpressure,
+	// watermark lag, checkpoint stats, latency summaries (see
+	// ARCHITECTURE.md's metric catalog). Pure deployment knob: never
+	// fingerprinted, so it can be added or dropped across a resume.
+	Obs *obs.Registry
+	// Events, when set, receives the structured event log (JSON lines):
+	// checkpoint begin/complete, restore, rescale, compaction. Pure
+	// deployment knob like Obs. A nil log discards events, so call sites
+	// need no guards.
+	Events *events.Log
 }
 
 func (c *Config) fill() error {
@@ -382,6 +397,27 @@ type Pipeline struct {
 	queue    []model.Tick // pushed ticks not yet completion-sampled
 	patterns []model.Pattern
 	overflow bool
+
+	// Stream-progress marks for the watermark-lag gauges: highest tick
+	// pushed at the source and the sink's merged watermark, with "seen"
+	// flags so the gauges stay silent until each side has advanced.
+	srcTick, sinkTick atomic.Int64
+	srcSeen, sinkSeen atomic.Bool
+	obsCompletion     *obs.Histogram // nil without Config.Obs
+}
+
+// noteSourceTick advances the source-progress mark (monotone max).
+func (p *Pipeline) noteSourceTick(t model.Tick) {
+	for {
+		old := p.srcTick.Load()
+		if p.srcSeen.Load() && old >= int64(t) {
+			return
+		}
+		if p.srcTick.CompareAndSwap(old, int64(t)) {
+			p.srcSeen.Store(true)
+			return
+		}
+	}
 }
 
 // New builds an ICPE pipeline. Call Start, feed snapshots with
@@ -426,6 +462,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if p.fl, err = g.Build(); err != nil {
 		return nil, err
 	}
+	p.setupObs()
 	return p, nil
 }
 
@@ -450,6 +487,7 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 	p.ingest[s.Tick] = s.Ingest
 	p.queue = append(p.queue, s.Tick)
 	p.mu.Unlock()
+	p.noteSourceTick(s.Tick)
 	if p.cfg.Incremental {
 		// Constant key: every snapshot routes to the one allocate subtask
 		// holding the previous tick's positions.
@@ -488,6 +526,7 @@ func (p *Pipeline) PushRecord(obj model.ObjectID, loc geo.Point, tick model.Tick
 		Tick:   tick,
 		Ingest: time.Now(),
 	}
+	p.noteSourceTick(tick)
 	if p.ck == nil {
 		// No barriers to order against: the endpoint send is itself safe
 		// for concurrent producers, so concurrent feeders proceed without
@@ -617,7 +656,11 @@ func (p *Pipeline) recordCompletion(wm model.Tick) {
 	}
 	p.mu.Unlock()
 	for _, ts := range done {
-		p.mets.CompletionLatency.Observe(time.Since(ts))
+		d := time.Since(ts)
+		p.mets.CompletionLatency.Observe(d)
+		if p.obsCompletion != nil {
+			p.obsCompletion.Observe(d.Seconds())
+		}
 	}
 	if p.cfg.OnTickComplete != nil {
 		for _, t := range ticks {
@@ -659,6 +702,8 @@ func (p *Pipeline) onSinkRecord(data any) {
 // onSinkWatermark receives the merged watermark after the last stage: all
 // subtasks have fully consumed every tick up to wm.
 func (p *Pipeline) onSinkWatermark(wm model.Tick) {
+	p.sinkTick.Store(int64(wm))
+	p.sinkSeen.Store(true)
 	p.recordCompletion(wm)
 	if p.cfg.PatternStore != nil && p.cfg.PatternRetention > 0 {
 		// Watermark-driven eviction keeps the store bounded on long runs:

@@ -8,10 +8,15 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/transport/tcpnet"
 )
 
@@ -264,6 +269,15 @@ func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 	c.OnSinkWatermark(p.DeliverSinkWatermark)
 	c.OnCheckpointAck(p.DeliverCheckpointAck)
 	c.OnSinkBarrier(p.DeliverSinkBarrier)
+	if cfg.Obs != nil {
+		// Worker snapshots merge into the driver's registry: one scrape of
+		// the coordinator's /metrics shows the whole job, each worker's
+		// series pinned by its worker="N" const label.
+		reg := cfg.Obs
+		c.OnMetrics(func(worker int, fams []obs.FamilySnapshot) {
+			reg.ImportExternal("worker-"+strconv.Itoa(worker), fams)
+		})
+	}
 	c.Start()
 	return p, nil
 }
@@ -284,6 +298,25 @@ type WorkerStats struct {
 // process and blocks until they drain. The worker owning the last stage
 // forwards sink records and watermarks to the coordinator.
 func RunWorker(coordAddr string) (WorkerStats, error) {
+	return RunWorkerOpts(coordAddr, WorkerOptions{})
+}
+
+// WorkerOptions carries the deployment-only extras of a worker process.
+type WorkerOptions struct {
+	// Metrics, when set, instruments the worker's local stages on this
+	// registry (stamped with a worker="N" const label after the handshake
+	// assigns the index) and ships periodic snapshots to the coordinator
+	// over the control plane, plus one final snapshot before the done
+	// frame — so the coordinator's merged scrape always ends complete.
+	Metrics *obs.Registry
+	// MetricsInterval is the snapshot shipping period (default 1s).
+	MetricsInterval time.Duration
+	// Events, when set, receives the worker's structured event log.
+	Events *events.Log
+}
+
+// RunWorkerOpts is RunWorker with observability options.
+func RunWorkerOpts(coordAddr string, opts WorkerOptions) (WorkerStats, error) {
 	w, err := tcpnet.JoinWorker(coordAddr)
 	if err != nil {
 		return WorkerStats{}, err
@@ -293,6 +326,7 @@ func RunWorker(coordAddr string) (WorkerStats, error) {
 	if err != nil {
 		return WorkerStats{}, err
 	}
+	opts.Events.Emit("worker.join", events.F("worker", w.ID()), events.F("coordinator", coordAddr))
 	g, err := Topology(&cfg, Hooks{
 		Sink:          w.Sink(),
 		SinkWatermark: w.SinkWatermark(),
@@ -309,9 +343,50 @@ func RunWorker(coordAddr string) (WorkerStats, error) {
 	g.SinkBarrier = w.SinkBarrier()
 	g.AsyncSnapshots = cfg.CheckpointAsync
 	g.Restore = w.RestoreState
+	var ckstats *metrics.CheckpointStats
+	if opts.Metrics != nil {
+		// Worker-side capture/encode stats: the coordinator owns upload and
+		// cut accounting, but the barrier-handler stall happens here.
+		ckstats = &metrics.CheckpointStats{}
+		g.CkptStats = ckstats
+	}
 	pl, err := g.Build()
 	if err != nil {
 		return WorkerStats{}, err
+	}
+	var stopShip func()
+	if opts.Metrics != nil {
+		reg := opts.Metrics
+		reg.SetConstLabels(obs.L("worker", strconv.Itoa(w.ID())))
+		registerFlowMetrics(reg, pl)
+		registerCheckpointMetrics(reg, ckstats)
+		interval := opts.MetricsInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		done := make(chan struct{})
+		shipped := make(chan struct{})
+		go func() {
+			defer close(shipped)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					_ = w.SendMetrics(reg.Snapshot())
+				case <-done:
+					return
+				}
+			}
+		}()
+		stopShip = func() {
+			close(done)
+			<-shipped
+			// Final snapshot after the local stages drained, sent before the
+			// done frame on the same connection: the coordinator's view is
+			// complete once WaitDone returns.
+			_ = w.SendMetrics(reg.Snapshot())
+		}
 	}
 	pl.Start()
 	pl.WaitLocal()
@@ -323,6 +398,10 @@ func RunWorker(coordAddr string) (WorkerStats, error) {
 	for i := range stats.Local {
 		stats.Local[i] = w.LocalStage(i)
 	}
+	if stopShip != nil {
+		stopShip()
+	}
+	opts.Events.Emit("worker.drained", events.F("worker", w.ID()))
 	if err := w.Finish(); err != nil {
 		return stats, err
 	}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
+	"repro/internal/obs/promlint"
+	"repro/internal/transport/tcpnet"
+)
+
+// TestDistributedMetricsAggregation is the acceptance test of the
+// observability layer: a 3-worker TCP job with checkpointing, where ONE
+// scrape of the coordinator's /metrics (over real HTTP) must return
+// per-stage throughput, per-edge queue statistics and checkpoint stats
+// for every worker — each series pinned by its worker label — plus the
+// driver's watermark-lag and checkpoint-cut views.
+func TestDistributedMetricsAggregation(t *testing.T) {
+	const workers = 3
+	_, snaps, cfg := plantedWorkload(99, 100)
+	cfg.Enum = FBA
+	cfg.Parallelism = 3
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointInterval = 16
+	patterns := 0
+	cfg.OnCommit = func(_ uint64, pats []model.Pattern) { patterns += len(pats) }
+
+	reg := obs.NewRegistry()
+	reg.SetConstLabels(obs.L("worker", "driver"))
+	cfg.Obs = reg
+
+	coord, err := tcpnet.NewCoordinator("127.0.0.1:0", workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Membership events ride the same control plane; collect them here.
+	var evBuf bytes.Buffer
+	evLog := events.New(&evBuf)
+	coord.OnWorkerEvent(func(event string, worker int, addr string) {
+		evLog.Emit("worker."+event, events.F("worker", worker), events.F("addr", addr))
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wreg := obs.NewRegistry()
+			if _, err := RunWorkerOpts(coord.Addr(), WorkerOptions{
+				Metrics:         wreg,
+				MetricsInterval: 50 * time.Millisecond,
+			}); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	pipe, err := NewDistributed(cfg, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+	for _, s := range snaps {
+		pipe.PushSnapshot(s)
+	}
+	pipe.Finish()
+	wg.Wait()
+	if patterns == 0 {
+		t.Fatal("no patterns committed; weak test")
+	}
+
+	// One scrape over real HTTP, after the drain: every worker shipped its
+	// final snapshot before its done frame, so the merged view is complete.
+	srv, err := obs.NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := promlint.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("aggregated exposition does not parse: %v", err)
+	}
+
+	// Per-worker series, pinned by worker label value.
+	for w := 0; w < workers; w++ {
+		lbl := map[string]string{"worker": strconv.Itoa(w)}
+		recs := promlint.SamplesWith(promlint.Find(fams, "icpe_stage_records_total"), lbl)
+		total := 0.0
+		for _, s := range recs {
+			total += s.Value
+		}
+		if total == 0 {
+			t.Errorf("worker %d: no stage records in aggregated scrape", w)
+		}
+		if len(promlint.SamplesWith(promlint.Find(fams, "icpe_stage_busy_seconds_total"), lbl)) == 0 {
+			t.Errorf("worker %d: no stage busy time", w)
+		}
+		for _, name := range []string{"icpe_edge_queue_depth", "icpe_edge_queue_capacity", "icpe_edge_send_blocks_total"} {
+			if len(promlint.SamplesWith(promlint.Find(fams, name), lbl)) == 0 {
+				t.Errorf("worker %d: no %s series", w, name)
+			}
+		}
+		if len(promlint.SamplesWith(promlint.Find(fams, "icpe_checkpoint_capture_seconds_total"), lbl)) == 0 {
+			t.Errorf("worker %d: no checkpoint capture series", w)
+		}
+	}
+
+	// Driver-side views.
+	driver := map[string]string{"worker": "driver"}
+	if s := promlint.SamplesWith(promlint.Find(fams, "icpe_source_snapshots_total"), driver); len(s) != 1 || s[0].Value != 100 {
+		t.Errorf("driver snapshots = %+v, want 100", s)
+	}
+	if s := promlint.SamplesWith(promlint.Find(fams, "icpe_patterns_total"), driver); len(s) != 1 || s[0].Value == 0 {
+		t.Errorf("driver patterns = %+v, want > 0", s)
+	}
+	for _, name := range []string{"icpe_source_watermark_tick", "icpe_sink_watermark_tick", "icpe_watermark_lag_ticks"} {
+		if len(promlint.SamplesWith(promlint.Find(fams, name), driver)) != 1 {
+			t.Errorf("driver: missing %s", name)
+		}
+	}
+	cuts := 0.0
+	for _, s := range promlint.SamplesWith(promlint.Find(fams, "icpe_checkpoint_cuts_total"), driver) {
+		cuts += s.Value
+	}
+	if cuts == 0 {
+		t.Error("driver: no completed checkpoint cuts in scrape")
+	}
+	if s := promlint.SamplesWith(promlint.Find(fams, "icpe_latency_seconds"), driver); len(s) == 0 {
+		t.Error("driver: no latency summary series")
+	}
+	if f := promlint.Find(fams, "icpe_completion_latency_seconds"); f == nil {
+		t.Error("driver: no completion latency histogram")
+	} else {
+		cnt := promlint.SamplesWith(f, map[string]string{"worker": "driver"})
+		ok := false
+		for _, s := range cnt {
+			if s.Name == "icpe_completion_latency_seconds_count" && s.Value == 100 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("completion histogram count != 100: %+v", cnt)
+		}
+	}
+
+	// Membership events: one connect and one done per worker.
+	evs := evBuf.String()
+	for _, want := range []string{`"event":"worker.connect"`, `"event":"worker.done"`} {
+		if got := bytes.Count([]byte(evs), []byte(want)); got != workers {
+			t.Errorf("event log has %d %s records, want %d:\n%s", got, want, workers, evs)
+		}
+	}
+}
+
+// The driver-side registry must expose the full catalog for a plain
+// in-process checkpointed run too (no coordinator involved), and the
+// scrape must be strict-parser clean while the pipeline is mid-stream.
+func TestInprocObsMidStreamScrape(t *testing.T) {
+	_, snaps, cfg := plantedWorkload(41, 80)
+	cfg.Enum = FBA
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointInterval = 16
+	cfg.OnCommit = func(uint64, []model.Pattern) {}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	pipe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+	for i, s := range snaps {
+		pipe.PushSnapshot(s)
+		if i == len(snaps)/2 {
+			// Mid-stream scrape: gauges are live, nothing torn.
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := promlint.Parse(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("mid-stream exposition does not parse: %v", err)
+			}
+		}
+	}
+	pipe.Finish()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promlint.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("final exposition does not parse: %v", err)
+	}
+	snapsF := promlint.Find(fams, "icpe_source_snapshots_total")
+	if snapsF == nil || len(snapsF.Samples) != 1 || snapsF.Samples[0].Value != 80 {
+		t.Errorf("icpe_source_snapshots_total = %+v, want 80", snapsF)
+	}
+	src := promlint.Find(fams, "icpe_source_watermark_tick")
+	sink := promlint.Find(fams, "icpe_sink_watermark_tick")
+	lag := promlint.Find(fams, "icpe_watermark_lag_ticks")
+	if src == nil || sink == nil || lag == nil {
+		t.Fatal("watermark families missing")
+	}
+	if src.Samples[0].Value != sink.Samples[0].Value || lag.Samples[0].Value != 0 {
+		t.Errorf("after drain: src=%v sink=%v lag=%v, want equal and lag 0",
+			src.Samples[0].Value, sink.Samples[0].Value, lag.Samples[0].Value)
+	}
+}

@@ -82,13 +82,14 @@ type StageSpec struct {
 
 // Pipeline is a linear dataflow of stages.
 type Pipeline struct {
-	stages []StageSpec
-	maxPar int          // key-group count; routing is hash(key) % maxPar
-	inputs [][]Endpoint // inputs[i][s]: input of stage i subtask s
-	wgs    []*sync.WaitGroup
-	local  []bool  // local[i]: stage i's subtasks run in this process
-	recs   []int64 // per-stage processed record counters (atomic)
-	busy   []int64 // per-stage operator time in nanoseconds (atomic)
+	stages  []StageSpec
+	maxPar  int          // key-group count; routing is hash(key) % maxPar
+	inputs  [][]Endpoint // inputs[i][s]: input of stage i subtask s
+	wgs     []*sync.WaitGroup
+	local   []bool  // local[i]: stage i's subtasks run in this process
+	recs    []int64 // per-stage processed record counters (atomic)
+	batches []int64 // per-stage processed Batch carrier counters (atomic)
+	busy    []int64 // per-stage operator time in nanoseconds (atomic)
 
 	closeWG sync.WaitGroup // outstanding close-propagation goroutines
 
@@ -187,6 +188,7 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 		stages:    stages,
 		maxPar:    maxPar,
 		recs:      make([]int64, len(stages)),
+		batches:   make([]int64, len(stages)),
 		busy:      make([]int64, len(stages)),
 		sinkFn:    cfg.Sink,
 		sinkWMs:   make(map[int]model.Tick),
@@ -458,6 +460,7 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 		default:
 			if b, isBatch := ev.Data.(Batch); isBatch {
 				atomic.AddInt64(&p.recs[stage], int64(len(b.Items)))
+				atomic.AddInt64(&p.batches[stage], 1)
 				for _, item := range b.Items {
 					op.Process(item, out)
 				}
@@ -665,6 +668,17 @@ func (p *Pipeline) StageRecords() []int64 {
 	return out
 }
 
+// StageBatches returns a snapshot of per-stage processed Batch-carrier
+// counts (records shipped record-at-a-time don't count). Together with
+// StageRecords it yields the effective batching factor per stage.
+func (p *Pipeline) StageBatches() []int64 {
+	out := make([]int64, len(p.batches))
+	for i := range out {
+		out[i] = atomic.LoadInt64(&p.batches[i])
+	}
+	return out
+}
+
 // StageBusy returns per-stage cumulative operator time: the wall time
 // subtasks spent inside Process/OnWatermark, summed across the stage's
 // subtasks (a stage with p busy subtasks accrues p seconds per second).
@@ -675,6 +689,43 @@ func (p *Pipeline) StageBusy() []time.Duration {
 	out := make([]time.Duration, len(p.busy))
 	for i := range out {
 		out[i] = time.Duration(atomic.LoadInt64(&p.busy[i]))
+	}
+	return out
+}
+
+// EdgeStat is one input endpoint's queue occupancy and backpressure
+// reading: the buffered depth and capacity right now, plus the cumulative
+// count of Send calls that found the buffer full and blocked.
+type EdgeStat struct {
+	Stage      string
+	Subtask    int
+	Depth      int
+	Capacity   int
+	SendBlocks int64
+}
+
+// EdgeStats samples every input endpoint that can report queue statistics
+// (see QueueStats); endpoints without the capability — remote send stubs —
+// are skipped, so in distributed mode each process reports exactly the
+// edges it receives on. This is the raw backpressure signal the
+// observability layer exports per edge.
+func (p *Pipeline) EdgeStats() []EdgeStat {
+	var out []EdgeStat
+	for i, eps := range p.inputs {
+		for s, ep := range eps {
+			qs, ok := ep.(QueueStats)
+			if !ok {
+				continue
+			}
+			depth, capacity := qs.QueueDepth()
+			out = append(out, EdgeStat{
+				Stage:      p.stages[i].Name,
+				Subtask:    s,
+				Depth:      depth,
+				Capacity:   capacity,
+				SendBlocks: qs.SendBlocks(),
+			})
+		}
 	}
 	return out
 }

@@ -1,6 +1,10 @@
 package flow
 
-import "repro/internal/model"
+import (
+	"sync/atomic"
+
+	"repro/internal/model"
+)
 
 // Message is the transport-level envelope exchanged between subtasks. Data
 // holds either a single record or a Batch of records coalesced on a keyed
@@ -82,9 +86,33 @@ func (channelTransport) Edge(_ string, parallelism, buf int) []Endpoint {
 	return eps
 }
 
-type chanEndpoint struct{ ch chan Message }
+// QueueStats is the optional introspection side of an Endpoint: transports
+// that can report their buffer occupancy and how often senders blocked on a
+// full buffer implement it, and Pipeline.EdgeStats surfaces the numbers as
+// the per-edge backpressure signal. Endpoints without it (remote send
+// stubs) are simply skipped.
+type QueueStats interface {
+	// QueueDepth returns the current number of buffered messages and the
+	// buffer capacity.
+	QueueDepth() (depth, capacity int)
+	// SendBlocks returns how many Send calls found the buffer full and had
+	// to block — the cumulative backpressure count.
+	SendBlocks() int64
+}
 
-func (e *chanEndpoint) Send(m Message) { e.ch <- m }
+type chanEndpoint struct {
+	ch      chan Message
+	blocked atomic.Int64
+}
+
+func (e *chanEndpoint) Send(m Message) {
+	select {
+	case e.ch <- m:
+	default:
+		e.blocked.Add(1)
+		e.ch <- m
+	}
+}
 
 func (e *chanEndpoint) Recv() (Message, bool) {
 	m, ok := <-e.ch
@@ -92,3 +120,7 @@ func (e *chanEndpoint) Recv() (Message, bool) {
 }
 
 func (e *chanEndpoint) Close() { close(e.ch) }
+
+func (e *chanEndpoint) QueueDepth() (int, int) { return len(e.ch), cap(e.ch) }
+
+func (e *chanEndpoint) SendBlocks() int64 { return e.blocked.Load() }

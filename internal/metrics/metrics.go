@@ -29,6 +29,13 @@ type Latency struct {
 	sum   time.Duration
 	res   []time.Duration
 	rng   uint64 // xorshift64 state; deterministic per instance
+
+	// sorted caches the ascending view of res between observations, so a
+	// scrape reading several quantiles sorts at most once and an idle
+	// metrics endpoint polling at 1Hz pays O(n log n) only after new
+	// samples — not per quantile per scrape. Invalidated by Observe.
+	sorted    []time.Duration
+	sortValid bool
 }
 
 // Observe records one sample.
@@ -43,6 +50,7 @@ func (l *Latency) Observe(d time.Duration) {
 		// probability K/i, keeping every prefix uniformly represented.
 		l.res[j] = d
 	}
+	l.sortValid = false
 	l.mu.Unlock()
 }
 
@@ -75,16 +83,29 @@ func (l *Latency) Mean() time.Duration {
 	return l.sum / time.Duration(l.count)
 }
 
+// Sum returns the cumulative observed time (exact).
+func (l *Latency) Sum() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sum
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100), estimated from
-// the reservoir once the stream exceeds its capacity.
+// the reservoir once the stream exceeds its capacity. Repeated calls
+// without intervening Observes reuse the cached sorted view (no copy, no
+// sort), keeping scrape cost flat.
 func (l *Latency) Percentile(p float64) time.Duration {
 	l.mu.Lock()
-	s := append([]time.Duration(nil), l.res...)
-	l.mu.Unlock()
-	if len(s) == 0 {
+	defer l.mu.Unlock()
+	if len(l.res) == 0 {
 		return 0
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if !l.sortValid {
+		l.sorted = append(l.sorted[:0], l.res...)
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+		l.sortValid = true
+	}
+	s := l.sorted
 	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if idx < 0 {
 		idx = 0

@@ -99,6 +99,71 @@ func TestLatencyReservoirDeterministic(t *testing.T) {
 	}
 }
 
+// The cached sorted view must be invalidated by Observe: a percentile
+// read after new samples sees them, and repeated reads without new
+// samples reuse the cache (same backing array, no re-sort).
+func TestLatencyPercentileCacheInvalidation(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 10; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(100); got != 10*time.Millisecond {
+		t.Fatalf("P100 = %v, want 10ms", got)
+	}
+	if !l.sortValid {
+		t.Fatal("cache not marked valid after Percentile")
+	}
+	l.Observe(100 * time.Millisecond)
+	if l.sortValid {
+		t.Fatal("Observe did not invalidate the sorted cache")
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("P100 after new max = %v, want 100ms (stale cache?)", got)
+	}
+	// Percentiles must agree with a cold instance fed the same samples.
+	var cold Latency
+	for i := 1; i <= 10; i++ {
+		cold.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cold.Observe(100 * time.Millisecond)
+	for _, p := range []float64{1, 50, 95, 100} {
+		if l.Percentile(p) != cold.Percentile(p) {
+			t.Errorf("P%.0f: cached %v != cold %v", p, l.Percentile(p), cold.Percentile(p))
+		}
+	}
+}
+
+// Scrape cost must be flat: quantile reads without intervening Observes
+// reuse the cached sorted reservoir instead of copying and sorting 4096
+// samples per call. This benchmark is the satellite's proof — compare
+// with BenchmarkLatencyPercentileCold, which forces a re-sort each
+// iteration.
+func BenchmarkLatencyPercentile(b *testing.B) {
+	var l Latency
+	for i := 0; i < 3*LatencyReservoir; i++ {
+		l.Observe(time.Duration(i%1009) * time.Microsecond)
+	}
+	l.Percentile(50) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Percentile(50)
+		l.Percentile(95)
+		l.Percentile(99)
+	}
+}
+
+func BenchmarkLatencyPercentileCold(b *testing.B) {
+	var l Latency
+	for i := 0; i < 3*LatencyReservoir; i++ {
+		l.Observe(time.Duration(i%1009) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Observe(time.Microsecond) // invalidates; forces the sort below
+		l.Percentile(95)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	var tp Throughput
 	t0 := time.Now()

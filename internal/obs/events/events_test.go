@@ -1,0 +1,104 @@
+package events
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEmitJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	l.Emit("checkpoint.complete",
+		F("id", uint64(7)),
+		F("delta", true),
+		F("chain", 3),
+		F("stage", "rangejoin"),
+		F("took", 1500*time.Millisecond),
+		F("frac", 0.5),
+	)
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one newline-terminated line, got %q", line)
+	}
+	// Field order is argument order, ts and event first.
+	want := `{"ts":"2026-08-08T12:00:00Z","event":"checkpoint.complete","id":7,"delta":true,"chain":3,"stage":"rangejoin","took":"1.5s","frac":0.5}` + "\n"
+	if line != want {
+		t.Fatalf("line = %q\nwant  %q", line, want)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if m["event"] != "checkpoint.complete" || m["id"] != 7.0 {
+		t.Fatalf("decoded = %v", m)
+	}
+}
+
+func TestEmitEscapesStrings(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Emit("e", F("msg", "a\"b\nc"), F("weird", struct{ X int }{1}))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["msg"] != "a\"b\nc" {
+		t.Errorf("msg = %q", m["msg"])
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Emit("anything", F("k", 1)) // must not panic
+	if err := l.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	closed := New(&bytes.Buffer{})
+	closed.Close()
+	closed.Emit("after close") // must not panic
+}
+
+// Open appends: a kill-and-resume sequence accumulates one continuous
+// trace in the same file.
+func TestOpenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit("run.start", F("attempt", 1))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Emit("run.start", F("attempt", 2))
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if m["attempt"] != float64(i+1) {
+			t.Errorf("line %d attempt = %v, want %d", i, m["attempt"], i+1)
+		}
+	}
+}

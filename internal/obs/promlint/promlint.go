@@ -1,0 +1,546 @@
+// Package promlint is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), used by the conformance tests and `make
+// obs-check` to validate everything /metrics serves. It is deliberately
+// stricter than Prometheus itself: only # HELP and # TYPE comments are
+// accepted, TYPE must precede a family's samples, a family's samples must
+// be contiguous (a name never reappears after another family started),
+// histogram buckets must be cumulative-monotone with an explicit le="+Inf"
+// equal to _count, and the payload must end in a newline. Anything a
+// conforming scraper could trip on is an error here.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its metadata plus every sample that
+// belongs to it (for histograms and summaries that includes the _bucket,
+// _sum, _count and quantile series).
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// Parse reads an exposition payload and returns its families in order of
+// first appearance, or the first format violation found.
+func Parse(r io.Reader) ([]Family, error) {
+	br := bufio.NewReader(r)
+	var fams []Family
+	byName := make(map[string]int)
+	closed := make(map[string]bool) // families that may not gain more samples
+	cur := ""                       // family currently accepting samples
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			if line != "" {
+				return nil, fmt.Errorf("line %d: payload does not end in newline", lineNo+1)
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		lineNo++
+		line = strings.TrimSuffix(line, "\n")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, err := parseComment(line, lineNo, &fams, byName, closed, cur)
+			if err != nil {
+				return nil, err
+			}
+			if name != cur && cur != "" {
+				closed[cur] = true
+			}
+			cur = name
+			continue
+		}
+		if err := parseSample(line, lineNo, &fams, byName, closed, &cur); err != nil {
+			return nil, err
+		}
+	}
+	for i := range fams {
+		if err := checkFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// parseComment handles a # HELP or # TYPE line and returns the family name
+// it refers to.
+func parseComment(line string, lineNo int, fams *[]Family, byName map[string]int, closed map[string]bool, cur string) (string, error) {
+	rest := strings.TrimPrefix(line, "#")
+	if !strings.HasPrefix(rest, " ") {
+		return "", fmt.Errorf("line %d: comment without space after #: %q", lineNo, line)
+	}
+	rest = rest[1:]
+	var kw, name, tail string
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return "", fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+	}
+	kw, rest = rest[:sp], rest[sp+1:]
+	if kw != "HELP" && kw != "TYPE" {
+		return "", fmt.Errorf("line %d: only HELP and TYPE comments allowed, got %q", lineNo, kw)
+	}
+	sp = strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		name, tail = rest, ""
+	} else {
+		name, tail = rest[:sp], rest[sp+1:]
+	}
+	if !nameRe.MatchString(name) {
+		return "", fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+	}
+	if closed[name] {
+		return "", fmt.Errorf("line %d: family %q reappears after another family started", lineNo, name)
+	}
+	idx, ok := byName[name]
+	if !ok {
+		idx = len(*fams)
+		*fams = append(*fams, Family{Name: name})
+		byName[name] = idx
+	}
+	f := &(*fams)[idx]
+	switch kw {
+	case "HELP":
+		if f.Help != "" {
+			return "", fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+		}
+		if len(f.Samples) > 0 {
+			return "", fmt.Errorf("line %d: HELP for %q after its samples", lineNo, name)
+		}
+		unescaped, err := unescapeHelp(tail, lineNo)
+		if err != nil {
+			return "", err
+		}
+		f.Help = unescaped
+	case "TYPE":
+		if f.Type != "" {
+			return "", fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+		}
+		if len(f.Samples) > 0 {
+			return "", fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+		}
+		if !validTypes[tail] {
+			return "", fmt.Errorf("line %d: invalid TYPE %q for %q", lineNo, tail, name)
+		}
+		f.Type = tail
+	}
+	return name, nil
+}
+
+// sampleFamily maps a sample name to its family name given the declared
+// families (strips _bucket/_sum/_count for histogram/summary types).
+func sampleFamily(name string, byName map[string]int, fams []Family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if idx, ok := byName[base]; ok {
+			t := fams[idx].Type
+			if t == "histogram" || t == "summary" {
+				if suf == "_bucket" && t == "summary" {
+					continue
+				}
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample handles one sample line.
+func parseSample(line string, lineNo int, fams *[]Family, byName map[string]int, closed map[string]bool, cur *string) error {
+	name, labels, value, err := splitSample(line, lineNo)
+	if err != nil {
+		return err
+	}
+	famName := sampleFamily(name, byName, *fams)
+	idx, ok := byName[famName]
+	if !ok {
+		return fmt.Errorf("line %d: sample %q without a preceding TYPE declaration", lineNo, name)
+	}
+	f := &(*fams)[idx]
+	if f.Type == "" {
+		return fmt.Errorf("line %d: sample %q before TYPE for %q", lineNo, name, famName)
+	}
+	if closed[famName] {
+		return fmt.Errorf("line %d: sample for %q after another family started", lineNo, famName)
+	}
+	if *cur != famName {
+		if *cur != "" {
+			closed[*cur] = true
+		}
+		*cur = famName
+	}
+	switch f.Type {
+	case "counter", "gauge", "untyped":
+		if name != famName {
+			return fmt.Errorf("line %d: %s family %q has suffixed sample %q", lineNo, f.Type, famName, name)
+		}
+	case "histogram":
+		if name != famName+"_bucket" && name != famName+"_sum" && name != famName+"_count" {
+			return fmt.Errorf("line %d: histogram %q has invalid sample name %q", lineNo, famName, name)
+		}
+		if name == famName+"_bucket" {
+			if _, ok := labels["le"]; !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+		}
+	case "summary":
+		if name != famName && name != famName+"_sum" && name != famName+"_count" {
+			return fmt.Errorf("line %d: summary %q has invalid sample name %q", lineNo, famName, name)
+		}
+		if name == famName {
+			if _, ok := labels["quantile"]; !ok {
+				return fmt.Errorf("line %d: summary quantile sample without quantile label", lineNo)
+			}
+		}
+	}
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	return nil
+}
+
+// splitSample splits "name{labels} value" into parts, validating names,
+// label syntax, escapes, and the value.
+func splitSample(line string, lineNo int) (string, map[string]string, float64, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !nameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("line %d: invalid sample name %q", lineNo, name)
+	}
+	labels := map[string]string{}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, labels, lineNo)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", nil, 0, fmt.Errorf("line %d: missing space before value in %q", lineNo, line)
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	if valStr == "" || strings.ContainsAny(valStr, " \t") {
+		// Strict: exactly one space, no timestamp field.
+		return "", nil, 0, fmt.Errorf("line %d: malformed value %q", lineNo, valStr)
+	}
+	value, err := parseValue(valStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses "{k="v",...}" starting at s[0]=='{' and returns the
+// index just past the closing brace.
+func parseLabels(s string, out map[string]string, lineNo int) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("line %d: unterminated label set", lineNo)
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return 0, fmt.Errorf("line %d: label without '='", lineNo)
+		}
+		lname := s[i:j]
+		if !labelRe.MatchString(lname) {
+			return 0, fmt.Errorf("line %d: invalid label name %q", lineNo, lname)
+		}
+		if _, dup := out[lname]; dup {
+			return 0, fmt.Errorf("line %d: duplicate label %q", lineNo, lname)
+		}
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return 0, fmt.Errorf("line %d: label %q value not quoted", lineNo, lname)
+		}
+		val, next, err := parseQuoted(s, j+1, lineNo)
+		if err != nil {
+			return 0, err
+		}
+		out[lname] = val
+		i = next
+		if i < len(s) && s[i] == ',' {
+			i++
+		} else if i < len(s) && s[i] != '}' {
+			return 0, fmt.Errorf("line %d: expected ',' or '}' after label value", lineNo)
+		}
+	}
+}
+
+// parseQuoted parses a double-quoted label value starting at s[start]=='"',
+// validating that only \\, \", and \n escapes appear.
+func parseQuoted(s string, start, lineNo int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("line %d: dangling backslash in label value", lineNo)
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("line %d: invalid escape \\%c in label value", lineNo, s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("line %d: unterminated label value", lineNo)
+}
+
+// parseValue parses a sample value including the Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// unescapeHelp validates and unescapes a HELP text (only \\ and \n).
+func unescapeHelp(s string, lineNo int) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("line %d: dangling backslash in HELP", lineNo)
+		}
+		switch s[i+1] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("line %d: invalid escape \\%c in HELP", lineNo, s[i+1])
+		}
+		i++
+	}
+	return b.String(), nil
+}
+
+// checkFamily runs per-family structural checks after parsing: every
+// family has a TYPE, histograms have monotone cumulative buckets ending in
+// le="+Inf" equal to _count, summaries have ascending quantiles.
+func checkFamily(f *Family) error {
+	if f.Type == "" {
+		return fmt.Errorf("family %q has no TYPE", f.Name)
+	}
+	switch f.Type {
+	case "histogram":
+		return checkHistogram(f)
+	case "summary":
+		return checkSummary(f)
+	}
+	return nil
+}
+
+// groupKey identifies one labeled series within a family, ignoring the
+// per-sample le/quantile label.
+func groupKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k == "le" || k == "quantile" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0xfe)
+		b.WriteString(s.Labels[k])
+		b.WriteByte(0xff)
+	}
+	return b.String()
+}
+
+// checkHistogram verifies bucket monotonicity and +Inf==count per series.
+func checkHistogram(f *Family) error {
+	type hist struct {
+		les    []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	groups := map[string]*hist{}
+	for _, s := range f.Samples {
+		g := groups[groupKey(s)]
+		if g == nil {
+			g = &hist{}
+			groups[groupKey(s)] = g
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %q: bad le %q", f.Name, s.Labels["le"])
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			g.sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			g.count = &v
+		}
+	}
+	for _, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("histogram %q: series with no buckets", f.Name)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("histogram %q: le bounds not ascending", f.Name)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %q: bucket counts not cumulative-monotone", f.Name)
+			}
+		}
+		if !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("histogram %q: missing le=\"+Inf\" bucket", f.Name)
+		}
+		if g.count == nil || g.sum == nil {
+			return fmt.Errorf("histogram %q: missing _sum or _count", f.Name)
+		}
+		if g.counts[len(g.counts)-1] != *g.count {
+			return fmt.Errorf("histogram %q: +Inf bucket %v != _count %v", f.Name, g.counts[len(g.counts)-1], *g.count)
+		}
+	}
+	return nil
+}
+
+// checkSummary verifies ascending quantiles and _sum/_count presence.
+func checkSummary(f *Family) error {
+	type summ struct {
+		qs    []float64
+		sum   *float64
+		count *float64
+	}
+	groups := map[string]*summ{}
+	for _, s := range f.Samples {
+		g := groups[groupKey(s)]
+		if g == nil {
+			g = &summ{}
+			groups[groupKey(s)] = g
+		}
+		switch s.Name {
+		case f.Name:
+			q, err := parseValue(s.Labels["quantile"])
+			if err != nil {
+				return fmt.Errorf("summary %q: bad quantile %q", f.Name, s.Labels["quantile"])
+			}
+			g.qs = append(g.qs, q)
+		case f.Name + "_sum":
+			v := s.Value
+			g.sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			g.count = &v
+		}
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g.qs); i++ {
+			if g.qs[i] <= g.qs[i-1] {
+				return fmt.Errorf("summary %q: quantiles not ascending", f.Name)
+			}
+		}
+		if g.count == nil || g.sum == nil {
+			return fmt.Errorf("summary %q: missing _sum or _count", f.Name)
+		}
+	}
+	return nil
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// SamplesWith returns the samples in f whose labels include every given
+// pair (other labels may be present).
+func SamplesWith(f *Family, want map[string]string) []Sample {
+	if f == nil {
+		return nil
+	}
+	var out []Sample
+	for _, s := range f.Samples {
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,548 @@
+// Package obs is the dependency-free observability layer: a metric
+// registry exposing the Prometheus text format (counters, gauges,
+// histograms with fixed buckets, pull-style summaries) plus an HTTP server
+// serving /metrics, /healthz, /readyz and net/http/pprof.
+//
+// The registry is deliberately small — no client_golang, no protobuf —
+// because the repo's hard constraint is the standard library only. Metric
+// handles are lock-free atomics, so instrumenting a hot path costs one
+// atomic add; all formatting work happens at scrape time.
+//
+// Two features carry the distributed story:
+//
+//   - const labels: a worker process stamps every series it exports with
+//     worker="N" once, via SetConstLabels, so samples stay attributable
+//     after aggregation;
+//   - external families: the coordinator imports each worker's Snapshot
+//     (shipped over the tcpnet control plane) with ImportExternal, and
+//     WritePrometheus merges local and imported families by name — one
+//     scrape of the coordinator shows the whole job.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a series. Values may contain
+// any UTF-8; they are escaped at exposition time.
+type Label struct {
+	Name  string `json:"n"`
+	Value string `json:"v"`
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric kinds, matching the Prometheus TYPE vocabulary.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+	KindSummary   = "summary"
+)
+
+// Counter is a monotonically increasing value. Add with negative deltas is
+// a programming error (unchecked — the exposition would still parse, but
+// Prometheus rate() would misread it). Set exists for mirroring an
+// external monotone source (a pipeline-internal atomic counter) into the
+// registry from a gather hook.
+type Counter struct{ bits atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.bits.add(1) }
+
+// Add adds v (v >= 0).
+func (c *Counter) Add(v float64) { c.bits.add(v) }
+
+// Set overwrites the value; use only to mirror an already-monotone source.
+func (c *Counter) Set(v float64) { c.bits.set(v) }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return c.bits.load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomicFloat }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.bits.set(v) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { g.bits.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.bits.load() }
+
+// atomicFloat is a float64 with atomic load/store/add (CAS loop).
+type atomicFloat struct{ v atomic.Uint64 }
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.v.Load()) }
+func (a *atomicFloat) set(f float64) { a.v.Store(math.Float64bits(f)) }
+func (a *atomicFloat) add(f float64) {
+	for {
+		old := a.v.Load()
+		if a.v.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+f)) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets. Bounds are the
+// ascending upper bounds; the +Inf bucket is implicit. Observe is
+// lock-free (one atomic add per observation plus the sum CAS).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; non-cumulative per bucket
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// DurationBuckets are the default latency bounds in seconds (1ms..30s,
+// roughly exponential) used by the pipeline's latency histograms.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// QuantileValue is one quantile of a summary.
+type QuantileValue struct {
+	Quantile float64 `json:"q"`
+	Value    float64 `json:"v"`
+}
+
+// SummaryValue is a point-in-time summary: ascending quantiles plus the
+// exact sum and count. Returned by the fetch function of a pull-style
+// summary (RegisterSummary) at every gather.
+type SummaryValue struct {
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+	Sum       float64         `json:"sum"`
+	Count     uint64          `json:"count"`
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	summary func() SummaryValue
+}
+
+// family is one named metric with all its labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	bounds []float64
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Safe for concurrent use. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	fams     map[string]*family
+	order    []string
+	consts   []Label
+	hooks    []func()
+	external map[string][]FamilySnapshot
+	extOrder []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		fams:     make(map[string]*family),
+		external: make(map[string][]FamilySnapshot),
+	}
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// SetConstLabels stamps every series this registry exposes (current and
+// future) with the given labels — a worker process calls it once with its
+// worker id so aggregated samples stay attributable.
+func (r *Registry) SetConstLabels(labels ...Label) {
+	for _, l := range labels {
+		if !labelRe.MatchString(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+		}
+	}
+	r.mu.Lock()
+	r.consts = append([]Label(nil), labels...)
+	r.mu.Unlock()
+}
+
+// OnGather registers a hook run at the start of every Snapshot or
+// WritePrometheus call, before the families are read — the place to mirror
+// pull-style values (queue depths, pipeline-internal counters) into their
+// handles. Hooks may call registry methods.
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// seriesKey encodes label values (label names are fixed per call site).
+func seriesKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+		b.WriteByte(0xff)
+	}
+	return b.String()
+}
+
+// lookup returns (creating if needed) the series for name+labels, checking
+// kind consistency. Callers must not hold r.mu.
+func (r *Registry) lookup(name, help, kind string, bounds []float64, labels []Label) *series {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRe.MatchString(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	key := seriesKey(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			s.hist = &Histogram{
+				bounds: append([]float64(nil), bounds...),
+				counts: make([]atomic.Uint64, len(bounds)+1),
+			}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use. Repeated calls with the same name and labels return the same
+// handle; a name already registered under a different kind panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, KindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram for name+labels with the given ascending
+// upper bounds (the +Inf bucket is implicit), registering it on first use.
+// Bounds are fixed at first registration; later calls reuse them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	return r.lookup(name, help, KindHistogram, bounds, labels).hist
+}
+
+// RegisterSummary installs a pull-style summary: fetch is called at every
+// gather and must return ascending quantiles plus sum and count. Used to
+// expose the pipeline's bounded-reservoir latency trackers without
+// double-recording samples.
+func (r *Registry) RegisterSummary(name, help string, fetch func() SummaryValue, labels ...Label) {
+	r.lookup(name, help, KindSummary, nil, labels).summary = fetch
+}
+
+// FamilySnapshot is the wire form of one family: what workers ship to the
+// coordinator over the control plane, and what ImportExternal accepts.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Bounds []float64        `json:"bounds,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is the wire form of one series.
+type SeriesSnapshot struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries a counter or gauge reading.
+	Value float64 `json:"value,omitempty"`
+	// Buckets are a histogram's per-bucket (non-cumulative) counts,
+	// len(Bounds)+1 with the +Inf bucket last.
+	Buckets []uint64 `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	// Quantiles carry a summary's quantile readings.
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+}
+
+// Snapshot runs the gather hooks and returns every local family (external
+// imports are excluded — they are re-exported only by WritePrometheus), in
+// registration order, with const labels merged into each series.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.gather()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.fams[name]
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Bounds: f.bounds}
+		for _, key := range f.order {
+			s := f.series[key]
+			ss := SeriesSnapshot{Labels: mergeLabels(r.consts, s.labels)}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = s.counter.Value()
+			case KindGauge:
+				ss.Value = s.gauge.Value()
+			case KindHistogram:
+				ss.Buckets = make([]uint64, len(s.hist.counts))
+				for i := range s.hist.counts {
+					ss.Buckets[i] = s.hist.counts[i].Load()
+				}
+				ss.Sum = s.hist.sum.load()
+				ss.Count = s.hist.count.Load()
+			case KindSummary:
+				if s.summary == nil {
+					continue
+				}
+				v := s.summary()
+				ss.Quantiles = v.Quantiles
+				ss.Sum = v.Sum
+				ss.Count = v.Count
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// gather runs the hooks without holding the registry lock (hooks register
+// and update metrics, which locks internally).
+func (r *Registry) gather() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// ImportExternal stores (replacing any previous import from the same
+// source) another process's families for merged exposition. The
+// coordinator calls it with each worker's shipped Snapshot; series must
+// already carry distinguishing labels (the worker's const labels).
+func (r *Registry) ImportExternal(source string, fams []FamilySnapshot) {
+	r.mu.Lock()
+	if _, ok := r.external[source]; !ok {
+		r.extOrder = append(r.extOrder, source)
+		sort.Strings(r.extOrder)
+	}
+	r.external[source] = fams
+	r.mu.Unlock()
+}
+
+// mergeLabels prepends const labels (const label names win on collision).
+func mergeLabels(consts, labels []Label) []Label {
+	if len(consts) == 0 {
+		return labels
+	}
+	out := append([]Label(nil), consts...)
+	for _, l := range labels {
+		dup := false
+		for _, c := range consts {
+			if c.Name == l.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// WritePrometheus runs the gather hooks and renders every family — local
+// and imported — in the Prometheus text exposition format, sorted by
+// family name. Families sharing a name across sources are merged under one
+// HELP/TYPE header (local series first); a kind conflict is an error.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	local := r.Snapshot()
+	r.mu.Lock()
+	merged := make(map[string]*FamilySnapshot)
+	var names []string
+	add := func(fs FamilySnapshot) error {
+		m := merged[fs.Name]
+		if m == nil {
+			cp := fs
+			cp.Series = append([]SeriesSnapshot(nil), fs.Series...)
+			merged[fs.Name] = &cp
+			names = append(names, fs.Name)
+			return nil
+		}
+		if m.Kind != fs.Kind {
+			return fmt.Errorf("obs: family %q imported as %s but registered as %s", fs.Name, fs.Kind, m.Kind)
+		}
+		if m.Help == "" {
+			m.Help = fs.Help
+		}
+		m.Series = append(m.Series, fs.Series...)
+		return nil
+	}
+	var err error
+	for _, fs := range local {
+		if e := add(fs); e != nil && err == nil {
+			err = e
+		}
+	}
+	for _, src := range r.extOrder {
+		for _, fs := range r.external[src] {
+			if e := add(fs); e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		writeFamily(&b, merged[name])
+	}
+	_, werr := io.WriteString(w, b.String())
+	return werr
+}
+
+// writeFamily renders one family: HELP and TYPE headers, then every series.
+func writeFamily(b *strings.Builder, f *FamilySnapshot) {
+	if f.Help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.Help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.Name)
+	b.WriteByte(' ')
+	b.WriteString(f.Kind)
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		switch f.Kind {
+		case KindCounter, KindGauge:
+			writeSample(b, f.Name, s.Labels, nil, s.Value)
+		case KindHistogram:
+			cum := uint64(0)
+			for i, c := range s.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(f.Bounds) {
+					le = formatFloat(f.Bounds[i])
+				}
+				writeSample(b, f.Name+"_bucket", s.Labels, &Label{Name: "le", Value: le}, float64(cum))
+			}
+			writeSample(b, f.Name+"_sum", s.Labels, nil, s.Sum)
+			writeSample(b, f.Name+"_count", s.Labels, nil, float64(s.Count))
+		case KindSummary:
+			for _, q := range s.Quantiles {
+				writeSample(b, f.Name, s.Labels, &Label{Name: "quantile", Value: formatFloat(q.Quantile)}, q.Value)
+			}
+			writeSample(b, f.Name+"_sum", s.Labels, nil, s.Sum)
+			writeSample(b, f.Name+"_count", s.Labels, nil, float64(s.Count))
+		}
+	}
+}
+
+// writeSample renders one sample line, appending extra (le/quantile) after
+// the series labels when set.
+func writeSample(b *strings.Builder, name string, labels []Label, extra *Label, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		b.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if extra != nil {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extra.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extra.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// formatFloat renders a value in the exposition format (Inf/NaN spelled
+// the Prometheus way).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs/promlint"
+)
+
+// fill builds a registry exercising all four kinds, awkward label values
+// included.
+func fill(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("test_records_total", "Records processed.", L("stage", "source")).Add(100)
+	reg.Counter("test_records_total", "Records processed.", L("stage", "sink")).Add(7)
+	reg.Gauge("test_depth", "Queue depth.", L("edge", `a"b\c`+"\nd")).Set(3)
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	reg.RegisterSummary("test_summary_seconds", "Summary.", func() SummaryValue {
+		return SummaryValue{
+			Quantiles: []QuantileValue{{Quantile: 0.5, Value: 0.2}, {Quantile: 0.99, Value: 0.9}},
+			Sum:       1.5,
+			Count:     4,
+		}
+	})
+	return reg
+}
+
+// The exposition must survive the strict parser: HELP/TYPE present, label
+// escaping round-trips, histogram buckets cumulative and +Inf-terminated.
+func TestExpositionConformance(t *testing.T) {
+	reg := fill(t)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promlint.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if len(fams) != 4 {
+		t.Fatalf("got %d families, want 4", len(fams))
+	}
+
+	recs := promlint.Find(fams, "test_records_total")
+	if recs == nil || recs.Type != "counter" || recs.Help != "Records processed." {
+		t.Fatalf("test_records_total family wrong: %+v", recs)
+	}
+	if s := promlint.SamplesWith(recs, map[string]string{"stage": "source"}); len(s) != 1 || s[0].Value != 100 {
+		t.Errorf("source counter samples = %+v", s)
+	}
+
+	// The escaped label value must round-trip through the parser.
+	depth := promlint.Find(fams, "test_depth")
+	if s := promlint.SamplesWith(depth, map[string]string{"edge": `a"b\c` + "\nd"}); len(s) != 1 || s[0].Value != 3 {
+		t.Errorf("escaped-label gauge not recovered: %+v", depth.Samples)
+	}
+
+	// Buckets: 0.005->0.01, 0.05 x2 ->0.1, 0.5->1, 5->+Inf; cumulative
+	// 1,3,4,5.
+	hist := promlint.Find(fams, "test_latency_seconds")
+	wantCum := map[string]float64{"0.01": 1, "0.1": 3, "1": 4, "+Inf": 5}
+	for le, want := range wantCum {
+		s := promlint.SamplesWith(hist, map[string]string{"le": le})
+		if len(s) != 1 || s[0].Value != want {
+			t.Errorf("bucket le=%s = %+v, want %v", le, s, want)
+		}
+	}
+
+	summ := promlint.Find(fams, "test_summary_seconds")
+	if s := promlint.SamplesWith(summ, map[string]string{"quantile": "0.99"}); len(s) != 1 || s[0].Value != 0.9 {
+		t.Errorf("summary q0.99 = %+v", s)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering test_x as gauge after counter did not panic")
+		}
+	}()
+	reg.Gauge("test_x", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	reg.Counter("0bad name", "")
+}
+
+func TestCounterHandleIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_c", "h", L("k", "v"))
+	b := reg.Counter("test_c", "h", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct handles")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("value = %v, want 3", a.Value())
+	}
+}
+
+// Const labels are stamped onto every series at snapshot time, winning
+// over a same-named series label.
+func TestConstLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetConstLabels(L("worker", "3"))
+	reg.Counter("test_c", "h", L("stage", "join")).Inc()
+	reg.Counter("test_collide", "h", L("worker", "series-value")).Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promlint.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := promlint.SamplesWith(promlint.Find(fams, "test_c"), map[string]string{"worker": "3", "stage": "join"}); len(s) != 1 {
+		t.Errorf("const label not merged: %+v", fams)
+	}
+	if s := promlint.SamplesWith(promlint.Find(fams, "test_collide"), map[string]string{"worker": "3"}); len(s) != 1 {
+		t.Errorf("const label did not win collision: %+v", fams)
+	}
+}
+
+// ImportExternal merges worker snapshots into one exposition under a
+// single TYPE header per family, and a re-import from the same source
+// replaces rather than accumulates.
+func TestImportExternalMerge(t *testing.T) {
+	worker := NewRegistry()
+	worker.SetConstLabels(L("worker", "0"))
+	worker.Counter("test_records_total", "Records processed.", L("stage", "join")).Add(11)
+	snap := worker.Snapshot()
+
+	// The wire trip is JSON over the control plane.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped []FamilySnapshot
+	if err := json.Unmarshal(blob, &shipped); err != nil {
+		t.Fatal(err)
+	}
+
+	driver := NewRegistry()
+	driver.SetConstLabels(L("worker", "driver"))
+	driver.Counter("test_records_total", "Records processed.", L("stage", "source")).Add(5)
+	driver.ImportExternal("worker-0", shipped)
+
+	render := func() []promlint.Family {
+		var buf bytes.Buffer
+		if err := driver.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if n := strings.Count(buf.String(), "# TYPE test_records_total"); n != 1 {
+			t.Fatalf("merged family has %d TYPE headers:\n%s", n, buf.String())
+		}
+		fams, err := promlint.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("merged exposition does not parse: %v\n%s", err, buf.String())
+		}
+		return fams
+	}
+	fams := render()
+	f := promlint.Find(fams, "test_records_total")
+	if s := promlint.SamplesWith(f, map[string]string{"worker": "driver", "stage": "source"}); len(s) != 1 || s[0].Value != 5 {
+		t.Errorf("driver series wrong: %+v", f.Samples)
+	}
+	if s := promlint.SamplesWith(f, map[string]string{"worker": "0", "stage": "join"}); len(s) != 1 || s[0].Value != 11 {
+		t.Errorf("imported worker series wrong: %+v", f.Samples)
+	}
+
+	// Replace: the same source shipping a newer snapshot must not duplicate.
+	worker.Counter("test_records_total", "Records processed.", L("stage", "join")).Add(1)
+	driver.ImportExternal("worker-0", worker.Snapshot())
+	f = promlint.Find(render(), "test_records_total")
+	if s := promlint.SamplesWith(f, map[string]string{"worker": "0", "stage": "join"}); len(s) != 1 || s[0].Value != 12 {
+		t.Errorf("re-import did not replace: %+v", f.Samples)
+	}
+}
+
+// A kind conflict between a local family and an import surfaces as a
+// WritePrometheus error, not silent corruption.
+func TestImportKindConflict(t *testing.T) {
+	driver := NewRegistry()
+	driver.Counter("test_x", "h").Inc()
+	driver.ImportExternal("w", []FamilySnapshot{{Name: "test_x", Kind: KindGauge, Series: []SeriesSnapshot{{Value: 1}}}})
+	if err := driver.WritePrometheus(io.Discard); err == nil {
+		t.Fatal("kind conflict between local and imported family not reported")
+	}
+}
+
+func TestHistogramObserveAboveTopBound(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_h", "h", []float64{1, 2})
+	h.Observe(math.Inf(1))
+	h.Observe(0.5)
+	snap := reg.Snapshot()
+	if got := snap[0].Series[0].Buckets; got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("buckets = %v, want [1 0 1]", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		0:            "0",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}
+
+// The race-mode workhorse: writers hammer every metric kind and register
+// new series while scrapes, snapshots and imports run concurrently. Run
+// via `make test-race`; without -race it is still a liveness check.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetConstLabels(L("worker", "race"))
+	h := reg.Histogram("test_h", "h", DurationBuckets)
+	reg.OnGather(func() {
+		reg.Gauge("test_hookmade", "registered from inside a gather hook").Set(1)
+	})
+	const writers = 4
+	const iters = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := L("writer", string(rune('a'+w)))
+			for i := 0; i < iters; i++ {
+				reg.Counter("test_c", "h", lbl).Inc()
+				reg.Gauge("test_g", "h", lbl).Set(float64(i))
+				h.Observe(float64(i) * 0.001)
+			}
+		}(w)
+	}
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+			reg.ImportExternal("peer", reg.Snapshot())
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	// Drop the self-import (its series duplicate the local label sets) so
+	// the final exposition is well-formed and the totals below are exact.
+	reg.ImportExternal("peer", nil)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promlint.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("post-race exposition does not parse: %v", err)
+	}
+	c := promlint.Find(fams, "test_c")
+	total := 0.0
+	for _, s := range promlint.SamplesWith(c, map[string]string{"worker": "race"}) {
+		total += s.Value
+	}
+	if total != writers*iters {
+		t.Fatalf("counter total = %v, want %d", total, writers*iters)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server serves a Registry over HTTP: /metrics (Prometheus text format),
+// /healthz (liveness), /readyz (readiness, flipped by SetReady), and the
+// standard net/http/pprof endpoints under /debug/pprof/.
+type Server struct {
+	lis   net.Listener
+	srv   *http.Server
+	reg   *Registry
+	ready atomic.Bool
+}
+
+// NewServer binds addr (host:port; port 0 picks a free port) and starts
+// serving immediately. The returned server reports its bound address via
+// Addr and starts not-ready; call SetReady(true) once the pipeline is up.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{lis: lis, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.ready.Load() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		if err := s.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The server lives for the process; a serve error after
+			// Close is expected, anything else is surfaced nowhere
+			// better than stderr would be — drop it.
+			_ = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// SetReady flips the /readyz response.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close shuts the server down gracefully, letting in-flight scrapes finish
+// (bounded at 2s), so a SIGINT drain never leaks the port across a resume.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	// Shutdown only closes listeners the Serve goroutine has already
+	// registered; if Close races that startup, release the port directly
+	// (closing twice is harmless).
+	defer s.lis.Close()
+	err := s.srv.Shutdown(ctx)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		err2 := s.srv.Close()
+		if err2 != nil && !errors.Is(err2, http.ErrServerClosed) {
+			return err2
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

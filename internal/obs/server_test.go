@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/promlint"
+)
+
+func get(t *testing.T, addr, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "A test counter.").Add(42)
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if resp, body := get(t, srv.Addr(), "/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	// Readiness starts false and is flipped by the pipeline lifecycle.
+	if resp, _ := get(t, srv.Addr(), "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before SetReady = %d, want 503", resp.StatusCode)
+	}
+	srv.SetReady(true)
+	if resp, _ := get(t, srv.Addr(), "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after SetReady = %d, want 200", resp.StatusCode)
+	}
+
+	resp, body := get(t, srv.Addr(), "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	fams, err := promlint.Parse(bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("served exposition does not parse: %v", err)
+	}
+	f := promlint.Find(fams, "test_total")
+	if f == nil || len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Errorf("test_total = %+v", f)
+	}
+
+	// pprof must be mounted (the index page, not a profile capture — that
+	// would stall the test for the profiling window).
+	if resp, _ := get(t, srv.Addr(), "/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.Addr(), "/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", resp.StatusCode)
+	}
+}
+
+// Close must release the port synchronously: a resumed run binding the
+// same -metrics-addr right after a graceful drain must not get
+// "address already in use".
+func TestServerCloseReleasesPort(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	srv2, err := NewServer(addr, reg)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	srv2.Close()
+}

@@ -12,6 +12,7 @@
 //	    done           [2]
 //	    checkpoint ack [3][id uvarint][stage uvarint][subtask uvarint][ok byte][len uvarint][state or error text]
 //	    sink barrier   [4][id uvarint]
+//	    metrics        [5][len uvarint][JSON []obs.FamilySnapshot]
 //
 // The spec blob is opaque to this package: the coordinator ships whatever
 // configuration bytes the application hands it (internal/core encodes its
@@ -40,6 +41,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/flow"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Control frame types (worker -> coordinator, after the JSON handshake).
@@ -49,6 +51,7 @@ const (
 	ctrlDone    = 2
 	ctrlAck     = 3
 	ctrlBarrier = 4
+	ctrlMetrics = 5
 )
 
 type ctrlMsg struct {
@@ -101,13 +104,15 @@ type Coordinator struct {
 	lis      net.Listener
 	nWorkers int
 
-	node    *Node
-	ctrls   []net.Conn
-	ctrlRs  []*bufio.Reader // pending control readers (Run..Start window)
-	sinkFn  func(any)
-	sinkWMs func(model.Tick)
-	ackFn   func(id uint64, stage, subtask int, state []byte, err error)
-	sinkBar func(id uint64)
+	node      *Node
+	ctrls     []net.Conn
+	ctrlRs    []*bufio.Reader // pending control readers (Run..Start window)
+	sinkFn    func(any)
+	sinkWMs   func(model.Tick)
+	ackFn     func(id uint64, stage, subtask int, state []byte, err error)
+	sinkBar   func(id uint64)
+	metricsFn func(worker int, fams []obs.FamilySnapshot)
+	eventFn   func(event string, worker int, addr string)
 
 	mu     sync.Mutex
 	doneCh chan error
@@ -154,6 +159,31 @@ func (c *Coordinator) OnCheckpointAck(fn func(id uint64, stage, subtask int, sta
 // pre-cut records have been delivered when it fires. Set before Start.
 func (c *Coordinator) OnSinkBarrier(fn func(id uint64)) { c.sinkBar = fn }
 
+// OnMetrics installs the receiver for worker metric snapshots: workers
+// ship their registry's families periodically (and once more right before
+// done), and the coordinator merges them into its own registry so one
+// scrape shows the whole job. Set before Start. Because a worker's final
+// snapshot precedes its done frame on the same connection, every metric is
+// in when WaitDone returns.
+func (c *Coordinator) OnMetrics(fn func(worker int, fams []obs.FamilySnapshot)) {
+	c.metricsFn = fn
+}
+
+// OnWorkerEvent installs the receiver for worker lifecycle transitions:
+// "connect" when a worker's hello is accepted during Run, "done" when its
+// done frame arrives, "disconnect" when its control connection fails
+// before done. Set before Run (connect events fire during the handshake).
+func (c *Coordinator) OnWorkerEvent(fn func(event string, worker int, addr string)) {
+	c.eventFn = fn
+}
+
+// workerEvent fires the lifecycle hook if installed.
+func (c *Coordinator) workerEvent(event string, worker int, addr string) {
+	if c.eventFn != nil {
+		c.eventFn(event, worker, addr)
+	}
+}
+
 // Run performs the handshake: it waits for all workers to join, assigns
 // the round-robin placement for stages, ships spec (and, on resume, each
 // worker's share of the checkpointed state in restore, keyed by
@@ -192,6 +222,7 @@ func (c *Coordinator) Run(stages []string, spec []byte, restore map[string][]byt
 			conn.Close()
 			return fmt.Errorf("tcpnet: worker hello: %w", err)
 		}
+		c.workerEvent("connect", len(workers), conn.RemoteAddr().String())
 		workers = append(workers, joined{conn, br})
 	}
 	for i, w := range workers {
@@ -249,17 +280,18 @@ func (c *Coordinator) Run(stages []string, spec []byte, restore map[string][]byt
 // race-free: no reader goroutine exists before Start. Worker frames sent
 // in the meantime simply wait in socket buffers.
 func (c *Coordinator) Start() {
-	for _, br := range c.ctrlRs {
-		go c.readCtrl(br)
+	for i, br := range c.ctrlRs {
+		go c.readCtrl(i, c.ctrls[i].RemoteAddr().String(), br)
 	}
 	c.ctrlRs = nil
 }
 
 // readCtrl consumes one worker's post-handshake binary frames.
-func (c *Coordinator) readCtrl(br *bufio.Reader) {
+func (c *Coordinator) readCtrl(worker int, addr string, br *bufio.Reader) {
 	for {
 		ft, err := br.ReadByte()
 		if err != nil {
+			c.workerEvent("disconnect", worker, addr)
 			c.doneCh <- fmt.Errorf("tcpnet: worker control connection: %w", err)
 			return
 		}
@@ -331,7 +363,23 @@ func (c *Coordinator) readCtrl(br *bufio.Reader) {
 			if c.sinkBar != nil {
 				c.sinkBar(id)
 			}
+		case ctrlMetrics:
+			body, err := readLenBytes(br)
+			if err != nil {
+				c.workerEvent("disconnect", worker, addr)
+				c.doneCh <- fmt.Errorf("tcpnet: metrics frame: %w", err)
+				return
+			}
+			if c.metricsFn != nil {
+				var fams []obs.FamilySnapshot
+				if err := json.Unmarshal(body, &fams); err != nil {
+					c.doneCh <- fmt.Errorf("tcpnet: metrics payload: %w", err)
+					return
+				}
+				c.metricsFn(worker, fams)
+			}
 		case ctrlDone:
+			c.workerEvent("done", worker, addr)
 			c.doneCh <- nil
 			return
 		default:

@@ -43,6 +43,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flow"
@@ -393,7 +394,7 @@ func (n *Node) demux(conn net.Conn) {
 				fatal("decode: %v", err)
 				return
 			}
-			queues[subtask].ch <- m
+			queues[subtask].Send(m)
 		case frameEOS:
 			// The upstream stage has finished entirely: end every subtask
 			// queue. Buffered messages stay receivable.
@@ -422,10 +423,24 @@ func readLenBytes(br *bufio.Reader) ([]byte, error) {
 
 // recvEndpoint is one local subtask's input queue, fed either by the demux
 // loop (remote upstream) or directly by same-process senders (when
-// adjacent stages land on one worker).
-type recvEndpoint struct{ ch chan flow.Message }
+// adjacent stages land on one worker). It implements flow.QueueStats so
+// remote edges feed the same per-edge backpressure gauges as in-process
+// ones: a Send that finds the queue full counts a block — on the demux
+// path that is exactly the moment the socket stops draining and TCP
+// backpressure reaches the remote sender.
+type recvEndpoint struct {
+	ch      chan flow.Message
+	blocked atomic.Int64
+}
 
-func (e *recvEndpoint) Send(m flow.Message) { e.ch <- m }
+func (e *recvEndpoint) Send(m flow.Message) {
+	select {
+	case e.ch <- m:
+	default:
+		e.blocked.Add(1)
+		e.ch <- m
+	}
+}
 
 func (e *recvEndpoint) Recv() (flow.Message, bool) {
 	m, ok := <-e.ch
@@ -433,6 +448,10 @@ func (e *recvEndpoint) Recv() (flow.Message, bool) {
 }
 
 func (e *recvEndpoint) Close() { close(e.ch) }
+
+func (e *recvEndpoint) QueueDepth() (int, int) { return len(e.ch), cap(e.ch) }
+
+func (e *recvEndpoint) SendBlocks() int64 { return e.blocked.Load() }
 
 // senderGroup is the outbound side of one edge: all subtask endpoints
 // share one connection to the owning worker. EOS is emitted once the

@@ -3,12 +3,14 @@ package tcpnet
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
 
 	"repro/internal/flow"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Worker is one stage-hosting process of a distributed run. JoinWorker
@@ -166,6 +168,23 @@ func (w *Worker) SinkBarrier() func(id uint64) {
 			return binary.AppendUvarint(buf, id)
 		})
 	}
+}
+
+// SendMetrics ships a metric snapshot (the worker registry's families) to
+// the coordinator. Serialized with the other control frames, so a final
+// snapshot sent before Finish is guaranteed to precede the done frame —
+// the coordinator holds every worker's last numbers once WaitDone returns.
+func (w *Worker) SendMetrics(fams []obs.FamilySnapshot) error {
+	body, err := json.Marshal(fams)
+	if err != nil {
+		return fmt.Errorf("tcpnet: encode metrics: %w", err)
+	}
+	w.writeFrame(func(buf []byte) []byte {
+		buf = append(buf, ctrlMetrics)
+		buf = binary.AppendUvarint(buf, uint64(len(body)))
+		return append(buf, body...)
+	})
+	return nil
 }
 
 // Finish reports completion of this worker's local stages to the
