@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench bench-json fuzz obs-check ci
+.PHONY: all build test test-race vet fmt-check bench bench-json bench-wire fuzz obs-check ci
 
 all: build test vet
 
@@ -30,10 +30,14 @@ fmt-check:
 		echo "gofmt needed in:"; echo "$$out"; exit 1; \
 	fi
 
-# BenchmarkExchange compares batched vs record-at-a-time keyed exchange;
-# the batched rows should show >= 1.5x the unbatched rec/s.
+# BenchmarkExchange compares batched vs record-at-a-time keyed exchange
+# (the batched rows should show >= 1.5x the unbatched rec/s);
+# BenchmarkCodecLookup covers the atomic-snapshot codec registry on the
+# frame hot path, and BenchmarkWireEncode the pooled columnar wire
+# encoders — the encode benchmarks assert 0 allocs/op.
 bench:
-	$(GO) test ./internal/flow -run '^$$' -bench BenchmarkExchange -benchtime=1s
+	$(GO) test ./internal/flow -run '^$$' -bench 'BenchmarkExchange|BenchmarkCodecLookup' -benchtime=1s
+	$(GO) test ./internal/ops/msg -run '^$$' -bench BenchmarkWireEncode -benchtime=1s
 
 # bench-json writes BENCH_pipeline.json: per-stage throughput and total
 # keyed-exchange records/sec for the in-process vs multi-process TCP
@@ -44,6 +48,14 @@ bench:
 # 10%/50%/100% churn.
 bench-json:
 	$(GO) run ./cmd/bench -exp pipeline -objects 300 -ticks 200 -json BENCH_pipeline.json
+
+# bench-wire writes BENCH_wire.json: the standalone wire-fast-path
+# comparison (legacy write-per-frame rows vs coalesced columnar batches
+# over the multi-process TCP transport) at the wire experiment's own
+# pressure scale. The same comparison is embedded as the "wire" section
+# of BENCH_pipeline.json.
+bench-wire:
+	$(GO) run ./cmd/bench -exp wire -objects 1000 -ticks 100 -json BENCH_wire.json
 
 # fuzz runs each codec fuzz target briefly (the committed seed corpus
 # already runs on every `make test`): the ops/msg wire codecs, the
@@ -56,6 +68,7 @@ fuzz:
 	$(GO) test ./internal/ops/msg -fuzz FuzzRecRoundTrip -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzCellDeltaRoundTrip -fuzztime 30s
 	$(GO) test ./internal/ops/msg -fuzz FuzzPairDeltaRoundTrip -fuzztime 30s
+	$(GO) test ./internal/ops/msg -fuzz FuzzWireBatchRoundTrip -fuzztime 30s
 	$(GO) test ./internal/flow -fuzz FuzzDecodeGroupStates -fuzztime 30s
 	$(GO) test ./internal/flow -fuzz FuzzDecodeGroupDeltas -fuzztime 30s
 	$(GO) test ./internal/ckpt -fuzz FuzzDecodePageDir -fuzztime 30s

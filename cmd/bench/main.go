@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	bench [-exp all|table2|table3|fig10|fig11|fig12|fig13|fig14|fig15|pipeline]
+//	bench [-exp all|table2|table3|fig10|fig11|fig12|fig13|fig14|fig15|pipeline|wire]
 //	      [-objects N] [-ticks N] [-seed S] [-json FILE]
 //
 // Output is printed as aligned series (one per competitor) with latency,
@@ -12,7 +12,9 @@
 // The pipeline experiment measures per-stage throughput and keyed-exchange
 // records/sec on the in-process vs the multi-process TCP transport; with
 // -json it writes the machine-readable report (see `make bench-json`,
-// which produces BENCH_pipeline.json).
+// which produces BENCH_pipeline.json). The wire experiment runs only the
+// TCP wire-fast-path comparison (legacy write-per-frame rows vs coalesced
+// columnar batches; see `make bench-wire`, which produces BENCH_wire.json).
 package main
 
 import (
@@ -25,12 +27,25 @@ import (
 	"repro/internal/bench"
 )
 
+// writeJSON runs fn against -json FILE when set, stdout otherwise.
+func writeJSON(path string, w io.Writer, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table2, table3, fig10..fig15, ablation, pipeline (comma-separated)")
+	exp := flag.String("exp", "all", "experiment: all, table2, table3, fig10..fig15, ablation, pipeline, wire (comma-separated)")
 	objects := flag.Int("objects", bench.FullScale.Objects, "number of moving objects")
 	ticks := flag.Int("ticks", bench.FullScale.Ticks, "stream length in ticks")
 	seed := flag.Int64("seed", 42, "workload seed")
-	jsonPath := flag.String("json", "", "write the pipeline experiment's JSON report to this file (default stdout)")
+	jsonPath := flag.String("json", "", "write the pipeline/wire experiment's JSON report to this file (default stdout)")
 	flag.Parse()
 
 	sc := bench.Scale{Objects: *objects, Ticks: *ticks}
@@ -58,17 +73,16 @@ func main() {
 		case "ablation":
 			bench.Ablation(w, *seed, sc)
 		case "pipeline":
-			var out io.Writer = w
-			if *jsonPath != "" {
-				f, err := os.Create(*jsonPath)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				defer f.Close()
-				out = f
+			if err := writeJSON(*jsonPath, w, func(out io.Writer) error {
+				return bench.PipelineJSON(out, *seed, sc)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
-			if err := bench.PipelineJSON(out, *seed, sc); err != nil {
+		case "wire":
+			if err := writeJSON(*jsonPath, w, func(out io.Writer) error {
+				return bench.WireJSON(out, *seed, sc)
+			}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -40,6 +40,12 @@ var SmallScale = Scale{Objects: 400, Ticks: 150}
 // FullScale is the cmd/bench default.
 var FullScale = Scale{Objects: 1500, Ticks: 600}
 
+// WireScale is the wire experiment's workload: enough objects per tick
+// that the TCP data plane — not per-tick stage latency — dominates, which
+// is the regime the wire fast path (coalescing + columnar batches) is
+// built for.
+var WireScale = Scale{Objects: 1000, Ticks: 100}
+
 // Params carries the experiment defaults (Table 3, temporal values /10).
 type Params struct {
 	EpsPct float64 // eps as % of extent (bold default 0.06%)

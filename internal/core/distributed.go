@@ -249,6 +249,18 @@ func NewDistributed(cfg Config, c *tcpnet.Coordinator) (*Pipeline, error) {
 			}
 		}
 	}
+	if cfg.Wire != nil {
+		c.SetWire(*cfg.Wire)
+	}
+	if cfg.Events != nil {
+		ev := cfg.Events
+		c.SetDataDisconnectHook(func(stage, addr string, err error) {
+			ev.Emit("worker.disconnect",
+				events.F("stage", stage),
+				events.F("addr", addr),
+				events.F("error", err.Error()))
+		})
+	}
 	if err := c.Run(stages, spec, restore); err != nil {
 		return nil, err
 	}
@@ -327,6 +339,16 @@ func RunWorkerOpts(coordAddr string, opts WorkerOptions) (WorkerStats, error) {
 		return WorkerStats{}, err
 	}
 	opts.Events.Emit("worker.join", events.F("worker", w.ID()), events.F("coordinator", coordAddr))
+	if opts.Events != nil {
+		ev, id := opts.Events, w.ID()
+		w.SetDisconnectHook(func(stage, addr string, err error) {
+			ev.Emit("worker.disconnect",
+				events.F("worker", id),
+				events.F("stage", stage),
+				events.F("addr", addr),
+				events.F("error", err.Error()))
+		})
+	}
 	g, err := Topology(&cfg, Hooks{
 		Sink:          w.Sink(),
 		SinkWatermark: w.SinkWatermark(),

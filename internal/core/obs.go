@@ -24,6 +24,9 @@ const (
 	mEdgeDepth     = "icpe_edge_queue_depth"
 	mEdgeCap       = "icpe_edge_queue_capacity"
 	mEdgeBlocks    = "icpe_edge_send_blocks_total"
+	mEdgeBytes     = "icpe_edge_bytes_total"
+	mEdgeFlushes   = "icpe_edge_flushes_total"
+	mEdgeFPF       = "icpe_edge_frames_per_flush"
 	mSnapshots     = "icpe_source_snapshots_total"
 	mPatterns      = "icpe_patterns_total"
 	mSrcWM         = "icpe_source_watermark_tick"
@@ -73,6 +76,18 @@ func registerFlowMetrics(reg *obs.Registry, fl *flow.Pipeline) {
 			reg.Gauge(mEdgeDepth, "Buffered messages in a subtask's input queue.", ls...).Set(float64(e.Depth))
 			reg.Gauge(mEdgeCap, "Capacity of a subtask's input queue.", ls...).Set(float64(e.Capacity))
 			reg.Counter(mEdgeBlocks, "Send calls that found the input queue full and blocked (backpressure).", ls...).Set(float64(e.SendBlocks))
+		}
+		// Outbound wire traffic per remote edge (networked transports only;
+		// in-process endpoints don't implement flow.WireStats).
+		for _, w := range fl.WireStats() {
+			l := obs.L("stage", w.Stage)
+			reg.Counter(mEdgeBytes, "Bytes written to a remote edge's connection.", l).Set(float64(w.Bytes))
+			reg.Counter(mEdgeFlushes, "Write syscalls (flushes) on a remote edge's connection.", l).Set(float64(w.Flushes))
+			fpf := 0.0
+			if w.Flushes > 0 {
+				fpf = float64(w.Frames) / float64(w.Flushes)
+			}
+			reg.Gauge(mEdgeFPF, "Frames encoded per write syscall on a remote edge (send coalescing factor).", l).Set(fpf)
 		}
 	})
 }

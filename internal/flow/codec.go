@@ -6,6 +6,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -19,50 +20,110 @@ type Codec interface {
 	Decode(data []byte) (any, error)
 }
 
+// BatchCodec is the optional columnar companion of a Codec: it encodes a
+// homogeneous run of records as one block (delta-compressed ids, run-length
+// ticks, coordinates XOR'd against a base point — whatever the type
+// affords), instead of n independent [len][kind][body] rows. AppendBatch
+// encodes items (all of the registered kind) onto buf; DecodeBatch consumes
+// exactly that encoding from the cursor and returns the n decoded values.
+// The encoding must round-trip exactly: decoded values compare equal to
+// what the row Codec would have produced, bit-for-bit on floats, so a
+// distributed run stays byte-identical to an in-process one.
+type BatchCodec interface {
+	AppendBatch(buf []byte, items []any) ([]byte, error)
+	DecodeBatch(d *Dec, n int) ([]any, error)
+}
+
 // Kind identifies a registered record type on the wire. Kinds must be
 // stable across all processes of one deployment; the msg package owns the
 // assignments for the ICPE vocabulary.
 type Kind uint8
 
-var codecs = struct {
-	sync.RWMutex
-	byKind map[Kind]Codec
+// registry is one immutable snapshot of the codec tables. Registration
+// (init-time only) swaps in a fresh copy under regMu; the data-plane hot
+// path loads the current snapshot with a single atomic read — no RWMutex,
+// no lock per record.
+type registry struct {
+	byKind [256]Codec
+	batch  [256]BatchCodec
 	kinds  map[reflect.Type]Kind
-}{byKind: map[Kind]Codec{}, kinds: map[reflect.Type]Kind{}}
+}
+
+var (
+	regMu   sync.Mutex
+	regSnap atomic.Pointer[registry]
+)
+
+func init() {
+	regSnap.Store(&registry{kinds: map[reflect.Type]Kind{}})
+}
+
+// cloneRegistry copies the current snapshot for a copy-on-write update.
+// Call with regMu held.
+func cloneRegistry() *registry {
+	old := regSnap.Load()
+	next := &registry{
+		byKind: old.byKind,
+		batch:  old.batch,
+		kinds:  make(map[reflect.Type]Kind, len(old.kinds)+1),
+	}
+	for t, k := range old.kinds {
+		next.kinds[t] = k
+	}
+	return next
+}
 
 // RegisterCodec binds a record type (given by a prototype value, e.g.
 // msg.Meta{} or (*model.Snapshot)(nil)) to a kind id. Registration is
 // typically done in an init function of the package defining the type; a
 // duplicate kind or type panics.
 func RegisterCodec(kind Kind, prototype any, c Codec) {
-	codecs.Lock()
-	defer codecs.Unlock()
+	regMu.Lock()
+	defer regMu.Unlock()
+	next := cloneRegistry()
 	t := reflect.TypeOf(prototype)
-	if _, dup := codecs.byKind[kind]; dup {
+	if next.byKind[kind] != nil {
 		panic(fmt.Sprintf("flow: codec kind %d registered twice", kind))
 	}
-	if _, dup := codecs.kinds[t]; dup {
+	if _, dup := next.kinds[t]; dup {
 		panic(fmt.Sprintf("flow: codec for %v registered twice", t))
 	}
-	codecs.byKind[kind] = c
-	codecs.kinds[t] = kind
+	next.byKind[kind] = c
+	next.kinds[t] = kind
+	regSnap.Store(next)
+}
+
+// RegisterBatchCodec attaches a columnar batch codec to an already
+// registered kind. Batched messages carrying that kind then ship columnar
+// blocks when the sender encodes at wire version >= 1 (AppendMessageWire);
+// the row Codec remains the fallback for single records and version-0
+// peers.
+func RegisterBatchCodec(kind Kind, bc BatchCodec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	next := cloneRegistry()
+	if next.byKind[kind] == nil {
+		panic(fmt.Sprintf("flow: batch codec for unregistered kind %d", kind))
+	}
+	if next.batch[kind] != nil {
+		panic(fmt.Sprintf("flow: batch codec kind %d registered twice", kind))
+	}
+	next.batch[kind] = bc
+	regSnap.Store(next)
 }
 
 func codecFor(v any) (Kind, Codec, error) {
-	codecs.RLock()
-	defer codecs.RUnlock()
-	kind, ok := codecs.kinds[reflect.TypeOf(v)]
+	r := regSnap.Load()
+	kind, ok := r.kinds[reflect.TypeOf(v)]
 	if !ok {
 		return 0, nil, fmt.Errorf("flow: no codec registered for %T", v)
 	}
-	return kind, codecs.byKind[kind], nil
+	return kind, r.byKind[kind], nil
 }
 
 func codecOf(kind Kind) (Codec, error) {
-	codecs.RLock()
-	defer codecs.RUnlock()
-	c, ok := codecs.byKind[kind]
-	if !ok {
+	c := regSnap.Load().byKind[kind]
+	if c == nil {
 		return nil, fmt.Errorf("flow: unknown codec kind %d", kind)
 	}
 	return c, nil
@@ -97,6 +158,11 @@ const (
 	flagWatermark = 1 << iota
 	flagBatch
 	flagBarrier
+	// flagColumnar marks a batch encoded as kind runs (see
+	// AppendMessageWire) instead of independent rows. Only senders that
+	// negotiated wire version >= 1 set it; the decoder always understands
+	// both layouts.
+	flagColumnar
 )
 
 // encScratch pools the per-item encode buffer of batched messages, shared
@@ -104,6 +170,14 @@ const (
 var encScratch = sync.Pool{New: func() any {
 	b := make([]byte, 0, 1<<10)
 	return &b
+}}
+
+// oneItem pools the single-element []any a non-Batch columnar record is
+// passed to its BatchCodec with — boxing it inline would be the one heap
+// allocation left on the steady-state encode path.
+var oneItem = sync.Pool{New: func() any {
+	s := make([]any, 1)
+	return &s
 }}
 
 // AppendMessage encodes a transport message — data record, Batch carrier,
@@ -120,7 +194,30 @@ var encScratch = sync.Pool{New: func() any {
 //
 // Every record type crossing a networked edge must have a registered Codec.
 func AppendMessage(buf []byte, m Message) ([]byte, error) {
+	return AppendMessageWire(buf, m, false)
+}
+
+// AppendMessageWire is AppendMessage with the wire fast path: when columnar
+// is true, Batch payloads are encoded as homogeneous kind runs,
+//
+//	[flags|flagColumnar][From uvarint][count uvarint]
+//	then per run: [kind byte][mode byte][run uvarint][block]
+//
+// where mode 1 blocks are the kind's BatchCodec columnar encoding and mode
+// 0 blocks fall back to per-item [len uvarint][body] rows (kinds without a
+// batch codec, e.g. low-volume control records). Batch item order is
+// preserved exactly — runs are consecutive slices, never re-sorted — so
+// FIFO delivery and byte-identical downstream output are untouched.
+//
+// A single (non-Batch) record whose kind has a BatchCodec is encoded as
+// [flagColumnar][From uvarint][kind byte][one-item block] — the columnar
+// coding of broadcast-heavy types (snapshots) beats their row layout even
+// without batching. Senders pass columnar=true only after the handshake
+// negotiated wire version >= 1 on every process of the job.
+func AppendMessageWire(buf []byte, m Message, columnar bool) ([]byte, error) {
 	var flags byte
+	var singleBC BatchCodec
+	var singleKind Kind
 	batch, isBatch := m.Data.(Batch)
 	switch {
 	case m.IsWM:
@@ -129,6 +226,17 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		flags = flagBarrier
 	case isBatch:
 		flags = flagBatch
+		if columnar {
+			flags |= flagColumnar
+		}
+	default:
+		if columnar {
+			r := regSnap.Load()
+			if kind, ok := r.kinds[reflect.TypeOf(m.Data)]; ok && r.batch[kind] != nil {
+				flags = flagColumnar
+				singleKind, singleBC = kind, r.batch[kind]
+			}
+		}
 	}
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, uint64(m.From))
@@ -143,6 +251,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		}
 		buf = append(buf, mode)
 		return binary.AppendUvarint(buf, m.CPBase), nil
+	case isBatch && columnar:
+		return appendColumnarBatch(buf, batch.Items)
 	case isBatch:
 		buf = binary.AppendUvarint(buf, uint64(len(batch.Items)))
 		// The per-item scratch comes from a pool: encoding dominates the
@@ -151,9 +261,29 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		// buffer keeps its grown capacity across messages.
 		sp := encScratch.Get().(*[]byte)
 		scratch := (*sp)[:0]
+		// Batches are usually homogeneous (they coalesce one edge's
+		// records), so cache the previous item's registry lookup instead of
+		// hashing the type per record.
+		var (
+			lastT    reflect.Type
+			lastKind Kind
+			lastC    Codec
+			r        = regSnap.Load()
+		)
 		for _, item := range batch.Items {
+			t := reflect.TypeOf(item)
+			if t != lastT {
+				kind, ok := r.kinds[t]
+				if !ok {
+					*sp = scratch
+					encScratch.Put(sp)
+					return buf, fmt.Errorf("flow: no codec registered for %T", item)
+				}
+				lastT, lastKind, lastC = t, kind, r.byKind[kind]
+			}
 			var err error
-			scratch, err = AppendPayload(scratch[:0], item)
+			scratch = append(scratch[:0], byte(lastKind))
+			scratch, err = lastC.Append(scratch, item)
 			if err != nil {
 				*sp = scratch
 				encScratch.Put(sp)
@@ -166,11 +296,134 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 		encScratch.Put(sp)
 		return buf, nil
 	default:
+		if singleBC != nil {
+			buf = append(buf, byte(singleKind))
+			op := oneItem.Get().(*[]any)
+			(*op)[0] = m.Data
+			buf, err := singleBC.AppendBatch(buf, *op)
+			(*op)[0] = nil
+			oneItem.Put(op)
+			return buf, err
+		}
 		return AppendPayload(buf, m.Data)
 	}
 }
 
-// DecodeMessage parses one message encoded by AppendMessage.
+// appendColumnarBatch encodes batch items as consecutive same-kind runs.
+func appendColumnarBatch(buf []byte, items []any) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	r := regSnap.Load()
+	for i := 0; i < len(items); {
+		t := reflect.TypeOf(items[i])
+		kind, ok := r.kinds[t]
+		if !ok {
+			return buf, fmt.Errorf("flow: no codec registered for %T", items[i])
+		}
+		j := i + 1
+		for j < len(items) && reflect.TypeOf(items[j]) == t {
+			j++
+		}
+		run := items[i:j]
+		buf = append(buf, byte(kind))
+		if bc := r.batch[kind]; bc != nil {
+			buf = append(buf, 1)
+			buf = binary.AppendUvarint(buf, uint64(len(run)))
+			var err error
+			buf, err = bc.AppendBatch(buf, run)
+			if err != nil {
+				return buf, err
+			}
+		} else {
+			buf = append(buf, 0)
+			buf = binary.AppendUvarint(buf, uint64(len(run)))
+			c := r.byKind[kind]
+			sp := encScratch.Get().(*[]byte)
+			scratch := (*sp)[:0]
+			for _, item := range run {
+				var err error
+				scratch, err = c.Append(scratch[:0], item)
+				if err != nil {
+					*sp = scratch
+					encScratch.Put(sp)
+					return buf, err
+				}
+				buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+				buf = append(buf, scratch...)
+			}
+			*sp = scratch
+			encScratch.Put(sp)
+		}
+		i = j
+	}
+	return buf, nil
+}
+
+// decodeColumnarBatch parses the run layout of appendColumnarBatch.
+func decodeColumnarBatch(d *Dec) ([]any, error) {
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Every item costs at least one byte even columnar-encoded (an id
+	// delta, a row length, ...), and every run has a 2-byte header.
+	if n < 0 || n > d.Remaining() {
+		return nil, fmt.Errorf("flow: batch count %d exceeds payload", n)
+	}
+	items := make([]any, 0, n)
+	r := regSnap.Load()
+	for len(items) < n {
+		kind := Kind(d.Byte())
+		mode := d.Byte()
+		run := int(d.Uvarint())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if run <= 0 || run > n-len(items) {
+			return nil, fmt.Errorf("flow: batch run %d exceeds remaining %d items", run, n-len(items))
+		}
+		switch mode {
+		case 1:
+			bc := r.batch[kind]
+			if bc == nil {
+				return nil, fmt.Errorf("flow: no batch codec for kind %d", kind)
+			}
+			vs, err := bc.DecodeBatch(d, run)
+			if err != nil {
+				return nil, err
+			}
+			if len(vs) != run {
+				return nil, fmt.Errorf("flow: batch codec for kind %d decoded %d of %d items", kind, len(vs), run)
+			}
+			items = append(items, vs...)
+		case 0:
+			c := r.byKind[kind]
+			if c == nil {
+				return nil, fmt.Errorf("flow: unknown codec kind %d", kind)
+			}
+			for k := 0; k < run; k++ {
+				body := d.Bytes(int(d.Uvarint()))
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				v, err := c.Decode(body)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, v)
+			}
+		default:
+			return nil, fmt.Errorf("flow: unknown batch run mode %d", mode)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// DecodeMessage parses one message encoded by AppendMessage or
+// AppendMessageWire (both batch layouts are always understood; the
+// handshake negotiation only gates which one senders emit).
 func DecodeMessage(data []byte) (Message, error) {
 	d := NewDec(data)
 	flags := d.Byte()
@@ -191,6 +444,13 @@ func DecodeMessage(data []byte) (Message, error) {
 		}
 		return Message{From: from, CP: cp, CPDelta: mode == 1, CPBase: base, IsBarrier: true}, nil
 	case flags&flagBatch != 0:
+		if flags&flagColumnar != 0 {
+			items, err := decodeColumnarBatch(d)
+			if err != nil {
+				return Message{}, err
+			}
+			return Message{From: from, Data: Batch{Items: items}}, nil
+		}
 		n := int(d.Uvarint())
 		if err := d.Err(); err != nil {
 			return Message{}, err
@@ -211,6 +471,24 @@ func DecodeMessage(data []byte) (Message, error) {
 			items = append(items, item)
 		}
 		return Message{From: from, Data: Batch{Items: items}}, nil
+	case flags&flagColumnar != 0:
+		// Single columnar record: [kind][one-item block].
+		kind := Kind(d.Byte())
+		if err := d.Err(); err != nil {
+			return Message{}, err
+		}
+		bc := regSnap.Load().batch[kind]
+		if bc == nil {
+			return Message{}, fmt.Errorf("flow: no batch codec for kind %d", kind)
+		}
+		vs, err := bc.DecodeBatch(d, 1)
+		if err != nil {
+			return Message{}, err
+		}
+		if len(vs) != 1 {
+			return Message{}, fmt.Errorf("flow: batch codec for kind %d decoded %d of 1 items", kind, len(vs))
+		}
+		return Message{From: from, Data: vs[0]}, nil
 	default:
 		if err := d.Err(); err != nil {
 			return Message{}, err
@@ -291,6 +569,19 @@ func (d *Dec) Float64() float64 {
 	return v
 }
 
+// Uint64 reads a fixed 8-byte little-endian unsigned integer (the raw bit
+// pattern companion of Float64, used as the XOR base of columnar
+// coordinate streams).
+func (d *Dec) Uint64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
 // Bytes reads the next n bytes (without copying).
 func (d *Dec) Bytes(n int) []byte {
 	if d.err != nil || n < 0 || d.off+n > len(d.b) {
@@ -337,4 +628,10 @@ func (d *Dec) Err() error { return d.err }
 // Dec.Float64.
 func AppendFloat64(buf []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// AppendUint64 appends a fixed 8-byte little-endian unsigned integer, the
+// inverse of Dec.Uint64.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
 }

@@ -730,6 +730,41 @@ func (p *Pipeline) EdgeStats() []EdgeStat {
 	return out
 }
 
+// WireStat is one outbound remote edge's cumulative wire traffic (see
+// WireStats): total bytes written, write syscalls, and frames encoded.
+// Frames/Flushes is the coalescing factor the transport achieved.
+type WireStat struct {
+	Stage   string
+	Bytes   int64
+	Flushes int64
+	Frames  int64
+}
+
+// WireStats samples every remote input edge that reports wire statistics.
+// All subtask endpoints of one edge share the underlying connection and
+// report identical totals, so only the first endpoint per stage is read —
+// the result is per-edge, not per-subtask.
+func (p *Pipeline) WireStats() []WireStat {
+	var out []WireStat
+	for i, eps := range p.inputs {
+		if len(eps) == 0 {
+			continue
+		}
+		ws, ok := eps[0].(WireStats)
+		if !ok {
+			continue
+		}
+		bytes, flushes, frames := ws.WireStats()
+		out = append(out, WireStat{
+			Stage:   p.stages[i].Name,
+			Bytes:   bytes,
+			Flushes: flushes,
+			Frames:  frames,
+		})
+	}
+	return out
+}
+
 // sinkAlign is the sink-side counterpart of alignState: the sink behaves
 // like one more (virtual) subtask fed by every last-stage subtask, so the
 // output-commit cut needs the same alignment — a subtask that already

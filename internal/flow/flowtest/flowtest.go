@@ -80,6 +80,7 @@ func Run(t *testing.T, h Harness) {
 	t.Run("Barriers", func(t *testing.T) { testBarriers(t, h) })
 	t.Run("Batches", func(t *testing.T) { testBatches(t, h) })
 	t.Run("Backpressure", func(t *testing.T) { testBackpressure(t, h) })
+	t.Run("BarrierFlush", func(t *testing.T) { testBarrierFlush(t, h) })
 	t.Run("CloseDrain", func(t *testing.T) { testCloseDrain(t, h) })
 }
 
@@ -354,6 +355,50 @@ func checkPad(pad []byte) error {
 		}
 	}
 	return nil
+}
+
+// testBarrierFlush: records followed by a barrier — with the edge left
+// open — must arrive promptly. A transport that coalesces sends may buffer
+// records, but a barrier (like a watermark) must force the buffer out:
+// checkpoint alignment stalls job-wide if a barrier can sit in a send
+// buffer waiting for more traffic that may never come.
+func testBarrierFlush(t *testing.T, h Harness) {
+	send, recv := h.Edge(t, "barrierflush", 1, 8)
+	const n = 3
+	go func() {
+		for i := 0; i < n; i++ {
+			send[0].Send(flow.Message{From: 0, Data: Payload{Sender: 0, Seq: int64(i)}})
+		}
+		send[0].Send(flow.Message{From: 0, CP: 5, IsBarrier: true})
+		// The edge stays open: nothing but the flush policy can deliver
+		// the barrier.
+	}()
+	got := make(chan flow.Message, n+1)
+	go func() {
+		for {
+			m, ok := recv[0].Recv()
+			if !ok {
+				return
+			}
+			got <- m
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n+1; i++ {
+		select {
+		case m := <-got:
+			if i < n {
+				if p, ok := m.Data.(Payload); !ok || p.Seq != int64(i) {
+					t.Fatalf("message %d = %+v, want seq %d", i, m, i)
+				}
+			} else if !m.IsBarrier || m.CP != 5 {
+				t.Fatalf("message %d = %+v, want barrier cp=5", i, m)
+			}
+		case <-deadline:
+			t.Fatalf("message %d not delivered: barrier did not flush the send buffer", i)
+		}
+	}
+	send[0].Close()
 }
 
 // testCloseDrain: after the sender side closes, buffered messages remain

@@ -100,6 +100,15 @@ type QueueStats interface {
 	SendBlocks() int64
 }
 
+// WireStats is the outbound counterpart of QueueStats: networked sender
+// endpoints report the edge's cumulative wire traffic — bytes written,
+// write syscalls (flushes; < frames when the transport coalesces) and
+// frames encoded. Pipeline.WireStats surfaces the numbers per remote
+// stage; in-process endpoints simply don't implement it.
+type WireStats interface {
+	WireStats() (bytes, flushes, frames int64)
+}
+
 type chanEndpoint struct {
 	ch      chan Message
 	blocked atomic.Int64

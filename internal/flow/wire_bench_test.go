@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// rwRegistry replicates the pre-fast-path codec registry: one
+// RWMutex-guarded type map shared by every sender, taken per record. The
+// benchmark pins why it was replaced by the atomic snapshot — on the data
+// plane the lookup runs once per record across all edge goroutines, and
+// even an uncontended RLock is a pair of atomic RMWs on a shared cache
+// line.
+type rwRegistry struct {
+	mu     sync.RWMutex
+	byKind [256]Codec
+	kinds  map[reflect.Type]Kind
+}
+
+func (r *rwRegistry) codecFor(v any) (Kind, Codec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	kind, ok := r.kinds[reflect.TypeOf(v)]
+	if !ok {
+		return 0, nil, false
+	}
+	return kind, r.byKind[kind], true
+}
+
+// lookupSink keeps the lookup results live.
+var lookupSink Codec
+
+// BenchmarkCodecLookup compares the per-record registry lookup of the old
+// RWMutex registry against the lock-free atomic-snapshot path codecFor
+// runs today, sequentially and across senders (the contended case the data
+// plane actually is: every edge writer resolves codecs concurrently).
+func BenchmarkCodecLookup(b *testing.B) {
+	old := &rwRegistry{kinds: map[reflect.Type]Kind{}}
+	old.kinds[reflect.TypeOf(int(0))] = benchIntKind
+	old.byKind[benchIntKind] = benchIntCodec{}
+	v := any(int(7))
+
+	b.Run("rwmutex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, c, ok := old.codecFor(v)
+			if !ok {
+				b.Fatal("missing codec")
+			}
+			lookupSink = c
+		}
+	})
+	b.Run("atomic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, c, err := codecFor(v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lookupSink = c
+		}
+	})
+	b.Run("rwmutex-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_, c, ok := old.codecFor(v)
+				if !ok {
+					b.Fatal("missing codec")
+				}
+				lookupSink = c
+			}
+		})
+	})
+	b.Run("atomic-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_, c, err := codecFor(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lookupSink = c
+			}
+		})
+	})
+}

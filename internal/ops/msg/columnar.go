@@ -1,0 +1,940 @@
+// Columnar batch codecs for the high-volume wire types. A batch crossing a
+// TCP edge coalesces many records of one kind; encoding them as columns
+// exposes the redundancy the row codecs cannot see: object ids are
+// near-monotone (run-length runs of consecutive ids), tick values repeat
+// (run-length), and coordinates are spatially clustered (fixed-width XOR
+// forms against the previously shipped point — sign, exponent and the
+// shared high mantissa bits cancel). Everything is exact: integer deltas
+// are reversible by construction and the float XOR round-trips
+// bit-for-bit, so a distributed run's output stays byte-identical to the
+// in-process oracle.
+//
+// Decoders mirror the Dec.Remaining discipline of the row codecs: every
+// count from the wire is bounded against the remaining payload before any
+// allocation, so a hostile length prefix cannot balloon memory.
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/enum"
+	"repro/internal/flow"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/join"
+	"repro/internal/model"
+)
+
+func init() {
+	flow.RegisterBatchCodec(KindSnapshot, snapshotBatchCodec{})
+	flow.RegisterBatchCodec(KindRec, recBatchCodec{})
+	flow.RegisterBatchCodec(KindCell, cellBatchCodec{})
+	flow.RegisterBatchCodec(KindPairDelta, pairDeltaBatchCodec{})
+	flow.RegisterBatchCodec(KindMeta, metaBatchCodec{})
+	flow.RegisterBatchCodec(KindPairs, pairsBatchCodec{})
+	flow.RegisterBatchCodec(KindPartition, partitionBatchCodec{})
+}
+
+// appendTickRuns run-length encodes the tick column: [run uvarint][tick
+// varint] pairs until n ticks are covered. tick(i) reads item i's tick.
+func appendTickRuns(buf []byte, n int, tick func(int) model.Tick) []byte {
+	for i := 0; i < n; {
+		t := tick(i)
+		j := i + 1
+		for j < n && tick(j) == t {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = binary.AppendVarint(buf, int64(t))
+		i = j
+	}
+	return buf
+}
+
+// decodeTickRuns fills ticks[0:n] from the run-length column.
+func decodeTickRuns(d *flow.Dec, ticks []model.Tick) {
+	for got := 0; got < len(ticks); {
+		run := int(d.Uvarint())
+		if run <= 0 || run > len(ticks)-got {
+			d.Failf("msg: tick run %d exceeds remaining %d", run, len(ticks)-got)
+			return
+		}
+		t := model.Tick(d.Varint())
+		for k := 0; k < run; k++ {
+			ticks[got] = t
+			got++
+		}
+	}
+}
+
+// xorZero is the trailing-zero sentinel marking an exact repeat of the
+// base coordinate (XOR == 0), one byte total.
+const xorZero = 64
+
+// appendXor encodes the XOR of two float64 bit patterns as [trailing-zero
+// count][uvarint(xor >> tz)]. Used by the Rec batch codec, where records
+// of one object step along a trajectory and the XOR window is narrow.
+func appendXor(buf []byte, xor uint64) []byte {
+	if xor == 0 {
+		return append(buf, xorZero)
+	}
+	tz := bits.TrailingZeros64(xor)
+	buf = append(buf, byte(tz))
+	return binary.AppendUvarint(buf, xor>>tz)
+}
+
+// decodeXor is the inverse of appendXor.
+func decodeXor(d *flow.Dec) uint64 {
+	tz := int(d.Byte())
+	if tz == xorZero {
+		return 0
+	}
+	if tz > 63 {
+		d.Failf("msg: coordinate shift %d", tz)
+		return 0
+	}
+	return d.Uvarint() << tz
+}
+
+// Point-column codes. Each point costs one code byte (X form in the high
+// nibble, Y form in the low nibble) plus fixed-width payloads. The forms
+// are XORs against the previously shipped point on the same axis: nearby
+// coordinates share sign, exponent and high mantissa bits, so the XOR has
+// leading zeros, and full-entropy mantissas make the LOW bits
+// incompressible — fixed-width high-truncated XOR beats varints (which pay
+// a tag bit per byte on random low bits) and is branch-cheap to decode.
+const (
+	ptEq    = 0 // bit-identical to the previous point's axis: no payload
+	ptXor48 = 1 // xor < 2^48 (top 16 bits shared): 6-byte LE payload
+	ptXor56 = 2 // xor < 2^56 (top 8 bits shared): 7-byte LE payload
+	ptRaw   = 3 // raw 8-byte LE bit pattern (also the first point's form)
+	ptXor40 = 4 // xor < 2^40 (top 24 bits shared): 5-byte LE payload
+)
+
+// ptCoder chains one coordinate stream: each axis XORs against the last
+// value shipped on that axis. State starts at zero bits, so the first
+// point ships raw.
+type ptCoder struct {
+	prevX, prevY uint64
+}
+
+func ptCode(xor uint64) byte {
+	switch {
+	case xor == 0:
+		return ptEq
+	case xor < 1<<40:
+		return ptXor40
+	case xor < 1<<48:
+		return ptXor48
+	case xor < 1<<56:
+		return ptXor56
+	default:
+		return ptRaw
+	}
+}
+
+func ptAppendAxis(buf []byte, code byte, bits, xor uint64) []byte {
+	switch code {
+	case ptEq:
+		return buf
+	case ptXor40:
+		return append(buf, byte(xor), byte(xor>>8), byte(xor>>16),
+			byte(xor>>24), byte(xor>>32))
+	case ptXor48:
+		return append(buf, byte(xor), byte(xor>>8), byte(xor>>16),
+			byte(xor>>24), byte(xor>>32), byte(xor>>40))
+	case ptXor56:
+		return append(buf, byte(xor), byte(xor>>8), byte(xor>>16),
+			byte(xor>>24), byte(xor>>32), byte(xor>>40), byte(xor>>48))
+	default:
+		return binary.LittleEndian.AppendUint64(buf, bits)
+	}
+}
+
+func (pc *ptCoder) append(buf []byte, p geo.Point) []byte {
+	bx, by := math.Float64bits(p.X), math.Float64bits(p.Y)
+	cx, cy := ptCode(bx^pc.prevX), ptCode(by^pc.prevY)
+	buf = append(buf, cx<<4|cy)
+	buf = ptAppendAxis(buf, cx, bx, bx^pc.prevX)
+	buf = ptAppendAxis(buf, cy, by, by^pc.prevY)
+	pc.prevX, pc.prevY = bx, by
+	return buf
+}
+
+func ptDecodeAxis(d *flow.Dec, code byte, prev uint64) uint64 {
+	switch code {
+	case ptEq:
+		return prev
+	case ptXor40:
+		b := d.Bytes(5)
+		if b == nil {
+			return 0
+		}
+		xor := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+			uint64(b[3])<<24 | uint64(b[4])<<32
+		return prev ^ xor
+	case ptXor48:
+		b := d.Bytes(6)
+		if b == nil {
+			return 0
+		}
+		xor := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+			uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40
+		return prev ^ xor
+	case ptXor56:
+		b := d.Bytes(7)
+		if b == nil {
+			return 0
+		}
+		xor := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+			uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48
+		return prev ^ xor
+	case ptRaw:
+		return d.Uint64()
+	default:
+		d.Failf("msg: point code %d", code)
+		return 0
+	}
+}
+
+func (pc *ptCoder) decode(d *flow.Dec) geo.Point {
+	code := d.Byte()
+	bx := ptDecodeAxis(d, code>>4, pc.prevX)
+	by := ptDecodeAxis(d, code&0xF, pc.prevY)
+	pc.prevX, pc.prevY = bx, by
+	return geo.Point{X: math.Float64frombits(bx), Y: math.Float64frombits(by)}
+}
+
+// maxIDRun caps one id run's length so a hostile 2-byte run cannot demand
+// an unbounded allocation; encoders split longer runs (a split costs ~3
+// bytes per 65536 ids).
+const maxIDRun = 1 << 16
+
+// appendIDRuns encodes an object id list as [count uvarint] then runs of
+// consecutive ids: [varint(first - prev run's last)][uvarint(len-1)].
+// Snapshot object lists are near-fully consecutive, so a 300-id list costs
+// ~4 bytes; a fully random list degrades to one extra byte per id.
+func appendIDRuns(buf []byte, ids []model.ObjectID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	var prev int64
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && j-i < maxIDRun && ids[j] == ids[j-1]+1 {
+			j++
+		}
+		buf = binary.AppendVarint(buf, int64(ids[i])-prev)
+		buf = binary.AppendUvarint(buf, uint64(j-i-1))
+		prev = int64(ids[j-1])
+		i = j
+	}
+	return buf
+}
+
+// decodeIDRuns is the inverse of appendIDRuns.
+func decodeIDRuns(d *flow.Dec) []model.ObjectID {
+	n := int(d.Uvarint())
+	if n == 0 {
+		return nil
+	}
+	// Each run costs at least 2 bytes and covers at most maxIDRun ids.
+	if n < 0 || n > (d.Remaining()/2+1)*maxIDRun {
+		d.Failf("msg: id count %d exceeds payload", n)
+		return nil
+	}
+	ids := make([]model.ObjectID, 0, min(n, maxIDRun))
+	var prev int64
+	for len(ids) < n {
+		start := prev + d.Varint()
+		run := int(d.Uvarint()) + 1
+		if d.Err() != nil {
+			return nil
+		}
+		if run > n-len(ids) || run > maxIDRun {
+			d.Failf("msg: id run %d exceeds remaining %d", run, n-len(ids))
+			return nil
+		}
+		for k := 0; k < run; k++ {
+			ids = append(ids, model.ObjectID(start+int64(k)))
+		}
+		prev = start + int64(run) - 1
+	}
+	return ids
+}
+
+// Ingest column modes (recBatchCodec, metaBatchCodec, snapshotBatchCodec):
+// the common cases — no record stamped, every record stamped — cost one
+// byte for the whole batch.
+const (
+	ingestNone  = 0
+	ingestAll   = 1
+	ingestMixed = 2
+)
+
+// appendIngestColumn writes the ingest-instant column: a mode byte, then
+// varint deltas of UnixNano between stamped records, with a presence byte
+// per record only in mixed mode.
+func appendIngestColumn(buf []byte, n int, ingest func(int) time.Time) []byte {
+	stamped := 0
+	for i := 0; i < n; i++ {
+		if !ingest(i).IsZero() {
+			stamped++
+		}
+	}
+	mode := ingestNone
+	switch stamped {
+	case 0:
+	case n:
+		mode = ingestAll
+	default:
+		mode = ingestMixed
+	}
+	buf = append(buf, byte(mode))
+	if mode == ingestNone {
+		return buf
+	}
+	var prevNS int64
+	for i := 0; i < n; i++ {
+		t := ingest(i)
+		if mode == ingestMixed {
+			if t.IsZero() {
+				buf = append(buf, 0)
+				continue
+			}
+			buf = append(buf, 1)
+		}
+		ns := t.UnixNano()
+		buf = binary.AppendVarint(buf, ns-prevNS)
+		prevNS = ns
+	}
+	return buf
+}
+
+// decodeIngestColumn fills stamped records via set(i, t); unstamped
+// records are never called (their zero value stands).
+func decodeIngestColumn(d *flow.Dec, n int, set func(int, time.Time)) {
+	switch mode := d.Byte(); mode {
+	case ingestNone:
+	case ingestAll, ingestMixed:
+		var prevNS int64
+		for i := 0; i < n; i++ {
+			if mode == ingestMixed && d.Byte() == 0 {
+				continue
+			}
+			prevNS += d.Varint()
+			set(i, time.Unix(0, prevNS))
+		}
+	default:
+		d.Failf("msg: batch ingest mode %d", mode)
+	}
+}
+
+// snapshotBatchCodec packs *model.Snapshot records: tick run-length, an
+// ingest column, then per snapshot the object id runs and one chained
+// point per object. Snapshots are the allocate stage's broadcast input —
+// a full per-tick object/location table — so the id-run and point-column
+// coding removes the dominant redundancy (consecutive ids, spatially
+// clustered coordinates) from what was previously a raw 16-byte-per-point
+// row encoding.
+type snapshotBatchCodec struct{}
+
+func (snapshotBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(*model.Snapshot).Tick })
+	buf = appendIngestColumn(buf, n, func(i int) time.Time { return items[i].(*model.Snapshot).Ingest })
+	var pc ptCoder
+	for _, it := range items {
+		s := it.(*model.Snapshot)
+		if len(s.Objects) != len(s.Locs) {
+			return buf, fmt.Errorf("msg: snapshot with %d objects, %d locations",
+				len(s.Objects), len(s.Locs))
+		}
+		buf = appendIDRuns(buf, s.Objects)
+		for _, l := range s.Locs {
+			buf = pc.append(buf, l)
+		}
+	}
+	return buf, nil
+}
+
+func (snapshotBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() {
+		d.Failf("msg: snapshot batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	snaps := make([]*model.Snapshot, n)
+	for i := range snaps {
+		snaps[i] = &model.Snapshot{Tick: ticks[i]}
+	}
+	decodeIngestColumn(d, n, func(i int, t time.Time) { snaps[i].Ingest = t })
+	var pc ptCoder
+	for _, s := range snaps {
+		s.Objects = decodeIDRuns(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(s.Objects) == 0 {
+			continue
+		}
+		if len(s.Objects) > d.Remaining() { // >= 1 byte (the code byte) per point
+			d.Failf("msg: snapshot points %d exceed payload", len(s.Objects))
+			return nil, d.Err()
+		}
+		s.Locs = make([]geo.Point, len(s.Objects))
+		for i := range s.Locs {
+			s.Locs[i] = pc.decode(d)
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]any, n)
+	for i := range snaps {
+		out[i] = snaps[i]
+	}
+	return out, nil
+}
+
+// recBatchCodec packs a run of Rec records as columns:
+//
+//	ids:    zigzag varint deltas in batch order (NOT sorted — order is the
+//	        delivery contract)
+//	ticks:  run-length [count][tick]
+//	ingest: mode byte, then varint deltas of UnixNano between stamped
+//	        records (presence byte per record only in mixed mode)
+//	coords: X base bits fixed 8 LE, then uvarint(bits XOR base) per
+//	        record from the second on; same for Y
+type recBatchCodec struct{}
+
+func (recBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	var prev int64
+	for _, it := range items {
+		id := int64(it.(Rec).Object)
+		buf = binary.AppendVarint(buf, id-prev)
+		prev = id
+	}
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(Rec).Tick })
+	buf = appendIngestColumn(buf, n, func(i int) time.Time { return items[i].(Rec).Ingest })
+	baseX := math.Float64bits(items[0].(Rec).Loc.X)
+	buf = flow.AppendUint64(buf, baseX)
+	for _, it := range items[1:] {
+		buf = appendXor(buf, math.Float64bits(it.(Rec).Loc.X)^baseX)
+	}
+	baseY := math.Float64bits(items[0].(Rec).Loc.Y)
+	buf = flow.AppendUint64(buf, baseY)
+	for _, it := range items[1:] {
+		buf = appendXor(buf, math.Float64bits(it.(Rec).Loc.Y)^baseY)
+	}
+	return buf, nil
+}
+
+func (recBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() { // >= 1 byte per id delta
+		d.Failf("msg: rec batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	recs := make([]Rec, n)
+	var prev int64
+	for i := range recs {
+		prev += d.Varint()
+		recs[i].Object = model.ObjectID(prev)
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	for i := range recs {
+		recs[i].Tick = ticks[i]
+	}
+	decodeIngestColumn(d, n, func(i int, t time.Time) { recs[i].Ingest = t })
+	baseX := d.Uint64()
+	recs[0].Loc.X = math.Float64frombits(baseX)
+	for i := 1; i < n; i++ {
+		recs[i].Loc.X = math.Float64frombits(baseX ^ decodeXor(d))
+	}
+	baseY := d.Uint64()
+	recs[0].Loc.Y = math.Float64frombits(baseY)
+	for i := 1; i < n; i++ {
+		recs[i].Loc.Y = math.Float64frombits(baseY ^ decodeXor(d))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]any, n)
+	for i := range recs {
+		out[i] = recs[i]
+	}
+	return out, nil
+}
+
+// cellBatchCodec packs a run of Cell tasks: tick run-length, zigzag
+// cell-key deltas, and packed object-count bytes across the batch, then
+// per object a (zigzag idx delta << 1 | dup) varint. Hoisting the counts
+// ahead of the object data lets the decoder size one exact backing array
+// for every cell's object slices in a single allocation. Coordinates
+// chain through one ptCoder per run — allocation emits cells in key order,
+// so consecutive points sit in the same or an adjacent cell and the shared
+// float bits cancel. The dup bit elides coordinates entirely for an object
+// already shipped in this run under the same tick (Lemma 1 replicates each
+// object into up to five neighbor cells per tick, all with bit-identical
+// locations): the decoder replays the point from its (tick, idx) table.
+// The encoder only sets the bit after verifying bit-equality, so arbitrary
+// (even inconsistent) batches still round-trip exactly.
+type cellBatchCodec struct{}
+
+// cellPtKey identifies one transmitted object location within a batch run.
+type cellPtKey struct {
+	tick model.Tick
+	idx  int32
+}
+
+// cellSeenSlots bounds the direct-indexed dup table; per-tick object
+// indexes are dense and small, so indexes past the table (or negative,
+// from a hostile stream) spill to a map.
+const cellSeenSlots = 4096
+
+type cellSeenEntry struct {
+	gen  uint32
+	tick model.Tick
+	pt   geo.Point
+}
+
+// cellCoder carries one batch run's chained-point state and its
+// (tick, idx) -> location dup table. Coders are pooled and the slot table
+// is invalidated by bumping the generation counter — no per-run clearing
+// of the table, no map hashing on the hot path.
+type cellCoder struct {
+	pc     ptCoder
+	gen    uint32
+	slots  []cellSeenEntry
+	over   map[cellPtKey]geo.Point
+	counts []int // decode scratch: per-cell (data, query) counts
+}
+
+var cellCoders = sync.Pool{New: func() any {
+	return &cellCoder{
+		slots: make([]cellSeenEntry, cellSeenSlots),
+		over:  make(map[cellPtKey]geo.Point),
+	}
+}}
+
+func newCellCoder() *cellCoder {
+	cc := cellCoders.Get().(*cellCoder)
+	cc.pc = ptCoder{}
+	cc.gen++
+	if cc.gen == 0 { // generation wrapped: stale entries could alias
+		for i := range cc.slots {
+			cc.slots[i].gen = 0
+		}
+		cc.gen = 1
+	}
+	return cc
+}
+
+func (cc *cellCoder) release() {
+	if len(cc.over) > 0 {
+		clear(cc.over)
+	}
+	cellCoders.Put(cc)
+}
+
+func (cc *cellCoder) lookup(tick model.Tick, idx int32) (geo.Point, bool) {
+	if uint32(idx) < cellSeenSlots {
+		e := &cc.slots[idx]
+		if e.gen == cc.gen && e.tick == tick {
+			return e.pt, true
+		}
+		return geo.Point{}, false
+	}
+	p, ok := cc.over[cellPtKey{tick, idx}]
+	return p, ok
+}
+
+func (cc *cellCoder) store(tick model.Tick, idx int32, p geo.Point) {
+	if uint32(idx) < cellSeenSlots {
+		cc.slots[idx] = cellSeenEntry{gen: cc.gen, tick: tick, pt: p}
+		return
+	}
+	cc.over[cellPtKey{tick, idx}] = p
+}
+
+// appendIdxDup encodes (zigzag(delta) << 1 | dup) as one uvarint.
+func appendIdxDup(buf []byte, delta int64, dup bool) []byte {
+	zz := uint64(delta<<1) ^ uint64(delta>>63)
+	v := zz << 1
+	if dup {
+		v |= 1
+	}
+	return binary.AppendUvarint(buf, v)
+}
+
+// decodeIdxDup is the inverse of appendIdxDup.
+func decodeIdxDup(d *flow.Dec) (delta int64, dup bool) {
+	v := d.Uvarint()
+	dup = v&1 != 0
+	zz := v >> 1
+	return int64(zz>>1) ^ -int64(zz&1), dup
+}
+
+// appendCellCounts packs one cell's (data, query) counts into a single
+// byte when both are below 15 — the overwhelming case at ICPE cell sizes —
+// with a 0xFF escape to two uvarints for larger cells.
+func appendCellCounts(buf []byte, nd, nq int) []byte {
+	if nd < 15 && nq < 15 {
+		return append(buf, byte(nd<<4|nq))
+	}
+	buf = append(buf, 0xFF)
+	buf = binary.AppendUvarint(buf, uint64(nd))
+	return binary.AppendUvarint(buf, uint64(nq))
+}
+
+// decodeCellCounts is the inverse of appendCellCounts.
+func decodeCellCounts(d *flow.Dec) (nd, nq int) {
+	b := d.Byte()
+	if b != 0xFF {
+		return int(b >> 4), int(b & 0xF)
+	}
+	return int(d.Uvarint()), int(d.Uvarint())
+}
+
+func (cellBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(Cell).Tick })
+	var prevKX, prevKY int64
+	for _, it := range items {
+		k := it.(Cell).Task.Key
+		buf = binary.AppendVarint(buf, int64(k.X)-prevKX)
+		buf = binary.AppendVarint(buf, int64(k.Y)-prevKY)
+		prevKX, prevKY = int64(k.X), int64(k.Y)
+	}
+	for _, it := range items {
+		task := it.(Cell).Task
+		buf = appendCellCounts(buf, len(task.Data), len(task.Queries))
+	}
+	cc := newCellCoder()
+	defer cc.release()
+	for _, it := range items {
+		c := it.(Cell)
+		task := c.Task
+		var prevIdx int32
+		buf, prevIdx = cc.appendCellObjs(buf, c.Tick, task.Data, 0)
+		buf, _ = cc.appendCellObjs(buf, c.Tick, task.Queries, prevIdx)
+	}
+	return buf, nil
+}
+
+// appendCellObjs writes one cell's object list: per object the idx/dup
+// varint, then — for non-duplicates only — the chained point.
+func (cc *cellCoder) appendCellObjs(buf []byte, tick model.Tick, objs []join.CellObj, prevIdx int32) ([]byte, int32) {
+	for _, o := range objs {
+		p, ok := cc.lookup(tick, o.Idx)
+		dup := ok && math.Float64bits(p.X) == math.Float64bits(o.Loc.X) &&
+			math.Float64bits(p.Y) == math.Float64bits(o.Loc.Y)
+		buf = appendIdxDup(buf, int64(o.Idx)-int64(prevIdx), dup)
+		prevIdx = o.Idx
+		if dup {
+			continue
+		}
+		cc.store(tick, o.Idx, o.Loc)
+		buf = cc.pc.append(buf, o.Loc)
+	}
+	return buf, prevIdx
+}
+
+func (cc *cellCoder) decodeCellObjs(d *flow.Dec, objs []join.CellObj, tick model.Tick, prevIdx int32) int32 {
+	for i := range objs {
+		delta, dup := decodeIdxDup(d)
+		prevIdx = int32(int64(prevIdx) + delta)
+		objs[i].Idx = prevIdx
+		if dup {
+			p, ok := cc.lookup(tick, prevIdx)
+			if !ok {
+				d.Failf("msg: cell batch back-reference to unseen object %d@%d", prevIdx, tick)
+				return prevIdx
+			}
+			objs[i].Loc = p
+			continue
+		}
+		objs[i].Loc = cc.pc.decode(d)
+		cc.store(tick, prevIdx, objs[i].Loc)
+	}
+	return prevIdx
+}
+
+func (cellBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() {
+		d.Failf("msg: cell batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	keys := make([]grid.Key, n)
+	var prevKX, prevKY int64
+	for i := range keys {
+		prevKX += d.Varint()
+		prevKY += d.Varint()
+		keys[i] = grid.Key{X: int32(prevKX), Y: int32(prevKY)}
+	}
+	cc := newCellCoder()
+	defer cc.release()
+	if cap(cc.counts) < 2*n {
+		cc.counts = make([]int, 2*n)
+	}
+	counts := cc.counts[:2*n]
+	total := 0
+	for i := 0; i < n; i++ {
+		nd, nq := decodeCellCounts(d)
+		if nd < 0 || nq < 0 || nd > d.Remaining() || nq > d.Remaining() {
+			d.Failf("msg: cell batch objects %d+%d exceed payload", nd, nq)
+			return nil, d.Err()
+		}
+		counts[2*i], counts[2*i+1] = nd, nq
+		total += nd + nq
+	}
+	// Each object costs at least one byte (its idx/dup varint), so a
+	// well-formed counts column never outruns the remaining payload.
+	if total > d.Remaining() {
+		d.Failf("msg: cell batch objects %d exceed payload", total)
+		return nil, d.Err()
+	}
+	// One exact-size backing array for every cell's object slices; it
+	// escapes into the decoded Cells and is never reused.
+	backing := make([]join.CellObj, total)
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		nd, nq := counts[2*i], counts[2*i+1]
+		c := Cell{Tick: ticks[i]}
+		c.Task.Key = keys[i]
+		var data, queries []join.CellObj
+		data, backing = backing[:nd:nd], backing[nd:]
+		queries, backing = backing[:nq:nq], backing[nq:]
+		prevIdx := cc.decodeCellObjs(d, data, c.Tick, 0)
+		cc.decodeCellObjs(d, queries, c.Tick, prevIdx)
+		if len(data) > 0 {
+			c.Task.Data = data
+		}
+		if len(queries) > 0 {
+			c.Task.Queries = queries
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// pairDeltaBatchCodec packs a run of PairDelta records: tick run-length,
+// per record the add/del counts, then each pair as (zigzag delta of the
+// first id vs the previous pair's, zigzag delta of the second id vs the
+// first) — pairs are (a < b), so both deltas are small on the dense id
+// spaces the clustering stage produces.
+type pairDeltaBatchCodec struct{}
+
+func appendPairColumn(buf []byte, ps [][2]model.ObjectID) []byte {
+	var prevA int64
+	for _, p := range ps {
+		a, b := int64(p[0]), int64(p[1])
+		buf = binary.AppendVarint(buf, a-prevA)
+		buf = binary.AppendVarint(buf, b-a)
+		prevA = a
+	}
+	return buf
+}
+
+func decodePairColumn(d *flow.Dec, n int) [][2]model.ObjectID {
+	if n == 0 {
+		return nil
+	}
+	ps := make([][2]model.ObjectID, n)
+	var prevA int64
+	for i := range ps {
+		prevA += d.Varint()
+		b := prevA + d.Varint()
+		ps[i] = [2]model.ObjectID{model.ObjectID(prevA), model.ObjectID(b)}
+	}
+	return ps
+}
+
+func (pairDeltaBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(PairDelta).Tick })
+	for _, it := range items {
+		p := it.(PairDelta)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Add)))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Del)))
+		buf = appendPairColumn(buf, p.Add)
+		buf = appendPairColumn(buf, p.Del)
+	}
+	return buf, nil
+}
+
+func (pairDeltaBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() {
+		d.Failf("msg: pair delta batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		nAdd := int(d.Uvarint())
+		nDel := int(d.Uvarint())
+		if nAdd < 0 || nDel < 0 || nAdd+nDel > d.Remaining()/2+1 { // two varints per pair
+			d.Failf("msg: pair delta counts %d+%d exceed payload", nAdd, nDel)
+			return nil, d.Err()
+		}
+		p := PairDelta{Tick: ticks[i]}
+		p.Add = decodePairColumn(d, nAdd)
+		p.Del = decodePairColumn(d, nDel)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// metaBatchCodec packs a run of Meta announcements: tick run-length, per
+// item the object id runs (snapshots list near-consecutive ids, so a full
+// roster collapses to a handful of bytes), then an ingest column. Meta
+// rides broadcast edges in runs of one, but the id-run coding alone
+// removes the dominant cost.
+type metaBatchCodec struct{}
+
+func (metaBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(Meta).Tick })
+	for _, it := range items {
+		buf = appendIDRuns(buf, it.(Meta).Objects)
+	}
+	buf = appendIngestColumn(buf, n, func(i int) time.Time { return items[i].(Meta).Ingest })
+	return buf, nil
+}
+
+func (metaBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() {
+		d.Failf("msg: meta batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	metas := make([]Meta, n)
+	for i := range metas {
+		metas[i].Tick = ticks[i]
+		metas[i].Objects = decodeIDRuns(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	}
+	decodeIngestColumn(d, n, func(i int, t time.Time) { metas[i].Ingest = t })
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]any, n)
+	for i := range metas {
+		out[i] = metas[i]
+	}
+	return out, nil
+}
+
+// pairsBatchCodec packs a run of Pairs results: tick run-length, per item
+// the pair count and the (a - prevA, b - a) zigzag columns — the join
+// emits index pairs (a < b) in ascending order per cell, so both deltas
+// stay small.
+type pairsBatchCodec struct{}
+
+func (pairsBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(Pairs).Tick })
+	for _, it := range items {
+		p := it.(Pairs)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Pairs)))
+		var prevA int64
+		for _, pr := range p.Pairs {
+			a, b := int64(pr[0]), int64(pr[1])
+			buf = binary.AppendVarint(buf, a-prevA)
+			buf = binary.AppendVarint(buf, b-a)
+			prevA = a
+		}
+	}
+	return buf, nil
+}
+
+func (pairsBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() {
+		d.Failf("msg: pairs batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		cnt := int(d.Uvarint())
+		if cnt < 0 || cnt > d.Remaining()/2+1 { // two varints per pair
+			d.Failf("msg: pairs batch pairs %d exceed payload", cnt)
+			return nil, d.Err()
+		}
+		p := Pairs{Tick: ticks[i]}
+		if cnt > 0 {
+			ps := make([][2]int32, cnt)
+			var prevA int64
+			for j := range ps {
+				prevA += d.Varint()
+				b := prevA + d.Varint()
+				ps[j] = [2]int32{int32(prevA), int32(b)}
+			}
+			p.Pairs = ps
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// partitionBatchCodec packs a run of cluster partitions: tick run-length,
+// zigzag owner deltas (PartitionClusters emits owners in ascending order
+// within a cluster), then each member list as id runs — members are the
+// sorted tail of a cluster, mostly consecutive ids.
+type partitionBatchCodec struct{}
+
+func (partitionBatchCodec) AppendBatch(buf []byte, items []any) ([]byte, error) {
+	n := len(items)
+	buf = appendTickRuns(buf, n, func(i int) model.Tick { return items[i].(enum.Partition).Tick })
+	var prev int64
+	for _, it := range items {
+		p := it.(enum.Partition)
+		buf = binary.AppendVarint(buf, int64(p.Owner)-prev)
+		prev = int64(p.Owner)
+		buf = appendIDRuns(buf, p.Members)
+	}
+	return buf, nil
+}
+
+func (partitionBatchCodec) DecodeBatch(d *flow.Dec, n int) ([]any, error) {
+	if n > d.Remaining() {
+		d.Failf("msg: partition batch count %d exceeds payload", n)
+		return nil, d.Err()
+	}
+	ticks := make([]model.Tick, n)
+	decodeTickRuns(d, ticks)
+	out := make([]any, 0, n)
+	var prev int64
+	for i := 0; i < n; i++ {
+		prev += d.Varint()
+		p := enum.Partition{Tick: ticks[i], Owner: model.ObjectID(prev)}
+		p.Members = decodeIDRuns(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -8,13 +8,10 @@ import (
 	"repro/internal/transport/tcpnet"
 )
 
-// The TCP transport must satisfy the same endpoint contract as the
-// in-process channels: the suite runs each edge across two real nodes
-// (sender process-view and receiver process-view) connected over loopback
-// TCP, exercising the codec framing, demux FIFO, EOS close and socket
-// backpressure.
-func TestTCPConformance(t *testing.T) {
-	flowtest.Run(t, flowtest.Harness{
+// tcpHarness builds a two-node loopback harness with the given wire
+// configuration on the sending side.
+func tcpHarness(wire tcpnet.WireConfig) flowtest.Harness {
+	return flowtest.Harness{
 		Edge: func(t *testing.T, stage string, parallelism, buf int) (send, recv []flow.Endpoint) {
 			plan := tcpnet.Plan{Workers: 2, Stages: []string{stage}, Owners: []int{1}}
 			recvNode, err := tcpnet.NewNode(1, plan, "")
@@ -28,6 +25,8 @@ func TestTCPConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			sendNode.SetLogf(func(string, ...any) {})
+			sendNode.SetWire(wire)
+			recvNode.SetWire(wire)
 			addrs := []string{sendNode.DataAddr(), recvNode.DataAddr()}
 			sendNode.SetAddrs(addrs)
 			recvNode.SetAddrs(addrs)
@@ -38,7 +37,23 @@ func TestTCPConformance(t *testing.T) {
 			return sendNode.Transport().Edge(stage, parallelism, buf),
 				recvNode.Transport().Edge(stage, parallelism, buf)
 		},
-	})
+	}
+}
+
+// The TCP transport must satisfy the same endpoint contract as the
+// in-process channels: the suite runs each edge across two real nodes
+// (sender process-view and receiver process-view) connected over loopback
+// TCP, exercising the codec framing, demux FIFO, EOS close and socket
+// backpressure. It runs against the default fast path (coalescing writer,
+// columnar batches) — flush-on-barrier ordering and backpressure through
+// the writer queue are conformance cases — and against the legacy
+// write-per-frame row configuration, so both send paths stay pinned.
+func TestTCPConformance(t *testing.T) {
+	flowtest.Run(t, tcpHarness(tcpnet.DefaultWire()))
+}
+
+func TestTCPConformanceLegacyWire(t *testing.T) {
+	flowtest.Run(t, tcpHarness(tcpnet.LegacyWire()))
 }
 
 func TestRoundRobinPlan(t *testing.T) {

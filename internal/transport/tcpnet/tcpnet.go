@@ -15,13 +15,21 @@
 // deadlock an unrelated edge sharing the socket.
 //
 // Messages cross the wire through the flow codec registry
-// (flow.AppendMessage/DecodeMessage), so every record type on a networked
-// edge must have a registered codec — which is exactly what keeps the
-// message vocabulary free of shared-heap pointers. Per-edge framing:
+// (flow.AppendMessageWire/DecodeMessage), so every record type on a
+// networked edge must have a registered codec — which is exactly what
+// keeps the message vocabulary free of shared-heap pointers. Per-edge
+// framing:
 //
-//	preamble: [len uvarint][stage name]
-//	data:     [0][subtask uvarint][len uvarint][encoded message]
-//	eos:      [1]                               (upstream stage finished)
+//	preamble: [len uvarint][stage name][wire version byte]
+//	data v0:  [0][subtask uvarint][len uvarint][encoded message]
+//	data v1+: [subtask<<2 uvarint][len uvarint][encoded message]
+//	eos:      [1]                                (upstream stage finished)
+//	wmb:      [2][len uvarint][encoded watermark] (watermark broadcast,
+//	          delivered to every subtask queue; wire version >= 1 only)
+//
+// Version >= 1 merges the subtask into the type varint (low two bits
+// zero mark a data frame), so the typical data frame costs one header
+// byte plus the length.
 //
 // TCP gives FIFO per connection; the demultiplexer preserves it per
 // subtask queue, which is the ordering contract the flow runtime's
@@ -29,9 +37,35 @@
 // the connection (the reader stops draining), which is how backpressure
 // reaches remote senders.
 //
+// # Send coalescing
+//
+// Senders encode frames inline, under the edge's mutex, into a shared
+// pending buffer; the buffer reaches the socket in one Write per *flush*,
+// not per frame. The flush policy (see WireConfig): when the pending
+// buffer crosses CoalesceBytes, on every barrier frame (checkpoint
+// alignment never waits for batching), when a watermark broadcast
+// completes (the collector sends a watermark to all par subtasks
+// back-to-back; only the last one flushes), and otherwise by a background
+// flusher every FlushMicros — the hard latency bound for data frames that
+// no other trigger follows (flush-on-idle: latency is never traded for
+// batching). Backpressure is preserved: a sender blocks in conn.Write
+// while holding the edge mutex when the receiver stops draining, stalling
+// every subtask of the edge exactly like the pre-coalescing path.
+//
+// A complete watermark broadcast is additionally peephole-rewritten on the
+// wire: when the pending buffer ends with the same watermark framed for
+// subtasks 0..par-1 in ascending order, those par frames are replaced by
+// one wmb frame that the receiver fans out to every subtask queue. The
+// rewrite never reorders anything — it only fires when the run is the
+// buffer tail — so per-queue FIFO delivery is byte-for-byte what the
+// unrewritten frames would have produced.
+//
 // The transport is fail-fast: an I/O error on an established edge panics
 // the process rather than silently dropping records; a distributed run is
-// only correct if every edge delivers everything.
+// only correct if every edge delivers everything. The one classified
+// exception is a peer disconnect (EOF / connection reset mid-stream):
+// it still panics, but surfaces as a logged peer-disconnect event — see
+// Node.SetDisconnectHook — instead of an opaque decode error.
 package tcpnet
 
 import (
@@ -44,9 +78,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/model"
 )
 
 // Startup dial retry policy: process launch order is not coordinated (a
@@ -79,6 +115,95 @@ func dialRetry(addr string, total time.Duration) (net.Conn, error) {
 			delay = dialRetryCap
 		}
 	}
+}
+
+// WireVersionMax is the newest codec version this build understands.
+// Version 0 is the original row-only framing; version 1 adds the columnar
+// batch runs (flow.AppendMessageWire). The JSON handshake negotiates the
+// minimum across the coordinator and every worker, so mixed deployments
+// fall back to row encoding job-wide and old and new processes never
+// mismatch; decoders always accept both layouts.
+const WireVersionMax = 1
+
+// WireConfig tunes the data plane. It is a deployment knob: it never
+// changes what bytes mean, only how they are packed and flushed, so it is
+// absent from the checkpoint fingerprint and safe to vary across a resume.
+type WireConfig struct {
+	// Version is the codec version frames are encoded with: >= 1 enables
+	// the columnar batch encodings. Clamped to the handshake-negotiated
+	// minimum in distributed runs.
+	Version int `json:"version"`
+	// Coalesce buffers frames per edge and writes once per flush. When
+	// false the edge writes one frame per syscall (the pre-coalescing
+	// behavior, kept as the wire benchmark baseline and escape hatch).
+	Coalesce bool `json:"coalesce"`
+	// CoalesceBytes is the pending-buffer watermark that forces a flush
+	// mid-burst (default 64 KiB).
+	CoalesceBytes int `json:"coalesce_bytes,omitempty"`
+	// FlushMicros is the background flusher's period in microseconds
+	// (default 1000): the upper bound on how long a buffered frame can sit
+	// before reaching the socket when no watermark, barrier or size
+	// trigger flushes it first.
+	FlushMicros int `json:"flush_micros,omitempty"`
+	// NoDelay sets TCP_NODELAY on edge connections (default true: the
+	// coalescing buffer replaces Nagle batching without its ack-bound
+	// latency; false re-enables Nagle).
+	NoDelay bool `json:"no_delay"`
+	// SendBuf/RecvBuf set the socket send/receive buffer sizes in bytes
+	// (0 keeps the OS default).
+	SendBuf int `json:"send_buf,omitempty"`
+	RecvBuf int `json:"recv_buf,omitempty"`
+}
+
+// DefaultWire is the fast-path configuration: newest codec version,
+// coalescing on with a 64 KiB watermark, TCP_NODELAY set.
+func DefaultWire() WireConfig {
+	return WireConfig{
+		Version:       WireVersionMax,
+		Coalesce:      true,
+		CoalesceBytes: 64 << 10,
+		FlushMicros:   1000,
+		NoDelay:       true,
+	}
+}
+
+// LegacyWire is the pre-fast-path configuration: row-only framing, one
+// Write per frame. Used when a handshake peer predates the negotiation
+// and as the wire benchmark baseline.
+func LegacyWire() WireConfig {
+	return WireConfig{Version: 0, Coalesce: false, NoDelay: true}
+}
+
+func (w WireConfig) withDefaults() WireConfig {
+	if w.CoalesceBytes <= 0 {
+		w.CoalesceBytes = 64 << 10
+	}
+	if w.FlushMicros <= 0 {
+		w.FlushMicros = 1000
+	}
+	if w.Version > WireVersionMax {
+		w.Version = WireVersionMax
+	}
+	if w.Version < 0 {
+		w.Version = 0
+	}
+	return w
+}
+
+// Package-wide wire counters, aggregated across every edge of every Node
+// in the process. The bench harness snapshots them around a run to report
+// bytes on the wire and the frames-per-flush ratio without plumbing
+// through each worker goroutine.
+var (
+	wireBytes   atomic.Int64
+	wireFlushes atomic.Int64
+	wireFrames  atomic.Int64
+)
+
+// WireCounters returns the process-wide cumulative data-plane totals:
+// bytes written, Write calls (flushes), and frames encoded.
+func WireCounters() (bytes, flushes, frames int64) {
+	return wireBytes.Load(), wireFlushes.Load(), wireFrames.Load()
 }
 
 // DriverID is the node id of a pure driver process (the coordinator): it
@@ -160,18 +285,22 @@ type Node struct {
 	lis  net.Listener
 	logf func(string, ...any)
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	recv   map[string][]*recvEndpoint
-	out    map[string]*senderGroup
-	aconns map[net.Conn]struct{} // accepted data connections
-	closed bool
+	mu           sync.Mutex
+	cond         *sync.Cond
+	wire         WireConfig
+	onDisconnect func(stage, addr string, err error)
+	recv         map[string][]*recvEndpoint
+	out          map[string]*senderGroup
+	aconns       map[net.Conn]struct{} // accepted data connections
+	closed       bool
 }
 
 // NewNode builds the data plane for worker me (or DriverID) under plan,
 // opening a data listener on listenAddr (default "127.0.0.1:0") when me
 // owns at least one stage. Call SetAddrs once every worker's listener
-// address is known, before the pipeline starts sending.
+// address is known, before the pipeline starts sending. The wire
+// configuration defaults to DefaultWire; override with SetWire before the
+// pipeline starts sending.
 func NewNode(me int, plan Plan, listenAddr string) (*Node, error) {
 	if err := plan.validate(); err != nil {
 		return nil, err
@@ -180,6 +309,7 @@ func NewNode(me int, plan Plan, listenAddr string) (*Node, error) {
 		me:     me,
 		plan:   plan,
 		logf:   log.Printf,
+		wire:   DefaultWire(),
 		recv:   make(map[string][]*recvEndpoint),
 		out:    make(map[string]*senderGroup),
 		aconns: make(map[net.Conn]struct{}),
@@ -212,6 +342,33 @@ func (n *Node) DataAddr() string {
 func (n *Node) SetAddrs(addrs []string) {
 	n.mu.Lock()
 	n.plan.Addrs = addrs
+	n.mu.Unlock()
+}
+
+// SetWire installs the wire configuration (normally the
+// handshake-negotiated one). Call before the pipeline starts sending.
+func (n *Node) SetWire(cfg WireConfig) {
+	n.mu.Lock()
+	n.wire = cfg.withDefaults()
+	n.mu.Unlock()
+}
+
+// Wire returns the active wire configuration.
+func (n *Node) Wire() WireConfig {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.wire
+}
+
+// SetDisconnectHook installs the receiver for classified peer disconnects
+// on inbound data edges: EOF or a connection reset mid-stream (a torn
+// length prefix at teardown) fires the hook with the edge's stage and the
+// remote address before the fail-fast panic, so the failure surfaces as a
+// structured worker.disconnect event rather than an opaque decode error.
+// During node teardown the hook still fires but the panic is suppressed.
+func (n *Node) SetDisconnectHook(fn func(stage, addr string, err error)) {
+	n.mu.Lock()
+	n.onDisconnect = fn
 	n.mu.Unlock()
 }
 
@@ -250,7 +407,7 @@ func (n *Node) Edge(stage string, parallelism, buf int) []flow.Endpoint {
 		n.mu.Unlock()
 		return eps
 	}
-	g := &senderGroup{node: n, stage: stage, owner: owner, par: parallelism}
+	g := &senderGroup{node: n, stage: stage, owner: owner, par: parallelism, wire: n.Wire(), wmStart: -1}
 	n.mu.Lock()
 	n.out[stage] = g
 	n.mu.Unlock()
@@ -310,7 +467,13 @@ func (n *Node) acceptLoop() {
 			return
 		}
 		n.aconns[conn] = struct{}{}
+		recvBuf := n.wire.RecvBuf
 		n.mu.Unlock()
+		if recvBuf > 0 {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetReadBuffer(recvBuf)
+			}
+		}
 		go n.demux(conn)
 	}
 }
@@ -326,15 +489,52 @@ func (n *Node) recvWait(stage string) []*recvEndpoint {
 	return n.recv[stage]
 }
 
-// Frame types on data connections.
+// Frame types on data connections. Version-0 data frames spell the
+// subtask in a second uvarint: [frameData][subtask][len][body]. Version >= 1
+// merges the subtask into the type varint — a data frame's type value is
+// subtask<<2 (the low two bits are zero), so the common single-digit
+// subtasks cost one byte total and frameData doubles as "data for
+// subtask 0".
 const (
 	frameData = 0
 	frameEOS  = 1
+	frameWMB  = 2 // watermark broadcast (wire version >= 1)
 )
+
+// isDisconnect classifies I/O errors that mean the peer went away (or the
+// local socket was torn down) rather than the stream being corrupt: EOF
+// and unexpected EOF (a torn length prefix — the connection died between
+// the prefix and its body), a reset connection, and reads on a closed
+// socket.
+func isDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// notifyDisconnect logs and fires the disconnect hook for one inbound
+// edge's peer loss.
+func (n *Node) notifyDisconnect(stage string, conn net.Conn, err error) {
+	addr := ""
+	if ra := conn.RemoteAddr(); ra != nil {
+		addr = ra.String()
+	}
+	n.logf("tcpnet: edge %s: peer %s disconnected: %v", stage, addr, err)
+	n.mu.Lock()
+	fn := n.onDisconnect
+	n.mu.Unlock()
+	if fn != nil {
+		fn(stage, addr, err)
+	}
+}
 
 // demux reads one inbound edge connection and routes its messages to the
 // stage's subtask queues. Pushing into a full queue blocks, which stops
-// draining the socket and backpressures the remote sender.
+// draining the socket and backpressures the remote sender. The frame body
+// buffer is reused across frames (codecs copy what they keep), so the
+// steady-state read path allocates nothing per frame.
 func (n *Node) demux(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -343,49 +543,78 @@ func (n *Node) demux(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	stage, err := readLenBytes(br)
+	stageB, err := readLenBytes(br)
 	if err != nil {
 		n.logf("tcpnet: %v: preamble: %v", conn.RemoteAddr(), err)
 		return
 	}
-	queues := n.recvWait(string(stage))
-	if queues == nil {
-		return // node closed before the edge existed
+	stage := string(stageB)
+	ver, err := br.ReadByte()
+	if err != nil {
+		n.logf("tcpnet: %v: preamble version: %v", conn.RemoteAddr(), err)
+		return
 	}
 	// Once the edge is established, any failure before a clean EOS is
 	// fatal (fail-fast): returning with the queues still open would leave
 	// downstream subtasks blocked in Recv forever and hang the whole
 	// distributed run, while closing them would silently truncate the
-	// stream. An EOF here means the upstream process died mid-stream.
+	// stream. An EOF here means the upstream process died mid-stream; it
+	// is classified and surfaced as a peer-disconnect event first.
 	fatal := func(format string, args ...any) {
 		if n.isClosed() {
 			return // teardown: the run is over, nothing to corrupt
 		}
 		panic(fmt.Sprintf("tcpnet: edge %s: %s", stage, fmt.Sprintf(format, args...)))
 	}
+	if int(ver) > WireVersionMax {
+		fatal("peer wire version %d exceeds supported %d (handshake negotiation bypassed?)", ver, WireVersionMax)
+		return
+	}
+	queues := n.recvWait(stage)
+	if queues == nil {
+		return // node closed before the edge existed
+	}
+	var body []byte // reused frame body
+	// readBody reads one [len uvarint][bytes] frame body into the reused
+	// buffer; the caller classifies the error.
+	readBody := func() error {
+		ln, err := binary.ReadUvarint(br)
+		if err == nil && ln > 1<<31 {
+			return fmt.Errorf("frame length %d exceeds limit", ln)
+		}
+		if err == nil {
+			if uint64(cap(body)) < ln {
+				body = make([]byte, ln)
+			}
+			body = body[:ln]
+			_, err = io.ReadFull(br, body)
+		}
+		return err
+	}
 	for {
 		ft, err := binary.ReadUvarint(br)
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				fatal("connection ended before EOS (upstream process died?)")
+			if isDisconnect(err) {
+				n.notifyDisconnect(stage, conn, err)
+				fatal("peer disconnected before EOS (upstream process died?): %v", err)
 				return
 			}
 			fatal("frame: %v", err)
 			return
 		}
-		switch ft {
-		case frameData:
-			subtask, err := binary.ReadUvarint(br)
-			if err != nil {
-				fatal("subtask: %v", err)
-				return
-			}
+		if ver >= 1 && ft&3 == 0 {
+			// Merged data frame: the subtask rides in the type varint.
+			subtask := ft >> 2
 			if subtask >= uint64(len(queues)) {
 				fatal("subtask %d of %d", subtask, len(queues))
 				return
 			}
-			body, err := readLenBytes(br)
-			if err != nil {
+			if err := readBody(); err != nil {
+				if isDisconnect(err) {
+					n.notifyDisconnect(stage, conn, err)
+					fatal("peer disconnected mid-frame (torn length prefix): %v", err)
+					return
+				}
 				fatal("body: %v", err)
 				return
 			}
@@ -395,6 +624,67 @@ func (n *Node) demux(conn net.Conn) {
 				return
 			}
 			queues[subtask].Send(m)
+			continue
+		}
+		switch ft {
+		case frameData:
+			subtask, err := binary.ReadUvarint(br)
+			if err != nil {
+				if isDisconnect(err) {
+					n.notifyDisconnect(stage, conn, err)
+					fatal("peer disconnected mid-frame: %v", err)
+					return
+				}
+				fatal("subtask: %v", err)
+				return
+			}
+			if subtask >= uint64(len(queues)) {
+				fatal("subtask %d of %d", subtask, len(queues))
+				return
+			}
+			if err := readBody(); err != nil {
+				// A torn length prefix or truncated body at connection
+				// teardown is a peer disconnect, not stream corruption.
+				if isDisconnect(err) {
+					n.notifyDisconnect(stage, conn, err)
+					fatal("peer disconnected mid-frame (torn length prefix): %v", err)
+					return
+				}
+				fatal("body: %v", err)
+				return
+			}
+			m, err := flow.DecodeMessage(body)
+			if err != nil {
+				fatal("decode: %v", err)
+				return
+			}
+			queues[subtask].Send(m)
+		case frameWMB:
+			if ver < 1 {
+				fatal("watermark broadcast frame from version-%d peer", ver)
+				return
+			}
+			if err := readBody(); err != nil {
+				if isDisconnect(err) {
+					n.notifyDisconnect(stage, conn, err)
+					fatal("peer disconnected mid-frame (torn length prefix): %v", err)
+					return
+				}
+				fatal("body: %v", err)
+				return
+			}
+			m, err := flow.DecodeMessage(body)
+			if err != nil {
+				fatal("decode: %v", err)
+				return
+			}
+			if !m.IsWM {
+				fatal("broadcast frame carrying a non-watermark message")
+				return
+			}
+			for _, q := range queues {
+				q.Send(m)
+			}
 		case frameEOS:
 			// The upstream stage has finished entirely: end every subtask
 			// queue. Buffered messages stay receivable.
@@ -454,25 +744,56 @@ func (e *recvEndpoint) QueueDepth() (int, int) { return len(e.ch), cap(e.ch) }
 func (e *recvEndpoint) SendBlocks() int64 { return e.blocked.Load() }
 
 // senderGroup is the outbound side of one edge: all subtask endpoints
-// share one connection to the owning worker. EOS is emitted once the
-// runtime has closed every subtask endpoint of the edge.
+// share one connection to the owning worker. Senders encode inline under
+// the group mutex into a shared pending buffer; in coalescing mode the
+// buffer is only written out when a frame demands it (watermark, barrier,
+// EOS — alignment and checkpoint latency never wait for batching), when
+// it crosses CoalesceBytes, or by the background flusher's tick, so a
+// burst of data frames costs one syscall instead of one each. In legacy
+// mode every frame flushes immediately (one Write per frame). Blocking in
+// conn.Write while holding the mutex is the edge's backpressure: an
+// undrained receiver stalls every subtask of the edge, exactly like the
+// pre-coalescing path. EOS is emitted once the runtime has closed every
+// subtask endpoint of the edge.
 type senderGroup struct {
 	node  *Node
 	stage string
 	owner int
 	par   int
+	wire  WireConfig
 
-	mu     sync.Mutex
-	conn   net.Conn
-	buf    []byte // frame assembly
-	pbuf   []byte // message encoding
-	closes int
-	down   bool
+	mu      sync.Mutex
+	conn    net.Conn
+	buf     []byte        // pending frames, flushed by writeLocked
+	pbuf    []byte        // per-message encode scratch
+	done    chan struct{} // closed to terminate the flusher
+	started bool          // flusher running
+	stopped bool          // done has been closed
+	closes  int
+	down    bool // no more sends accepted (clean close or teardown)
+	dead    bool // teardown: connection torn, frames may be dropped
+	wg      sync.WaitGroup
+
+	// Watermark-broadcast peephole state: a run of identical watermark
+	// frames for subtasks 0..par-1 sitting at the tail of the pending
+	// buffer is rewritten into one frameWMB. wmStart is the buffer offset
+	// where the run began (-1: no live run), wmNext the subtask expected
+	// to extend it.
+	wmStart int
+	wmNext  int
+	wmFrom  int
+	wmTick  model.Tick
+
+	bytes   atomic.Int64
+	flushes atomic.Int64
+	frames  atomic.Int64
 }
 
-// dialLocked opens the edge connection and writes the preamble.
+// dialLocked opens the edge connection and writes the preamble. The
+// pending buffer is empty whenever the connection is down (frames are only
+// buffered after a successful dial), so reusing g.buf here is safe.
 func (g *senderGroup) dialLocked() {
-	if g.conn != nil || g.down {
+	if g.conn != nil || g.dead {
 		return
 	}
 	g.node.mu.Lock()
@@ -485,67 +806,221 @@ func (g *senderGroup) dialLocked() {
 	if err != nil {
 		panic(fmt.Sprintf("tcpnet: dial edge %q: %v", g.stage, err))
 	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(g.wire.NoDelay)
+		if g.wire.SendBuf > 0 {
+			_ = tc.SetWriteBuffer(g.wire.SendBuf)
+		}
+	}
 	g.conn = conn
 	g.buf = binary.AppendUvarint(g.buf[:0], uint64(len(g.stage)))
 	g.buf = append(g.buf, g.stage...)
+	g.buf = append(g.buf, byte(g.wire.Version))
 	g.writeLocked()
 }
 
+// writeLocked flushes the pending buffer to the connection, counting one
+// flush, and resets it. During teardown (dead, or the conn already torn
+// away) frames are dropped silently, matching the no-EOS semantics of
+// shutdown.
 func (g *senderGroup) writeLocked() {
-	if _, err := g.conn.Write(g.buf); err != nil {
+	buf := g.buf
+	g.buf = buf[:0]
+	g.wmStart = -1 // buffer offsets are invalid once it drains
+	if g.conn == nil || len(buf) == 0 {
+		return
+	}
+	if _, err := g.conn.Write(buf); err != nil {
+		if g.node.isClosed() || g.dead {
+			return
+		}
 		panic(fmt.Sprintf("tcpnet: write edge %q: %v", g.stage, err))
 	}
+	g.bytes.Add(int64(len(buf)))
+	g.flushes.Add(1)
+	wireBytes.Add(int64(len(buf)))
+	wireFlushes.Add(1)
 }
 
+// appendFrame encodes one data frame for subtask onto buf.
+func (g *senderGroup) appendFrame(buf []byte, subtask int, m flow.Message, pbuf *[]byte) []byte {
+	var err error
+	*pbuf, err = flow.AppendMessageWire((*pbuf)[:0], m, g.wire.Version >= 1)
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: encode for edge %q: %v", g.stage, err))
+	}
+	if g.wire.Version >= 1 {
+		buf = binary.AppendUvarint(buf, uint64(subtask)<<2)
+	} else {
+		buf = binary.AppendUvarint(buf, frameData)
+		buf = binary.AppendUvarint(buf, uint64(subtask))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(*pbuf)))
+	buf = append(buf, *pbuf...)
+	g.frames.Add(1)
+	wireFrames.Add(1)
+	return buf
+}
+
+// send encodes one frame into the pending buffer and flushes according to
+// the wire policy: legacy mode flushes every frame; coalescing mode
+// flushes on barrier frames, on the last subtask of a watermark broadcast
+// (the collector sends watermarks to subtasks 0..par-1 back-to-back, so
+// alignment and propagation latency never wait for batching) and when the
+// buffer crosses CoalesceBytes, leaving everything else to the background
+// flusher. A complete same-watermark run over all subtasks is rewritten
+// into one frameWMB before it flushes (see the package comment).
 func (g *senderGroup) send(subtask int, m flow.Message) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.down {
+		if g.dead || g.node.isClosed() {
+			return // teardown: the run is over, frames are droppable
+		}
 		panic(fmt.Sprintf("tcpnet: send on closed edge %q", g.stage))
 	}
 	g.dialLocked()
+	if g.wire.Coalesce {
+		g.startFlusherLocked()
+	}
+	if m.IsWM && g.wire.Coalesce && g.wire.Version >= 1 {
+		if subtask == 0 {
+			g.wmStart, g.wmNext, g.wmFrom, g.wmTick = len(g.buf), 0, m.From, m.WM
+		}
+		if g.wmStart >= 0 && subtask == g.wmNext && m.From == g.wmFrom && m.WM == g.wmTick {
+			g.wmNext++
+		} else {
+			g.wmStart = -1
+		}
+	} else {
+		g.wmStart = -1
+	}
+	g.buf = g.appendFrame(g.buf, subtask, m, &g.pbuf)
+	if g.wmStart >= 0 && g.wmNext == g.par {
+		// The buffer tail is this watermark framed for every subtask in
+		// ascending order: replace the run with one broadcast frame.
+		g.buf = g.appendWMB(g.buf[:g.wmStart], m, &g.pbuf)
+		g.frames.Add(-int64(g.par))
+		wireFrames.Add(-int64(g.par))
+		g.wmStart = -1
+	}
+	if !g.wire.Coalesce || m.IsBarrier || (m.IsWM && subtask == g.par-1) ||
+		len(g.buf) >= g.wire.CoalesceBytes {
+		g.writeLocked()
+	}
+}
+
+// appendWMB encodes one watermark-broadcast frame onto buf.
+func (g *senderGroup) appendWMB(buf []byte, m flow.Message, pbuf *[]byte) []byte {
 	var err error
-	g.pbuf, err = flow.AppendMessage(g.pbuf[:0], m)
+	*pbuf, err = flow.AppendMessageWire((*pbuf)[:0], m, g.wire.Version >= 1)
 	if err != nil {
 		panic(fmt.Sprintf("tcpnet: encode for edge %q: %v", g.stage, err))
 	}
-	g.buf = binary.AppendUvarint(g.buf[:0], frameData)
-	g.buf = binary.AppendUvarint(g.buf, uint64(subtask))
-	g.buf = binary.AppendUvarint(g.buf, uint64(len(g.pbuf)))
-	g.buf = append(g.buf, g.pbuf...)
-	g.writeLocked()
+	buf = binary.AppendUvarint(buf, frameWMB)
+	buf = binary.AppendUvarint(buf, uint64(len(*pbuf)))
+	buf = append(buf, *pbuf...)
+	g.frames.Add(1)
+	wireFrames.Add(1)
+	return buf
 }
 
-// closeOne records one subtask endpoint's Close; the last one emits EOS
-// and shuts the connection down.
+// startFlusherLocked launches the background flusher once.
+func (g *senderGroup) startFlusherLocked() {
+	if g.started {
+		return
+	}
+	g.started = true
+	g.done = make(chan struct{})
+	g.wg.Add(1)
+	go g.flusher(time.Duration(g.wire.FlushMicros) * time.Microsecond)
+}
+
+// flusher ships whatever send left in the pending buffer every interval:
+// the latency bound for data frames that no watermark, barrier or size
+// trigger followed. A tick that finds the buffer empty is a no-op; a tick
+// that finds a sender blocked in conn.Write simply queues on the mutex
+// behind it.
+func (g *senderGroup) flusher(interval time.Duration) {
+	defer g.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-t.C:
+			g.mu.Lock()
+			g.writeLocked()
+			g.mu.Unlock()
+		}
+	}
+}
+
+// stopFlusherLocked arranges flusher termination; the caller must close
+// the returned channel (if any) and wait on g.wg after releasing g.mu.
+func (g *senderGroup) stopFlusherLocked() chan struct{} {
+	if !g.started || g.stopped {
+		return nil
+	}
+	g.stopped = true
+	return g.done
+}
+
+// closeOne records one subtask endpoint's Close; the last one flushes any
+// pending frames together with the EOS marker and shuts the connection
+// down.
 func (g *senderGroup) closeOne() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.down {
+		g.mu.Unlock()
 		return
 	}
 	g.closes++
 	if g.closes < g.par {
+		g.mu.Unlock()
 		return
 	}
+	g.down = true
 	// EOS must reach the receiver even when the edge carried no data.
 	g.dialLocked()
-	g.buf = binary.AppendUvarint(g.buf[:0], frameEOS)
+	g.buf = binary.AppendUvarint(g.buf, frameEOS)
 	g.writeLocked()
-	g.conn.Close()
-	g.conn = nil
-	g.down = true
-}
-
-// shutdown force-closes the connection without EOS (node teardown).
-func (g *senderGroup) shutdown() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.conn != nil {
 		g.conn.Close()
 		g.conn = nil
 	}
+	done := g.stopFlusherLocked()
+	g.mu.Unlock()
+	if done != nil {
+		close(done)
+		g.wg.Wait()
+	}
+}
+
+// shutdown force-closes the connection without EOS (node teardown): any
+// pending frames are dropped and the flusher, if running, is terminated.
+func (g *senderGroup) shutdown() {
+	g.mu.Lock()
 	g.down = true
+	g.dead = true
+	g.buf = g.buf[:0]
+	if g.conn != nil {
+		g.conn.Close()
+		g.conn = nil
+	}
+	done := g.stopFlusherLocked()
+	g.mu.Unlock()
+	if done != nil {
+		close(done)
+		g.wg.Wait()
+	}
+}
+
+// WireStats reports this edge's cumulative wire counters: bytes written,
+// Write calls (flushes) and frames encoded.
+func (g *senderGroup) WireStats() (bytes, flushes, frames int64) {
+	return g.bytes.Load(), g.flushes.Load(), g.frames.Load()
 }
 
 // sendEndpoint is one subtask's view of a senderGroup.
@@ -561,3 +1036,7 @@ func (e *sendEndpoint) Recv() (flow.Message, bool) {
 }
 
 func (e *sendEndpoint) Close() { e.g.closeOne() }
+
+// WireStats implements flow.WireStats, surfacing the shared group's
+// counters (every subtask endpoint of an edge reports the same totals).
+func (e *sendEndpoint) WireStats() (bytes, flushes, frames int64) { return e.g.WireStats() }
