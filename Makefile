@@ -16,11 +16,12 @@ test:
 # test-race runs the concurrency-heavy packages (the flow runtime with its
 # subtask goroutines, barrier alignment and key-group snapshot paths, the
 # multi-process TCP transport, and the partitioned ingestion front fed by
-# concurrent publishers) under the race detector, plus the delta-maintenance
+# concurrent publishers — including the sharded allocate stage whose
+# property tests drive concurrent pipelines) under the race detector, plus the delta-maintenance
 # packages (stateful rangejoin/clusterop and the structures behind them)
 # whose equivalence tests drive full concurrent pipelines.
 test-race:
-	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/... ./internal/ckpt/... ./internal/obs/...
+	$(GO) test -race ./internal/flow/... ./internal/transport/... ./internal/stream/... ./internal/ops/sourceop/... ./internal/ops/allocate/... ./internal/netsrc/... ./internal/core/... ./internal/dbscan/... ./internal/join/... ./internal/ops/rangejoin/... ./internal/ops/clusterop/... ./internal/ckpt/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
@@ -45,7 +46,9 @@ bench:
 # plus checkpoint-enabled variants reporting overhead vs interval, plus an
 # incremental section comparing from-scratch vs delta-maintenance
 # snapshots/sec (wall-clock and combined rangejoin+cluster stage time) at
-# 10%/50%/100% churn.
+# 10%/50%/100% churn, plus a front_end section measuring allocate-stage
+# scaling at parallelism 1/2/4 on a ~10k-object record stream with hard
+# pattern-equality checks against the snapshot-path oracle.
 bench-json:
 	$(GO) run ./cmd/bench -exp pipeline -objects 300 -ticks 200 -json BENCH_pipeline.json
 

@@ -10,10 +10,11 @@
 //
 // With -source-partitions N, ingestion runs as N parallel source
 // partitions inside the dataflow (each owning a disjoint shard of object
-// ids, with per-partition coverage watermarks) and a keyed assembly stage
-// replaces the driver-side assembler. Any number of publishers can feed
-// one job in -listen mode; checkpoints then record per-partition replay
-// offsets, so a resume replays each shard from its own cut:
+// ids, with per-partition coverage watermarks) feeding the allocate
+// subtasks that own the same key groups directly — no global snapshot is
+// materialized anywhere. Any number of publishers can feed one job in
+// -listen mode; checkpoints then record per-partition replay offsets, so
+// a resume replays each shard from its own cut:
 //
 //	icpe -listen 127.0.0.1:7077 -source-partitions 4 -checkpoint-dir /tmp/ckpt
 //
@@ -92,7 +93,7 @@ func main() {
 	cluster := flag.String("cluster", "rjc", "range join engine: rjc | srj | gdc")
 	parallelism := flag.Int("parallelism", 4, "subtasks per pipeline stage (may differ from the checkpointed run's on -resume)")
 	sourceParts := flag.Int("source-partitions", 0, "run ingestion as this many source partitions inside the dataflow (0 = classic driver-side assembly); fixed for the lifetime of a checkpointed job")
-	incremental := flag.Bool("incremental", false, "maintain cell indexes and clusters incrementally across ticks (identical results, work proportional to churn; needs -cluster rjc and the classic source); fixed for the lifetime of a checkpointed job")
+	incremental := flag.Bool("incremental", false, "maintain cell indexes and clusters incrementally across ticks (identical results, work proportional to churn; needs -cluster rjc, composes with -source-partitions); fixed for the lifetime of a checkpointed job")
 	maxParallelism := flag.Int("max-parallelism", 0, "key-group count bounding -parallelism (default 128); fixed for the lifetime of a checkpointed job")
 	quiet := flag.Bool("quiet", false, "suppress per-pattern output")
 	transport := flag.String("transport", "inproc", "exchange fabric: inproc | tcp (tcp needs -coordinator/-workers)")

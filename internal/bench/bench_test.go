@@ -110,3 +110,28 @@ func TestChurnDatasetKnobs(t *testing.T) {
 		}
 	}
 }
+
+// The front_end section's equality checks are hard failures inside the
+// runner, so a successful small-scale build means classic and incremental
+// partitioned runs (inproc, tcp, kill-resume 4->2) all matched the
+// snapshot-path oracle byte for byte.
+func TestFrontEndReportSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run pipeline sweep")
+	}
+	rep, err := runPipelineFrontEnd(1234, Scale{Objects: 400, Ticks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 6 {
+		t.Fatalf("%d runs, want 6 (2 modes x parallelism 1/2/4)", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.Records == 0 || r.AllocateRecordsPerSec <= 0 {
+			t.Errorf("%s/%d: records=%d rate=%v", r.Mode, r.Parallelism, r.Records, r.AllocateRecordsPerSec)
+		}
+	}
+	if !rep.TCPPatternsMatch || !rep.ResumePatternsMatch {
+		t.Errorf("equivalence flags not set: tcp=%v resume=%v", rep.TCPPatternsMatch, rep.ResumePatternsMatch)
+	}
+}

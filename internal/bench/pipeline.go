@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,9 +14,11 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/enum"
 	"repro/internal/flow"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/trajio"
 	"repro/internal/transport/tcpnet"
 )
 
@@ -161,7 +164,7 @@ type RescaleRun struct {
 
 // IngestRun measures the partitioned source layer at one partition count:
 // the dataset flattened into individual records and pushed through
-// PushRecord into source -> assemble -> the standard pipeline, in-process.
+// PushRecord into the source shards feeding allocate directly, in-process.
 // The 1-partition row is the scaling baseline; Patterns must be equal on
 // every row (and to the snapshot-fed runs) or the source layer is broken.
 type IngestRun struct {
@@ -170,6 +173,54 @@ type IngestRun struct {
 	WallSeconds      float64 `json:"wall_seconds"`
 	RecordsPerSec    float64 `json:"records_per_sec"`
 	Patterns         int64   `json:"patterns"`
+}
+
+// FrontEndScale sizes the front-end scaling workload: enough objects per
+// tick (~10k) that the allocate diff dominates each tick's work, with a
+// short stream so the parallelism sweep stays bounded.
+var FrontEndScale = Scale{Objects: 10000, Ticks: 40}
+
+// FrontEndRun is one partitioned-front-end measurement: the dataset fed
+// as individual records with SourcePartitions == Parallelism, in classic
+// (per-tick cell tasks) or incremental (cell deltas) mode.
+type FrontEndRun struct {
+	Mode        string  `json:"mode"` // "classic" | "incremental"
+	Parallelism int     `json:"parallelism"`
+	Records     int64   `json:"records"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// AllocateCriticalSeconds is the busiest allocate subtask's operator
+	// time — the stage's serial critical path, which sharding shrinks
+	// even when the host has too few cores for wall-clock parallelism.
+	AllocateCriticalSeconds float64 `json:"allocate_critical_seconds"`
+	// AllocateRecordsPerSec divides the stage's input records by that
+	// critical path: the allocate stage's throughput capacity.
+	AllocateRecordsPerSec float64 `json:"allocate_records_per_sec"`
+	Patterns              int64   `json:"patterns"`
+}
+
+// FrontEndReport is the partitioned front end's scaling and equivalence
+// section: allocate-stage throughput at parallelism 1/2/4 in both modes,
+// every row's pattern output checked byte-for-byte against the
+// snapshot-path oracle (the bench hard-fails on any mismatch, so a
+// written report implies every check passed), plus the same equality
+// over TCP workers and across a kill at one parallelism resumed at
+// another.
+type FrontEndReport struct {
+	Objects        int           `json:"objects"`
+	Ticks          int           `json:"ticks"`
+	OraclePatterns int64         `json:"oracle_patterns"`
+	Runs           []FrontEndRun `json:"runs"`
+	// *Speedup1To4 is allocate-stage throughput at parallelism 4 over
+	// parallelism 1 (per mode).
+	ClassicSpeedup1To4     float64 `json:"classic_allocate_speedup_1_to_4"`
+	IncrementalSpeedup1To4 float64 `json:"incremental_allocate_speedup_1_to_4"`
+	// TCPPatternsMatch: classic and incremental runs over real TCP
+	// workers matched the oracle. ResumePatternsMatch: a run killed at
+	// parallelism 4 (after a durable checkpoint, no graceful drain) and
+	// resumed at parallelism 2 committed exactly the oracle's patterns
+	// across both halves.
+	TCPPatternsMatch    bool `json:"tcp_patterns_match"`
+	ResumePatternsMatch bool `json:"resume_patterns_match"`
 }
 
 // IncrementalRun compares the from-scratch and incremental (delta
@@ -237,6 +288,7 @@ type PipelineReport struct {
 	Checkpoint    []CheckpointRun    `json:"checkpoint,omitempty"`
 	Rescale       []RescaleRun       `json:"rescale,omitempty"`
 	Ingest        []IngestRun        `json:"ingest,omitempty"`
+	FrontEnd      *FrontEndReport    `json:"front_end,omitempty"`
 	Incremental   []IncrementalRun   `json:"incremental,omitempty"`
 	Observability []ObservabilityRun `json:"observability,omitempty"`
 }
@@ -765,26 +817,16 @@ func runPipelineRescale(d Dataset, cfg core.Config, fromPar, toPar int) (Rescale
 	}, nil
 }
 
-// runPipelineIngest measures the ingest path at one source-partition
-// count: every record of the dataset pushed individually through the
-// partitioned source layer.
-func runPipelineIngest(d Dataset, cfg core.Config, parts int) (IngestRun, error) {
-	cfg.SourcePartitions = parts
-	var patterns int64
-	cfg.OnPattern = func(model.Pattern) { patterns++ }
-	tokens := admit(&cfg)
-	pipe, err := core.New(cfg)
-	if err != nil {
-		return IngestRun{}, err
-	}
-	// Concurrent feeders emulate parallel publishers: each owns a stripe of
-	// a tick's records (so per-object tick order holds) and the tick
-	// barrier bounds the skew, exactly like rate-paced sensor gateways.
-	feeders := 4
+// feedRecords pushes the snapshots as individual records. Concurrent
+// feeders emulate parallel publishers: each owns a stripe of a tick's
+// records (so per-object tick order holds) and the tick barrier bounds
+// the skew, exactly like rate-paced sensor gateways. Each tick boundary
+// publishes a source watermark so release stays live even for partitions
+// with no objects that tick.
+func feedRecords(pipe *core.Pipeline, snaps []*model.Snapshot, tokens chan struct{}) int64 {
+	const feeders = 4
 	var records int64
-	start := time.Now()
-	pipe.Start()
-	for _, s := range d.Snapshots {
+	for _, s := range snaps {
 		tokens <- struct{}{}
 		var wg sync.WaitGroup
 		for f := 0; f < feeders; f++ {
@@ -798,10 +840,26 @@ func runPipelineIngest(d Dataset, cfg core.Config, parts int) (IngestRun, error)
 		}
 		wg.Wait()
 		records += int64(len(s.Objects))
-		// Tick barrier passed: promise the tick is complete so release
-		// stays live even for partitions with no objects this tick.
 		pipe.PushSourceWatermark(s.Tick)
 	}
+	return records
+}
+
+// runPipelineIngest measures the ingest path at one source-partition
+// count: every record of the dataset pushed individually through the
+// partitioned source layer.
+func runPipelineIngest(d Dataset, cfg core.Config, parts int) (IngestRun, error) {
+	cfg.SourcePartitions = parts
+	var patterns int64
+	cfg.OnPattern = func(model.Pattern) { patterns++ }
+	tokens := admit(&cfg)
+	pipe, err := core.New(cfg)
+	if err != nil {
+		return IngestRun{}, err
+	}
+	start := time.Now()
+	pipe.Start()
+	records := feedRecords(pipe, d.Snapshots, tokens)
 	pipe.Finish()
 	wall := time.Since(start)
 	run := IngestRun{
@@ -814,6 +872,287 @@ func runPipelineIngest(d Dataset, cfg core.Config, parts int) (IngestRun, error)
 		run.RecordsPerSec = float64(records) / wall.Seconds()
 	}
 	return run, nil
+}
+
+// canonPatterns renders patterns in their canonical byte form (sorted,
+// CSV) for exact cross-run equality checks.
+func canonPatterns(ps []model.Pattern) ([]byte, error) {
+	enum.SortPatterns(ps)
+	var buf bytes.Buffer
+	if err := trajio.WritePatternsCSV(&buf, ps); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runPipelineFrontEndOnce runs the partitioned front end at one (mode,
+// parallelism) and returns the measurement plus the canonical pattern
+// bytes for the oracle check.
+func runPipelineFrontEndOnce(d Dataset, cfg core.Config, par int, incremental bool) (FrontEndRun, []byte, error) {
+	cfg.SourcePartitions = par
+	cfg.Parallelism = par
+	cfg.Incremental = incremental
+	cfg.CollectPatterns = true
+	tokens := admit(&cfg)
+	pipe, err := core.New(cfg)
+	if err != nil {
+		return FrontEndRun{}, nil, err
+	}
+	start := time.Now()
+	pipe.Start()
+	records := feedRecords(pipe, d.Snapshots, tokens)
+	res := pipe.Finish()
+	wall := time.Since(start)
+	alloc := -1
+	for i, n := range pipe.StageNames() {
+		if n == "allocate" {
+			alloc = i
+		}
+	}
+	if alloc < 0 {
+		return FrontEndRun{}, nil, fmt.Errorf("bench: front end: no allocate stage in %v", pipe.StageNames())
+	}
+	var crit time.Duration
+	for _, b := range pipe.StageSubtaskBusy(alloc) {
+		if b > crit {
+			crit = b
+		}
+	}
+	mode := "classic"
+	if incremental {
+		mode = "incremental"
+	}
+	run := FrontEndRun{
+		Mode:                    mode,
+		Parallelism:             par,
+		Records:                 records,
+		WallSeconds:             wall.Seconds(),
+		AllocateCriticalSeconds: crit.Seconds(),
+		Patterns:                int64(len(res.Patterns)),
+	}
+	if crit > 0 {
+		run.AllocateRecordsPerSec = float64(records) / crit.Seconds()
+	}
+	canon, err := canonPatterns(res.Patterns)
+	return run, canon, err
+}
+
+// runPipelineFrontEndTCP runs the partitioned front end over real TCP
+// workers and returns the canonical pattern bytes.
+func runPipelineFrontEndTCP(d Dataset, cfg core.Config, par, workers int, incremental bool) ([]byte, error) {
+	cfg.SourcePartitions = par
+	cfg.Parallelism = par
+	cfg.Incremental = incremental
+	cfg.CollectPatterns = true
+	coord, err := tcpnet.NewCoordinator("127.0.0.1:0", workers)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := core.RunWorker(coord.Addr()); err != nil {
+				panic(fmt.Sprintf("bench: front-end worker: %v", err))
+			}
+		}()
+	}
+	tokens := admit(&cfg)
+	pipe, err := core.NewDistributed(cfg, coord)
+	if err != nil {
+		return nil, err
+	}
+	pipe.Start()
+	feedRecords(pipe, d.Snapshots, tokens)
+	res := pipe.Finish()
+	wg.Wait()
+	return canonPatterns(res.Patterns)
+}
+
+// runPipelineFrontEndResume kills a checkpointing partitioned run at
+// fromPar (abandoned with no graceful drain once a checkpoint is durable
+// and the commit queue has quiesced) and resumes it at toPar, replaying
+// the full record stream (the restored source shards drop the absorbed
+// prefix). It returns the canonical bytes of the patterns committed
+// across both halves — the exactly-once guarantee says they must equal
+// an uninterrupted run's output.
+func runPipelineFrontEndResume(d Dataset, cfg core.Config, parts, fromPar, toPar int, incremental bool) ([]byte, error) {
+	dir, err := os.MkdirTemp("", "icpe-bench-frontend-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	crashTick := len(d.Snapshots) * 2 / 3
+
+	base := cfg
+	base.SourcePartitions = parts
+	base.Incremental = incremental
+	base.CheckpointInterval = 8
+	base.CheckpointDir = dir
+	var mu sync.Mutex
+	var committed []model.Pattern
+	var commits int
+	base.OnCommit = func(_ uint64, ps []model.Pattern) {
+		mu.Lock()
+		committed = append(committed, ps...)
+		commits++
+		mu.Unlock()
+	}
+
+	first := base
+	first.Parallelism = fromPar
+	tokens := admit(&first)
+	crashy, err := core.New(first)
+	if err != nil {
+		return nil, err
+	}
+	crashy.Start()
+	feedRecords(crashy, d.Snapshots[:crashTick], tokens)
+	// Wait for a durable checkpoint and a quiescent commit queue: with the
+	// feed stopped no new barriers enter the pipeline, so once the store
+	// manifest and the commit count stop moving, every in-flight cut has
+	// landed and the resumed run cannot double-commit a racing cut.
+	store, err := ckpt.NewDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lastID uint64
+	lastC := -1
+	stable := 0
+	for deadline := time.Now().Add(30 * time.Second); stable < 3; {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: front-end resume: no durable checkpoint before crash point")
+		}
+		time.Sleep(100 * time.Millisecond)
+		man, err := store.Latest()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		c := commits
+		mu.Unlock()
+		if man != nil && man.ID >= 1 && man.ID == lastID && c == lastC {
+			stable++
+		} else {
+			stable = 0
+		}
+		if man != nil {
+			lastID = man.ID
+		}
+		lastC = c
+	}
+	// Crash: abandon the pipeline without draining it.
+
+	second := base
+	second.Parallelism = toPar
+	second.Resume = true
+	tokens = admit(&second)
+	resumed, err := core.New(second)
+	if err != nil {
+		return nil, err
+	}
+	resumed.Start()
+	feedRecords(resumed, d.Snapshots, tokens)
+	resumed.Finish()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return canonPatterns(committed)
+}
+
+// runPipelineFrontEnd builds the front_end section: the allocate-stage
+// scaling sweep (parallelism 1/2/4, classic and incremental, minimum
+// critical path over samples) with every run's pattern output checked
+// against the snapshot-path oracle, then the TCP and kill-resume
+// equivalence checks.
+func runPipelineFrontEnd(seed int64, sc Scale) (*FrontEndReport, error) {
+	d := MakeDataset("planted", seed, sc)
+	p := DefaultParams()
+	cfg := d.config(p, core.RJC, core.FBA)
+
+	ocfg := cfg
+	ocfg.CollectPatterns = true
+	oracleRes, err := core.RunSnapshots(ocfg, cloneSnapshots(d.Snapshots))
+	if err != nil {
+		return nil, err
+	}
+	if len(oracleRes.Patterns) == 0 {
+		return nil, fmt.Errorf("bench: front end: snapshot-path oracle found no patterns; weak check")
+	}
+	oracle, err := canonPatterns(oracleRes.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	rep := &FrontEndReport{
+		Objects:        d.Objects,
+		Ticks:          len(d.Snapshots),
+		OraclePatterns: int64(len(oracleRes.Patterns)),
+	}
+
+	const samples = 3
+	rate := map[string]float64{}
+	for _, incremental := range []bool{false, true} {
+		for _, par := range []int{1, 2, 4} {
+			var best FrontEndRun
+			for i := 0; i < samples; i++ {
+				syscall.Sync()
+				run, canon, err := runPipelineFrontEndOnce(d, cfg, par, incremental)
+				if err != nil {
+					return nil, err
+				}
+				if !bytes.Equal(canon, oracle) {
+					return nil, fmt.Errorf("bench: front end %s parallelism %d: %d patterns differ from snapshot-path oracle's %d",
+						run.Mode, par, run.Patterns, rep.OraclePatterns)
+				}
+				if i == 0 || run.AllocateCriticalSeconds < best.AllocateCriticalSeconds {
+					best = run
+				}
+			}
+			rep.Runs = append(rep.Runs, best)
+			rate[fmt.Sprintf("%s/%d", best.Mode, par)] = best.AllocateRecordsPerSec
+		}
+	}
+	if r1 := rate["classic/1"]; r1 > 0 {
+		rep.ClassicSpeedup1To4 = rate["classic/4"] / r1
+	}
+	if r1 := rate["incremental/1"]; r1 > 0 {
+		rep.IncrementalSpeedup1To4 = rate["incremental/4"] / r1
+	}
+
+	for _, incremental := range []bool{false, true} {
+		canon, err := runPipelineFrontEndTCP(d, cfg, 2, 2, incremental)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(canon, oracle) {
+			return nil, fmt.Errorf("bench: front end tcp (incremental=%v): patterns differ from snapshot-path oracle", incremental)
+		}
+	}
+	rep.TCPPatternsMatch = true
+
+	canon, err := runPipelineFrontEndResume(d, cfg, 4, 4, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(canon, oracle) {
+		return nil, fmt.Errorf("bench: front end kill-resume 4->2: committed patterns differ from snapshot-path oracle")
+	}
+	rep.ResumePatternsMatch = true
+	return rep, nil
+}
+
+// cloneSnapshots deep-copies the dataset for a consuming run (PushSnapshot
+// takes ownership).
+func cloneSnapshots(snaps []*model.Snapshot) []*model.Snapshot {
+	out := make([]*model.Snapshot, len(snaps))
+	for i, s := range snaps {
+		c := s.Clone()
+		c.Ingest = time.Time{}
+		out[i] = c
+	}
+	return out
 }
 
 // runPipelineIncremental measures one churn level in both execution
@@ -980,6 +1319,14 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		}
 		ingestRuns = append(ingestRuns, run)
 	}
+	// Partitioned front end: allocate-stage scaling at its own ~10k-object
+	// scale (FrontEndScale) with hard pattern-equality checks against the
+	// snapshot-path oracle (inproc, tcp, kill-resume at a different
+	// parallelism).
+	frontEnd, err := runPipelineFrontEnd(seed, FrontEndScale)
+	if err != nil {
+		return err
+	}
 	// Observability overhead: metrics off vs on vs on+1Hz scrape.
 	obsRuns, err := runPipelineObs(d, cfg)
 	if err != nil {
@@ -1007,6 +1354,7 @@ func PipelineJSON(w io.Writer, seed int64, sc Scale) error {
 		Checkpoint:    ckptRuns,
 		Rescale:       rescaleRuns,
 		Ingest:        ingestRuns,
+		FrontEnd:      frontEnd,
 		Incremental:   incRuns,
 		Observability: obsRuns,
 	}

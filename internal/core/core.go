@@ -16,7 +16,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +27,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
+	"repro/internal/ops/allocate"
 	"repro/internal/ops/msg"
 	"repro/internal/patstore"
 	"repro/internal/stream"
@@ -95,13 +95,16 @@ type Config struct {
 	MaxParallelism int
 	// SourcePartitions moves ingestion into the dataflow: the topology gains
 	// a partitioned source stage (this many subtasks, each owning a disjoint
-	// shard of object ids routed by key group) and a keyed snapshot-assembly
-	// stage, and the pipeline is fed individual records via PushRecord
-	// instead of driver-assembled snapshots. 0 (the default) keeps the
-	// classic PushSnapshot path. Unlike Parallelism, the partition count
-	// shards the external stream and the per-partition replay offsets, so it
-	// is part of a checkpointed job's identity (fingerprinted) and must stay
-	// fixed across a resume; every other stage still rescales freely.
+	// shard of object ids routed by key group) feeding the allocate stage
+	// directly — records stay keyed by object id end to end, each allocate
+	// subtask diffs/allocates only its own key groups' objects, and no stage
+	// ever materializes a global snapshot. The pipeline is fed individual
+	// records via PushRecord instead of driver-assembled snapshots. 0 (the
+	// default) keeps the classic PushSnapshot path. Unlike Parallelism, the
+	// partition count shards the external stream and the per-partition
+	// replay offsets, so it is part of a checkpointed job's identity
+	// (fingerprinted) and must stay fixed across a resume; every other stage
+	// still rescales freely.
 	SourcePartitions int
 	// SourceSlack delays a source partition's coverage watermark by this
 	// many ticks, absorbing late first records of unknown objects (see
@@ -118,11 +121,11 @@ type Config struct {
 	// the clustering stage maintains the DBSCAN structure incrementally.
 	// Results are identical to the from-scratch path; only the work per
 	// tick changes (proportional to churn instead of snapshot size).
-	// Requires the RJC cluster method and the classic snapshot source
-	// (SourcePartitions == 0). Like MaxParallelism it is part of a
-	// checkpointed job's identity: the stateful operators' blob formats
-	// differ per mode, so the mode is fingerprinted and must match on
-	// resume.
+	// Requires the RJC cluster method; composes with either source
+	// (classic PushSnapshot or the partitioned record feed). Like
+	// MaxParallelism it is part of a checkpointed job's identity: the
+	// stateful operators' blob formats differ per mode, so the mode is
+	// fingerprinted and must match on resume.
 	Incremental bool
 	// ExchangeBatch is the record batch size on the keyed exchanges between
 	// stages (default 32); values < 0 ship record-at-a-time. Batches are
@@ -291,13 +294,8 @@ func (c *Config) fill() error {
 	if c.SourcePartitions > 0 && c.SourceSilence == 0 {
 		c.SourceSilence = stream.DefaultSilenceTimeout
 	}
-	if c.Incremental {
-		if c.Cluster != RJC {
-			return fmt.Errorf("core: incremental mode requires the rjc cluster method (got %q)", c.Cluster)
-		}
-		if c.SourcePartitions > 0 {
-			return fmt.Errorf("core: incremental mode requires the classic snapshot source (SourcePartitions == 0)")
-		}
+	if c.Incremental && c.Cluster != RJC {
+		return fmt.Errorf("core: incremental mode requires the rjc cluster method (got %q)", c.Cluster)
 	}
 	c.ExchangeBatch = normalizeBatch(c.ExchangeBatch)
 	if c.CheckpointInterval > 0 && c.CheckpointDir == "" && c.CheckpointStore == nil {
@@ -389,12 +387,62 @@ type Result struct {
 	BAOverflow bool
 }
 
+// tickHeap is a min-heap of pushed ticks not yet completion-sampled.
+// PushSnapshot feeds it in increasing order (the new tick is already the
+// maximum, so the sift is a no-op), but the partitioned record feed
+// registers ticks from concurrent, possibly skewed feeders — the heap
+// keeps both insert and pop O(log n) where the former sorted slice paid
+// an O(n) copy per out-of-order insert.
+type tickHeap []model.Tick
+
+func (h *tickHeap) push(t model.Tick) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *tickHeap) pop() model.Tick {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l] < s[min] {
+			min = l
+		}
+		if r < n && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}
+
 // Pipeline is one running ICPE instance.
 type Pipeline struct {
 	cfg  Config
 	fl   *flow.Pipeline
 	mets *Metrics
 	ck   *ckptRunner // nil when checkpointing is disabled
+	// allocStats receives the front-end allocate delta counters and
+	// per-shard flush marks (SourcePartitions > 0 only, nil otherwise).
+	allocStats *allocate.Stats
 
 	// srcMu serializes PushRecord callers (network front-ends feed from
 	// several read loops) and keeps barrier injection atomic with respect
@@ -404,9 +452,14 @@ type Pipeline struct {
 
 	mu       sync.Mutex
 	ingest   map[model.Tick]time.Time
-	queue    []model.Tick // pushed ticks not yet completion-sampled
+	queue    tickHeap // pushed ticks not yet completion-sampled
 	patterns []model.Pattern
 	overflow bool
+
+	// regTick is the highest tick registered by the record feed (with a
+	// "seen" flag); the hot path of registerTick is one atomic load.
+	regTick atomic.Int64
+	regSeen atomic.Bool
 
 	// Stream-progress marks for the watermark-lag gauges: highest tick
 	// pushed at the source and the sink's merged watermark, with "seen"
@@ -441,10 +494,13 @@ func New(cfg Config) (*Pipeline, error) {
 		mets:   &Metrics{},
 		ingest: make(map[model.Tick]time.Time),
 	}
+	if p.cfg.SourcePartitions > 0 {
+		p.allocStats = allocate.NewStats(p.cfg.Parallelism)
+	}
 	g, err := Topology(&p.cfg, Hooks{
 		OnCluster:     p.recordCluster,
 		OnOverflow:    p.setOverflow,
-		OnSnapshot:    p.onAssembled,
+		AllocStats:    p.allocStats,
 		Sink:          p.onSinkRecord,
 		SinkWatermark: p.onSinkWatermark,
 	})
@@ -495,7 +551,7 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 	}
 	p.mu.Lock()
 	p.ingest[s.Tick] = s.Ingest
-	p.queue = append(p.queue, s.Tick)
+	p.queue.push(s.Tick)
 	p.mu.Unlock()
 	p.noteSourceTick(s.Tick)
 	if p.cfg.Incremental {
@@ -521,11 +577,13 @@ func (p *Pipeline) PushSnapshot(s *model.Snapshot) {
 // PushRecord feeds one discretized trajectory record into the partitioned
 // source layer (requires Config.SourcePartitions > 0): the record is routed
 // by its object id to the owning source partition, which tracks last-time
-// markers, assembles shard coverage, and advances its watermark. Records of
-// one object must be pushed in increasing tick order; duplicates and stale
-// ticks are dropped inside the source partition — which is also what makes
-// replaying a stream after a resume idempotent. Safe for concurrent use
-// (network front-ends feed from several connection read loops).
+// markers, merges shard coverage into its watermark, and forwards the
+// record — still keyed by object id — to the allocate subtask owning that
+// key group. Records of one object must be pushed in increasing tick order;
+// duplicates and stale ticks are dropped inside the source partition —
+// which is also what makes replaying a stream after a resume idempotent.
+// Safe for concurrent use (network front-ends feed from several connection
+// read loops).
 func (p *Pipeline) PushRecord(obj model.ObjectID, loc geo.Point, tick model.Tick) {
 	if p.cfg.SourcePartitions <= 0 {
 		panic("core: PushRecord needs Config.SourcePartitions > 0 (use PushSnapshot)")
@@ -537,6 +595,7 @@ func (p *Pipeline) PushRecord(obj model.ObjectID, loc geo.Point, tick model.Tick
 		Ingest: time.Now(),
 	}
 	p.noteSourceTick(tick)
+	p.registerTick(tick, rec.Ingest)
 	if p.ck == nil {
 		// No barriers to order against: the endpoint send is itself safe
 		// for concurrent producers, so concurrent feeders proceed without
@@ -584,21 +643,35 @@ func (p *Pipeline) SourcePartitionOf(obj model.ObjectID) int {
 	return stream.PartitionFor(obj, p.cfg.MaxParallelism, p.cfg.SourcePartitions)
 }
 
-// onAssembled observes every snapshot materialized by the assemble stage
-// (partitioned-source mode): the ingest bookkeeping PushSnapshot does on
-// the driver side. Called from assemble subtasks concurrently; the queue
-// stays tick-sorted so completion sampling pops in watermark order.
-func (p *Pipeline) onAssembled(s *model.Snapshot) {
-	if s.Ingest.IsZero() {
-		s.Ingest = time.Now()
+// registerTick does the per-tick driver bookkeeping of the partitioned
+// record feed — what PushSnapshot does once per snapshot on the classic
+// path: the first record of each tick stamps the tick's ingest instant,
+// queues it for completion sampling, and counts one stream snapshot. The
+// common case (another record of the tick just registered) is one atomic
+// load; records from skewed concurrent feeders fall through to the map
+// check, which makes registration exact regardless of interleaving.
+func (p *Pipeline) registerTick(tick model.Tick, ingest time.Time) {
+	if p.regSeen.Load() && p.regTick.Load() == int64(tick) {
+		return
 	}
 	p.mu.Lock()
-	p.ingest[s.Tick] = s.Ingest
-	i := sort.Search(len(p.queue), func(i int) bool { return p.queue[i] >= s.Tick })
-	p.queue = append(p.queue, 0)
-	copy(p.queue[i+1:], p.queue[i:])
-	p.queue[i] = s.Tick
+	if _, ok := p.ingest[tick]; ok {
+		p.mu.Unlock()
+		return
+	}
+	p.ingest[tick] = ingest
+	p.queue.push(tick)
 	p.mu.Unlock()
+	for {
+		old := p.regTick.Load()
+		if p.regSeen.Load() && old >= int64(tick) {
+			break
+		}
+		if p.regTick.CompareAndSwap(old, int64(tick)) {
+			p.regSeen.Store(true)
+			break
+		}
+	}
 	p.mets.mu.Lock()
 	p.mets.Snapshots++
 	p.mets.mu.Unlock()
@@ -658,11 +731,11 @@ func (p *Pipeline) recordCompletion(wm model.Tick) {
 	var done []time.Time
 	var ticks []model.Tick
 	for len(p.queue) > 0 && p.queue[0] <= wm {
-		if ts, ok := p.ingest[p.queue[0]]; ok {
+		t := p.queue.pop()
+		if ts, ok := p.ingest[t]; ok {
 			done = append(done, ts)
-			ticks = append(ticks, p.queue[0])
+			ticks = append(ticks, t)
 		}
-		p.queue = p.queue[1:]
 	}
 	p.mu.Unlock()
 	for _, ts := range done {
@@ -741,6 +814,11 @@ func (p *Pipeline) StageRecords() []int64 { return p.fl.StageRecords() }
 // StageBusy returns per-stage cumulative operator processing time for the
 // stages running in this process (benchmark instrumentation).
 func (p *Pipeline) StageBusy() []time.Duration { return p.fl.StageBusy() }
+
+// StageSubtaskBusy returns one stage's operator time split by subtask; the
+// maximum entry is the stage's serial critical path (see
+// flow.Pipeline.StageSubtaskBusy).
+func (p *Pipeline) StageSubtaskBusy(stage int) []time.Duration { return p.fl.StageSubtaskBusy(stage) }
 
 // CheckpointStats returns the run's checkpoint observability counters
 // (capture vs. encode vs. upload time, bytes per cut, delta/full mix,

@@ -17,14 +17,13 @@ import (
 )
 
 // Hooks are the callbacks a topology run reports through: per-tick cluster
-// snapshots, BA overflow, assembled snapshots (partitioned-source mode),
-// and the sink for patterns and watermarks.
+// snapshots, BA overflow, and the sink for patterns and watermarks.
 type Hooks struct {
 	OnCluster  func(model.Tick, *model.ClusterSnapshot)
 	OnOverflow func()
-	// OnSnapshot observes every snapshot the assemble stage materializes
-	// (SourcePartitions > 0 only; nil on worker processes).
-	OnSnapshot    func(*model.Snapshot)
+	// AllocStats, when non-nil, receives the front-end allocate counters
+	// (SourcePartitions > 0 only; typically nil on worker processes).
+	AllocStats    *allocate.Stats
 	Sink          func(any)
 	SinkWatermark func(model.Tick)
 }
@@ -36,14 +35,16 @@ type Hooks struct {
 //	       (keyed by tick) (by cell)  (by tick)  (by trajectory id)
 //
 // With SourcePartitions > 0 ingestion itself becomes part of the dataflow —
-// two extra stages run ahead of allocate:
+// one extra stage runs ahead of allocate and no stage ever materializes a
+// global snapshot:
 //
-//	driver -> source -> assemble -> allocate -> ...
-//	  (keyed by object id) (by tick)
+//	driver -> source -> allocate -> ...
+//	  (keyed by object id) (by object id)
 //
-// where each source subtask owns one shard of object ids and the assemble
-// stage releases complete snapshots as the merged per-partition coverage
-// watermark advances (see internal/ops/sourceop).
+// where each source subtask owns one shard of object ids and each allocate
+// subtask buffers its own key groups' records, diffing/allocating them
+// shard-locally as the merged per-partition coverage watermark advances
+// (see internal/ops/sourceop and internal/ops/allocate).
 //
 // Every edge is a batched keyed exchange (Config.ExchangeBatch). The graph
 // is plain data; callers may inspect or tweak it before Build.
@@ -75,9 +76,10 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 		return nil, fmt.Errorf("core: unknown cluster method %q", cfg.Cluster)
 	}
 
+	frontEnd := cfg.SourcePartitions > 0
 	var stages []topology.Stage
 	var exchanges []topology.Exchange
-	if cfg.SourcePartitions > 0 {
+	if frontEnd {
 		// Normalize here too (like batch), so a Config built without New's
 		// fill pass gets the documented silence default.
 		silence := cfg.SourceSilence
@@ -85,33 +87,25 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 			silence = stream.DefaultSilenceTimeout
 		}
 		slack := cfg.SourceSlack
-		stages = append(stages,
-			topology.Stage{
-				Name:        "source",
-				Parallelism: cfg.SourcePartitions,
-				Operator: func(int) flow.Operator {
-					return sourceop.NewPartition(slack, silence)
-				},
+		stages = append(stages, topology.Stage{
+			Name:        "source",
+			Parallelism: cfg.SourcePartitions,
+			Operator: func(int) flow.Operator {
+				return sourceop.NewPartition(slack, silence)
 			},
-			topology.Stage{
-				Name:        "assemble",
-				Parallelism: cfg.Parallelism,
-				Operator: func(int) flow.Operator {
-					return sourceop.NewAssemble(h.OnSnapshot)
-				},
-			},
-		)
-		exchanges = append(exchanges,
-			topology.Exchange{Batch: batch}, // source -> assemble (records by tick)
-			topology.Exchange{Batch: batch}, // assemble -> allocate (snapshots by tick)
-		)
+		})
+		// source -> allocate (records by object id)
+		exchanges = append(exchanges, topology.Exchange{Batch: batch})
 	}
 
 	stages = append(stages, []topology.Stage{
 		{
 			Name:        "allocate",
 			Parallelism: cfg.Parallelism,
-			Operator: func(int) flow.Operator {
+			Operator: func(subtask int) flow.Operator {
+				if frontEnd {
+					return allocate.NewFrontEnd(lg, cfg.Eps, mode, cfg.Incremental, subtask, h.AllocStats)
+				}
 				op := allocate.New(lg, cfg.Eps, mode)
 				op.Incremental = cfg.Incremental
 				return op
@@ -123,6 +117,7 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 			Operator: func(int) flow.Operator {
 				op := rangejoin.New(cfg.Eps, cfg.Metric, kernel)
 				op.Incremental = cfg.Incremental
+				op.FrontEnd = frontEnd
 				return op
 			},
 		},
@@ -136,6 +131,7 @@ func Topology(cfg *Config, h Hooks) (*topology.Graph, error) {
 					GroupMin:    cfg.Constraints.M,
 					Enumerate:   cfg.Enum != NoEnum,
 					Incremental: cfg.Incremental,
+					FrontEnd:    frontEnd,
 					OnCluster:   h.OnCluster,
 				})
 			},

@@ -49,8 +49,8 @@ func TestIncrementalConfigValidation(t *testing.T) {
 	_, _, cfg = plantedWorkload(1, 10)
 	cfg.Incremental = true
 	cfg.SourcePartitions = 2
-	if _, err := New(cfg); err == nil {
-		t.Error("incremental with partitioned source accepted")
+	if _, err := New(cfg); err != nil {
+		t.Errorf("incremental with partitioned source rejected: %v", err)
 	}
 	_, _, cfg = plantedWorkload(1, 10)
 	cfg.Incremental = true

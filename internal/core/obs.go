@@ -34,6 +34,8 @@ const (
 	mWMLag         = "icpe_watermark_lag_ticks"
 	mPartRecords   = "icpe_source_partition_records_total"
 	mPartTick      = "icpe_source_partition_tick"
+	mAllocDeltas   = "icpe_allocate_delta_total"
+	mAllocLag      = "icpe_allocate_shard_lag_ticks"
 	mCkptCapture   = "icpe_checkpoint_capture_seconds_total"
 	mCkptEncode    = "icpe_checkpoint_encode_seconds_total"
 	mCkptUpload    = "icpe_checkpoint_upload_seconds_total"
@@ -168,6 +170,31 @@ func (p *Pipeline) setupObs() {
 			lag.Set(0)
 		}
 	})
+
+	if p.allocStats != nil {
+		enters := reg.Counter(mAllocDeltas, "Front-end allocate object transitions by kind.", obs.L("kind", "enter"))
+		moves := reg.Counter(mAllocDeltas, "Front-end allocate object transitions by kind.", obs.L("kind", "move"))
+		leaves := reg.Counter(mAllocDeltas, "Front-end allocate object transitions by kind.", obs.L("kind", "leave"))
+		shards := len(p.allocStats.Flushed)
+		lags := make([]*obs.Gauge, shards)
+		for i := 0; i < shards; i++ {
+			lags[i] = reg.Gauge(mAllocLag, "Source tick minus a front-end allocate subtask's flushed watermark (0 until both have advanced).", obs.L("shard", strconv.Itoa(i)))
+		}
+		reg.OnGather(func() {
+			enters.Set(float64(p.allocStats.Enters.Load()))
+			moves.Set(float64(p.allocStats.Moves.Load()))
+			leaves.Set(float64(p.allocStats.Leaves.Load()))
+			src, haveSrc := p.srcTick.Load(), p.srcSeen.Load()
+			for i := range lags {
+				f := p.allocStats.Flushed[i].Load()
+				if !haveSrc || f == 0 || src < f-1 {
+					lags[i].Set(0)
+					continue
+				}
+				lags[i].Set(float64(src - (f - 1)))
+			}
+		})
+	}
 
 	if p.ck != nil {
 		registerCheckpointMetrics(reg, p.ck.stats)

@@ -114,10 +114,11 @@ func TestPartitionedSourceMatchesSnapshotPath(t *testing.T) {
 	}
 }
 
-// The partitioned source over the TCP transport: source and assemble
-// stages run on real worker processes (every edge crossing a socket via
-// round-robin placement), the driver submits raw records, and the output
-// must still match the single-driver snapshot path byte for byte.
+// The partitioned source over the TCP transport: the source and front-end
+// allocate stages run on real worker processes (every edge crossing a
+// socket via round-robin placement), the driver submits raw records, and
+// the output must still match the single-driver snapshot path byte for
+// byte.
 func TestPartitionedSourceDistributedTCP(t *testing.T) {
 	_, snaps, cfg := plantedWorkload(99, 80)
 	cfg.CollectPatterns = true
@@ -153,7 +154,7 @@ func TestPartitionedSourceDistributedTCP(t *testing.T) {
 //     partitions drop what the checkpoint already absorbed (the
 //     non-deterministic multi-publisher path).
 //
-// The resumed run also switches Parallelism (3 -> 5), so the assemble
+// The resumed run also switches Parallelism (3 -> 5), so the allocate
 // stage's key-group state is resharded while the source stage's raw
 // per-partition state restores 1:1 — the "composes with key-group rescale"
 // guarantee.
@@ -278,8 +279,9 @@ func TestPartitionedSourceResumeRejectsPartitionChange(t *testing.T) {
 	}
 }
 
-// The partitioned topology must prepend exactly the two ingestion stages,
-// with the source at the configured partition count.
+// The partitioned topology must prepend exactly one ingestion stage — the
+// partitioned source feeding allocate directly, no assembly stage — with
+// the source at the configured partition count.
 func TestPartitionedTopologyShape(t *testing.T) {
 	_, _, cfg := plantedWorkload(1, 10)
 	cfg.SourcePartitions = 5
@@ -289,7 +291,7 @@ func TestPartitionedTopologyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"source", "assemble", "allocate", "rangejoin", "cluster", "enumerate"}
+	want := []string{"source", "allocate", "rangejoin", "cluster", "enumerate"}
 	if len(names) != len(want) {
 		t.Fatalf("stages = %v, want %v", names, want)
 	}

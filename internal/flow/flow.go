@@ -86,10 +86,11 @@ type Pipeline struct {
 	maxPar  int          // key-group count; routing is hash(key) % maxPar
 	inputs  [][]Endpoint // inputs[i][s]: input of stage i subtask s
 	wgs     []*sync.WaitGroup
-	local   []bool  // local[i]: stage i's subtasks run in this process
-	recs    []int64 // per-stage processed record counters (atomic)
-	batches []int64 // per-stage processed Batch carrier counters (atomic)
-	busy    []int64 // per-stage operator time in nanoseconds (atomic)
+	local   []bool    // local[i]: stage i's subtasks run in this process
+	recs    []int64   // per-stage processed record counters (atomic)
+	batches []int64   // per-stage processed Batch carrier counters (atomic)
+	busy    []int64   // per-stage operator time in nanoseconds (atomic)
+	busySub [][]int64 // busySub[i][s]: per-subtask operator time in nanoseconds (atomic)
 
 	closeWG sync.WaitGroup // outstanding close-propagation goroutines
 
@@ -221,6 +222,7 @@ func NewPipeline(cfg Config, stages ...StageSpec) *Pipeline {
 		}
 		p.inputs = append(p.inputs, tr.Edge(st.Name, st.Parallelism, buf))
 		p.wgs = append(p.wgs, &sync.WaitGroup{})
+		p.busySub = append(p.busySub, make([]int64, st.Parallelism))
 	}
 	return p
 }
@@ -469,7 +471,9 @@ func (p *Pipeline) runSubtask(stage, subtask, senders int, op Operator, next []E
 				op.Process(ev.Data, out)
 			}
 		}
-		atomic.AddInt64(&p.busy[stage], int64(time.Since(t0)))
+		d := int64(time.Since(t0))
+		atomic.AddInt64(&p.busy[stage], d)
+		atomic.AddInt64(&p.busySub[stage][subtask], d)
 		p.release()
 		out.flush()
 	}
@@ -689,6 +693,19 @@ func (p *Pipeline) StageBusy() []time.Duration {
 	out := make([]time.Duration, len(p.busy))
 	for i := range out {
 		out[i] = time.Duration(atomic.LoadInt64(&p.busy[i]))
+	}
+	return out
+}
+
+// StageSubtaskBusy returns one stage's cumulative operator time split by
+// subtask. The maximum entry is the stage's serial critical path — the
+// busiest shard's processing time, which bounds the stage's throughput no
+// matter how subtasks interleave on cores — so it measures sharding
+// benefit even when wall clock cannot (e.g. a single-core host).
+func (p *Pipeline) StageSubtaskBusy(stage int) []time.Duration {
+	out := make([]time.Duration, len(p.busySub[stage]))
+	for s := range out {
+		out[s] = time.Duration(atomic.LoadInt64(&p.busySub[stage][s]))
 	}
 	return out
 }

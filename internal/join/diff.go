@@ -108,6 +108,21 @@ func DiffSnapshot(prev map[model.ObjectID]geo.Point, s *model.Snapshot, lg, eps 
 	return out
 }
 
+// DiffObjects is DiffSnapshot for an id-keyed shard of objects: the
+// partitioned front end hands each allocate subtask only the (ids, locs)
+// it observed this tick for its own key groups, with prev holding the
+// shard's previous positions. Objects in prev but absent from ids are
+// treated as vanished, exactly as in DiffSnapshot — so callers must pass
+// the complete set of the shard's objects present at this tick. Because
+// the object universe partitions across shards, concatenating every
+// shard's deltas for a tick yields exactly the global DiffSnapshot result
+// (per cell, merged lists remain disjoint; list order differs but the
+// downstream delta application is order-independent within a tick).
+func DiffObjects(prev map[model.ObjectID]geo.Point, ids []model.ObjectID, locs []geo.Point, lg, eps float64, mode grid.Mode) []CellDelta {
+	s := &model.Snapshot{Objects: ids, Locs: locs}
+	return DiffSnapshot(prev, s, lg, eps, mode)
+}
+
 func sortIDs(ids []model.ObjectID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

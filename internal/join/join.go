@@ -94,6 +94,43 @@ func AllocateSnapshot(s *model.Snapshot, lg, eps float64, mode grid.Mode) []Cell
 	return out
 }
 
+// AllocateObjects partitions an id-keyed shard of objects into cell tasks.
+// It is AllocateSnapshot for the partitioned front end: each allocate
+// subtask only sees its own key groups, so there is no global snapshot to
+// index into and tasks carry object IDs (Idx = int32(id)) instead of
+// snapshot positions. Partial tasks for the same cell produced by different
+// shards concatenate into exactly the task AllocateSnapshot would build
+// (module Idx naming), because grid.Allocate is per-object. Tasks are
+// returned in deterministic key order.
+func AllocateObjects(ids []model.ObjectID, locs []geo.Point, lg, eps float64, mode grid.Mode) []CellTask {
+	cells := make(map[grid.Key]*CellTask)
+	for i := range ids {
+		grid.Allocate(int32(ids[i]), locs[i], lg, eps, mode, func(o grid.Object) {
+			c := cells[o.Key]
+			if c == nil {
+				c = &CellTask{Key: o.Key}
+				cells[o.Key] = c
+			}
+			if o.Query {
+				c.Queries = append(c.Queries, CellObj{Idx: o.Index, Loc: o.Loc})
+			} else {
+				c.Data = append(c.Data, CellObj{Idx: o.Index, Loc: o.Loc})
+			}
+		})
+	}
+	out := make([]CellTask, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.X != out[j].Key.X {
+			return out[i].Key.X < out[j].Key.X
+		}
+		return out[i].Key.Y < out[j].Key.Y
+	})
+	return out
+}
+
 // orderedEmit normalizes a pair to (min, max) before emitting.
 func orderedEmit(emit PairEmit, a, b int32) {
 	if a == b {

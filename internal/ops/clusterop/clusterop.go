@@ -37,6 +37,11 @@ type Config struct {
 	// structure across ticks instead of rerunning DBSCAN per snapshot.
 	// Requires all input routed to one subtask (constant key).
 	Incremental bool
+	// FrontEnd marks partitioned-front-end input: msg.Meta announcements
+	// arrive as per-shard partials (sorted, disjoint id lists) and merge
+	// into the tick's object view, and classic-mode pairs carry object
+	// ids instead of snapshot positions, translated at finalize.
+	FrontEnd bool
 	// OnCluster, when set, observes each tick's finished cluster snapshot
 	// (latency and cluster-size metrics).
 	OnCluster func(model.Tick, *model.ClusterSnapshot)
@@ -101,6 +106,10 @@ func (d *Op) Process(data any, out *flow.Collector) {
 	case msg.Meta:
 		d.touch(m.Tick)
 		b := d.buf(m.Tick)
+		if d.cfg.FrontEnd {
+			b.mergeMeta(m)
+			return
+		}
 		b.hasMeta = true
 		b.objects = m.Objects
 		b.ingest = m.Ingest
@@ -232,7 +241,66 @@ func (d *Op) applyNet(t model.Tick, b *tickBuf) {
 
 func (d *Op) finalize(t model.Tick, b *tickBuf, out *flow.Collector) {
 	snap := &model.Snapshot{Tick: t, Objects: b.objects, Ingest: b.ingest}
-	d.emit(t, snap, d.cl.FromPairs(snap.Len(), b.pairs, d.cfg.MinPts), out)
+	pairs := b.pairs
+	if d.cfg.FrontEnd {
+		pairs = translatePairs(t, b.objects, pairs)
+	}
+	d.emit(t, snap, d.cl.FromPairs(snap.Len(), pairs, d.cfg.MinPts), out)
+}
+
+// mergeMeta folds one per-shard partial announcement into the tick's
+// object view. Shard lists are sorted and disjoint (key groups partition
+// the id space), so a single merge pass reproduces the id-sorted object
+// list the snapshot path announces in one piece; the ingest instant is
+// the earliest non-zero one, matching the assembled snapshot's minimum.
+func (b *tickBuf) mergeMeta(m msg.Meta) {
+	b.hasMeta = true
+	if b.ingest.IsZero() || (!m.Ingest.IsZero() && m.Ingest.Before(b.ingest)) {
+		b.ingest = m.Ingest
+	}
+	if len(b.objects) == 0 {
+		b.objects = m.Objects
+		return
+	}
+	merged := make([]model.ObjectID, 0, len(b.objects)+len(m.Objects))
+	i, j := 0, 0
+	for i < len(b.objects) && j < len(m.Objects) {
+		if b.objects[i] < m.Objects[j] {
+			merged = append(merged, b.objects[i])
+			i++
+		} else {
+			merged = append(merged, m.Objects[j])
+			j++
+		}
+	}
+	merged = append(merged, b.objects[i:]...)
+	merged = append(merged, m.Objects[j:]...)
+	b.objects = merged
+}
+
+// translatePairs rewrites front-end id-pairs into positions in the
+// tick's merged (id-sorted) object list — the coordinate system
+// dbscan.FromPairs and the cluster snapshot use. Rewrites in place; the
+// buffer is released right after. Every pair endpoint was announced by
+// its shard's partial meta, so a missing id means the streams
+// desynchronized.
+func translatePairs(t model.Tick, objects []model.ObjectID, pairs [][2]int32) [][2]int32 {
+	idx := func(v int32) int32 {
+		id := model.ObjectID(uint32(v))
+		k := sort.Search(len(objects), func(i int) bool { return objects[i] >= id })
+		if k == len(objects) || objects[k] != id {
+			panic(fmt.Sprintf("clusterop: tick %d pair references unannounced object %d", t, id))
+		}
+		return int32(k)
+	}
+	for n, p := range pairs {
+		i, j := idx(p[0]), idx(p[1])
+		if i > j {
+			i, j = j, i
+		}
+		pairs[n] = [2]int32{i, j}
+	}
+	return pairs
 }
 
 func (d *Op) emit(t model.Tick, snap *model.Snapshot, clusters [][]int32, out *flow.Collector) {

@@ -23,7 +23,7 @@ const (
 	KindPairs     flow.Kind = 4 // Pairs (rangejoin -> cluster)
 	KindPartition flow.Kind = 5 // enum.Partition (cluster -> enumerate)
 	KindPattern   flow.Kind = 6 // model.Pattern (enumerate -> sink)
-	KindRec       flow.Kind = 7 // Rec (driver -> source -> assemble)
+	KindRec       flow.Kind = 7 // Rec (driver -> source -> allocate)
 	KindCellDelta flow.Kind = 8 // CellDelta (allocate -> rangejoin, incremental mode)
 	KindPairDelta flow.Kind = 9 // PairDelta (rangejoin -> cluster, incremental mode)
 )

@@ -7,9 +7,10 @@
 // Every message is self-contained: no field points into a snapshot (or any
 // other structure) living on an upstream stage's heap, so records can be
 // serialized with the codecs in codec.go and shipped to subtasks in other
-// OS processes. The clustering stage reassembles the per-tick snapshot view
+// OS processes. The clustering stage reassembles the per-tick object view
 // it needs from Meta and Pairs records instead of dereferencing a shared
-// pointer.
+// pointer; behind the partitioned front end that view is merged from the
+// per-shard partial Metas each allocate subtask emits.
 package msg
 
 import (
@@ -25,7 +26,8 @@ import (
 // it keyed by object id, which routes it to the source partition owning
 // that object's key group; the partition tracks last-time markers and
 // coverage internally (stream.Partition) and re-emits released records
-// keyed by tick toward the snapshot assembly stage, so the record itself
+// still keyed by object id straight to the allocate subtask owning the
+// same key group — no global snapshot is assembled — so the record itself
 // carries no last-time field.
 type Rec struct {
 	Object model.ObjectID
@@ -43,10 +45,14 @@ type Cell struct {
 	Task join.CellTask
 }
 
-// Meta announces a snapshot to the clustering stage (GridSync input),
-// keyed by tick: the snapshot's object ids in location order plus its
+// Meta announces one tick's object population to the clustering stage
+// (GridSync input), keyed by tick: object ids in location order plus the
 // ingest instant. Join pairs reference locations by index; Meta is what
-// maps those indices back to object ids downstream.
+// maps those indices back to object ids downstream. On the snapshot path
+// a single Meta carries the whole tick; behind the partitioned front end
+// each allocate subtask emits a partial Meta covering only its own
+// objects (indexed by object id, sorted ascending) and the clustering
+// stage merges the disjoint partials.
 type Meta struct {
 	Tick    model.Tick
 	Objects []model.ObjectID

@@ -1,8 +1,12 @@
 // Package rangejoin implements the GridQuery operator (Algorithm 2): the
 // per-cell range join. Cell tasks arrive keyed by grid cell; qualifying
 // pairs leave as msg.Pairs keyed by tick, so the clustering stage can
-// reassemble each snapshot's full pair set. msg.Meta announcements pass
-// through unchanged, re-keyed by tick.
+// reassemble each tick's full pair set. msg.Meta announcements pass
+// through unchanged, re-keyed by tick — behind the partitioned front end
+// those are per-shard partials the clustering stage merges, and cell
+// tasks/deltas for one cell may arrive split across allocate shards, so
+// the operator buffers and merges them per (tick, cell) until the
+// watermark closes the tick.
 //
 // In incremental mode the operator is stateful: each grid cell keeps a
 // persistent join.IncCell (data + query indexes) that msg.CellDelta
@@ -55,10 +59,21 @@ type Op struct {
 	// Incremental switches the operator to delta maintenance (requires
 	// the RJC kernel: ownership accounting relies on Lemma 1/2 claims).
 	Incremental bool
+	// FrontEnd switches the operator to partitioned-front-end buffering:
+	// cell tasks/deltas arrive as per-shard partials and are merged per
+	// (tick, cell), then joined/applied in tick order once the merged
+	// watermark confirms the tick complete. Without it, a task is
+	// self-contained and a delta stream is globally tick-ordered, so both
+	// process immediately.
+	FrontEnd bool
 
 	// cells holds this subtask's persistent per-cell state (incremental
 	// mode); empty cells are dropped.
 	cells map[grid.Key]*join.IncCell
+	// pendTasks/pendDeltas buffer front-end partials per (tick, cell)
+	// until the watermark passes the tick; checkpointed with the cells.
+	pendTasks  map[model.Tick]map[grid.Key]*join.CellTask
+	pendDeltas map[model.Tick]map[grid.Key]*join.CellDelta
 	// dirty tracks touched cell-key hashes (the routing key) for
 	// incremental checkpoints.
 	dirty *ckpt.DirtyTracker
@@ -84,12 +99,47 @@ func (g *Op) RestoreState([]byte) error { return nil }
 
 // SnapshotGroups implements ckpt.GroupSnapshotter: every cell state is
 // bucketed under the group of the key hash its deltas route by, cells
-// encoded in ascending key order for deterministic bytes.
+// encoded in ascending key order for deterministic bytes. In front-end
+// mode the group blob also carries the group's pending (tick, cell)
+// partials — tasks or deltas buffered ahead of the watermark — in a
+// format gated by the FrontEnd flag (the flag follows SourcePartitions,
+// which is part of the job fingerprint, so blobs never cross modes).
 func (g *Op) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
+	if g.FrontEnd {
+		groups := g.frontEndGroups(group)
+		if len(groups) == 0 {
+			return nil, nil
+		}
+		out := make(map[int][]byte, len(groups))
+		for grp := range groups {
+			out[grp] = g.encodeFrontEndGroup(grp, group)
+		}
+		return out, nil
+	}
 	if len(g.cells) == 0 {
 		return nil, nil
 	}
 	return g.encodeCells(group, func(int) bool { return true }), nil
+}
+
+// frontEndGroups returns the key groups currently holding cell state or
+// pending partials.
+func (g *Op) frontEndGroups(group func(uint64) int) map[int]struct{} {
+	groups := make(map[int]struct{})
+	for k := range g.cells {
+		groups[group(k.Hash())] = struct{}{}
+	}
+	for _, cells := range g.pendTasks {
+		for k := range cells {
+			groups[group(k.Hash())] = struct{}{}
+		}
+	}
+	for _, cells := range g.pendDeltas {
+		for k := range cells {
+			groups[group(k.Hash())] = struct{}{}
+		}
+	}
+	return groups
 }
 
 // CaptureGroups implements ckpt.DeltaSnapshotter: a full cut delegates to
@@ -106,6 +156,19 @@ func (g *Op) CaptureGroups(group func(uint64) int, id, base uint64, delta bool) 
 	}
 	if len(dirty) == 0 {
 		return nil, nil, nil
+	}
+	if g.FrontEnd {
+		groups := g.frontEndGroups(group)
+		frames := make(map[int][]byte, len(dirty))
+		var dropped []int
+		for grp := range dirty {
+			if _, has := groups[grp]; !has {
+				dropped = append(dropped, grp)
+				continue
+			}
+			frames[grp] = g.encodeFrontEndGroup(grp, group)
+		}
+		return frames, dropped, nil
 	}
 	frames := g.encodeCells(group, func(grp int) bool { return dirty[grp] })
 	var dropped []int
@@ -160,6 +223,9 @@ func appendEntries(buf []byte, os []join.IDLoc) []byte {
 // RestoreGroup implements ckpt.GroupSnapshotter: one group blob holds a
 // sequence of cell frames; restore may be called once per group.
 func (g *Op) RestoreGroup(data []byte) error {
+	if g.FrontEnd {
+		return g.restoreFrontEndGroup(data)
+	}
 	d := flow.NewDec(data)
 	if g.cells == nil {
 		g.cells = make(map[grid.Key]*join.IncCell)
@@ -208,59 +274,216 @@ func (g *Op) Process(data any, out *flow.Collector) {
 			out.Emit(uint64(m.Tick), m) // pass through to the clustering stage
 		}
 	case msg.Cell:
-		pairs := g.scratch[:0]
-		emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
-		if g.Kernel == RJC {
-			join.RunCellRJC(m.Task, g.Eps, g.Metric, emit)
-		} else {
-			join.RunCellSRJ(m.Task, g.Eps, g.Metric, emit)
+		if g.FrontEnd {
+			g.bufferTask(m)
+			return
 		}
-		g.scratch = pairs[:0]
-		if len(pairs) > 0 {
-			// The emitted slice leaves this operator's ownership; copy out
-			// of the scratch buffer.
-			owned := make([][2]int32, len(pairs))
-			copy(owned, pairs)
-			out.Emit(uint64(m.Tick), msg.Pairs{Tick: m.Tick, Pairs: owned})
-		}
+		g.runTask(&m.Task, m.Tick, out)
 	case msg.CellDelta:
-		// Every delta mutates its cell's state — including emptying it,
-		// which must tombstone the group at the next incremental cut.
-		g.dirty.Touch(m.Delta.Key.Hash())
-		c := g.cells[m.Delta.Key]
-		if c == nil {
-			c = join.NewIncCell(g.Eps)
-			if g.cells == nil {
-				g.cells = make(map[grid.Key]*join.IncCell)
+		if g.FrontEnd {
+			g.bufferDelta(m)
+			return
+		}
+		g.applyDelta(&m.Delta, m.Tick, out)
+	}
+}
+
+// runTask joins one (complete) cell task and emits its pairs keyed by
+// tick.
+func (g *Op) runTask(task *join.CellTask, tick model.Tick, out *flow.Collector) {
+	pairs := g.scratch[:0]
+	emit := func(i, j int32) { pairs = append(pairs, [2]int32{i, j}) }
+	if g.Kernel == RJC {
+		join.RunCellRJC(*task, g.Eps, g.Metric, emit)
+	} else {
+		join.RunCellSRJ(*task, g.Eps, g.Metric, emit)
+	}
+	g.scratch = pairs[:0]
+	if len(pairs) > 0 {
+		// The emitted slice leaves this operator's ownership; copy out
+		// of the scratch buffer.
+		owned := make([][2]int32, len(pairs))
+		copy(owned, pairs)
+		out.Emit(uint64(tick), msg.Pairs{Tick: tick, Pairs: owned})
+	}
+}
+
+// applyDelta folds one (complete) cell delta into the cell's persistent
+// index and emits the netted pair transitions.
+func (g *Op) applyDelta(delta *join.CellDelta, tick model.Tick, out *flow.Collector) {
+	// Every delta mutates its cell's state — including emptying it,
+	// which must tombstone the group at the next incremental cut.
+	g.dirty.Touch(delta.Key.Hash())
+	c := g.cells[delta.Key]
+	if c == nil {
+		c = join.NewIncCell(g.Eps)
+		if g.cells == nil {
+			g.cells = make(map[grid.Key]*join.IncCell)
+		}
+		g.cells[delta.Key] = c
+	}
+	adds, dels := g.addBuf[:0], g.delBuf[:0]
+	c.Apply(delta.DataDel, delta.QueryDel, delta.DataAdd, delta.QueryAdd,
+		g.Eps, g.Metric, func(add bool, a, b model.ObjectID) {
+			p := uint64(a)<<32 | uint64(b)
+			if add {
+				adds = append(adds, p)
+			} else {
+				dels = append(dels, p)
 			}
-			g.cells[m.Delta.Key] = c
-		}
-		adds, dels := g.addBuf[:0], g.delBuf[:0]
-		c.Apply(m.Delta.DataDel, m.Delta.QueryDel, m.Delta.DataAdd, m.Delta.QueryAdd,
-			g.Eps, g.Metric, func(add bool, a, b model.ObjectID) {
-				p := uint64(a)<<32 | uint64(b)
-				if add {
-					adds = append(adds, p)
-				} else {
-					dels = append(dels, p)
-				}
-			})
-		if c.Empty() {
-			delete(g.cells, m.Delta.Key)
-		}
-		g.addBuf, g.delBuf = adds[:0], dels[:0]
-		if len(adds) > 0 || len(dels) > 0 {
-			slices.Sort(adds)
-			slices.Sort(dels)
-			adds, dels = netPairs(adds, dels)
-		}
-		if len(adds) > 0 || len(dels) > 0 {
-			d := msg.PairDelta{Tick: m.Tick}
-			d.Add = unpackPairs(adds)
-			d.Del = unpackPairs(dels)
-			out.Emit(0, d)
+		})
+	if c.Empty() {
+		delete(g.cells, delta.Key)
+	}
+	g.addBuf, g.delBuf = adds[:0], dels[:0]
+	if len(adds) > 0 || len(dels) > 0 {
+		slices.Sort(adds)
+		slices.Sort(dels)
+		adds, dels = netPairs(adds, dels)
+	}
+	if len(adds) > 0 || len(dels) > 0 {
+		d := msg.PairDelta{Tick: tick}
+		d.Add = unpackPairs(adds)
+		d.Del = unpackPairs(dels)
+		out.Emit(0, d)
+	}
+}
+
+// bufferTask merges one per-shard partial cell task into the (tick, cell)
+// buffer. Shards own disjoint object sets, so merging is concatenation.
+func (g *Op) bufferTask(m msg.Cell) {
+	g.dirty.Touch(m.Task.Key.Hash())
+	if g.pendTasks == nil {
+		g.pendTasks = make(map[model.Tick]map[grid.Key]*join.CellTask)
+	}
+	cells := g.pendTasks[m.Tick]
+	if cells == nil {
+		cells = make(map[grid.Key]*join.CellTask)
+		g.pendTasks[m.Tick] = cells
+	}
+	t := cells[m.Task.Key]
+	if t == nil {
+		task := m.Task
+		cells[m.Task.Key] = &task
+		return
+	}
+	t.Data = append(t.Data, m.Task.Data...)
+	t.Queries = append(t.Queries, m.Task.Queries...)
+}
+
+// bufferDelta merges one per-shard partial cell delta into the
+// (tick, cell) buffer. Buffering (rather than applying immediately) is
+// what restores global tick order: a fast shard's tick-t+1 delta may
+// arrive before a slow shard's tick-t delta, and cell state must absorb
+// them in tick order.
+func (g *Op) bufferDelta(m msg.CellDelta) {
+	g.dirty.Touch(m.Delta.Key.Hash())
+	if g.pendDeltas == nil {
+		g.pendDeltas = make(map[model.Tick]map[grid.Key]*join.CellDelta)
+	}
+	cells := g.pendDeltas[m.Tick]
+	if cells == nil {
+		cells = make(map[grid.Key]*join.CellDelta)
+		g.pendDeltas[m.Tick] = cells
+	}
+	d := cells[m.Delta.Key]
+	if d == nil {
+		delta := m.Delta
+		cells[m.Delta.Key] = &delta
+		return
+	}
+	d.DataDel = append(d.DataDel, m.Delta.DataDel...)
+	d.QueryDel = append(d.QueryDel, m.Delta.QueryDel...)
+	d.DataAdd = append(d.DataAdd, m.Delta.DataAdd...)
+	d.QueryAdd = append(d.QueryAdd, m.Delta.QueryAdd...)
+}
+
+// OnWatermark releases every buffered front-end tick the merged watermark
+// has passed: all allocate subtasks have flushed their share of those
+// ticks (operator emissions precede the forwarded watermark on every
+// edge), so the merged tasks/deltas are complete.
+func (g *Op) OnWatermark(wm model.Tick, out *flow.Collector) {
+	if !g.FrontEnd {
+		return
+	}
+	g.release(wm, out)
+}
+
+// Close releases everything still buffered (end of stream).
+func (g *Op) Close(out *flow.Collector) {
+	if !g.FrontEnd {
+		return
+	}
+	g.release(model.Tick(1<<62-1), out)
+}
+
+// release joins/applies buffered ticks <= wm in ascending tick order,
+// cells in ascending key order for deterministic emission.
+func (g *Op) release(wm model.Tick, out *flow.Collector) {
+	var ticks []model.Tick
+	for t := range g.pendTasks {
+		if t <= wm {
+			ticks = append(ticks, t)
 		}
 	}
+	for t := range g.pendDeltas {
+		if t <= wm {
+			ticks = append(ticks, t)
+		}
+	}
+	slices.Sort(ticks)
+	for _, t := range ticks {
+		if cells := g.pendTasks[t]; cells != nil {
+			delete(g.pendTasks, t)
+			for _, k := range sortedKeys(cells) {
+				// Releasing the buffer changes the group's state: a delta
+				// cut after this must re-capture (or tombstone) the group.
+				g.dirty.Touch(k.Hash())
+				task := cells[k]
+				sortCellObjs(task.Data)
+				sortCellObjs(task.Queries)
+				g.runTask(task, t, out)
+			}
+		}
+		if cells := g.pendDeltas[t]; cells != nil {
+			delete(g.pendDeltas, t)
+			for _, k := range sortedKeys(cells) {
+				g.applyDelta(cells[k], t, out)
+			}
+		}
+	}
+}
+
+// sortedKeys returns a map's cell keys in ascending (X, Y) order.
+func sortedKeys[V any](cells map[grid.Key]V) []grid.Key {
+	keys := make([]grid.Key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b grid.Key) int {
+		if a.X != b.X {
+			return int(a.X) - int(b.X)
+		}
+		return int(a.Y) - int(b.Y)
+	})
+	return keys
+}
+
+// sortCellObjs orders merged cell objects by object id (Idx carries the
+// id in front-end mode; unsigned compare keeps huge ids ordered), the
+// same order a snapshot-path task lists them in — so the kernels see the
+// exact oracle task.
+func sortCellObjs(os []join.CellObj) {
+	slices.SortFunc(os, func(a, b join.CellObj) int {
+		ua, ub := uint32(a.Idx), uint32(b.Idx)
+		switch {
+		case ua < ub:
+			return -1
+		case ua > ub:
+			return 1
+		}
+		return 0
+	})
 }
 
 // netPairs drops pairs present in both sorted lists: an object moving

@@ -1,44 +1,35 @@
 // Package sourceop moves stream ingestion into the dataflow (the front the
-// paper assumes Flink provides): a partitioned source stage plus a keyed
-// snapshot-assembly stage replace the host-side single-threaded assembler.
+// paper assumes Flink provides): a partitioned source stage feeds the
+// allocate stage directly, keyed by object id.
 //
-//	driver/network -> source (keyed by object id) -> assemble (keyed by tick) -> allocate ...
+//	driver/network -> source (keyed by object id) -> allocate (keyed by object id) ...
 //
 // Each Partition subtask owns a disjoint shard of object ids (the same key
 // groups the exchange routes by), runs its own last-time tracker and
 // shard-scoped coverage assembly, and emits tick-stamped records followed
 // by its coverage watermark: a promise that the shard's contribution to
-// every tick up to it is complete. The Assemble stage buffers records per
-// tick and releases snapshot t — sorted, with the earliest ingest instant —
-// once the merged watermark across all partitions passes t, which is
-// precisely the global assembler's release condition, now computed without
-// any cross-partition synchronization.
+// every tick up to it is complete. No stage ever materializes a global
+// snapshot: records flow straight to the allocate subtask that owns their
+// object's key group, and allocate treats the merged watermark across all
+// partitions as the tick-completeness signal — the same release condition
+// the old assembly stage computed, now with no per-tick serial point.
 //
 // Checkpointing: a Partition's state (last-time map + pending coverage) is
 // shard-scoped and pinned to the partition count, so it snapshots as a raw
 // blob; the partition count is part of the job's config fingerprint and
-// cannot change across a resume. Assemble state is keyed by tick and
-// snapshots per key group, so the assemble/downstream parallelism remains
-// freely rescalable.
+// cannot change across a resume. Downstream stages keep their state by key
+// group and remain freely rescalable.
 package sourceop
 
 import (
-	"encoding/binary"
-	"sort"
-	"time"
-
 	"repro/internal/ckpt"
 	"repro/internal/flow"
-	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/ops/msg"
 	"repro/internal/stream"
 )
 
-var (
-	_ ckpt.Snapshotter      = (*Partition)(nil)
-	_ ckpt.DeltaSnapshotter = (*Assemble)(nil)
-)
+var _ ckpt.Snapshotter = (*Partition)(nil)
 
 // Partition is the source-partition operator: one subtask per source
 // shard, fed records keyed by object id.
@@ -54,8 +45,8 @@ func NewPartition(slack, silence model.Tick) *Partition {
 }
 
 // Process ingests one raw record and emits any partial snapshots the shard
-// released, each record keyed by its tick, followed by the partition's
-// advanced coverage watermark.
+// released, each record keyed by its object id, followed by the
+// partition's advanced coverage watermark.
 func (p *Partition) Process(data any, out *flow.Collector) {
 	r := data.(msg.Rec)
 	released := p.shard.Push(r.Object, r.Loc, r.Tick, r.Ingest)
@@ -72,7 +63,7 @@ func (p *Partition) Process(data any, out *flow.Collector) {
 // pending coverage up to wm and forwards the watermark — unconditionally,
 // which is the liveness valve for partitions whose shard is empty or
 // permanently silent (their coverage watermark would otherwise never
-// advance and the assemble stage's merged minimum would stall). Feeds that
+// advance and the downstream merged minimum would stall). Feeds that
 // cannot bound their disorder (independent network publishers) simply
 // never send source watermarks and keep the pure coverage behavior.
 func (p *Partition) OnWatermark(wm model.Tick, out *flow.Collector) {
@@ -93,13 +84,13 @@ func (p *Partition) Close(out *flow.Collector) {
 }
 
 // emitPartial forwards one released partial snapshot as individual
-// tick-stamped records (the exchange batches them; key = tick keeps one
-// destination per tick). Every record carries the partial's earliest
-// ingest instant — the minimum survives the downstream merge, which is the
-// latency the paper measures.
+// tick-stamped records, each keyed by its object id so the exchange routes
+// it to the allocate subtask owning that key group. Every record carries
+// the partial's earliest ingest instant — the minimum survives the
+// downstream merge, which is the latency the paper measures.
 func emitPartial(ps *model.Snapshot, out *flow.Collector) {
 	for i, obj := range ps.Objects {
-		out.Emit(uint64(ps.Tick), msg.Rec{
+		out.Emit(uint64(obj), msg.Rec{
 			Object: obj,
 			Loc:    ps.Locs[i],
 			Tick:   ps.Tick,
@@ -115,176 +106,3 @@ func (p *Partition) SnapshotState() ([]byte, error) { return p.shard.EncodeState
 
 // RestoreState implements ckpt.Snapshotter.
 func (p *Partition) RestoreState(data []byte) error { return p.shard.RestoreState(data) }
-
-// Assemble is the keyed snapshot-assembly operator (key = tick): it merges
-// the per-partition record streams into complete snapshots, released in
-// tick order as the merged source watermark advances.
-type Assemble struct {
-	// OnSnapshot, when set, observes every assembled snapshot before it is
-	// emitted downstream (the driver's ingest bookkeeping; nil on workers).
-	OnSnapshot func(*model.Snapshot)
-
-	open map[model.Tick]*model.Snapshot
-	// dirty tracks touched ticks (the routing key) for incremental
-	// checkpoints.
-	dirty *ckpt.DirtyTracker
-}
-
-// NewAssemble builds an empty assembly operator.
-func NewAssemble(onSnapshot func(*model.Snapshot)) *Assemble {
-	return &Assemble{
-		OnSnapshot: onSnapshot,
-		open:       make(map[model.Tick]*model.Snapshot),
-		dirty:      ckpt.NewDirtyTracker(),
-	}
-}
-
-// Process buffers one tick-stamped record under its tick.
-func (a *Assemble) Process(data any, out *flow.Collector) {
-	r := data.(msg.Rec)
-	a.dirty.Touch(uint64(r.Tick))
-	s := a.open[r.Tick]
-	if s == nil {
-		s = &model.Snapshot{Tick: r.Tick}
-		a.open[r.Tick] = s
-	}
-	if s.Ingest.IsZero() || (!r.Ingest.IsZero() && r.Ingest.Before(s.Ingest)) {
-		s.Ingest = r.Ingest
-	}
-	s.Add(r.Object, r.Loc)
-}
-
-// OnWatermark releases every buffered snapshot with tick <= wm, in tick
-// order: all partitions have passed wm, so those ticks are complete.
-func (a *Assemble) OnWatermark(wm model.Tick, out *flow.Collector) { a.release(wm, out) }
-
-// Close releases everything still buffered (end of stream).
-func (a *Assemble) Close(out *flow.Collector) { a.release(model.Tick(1<<62-1), out) }
-
-func (a *Assemble) release(wm model.Tick, out *flow.Collector) {
-	var ticks []model.Tick
-	for t := range a.open {
-		if t <= wm {
-			ticks = append(ticks, t)
-		}
-	}
-	if len(ticks) == 0 {
-		return
-	}
-	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
-	for _, t := range ticks {
-		s := a.open[t]
-		a.dirty.Touch(uint64(t)) // released: tombstone the group at a delta cut
-		delete(a.open, t)
-		stream.SortSnapshot(s)
-		if a.OnSnapshot != nil {
-			a.OnSnapshot(s)
-		}
-		out.Emit(uint64(s.Tick), s)
-	}
-}
-
-// SnapshotGroups implements ckpt.GroupSnapshotter: the open per-tick
-// buffers, bucketed by the key group of their tick (the routing key both
-// the inbound and outbound edges use) in ascending tick order within each
-// bucket.
-func (a *Assemble) SnapshotGroups(group func(uint64) int) (map[int][]byte, error) {
-	if len(a.open) == 0 {
-		return nil, nil
-	}
-	byGroup := make(map[int][]model.Tick)
-	for t := range a.open {
-		g := group(uint64(t))
-		byGroup[g] = append(byGroup[g], t)
-	}
-	out := make(map[int][]byte, len(byGroup))
-	for g, ticks := range byGroup {
-		out[g] = a.encodeTicks(ticks)
-	}
-	return out, nil
-}
-
-// CaptureGroups implements ckpt.DeltaSnapshotter: a full cut delegates to
-// SnapshotGroups; a delta cut re-encodes only the key groups whose tick
-// buffers were touched since the base (a record buffered, or a snapshot
-// released), tombstoning dirty groups with no open tick left.
-func (a *Assemble) CaptureGroups(group func(uint64) int, id, base uint64, delta bool) (map[int][]byte, []int, error) {
-	dirty := a.dirty.Capture(group, id, base, delta)
-	if !delta {
-		frames, err := a.SnapshotGroups(group)
-		return frames, nil, err
-	}
-	byGroup := make(map[int][]model.Tick)
-	for t := range a.open {
-		if g := group(uint64(t)); dirty[g] {
-			byGroup[g] = append(byGroup[g], t)
-		}
-	}
-	frames := make(map[int][]byte, len(byGroup))
-	var dropped []int
-	for g := range dirty {
-		ticks := byGroup[g]
-		if len(ticks) == 0 {
-			dropped = append(dropped, g)
-			continue
-		}
-		frames[g] = a.encodeTicks(ticks)
-	}
-	return frames, dropped, nil
-}
-
-// encodeTicks serializes the open buffers of the given ticks (one key
-// group's share of the operator state), sorting them ascending.
-func (a *Assemble) encodeTicks(ticks []model.Tick) []byte {
-	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
-	buf := binary.AppendUvarint(nil, uint64(len(ticks)))
-	for _, t := range ticks {
-		s := a.open[t]
-		buf = binary.AppendVarint(buf, int64(t))
-		if s.Ingest.IsZero() {
-			buf = append(buf, 0)
-		} else {
-			buf = append(buf, 1)
-			buf = binary.AppendVarint(buf, s.Ingest.UnixNano())
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(s.Objects)))
-		for i, id := range s.Objects {
-			buf = binary.AppendUvarint(buf, uint64(id))
-			buf = flow.AppendFloat64(buf, s.Locs[i].X)
-			buf = flow.AppendFloat64(buf, s.Locs[i].Y)
-		}
-	}
-	return buf
-}
-
-// RestoreGroup implements ckpt.GroupSnapshotter: one key group's tick
-// buffers are merged into the operator (groups are disjoint, so ticks
-// never collide).
-func (a *Assemble) RestoreGroup(data []byte) error {
-	d := flow.NewDec(data)
-	n := int(d.Uvarint())
-	if n < 0 || n > d.Remaining() {
-		d.Failf("sourceop: tick count %d exceeds payload", n)
-		return d.Err()
-	}
-	for i := 0; i < n; i++ {
-		s := &model.Snapshot{Tick: model.Tick(d.Varint())}
-		if d.Byte() != 0 {
-			s.Ingest = time.Unix(0, d.Varint())
-		}
-		m := int(d.Uvarint())
-		if m < 0 || m > d.Remaining()/17 { // id varint + two fixed floats
-			d.Failf("sourceop: record count %d exceeds payload", m)
-			return d.Err()
-		}
-		for j := 0; j < m; j++ {
-			id := model.ObjectID(d.Uvarint())
-			s.Add(id, geo.Point{X: d.Float64(), Y: d.Float64()})
-		}
-		if err := d.Err(); err != nil {
-			return err
-		}
-		a.open[s.Tick] = s
-	}
-	return d.Err()
-}

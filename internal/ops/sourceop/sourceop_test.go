@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,43 +16,64 @@ import (
 	"repro/internal/stream"
 )
 
-// runIngest pushes records through a source(parts) -> assemble(2) pipeline
-// and returns the snapshots the assemble stage emitted, sorted by tick.
+// runIngest pushes records through a source(parts) stage and returns the
+// records it forwarded, regrouped into per-tick snapshots sorted by id —
+// the view a downstream allocate subtask reconstructs shard-locally.
 func runIngest(t *testing.T, parts int, recs []msg.Rec) []*model.Snapshot {
 	t.Helper()
 	var (
 		mu   sync.Mutex
-		outs []*model.Snapshot
+		outs = map[model.Tick]*model.Snapshot{}
 	)
 	p := flow.NewPipeline(flow.Config{
 		Sink: func(v any) {
-			s, ok := v.(*model.Snapshot)
+			r, ok := v.(msg.Rec)
 			if !ok {
 				t.Errorf("sink got %T", v)
 				return
 			}
 			mu.Lock()
-			outs = append(outs, s)
+			s := outs[r.Tick]
+			if s == nil {
+				s = &model.Snapshot{Tick: r.Tick}
+				outs[r.Tick] = s
+			}
+			s.Objects = append(s.Objects, r.Object)
+			s.Locs = append(s.Locs, r.Loc)
 			mu.Unlock()
 		},
 	},
 		flow.StageSpec{Name: "source", Parallelism: parts, OutBatch: 8,
 			Make: func(int) flow.Operator { return NewPartition(0, 0) }},
-		flow.StageSpec{Name: "assemble", Parallelism: 2, OutBatch: 8,
-			Make: func(int) flow.Operator { return NewAssemble(nil) }},
 	)
 	p.Start()
 	for _, r := range recs {
 		p.Submit(uint64(r.Object), r)
 	}
 	p.Drain()
-	sort.Slice(outs, func(i, j int) bool { return outs[i].Tick < outs[j].Tick })
-	return outs
+	snaps := make([]*model.Snapshot, 0, len(outs))
+	for _, s := range outs {
+		sort.Sort(byObjID{s})
+		snaps = append(snaps, s)
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Tick < snaps[j].Tick })
+	return snaps
 }
 
-// The two-stage ingestion front must reassemble exactly the snapshots the
-// records were cut from, sorted by object id, at any partition count.
-func TestSourceAssembleRoundTrip(t *testing.T) {
+type byObjID struct{ s *model.Snapshot }
+
+func (b byObjID) Len() int           { return len(b.s.Objects) }
+func (b byObjID) Less(i, j int) bool { return b.s.Objects[i] < b.s.Objects[j] }
+func (b byObjID) Swap(i, j int) {
+	b.s.Objects[i], b.s.Objects[j] = b.s.Objects[j], b.s.Objects[i]
+	b.s.Locs[i], b.s.Locs[j] = b.s.Locs[j], b.s.Locs[i]
+}
+
+// The partitioned source must forward exactly the records the ticks were
+// cut from — each exactly once, keyed by object id — at any partition
+// count, so the per-tick record sets reassemble into the original
+// snapshots.
+func TestSourcePartitionRoundTrip(t *testing.T) {
 	const objects, ticks = 9, 12
 	var recs []msg.Rec
 	want := make([]*model.Snapshot, ticks)
@@ -77,23 +99,23 @@ func TestSourceAssembleRoundTrip(t *testing.T) {
 	for _, parts := range []int{1, 3} {
 		got := runIngest(t, parts, recs)
 		if len(got) != ticks {
-			t.Fatalf("parts=%d: %d snapshots, want %d", parts, len(got), ticks)
+			t.Fatalf("parts=%d: %d ticks, want %d", parts, len(got), ticks)
 		}
 		for i, s := range got {
 			if s.Tick != want[i].Tick ||
 				!reflect.DeepEqual(s.Objects, want[i].Objects) ||
 				!reflect.DeepEqual(s.Locs, want[i].Locs) {
-				t.Errorf("parts=%d: snapshot %d differs:\n  got  %+v\n  want %+v",
+				t.Errorf("parts=%d: tick %d differs:\n  got  %+v\n  want %+v",
 					parts, i, got[i], want[i])
 			}
 		}
 	}
 }
 
-// A source partition with an empty shard must not stall snapshot release:
+// A source partition with an empty shard must not stall watermark release:
 // driver source watermarks force every partition's coverage watermark
-// forward, so the assemble stage's merged minimum advances and snapshots
-// stream out while the pipeline is still running (no Close flush involved).
+// forward, so the merged minimum after the stage advances while the
+// pipeline is still running (no Close flush involved).
 func TestEmptyShardDoesNotStallRelease(t *testing.T) {
 	const parts = 2
 	// Only objects owned by one partition: the other shard stays empty for
@@ -105,22 +127,13 @@ func TestEmptyShardDoesNotStallRelease(t *testing.T) {
 			objs = append(objs, id)
 		}
 	}
-	var (
-		mu   sync.Mutex
-		outs []model.Tick
-	)
+	var wm atomic.Int64
 	p := flow.NewPipeline(flow.Config{
-		Sink: func(v any) {
-			s := v.(*model.Snapshot)
-			mu.Lock()
-			outs = append(outs, s.Tick)
-			mu.Unlock()
-		},
+		Sink:          func(any) {},
+		SinkWatermark: func(w model.Tick) { wm.Store(int64(w)) },
 	},
 		flow.StageSpec{Name: "source", Parallelism: parts,
 			Make: func(int) flow.Operator { return NewPartition(0, 0) }},
-		flow.StageSpec{Name: "assemble", Parallelism: 2,
-			Make: func(int) flow.Operator { return NewAssemble(nil) }},
 	)
 	p.Start()
 	for tk := model.Tick(0); tk < 6; tk++ {
@@ -129,85 +142,57 @@ func TestEmptyShardDoesNotStallRelease(t *testing.T) {
 		}
 		p.SubmitWatermark(tk) // driver promise: tick tk complete
 	}
-	// Snapshots for ticks <= 5 must stream out without closing the source.
+	// The merged watermark must pass tick 5 without closing the source.
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		mu.Lock()
-		n := len(outs)
-		mu.Unlock()
-		if n >= 6 {
-			break
-		}
+	for wm.Load() < 5 {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d snapshots released while the stream is open (empty shard stalled the merge)", n)
+			t.Fatalf("merged watermark stuck at %d while the stream is open (empty shard stalled the merge)", wm.Load())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	p.Drain()
+}
+
+// Replayed records at or below the released watermark are dropped inside
+// the source partition — the idempotence a post-resume stream replay
+// relies on.
+func TestStaleRecordReplayDropped(t *testing.T) {
+	const ticks = 4
+	var (
+		mu    sync.Mutex
+		count = map[model.Tick]int{}
+	)
+	p := flow.NewPipeline(flow.Config{
+		Sink: func(v any) {
+			r := v.(msg.Rec)
+			mu.Lock()
+			count[r.Tick]++
+			mu.Unlock()
+		},
+	},
+		flow.StageSpec{Name: "source", Parallelism: 1,
+			Make: func(int) flow.Operator { return NewPartition(0, 0) }},
+	)
+	p.Start()
+	push := func(tk model.Tick) {
+		for o := 0; o < 3; o++ {
+			p.Submit(uint64(o), msg.Rec{Object: model.ObjectID(o), Loc: geo.Point{X: float64(o), Y: float64(tk)}, Tick: tk})
+		}
+	}
+	for tk := model.Tick(0); tk < ticks; tk++ {
+		push(tk)
+		p.SubmitWatermark(tk)
+	}
+	// Replay the whole prefix: every record is stale now and must vanish.
+	for tk := model.Tick(0); tk < ticks; tk++ {
+		push(tk)
+	}
+	p.Drain()
 	mu.Lock()
 	defer mu.Unlock()
-	// The assemble stage runs two subtasks, so arrival order at the sink is
-	// only guaranteed per subtask — assert the released set, not the order.
-	rel := append([]model.Tick(nil), outs[:6]...)
-	sort.Slice(rel, func(i, j int) bool { return rel[i] < rel[j] })
-	for i, tk := range rel {
-		if tk != model.Tick(i) {
-			t.Errorf("released tick %d, want %d (released set %v)", tk, i, rel)
+	for tk := model.Tick(0); tk < ticks; tk++ {
+		if count[tk] != 3 {
+			t.Errorf("tick %d forwarded %d records, want 3 (replay not dropped)", tk, count[tk])
 		}
 	}
-}
-
-// Assemble's key-group state must round-trip through SnapshotGroups /
-// RestoreGroup, merging across any split of the groups.
-func TestAssembleGroupStateRoundTrip(t *testing.T) {
-	a := NewAssemble(nil)
-	ingest := time.Unix(0, 12345)
-	for tk := 0; tk < 6; tk++ {
-		for o := 0; o < 4; o++ {
-			a.Process(msg.Rec{
-				Object: model.ObjectID(o),
-				Loc:    geo.Point{X: float64(o), Y: float64(tk)},
-				Tick:   model.Tick(tk),
-				Ingest: ingest,
-			}, nil)
-		}
-	}
-	group := func(k uint64) int { return flow.KeyGroup(k, flow.DefaultMaxParallelism) }
-	blobs, err := a.SnapshotGroups(group)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(blobs) == 0 {
-		t.Fatal("no group state for a non-empty buffer")
-	}
-
-	b := NewAssemble(nil)
-	for _, blob := range blobs {
-		if err := b.RestoreGroup(blob); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if !reflect.DeepEqual(mapKeys(a.open), mapKeys(b.open)) {
-		t.Fatalf("restored ticks %v, want %v", mapKeys(b.open), mapKeys(a.open))
-	}
-	for tk, s := range a.open {
-		r := b.open[tk]
-		if !reflect.DeepEqual(s.Objects, r.Objects) || !reflect.DeepEqual(s.Locs, r.Locs) || !s.Ingest.Equal(r.Ingest) {
-			t.Errorf("tick %d differs after restore", tk)
-		}
-	}
-
-	// Empty operator snapshots to nothing.
-	if blobs, err := NewAssemble(nil).SnapshotGroups(group); err != nil || blobs != nil {
-		t.Errorf("empty assemble snapshot = %v, %v", blobs, err)
-	}
-}
-
-func mapKeys(m map[model.Tick]*model.Snapshot) []model.Tick {
-	out := make([]model.Tick, 0, len(m))
-	for t := range m {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
